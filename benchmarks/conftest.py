@@ -1,0 +1,31 @@
+"""Benchmark-suite plumbing: collect reproduced tables and print them.
+
+Each benchmark registers the table/figure rows it regenerates via
+:func:`benchmarks.tables.record_table`; this conftest prints every
+registered table in the terminal summary (uncaptured) and writes them to
+``benchmarks/results.txt`` for EXPERIMENTS.md.
+"""
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+
+from tables import format_tables, registered_tables  # noqa: E402
+
+RESULTS_PATH = pathlib.Path(__file__).parent / "results.txt"
+
+
+def pytest_terminal_summary(terminalreporter):
+    tables = registered_tables()
+    if not tables:
+        return
+    text = format_tables(tables)
+    terminalreporter.write_line("")
+    terminalreporter.write_line("=" * 70)
+    terminalreporter.write_line("REPRODUCED TABLES AND FIGURES")
+    terminalreporter.write_line("=" * 70)
+    for line in text.splitlines():
+        terminalreporter.write_line(line)
+    RESULTS_PATH.write_text(text)
+    terminalreporter.write_line(f"(also written to {RESULTS_PATH})")

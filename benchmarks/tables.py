@@ -1,0 +1,80 @@
+"""A tiny registry for the tables/figures the benchmark suite regenerates."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+_REGISTRY: dict[str, "ReproTable"] = {}
+
+
+@dataclass
+class ReproTable:
+    """One regenerated table or figure-series."""
+
+    experiment: str  # e.g. "T1", "E3"
+    title: str
+    headers: tuple[str, ...]
+    rows: list[tuple] = field(default_factory=list)
+    notes: str = ""
+
+
+def record_table(
+    experiment: str,
+    title: str,
+    headers: tuple[str, ...],
+    rows: list[tuple],
+    notes: str = "",
+) -> ReproTable:
+    """Register (or replace) a regenerated table for the summary output."""
+    table = ReproTable(
+        experiment=experiment,
+        title=title,
+        headers=headers,
+        rows=list(rows),
+        notes=notes,
+    )
+    _REGISTRY[f"{experiment}:{title}"] = table
+    return table
+
+
+def registered_tables() -> list[ReproTable]:
+    return [table for _, table in sorted(_REGISTRY.items())]
+
+
+def format_tables(tables: list[ReproTable]) -> str:
+    blocks = []
+    for table in tables:
+        blocks.append(_format_one(table))
+    return "\n\n".join(blocks) + "\n"
+
+
+def _format_one(table: ReproTable) -> str:
+    cells = [tuple(str(h) for h in table.headers)]
+    for row in table.rows:
+        cells.append(tuple(_fmt(value) for value in row))
+    widths = [
+        max(len(row[column]) for row in cells if column < len(row))
+        for column in range(len(table.headers))
+    ]
+    lines = [f"[{table.experiment}] {table.title}"]
+    lines.append(
+        "  " + "  ".join(h.ljust(w) for h, w in zip(cells[0], widths))
+    )
+    lines.append("  " + "  ".join("-" * w for w in widths))
+    for row in cells[1:]:
+        lines.append("  " + "  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    if table.notes:
+        lines.append(f"  note: {table.notes}")
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 100:
+            return f"{value:.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4g}"
+    return str(value)

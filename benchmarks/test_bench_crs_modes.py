@@ -1,0 +1,120 @@
+"""[E3] The four CRS searching modes across knowledge-base sizes.
+
+Models end-to-end retrieval time (disk + FS1 + FS2 + host software) for
+modes (a)-(d) on disk-resident predicates of growing size, for a
+selective ground query and for the shared-variable query.  The shape to
+reproduce: software-only scales worst; FS1 collapses the volume for
+selective queries; FS2 is what saves shared-variable queries; the
+two-stage pipeline is the best general choice at scale.
+"""
+
+from repro.crs import ClauseRetrievalServer, SearchMode
+from repro.storage import KnowledgeBase, Residency
+from repro.terms import read_term
+from repro.workloads import FactKBSpec, generate_couples, generate_facts
+from tables import record_table
+
+SIZES = (200, 1000, 4000)
+
+
+def _kb_of_size(count: int) -> tuple[KnowledgeBase, object]:
+    kb = KnowledgeBase()
+    # Structure-heavy records: realistic clause sizes make the index file
+    # much smaller than the clause file, which is FS1's whole premise.
+    clauses = generate_facts(
+        FactKBSpec(
+            functor="rec", arity=3, count=count, structure_fraction=0.8,
+            domain_sizes=(count // 10, count // 10, count // 10), seed=29,
+        )
+    )
+    kb.consult_clauses(clauses, module="data")
+    kb.module("data").pin(Residency.DISK)
+    kb.sync_to_disk()
+    return kb, clauses[count // 2].head
+
+
+def test_bench_modes_vs_kb_size(benchmark):
+    unify_ns = ClauseRetrievalServer(KnowledgeBase()).cost_model.unify_per_candidate_ns
+
+    def sweep():
+        rows = []
+        for count in SIZES:
+            kb, query = _kb_of_size(count)
+            crs = ClauseRetrievalServer(kb)
+            times = {}
+            candidates = {}
+            for mode in SearchMode:
+                result = crs.retrieve(query, mode=mode)
+                # End-to-end: filtering plus host full unification over the
+                # surviving candidates.
+                times[mode] = (
+                    result.stats.filter_time_s
+                    + len(result.candidates) * unify_ns / 1e9
+                ) * 1e3
+                candidates[mode] = len(result.candidates)
+            winner = min(times, key=times.get)
+            rows.append(
+                (
+                    count,
+                    round(times[SearchMode.SOFTWARE], 2),
+                    round(times[SearchMode.FS1_ONLY], 2),
+                    round(times[SearchMode.FS2_ONLY], 2),
+                    round(times[SearchMode.BOTH], 2),
+                    winner.value,
+                    candidates[SearchMode.BOTH],
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    record_table(
+        "E3",
+        "Modelled retrieval time (ms) per CRS mode vs KB size "
+        "(selective ground query)",
+        ("clauses", "software", "fs1", "fs2", "fs1+fs2", "winner", "final cands"),
+        rows,
+    )
+    largest = rows[-1]
+    # At scale, software-only must be the slowest of the four.
+    assert largest[1] == max(largest[1:5])
+    # And the hardware winner's candidates are few.
+    assert largest[6] <= 5
+
+
+def test_bench_modes_shared_variable_query(benchmark):
+    def shared_sweep():
+        rows = []
+        for count in SIZES:
+            kb = KnowledgeBase()
+            kb.consult_clauses(
+                generate_couples(count=count, same_surname_fraction=0.05, seed=3),
+                module="data",
+            )
+            kb.module("data").pin(Residency.DISK)
+            kb.sync_to_disk()
+            crs = ClauseRetrievalServer(kb)
+            query = read_term("married_couple(S, S)")
+            fs1 = crs.retrieve(query, mode=SearchMode.FS1_ONLY)
+            fs2 = crs.retrieve(query, mode=SearchMode.FS2_ONLY)
+            rows.append(
+                (
+                    count,
+                    len(fs1.candidates),
+                    len(fs2.candidates),
+                    round(fs1.stats.filter_time_s * 1e3, 2),
+                    round(fs2.stats.filter_time_s * 1e3, 2),
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(shared_sweep, rounds=1, iterations=1)
+    for count, fs1_candidates, fs2_candidates, _, _ in rows:
+        assert fs1_candidates == count  # FS1 is blind to shared variables
+        assert fs2_candidates < count * 0.15
+    record_table(
+        "E3b",
+        "Shared-variable query: candidate volume per mode vs KB size",
+        ("clauses", "fs1 candidates", "fs2 candidates", "fs1 ms", "fs2 ms"),
+        rows,
+        notes="mode (c)/(d) selection for cross-bound queries, section 2.2",
+    )

@@ -1,0 +1,75 @@
+"""[E7] Inference rate: interpreted vs compiled execution (LIPS).
+
+Prolog-X is a *compiler*; the PDBM software component inherits that.
+This bench measures the classic naive-reverse LIPS figure on both of our
+execution engines — the tree-walking interpreter and the ZIP-style
+compiled-clause machine — and checks they agree on the answer.  (These
+are wall-clock Python numbers, not 1989 hardware projections; the point
+is the engine-to-engine comparison and the workload itself.)
+"""
+
+from repro.engine import PrologMachine
+from repro.storage import KnowledgeBase
+from repro.terms import term_to_string
+from tables import record_table
+
+NREV_PROGRAM = """
+app([], L, L).
+app([H|T], L, [H|R]) :- app(T, L, R).
+nrev([], []).
+nrev([H|T], R) :- nrev(T, RT), app(RT, [H], R).
+"""
+
+#: nrev on a 30-element list performs 496 logical inferences.
+NREV30_INFERENCES = 496
+NREV30_GOAL = "nrev([{items}], R)".format(items=", ".join(map(str, range(30))))
+EXPECTED = "[" + ",".join(str(i) for i in reversed(range(30))) + "]"
+
+
+def _machine() -> PrologMachine:
+    kb = KnowledgeBase()
+    kb.consult_text(NREV_PROGRAM)
+    return PrologMachine(kb, unknown_predicates="fail")
+
+
+def test_bench_nrev_interpreter(benchmark):
+    machine = _machine()
+
+    def run():
+        return next(iter(machine.solve_text(NREV30_GOAL)))
+
+    solution = benchmark(run)
+    assert term_to_string(solution["R"]) == EXPECTED
+    lips = NREV30_INFERENCES / benchmark.stats["mean"]
+    record_table(
+        "E7a",
+        "nrev30 on the tree-walking interpreter",
+        ("metric", "value"),
+        [
+            ("logical inferences", NREV30_INFERENCES),
+            ("mean time s", round(benchmark.stats["mean"], 5)),
+            ("LIPS", round(lips)),
+        ],
+    )
+
+
+def test_bench_nrev_compiled(benchmark):
+    machine = _machine()
+
+    def run():
+        return next(iter(machine.compiled_solve_text(NREV30_GOAL)))
+
+    solution = benchmark(run)
+    assert term_to_string(solution["R"]) == EXPECTED
+    lips = NREV30_INFERENCES / benchmark.stats["mean"]
+    record_table(
+        "E7b",
+        "nrev30 on the ZIP compiled-clause machine",
+        ("metric", "value"),
+        [
+            ("logical inferences", NREV30_INFERENCES),
+            ("mean time s", round(benchmark.stats["mean"], 5)),
+            ("LIPS", round(lips)),
+        ],
+        notes="engines verified to produce the identical reversed list",
+    )

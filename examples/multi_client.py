@@ -1,0 +1,78 @@
+"""Multiple clients sharing the CRS: locks, conflicts, deadlock handling.
+
+"The CRS will also support simultaneous access by multiple clients which
+involves procedures for concurrency control and transaction handling"
+(paper section 2.2).
+
+Run with::
+
+    python examples/multi_client.py
+"""
+
+from repro.crs import (
+    ClauseRetrievalServer,
+    CRSFrontEnd,
+    DeadlockError,
+    WouldBlock,
+)
+from repro.storage import KnowledgeBase
+from repro.terms import read_term
+
+
+def main() -> None:
+    kb = KnowledgeBase()
+    kb.consult_text(
+        """
+        stock(widget, 12).  stock(gadget, 3).
+        price(widget, 250). price(gadget, 900).
+        """
+    )
+    front_end = CRSFrontEnd(ClauseRetrievalServer(kb))
+
+    print("-- concurrent readers share locks --")
+    alice = front_end.connect()
+    bob = front_end.connect()
+    print("alice sees", len(alice.retrieve(read_term("stock(I, N)"))), "stock rows")
+    print("bob sees  ", len(bob.retrieve(read_term("stock(I, N)"))), "stock rows")
+    alice.commit()
+    bob.commit()
+
+    print("\n-- a writer excludes readers until it commits --")
+    writer = front_end.connect()
+    writer.assertz(read_term("stock(sprocket, 7)"))
+    reader = front_end.connect()
+    try:
+        reader.retrieve(read_term("stock(I, N)"))
+    except WouldBlock as exc:
+        print("reader blocked:", exc)
+    writer.commit()
+    print(
+        "after commit the reader sees",
+        len(reader.retrieve(read_term("stock(I, N)"))),
+        "rows",
+    )
+    reader.commit()
+
+    print("\n-- deadlock detection aborts the victim --")
+    one = front_end.connect()
+    two = front_end.connect()
+    one.assertz(read_term("stock(bolt, 1)"))  # one holds stock/2
+    two.assertz(read_term("price(bolt, 5)"))  # two holds price/2
+    try:
+        one.assertz(read_term("price(nut, 2)"))  # one waits on two
+    except WouldBlock:
+        print("client one now waits for price/2")
+    try:
+        two.assertz(read_term("stock(nut, 9)"))  # would close the cycle
+    except DeadlockError as exc:
+        print("client two aborted:", exc)
+    one.commit()
+    print("client one committed after the victim released its locks")
+
+    final = front_end.connect()
+    rows = final.retrieve(read_term("stock(I, N)"))
+    print("\nfinal stock table has", len(rows), "rows")
+
+
+if __name__ == "__main__":
+    main()

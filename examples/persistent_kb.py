@@ -1,0 +1,77 @@
+"""A knowledge base that lives in secondary storage, end to end.
+
+Builds a KB, saves it as a directory of compiled clause files + index
+files, reloads it in a "fresh session", runs queries through the CLARE
+pipeline with the retrieval cache on, and prints the retrieval report.
+
+Run with::
+
+    python examples/persistent_kb.py
+"""
+
+import random
+import tempfile
+
+from repro.crs import ClauseRetrievalServer
+from repro.engine import PrologMachine
+from repro.report import format_query_report
+from repro.storage import KnowledgeBase, Residency, load_kb, save_kb
+from repro.terms import Atom, Clause, Int, Struct
+
+
+def main() -> None:
+    rng = random.Random(3)
+    kb = KnowledgeBase()
+    kb.consult_clauses(
+        [
+            Clause(
+                Struct(
+                    "reading",
+                    (
+                        Atom(f"sensor{i % 40}"),
+                        Atom(f"t{i}"),
+                        Int(rng.randrange(1000)),
+                    ),
+                )
+            )
+            for i in range(800)
+        ],
+        module="sensors",
+    )
+    kb.consult_text(
+        "hot(Sensor) :- reading(Sensor, _, V), V > 900.",
+        module="sensors",
+    )
+    kb.module("sensors").pin(Residency.DISK)
+
+    with tempfile.TemporaryDirectory() as directory:
+        files = save_kb(kb, directory)
+        print(f"saved {kb.clause_count()} clauses as {len(files)} files:")
+        for name in sorted(files)[:6]:
+            print("  ", name)
+        print("   ...")
+
+        # --- a fresh session: nothing consulted from source ---
+        restored = load_kb(directory)
+        restored.sync_to_disk()
+        print(
+            f"\nreloaded: {restored.clause_count()} clauses, "
+            f"{len(restored.predicates())} predicates, "
+            f"reading/3 residency = {restored.residency(('reading', 3))}"
+        )
+
+        crs = ClauseRetrievalServer(restored, cache_size=64)
+        machine = PrologMachine(restored, crs=crs, trace_retrievals=5)
+
+        hot = machine.count_solutions("hot(S)")
+        hot_again = machine.count_solutions("hot(S)")  # cache at work
+        assert hot == hot_again
+        print(f"\nhot sensors: {hot}")
+        print(f"cache: {crs.cache_hits} hits, {crs.cache_misses} misses")
+
+        print()
+        print(format_query_report(machine, title="retrieval report"))
+
+
+if __name__ == "__main__":
+    main()

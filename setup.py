@@ -1,0 +1,7 @@
+"""Setup shim for environments whose setuptools cannot build PEP 660
+editable wheels (no `wheel` package available offline); allows
+``python setup.py develop`` as the editable-install fallback."""
+
+from setuptools import setup
+
+setup()

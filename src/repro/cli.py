@@ -1,0 +1,178 @@
+"""A small command-line driver for the PDBM system.
+
+Usage::
+
+    python -m repro.cli consult FILE.pl --goal "parent(tom, X)"
+    python -m repro.cli goal "X is 1 + 2"
+    python -m repro.cli table1
+    python -m repro.cli microcode
+
+``consult`` loads a Prolog source file (optionally pinning it to the
+simulated disk) and runs goals against it, reporting which CRS search
+modes the planner chose.  ``table1`` prints the reproduced Table 1 and
+``microcode`` disassembles the FS2 search program.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .crs import SearchMode
+from .engine import PrologMachine
+from .fs2 import assemble_search_program, table1, worst_case_rate_bytes_per_sec
+from .fs2.microcode import disassemble
+from .storage import KnowledgeBase, Residency
+from .terms import read_term, term_to_string
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser for all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro.cli",
+        description="CLARE / PDBM reproduction command-line driver",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    consult = commands.add_parser("consult", help="load a .pl file and run goals")
+    consult.add_argument("file", help="Prolog source file")
+    consult.add_argument(
+        "--goal", action="append", default=[], help="goal to solve (repeatable)"
+    )
+    consult.add_argument(
+        "--disk", action="store_true", help="pin the program to the simulated disk"
+    )
+    consult.add_argument(
+        "--mode",
+        choices=[m.value for m in SearchMode],
+        help="force one CRS search mode (default: planner)",
+    )
+    consult.add_argument(
+        "--max-solutions", type=int, default=10, help="solutions per goal"
+    )
+    consult.add_argument(
+        "--library", action="store_true", help="load the list library"
+    )
+
+    goal = commands.add_parser("goal", help="solve a goal with an empty KB")
+    goal.add_argument("text", help="the goal")
+    goal.add_argument("--max-solutions", type=int, default=10)
+
+    commands.add_parser("table1", help="print the reproduced Table 1")
+    commands.add_parser("microcode", help="disassemble the FS2 search program")
+
+    dump = commands.add_parser(
+        "dump", help="compile a clause and dump its PIF encoding"
+    )
+    dump.add_argument("clause", help="one clause, e.g. 'p(X, f(a)) :- q(X)'")
+    return parser
+
+
+def main(argv: list[str] | None = None, out=None) -> int:
+    """Entry point; returns the process exit code."""
+    out = out if out is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+    if args.command == "table1":
+        return _cmd_table1(out)
+    if args.command == "microcode":
+        return _cmd_microcode(out)
+    if args.command == "dump":
+        return _cmd_dump(args, out)
+    if args.command == "goal":
+        machine = PrologMachine(
+            KnowledgeBase(), unknown_predicates="fail", output=out
+        )
+        _run_goal(machine, args.text, args.max_solutions, out)
+        return 0
+    return _cmd_consult(args, out)
+
+
+def _cmd_table1(out) -> int:
+    out.write("Table 1: Execution Times of the FS2 Hardware Functions\n")
+    for figure, op_name, time_ns in table1():
+        out.write(f"  figure {figure:>2}  {op_name:<24} {time_ns:>4} ns\n")
+    rate = worst_case_rate_bytes_per_sec() / 1e6
+    out.write(f"worst-case filter rate: {rate:.2f} Mbytes/second\n")
+    return 0
+
+
+def _cmd_microcode(out) -> int:
+    program = assemble_search_program()
+    out.write(f"FS2 search microprogram ({len(program)} words):\n")
+    for line in disassemble(program):
+        out.write(line + "\n")
+    return 0
+
+
+def _cmd_dump(args, out) -> int:
+    from .pif import SymbolTable, compile_clause
+    from .pif.dump import dump_record
+    from .terms import clause_from_term
+
+    symbols = SymbolTable()
+    clause = clause_from_term(read_term(args.clause))
+    record = compile_clause(clause, symbols)
+    for line in dump_record(record, symbols):
+        out.write(line + "\n")
+    out.write(f"record size: {len(record.to_bytes())} bytes\n")
+    return 0
+
+
+def _cmd_consult(args, out) -> int:
+    kb = KnowledgeBase()
+    with open(args.file, encoding="utf-8") as handle:
+        count = kb.consult_text(handle.read())
+    out.write(f"consulted {count} clauses from {args.file}\n")
+    if args.disk:
+        kb.module("user").pin(Residency.DISK)
+        kb.sync_to_disk()
+        out.write("program pinned to the simulated disk\n")
+    mode = SearchMode(args.mode) if args.mode else None
+    machine = PrologMachine(
+        kb,
+        mode=mode,
+        unknown_predicates="fail",
+        load_library=args.library,
+        output=out,
+    )
+    for goal_text in args.goal:
+        _run_goal(machine, goal_text, args.max_solutions, out)
+    if args.goal:
+        stats = machine.stats
+        modes = ", ".join(
+            f"{m.value}x{n}" for m, n in sorted(
+                stats.mode_uses.items(), key=lambda kv: kv[0].value
+            )
+        )
+        out.write(
+            f"[stats] retrievals={stats.retrievals} "
+            f"scanned={stats.clauses_scanned} candidates={stats.candidates} "
+            f"modes: {modes}\n"
+        )
+    return 0
+
+
+def _run_goal(machine: PrologMachine, goal_text: str, limit: int, out) -> None:
+    out.write(f"?- {goal_text}.\n")
+    shown = 0
+    for solution in machine.solve_text(goal_text):
+        if not solution:
+            out.write("   true\n")
+        else:
+            rendered = ", ".join(
+                f"{name} = {term_to_string(value)}"
+                for name, value in solution.items()
+            )
+            out.write(f"   {rendered}\n")
+        shown += 1
+        if shown >= limit:
+            out.write("   ... (solution limit reached)\n")
+            break
+    if shown == 0:
+        out.write("   false\n")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

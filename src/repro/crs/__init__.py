@@ -1,0 +1,42 @@
+"""The Clause Retrieval Server: four search modes, planning, concurrency."""
+
+from .client import CRSClient, CRSFrontEnd, WouldBlock
+from .concurrency import (
+    DeadlockError,
+    LockManager,
+    LockMode,
+    Transaction,
+    TransactionAborted,
+    TransactionManager,
+)
+from .optimizer import ConjunctionPlanner, GoalEstimate
+from .planner import QueryFeatures, analyse_query, select_mode
+from .server import (
+    ClauseRetrievalServer,
+    HostCostModel,
+    RetrievalResult,
+    RetrievalStats,
+    SearchMode,
+)
+
+__all__ = [
+    "CRSClient",
+    "CRSFrontEnd",
+    "ClauseRetrievalServer",
+    "ConjunctionPlanner",
+    "DeadlockError",
+    "GoalEstimate",
+    "HostCostModel",
+    "LockManager",
+    "LockMode",
+    "QueryFeatures",
+    "RetrievalResult",
+    "RetrievalStats",
+    "SearchMode",
+    "Transaction",
+    "TransactionAborted",
+    "TransactionManager",
+    "WouldBlock",
+    "analyse_query",
+    "select_mode",
+]

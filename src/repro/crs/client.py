@@ -1,0 +1,76 @@
+"""Multi-client access to the CRS.
+
+Each :class:`CRSClient` works inside a transaction: retrievals take
+shared locks on the predicates they read, updates take exclusive locks.
+A request that must wait raises :class:`WouldBlock` (the simulation is
+synchronous — callers decide whether to retry or give up), and deadlocks
+abort the requesting transaction per :mod:`repro.crs.concurrency`.
+"""
+
+from __future__ import annotations
+
+from ..terms import Clause, Term, functor_indicator
+from .concurrency import Transaction, TransactionManager
+from .server import ClauseRetrievalServer, RetrievalResult, SearchMode
+
+__all__ = ["WouldBlock", "CRSClient", "CRSFrontEnd"]
+
+
+class WouldBlock(RuntimeError):
+    """The lock is held in a conflicting mode; retry after the holder ends."""
+
+
+class CRSClient:
+    """One client session: a transaction bound to the shared CRS."""
+
+    def __init__(self, front_end: "CRSFrontEnd", transaction: Transaction):
+        self._front_end = front_end
+        self.transaction = transaction
+
+    def retrieve(
+        self, goal: Term, mode: SearchMode | None = None
+    ) -> RetrievalResult:
+        indicator = functor_indicator(goal)
+        if not self.transaction.read_lock(indicator):
+            raise WouldBlock(f"read lock on {indicator} unavailable")
+        return self._front_end.server.retrieve(goal, mode=mode)
+
+    def assertz(self, clause: Clause | Term) -> None:
+        indicator = _indicator_of(clause)
+        if not self.transaction.write_lock(indicator):
+            raise WouldBlock(f"write lock on {indicator} unavailable")
+        self._front_end.server.kb.assertz(clause)
+
+    def retract(self, clause: Clause | Term) -> bool:
+        indicator = _indicator_of(clause)
+        if not self.transaction.write_lock(indicator):
+            raise WouldBlock(f"write lock on {indicator} unavailable")
+        return self._front_end.server.kb.retract(clause)
+
+    def commit(self) -> None:
+        self.transaction.commit()
+
+    def abort(self) -> None:
+        self.transaction.abort()
+
+
+class CRSFrontEnd:
+    """The shared entry point handing out client sessions."""
+
+    def __init__(self, server: ClauseRetrievalServer):
+        self.server = server
+        self.transactions = TransactionManager()
+
+    def connect(self) -> CRSClient:
+        return CRSClient(self, self.transactions.begin())
+
+
+def _indicator_of(clause: Clause | Term) -> tuple[str, int]:
+    if isinstance(clause, Clause):
+        return clause.indicator
+    term = clause
+    from ..terms import Struct
+
+    if isinstance(term, Struct) and term.indicator == (":-", 2):
+        return functor_indicator(term.args[0])
+    return functor_indicator(term)

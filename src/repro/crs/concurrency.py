@@ -1,0 +1,223 @@
+"""Concurrency control for multi-client clause retrieval.
+
+"The CRS will also support simultaneous access by multiple clients which
+involves procedures for concurrency control and transaction handling"
+(paper section 2.2).  The model is classic strict two-phase locking at
+predicate granularity: retrievals take shared locks, updates take
+exclusive locks, everything is released at commit/abort, and a wait-for
+graph detects deadlocks the moment a blocking edge would close a cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Hashable
+
+__all__ = [
+    "LockMode",
+    "DeadlockError",
+    "TransactionAborted",
+    "LockManager",
+    "Transaction",
+    "TransactionManager",
+]
+
+Resource = Hashable
+
+
+class LockMode(Enum):
+    """Shared (read) or exclusive (write) lock."""
+
+    SHARED = "S"
+    EXCLUSIVE = "X"
+
+
+class DeadlockError(RuntimeError):
+    """Granting this lock would close a wait-for cycle."""
+
+    def __init__(self, cycle: list[int]):
+        super().__init__(f"deadlock among transactions {cycle}")
+        self.cycle = cycle
+
+
+class TransactionAborted(RuntimeError):
+    """Operation on a transaction that is no longer active."""
+
+
+@dataclass
+class _LockState:
+    holders: dict[int, LockMode] = field(default_factory=dict)
+    waiters: list[tuple[int, LockMode]] = field(default_factory=list)
+
+
+class LockManager:
+    """Predicate-granularity shared/exclusive locks with deadlock detection."""
+
+    def __init__(self) -> None:
+        self._locks: dict[Resource, _LockState] = {}
+        self._waits_for: dict[int, set[int]] = {}
+
+    def acquire(self, txn_id: int, resource: Resource, mode: LockMode) -> bool:
+        """Try to take a lock; returns False if the caller must wait.
+
+        Registering the wait first runs deadlock detection — a cycle
+        raises :class:`DeadlockError` instead of queueing.
+        """
+        state = self._locks.setdefault(resource, _LockState())
+        if self._compatible(state, txn_id, mode):
+            held = state.holders.get(txn_id)
+            if held is None or self._stronger(mode, held):
+                state.holders[txn_id] = mode
+            self._waits_for.pop(txn_id, None)
+            return True
+        blockers = {
+            holder
+            for holder, held in state.holders.items()
+            if holder != txn_id and self._conflicts(mode, held)
+        }
+        self._waits_for.setdefault(txn_id, set()).update(blockers)
+        cycle = self._find_cycle(txn_id)
+        if cycle is not None:
+            self._waits_for[txn_id] -= blockers
+            if not self._waits_for[txn_id]:
+                del self._waits_for[txn_id]
+            raise DeadlockError(cycle)
+        if (txn_id, mode) not in state.waiters:
+            state.waiters.append((txn_id, mode))
+        return False
+
+    def release_all(self, txn_id: int) -> list[Resource]:
+        """Drop every lock the transaction holds; returns freed resources."""
+        freed = []
+        for resource, state in self._locks.items():
+            if txn_id in state.holders:
+                del state.holders[txn_id]
+                freed.append(resource)
+            state.waiters = [(t, m) for t, m in state.waiters if t != txn_id]
+        self._waits_for.pop(txn_id, None)
+        for waiters in self._waits_for.values():
+            waiters.discard(txn_id)
+        return freed
+
+    def holders(self, resource: Resource) -> dict[int, LockMode]:
+        state = self._locks.get(resource)
+        return dict(state.holders) if state else {}
+
+    def retry_waiters(self, resource: Resource) -> list[int]:
+        """Grant whatever queued requests are now compatible (FIFO)."""
+        state = self._locks.get(resource)
+        if state is None:
+            return []
+        granted = []
+        still_waiting = []
+        for txn_id, mode in state.waiters:
+            if self._compatible(state, txn_id, mode):
+                state.holders[txn_id] = mode
+                self._waits_for.pop(txn_id, None)
+                granted.append(txn_id)
+            else:
+                still_waiting.append((txn_id, mode))
+        state.waiters = still_waiting
+        return granted
+
+    # -- internals -----------------------------------------------------------
+
+    @staticmethod
+    def _stronger(a: LockMode, b: LockMode) -> bool:
+        return a == LockMode.EXCLUSIVE and b == LockMode.SHARED
+
+    @staticmethod
+    def _conflicts(requested: LockMode, held: LockMode) -> bool:
+        return requested == LockMode.EXCLUSIVE or held == LockMode.EXCLUSIVE
+
+    def _compatible(self, state: _LockState, txn_id: int, mode: LockMode) -> bool:
+        for holder, held in state.holders.items():
+            if holder == txn_id:
+                continue
+            if self._conflicts(mode, held):
+                return False
+        return True
+
+    def _find_cycle(self, start: int) -> list[int] | None:
+        path: list[int] = []
+        visited: set[int] = set()
+
+        def visit(node: int) -> list[int] | None:
+            if node in path:
+                return path[path.index(node) :]
+            if node in visited:
+                return None
+            visited.add(node)
+            path.append(node)
+            for successor in self._waits_for.get(node, ()):
+                cycle = visit(successor)
+                if cycle is not None:
+                    return cycle
+            path.pop()
+            return None
+
+        return visit(start)
+
+
+class Transaction:
+    """One client's unit of work under strict two-phase locking."""
+
+    def __init__(self, txn_id: int, manager: "TransactionManager"):
+        self.txn_id = txn_id
+        self._manager = manager
+        self.active = True
+
+    def read_lock(self, resource: Resource) -> bool:
+        return self._acquire(resource, LockMode.SHARED)
+
+    def write_lock(self, resource: Resource) -> bool:
+        return self._acquire(resource, LockMode.EXCLUSIVE)
+
+    def _acquire(self, resource: Resource, mode: LockMode) -> bool:
+        if not self.active:
+            raise TransactionAborted(f"transaction {self.txn_id} is finished")
+        try:
+            return self._manager.locks.acquire(self.txn_id, resource, mode)
+        except DeadlockError:
+            self._manager.abort(self)
+            raise
+
+    def commit(self) -> None:
+        self._manager.commit(self)
+
+    def abort(self) -> None:
+        self._manager.abort(self)
+
+
+class TransactionManager:
+    """Issues transactions and runs the release/retry cycle."""
+
+    def __init__(self) -> None:
+        self.locks = LockManager()
+        self._next_id = 1
+        self._active: set[int] = set()
+
+    def begin(self) -> Transaction:
+        txn = Transaction(self._next_id, self)
+        self._active.add(self._next_id)
+        self._next_id += 1
+        return txn
+
+    def commit(self, txn: Transaction) -> None:
+        self._finish(txn)
+
+    def abort(self, txn: Transaction) -> None:
+        self._finish(txn)
+
+    def _finish(self, txn: Transaction) -> None:
+        if not txn.active:
+            return
+        txn.active = False
+        self._active.discard(txn.txn_id)
+        for resource in self.locks.release_all(txn.txn_id):
+            self.locks.retry_waiters(resource)
+
+    @property
+    def active_count(self) -> int:
+        return len(self._active)

@@ -1,0 +1,414 @@
+"""The Clause Retrieval Server (CRS).
+
+"An independent software module, the Clause Retrieval Server, is being
+developed which links CLARE with the PDBM Prolog system.  In practice,
+there will be four searching modes during a clause retrieval:
+
+  (a) By software only — the CRS performs all the search operations itself.
+  (b) Using FS1 only — the superimposed codeword hardware.
+  (c) Using FS2 only — the partial test unification hardware.
+  (d) Using both FS1 and FS2 — a two-stage hardware filter."
+
+The CRS returns *candidate clauses*; the host Prolog system applies full
+unification.  Every mode is sound, so all four return supersets of the
+true resolvent set and identical final answers — they differ in candidate
+volume and in where the time goes, which :class:`RetrievalStats` itemises
+using the disk model, the FS1 scan rate, the FS2 Table 1 times, and a
+host cost model for the software path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from ..disk import TransferStats
+from ..fs2 import SecondStageFilter
+from ..pif import CompiledClause
+from ..pif.clausefile import decode_compiled
+from ..scw import FirstStageFilter
+from ..storage import KnowledgeBase, PredicateStore, Residency
+from ..terms import Clause, Term, functor_indicator, rename_apart
+from ..unify import Bindings, PartialMatcher, unify
+from ..fs2.result import MAX_SATISFIERS
+
+__all__ = [
+    "SearchMode",
+    "HostCostModel",
+    "RetrievalStats",
+    "RetrievalResult",
+    "ClauseRetrievalServer",
+]
+
+
+class SearchMode(Enum):
+    """The four CRS searching modes (paper section 2.2)."""
+
+    SOFTWARE = "software"
+    FS1_ONLY = "fs1"
+    FS2_ONLY = "fs2"
+    BOTH = "fs1+fs2"
+
+
+@dataclass(frozen=True)
+class HostCostModel:
+    """Modelled software costs on the M68020 host.
+
+    The paper gives no host-side figures; these defaults assume a few
+    microseconds per interpreted matching step on a mid-1980s 16 MHz
+    68020, which is the right order for the shape-level mode comparison
+    (the hardware's advantage is orders of magnitude, not percentages).
+    """
+
+    software_match_op_ns: int = 5_000
+    clause_decode_ns: int = 20_000
+    unify_per_candidate_ns: int = 50_000
+    memory_scan_per_clause_ns: int = 25_000
+
+
+@dataclass
+class RetrievalStats:
+    """Where the time went during one retrieval."""
+
+    mode: SearchMode
+    residency: str
+    clauses_total: int = 0
+    fs1_candidates: int | None = None
+    final_candidates: int = 0
+    disk_time_s: float = 0.0
+    fs1_time_s: float = 0.0
+    fs2_time_s: float = 0.0
+    fs2_search_calls: int = 0
+    software_time_s: float = 0.0
+    bytes_from_disk: int = 0
+
+    @property
+    def filter_time_s(self) -> float:
+        """Retrieval time up to (not including) full unification.
+
+        Hardware filtering overlaps the disk transfer feeding it, so the
+        overlapped portion counts once at the slower rate.
+        """
+        return (
+            max(self.disk_time_s, self.fs1_time_s + self.fs2_time_s)
+            + self.software_time_s
+        )
+
+    @property
+    def selectivity(self) -> float:
+        """Fraction of the predicate that survived filtering."""
+        if self.clauses_total == 0:
+            return 0.0
+        return self.final_candidates / self.clauses_total
+
+
+@dataclass
+class RetrievalResult:
+    """Candidates plus accounting for one goal retrieval."""
+
+    goal: Term
+    candidates: list[Clause] = field(default_factory=list)
+    stats: RetrievalStats | None = None
+
+    def __len__(self) -> int:
+        return len(self.candidates)
+
+
+class ClauseRetrievalServer:
+    """Retrieve candidate clauses for goals through one of four modes."""
+
+    def __init__(
+        self,
+        kb: KnowledgeBase,
+        cost_model: HostCostModel | None = None,
+        cross_binding: bool = True,
+        cache_size: int = 0,
+    ):
+        self.kb = kb
+        self.cost_model = cost_model or HostCostModel()
+        self.cross_binding = cross_binding
+        self.fs1 = FirstStageFilter(kb.scheme)
+        self.fs2 = SecondStageFilter(kb.symbols, cross_binding=cross_binding)
+        self.fs2.load_microprogram()
+        # Optional retrieval cache (LRU), invalidated by KB updates.
+        from collections import OrderedDict
+
+        self.cache_size = cache_size
+        self._cache: "OrderedDict[tuple, RetrievalResult]" = OrderedDict()
+        self._cache_version = kb.version
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    # -- public API --------------------------------------------------------
+
+    def retrieve(self, goal: Term, mode: SearchMode | None = None) -> RetrievalResult:
+        """All candidate clauses for ``goal`` under the chosen mode.
+
+        With ``cache_size > 0``, repeated retrievals of the same goal are
+        served from an LRU cache until the knowledge base changes; cache
+        hits report zero filter time (no physical work happened).
+        """
+        from .planner import select_mode  # local import avoids a cycle
+
+        cache_key = None
+        if self.cache_size > 0:
+            if self.kb.version != self._cache_version:
+                self._cache.clear()
+                self._cache_version = self.kb.version
+            cache_key = (_canonical_goal_key(goal), mode)
+            cached = self._cache.get(cache_key)
+            if cached is not None:
+                self._cache.move_to_end(cache_key)
+                self.cache_hits += 1
+                return self._cache_hit_view(cached)
+            self.cache_misses += 1
+        indicator = functor_indicator(goal)
+        store = self.kb.store(indicator)
+        residency = self.kb.residency(indicator)
+        if mode is None:
+            mode = select_mode(goal, store, residency)
+        handler = {
+            SearchMode.SOFTWARE: self._retrieve_software,
+            SearchMode.FS1_ONLY: self._retrieve_fs1,
+            SearchMode.FS2_ONLY: self._retrieve_fs2,
+            SearchMode.BOTH: self._retrieve_both,
+        }[mode]
+        result = handler(goal, store, residency)
+        if cache_key is not None:
+            self._cache[cache_key] = result
+            while len(self._cache) > self.cache_size:
+                self._cache.popitem(last=False)
+        return result
+
+    @staticmethod
+    def _cache_hit_view(result: RetrievalResult) -> RetrievalResult:
+        """A cached result: same candidates, no physical retrieval cost."""
+        original = result.stats
+        stats = None
+        if original is not None:
+            stats = RetrievalStats(
+                mode=original.mode,
+                residency=original.residency,
+                clauses_total=original.clauses_total,
+                fs1_candidates=original.fs1_candidates,
+                final_candidates=original.final_candidates,
+            )
+        return RetrievalResult(
+            goal=result.goal, candidates=list(result.candidates), stats=stats
+        )
+
+    def solutions(
+        self, goal: Term, mode: SearchMode | None = None
+    ) -> list[tuple[Clause, Bindings]]:
+        """Full unification over the candidates: the true resolvent set."""
+        result = self.retrieve(goal, mode=mode)
+        matches = []
+        for clause in result.candidates:
+            renamed_head = rename_apart(clause.head, keep_anonymous=False)
+            bindings = unify(goal, renamed_head)
+            if bindings is not None:
+                matches.append((clause, bindings))
+        return matches
+
+    # -- mode (a): software only ----------------------------------------------
+
+    def _retrieve_software(
+        self, goal: Term, store: PredicateStore, residency: str
+    ) -> RetrievalResult:
+        stats = RetrievalStats(mode=SearchMode.SOFTWARE, residency=residency)
+        stats.clauses_total = len(store)
+        if residency == Residency.DISK:
+            _, transfer = self._read_clause_extent(store)
+            stats.disk_time_s = transfer.total_time_s
+            stats.bytes_from_disk = transfer.bytes_transferred
+        matcher = PartialMatcher(goal, cross_binding=self.cross_binding)
+        candidates = []
+        total_ops = 0
+        for position in range(len(store)):
+            clause = store.clause_file.decode_clause(position)
+            outcome = matcher.match_head(clause.head)
+            total_ops += outcome.op_count()
+            if outcome.hit:
+                candidates.append(clause)
+        model = self.cost_model
+        stats.software_time_s = (
+            stats.clauses_total * model.clause_decode_ns
+            + total_ops * model.software_match_op_ns
+        ) / 1e9
+        stats.final_candidates = len(candidates)
+        return RetrievalResult(goal=goal, candidates=candidates, stats=stats)
+
+    # -- mode (b): FS1 only -----------------------------------------------------
+
+    def _retrieve_fs1(
+        self, goal: Term, store: PredicateStore, residency: str
+    ) -> RetrievalResult:
+        stats = RetrievalStats(mode=SearchMode.FS1_ONLY, residency=residency)
+        stats.clauses_total = len(store)
+        fs1_result = self.fs1.search(store.index, goal)
+        stats.fs1_time_s = fs1_result.scan_time_s
+        stats.fs1_candidates = fs1_result.candidate_count
+        records, transfer = self._fetch_records(
+            store, fs1_result.candidate_addresses, residency
+        )
+        stats.disk_time_s = transfer.total_time_s
+        stats.bytes_from_disk = transfer.bytes_transferred
+        # The index itself streams from disk when the predicate is disk
+        # resident; the FS1 matches on the fly, so the scan is bounded by
+        # the slower of the index transfer and the FS1 rate.
+        if residency == Residency.DISK:
+            index_transfer = self.kb.disk.drive.read_time_s(store.index.size_bytes())
+            stats.disk_time_s += max(0.0, index_transfer - stats.fs1_time_s)
+            stats.bytes_from_disk += store.index.size_bytes()
+        candidates = [
+            self._decode_record(store, record) for record in records
+        ]
+        stats.final_candidates = len(candidates)
+        return RetrievalResult(goal=goal, candidates=candidates, stats=stats)
+
+    # -- mode (c): FS2 only -------------------------------------------------------
+
+    def _retrieve_fs2(
+        self, goal: Term, store: PredicateStore, residency: str
+    ) -> RetrievalResult:
+        stats = RetrievalStats(mode=SearchMode.FS2_ONLY, residency=residency)
+        stats.clauses_total = len(store)
+        records = [store.clause_file.record(i).to_bytes() for i in range(len(store))]
+        if residency == Residency.DISK:
+            _, transfer = self._read_clause_extent(store)
+            stats.disk_time_s = transfer.total_time_s
+            stats.bytes_from_disk = transfer.bytes_transferred
+        candidates = self._stream_through_fs2(goal, store, records, stats)
+        stats.final_candidates = len(candidates)
+        return RetrievalResult(goal=goal, candidates=candidates, stats=stats)
+
+    # -- mode (d): FS1 + FS2 -------------------------------------------------------
+
+    def _retrieve_both(
+        self, goal: Term, store: PredicateStore, residency: str
+    ) -> RetrievalResult:
+        stats = RetrievalStats(mode=SearchMode.BOTH, residency=residency)
+        stats.clauses_total = len(store)
+        fs1_result = self.fs1.search(store.index, goal)
+        stats.fs1_time_s = fs1_result.scan_time_s
+        stats.fs1_candidates = fs1_result.candidate_count
+        records, transfer = self._fetch_records(
+            store, fs1_result.candidate_addresses, residency
+        )
+        stats.disk_time_s = transfer.total_time_s
+        stats.bytes_from_disk = transfer.bytes_transferred
+        if residency == Residency.DISK:
+            index_transfer = self.kb.disk.drive.read_time_s(store.index.size_bytes())
+            stats.disk_time_s += max(0.0, index_transfer - stats.fs1_time_s)
+            stats.bytes_from_disk += store.index.size_bytes()
+        candidates = self._stream_through_fs2(goal, store, list(records), stats)
+        stats.final_candidates = len(candidates)
+        return RetrievalResult(goal=goal, candidates=candidates, stats=stats)
+
+    # -- shared plumbing -------------------------------------------------------------
+
+    def _stream_through_fs2(
+        self,
+        goal: Term,
+        store: PredicateStore,
+        records: list[bytes],
+        stats: RetrievalStats,
+    ) -> list[Clause]:
+        """Run records through FS2 in track-sized search calls."""
+        self.fs2.set_query(goal)
+        track_bytes = self.kb.disk.drive.geometry.track_bytes
+        candidates: list[Clause] = []
+        call: list[bytes] = []
+        call_bytes = 0
+
+        def flush() -> None:
+            nonlocal call, call_bytes
+            if not call:
+                return
+            search_stats = self.fs2.search(call, indicator=store.indicator)
+            stats.fs2_time_s += search_stats.op_time_ns / 1e9
+            stats.fs2_search_calls += 1
+            for record in self.fs2.read_results():
+                candidates.append(self._decode_record(store, record))
+            call = []
+            call_bytes = 0
+            self.fs2.set_query(goal)  # re-arm the Result Memory
+
+        for record in records:
+            if call and (
+                call_bytes + len(record) > track_bytes
+                or len(call) >= MAX_SATISFIERS
+            ):
+                flush()
+            call.append(record)
+            call_bytes += len(record)
+        flush()
+        return candidates
+
+    def _read_clause_extent(
+        self, store: PredicateStore
+    ) -> tuple[bytes, TransferStats]:
+        self._ensure_on_disk(store)
+        return self.kb.disk.read_extent(store.extent_name())
+
+    def _fetch_records(
+        self,
+        store: PredicateStore,
+        addresses: tuple[int, ...],
+        residency: str,
+    ) -> tuple[list[bytes], TransferStats]:
+        """Fetch candidate records by address (selective disk reads)."""
+        all_addresses = store.clause_file.record_addresses()
+        lengths = {
+            address: len(store.clause_file.record(i).to_bytes())
+            for i, address in enumerate(all_addresses)
+        }
+        if residency == Residency.DISK:
+            self._ensure_on_disk(store)
+            offsets = [(a, lengths[a]) for a in addresses]
+            record_iter, transfer = self.kb.disk.stream_records(
+                store.extent_name(), offsets
+            )
+            return list(record_iter), transfer
+        image = store.clause_file.to_bytes()
+        records = [image[a : a + lengths[a]] for a in addresses]
+        return records, TransferStats()
+
+    def _ensure_on_disk(self, store: PredicateStore) -> None:
+        if store.extent_name() not in self.kb.disk:
+            self.kb.disk.write_extent(store.extent_name(), store.clause_file.to_bytes())
+        if store.index_extent_name() not in self.kb.disk:
+            self.kb.disk.write_extent(
+                store.index_extent_name(), store.index.to_bytes()
+            )
+
+    def _decode_record(self, store: PredicateStore, record: bytes) -> Clause:
+        compiled, _ = CompiledClause.from_bytes(record, store.indicator)
+        return decode_compiled(compiled, self.kb.symbols)
+
+
+def _canonical_goal_key(goal: Term) -> str:
+    """A cache key with variables renamed positionally.
+
+    Two retrievals of the same goal shape (e.g. ``p(_G1, a)`` and
+    ``p(_G7, a)``) are the same retrieval: the candidate set depends only
+    on the goal's constants and variable-sharing pattern.
+    """
+    from ..terms import Struct as _Struct
+    from ..terms import Var as _Var
+    from ..terms import term_to_string as _to_string
+
+    mapping: dict[str, str] = {}
+
+    def rename(term: Term) -> Term:
+        if isinstance(term, _Var):
+            if term.is_anonymous():
+                return term
+            if term.name not in mapping:
+                mapping[term.name] = f"_C{len(mapping)}"
+            return _Var(mapping[term.name])
+        if isinstance(term, _Struct):
+            return _Struct(term.functor, tuple(rename(a) for a in term.args))
+        return term
+
+    return _to_string(rename(goal))

@@ -1,0 +1,16 @@
+"""The simulated disk subsystem: drives, geometry, streaming DMA."""
+
+from .dma import DiskFullError, DiskSim, Extent, TransferStats
+from .drive import FUJITSU_M2351A, MICROPOLIS_1325, DriveModel
+from .geometry import DiskGeometry
+
+__all__ = [
+    "DiskFullError",
+    "DiskGeometry",
+    "DiskSim",
+    "DriveModel",
+    "Extent",
+    "FUJITSU_M2351A",
+    "MICROPOLIS_1325",
+    "TransferStats",
+]

@@ -1,0 +1,150 @@
+"""The simulated disk: named extents, streaming reads, DMA accounting.
+
+Clause files and secondary index files live as *extents* — contiguous byte
+ranges on the simulated drive.  A streaming read models the paper's setup:
+"the DMA begin and end addresses of the disk transfer command block ...
+is specified to be the FS2 address space", i.e. the disk controller feeds
+the filter directly, so the filter sees records at disk transfer rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from .drive import DriveModel, FUJITSU_M2351A
+
+__all__ = ["DiskSim", "Extent", "TransferStats", "DiskFullError"]
+
+
+class DiskFullError(RuntimeError):
+    """No space left for a new extent."""
+
+
+@dataclass(frozen=True)
+class Extent:
+    """A contiguous allocation on the drive."""
+
+    name: str
+    start: int
+    length: int
+
+    @property
+    def end(self) -> int:
+        return self.start + self.length
+
+
+@dataclass
+class TransferStats:
+    """Timing breakdown of one streaming read."""
+
+    bytes_transferred: int = 0
+    seeks: int = 0
+    seek_time_s: float = 0.0
+    transfer_time_s: float = 0.0
+
+    @property
+    def total_time_s(self) -> float:
+        return self.seek_time_s + self.transfer_time_s
+
+
+class DiskSim:
+    """A drive holding named extents with modelled access timing."""
+
+    def __init__(self, drive: DriveModel = FUJITSU_M2351A):
+        self.drive = drive
+        self._extents: dict[str, Extent] = {}
+        self._data: dict[str, bytes] = {}
+        self._next_free = 0
+
+    # -- allocation ---------------------------------------------------------
+
+    def write_extent(
+        self, name: str, data: bytes, align_track: bool = False
+    ) -> Extent:
+        """Store (or replace) a named extent.
+
+        With ``align_track`` a *new* allocation starts on a track boundary,
+        so per-track FS2 search calls line up with physical tracks (the
+        Result Memory is sized to one track, paper section 3.2).
+        """
+        existing = self._extents.get(name)
+        if existing is not None and len(data) <= existing.length:
+            self._data[name] = data
+            extent = Extent(name, existing.start, len(data))
+            self._extents[name] = extent
+            return extent
+        start = self._next_free
+        if align_track:
+            track_bytes = self.drive.geometry.track_bytes
+            remainder = start % track_bytes
+            if remainder:
+                start += track_bytes - remainder
+        if start + len(data) > self.drive.geometry.capacity_bytes:
+            raise DiskFullError(
+                f"no room for {len(data)} bytes of {name!r} on {self.drive.name}"
+            )
+        extent = Extent(name, start, len(data))
+        self._next_free = start + len(data)
+        self._extents[name] = extent
+        self._data[name] = data
+        return extent
+
+    def extent(self, name: str) -> Extent:
+        try:
+            return self._extents[name]
+        except KeyError:
+            raise KeyError(f"no extent named {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._extents
+
+    def used_bytes(self) -> int:
+        return self._next_free
+
+    # -- reads ---------------------------------------------------------------
+
+    def read_extent(self, name: str) -> tuple[bytes, TransferStats]:
+        """One contiguous read of a whole extent."""
+        data = self._data[self.extent(name).name]
+        stats = TransferStats(
+            bytes_transferred=len(data),
+            seeks=1,
+            seek_time_s=self.drive.access_time_s(),
+            transfer_time_s=self.drive.transfer_time_s(len(data)),
+        )
+        return data, stats
+
+    def stream_records(
+        self, name: str, offsets: Iterable[tuple[int, int]] | None = None
+    ) -> tuple[Iterator[bytes], TransferStats]:
+        """Stream records of an extent, as the DMA would feed CLARE.
+
+        ``offsets`` is an iterable of (start, length) pairs *within* the
+        extent; None streams the whole extent as one record.  Selective
+        reads (FS1 candidate fetches) pay one positioning cost per
+        non-contiguous jump; a full scan pays a single seek.
+        """
+        data = self._data[self.extent(name).name]
+        stats = TransferStats()
+        if offsets is None:
+            pairs: list[tuple[int, int]] = [(0, len(data))]
+        else:
+            pairs = list(offsets)
+        records: list[bytes] = []
+        previous_end: int | None = None
+        for start, length in pairs:
+            if start != previous_end:
+                stats.seeks += 1
+                stats.seek_time_s += self.drive.access_time_s()
+            records.append(data[start : start + length])
+            stats.bytes_transferred += length
+            stats.transfer_time_s += self.drive.transfer_time_s(length)
+            previous_end = start + length
+        return iter(records), stats
+
+    def track_of(self, name: str, offset_in_extent: int = 0) -> tuple[int, int]:
+        """(cylinder, track) holding a byte of the extent."""
+        extent = self.extent(name)
+        cylinder, track, _ = self.drive.geometry.locate(extent.start + offset_in_extent)
+        return cylinder, track

@@ -1,0 +1,85 @@
+"""Drive parameter sets and the transfer-timing model.
+
+The paper's target platform mounts either "a SCSI based disk system, e.g.
+Micropolis 1325, or a SMD based disk system, e.g. Fujitsu M2351A", the
+latter peaking at circa 2 MB/s.  Parameter values below follow the
+published data sheets of those mid-1980s drives (rounded; the reproduction
+only relies on the *orders* — CLARE must outrun the faster one).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .geometry import DiskGeometry
+
+__all__ = ["DriveModel", "MICROPOLIS_1325", "FUJITSU_M2351A"]
+
+
+@dataclass(frozen=True)
+class DriveModel:
+    """One disk drive: geometry plus timing parameters."""
+
+    name: str
+    geometry: DiskGeometry
+    transfer_rate_bytes_per_sec: float
+    average_seek_s: float
+    rpm: float
+
+    def __post_init__(self) -> None:
+        if self.transfer_rate_bytes_per_sec <= 0:
+            raise ValueError("transfer rate must be positive")
+        if self.rpm <= 0:
+            raise ValueError("rpm must be positive")
+
+    @property
+    def rotation_s(self) -> float:
+        return 60.0 / self.rpm
+
+    @property
+    def average_rotational_latency_s(self) -> float:
+        return self.rotation_s / 2
+
+    def access_time_s(self, with_seek: bool = True) -> float:
+        """Positioning cost before a transfer starts."""
+        latency = self.average_rotational_latency_s
+        if with_seek:
+            latency += self.average_seek_s
+        return latency
+
+    def transfer_time_s(self, nbytes: int) -> float:
+        return nbytes / self.transfer_rate_bytes_per_sec
+
+    def read_time_s(self, nbytes: int, with_seek: bool = True) -> float:
+        """One contiguous read: position once, then stream."""
+        return self.access_time_s(with_seek) + self.transfer_time_s(nbytes)
+
+
+#: SCSI option: Micropolis 1325 (8" era 69 MB Winchester, ~1 MB/s to host).
+MICROPOLIS_1325 = DriveModel(
+    name="Micropolis 1325 (SCSI)",
+    geometry=DiskGeometry(
+        bytes_per_sector=512,
+        sectors_per_track=17,
+        tracks_per_cylinder=8,
+        cylinders=1024,
+    ),
+    transfer_rate_bytes_per_sec=1_000_000,
+    average_seek_s=0.028,
+    rpm=3600,
+)
+
+#: SMD option: Fujitsu M2351A "Eagle" (474 MB, ~2 MB/s peak — the fast
+#: case of the paper's section 4 argument).
+FUJITSU_M2351A = DriveModel(
+    name="Fujitsu M2351A (SMD)",
+    geometry=DiskGeometry(
+        bytes_per_sector=512,
+        sectors_per_track=40,
+        tracks_per_cylinder=20,
+        cylinders=842,
+    ),
+    transfer_rate_bytes_per_sec=2_000_000,
+    average_seek_s=0.018,
+    rpm=3961,
+)

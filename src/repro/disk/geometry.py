@@ -1,0 +1,56 @@
+"""Disk geometry: tracks, sectors, cylinders.
+
+The Result Memory is sized to "contain all clause satisfiers of one disk
+track — the worst case of a single FS2 search call", so track capacity is
+a first-class quantity here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DiskGeometry"]
+
+
+@dataclass(frozen=True)
+class DiskGeometry:
+    """Physical layout of a drive."""
+
+    bytes_per_sector: int
+    sectors_per_track: int
+    tracks_per_cylinder: int  # == number of heads
+    cylinders: int
+
+    def __post_init__(self) -> None:
+        for name in (
+            "bytes_per_sector",
+            "sectors_per_track",
+            "tracks_per_cylinder",
+            "cylinders",
+        ):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+
+    @property
+    def track_bytes(self) -> int:
+        return self.bytes_per_sector * self.sectors_per_track
+
+    @property
+    def cylinder_bytes(self) -> int:
+        return self.track_bytes * self.tracks_per_cylinder
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.cylinder_bytes * self.cylinders
+
+    @property
+    def total_tracks(self) -> int:
+        return self.tracks_per_cylinder * self.cylinders
+
+    def locate(self, byte_offset: int) -> tuple[int, int, int]:
+        """(cylinder, track, byte-in-track) of a linear byte address."""
+        if not (0 <= byte_offset < self.capacity_bytes):
+            raise ValueError(f"offset {byte_offset} beyond disk capacity")
+        cylinder, rest = divmod(byte_offset, self.cylinder_bytes)
+        track, within = divmod(rest, self.track_bytes)
+        return cylinder, track, within

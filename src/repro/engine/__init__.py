@@ -1,0 +1,13 @@
+"""The PDBM Prolog interpreter and integrated machine."""
+
+from .interp import ExistenceError, PrologError, Solver, term_order_key
+from .machine import PrologMachine, QueryStats
+
+__all__ = [
+    "ExistenceError",
+    "PrologError",
+    "PrologMachine",
+    "QueryStats",
+    "Solver",
+    "term_order_key",
+]

@@ -1,0 +1,862 @@
+"""SLD resolution with backtracking — the PDBM Prolog interpreter core.
+
+A generator-based depth-first solver over the knowledge base, with the
+classic control constructs (conjunction, disjunction, if-then-else, cut,
+negation as failure) and a working set of built-in predicates.  Clause
+lookup goes through a pluggable *retriever* so the integrated machine can
+route disk-resident predicates through the CRS/CLARE pipeline while unit
+tests drive the solver directly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from ..terms import (
+    NIL,
+    Atom,
+    Clause,
+    Float,
+    Int,
+    Struct,
+    Term,
+    Var,
+    functor_indicator,
+    is_ground,
+    make_list,
+    rename_apart,
+    term_to_string,
+)
+from ..unify import Bindings, unify
+
+__all__ = ["PrologError", "ExistenceError", "Solver", "term_order_key"]
+
+Retriever = Callable[[Term], list[Clause]]
+
+
+class PrologError(RuntimeError):
+    """A runtime error raised by evaluation (type errors, bad goals...)."""
+
+
+class ExistenceError(PrologError):
+    """Call to a predicate with no clauses and no builtin."""
+
+
+class _CutSignal:
+    """Per-call cut barrier: '!' sets it; the clause loop honours it."""
+
+    __slots__ = ("cut",)
+
+    def __init__(self) -> None:
+        self.cut = False
+
+
+class Solver:
+    """Resolution engine over a clause retriever."""
+
+    def __init__(
+        self,
+        retriever: Retriever,
+        assertz: Callable[[Clause], None] | None = None,
+        asserta: Callable[[Clause], None] | None = None,
+        retract: Callable[[Clause], bool] | None = None,
+        max_depth: int = 100_000,
+        output=None,
+    ):
+        import sys
+
+        self._retrieve = retriever
+        self._assertz = assertz
+        self._asserta = asserta
+        self._retract = retract
+        self.max_depth = max_depth
+        #: stream for write/1, nl/0 etc.; swap for StringIO to capture.
+        self.output = output if output is not None else sys.stdout
+
+    # -- public API --------------------------------------------------------
+
+    def solve(self, goal: Term, bindings: Bindings | None = None) -> Iterator[Bindings]:
+        """All solutions of ``goal``, each yielded as the live bindings.
+
+        The same :class:`Bindings` object is yielded each time (with
+        different contents); callers wanting snapshots must resolve or
+        copy before advancing.
+        """
+        if bindings is None:
+            bindings = Bindings()
+        signal = _CutSignal()
+        yield from self._solve_goal(goal, bindings, 0, signal)
+
+    # -- control ---------------------------------------------------------------
+
+    def _solve_goal(
+        self, goal: Term, bindings: Bindings, depth: int, signal: _CutSignal
+    ) -> Iterator[Bindings]:
+        if depth > self.max_depth:
+            raise PrologError(f"depth limit {self.max_depth} exceeded")
+        goal = bindings.walk(goal)
+        if isinstance(goal, Var):
+            raise PrologError("unbound goal (instantiation error)")
+        if not goal.is_callable():
+            raise PrologError(f"goal is not callable: {term_to_string(goal)}")
+        indicator = functor_indicator(goal)
+        control = _CONTROL.get(indicator)
+        if control is not None:
+            yield from control(self, goal, bindings, depth, signal)
+            return
+        builtin = _BUILTINS.get(indicator)
+        if builtin is not None:
+            yield from builtin(self, goal, bindings, depth)
+            return
+        yield from self._call_user_predicate(goal, bindings, depth)
+
+    def _call_user_predicate(
+        self, goal: Term, bindings: Bindings, depth: int
+    ) -> Iterator[Bindings]:
+        clauses = self._retrieve(bindings.resolve(goal))
+        local_signal = _CutSignal()
+        for clause in clauses:
+            renamed = rename_apart(clause.to_term())
+            head, body = _split_clause(renamed)
+            mark = bindings.mark()
+            if unify(goal, head, bindings) is not None:
+                yield from self._solve_conjunction(
+                    body, 0, bindings, depth + 1, local_signal
+                )
+            bindings.undo_to(mark)
+            if local_signal.cut:
+                return
+
+    def _solve_conjunction(
+        self,
+        goals: tuple[Term, ...],
+        index: int,
+        bindings: Bindings,
+        depth: int,
+        signal: _CutSignal,
+    ) -> Iterator[Bindings]:
+        if index >= len(goals):
+            yield bindings
+            return
+        solutions = self._solve_goal(goals[index], bindings, depth, signal)
+        for _ in solutions:
+            yield from self._solve_conjunction(
+                goals, index + 1, bindings, depth, signal
+            )
+            if signal.cut:
+                solutions.close()
+                return
+
+
+def _split_clause(term: Term) -> tuple[Term, tuple[Term, ...]]:
+    from ..terms import body_goals
+
+    if isinstance(term, Struct) and term.indicator == (":-", 2):
+        return term.args[0], body_goals(term.args[1])
+    return term, ()
+
+
+# ---------------------------------------------------------------------------
+# Control constructs (receive the caller's cut signal).
+# ---------------------------------------------------------------------------
+
+
+def _ctl_true(solver, goal, bindings, depth, signal):
+    yield bindings
+
+
+def _ctl_fail(solver, goal, bindings, depth, signal):
+    return
+    yield  # pragma: no cover
+
+
+def _ctl_cut(solver, goal, bindings, depth, signal):
+    yield bindings
+    signal.cut = True
+
+
+def _ctl_and(solver, goal, bindings, depth, signal):
+    left, right = goal.args
+    for _ in solver._solve_goal(left, bindings, depth, signal):
+        yield from solver._solve_goal(right, bindings, depth, signal)
+        if signal.cut:
+            return
+
+
+def _ctl_or(solver, goal, bindings, depth, signal):
+    left, right = goal.args
+    left_walked = bindings.walk(left)
+    if isinstance(left_walked, Struct) and left_walked.indicator == ("->", 2):
+        condition, then_goal = left_walked.args
+        mark = bindings.mark()
+        condition_signal = _CutSignal()
+        took_then = False
+        for _ in solver._solve_goal(condition, bindings, depth, condition_signal):
+            took_then = True
+            yield from solver._solve_goal(then_goal, bindings, depth, signal)
+            break  # the condition is committed to its first solution
+        if not took_then:
+            bindings.undo_to(mark)
+            yield from solver._solve_goal(right, bindings, depth, signal)
+        return
+    mark = bindings.mark()
+    yield from solver._solve_goal(left, bindings, depth, signal)
+    if signal.cut:
+        return
+    bindings.undo_to(mark)
+    yield from solver._solve_goal(right, bindings, depth, signal)
+
+
+def _ctl_if_then(solver, goal, bindings, depth, signal):
+    condition, then_goal = goal.args
+    condition_signal = _CutSignal()
+    for _ in solver._solve_goal(condition, bindings, depth, condition_signal):
+        yield from solver._solve_goal(then_goal, bindings, depth, signal)
+        return
+
+
+def _ctl_negation(solver, goal, bindings, depth, signal):
+    (negated,) = goal.args
+    mark = bindings.mark()
+    inner_signal = _CutSignal()
+    for _ in solver._solve_goal(negated, bindings, depth, inner_signal):
+        bindings.undo_to(mark)
+        return
+    bindings.undo_to(mark)
+    yield bindings
+
+
+def _ctl_call(solver, goal, bindings, depth, signal):
+    (target,) = goal.args
+    # call/1 is transparent to solutions but opaque to cut.
+    inner_signal = _CutSignal()
+    yield from solver._solve_goal(target, bindings, depth, inner_signal)
+
+
+def _ctl_once(solver, goal, bindings, depth, signal):
+    (target,) = goal.args
+    inner_signal = _CutSignal()
+    for _ in solver._solve_goal(target, bindings, depth, inner_signal):
+        yield bindings
+        return
+
+
+def _ctl_forall(solver, goal, bindings, depth, signal):
+    condition, action = goal.args
+    mark = bindings.mark()
+    inner_signal = _CutSignal()
+    for _ in solver._solve_goal(condition, bindings, depth, inner_signal):
+        action_signal = _CutSignal()
+        satisfied = False
+        for _ in solver._solve_goal(action, bindings, depth, action_signal):
+            satisfied = True
+            break
+        if not satisfied:
+            bindings.undo_to(mark)
+            return
+    bindings.undo_to(mark)
+    yield bindings
+
+
+_CONTROL = {
+    ("true", 0): _ctl_true,
+    ("fail", 0): _ctl_fail,
+    ("false", 0): _ctl_fail,
+    ("!", 0): _ctl_cut,
+    (",", 2): _ctl_and,
+    (";", 2): _ctl_or,
+    ("->", 2): _ctl_if_then,
+    ("\\+", 1): _ctl_negation,
+    ("not", 1): _ctl_negation,
+    ("call", 1): _ctl_call,
+    ("once", 1): _ctl_once,
+    ("forall", 2): _ctl_forall,
+}
+
+
+# ---------------------------------------------------------------------------
+# Built-in predicates.
+# ---------------------------------------------------------------------------
+
+
+def _bi_unify(solver, goal, bindings, depth):
+    left, right = goal.args
+    mark = bindings.mark()
+    if unify(left, right, bindings) is not None:
+        yield bindings
+    bindings.undo_to(mark)
+
+
+def _bi_not_unify(solver, goal, bindings, depth):
+    left, right = goal.args
+    mark = bindings.mark()
+    unifies = unify(left, right, bindings) is not None
+    bindings.undo_to(mark)
+    if not unifies:
+        yield bindings
+
+
+def _bi_equal(solver, goal, bindings, depth):
+    if bindings.resolve(goal.args[0]) == bindings.resolve(goal.args[1]):
+        yield bindings
+
+
+def _bi_not_equal(solver, goal, bindings, depth):
+    if bindings.resolve(goal.args[0]) != bindings.resolve(goal.args[1]):
+        yield bindings
+
+
+def _type_test(predicate):
+    def test(solver, goal, bindings, depth):
+        if predicate(bindings.walk(goal.args[0])):
+            yield bindings
+
+    return test
+
+
+def _bi_is(solver, goal, bindings, depth):
+    target, expression = goal.args
+    value = _evaluate(expression, bindings)
+    mark = bindings.mark()
+    if unify(target, value, bindings) is not None:
+        yield bindings
+    bindings.undo_to(mark)
+
+
+def _arith_compare(op):
+    def compare(solver, goal, bindings, depth):
+        left = _numeric(_evaluate(goal.args[0], bindings))
+        right = _numeric(_evaluate(goal.args[1], bindings))
+        if op(left, right):
+            yield bindings
+
+    return compare
+
+
+def _bi_functor(solver, goal, bindings, depth):
+    term, name, arity = (bindings.walk(a) for a in goal.args)
+    mark = bindings.mark()
+    if not isinstance(term, Var):
+        if isinstance(term, Struct):
+            got_name: Term = Atom(term.functor)
+            got_arity: Term = Int(term.arity)
+        elif isinstance(term, Atom):
+            got_name, got_arity = term, Int(0)
+        else:
+            got_name, got_arity = term, Int(0)
+        if (
+            unify(name, got_name, bindings) is not None
+            and unify(arity, got_arity, bindings) is not None
+        ):
+            yield bindings
+        bindings.undo_to(mark)
+        return
+    if isinstance(arity, Int) and arity.value == 0:
+        if unify(term, name, bindings) is not None:
+            yield bindings
+        bindings.undo_to(mark)
+        return
+    if isinstance(name, Atom) and isinstance(arity, Int) and arity.value > 0:
+        from ..terms import fresh_var
+
+        built = Struct(name.name, tuple(fresh_var() for _ in range(arity.value)))
+        if unify(term, built, bindings) is not None:
+            yield bindings
+        bindings.undo_to(mark)
+        return
+    raise PrologError("functor/3: insufficiently instantiated")
+
+
+def _bi_arg(solver, goal, bindings, depth):
+    index, term, argument = (bindings.walk(a) for a in goal.args)
+    if not isinstance(index, Int) or not isinstance(term, Struct):
+        raise PrologError("arg/3: bad arguments")
+    if 1 <= index.value <= term.arity:
+        mark = bindings.mark()
+        if unify(argument, term.args[index.value - 1], bindings) is not None:
+            yield bindings
+        bindings.undo_to(mark)
+
+
+def _bi_univ(solver, goal, bindings, depth):
+    term, spec = (bindings.walk(a) for a in goal.args)
+    mark = bindings.mark()
+    if not isinstance(term, Var):
+        if isinstance(term, Struct):
+            items: list[Term] = [Atom(term.functor), *term.args]
+        else:
+            items = [term]
+        if unify(spec, make_list(items), bindings) is not None:
+            yield bindings
+        bindings.undo_to(mark)
+        return
+    from ..terms import list_parts
+
+    items, tail = list_parts(bindings.resolve(spec))
+    if tail != NIL or not items:
+        raise PrologError("=../2: needs a proper non-empty list")
+    first = items[0]
+    if len(items) == 1:
+        built: Term = first
+    elif isinstance(first, Atom):
+        built = Struct(first.name, tuple(items[1:]))
+    else:
+        raise PrologError("=../2: functor must be an atom")
+    if unify(term, built, bindings) is not None:
+        yield bindings
+    bindings.undo_to(mark)
+
+
+def _bi_findall(solver, goal, bindings, depth):
+    template, subgoal, result = goal.args
+    collected = []
+    mark = bindings.mark()
+    inner_signal = _CutSignal()
+    for _ in solver._solve_goal(subgoal, bindings, depth, inner_signal):
+        collected.append(bindings.resolve(template))
+    bindings.undo_to(mark)
+    if unify(result, make_list(collected), bindings) is not None:
+        yield bindings
+    bindings.undo_to(mark)
+
+
+def _strip_carets(template: Term, subgoal: Term, bindings: Bindings):
+    """Peel ``Var ^ Goal`` wrappers, collecting existential variables."""
+    existential: list[Var] = []
+    current = bindings.walk(subgoal)
+    while isinstance(current, Struct) and current.indicator == ("^", 2):
+        witness = bindings.resolve(current.args[0])
+        from ..terms import variables as term_variables
+
+        existential.extend(term_variables(witness))
+        current = bindings.walk(current.args[1])
+    return existential, current
+
+
+def _bi_bagof(solver, goal, bindings, depth):
+    yield from _bagof_like(solver, goal, bindings, depth, dedupe=False)
+
+
+def _bi_setof(solver, goal, bindings, depth):
+    yield from _bagof_like(solver, goal, bindings, depth, dedupe=True)
+
+
+def _bagof_like(solver, goal, bindings, depth, dedupe: bool):
+    """bagof/3 and setof/3 with free-variable grouping.
+
+    Solutions are grouped by the bindings of the *free* variables of the
+    goal (those in neither the template nor a ``^`` prefix); one answer is
+    produced per group, and — unlike findall — no answer at all when the
+    goal has no solutions.
+    """
+    from ..terms import variables as term_variables
+
+    template, subgoal, result = goal.args
+    existential, inner_goal = _strip_carets(template, subgoal, bindings)
+    template_vars = set(term_variables(bindings.resolve(template)))
+    goal_vars = term_variables(bindings.resolve(inner_goal))
+    free = [
+        v
+        for v in goal_vars
+        if v not in template_vars
+        and v not in existential
+        and not v.is_anonymous()
+    ]
+    witness = Struct("$w", tuple(free)) if free else Atom("$w")
+    groups: list[tuple[Term, list[Term]]] = []
+    mark = bindings.mark()
+    inner_signal = _CutSignal()
+    for _ in solver._solve_goal(inner_goal, bindings, depth, inner_signal):
+        key = bindings.resolve(witness)
+        value = bindings.resolve(template)
+        for existing_key, values in groups:
+            if existing_key == key:
+                values.append(value)
+                break
+        else:
+            groups.append((key, [value]))
+    bindings.undo_to(mark)
+    for key, values in groups:
+        if dedupe:
+            ordered = sorted(values, key=term_order_key)
+            deduped: list[Term] = []
+            for item in ordered:
+                if not deduped or deduped[-1] != item:
+                    deduped.append(item)
+            values = deduped
+        group_mark = bindings.mark()
+        if (
+            unify(witness, key, bindings) is not None
+            and unify(result, make_list(values), bindings) is not None
+        ):
+            yield bindings
+        bindings.undo_to(group_mark)
+
+
+def _bi_between(solver, goal, bindings, depth):
+    low, high, value = (bindings.walk(a) for a in goal.args)
+    if not isinstance(low, Int) or not isinstance(high, Int):
+        raise PrologError("between/3: bounds must be integers")
+    if isinstance(value, Int):
+        if low.value <= value.value <= high.value:
+            yield bindings
+        return
+    for candidate in range(low.value, high.value + 1):
+        mark = bindings.mark()
+        if unify(value, Int(candidate), bindings) is not None:
+            yield bindings
+        bindings.undo_to(mark)
+
+
+def _bi_length(solver, goal, bindings, depth):
+    from ..terms import list_parts
+
+    lst, length = (bindings.walk(a) for a in goal.args)
+    if not isinstance(lst, Var):
+        items, tail = list_parts(bindings.resolve(lst))
+        if tail != NIL:
+            raise PrologError("length/2: not a proper list")
+        mark = bindings.mark()
+        if unify(length, Int(len(items)), bindings) is not None:
+            yield bindings
+        bindings.undo_to(mark)
+        return
+    if isinstance(length, Int):
+        from ..terms import fresh_var
+
+        built = make_list([fresh_var() for _ in range(length.value)])
+        mark = bindings.mark()
+        if unify(lst, built, bindings) is not None:
+            yield bindings
+        bindings.undo_to(mark)
+        return
+    raise PrologError("length/2: insufficiently instantiated")
+
+
+def _bi_clause(solver, goal, bindings, depth):
+    head, body = goal.args
+    head_walked = bindings.walk(head)
+    if isinstance(head_walked, Var):
+        raise PrologError("clause/2: head must be at least partly known")
+    if not head_walked.is_callable():
+        raise PrologError("clause/2: head must be callable")
+    for stored in solver._retrieve(bindings.resolve(head_walked)):
+        renamed = rename_apart(stored.to_term())
+        stored_head, stored_goals = _split_clause(renamed)
+        stored_body: Term
+        if not stored_goals:
+            stored_body = Atom("true")
+        else:
+            stored_body = stored_goals[-1]
+            for goal_term in reversed(stored_goals[:-1]):
+                stored_body = Struct(",", (goal_term, stored_body))
+        mark = bindings.mark()
+        if (
+            unify(head, stored_head, bindings) is not None
+            and unify(body, stored_body, bindings) is not None
+        ):
+            yield bindings
+        bindings.undo_to(mark)
+
+
+def _bi_assertz(solver, goal, bindings, depth):
+    if solver._assertz is None:
+        raise PrologError("assertz/1: no database attached")
+    solver._assertz(_clause_argument(goal, bindings))
+    yield bindings
+
+
+def _bi_asserta(solver, goal, bindings, depth):
+    if solver._asserta is None:
+        raise PrologError("asserta/1: no database attached")
+    solver._asserta(_clause_argument(goal, bindings))
+    yield bindings
+
+
+def _bi_retract(solver, goal, bindings, depth):
+    if solver._retract is None:
+        raise PrologError("retract/1: no database attached")
+    removed = solver._retract(_clause_argument(goal, bindings))
+    if isinstance(removed, bool):  # legacy equality-only retractors
+        if removed:
+            yield bindings
+        return
+    if removed is None:
+        return
+    # Bind the template against the clause actually removed.
+    mark = bindings.mark()
+    if unify(goal.args[0], rename_apart(removed.to_term()), bindings) is not None:
+        yield bindings
+    bindings.undo_to(mark)
+
+
+def _clause_argument(goal: Term, bindings: Bindings) -> Clause:
+    from ..terms import clause_from_term
+
+    resolved = bindings.resolve(goal.args[0])
+    return clause_from_term(resolved)
+
+
+def _order_compare(op):
+    def compare(solver, goal, bindings, depth):
+        left = term_order_key(bindings.resolve(goal.args[0]))
+        right = term_order_key(bindings.resolve(goal.args[1]))
+        if op(left, right):
+            yield bindings
+
+    return compare
+
+
+def _proper_list_items(term: Term, bindings: Bindings, context: str) -> list[Term]:
+    from ..terms import list_parts
+
+    items, tail = list_parts(bindings.resolve(term))
+    if tail != NIL:
+        raise PrologError(f"{context}: not a proper list")
+    return items
+
+
+def _bi_msort(solver, goal, bindings, depth):
+    items = _proper_list_items(goal.args[0], bindings, "msort/2")
+    ordered = sorted(items, key=term_order_key)
+    mark = bindings.mark()
+    if unify(goal.args[1], make_list(ordered), bindings) is not None:
+        yield bindings
+    bindings.undo_to(mark)
+
+
+def _bi_sort(solver, goal, bindings, depth):
+    items = _proper_list_items(goal.args[0], bindings, "sort/2")
+    ordered = sorted(items, key=term_order_key)
+    deduped: list[Term] = []
+    for item in ordered:
+        if not deduped or deduped[-1] != item:
+            deduped.append(item)
+    mark = bindings.mark()
+    if unify(goal.args[1], make_list(deduped), bindings) is not None:
+        yield bindings
+    bindings.undo_to(mark)
+
+
+def _bi_write(solver, goal, bindings, depth):
+    solver.output.write(term_to_string(bindings.resolve(goal.args[0])))
+    yield bindings
+
+
+def _bi_writeln(solver, goal, bindings, depth):
+    solver.output.write(term_to_string(bindings.resolve(goal.args[0])) + "\n")
+    yield bindings
+
+
+def _bi_nl(solver, goal, bindings, depth):
+    solver.output.write("\n")
+    yield bindings
+
+
+def _bi_tab(solver, goal, bindings, depth):
+    count = bindings.walk(goal.args[0])
+    if not isinstance(count, Int) or count.value < 0:
+        raise PrologError("tab/1: needs a non-negative integer")
+    solver.output.write(" " * count.value)
+    yield bindings
+
+
+def _bi_atom_codes(solver, goal, bindings, depth):
+    atom, codes = (bindings.walk(a) for a in goal.args)
+    mark = bindings.mark()
+    if isinstance(atom, Atom):
+        built = make_list([Int(ord(c)) for c in atom.name])
+        if unify(codes, built, bindings) is not None:
+            yield bindings
+        bindings.undo_to(mark)
+        return
+    if isinstance(atom, (Int, Float)):
+        text = term_to_string(atom)
+        built = make_list([Int(ord(c)) for c in text])
+        if unify(codes, built, bindings) is not None:
+            yield bindings
+        bindings.undo_to(mark)
+        return
+    items = _proper_list_items(codes, bindings, "atom_codes/2")
+    chars = []
+    for item in items:
+        if not isinstance(item, Int):
+            raise PrologError("atom_codes/2: code list must hold integers")
+        chars.append(chr(item.value))
+    if unify(atom, Atom("".join(chars)), bindings) is not None:
+        yield bindings
+    bindings.undo_to(mark)
+
+
+def _bi_atom_length(solver, goal, bindings, depth):
+    atom = bindings.walk(goal.args[0])
+    if not isinstance(atom, Atom):
+        raise PrologError("atom_length/2: first argument must be an atom")
+    mark = bindings.mark()
+    if unify(goal.args[1], Int(len(atom.name)), bindings) is not None:
+        yield bindings
+    bindings.undo_to(mark)
+
+
+def _bi_succ(solver, goal, bindings, depth):
+    smaller, larger = (bindings.walk(a) for a in goal.args)
+    mark = bindings.mark()
+    if isinstance(smaller, Int):
+        if smaller.value < 0:
+            raise PrologError("succ/2: negative argument")
+        if unify(larger, Int(smaller.value + 1), bindings) is not None:
+            yield bindings
+        bindings.undo_to(mark)
+        return
+    if isinstance(larger, Int):
+        if larger.value > 0 and unify(smaller, Int(larger.value - 1), bindings) is not None:
+            yield bindings
+        bindings.undo_to(mark)
+        return
+    raise PrologError("succ/2: insufficiently instantiated")
+
+
+def _bi_compare(solver, goal, bindings, depth):
+    order, left, right = goal.args
+    left_key = term_order_key(bindings.resolve(left))
+    right_key = term_order_key(bindings.resolve(right))
+    if left_key < right_key:
+        verdict = Atom("<")
+    elif left_key > right_key:
+        verdict = Atom(">")
+    else:
+        verdict = Atom("=")
+    mark = bindings.mark()
+    if unify(order, verdict, bindings) is not None:
+        yield bindings
+    bindings.undo_to(mark)
+
+
+_BUILTINS = {
+    ("=", 2): _bi_unify,
+    ("\\=", 2): _bi_not_unify,
+    ("==", 2): _bi_equal,
+    ("\\==", 2): _bi_not_equal,
+    ("var", 1): _type_test(lambda t: isinstance(t, Var)),
+    ("nonvar", 1): _type_test(lambda t: not isinstance(t, Var)),
+    ("atom", 1): _type_test(lambda t: isinstance(t, Atom)),
+    ("number", 1): _type_test(lambda t: isinstance(t, (Int, Float))),
+    ("integer", 1): _type_test(lambda t: isinstance(t, Int)),
+    ("float", 1): _type_test(lambda t: isinstance(t, Float)),
+    ("atomic", 1): _type_test(lambda t: isinstance(t, (Atom, Int, Float))),
+    ("compound", 1): _type_test(lambda t: isinstance(t, Struct)),
+    ("ground", 1): _type_test(is_ground),
+    ("is", 2): _bi_is,
+    ("=:=", 2): _arith_compare(lambda a, b: a == b),
+    ("=\\=", 2): _arith_compare(lambda a, b: a != b),
+    ("<", 2): _arith_compare(lambda a, b: a < b),
+    (">", 2): _arith_compare(lambda a, b: a > b),
+    ("=<", 2): _arith_compare(lambda a, b: a <= b),
+    (">=", 2): _arith_compare(lambda a, b: a >= b),
+    ("@<", 2): _order_compare(lambda a, b: a < b),
+    ("@>", 2): _order_compare(lambda a, b: a > b),
+    ("@=<", 2): _order_compare(lambda a, b: a <= b),
+    ("@>=", 2): _order_compare(lambda a, b: a >= b),
+    ("functor", 3): _bi_functor,
+    ("arg", 3): _bi_arg,
+    ("=..", 2): _bi_univ,
+    ("findall", 3): _bi_findall,
+    ("bagof", 3): _bi_bagof,
+    ("setof", 3): _bi_setof,
+    ("between", 3): _bi_between,
+    ("length", 2): _bi_length,
+    ("assert", 1): _bi_assertz,
+    ("assertz", 1): _bi_assertz,
+    ("asserta", 1): _bi_asserta,
+    ("retract", 1): _bi_retract,
+    ("msort", 2): _bi_msort,
+    ("sort", 2): _bi_sort,
+    ("compare", 3): _bi_compare,
+    ("write", 1): _bi_write,
+    ("print", 1): _bi_write,
+    ("writeln", 1): _bi_writeln,
+    ("nl", 0): _bi_nl,
+    ("tab", 1): _bi_tab,
+    ("atom_codes", 2): _bi_atom_codes,
+    ("atom_length", 2): _bi_atom_length,
+    ("succ", 2): _bi_succ,
+    ("clause", 2): _bi_clause,
+}
+
+
+# ---------------------------------------------------------------------------
+# Arithmetic evaluation and the standard order of terms.
+# ---------------------------------------------------------------------------
+
+_ARITH_BINARY = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a / b if isinstance(a, float) or isinstance(b, float) or a % b else a // b,
+    "//": lambda a, b: int(a // b),
+    "mod": lambda a, b: a % b,
+    "min": min,
+    "max": max,
+    "**": lambda a, b: a**b,
+    "^": lambda a, b: a**b,
+}
+
+_ARITH_UNARY = {
+    "-": lambda a: -a,
+    "+": lambda a: a,
+    "abs": abs,
+    "sign": lambda a: (a > 0) - (a < 0),
+}
+
+
+def _evaluate(expression: Term, bindings: Bindings) -> Term:
+    """Evaluate an arithmetic expression to an Int or Float term."""
+    expression = bindings.walk(expression)
+    if isinstance(expression, (Int, Float)):
+        return expression
+    if isinstance(expression, Var):
+        raise PrologError("arithmetic: unbound variable")
+    if isinstance(expression, Struct):
+        if expression.arity == 2 and expression.functor in _ARITH_BINARY:
+            left = _numeric(_evaluate(expression.args[0], bindings))
+            right = _numeric(_evaluate(expression.args[1], bindings))
+            try:
+                result = _ARITH_BINARY[expression.functor](left, right)
+            except ZeroDivisionError:
+                raise PrologError("arithmetic: division by zero") from None
+            return _to_number(result)
+        if expression.arity == 1 and expression.functor in _ARITH_UNARY:
+            value = _numeric(_evaluate(expression.args[0], bindings))
+            return _to_number(_ARITH_UNARY[expression.functor](value))
+    raise PrologError(
+        f"arithmetic: cannot evaluate {term_to_string(expression)}"
+    )
+
+
+def _numeric(term: Term) -> int | float:
+    if isinstance(term, Int):
+        return term.value
+    if isinstance(term, Float):
+        return term.value
+    raise PrologError(f"arithmetic: {term_to_string(term)} is not a number")
+
+
+def _to_number(value: int | float) -> Term:
+    if isinstance(value, bool):
+        raise PrologError("arithmetic produced a boolean")
+    if isinstance(value, int):
+        return Int(value)
+    return Float(value)
+
+
+def term_order_key(term: Term):
+    """A sort key realising the standard order: Var < Number < Atom < Compound."""
+    if isinstance(term, Var):
+        return (0, term.name)
+    if isinstance(term, (Int, Float)):
+        value = term.value
+        return (1, value, 0 if isinstance(term, Float) else 1)
+    if isinstance(term, Atom):
+        return (2, term.name)
+    assert isinstance(term, Struct)
+    return (3, term.arity, term.functor, tuple(term_order_key(a) for a in term.args))

@@ -1,0 +1,68 @@
+"""A small Prolog-source standard library (list utilities).
+
+Loaded on request into a machine's knowledge base under the ``library``
+module (``PrologMachine(kb, load_library=True)``).  Everything here is
+plain Prolog resolved through the normal retrieval path, so library
+predicates exercise the same CLARE pipeline as user clauses.
+"""
+
+from __future__ import annotations
+
+LIBRARY_MODULE = "library"
+
+LIBRARY_SOURCE = """
+% -- membership and concatenation ------------------------------------
+member(X, [X | _]).
+member(X, [_ | T]) :- member(X, T).
+
+memberchk(X, L) :- member(X, L), !.
+
+append([], L, L).
+append([H | T], L, [H | R]) :- append(T, L, R).
+
+% -- reversal and positions ------------------------------------------
+reverse(L, R) :- reverse_acc(L, [], R).
+reverse_acc([], Acc, Acc).
+reverse_acc([H | T], Acc, R) :- reverse_acc(T, [H | Acc], R).
+
+last([X], X).
+last([_ | T], X) :- last(T, X).
+
+nth0(N, L, X) :- nth_from(0, N, L, X).
+nth1(N, L, X) :- nth_from(1, N, L, X).
+nth_from(I, I, [X | _], X).
+nth_from(I, N, [_ | T], X) :- J is I + 1, nth_from(J, N, T, X).
+
+% -- arithmetic over lists --------------------------------------------
+sum_list([], 0).
+sum_list([H | T], S) :- sum_list(T, R), S is H + R.
+
+max_list([X], X).
+max_list([H | T], M) :- max_list(T, TM), M is max(H, TM).
+
+min_list([X], X).
+min_list([H | T], M) :- min_list(T, TM), M is min(H, TM).
+
+numlist(L, H, []) :- L > H, !.
+numlist(L, H, [L | T]) :- L =< H, L1 is L + 1, numlist(L1, H, T).
+
+% -- selection and rearrangement --------------------------------------
+select(X, [X | T], T).
+select(X, [H | T], [H | R]) :- select(X, T, R).
+
+permutation([], []).
+permutation(L, [H | T]) :- select(H, L, R), permutation(R, T).
+
+delete([], _, []).
+delete([H | T], X, R) :- H == X, !, delete(T, X, R).
+delete([H | T], X, [H | R]) :- delete(T, X, R).
+
+exclude_greater([], _, []).
+exclude_greater([H | T], Limit, R) :-
+    H > Limit, !, exclude_greater(T, Limit, R).
+exclude_greater([H | T], Limit, [H | R]) :- exclude_greater(T, Limit, R).
+
+% -- the classic benchmark workhorse ----------------------------------
+nrev([], []).
+nrev([H | T], R) :- nrev(T, RT), append(RT, [H], R).
+"""

@@ -1,0 +1,517 @@
+"""A ZIP-style compiled-clause abstract machine.
+
+The PDBM software component "is based on a C version of Prolog-X ...
+a Prolog compiler originally developed by Clocksin" — clauses are
+*compiled*, not interpreted (paper section 2).  This module provides that
+execution model: clauses compile once into instruction sequences, and an
+explicit-stack abstract machine (goal stack, choice-point stack, trail)
+runs them — Clocksin's ZIP machine in miniature.
+
+Instruction set::
+
+    GET     slot-pattern, argument-index   head-argument unification
+    NECK                                   head done, body begins
+    CALL    goal-pattern                   push a user-predicate goal
+    BUILTIN goal-pattern                   run an inline (semi-det) builtin
+    CUT                                    discard choice points of this call
+    PROCEED                                clause solved
+
+Patterns are clause terms with variables replaced by frame-slot
+references; each activation allocates fresh variables for its slots, so
+standardisation-apart is a frame allocation, not a term copy.
+
+The machine supports the deterministic builtin core (unification, type
+tests, arithmetic, comparison) plus cut.  Clauses using control
+constructs it does not compile (``;``, ``->``, ``\\+``, ``findall`` ...)
+raise :class:`CompileError`; the integrated machine falls back to the
+tree-walking interpreter for those — and a property test holds the two
+engines to identical answer sets on the common fragment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from ..terms import (
+    Atom,
+    Clause,
+    Float,
+    Int,
+    Struct,
+    Term,
+    Var,
+    fresh_var,
+    functor_indicator,
+    variables,
+)
+from ..unify import Bindings, unify
+from .interp import PrologError, term_order_key
+
+__all__ = ["CompileError", "CompiledProcedureClause", "ZipMachine", "compile_clause_code"]
+
+
+class CompileError(PrologError):
+    """The clause uses constructs the compiled engine does not support."""
+
+
+# -- instructions -------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SlotRef:
+    """A clause-local variable: resolved to a fresh Var per activation."""
+
+    slot: int
+
+    def __repr__(self) -> str:
+        return f"Y{self.slot}"
+
+
+def _pretty(pattern) -> str:
+    """Readable rendering of an instruction's slot pattern."""
+    if isinstance(pattern, (SlotRef, _PatternStruct)):
+        return repr(pattern)
+    from ..terms import term_to_string
+
+    return term_to_string(pattern)
+
+
+@dataclass(frozen=True)
+class Get:
+    pattern: object  # Term with SlotRefs
+    argument: int
+
+    def __repr__(self) -> str:
+        return f"GET A{self.argument}, {_pretty(self.pattern)}"
+
+
+@dataclass(frozen=True)
+class Neck:
+    def __repr__(self) -> str:
+        return "NECK"
+
+
+@dataclass(frozen=True)
+class Call:
+    pattern: object
+
+    def __repr__(self) -> str:
+        return f"CALL {_pretty(self.pattern)}"
+
+
+@dataclass(frozen=True)
+class Builtin:
+    pattern: object
+
+    def __repr__(self) -> str:
+        return f"BUILTIN {_pretty(self.pattern)}"
+
+
+@dataclass(frozen=True)
+class Cut:
+    def __repr__(self) -> str:
+        return "CUT"
+
+
+@dataclass(frozen=True)
+class Proceed:
+    def __repr__(self) -> str:
+        return "PROCEED"
+
+
+@dataclass(frozen=True)
+class CompiledProcedureClause:
+    """One clause's code: instructions plus its frame size."""
+
+    indicator: tuple[str, int]
+    instructions: tuple
+    slots: int
+
+    def listing(self) -> list[str]:
+        return [repr(i) for i in self.instructions]
+
+
+# -- compilation ------------------------------------------------------------------
+
+#: Builtins the compiled engine executes inline (all semi-deterministic).
+_INLINE_BUILTINS = {
+    ("true", 0),
+    ("fail", 0),
+    ("false", 0),
+    ("=", 2),
+    ("\\=", 2),
+    ("==", 2),
+    ("\\==", 2),
+    ("is", 2),
+    ("<", 2),
+    (">", 2),
+    ("=<", 2),
+    (">=", 2),
+    ("=:=", 2),
+    ("=\\=", 2),
+    ("@<", 2),
+    ("@>", 2),
+    ("@=<", 2),
+    ("@>=", 2),
+    ("var", 1),
+    ("nonvar", 1),
+    ("atom", 1),
+    ("number", 1),
+    ("integer", 1),
+    ("float", 1),
+    ("atomic", 1),
+    ("compound", 1),
+}
+
+_UNSUPPORTED = {
+    (";", 2),
+    ("->", 2),
+    ("\\+", 1),
+    ("not", 1),
+    ("call", 1),
+    ("findall", 3),
+    ("bagof", 3),
+    ("setof", 3),
+    ("assert", 1),
+    ("assertz", 1),
+    ("asserta", 1),
+    ("retract", 1),
+}
+
+_COMPILE_CACHE: dict[Clause, CompiledProcedureClause] = {}
+
+
+def compile_clause_code(clause: Clause) -> CompiledProcedureClause:
+    """Compile one clause (memoised: clauses are immutable)."""
+    cached = _COMPILE_CACHE.get(clause)
+    if cached is not None:
+        return cached
+    slots: dict[Var, SlotRef] = {}
+
+    def pattern_of(term: Term):
+        if isinstance(term, Var):
+            if term.is_anonymous():
+                return SlotRef(_allocate(slots, Var(f"_anon{len(slots)}")))
+            if term not in slots:
+                slots[term] = SlotRef(len(slots))
+            return slots[term]
+        if isinstance(term, Struct):
+            return _PatternStruct(
+                term.functor, tuple(pattern_of(a) for a in term.args)
+            )
+        return term
+
+    instructions: list = []
+    head = clause.head
+    if isinstance(head, Struct):
+        for index, argument in enumerate(head.args):
+            instructions.append(Get(pattern_of(argument), index))
+    instructions.append(Neck())
+    for goal in clause.body:
+        indicator = functor_indicator(goal)
+        if indicator == ("!", 0):
+            instructions.append(Cut())
+            continue
+        if indicator in _UNSUPPORTED or indicator == (",", 2):
+            raise CompileError(
+                f"{indicator[0]}/{indicator[1]} is not compilable; "
+                "use the interpreter"
+            )
+        if indicator in _INLINE_BUILTINS:
+            instructions.append(Builtin(pattern_of(goal)))
+        else:
+            instructions.append(Call(pattern_of(goal)))
+    instructions.append(Proceed())
+    compiled = CompiledProcedureClause(
+        indicator=clause.indicator,
+        instructions=tuple(instructions),
+        slots=len(slots),
+    )
+    _COMPILE_CACHE[clause] = compiled
+    return compiled
+
+
+def _allocate(slots: dict, key: Var) -> int:
+    slots[key] = SlotRef(len(slots))
+    return slots[key].slot
+
+
+@dataclass(frozen=True)
+class _PatternStruct:
+    functor: str
+    args: tuple
+
+    def __repr__(self) -> str:
+        inner = ",".join(_pretty(a) for a in self.args)
+        return f"{self.functor}({inner})"
+
+
+def _instantiate(pattern, frame: list[Var]) -> Term:
+    """Build the runtime term of a pattern against an activation frame."""
+    if isinstance(pattern, SlotRef):
+        return frame[pattern.slot]
+    if isinstance(pattern, _PatternStruct):
+        return Struct(
+            pattern.functor, tuple(_instantiate(a, frame) for a in pattern.args)
+        )
+    return pattern
+
+
+# -- the machine -----------------------------------------------------------------
+
+
+@dataclass
+class _Goal:
+    term: Term
+    cut_barrier: int  # choice-point height at the owning call's entry
+
+
+@dataclass
+class _ChoicePoint:
+    goal_stack: list
+    goal: Term
+    clauses: list[Clause]
+    next_clause: int
+    trail_mark: int
+
+
+class ZipMachine:
+    """Explicit-stack execution of compiled clauses."""
+
+    def __init__(
+        self,
+        retriever: Callable[[Term], list[Clause]],
+        max_steps: int = 5_000_000,
+    ):
+        self._retrieve = retriever
+        self.max_steps = max_steps
+        self.calls = 0
+        self.backtracks = 0
+        self._steps = 0
+
+    def solve(self, query: Term) -> Iterator[Bindings]:
+        """All solutions; yields the live bindings per solution."""
+        bindings = Bindings()
+        goal_stack: list[_Goal] | None = [_Goal(query, 0)]
+        choice_points: list[_ChoicePoint] = []
+        while goal_stack is not None:
+            if self._execute(goal_stack, choice_points, bindings):
+                yield bindings
+            goal_stack = self._backtrack(choice_points, bindings)
+
+    # -- inner execution -------------------------------------------------------
+
+    def _execute(
+        self,
+        goal_stack: list[_Goal],
+        choice_points: list[_ChoicePoint],
+        bindings: Bindings,
+    ) -> bool:
+        """Run this branch to a solution (True) or total failure (False)."""
+        while goal_stack:
+            self._steps += 1
+            if self._steps > self.max_steps:
+                raise PrologError(
+                    f"compiled execution exceeded {self.max_steps} steps"
+                )
+            goal_entry = goal_stack.pop()
+            goal = bindings.walk(goal_entry.term)
+            if isinstance(goal, Var):
+                raise PrologError("unbound goal in compiled code")
+            indicator = functor_indicator(goal)
+            if indicator == (",", 2):
+                # Conjunction goals (e.g. a compound query): unfold inline.
+                assert isinstance(goal, Struct)
+                goal_stack.append(_Goal(goal.args[1], goal_entry.cut_barrier))
+                goal_stack.append(_Goal(goal.args[0], goal_entry.cut_barrier))
+                continue
+            if indicator == ("!", 0):
+                del choice_points[goal_entry.cut_barrier :]
+                continue
+            if indicator in _INLINE_BUILTINS:
+                if self._builtin(goal, indicator, bindings):
+                    continue
+            else:
+                # User predicate: try its clauses.
+                clauses = self._retrieve(bindings.resolve(goal))
+                self.calls += 1
+                if self._try_clauses(
+                    goal, clauses, 0, goal_stack, choice_points, bindings
+                ):
+                    continue
+            # The current goal failed: backtrack within this execution.
+            replacement = self._backtrack(choice_points, bindings)
+            if replacement is None:
+                return False
+            goal_stack[:] = replacement
+        return True
+
+    def _backtrack(
+        self, choice_points: list[_ChoicePoint], bindings: Bindings
+    ) -> list[_Goal] | None:
+        """Restore the most recent alternative; None when exhausted."""
+        while choice_points:
+            self.backtracks += 1
+            point = choice_points[-1]
+            bindings.undo_to(point.trail_mark)
+            if point.next_clause >= len(point.clauses):
+                choice_points.pop()
+                continue
+            goal_stack = [_Goal(g.term, g.cut_barrier) for g in point.goal_stack]
+            if self._try_clauses(
+                point.goal,
+                point.clauses,
+                point.next_clause,
+                goal_stack,
+                choice_points,
+                bindings,
+                existing_point=point,
+            ):
+                return goal_stack
+            choice_points.pop()
+        return None
+
+    def _try_clauses(
+        self,
+        goal: Term,
+        clauses: list[Clause],
+        start: int,
+        goal_stack: list[_Goal],
+        choice_points: list[_ChoicePoint],
+        bindings: Bindings,
+        existing_point: _ChoicePoint | None = None,
+    ) -> bool:
+        """Activate the first matching clause from ``start`` onward."""
+        continuation = [_Goal(g.term, g.cut_barrier) for g in goal_stack]
+        # A cut in the activated clause must discard this call's remaining
+        # alternatives: when retrying through an existing choice point the
+        # point itself sits at the top of the stack and is inside the
+        # barrier; a fresh point is appended at the current height.
+        barrier = len(choice_points)
+        if existing_point is not None:
+            barrier = len(choice_points) - 1
+        for position in range(start, len(clauses)):
+            clause = clauses[position]
+            code = compile_clause_code(clause)
+            trail_mark = bindings.mark()
+            frame = [fresh_var("_Z") for _ in range(code.slots)]
+            if self._activate(
+                code, goal, frame, goal_stack, bindings, barrier
+            ):
+                if position + 1 < len(clauses):
+                    if existing_point is not None:
+                        existing_point.next_clause = position + 1
+                        existing_point.trail_mark = trail_mark
+                    else:
+                        choice_points.append(
+                            _ChoicePoint(
+                                goal_stack=continuation,
+                                goal=goal,
+                                clauses=clauses,
+                                next_clause=position + 1,
+                                trail_mark=trail_mark,
+                            )
+                        )
+                elif existing_point is not None:
+                    existing_point.next_clause = len(clauses)
+                return True
+            bindings.undo_to(trail_mark)
+        return False
+
+    def _activate(
+        self,
+        code: CompiledProcedureClause,
+        goal: Term,
+        frame: list[Var],
+        goal_stack: list[_Goal],
+        bindings: Bindings,
+        cut_barrier: int,
+    ) -> bool:
+        """Run head GETs; on success push body goals."""
+        goal_args: tuple[Term, ...] = ()
+        if isinstance(goal, Struct):
+            goal_args = goal.args
+        body: list[Term] = []
+        for instruction in code.instructions:
+            if isinstance(instruction, Get):
+                head_term = _instantiate(instruction.pattern, frame)
+                if unify(goal_args[instruction.argument], head_term, bindings) is None:
+                    return False
+            elif isinstance(instruction, Neck):
+                continue
+            elif isinstance(instruction, (Call, Builtin)):
+                body.append(_instantiate(instruction.pattern, frame))
+            elif isinstance(instruction, Cut):
+                body.append(Atom("!"))
+            elif isinstance(instruction, Proceed):
+                break
+        for goal_term in reversed(body):
+            goal_stack.append(_Goal(goal_term, cut_barrier))
+        return True
+
+    # -- inline builtins -----------------------------------------------------------
+
+    def _builtin(
+        self, goal: Term, indicator: tuple[str, int], bindings: Bindings
+    ) -> bool:
+        from .interp import _evaluate, _numeric
+
+        name, _ = indicator
+        if name == "true":
+            return True
+        if name in ("fail", "false"):
+            return False
+        args = goal.args if isinstance(goal, Struct) else ()
+        if name == "=":
+            return unify(args[0], args[1], bindings) is not None
+        if name == "\\=":
+            mark = bindings.mark()
+            result = unify(args[0], args[1], bindings) is not None
+            bindings.undo_to(mark)
+            return not result
+        if name == "==":
+            return bindings.resolve(args[0]) == bindings.resolve(args[1])
+        if name == "\\==":
+            return bindings.resolve(args[0]) != bindings.resolve(args[1])
+        if name == "is":
+            value = _evaluate(args[1], bindings)
+            return unify(args[0], value, bindings) is not None
+        if name in ("<", ">", "=<", ">=", "=:=", "=\\="):
+            left = _numeric(_evaluate(args[0], bindings))
+            right = _numeric(_evaluate(args[1], bindings))
+            return {
+                "<": left < right,
+                ">": left > right,
+                "=<": left <= right,
+                ">=": left >= right,
+                "=:=": left == right,
+                "=\\=": left != right,
+            }[name]
+        if name in ("@<", "@>", "@=<", "@>="):
+            left = term_order_key(bindings.resolve(args[0]))
+            right = term_order_key(bindings.resolve(args[1]))
+            return {
+                "@<": left < right,
+                "@>": left > right,
+                "@=<": left <= right,
+                "@>=": left >= right,
+            }[name]
+        walked = bindings.walk(args[0])
+        if name == "var":
+            return isinstance(walked, Var)
+        if name == "nonvar":
+            return not isinstance(walked, Var)
+        if name == "atom":
+            return isinstance(walked, Atom)
+        if name == "number":
+            return isinstance(walked, (Int, Float))
+        if name == "integer":
+            return isinstance(walked, Int)
+        if name == "float":
+            return isinstance(walked, Float)
+        if name == "atomic":
+            return isinstance(walked, (Atom, Int, Float))
+        if name == "compound":
+            return isinstance(walked, Struct)
+        raise PrologError(f"inline builtin {name} not handled")

@@ -1,0 +1,80 @@
+"""FS2: the second stage filter — microcoded partial test unification."""
+
+from .buffer import BufferBankBusy, DoubleBuffer
+from .control import (
+    CLARE_BASE_ADDRESS,
+    CLARE_END_ADDRESS,
+    ControlRegister,
+    FilterSelect,
+    OperationalMode,
+)
+from .cursor import ItemCursor, inline_children
+from .engine import FS2ProtocolError, FS2SearchStats, SecondStageFilter
+from .microcode import (
+    WCS_WORDS,
+    WORD_BITS,
+    Condition,
+    DispatchClass,
+    ExecOp,
+    MicroInstruction,
+    MicroProgram,
+    SeqOp,
+    assemble_search_program,
+)
+from .result import MAX_SATISFIERS, RM_BYTES, SLOT_BYTES, ResultMemory, ResultMemoryFull
+from .stream import ClauseTiming, StreamingTimeline, simulate_streaming_search
+from .timing import (
+    CLOCK_HZ,
+    DEVICE_DELAYS_NS,
+    OPERATION_TIMINGS,
+    execution_time_ns,
+    table1,
+    worst_case_op,
+    worst_case_rate_bytes_per_sec,
+)
+from .tue import SideTerm, TestUnificationEngine
+from .wcs import ElementCounters, MicroProgramController, WritableControlStore
+
+__all__ = [
+    "BufferBankBusy",
+    "CLARE_BASE_ADDRESS",
+    "CLARE_END_ADDRESS",
+    "CLOCK_HZ",
+    "ClauseTiming",
+    "Condition",
+    "ControlRegister",
+    "DEVICE_DELAYS_NS",
+    "DispatchClass",
+    "DoubleBuffer",
+    "ElementCounters",
+    "ExecOp",
+    "FS2ProtocolError",
+    "FS2SearchStats",
+    "FilterSelect",
+    "ItemCursor",
+    "MAX_SATISFIERS",
+    "MicroInstruction",
+    "MicroProgram",
+    "MicroProgramController",
+    "OPERATION_TIMINGS",
+    "OperationalMode",
+    "RM_BYTES",
+    "ResultMemory",
+    "ResultMemoryFull",
+    "SLOT_BYTES",
+    "SecondStageFilter",
+    "SeqOp",
+    "SideTerm",
+    "StreamingTimeline",
+    "TestUnificationEngine",
+    "simulate_streaming_search",
+    "WCS_WORDS",
+    "WORD_BITS",
+    "WritableControlStore",
+    "assemble_search_program",
+    "execution_time_ns",
+    "inline_children",
+    "table1",
+    "worst_case_op",
+    "worst_case_rate_bytes_per_sec",
+]

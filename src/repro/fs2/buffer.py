@@ -1,0 +1,75 @@
+"""The Double Buffer (paper section 3.2, Figure 4).
+
+Two identical memory banks alternate between *input* (accepting the clause
+currently streaming from disk) and *output* (holding the previous clause,
+being matched by the TUE).  A toggle flip-flop swaps the roles whenever the
+input bank fills; its two non-overlapping clock phases are modelled by the
+explicit :meth:`toggle`.
+
+The model exposes the overlap the hardware buys: while clause *n* is being
+matched, clause *n+1* is being transferred, so search time per clause is
+``max(transfer, match)`` rather than their sum (the single-buffer ablation
+benchmark flips this off).
+"""
+
+from __future__ import annotations
+
+__all__ = ["DoubleBuffer", "BufferBankBusy"]
+
+
+class BufferBankBusy(RuntimeError):
+    """Raised when a bank is loaded before its previous content was taken."""
+
+
+class DoubleBuffer:
+    """Two-bank clause buffer with explicit role toggling."""
+
+    def __init__(self, bank_bytes: int = 512):
+        self.bank_bytes = bank_bytes
+        self._banks: list[bytes | None] = [None, None]
+        self._input_bank = 0
+        self.loads = 0
+        self.toggles = 0
+
+    @property
+    def input_bank(self) -> int:
+        return self._input_bank
+
+    @property
+    def output_bank(self) -> int:
+        return 1 - self._input_bank
+
+    def load(self, record: bytes) -> None:
+        """Stream one clause record into the input bank."""
+        if len(record) > self.bank_bytes:
+            raise ValueError(
+                f"record of {len(record)} bytes exceeds the "
+                f"{self.bank_bytes}-byte bank"
+            )
+        if self._banks[self._input_bank] is not None:
+            raise BufferBankBusy(
+                "input bank still holds an unconsumed clause; toggle first"
+            )
+        self._banks[self._input_bank] = record
+        self.loads += 1
+
+    def toggle(self) -> None:
+        """Swap bank roles (the flip-flop clock edge)."""
+        self._input_bank = 1 - self._input_bank
+        self.toggles += 1
+
+    def output(self) -> bytes | None:
+        """The clause available for matching (None before the pipe fills)."""
+        return self._banks[self.output_bank]
+
+    def consume_output(self) -> bytes:
+        """Take the output clause, freeing the bank for the next transfer."""
+        record = self._banks[self.output_bank]
+        if record is None:
+            raise BufferBankBusy("output bank is empty")
+        self._banks[self.output_bank] = None
+        return record
+
+    def reset(self) -> None:
+        self._banks = [None, None]
+        self._input_bank = 0

@@ -1,0 +1,123 @@
+"""CLARE's host interface: the VMEbus address map and control register.
+
+CLARE is memory mapped into the Sun host at ``0xffff7e00``-``0xffff7fff``
+(128 K of the 24-bit VME space shared by FS1 and FS2, paper section 2.2).
+An 8-bit control register selects the active filter and its mode:
+
+* bit 2 (``b2``): 0 selects FS1, 1 selects FS2 (mutually exclusive);
+* bits 0-1 (``b0 b1``): the FS2 operational mode —
+
+  =================  ==  ==
+  Operational mode   b0  b1
+  =================  ==  ==
+  Read Result         0   0
+  Search              0   1
+  Microprogramming    1   0
+  Set Query           1   1
+  =================  ==  ==
+
+* bit 7 (``b7``): set by the hardware when a search found a match.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+__all__ = [
+    "CLARE_BASE_ADDRESS",
+    "CLARE_END_ADDRESS",
+    "FilterSelect",
+    "OperationalMode",
+    "ControlRegister",
+]
+
+CLARE_BASE_ADDRESS = 0xFFFF7E00
+CLARE_END_ADDRESS = 0xFFFF7FFF
+
+_B0 = 0x01
+_B1 = 0x02
+_B2 = 0x04
+_B7 = 0x80
+
+
+class FilterSelect(Enum):
+    """Which filter board the shared address window talks to."""
+
+    FS1 = 0
+    FS2 = 1
+
+
+class OperationalMode(Enum):
+    """FS2 operational modes, encoded in control bits (b0, b1)."""
+
+    READ_RESULT = (0, 0)
+    SEARCH = (0, 1)
+    MICROPROGRAMMING = (1, 0)
+    SET_QUERY = (1, 1)
+
+    @property
+    def b0(self) -> int:
+        return self.value[0]
+
+    @property
+    def b1(self) -> int:
+        return self.value[1]
+
+
+class ControlRegister:
+    """The 8-bit CLARE control/status register."""
+
+    def __init__(self) -> None:
+        self._value = 0
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def write(self, value: int) -> None:
+        """Host write (bit 7 is hardware-owned status and is preserved)."""
+        if not (0 <= value <= 0xFF):
+            raise ValueError("control register is 8 bits wide")
+        self._value = (value & 0x7F) | (self._value & _B7)
+
+    @property
+    def filter_select(self) -> FilterSelect:
+        return FilterSelect.FS2 if self._value & _B2 else FilterSelect.FS1
+
+    def select_filter(self, which: FilterSelect) -> None:
+        if which is FilterSelect.FS2:
+            self._value |= _B2
+        else:
+            self._value &= ~_B2 & 0xFF
+
+    @property
+    def mode(self) -> OperationalMode:
+        b0 = 1 if self._value & _B0 else 0
+        b1 = 1 if self._value & _B1 else 0
+        return OperationalMode((b0, b1))
+
+    def set_mode(self, mode: OperationalMode) -> None:
+        self._value &= ~(_B0 | _B1) & 0xFF
+        self._value |= (_B0 if mode.b0 else 0) | (_B1 if mode.b1 else 0)
+
+    @property
+    def match_found(self) -> bool:
+        """Status bit b7, set by the hardware at the end of a search."""
+        return bool(self._value & _B7)
+
+    def set_match_found(self, found: bool) -> None:
+        if found:
+            self._value |= _B7
+        else:
+            self._value &= ~_B7 & 0xFF
+
+    def __repr__(self) -> str:
+        return (
+            f"ControlRegister(0b{self._value:08b}, {self.filter_select.name}, "
+            f"{self.mode.name}, match={self.match_found})"
+        )
+
+
+def in_clare_window(address: int) -> bool:
+    """True if a VME address falls in CLARE's shared 128 K window."""
+    return CLARE_BASE_ADDRESS <= address <= CLARE_END_ADDRESS

@@ -1,0 +1,161 @@
+"""Item cursors: the FS2's view of a PIF stream.
+
+The hardware walks the clause in the Double Buffer item by item; the
+cursor is that walk.  Beyond sequential item access it supports the two
+datapath idioms the microcode needs:
+
+* ``skip_term`` — consume a whole in-line subtree without comparison
+  (what a variable or anonymous match does to the stream).  Arbitrary
+  nesting needs only one counter: the *remaining* count absorbs each
+  in-line complex item's child count.
+* ``take_term`` — consume a subtree and hand back the term it denotes.
+  Functionally this models latching a *pointer* to the buffered term
+  (the Double Buffer retains the clause for the whole match, and the
+  Query Memory holds the whole query, so such pointers are physical).
+"""
+
+from __future__ import annotations
+
+from ..pif import EncodedArgs, tags
+from ..pif.decoder import Item, PIFDecodeError, _read_item
+from ..pif.symbols import SymbolTable
+from ..terms import NIL, Int, Struct, Term, Var, make_list
+
+__all__ = ["ItemCursor", "inline_children"]
+
+
+def inline_children(item: Item) -> int:
+    """How many stream items directly follow an in-line item.
+
+    Structures contribute their arity; lists contribute their prefix
+    elements plus the tail item (except the bare ``[]``); pointer forms
+    keep their elements in the heap, so nothing follows in the stream.
+    """
+    category = item.category
+    if category == tags.TagCategory.STRUCT_INLINE:
+        return item.arity
+    if category == tags.TagCategory.TLIST_INLINE:
+        return item.arity + 1 if item.arity else 0
+    if category == tags.TagCategory.ULIST_INLINE:
+        return item.arity + 1
+    return 0
+
+
+class ItemCursor:
+    """Sequential reader over one encoded argument stream."""
+
+    def __init__(self, encoded: EncodedArgs, symbols: SymbolTable):
+        self._data = encoded.stream
+        self._heap = encoded.heap
+        self._var_names = encoded.var_names
+        self._symbols = symbols
+        self._position = 0
+        self.items_consumed = 0
+
+    def at_end(self) -> bool:
+        return self._position >= len(self._data)
+
+    def peek(self) -> Item:
+        """The next item, without consuming it."""
+        if self.at_end():
+            raise PIFDecodeError("cursor at end of stream")
+        item, _ = _read_item(self._data, self._position)
+        return item
+
+    def take(self) -> Item:
+        """Consume and return the next item."""
+        if self.at_end():
+            raise PIFDecodeError("cursor at end of stream")
+        item, self._position = _read_item(self._data, self._position)
+        self.items_consumed += 1
+        return item
+
+    def skip_term(self) -> int:
+        """Consume one whole term (subtree); returns items consumed."""
+        remaining = 1
+        consumed = 0
+        while remaining:
+            item = self.take()
+            consumed += 1
+            remaining += inline_children(item) - 1
+        return consumed
+
+    def take_term(self) -> Term:
+        """Consume one whole term and materialise it."""
+        item = self.take()
+        return self._materialise(item)
+
+    # -- materialisation -----------------------------------------------------
+
+    def _materialise(self, item: Item) -> Term:
+        category = item.category
+        if category == tags.TagCategory.INTEGER:
+            raw = ((item.tag & 0xF) << 24) | item.content
+            if raw >= 1 << (tags.INT_INLINE_BITS - 1):
+                raw -= 1 << tags.INT_INLINE_BITS
+            return Int(raw)
+        if category == tags.TagCategory.ATOM:
+            return self._symbols.atom_at(item.content)
+        if category == tags.TagCategory.FLOAT:
+            return self._symbols.float_at(item.content)
+        if category == tags.TagCategory.ANONYMOUS:
+            return Var("_")
+        if category in (
+            tags.TagCategory.FIRST_QUERY_VAR,
+            tags.TagCategory.SUB_QUERY_VAR,
+            tags.TagCategory.FIRST_DB_VAR,
+            tags.TagCategory.SUB_DB_VAR,
+        ):
+            return Var(self._var_name(item.content))
+        if category == tags.TagCategory.STRUCT_INLINE:
+            functor = self._symbols.atom_name_at(item.content)
+            args = tuple(self.take_term() for _ in range(item.arity))
+            return Struct(functor, args)
+        if category == tags.TagCategory.TLIST_INLINE:
+            if item.arity == 0:
+                return NIL
+            elements = [self.take_term() for _ in range(item.arity)]
+            tail = self.take_term()
+            return make_list(elements, tail=tail)
+        if category == tags.TagCategory.ULIST_INLINE:
+            elements = [self.take_term() for _ in range(item.arity)]
+            tail = self.take_term()
+            return make_list(elements, tail=tail)
+        # Pointer forms: the term lives in the heap.
+        if category == tags.TagCategory.STRUCT_PTR:
+            assert item.extension is not None
+            functor = self._symbols.atom_name_at(item.content)
+            count, reader = self._heap_cursor(item.extension)
+            args = tuple(reader.take_term() for _ in range(count))
+            return Struct(functor, args)
+        if category in (tags.TagCategory.TLIST_PTR, tags.TagCategory.ULIST_PTR):
+            assert item.extension is not None
+            count, reader = self._heap_cursor(item.extension)
+            elements = [reader.take_term() for _ in range(count)]
+            tail = reader.take_term()
+            return make_list(elements, tail=tail)
+        raise PIFDecodeError(f"cannot materialise tag 0x{item.tag:02x}")
+
+    def _heap_cursor(self, offset: int) -> tuple[int, "ItemCursor"]:
+        if offset + 4 > len(self._heap):
+            raise PIFDecodeError(f"heap pointer {offset} out of range")
+        count = int.from_bytes(self._heap[offset : offset + 4], "big")
+        sub = ItemCursor(
+            EncodedArgs(
+                indicator=("$heap", 0),
+                stream=self._heap[offset + 4 :],
+                heap=self._heap,
+                var_names=self._var_names,
+            ),
+            self._symbols,
+        )
+        return count, sub
+
+    def var_name(self, offset: int) -> str:
+        """The variable name behind a variable item's offset field."""
+        if offset < len(self._var_names):
+            return self._var_names[offset]
+        return f"_V{offset}"
+
+    # Backwards-compatible internal alias.
+    _var_name = var_name

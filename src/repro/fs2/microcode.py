@@ -1,0 +1,304 @@
+"""FS2 microinstructions and the microassembler.
+
+The Writable Control Store holds up to 2048 instructions of 64 bits
+(paper section 3.1).  Each instruction pairs a *sequencer* action (what
+the AMD 2910-style Micro Program Controller does next) with an *execute*
+action (which datapath operation fires this cycle).  The encoding:
+
+====  ======  ==========================================
+bits  field   meaning
+====  ======  ==========================================
+0-3   seq     CONT / JMP / CJP / JMAP
+4-15  addr    branch target (11 bits used of 12)
+16-20 cond    condition-code select for CJP
+21    pol     condition polarity (1 = branch when false)
+24-31 exec    datapath operation code
+====  ======  ==========================================
+
+"When a query is posed, it is translated into microprogram instructions.
+These instructions are loaded into the FS2 while it is set to
+Microprogramming mode."  :func:`assemble_search_program` produces that
+program: the polling loop, the argument loop, the map-ROM dispatch
+targets for every type-pair category, the element loop for complex
+terms, and the hit/miss exits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+
+__all__ = [
+    "SeqOp",
+    "Condition",
+    "ExecOp",
+    "MicroInstruction",
+    "MicroProgram",
+    "DispatchClass",
+    "assemble_search_program",
+    "WCS_WORDS",
+    "WORD_BITS",
+]
+
+WCS_WORDS = 2048
+WORD_BITS = 64
+
+
+class SeqOp(IntEnum):
+    """Sequencer actions (2910-style subset)."""
+
+    CONT = 0  # fall through to the next address
+    JMP = 1  # unconditional branch
+    CJP = 2  # branch when the selected condition (xor polarity) holds
+    JMAP = 3  # dispatch through the map ROM on the latched type pair
+
+
+class Condition(IntEnum):
+    """Condition-code register bits the sequencer can test."""
+
+    ALWAYS = 0
+    BUFFER_READY = 1  # CC bit 0 in the paper: a clause is ready to examine
+    HIT = 2  # comparator outcome of the last operation
+    ARGS_DONE = 3  # both item streams exhausted
+    ENTERED = 4  # the last MATCH opened a complex-term element loop
+    IN_COMPLEX = 5  # the element loop is active
+    COUNTERS_DONE = 6  # either element counter reached zero
+
+
+class ExecOp(IntEnum):
+    """Datapath operations the execute field can fire."""
+
+    NOP = 0
+    INIT_CLAUSE = 1  # reset DB Memory, cursors, counters, hit latch
+    LOAD_PAIR = 2  # latch the next db/query items (feeds the map ROM)
+    MATCH = 3  # concrete/concrete comparison (may enter a complex pair)
+    ANON_SKIP = 4  # anonymous variable: skip the other side
+    DBVAR_FIRST = 5  # case 5a (+ reciprocal store for var-var pairs)
+    DBVAR_SUB = 6  # cases 5b/5c (fetch, possibly cross-bound)
+    QVAR_FIRST = 7  # case 6a
+    QVAR_SUB = 8  # cases 6b/6c
+    FINISH_COMPLEX = 9  # tails / leftover skipping at loop end
+    SIGNAL_HIT = 10  # clause is a satisfier: capture in Result Memory
+    SIGNAL_MISS = 11  # clause rejected: discard
+
+
+class DispatchClass(IntEnum):
+    """Map-ROM input classes derived from an item's type tag."""
+
+    CONCRETE = 0
+    ANONYMOUS = 1
+    FIRST_DB_VAR = 2
+    SUB_DB_VAR = 3
+    FIRST_QUERY_VAR = 4
+    SUB_QUERY_VAR = 5
+
+
+@dataclass(frozen=True)
+class MicroInstruction:
+    """One decoded 64-bit control word."""
+
+    seq: SeqOp = SeqOp.CONT
+    address: int = 0
+    condition: Condition = Condition.ALWAYS
+    polarity: bool = True  # branch when condition == polarity
+    exec_op: ExecOp = ExecOp.NOP
+
+    def encode(self) -> int:
+        word = int(self.seq) & 0xF
+        word |= (self.address & 0xFFF) << 4
+        word |= (int(self.condition) & 0x1F) << 16
+        word |= (0 if self.polarity else 1) << 21
+        word |= (int(self.exec_op) & 0xFF) << 24
+        return word
+
+    @classmethod
+    def decode(cls, word: int) -> "MicroInstruction":
+        return cls(
+            seq=SeqOp(word & 0xF),
+            address=(word >> 4) & 0xFFF,
+            condition=Condition((word >> 16) & 0x1F),
+            polarity=not ((word >> 21) & 1),
+            exec_op=ExecOp((word >> 24) & 0xFF),
+        )
+
+
+@dataclass(frozen=True)
+class MicroProgram:
+    """An assembled program: words plus the map-ROM dispatch table."""
+
+    words: tuple[int, ...]
+    labels: dict[str, int]
+    map_rom: dict[tuple[DispatchClass, DispatchClass], int]
+
+    def __len__(self) -> int:
+        return len(self.words)
+
+    def instruction(self, address: int) -> MicroInstruction:
+        return MicroInstruction.decode(self.words[address])
+
+
+def disassemble(program: MicroProgram) -> list[str]:
+    """Human-readable listing of an assembled microprogram."""
+    address_labels = {address: name for name, address in program.labels.items()}
+    lines = []
+    for address, word in enumerate(program.words):
+        instruction = MicroInstruction.decode(word)
+        label = address_labels.get(address, "")
+        parts = []
+        if instruction.exec_op != ExecOp.NOP:
+            parts.append(f"EXEC {instruction.exec_op.name}")
+        if instruction.seq == SeqOp.CONT:
+            parts.append("CONT")
+        elif instruction.seq == SeqOp.JMP:
+            target = address_labels.get(instruction.address, str(instruction.address))
+            parts.append(f"JMP {target}")
+        elif instruction.seq == SeqOp.CJP:
+            target = address_labels.get(instruction.address, str(instruction.address))
+            polarity = "" if instruction.polarity else "!"
+            parts.append(f"CJP {polarity}{instruction.condition.name} -> {target}")
+        elif instruction.seq == SeqOp.JMAP:
+            parts.append("JMAP")
+        lines.append(f"{address:4d}  {label:<10} {'; '.join(parts)}")
+    return lines
+
+
+class _Assembler:
+    """Two-pass label-resolving assembler."""
+
+    def __init__(self) -> None:
+        self._lines: list[tuple[MicroInstruction, str | None]] = []
+        self.labels: dict[str, int] = {}
+
+    def label(self, name: str) -> None:
+        if name in self.labels:
+            raise ValueError(f"duplicate label {name!r}")
+        self.labels[name] = len(self._lines)
+
+    def emit(
+        self,
+        seq: SeqOp = SeqOp.CONT,
+        target: str | None = None,
+        condition: Condition = Condition.ALWAYS,
+        polarity: bool = True,
+        exec_op: ExecOp = ExecOp.NOP,
+    ) -> None:
+        instruction = MicroInstruction(
+            seq=seq, condition=condition, polarity=polarity, exec_op=exec_op
+        )
+        self._lines.append((instruction, target))
+
+    def assemble(
+        self, map_targets: dict[tuple[DispatchClass, DispatchClass], str]
+    ) -> MicroProgram:
+        words = []
+        for instruction, target in self._lines:
+            if target is not None:
+                try:
+                    address = self.labels[target]
+                except KeyError:
+                    raise ValueError(f"undefined label {target!r}") from None
+                instruction = MicroInstruction(
+                    seq=instruction.seq,
+                    address=address,
+                    condition=instruction.condition,
+                    polarity=instruction.polarity,
+                    exec_op=instruction.exec_op,
+                )
+            words.append(instruction.encode())
+        if len(words) > WCS_WORDS:
+            raise ValueError(f"program of {len(words)} words exceeds the WCS")
+        map_rom = {pair: self.labels[label] for pair, label in map_targets.items()}
+        return MicroProgram(words=tuple(words), labels=dict(self.labels), map_rom=map_rom)
+
+
+def assemble_search_program() -> MicroProgram:
+    """The standard partial-test-unification search microprogram."""
+    asm = _Assembler()
+
+    # Polling routine: "the MPC is engaged in a polling routine [that]
+    # repeatedly monitors the zeroth bit of the conditional code".
+    asm.label("POLL")
+    asm.emit(SeqOp.CJP, "POLL", Condition.BUFFER_READY, polarity=False)
+    asm.emit(exec_op=ExecOp.INIT_CLAUSE)
+
+    # Argument loop.
+    asm.label("ARG")
+    asm.emit(SeqOp.CJP, "HIT_EXIT", Condition.ARGS_DONE)
+    asm.emit(exec_op=ExecOp.LOAD_PAIR)
+    asm.emit(SeqOp.JMAP)
+
+    # Dispatch targets (map ROM).
+    asm.label("M_CONC")
+    asm.emit(exec_op=ExecOp.MATCH)
+    asm.emit(SeqOp.CJP, "FAIL_EXIT", Condition.HIT, polarity=False)
+    asm.emit(SeqOp.CJP, "ELEM", Condition.ENTERED)
+    asm.emit(SeqOp.JMP, "NEXT")
+
+    asm.label("M_ANON")
+    asm.emit(exec_op=ExecOp.ANON_SKIP)
+    asm.emit(SeqOp.JMP, "NEXT")
+
+    asm.label("M_DBV_FIRST")
+    asm.emit(exec_op=ExecOp.DBVAR_FIRST)
+    asm.emit(SeqOp.JMP, "NEXT")
+
+    asm.label("M_DBV_SUB")
+    asm.emit(exec_op=ExecOp.DBVAR_SUB)
+    asm.emit(SeqOp.CJP, "FAIL_EXIT", Condition.HIT, polarity=False)
+    asm.emit(SeqOp.JMP, "NEXT")
+
+    asm.label("M_QV_FIRST")
+    asm.emit(exec_op=ExecOp.QVAR_FIRST)
+    asm.emit(SeqOp.JMP, "NEXT")
+
+    asm.label("M_QV_SUB")
+    asm.emit(exec_op=ExecOp.QVAR_SUB)
+    asm.emit(SeqOp.CJP, "FAIL_EXIT", Condition.HIT, polarity=False)
+    asm.emit(SeqOp.JMP, "NEXT")
+
+    # Return to the loop we came from.
+    asm.label("NEXT")
+    asm.emit(SeqOp.CJP, "ELEM", Condition.IN_COMPLEX)
+    asm.emit(SeqOp.JMP, "ARG")
+
+    # Element loop for in-line complex terms (single level: level 3).
+    asm.label("ELEM")
+    asm.emit(SeqOp.CJP, "ELEM_DONE", Condition.COUNTERS_DONE)
+    asm.emit(exec_op=ExecOp.LOAD_PAIR)
+    asm.emit(SeqOp.JMAP)
+
+    asm.label("ELEM_DONE")
+    asm.emit(exec_op=ExecOp.FINISH_COMPLEX)
+    asm.emit(SeqOp.CJP, "FAIL_EXIT", Condition.HIT, polarity=False)
+    asm.emit(SeqOp.JMP, "ARG")
+
+    # Exits.
+    asm.label("FAIL_EXIT")
+    asm.emit(exec_op=ExecOp.SIGNAL_MISS)
+    asm.emit(SeqOp.JMP, "POLL")
+
+    asm.label("HIT_EXIT")
+    asm.emit(exec_op=ExecOp.SIGNAL_HIT)
+    asm.emit(SeqOp.JMP, "POLL")
+
+    # Map ROM: priority order is Figure 1's -- anonymous skips first, then
+    # database-variable cases, then query-variable cases, then concrete.
+    map_targets: dict[tuple[DispatchClass, DispatchClass], str] = {}
+    for db_class in DispatchClass:
+        for q_class in DispatchClass:
+            map_targets[(db_class, q_class)] = _routine_for(db_class, q_class)
+    return asm.assemble(map_targets)
+
+
+def _routine_for(db_class: DispatchClass, q_class: DispatchClass) -> str:
+    if DispatchClass.ANONYMOUS in (db_class, q_class):
+        return "M_ANON"
+    if db_class == DispatchClass.FIRST_DB_VAR:
+        return "M_DBV_FIRST"
+    if db_class == DispatchClass.SUB_DB_VAR:
+        return "M_DBV_SUB"
+    if q_class == DispatchClass.FIRST_QUERY_VAR:
+        return "M_QV_FIRST"
+    if q_class == DispatchClass.SUB_QUERY_VAR:
+        return "M_QV_SUB"
+    return "M_CONC"

@@ -1,0 +1,90 @@
+"""The Result Memory and its Address Generator (paper section 3.2).
+
+The Result Memory holds 32 K bytes — "large enough to contain all clause
+satisfiers of one disk track, the worst case of a single FS2 search call".
+Its address is produced by two counters:
+
+* a 6-bit counter forming the upper address bits, incremented whenever a
+  clause satisfier is found (its final value *is* the satisfier count);
+* a 9-bit counter forming the lower bits, reset after each clause — so
+  every clause occupies one 512-byte slot.
+
+Disk data is copied into the RM *in parallel* with the Double Buffer
+transfer; when the clause turns out not to match, the slot is simply
+re-used (the 6-bit counter is not incremented).
+"""
+
+from __future__ import annotations
+
+__all__ = ["ResultMemory", "ResultMemoryFull", "RM_BYTES", "SLOT_BYTES", "MAX_SATISFIERS"]
+
+RM_BYTES = 32 * 1024
+SLOT_BYTES = 512  # 9-bit low counter
+MAX_SATISFIERS = 64  # 6-bit high counter
+
+
+class ResultMemoryFull(RuntimeError):
+    """More satisfiers than the 6-bit counter can address."""
+
+
+class ResultMemory:
+    """32 KB result store addressed by the 6+9-bit counter pair."""
+
+    def __init__(self) -> None:
+        self._memory = bytearray(RM_BYTES)
+        self._satisfier_counter = 0  # 6-bit
+        self._byte_counter = 0  # 9-bit
+        self._slot_lengths: list[int] = []
+
+    @property
+    def satisfier_count(self) -> int:
+        """The 6-bit counter value: number of captured satisfiers."""
+        return self._satisfier_counter
+
+    def begin_clause(self) -> None:
+        """Reset the 9-bit counter for the next streaming clause."""
+        self._byte_counter = 0
+
+    def stream_byte(self, value: int) -> None:
+        """One byte copied in parallel with the Double Buffer transfer."""
+        if self._satisfier_counter >= MAX_SATISFIERS:
+            raise ResultMemoryFull(
+                f"all {MAX_SATISFIERS} Result Memory slots are captured"
+            )
+        if self._byte_counter >= SLOT_BYTES:
+            raise ValueError("clause exceeds the 512-byte slot")
+        address = (self._satisfier_counter << 9) | self._byte_counter
+        self._memory[address] = value
+        self._byte_counter += 1
+
+    def stream_record(self, record: bytes) -> None:
+        """Convenience: stream a whole record into the current slot."""
+        self.begin_clause()
+        for byte in record:
+            self.stream_byte(byte)
+
+    def capture(self) -> None:
+        """The clause matched: advance the 6-bit counter to keep its slot."""
+        if self._satisfier_counter >= MAX_SATISFIERS:
+            raise ResultMemoryFull(
+                f"more than {MAX_SATISFIERS} satisfiers in one search call"
+            )
+        self._slot_lengths.append(self._byte_counter)
+        self._satisfier_counter += 1
+
+    def discard(self) -> None:
+        """The clause missed: the slot will be overwritten (no-op)."""
+        self._byte_counter = 0
+
+    def read_results(self) -> list[bytes]:
+        """Read Result mode: the captured clause records."""
+        records = []
+        for index, length in enumerate(self._slot_lengths):
+            base = index << 9
+            records.append(bytes(self._memory[base : base + length]))
+        return records
+
+    def reset(self) -> None:
+        self._satisfier_counter = 0
+        self._byte_counter = 0
+        self._slot_lengths.clear()

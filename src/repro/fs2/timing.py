@@ -1,0 +1,294 @@
+"""FS2 datapath timing — reproduces Table 1 from device delays.
+
+The paper derives the execution time of each of the seven hardware
+operations from the propagation delays of the datapath components (the
+timing boxes under Figures 6-12).  Data travels simultaneously along a
+*database route* and a *query route*; the slower route bounds each cycle,
+the comparator (or a memory write) adds its own delay, and multi-cycle
+operations sum their governing legs.
+
+Component delays (ns), read off the figure captions:
+
+=================  ====
+Double Buffer        20
+Sel1..Sel6           20
+Query Memory         35
+DB Memory (read)     25
+DB Memory (write)    20
+Reg1..Reg3           20
+Comparator           30
+=================  ====
+
+Each operation below lists its route legs verbatim from the figures; the
+``execution_time_ns`` formulae mirror the paper's own arithmetic, e.g.
+MATCH = query route (75) + comparison (30) = 105 ns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from ..unify.match import HardwareOp
+
+__all__ = [
+    "DEVICE_DELAYS_NS",
+    "Route",
+    "OperationTiming",
+    "OPERATION_TIMINGS",
+    "execution_time_ns",
+    "table1",
+    "worst_case_op",
+    "worst_case_rate_bytes_per_sec",
+    "CLOCK_HZ",
+]
+
+#: The WCS clock: "An 8 MHz clock is used to synchronise the various parts".
+CLOCK_HZ = 8_000_000
+
+#: Propagation delays of the datapath devices, in nanoseconds.
+DEVICE_DELAYS_NS: dict[str, int] = {
+    "double_buffer": 20,
+    "sel": 20,  # Sel1..Sel6 are identical selector stages
+    "query_memory": 35,
+    "db_memory_read": 25,
+    "db_memory_write": 20,
+    "reg": 20,  # Reg1..Reg3
+    "comparator": 30,
+    "micro_bits": 0,  # ub13-20 drive addresses directly
+}
+
+
+@dataclass(frozen=True)
+class Route:
+    """One leg of a datapath: an ordered chain of devices."""
+
+    name: str
+    devices: tuple[str, ...]
+
+    def delay_ns(self, delays: dict[str, int] | None = None) -> int:
+        table = DEVICE_DELAYS_NS if delays is None else delays
+        return sum(table[device] for device in self.devices)
+
+
+@dataclass(frozen=True)
+class Cycle:
+    """One microprogram cycle: parallel routes, bounded by the governing one.
+
+    ``governing`` names the route whose delay the paper counts for this
+    cycle (routes run in parallel; only the one feeding the next step
+    matters).
+    """
+
+    db_route: Route | None
+    query_route: Route | None
+    governing: str  # "db", "query", or "max"
+
+    def delay_ns(self, delays: dict[str, int] | None = None) -> int:
+        db = self.db_route.delay_ns(delays) if self.db_route else 0
+        query = self.query_route.delay_ns(delays) if self.query_route else 0
+        if self.governing == "db":
+            return db
+        if self.governing == "query":
+            return query
+        return max(db, query)
+
+
+@dataclass(frozen=True)
+class OperationTiming:
+    """The full timing specification of one hardware operation."""
+
+    op: HardwareOp
+    figure: int
+    cycles: tuple[Cycle, ...]
+    finish: str  # "comparator" or "db_memory_write"
+
+    def execution_time_ns(self, delays: dict[str, int] | None = None) -> int:
+        table = DEVICE_DELAYS_NS if delays is None else delays
+        total = sum(cycle.delay_ns(table) for cycle in self.cycles)
+        return total + table[self.finish]
+
+    def cycle_count(self) -> int:
+        return len(self.cycles)
+
+
+def _route(name: str, *devices: str) -> Route:
+    return Route(name, devices)
+
+
+# Figure 6: MATCH.  db: Double Buffer -> Sel1 -> A-port (40ns);
+# query: Sel6 -> Query Memory -> Sel3 -> B-port (75ns); + comparison 30.
+_MATCH = OperationTiming(
+    op=HardwareOp.MATCH,
+    figure=6,
+    cycles=(
+        Cycle(
+            db_route=_route("db", "double_buffer", "sel"),
+            query_route=_route("query", "sel", "query_memory", "sel"),
+            governing="max",
+        ),
+    ),
+    finish="comparator",
+)
+
+# Figure 7: DB_STORE.  db: Double Buffer -> Sel1 -> Sel2 (60ns, address);
+# query: Sel6 -> Query Memory -> Reg3 (75ns, data); + DB Memory write 20.
+_DB_STORE = OperationTiming(
+    op=HardwareOp.DB_STORE,
+    figure=7,
+    cycles=(
+        Cycle(
+            db_route=_route("db", "double_buffer", "sel", "sel"),
+            query_route=_route("query", "sel", "query_memory", "reg"),
+            governing="max",
+        ),
+    ),
+    finish="db_memory_write",
+)
+
+# Figure 8: QUERY_STORE.  db: Double Buffer -> Sel1 -> Sel5 -> Sel4 (80ns,
+# data); query: Sel6 (20ns, address); + Query Memory write 35.
+_QUERY_STORE = OperationTiming(
+    op=HardwareOp.QUERY_STORE,
+    figure=8,
+    cycles=(
+        Cycle(
+            db_route=_route("db", "double_buffer", "sel", "sel", "sel"),
+            query_route=_route("query", "sel"),
+            governing="max",
+        ),
+    ),
+    finish="query_memory",  # the write into the Query Memory
+)
+
+# Figure 9: DB_FETCH.  db: Double Buffer -> DB Memory(B) -> Sel1 (65ns);
+# query: as MATCH (75ns); + comparison 30.
+_DB_FETCH = OperationTiming(
+    op=HardwareOp.DB_FETCH,
+    figure=9,
+    cycles=(
+        Cycle(
+            db_route=_route("db", "double_buffer", "db_memory_read", "sel"),
+            query_route=_route("query", "sel", "query_memory", "sel"),
+            governing="max",
+        ),
+    ),
+    finish="comparator",
+)
+
+# Figure 10: QUERY_FETCH (two cycles).  Cycle 1 query route: Sel6 -> Query
+# Memory -> Sel3 -> Sel2 -> DB Memory A address (120ns per the figure);
+# cycle 2: binding -> Sel3 -> B-port (20ns); + comparison 30.
+_QUERY_FETCH = OperationTiming(
+    op=HardwareOp.QUERY_FETCH,
+    figure=10,
+    cycles=(
+        Cycle(
+            db_route=_route("db", "double_buffer", "sel"),
+            query_route=_route(
+                "query", "sel", "query_memory", "sel", "sel", "db_memory_read"
+            ),
+            governing="query",
+        ),
+        Cycle(
+            db_route=None,
+            query_route=_route("query", "sel"),
+            governing="query",
+        ),
+    ),
+    finish="comparator",
+)
+
+# Figure 11: DB_CROSS_BOUND_FETCH (two cycles).  Cycle 1 query route 75ns
+# governs; cycle 2 database route DB Memory -> Reg1 -> ... 65ns; + 30.
+_DB_CROSS_BOUND_FETCH = OperationTiming(
+    op=HardwareOp.DB_CROSS_BOUND_FETCH,
+    figure=11,
+    cycles=(
+        Cycle(
+            db_route=_route("db", "double_buffer", "db_memory_read", "reg"),
+            query_route=_route("query", "sel", "query_memory", "sel"),
+            governing="query",
+        ),
+        Cycle(
+            db_route=_route("db", "reg", "db_memory_read", "sel"),
+            query_route=None,
+            governing="db",
+        ),
+    ),
+    finish="comparator",
+)
+
+# Figure 12: QUERY_CROSS_BOUND_FETCH (three cycles).  Query routes govern:
+# 95 + 65 + 45; + comparison 30 = 235ns.
+_QUERY_CROSS_BOUND_FETCH = OperationTiming(
+    op=HardwareOp.QUERY_CROSS_BOUND_FETCH,
+    figure=12,
+    cycles=(
+        Cycle(
+            db_route=_route("db", "double_buffer", "sel"),
+            query_route=_route("query", "sel", "query_memory", "sel", "sel"),
+            governing="query",
+        ),
+        Cycle(
+            db_route=None,
+            query_route=_route("query", "db_memory_read", "sel", "sel"),
+            governing="query",
+        ),
+        Cycle(
+            db_route=None,
+            query_route=_route("query", "db_memory_read", "sel"),
+            governing="query",
+        ),
+    ),
+    finish="comparator",
+)
+
+OPERATION_TIMINGS: dict[HardwareOp, OperationTiming] = {
+    t.op: t
+    for t in (
+        _MATCH,
+        _DB_STORE,
+        _QUERY_STORE,
+        _DB_FETCH,
+        _QUERY_FETCH,
+        _DB_CROSS_BOUND_FETCH,
+        _QUERY_CROSS_BOUND_FETCH,
+    )
+}
+
+#: The paper's Table 1 values, for verification.
+PAPER_TABLE1_NS: dict[HardwareOp, int] = {
+    HardwareOp.MATCH: 105,
+    HardwareOp.DB_STORE: 95,
+    HardwareOp.QUERY_STORE: 115,
+    HardwareOp.DB_FETCH: 105,
+    HardwareOp.QUERY_FETCH: 170,
+    HardwareOp.DB_CROSS_BOUND_FETCH: 170,
+    HardwareOp.QUERY_CROSS_BOUND_FETCH: 235,
+}
+
+
+def execution_time_ns(op: HardwareOp) -> int:
+    """Execution time of one hardware operation (Table 1)."""
+    return OPERATION_TIMINGS[op].execution_time_ns()
+
+
+def table1() -> list[tuple[int, str, int]]:
+    """(figure, operation, execution time ns) rows, as printed in Table 1."""
+    return [
+        (t.figure, t.op.name, t.execution_time_ns())
+        for t in OPERATION_TIMINGS.values()
+    ]
+
+
+def worst_case_op() -> HardwareOp:
+    """The slowest operation (QUERY_CROSS_BOUND_FETCH in the paper)."""
+    return max(OPERATION_TIMINGS, key=execution_time_ns)
+
+
+def worst_case_rate_bytes_per_sec(bytes_per_op: int = 1) -> float:
+    """The paper's worst-case filter rate figure (~4.25 MB/s).
+
+    Section 4 derives the rate as one byte per worst-case operation time:
+    1 / 235 ns = 4.25 M operations per second.
+    """
+    return bytes_per_op * 1e9 / execution_time_ns(worst_case_op())

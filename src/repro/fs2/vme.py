@@ -1,0 +1,133 @@
+"""The VMEbus memory-mapped window onto CLARE.
+
+"CLARE is memory mapped into the /dev/vme24d16, SUN's user space, using
+the mmap() system call" (paper section 2.2): the host drives the boards
+with plain loads and stores into the 128 K window at 0xffff7e00.  This
+module emulates that register file, byte by byte:
+
+========================  =======================================
+window offset             register
+========================  =======================================
+0x0000                    8-bit control register (r/w)
+0x0100 + 8n .. +8n+7      WCS word n (64 bits, little endian, w)
+0x4100 ...                Query Memory (w: raw PIF stream bytes)
+0x8100 ...                Result Memory (r: captured slot bytes)
+========================  =======================================
+
+The offsets are this reproduction's allocation of the window (the paper
+gives only the window itself).  Reads and writes outside the window
+raise :class:`BusError`, as a VME bus error would.
+"""
+
+from __future__ import annotations
+
+from .control import CLARE_BASE_ADDRESS, ControlRegister
+from .microcode import WCS_WORDS
+from .result import ResultMemory
+from .wcs import WritableControlStore
+
+__all__ = ["BusError", "VMEWindow", "CONTROL_OFFSET", "WCS_OFFSET", "RM_OFFSET"]
+
+CONTROL_OFFSET = 0x0000
+WCS_OFFSET = 0x0100
+WCS_BYTES = WCS_WORDS * 8
+QUERY_OFFSET = WCS_OFFSET + WCS_BYTES  # 0x4100
+QUERY_BYTES = 16 * 1024
+RM_OFFSET = QUERY_OFFSET + QUERY_BYTES  # 0x8100
+RM_BYTES_WINDOW = 32 * 1024
+
+
+class BusError(RuntimeError):
+    """Access outside the CLARE window or to a write-only/read-only region."""
+
+
+class VMEWindow:
+    """Byte-addressed access to the CLARE register file."""
+
+    def __init__(
+        self,
+        control: ControlRegister,
+        wcs: WritableControlStore,
+        result: ResultMemory,
+    ):
+        self.control = control
+        self.wcs = wcs
+        self.result = result
+        self._query_bytes = bytearray(QUERY_BYTES)
+        self._wcs_bytes = bytearray(WCS_BYTES)
+
+    # -- address translation ------------------------------------------------
+    #
+    # The paper states the shared space is "128k bytes in total" yet quotes
+    # the range ffff7e00-ffff7fff (512 bytes) — the two cannot both hold.
+    # We take the 128 K at face value (a flat window from the quoted base),
+    # which is what the register file needs; real hardware would bank the
+    # 512-byte range.  Documented in EXPERIMENTS.md.
+
+    WINDOW_BYTES = 128 * 1024
+
+    @classmethod
+    def _offset(cls, address: int) -> int:
+        if not (
+            CLARE_BASE_ADDRESS <= address < CLARE_BASE_ADDRESS + cls.WINDOW_BYTES
+        ):
+            raise BusError(f"address 0x{address:08x} outside the CLARE window")
+        return address - CLARE_BASE_ADDRESS
+
+    def write(self, address: int, value: int) -> None:
+        """One byte store from the host."""
+        if not (0 <= value <= 0xFF):
+            raise BusError("byte stores only")
+        offset = self._offset(address)
+        if offset == CONTROL_OFFSET:
+            self.control.write(value)
+            return
+        if WCS_OFFSET <= offset < WCS_OFFSET + WCS_BYTES:
+            self._wcs_bytes[offset - WCS_OFFSET] = value
+            self._flush_wcs_word((offset - WCS_OFFSET) // 8)
+            return
+        if QUERY_OFFSET <= offset < QUERY_OFFSET + QUERY_BYTES:
+            self._query_bytes[offset - QUERY_OFFSET] = value
+            return
+        raise BusError(f"offset 0x{offset:05x} is not writable")
+
+    def read(self, address: int) -> int:
+        """One byte load by the host."""
+        offset = self._offset(address)
+        if offset == CONTROL_OFFSET:
+            return self.control.value
+        if RM_OFFSET <= offset < RM_OFFSET + RM_BYTES_WINDOW:
+            return self.result._memory[offset - RM_OFFSET]
+        if WCS_OFFSET <= offset < WCS_OFFSET + WCS_BYTES:
+            return self._wcs_bytes[offset - WCS_OFFSET]
+        raise BusError(f"offset 0x{offset:05x} is not readable")
+
+    # -- block helpers (what mmap-based host code actually does) -------------
+
+    def write_block(self, address: int, data: bytes) -> None:
+        for position, byte in enumerate(data):
+            self.write(address + position, byte)
+
+    def read_block(self, address: int, length: int) -> bytes:
+        return bytes(self.read(address + i) for i in range(length))
+
+    def load_program_words(self, words: tuple[int, ...]) -> None:
+        """Store a microprogram through the window (Microprogramming mode)."""
+        for index, word in enumerate(words):
+            self.write_block(
+                CLARE_BASE_ADDRESS + WCS_OFFSET + index * 8,
+                word.to_bytes(8, "little"),
+            )
+
+    def query_stream(self, length: int) -> bytes:
+        """The query bytes the host has stored so far."""
+        return bytes(self._query_bytes[:length])
+
+    # -- internals --------------------------------------------------------------
+
+    def _flush_wcs_word(self, index: int) -> None:
+        word = int.from_bytes(
+            self._wcs_bytes[index * 8 : index * 8 + 8], "little"
+        )
+        self.wcs._ram[index] = word
+        self.wcs.loaded = True

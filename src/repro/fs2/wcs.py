@@ -1,0 +1,116 @@
+"""The Writable Control Store and Micro Program Controller (Figure 3).
+
+The WCS is a bank of fast bipolar RAM holding up to 2048 microinstructions
+of 64 bits.  In Microprogramming mode it appears as ordinary memory to the
+host and is loaded with the assembled search program; during a search it is
+read-only and addressed by the MPC.  The MPC's next address comes from its
+internal counter (CONT), the branch field (JMP/CJP), or the Map ROM
+(JMAP), whose address port is driven by the type fields on the db-data and
+Q-data buses.  Two counters track the elements remaining while matching
+lists and structures.
+"""
+
+from __future__ import annotations
+
+from .microcode import (
+    WCS_WORDS,
+    Condition,
+    DispatchClass,
+    MicroInstruction,
+    MicroProgram,
+    SeqOp,
+)
+
+__all__ = ["WritableControlStore", "MicroProgramController", "ElementCounters"]
+
+
+class WritableControlStore:
+    """2048 x 64-bit microprogram RAM plus the Map ROM."""
+
+    def __init__(self) -> None:
+        self._ram = [0] * WCS_WORDS
+        self._map_rom: dict[tuple[DispatchClass, DispatchClass], int] = {}
+        self.loaded = False
+
+    def load_program(self, program: MicroProgram) -> None:
+        """Microprogramming mode: write the program into the fast RAM."""
+        if len(program.words) > WCS_WORDS:
+            raise ValueError("program exceeds the 2048-word control store")
+        self._ram[: len(program.words)] = program.words
+        for address in range(len(program.words), WCS_WORDS):
+            self._ram[address] = 0
+        self._map_rom = dict(program.map_rom)
+        self.loaded = True
+
+    def fetch(self, address: int) -> MicroInstruction:
+        if not (0 <= address < WCS_WORDS):
+            raise ValueError(f"microprogram address {address} out of range")
+        return MicroInstruction.decode(self._ram[address])
+
+    def map_address(self, db_class: DispatchClass, q_class: DispatchClass) -> int:
+        """Map ROM lookup on the latched type pair."""
+        try:
+            return self._map_rom[(db_class, q_class)]
+        except KeyError:
+            raise ValueError(
+                f"map ROM has no vector for ({db_class.name}, {q_class.name})"
+            ) from None
+
+
+class MicroProgramController:
+    """The 2910-style sequencer: computes the next microprogram address."""
+
+    def __init__(self) -> None:
+        self.pc = 0
+
+    def reset(self, address: int = 0) -> None:
+        self.pc = address
+
+    def next_address(
+        self,
+        instruction: MicroInstruction,
+        conditions: dict[Condition, bool],
+        map_target: int | None,
+    ) -> int:
+        if instruction.seq == SeqOp.CONT:
+            return self.pc + 1
+        if instruction.seq == SeqOp.JMP:
+            return instruction.address
+        if instruction.seq == SeqOp.CJP:
+            value = conditions.get(instruction.condition, False)
+            if instruction.condition == Condition.ALWAYS:
+                value = True
+            if value == instruction.polarity:
+                return instruction.address
+            return self.pc + 1
+        if instruction.seq == SeqOp.JMAP:
+            if map_target is None:
+                raise ValueError("JMAP with no latched type pair")
+            return map_target
+        raise ValueError(f"unknown sequencer op {instruction.seq}")
+
+
+class ElementCounters:
+    """The WCS's two element counters (database and query sides)."""
+
+    def __init__(self) -> None:
+        self.db = 0
+        self.query = 0
+        self.active = False
+
+    def load(self, db_count: int, query_count: int) -> None:
+        self.db = db_count
+        self.query = query_count
+        self.active = True
+
+    def decrement(self) -> None:
+        self.db -= 1
+        self.query -= 1
+
+    def either_zero(self) -> bool:
+        return self.db <= 0 or self.query <= 0
+
+    def clear(self) -> None:
+        self.db = 0
+        self.query = 0
+        self.active = False

@@ -1,0 +1,190 @@
+"""Decoding PIF byte streams back into terms.
+
+Two consumers need this module: the host Prolog system, which decompiles
+candidate clauses for full unification (:class:`PIFDecoder`), and the FS2
+hardware model, which walks the raw item stream (:func:`scan_items`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..terms import NIL, Atom, Int, Struct, Term, Var, make_list
+from . import tags
+from .encoder import EXTENSION_SIZE, ITEM_SIZE, EncodedArgs
+from .symbols import SymbolTable
+
+__all__ = ["PIFDecodeError", "Item", "scan_items", "PIFDecoder"]
+
+
+class PIFDecodeError(ValueError):
+    """Raised on malformed PIF byte streams."""
+
+
+@dataclass(frozen=True, slots=True)
+class Item:
+    """One decoded stream item: tag, 24-bit content, optional extension."""
+
+    tag: int
+    content: int
+    extension: int | None = None
+
+    @property
+    def category(self) -> tags.TagCategory:
+        return tags.tag_category(self.tag)
+
+    @property
+    def arity(self) -> int:
+        return tags.tag_arity(self.tag)
+
+
+def scan_items(stream: bytes) -> list[Item]:
+    """Split a raw in-line stream into items (extensions folded in)."""
+    items: list[Item] = []
+    position = 0
+    length = len(stream)
+    while position < length:
+        item, position = _read_item(stream, position)
+        items.append(item)
+    return items
+
+
+def _read_item(data: bytes, position: int) -> tuple[Item, int]:
+    if position + ITEM_SIZE > len(data):
+        raise PIFDecodeError("truncated item")
+    tag = data[position]
+    content = int.from_bytes(data[position + 1 : position + ITEM_SIZE], "big")
+    position += ITEM_SIZE
+    extension = None
+    if tags.is_pointer_tag(tag):
+        if position + EXTENSION_SIZE > len(data):
+            raise PIFDecodeError("truncated extension")
+        extension = int.from_bytes(data[position : position + EXTENSION_SIZE], "big")
+        position += EXTENSION_SIZE
+    return Item(tag, content, extension), position
+
+
+class PIFDecoder:
+    """Reconstruct terms from encoded arguments."""
+
+    def __init__(self, symbols: SymbolTable):
+        self.symbols = symbols
+
+    def decode_head(self, encoded: EncodedArgs) -> Term:
+        """Rebuild the full head term ``functor(args...)``."""
+        name, arity = encoded.indicator
+        if arity == 0:
+            return Atom(name)
+        args = self.decode_args(encoded)
+        if len(args) != arity:
+            raise PIFDecodeError(
+                f"stream holds {len(args)} arguments, indicator says {arity}"
+            )
+        return Struct(name, tuple(args))
+
+    def decode_args(self, encoded: EncodedArgs) -> list[Term]:
+        """Decode the argument stream into a list of terms."""
+        reader = _StreamReader(
+            encoded.stream, encoded.heap, encoded.var_names, self.symbols
+        )
+        terms = []
+        while not reader.at_end():
+            terms.append(reader.read_term())
+        return terms
+
+    def decode_term(self, encoded: EncodedArgs) -> Term:
+        """Decode a single-term encoding (inverse of ``encode_term``)."""
+        terms = self.decode_args(encoded)
+        if len(terms) != 1:
+            raise PIFDecodeError(f"expected one term, found {len(terms)}")
+        return terms[0]
+
+
+class _StreamReader:
+    """Sequential lazy item reader with heap recursion."""
+
+    def __init__(
+        self,
+        data: bytes,
+        heap: bytes,
+        var_names: tuple[str, ...],
+        symbols: SymbolTable,
+    ):
+        self.data = data
+        self.heap = heap
+        self.var_names = var_names
+        self.symbols = symbols
+        self.position = 0
+
+    def at_end(self) -> bool:
+        return self.position >= len(self.data)
+
+    def next_item(self) -> Item:
+        if self.at_end():
+            raise PIFDecodeError("unexpected end of item stream")
+        item, self.position = _read_item(self.data, self.position)
+        return item
+
+    def read_term(self) -> Term:
+        item = self.next_item()
+        category = item.category
+        if category == tags.TagCategory.INTEGER:
+            raw = ((item.tag & 0xF) << 24) | item.content
+            if raw >= 1 << (tags.INT_INLINE_BITS - 1):  # sign extend
+                raw -= 1 << tags.INT_INLINE_BITS
+            return Int(raw)
+        if category == tags.TagCategory.ATOM:
+            return self.symbols.atom_at(item.content)
+        if category == tags.TagCategory.FLOAT:
+            return self.symbols.float_at(item.content)
+        if category == tags.TagCategory.ANONYMOUS:
+            return Var("_")
+        if category in (
+            tags.TagCategory.FIRST_QUERY_VAR,
+            tags.TagCategory.SUB_QUERY_VAR,
+            tags.TagCategory.FIRST_DB_VAR,
+            tags.TagCategory.SUB_DB_VAR,
+        ):
+            return Var(self._var_name(item.content))
+        if category == tags.TagCategory.STRUCT_INLINE:
+            functor = self.symbols.atom_name_at(item.content)
+            args = tuple(self.read_term() for _ in range(item.arity))
+            return Struct(functor, args)
+        if category == tags.TagCategory.TLIST_INLINE:
+            if item.arity == 0:
+                return NIL
+            elements = [self.read_term() for _ in range(item.arity)]
+            tail = self.read_term()
+            return make_list(elements, tail=tail)
+        if category == tags.TagCategory.ULIST_INLINE:
+            elements = [self.read_term() for _ in range(item.arity)]
+            tail = self.read_term()
+            return make_list(elements, tail=tail)
+        if category == tags.TagCategory.STRUCT_PTR:
+            assert item.extension is not None
+            functor = self.symbols.atom_name_at(item.content)
+            arity, reader = self._heap_reader(item.extension)
+            args = tuple(reader.read_term() for _ in range(arity))
+            return Struct(functor, args)
+        if category in (tags.TagCategory.TLIST_PTR, tags.TagCategory.ULIST_PTR):
+            assert item.extension is not None
+            count, reader = self._heap_reader(item.extension)
+            elements = [reader.read_term() for _ in range(count)]
+            tail = reader.read_term()
+            return make_list(elements, tail=tail)
+        raise PIFDecodeError(f"cannot decode tag 0x{item.tag:02x}")
+
+    def _var_name(self, offset: int) -> str:
+        if offset < len(self.var_names):
+            return self.var_names[offset]
+        return f"_V{offset}"
+
+    def _heap_reader(self, offset: int) -> tuple[int, "_StreamReader"]:
+        """The (count, element reader) pair for a heap blob."""
+        if offset + 4 > len(self.heap):
+            raise PIFDecodeError(f"heap pointer {offset} out of range")
+        count = int.from_bytes(self.heap[offset : offset + 4], "big")
+        reader = _StreamReader(
+            self.heap[offset + 4 :], self.heap, self.var_names, self.symbols
+        )
+        return count, reader

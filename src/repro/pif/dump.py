@@ -1,0 +1,92 @@
+"""Human-readable dumps of PIF item streams and clause records.
+
+The debugging companion to the microcode disassembler: shows every item's
+tag, content and meaning, exactly as the FS2's map ROM would classify it.
+"""
+
+from __future__ import annotations
+
+from . import tags
+from .clausefile import CompiledClause
+from .decoder import Item, scan_items
+from .symbols import SymbolTable
+
+__all__ = ["dump_stream", "dump_record", "describe_item"]
+
+
+def describe_item(item: Item, symbols: SymbolTable | None = None) -> str:
+    """One item as ``tag content -- meaning``."""
+    meaning = tags.tag_name(item.tag)
+    detail = ""
+    category = item.category
+    if category == tags.TagCategory.INTEGER:
+        raw = ((item.tag & 0xF) << 24) | item.content
+        if raw >= 1 << (tags.INT_INLINE_BITS - 1):
+            raw -= 1 << tags.INT_INLINE_BITS
+        detail = f"value {raw}"
+    elif category in (tags.TagCategory.ATOM, tags.TagCategory.FLOAT):
+        detail = f"symbol #{item.content}"
+        if symbols is not None:
+            try:
+                kind, value = symbols.lookup(item.content)
+                detail += f" ({value!r})"
+            except KeyError:
+                detail += " (dangling)"
+    elif category in (
+        tags.TagCategory.FIRST_QUERY_VAR,
+        tags.TagCategory.SUB_QUERY_VAR,
+        tags.TagCategory.FIRST_DB_VAR,
+        tags.TagCategory.SUB_DB_VAR,
+    ):
+        detail = f"slot {item.content}"
+    elif category == tags.TagCategory.STRUCT_INLINE:
+        detail = f"functor #{item.content}"
+        if symbols is not None:
+            try:
+                detail += f" ({symbols.atom_name_at(item.content)!r})"
+            except KeyError:
+                detail += " (dangling)"
+    elif tags.is_pointer_tag(item.tag):
+        detail = f"heap +{item.extension}"
+    text = f"0x{item.tag:02x} {item.content:8d}  {meaning}"
+    if detail:
+        text += f"  [{detail}]"
+    return text
+
+
+def dump_stream(
+    stream: bytes, symbols: SymbolTable | None = None, indent: str = "  "
+) -> list[str]:
+    """All items of a raw stream, one line each, nested by term depth."""
+    from ..fs2.cursor import inline_children
+
+    lines = []
+    pending: list[int] = []  # remaining child terms at each open level
+    for item in scan_items(stream):
+        lines.append(f"{indent * len(pending)}{describe_item(item, symbols)}")
+        if pending:
+            pending[-1] -= 1
+        children = inline_children(item)
+        if children:
+            pending.append(children)
+        while pending and pending[-1] == 0:
+            pending.pop()
+    return lines
+
+
+def dump_record(
+    record: CompiledClause, symbols: SymbolTable | None = None
+) -> list[str]:
+    """A whole compiled clause: head stream, body stream, heap size."""
+    name, arity = record.indicator
+    lines = [f"clause {name}/{arity} ({'fact' if record.is_fact else 'rule'})"]
+    lines.append("head:")
+    lines.extend(dump_stream(record.head_stream, symbols))
+    if record.body_stream:
+        lines.append("body:")
+        lines.extend(dump_stream(record.body_stream, symbols))
+    if record.heap:
+        lines.append(f"heap: {len(record.heap)} bytes")
+    if record.var_names:
+        lines.append("variables: " + ", ".join(record.var_names))
+    return lines

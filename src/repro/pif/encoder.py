@@ -1,0 +1,270 @@
+"""Compiling terms into the Pseudo In-line Format (PIF).
+
+An encoded argument is a sequence of 4-byte *items* (8-bit tag + 24-bit
+content); pointer-type items carry an additional 4-byte extension that
+indexes an out-of-line *heap* area holding terms too large for in-line
+representation (arity above 31).
+
+Layout decisions the paper leaves open (documented deviations):
+
+* In-line list items are followed by their prefix elements and then one
+  *tail item* (the NIL item ``0xE0`` for proper lists, a variable item for
+  unlimited lists, or an arbitrary term item for improper cons chains).
+  The empty list itself is the single item ``0xE0`` with no tail.
+* Heap blobs are ``real-arity (4 bytes) | element items`` for structures
+  and ``real-prefix-length (4 bytes) | element items | tail item`` for
+  lists; nested oversized terms are encoded post-order so extensions
+  always point backwards.
+* Integers must fit 28-bit two's complement (tag nibble + 24-bit
+  content); anything larger raises :class:`PIFError`, mirroring the
+  hardware's fixed field width.
+
+Variable occurrences are typed at compile time: the first occurrence of a
+named variable gets the First-DB/Query-Var tag, later occurrences the
+Subsequent tag, and all occurrences share one content field (the variable
+offset, which doubles as the binding-store slot at run time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..terms import NIL, Atom, Float, Int, Struct, Term, Var, list_parts
+from . import tags
+from .symbols import SymbolTable
+
+__all__ = ["PIFError", "EncodedArgs", "PIFEncoder", "ITEM_SIZE", "EXTENSION_SIZE"]
+
+ITEM_SIZE = 4
+EXTENSION_SIZE = 4
+
+
+class PIFError(ValueError):
+    """A term cannot be represented in PIF."""
+
+
+@dataclass(frozen=True)
+class EncodedArgs:
+    """The PIF encoding of one clause head's (or query's) arguments."""
+
+    indicator: tuple[str, int]
+    stream: bytes
+    heap: bytes = b""
+    var_names: tuple[str, ...] = ()
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self.stream) + len(self.heap)
+
+    def item_words(self) -> list[tuple[int, int]]:
+        """The in-line stream as a list of (tag, content) pairs.
+
+        Extensions are folded into the preceding item's word list entry by
+        the stream scanner in :mod:`repro.pif.decoder`; this helper is the
+        raw 4-byte view used by the FS2 double-buffer model.
+        """
+        words = []
+        for offset in range(0, len(self.stream), ITEM_SIZE):
+            word = self.stream[offset : offset + ITEM_SIZE]
+            words.append((word[0], int.from_bytes(word[1:], "big")))
+        return words
+
+
+class PIFEncoder:
+    """Encode clause heads (side ``db``) or queries (side ``query``)."""
+
+    def __init__(self, symbols: SymbolTable, side: str = "db"):
+        if side not in ("db", "query"):
+            raise ValueError(f"side must be 'db' or 'query', not {side!r}")
+        self.symbols = symbols
+        self.side = side
+        if side == "db":
+            self._first_tag = tags.TAG_FIRST_DB_VAR
+            self._sub_tag = tags.TAG_SUB_DB_VAR
+        else:
+            self._first_tag = tags.TAG_FIRST_QUERY_VAR
+            self._sub_tag = tags.TAG_SUB_QUERY_VAR
+
+    def encode_head(self, head: Term) -> EncodedArgs:
+        """Encode the arguments of a clause head / query term."""
+        if isinstance(head, Atom):
+            return EncodedArgs(indicator=(head.name, 0), stream=b"")
+        if not isinstance(head, Struct):
+            raise PIFError(f"clause head must be callable, got {head!r}")
+        state = _EncodeState()
+        for arg in head.args:
+            self._encode(arg, state)
+        return EncodedArgs(
+            indicator=head.indicator,
+            stream=bytes(state.stream),
+            heap=bytes(state.heap),
+            var_names=tuple(state.var_names),
+        )
+
+    def encode_clause(
+        self, head: Term, body_term: Term | None = None
+    ) -> tuple[EncodedArgs, bytes]:
+        """Encode head arguments and an optional body term in one pass.
+
+        The body shares the head's variable numbering and heap, so a
+        variable appearing in both is Sub-typed in the body.  Returns the
+        head encoding plus the raw body stream (empty for facts).
+        """
+        if isinstance(head, Atom):
+            indicator: tuple[str, int] = (head.name, 0)
+            args: tuple[Term, ...] = ()
+        elif isinstance(head, Struct):
+            indicator = head.indicator
+            args = head.args
+        else:
+            raise PIFError(f"clause head must be callable, got {head!r}")
+        state = _EncodeState()
+        for arg in args:
+            self._encode(arg, state)
+        head_length = len(state.stream)
+        if body_term is not None:
+            self._encode(body_term, state)
+        stream = bytes(state.stream)
+        head_encoded = EncodedArgs(
+            indicator=indicator,
+            stream=stream[:head_length],
+            heap=bytes(state.heap),
+            var_names=tuple(state.var_names),
+        )
+        return head_encoded, stream[head_length:]
+
+    def encode_term(self, term: Term) -> EncodedArgs:
+        """Encode a single term as a one-item stream (used for bodies)."""
+        state = _EncodeState()
+        self._encode(term, state)
+        return EncodedArgs(
+            indicator=("$term", 1),
+            stream=bytes(state.stream),
+            heap=bytes(state.heap),
+            var_names=tuple(state.var_names),
+        )
+
+    # -- encoding ------------------------------------------------------------
+
+    def _encode(self, term: Term, state: "_EncodeState") -> None:
+        if isinstance(term, Var):
+            self._encode_var(term, state)
+        elif isinstance(term, Int):
+            self._encode_int(term, state)
+        elif isinstance(term, Float):
+            state.emit(tags.TAG_FLOAT_PTR, self.symbols.intern_float(term.value))
+        elif isinstance(term, Atom):
+            if term == NIL:
+                state.emit(tags.TAG_TLIST_INLINE_BASE)  # arity 0 == []
+            else:
+                state.emit(tags.TAG_ATOM_PTR, self.symbols.intern_atom(term.name))
+        elif isinstance(term, Struct):
+            if term.functor == "." and term.arity == 2:
+                self._encode_list(term, state)
+            else:
+                self._encode_struct(term, state)
+        else:
+            raise PIFError(f"cannot encode {term!r}")
+
+    def _encode_var(self, var: Var, state: "_EncodeState") -> None:
+        if var.is_anonymous():
+            state.emit(tags.TAG_ANONYMOUS_VAR)
+            return
+        offset = state.var_offsets.get(var)
+        if offset is None:
+            offset = len(state.var_names)
+            if offset > 0xFF:
+                # The content field for variables is a one-byte offset
+                # (Table A1: "Variable Offset (b)").
+                raise PIFError("more than 256 distinct variables in one clause")
+            state.var_offsets[var] = offset
+            state.var_names.append(var.name)
+            state.emit(self._first_tag, offset)
+        else:
+            state.emit(self._sub_tag, offset)
+
+    def _encode_int(self, term: Int, state: "_EncodeState") -> None:
+        value = term.value
+        if not (tags.INT_INLINE_MIN <= value <= tags.INT_INLINE_MAX):
+            raise PIFError(
+                f"integer {value} exceeds the 28-bit in-line range "
+                f"[{tags.INT_INLINE_MIN}, {tags.INT_INLINE_MAX}]"
+            )
+        unsigned = value & ((1 << tags.INT_INLINE_BITS) - 1)
+        nibble = (unsigned >> 24) & 0xF
+        state.emit(tags.TAG_INT_BASE | nibble, unsigned & 0xFFFFFF)
+
+    def _encode_struct(self, term: Struct, state: "_EncodeState") -> None:
+        functor_offset = self.symbols.intern_atom(term.functor)
+        if term.arity <= tags.INLINE_ARITY_LIMIT:
+            state.emit(tags.TAG_STRUCT_INLINE_BASE | term.arity, functor_offset)
+            for element in term.args:
+                self._encode(element, state)
+            return
+        # Pointer form: elements live in the heap (post-order encoding).
+        heap_state = state.sub_state()
+        for element in term.args:
+            self._encode(element, heap_state)
+        blob = term.arity.to_bytes(4, "big") + bytes(heap_state.stream)
+        pointer = state.add_heap_blob(blob)
+        state.emit(
+            tags.TAG_STRUCT_PTR_BASE | tags.INLINE_ARITY_LIMIT,
+            functor_offset,
+            extension=pointer,
+        )
+
+    def _encode_list(self, term: Struct, state: "_EncodeState") -> None:
+        items, tail = list_parts(term)
+        open_list = isinstance(tail, Var)
+        if len(items) <= tags.INLINE_ARITY_LIMIT:
+            base = (
+                tags.TAG_ULIST_INLINE_BASE if open_list else tags.TAG_TLIST_INLINE_BASE
+            )
+            state.emit(base | len(items))
+            for element in items:
+                self._encode(element, state)
+            self._encode(tail, state)
+            return
+        base = tags.TAG_ULIST_PTR_BASE if open_list else tags.TAG_TLIST_PTR_BASE
+        heap_state = state.sub_state()
+        for element in items:
+            self._encode(element, heap_state)
+        self._encode(tail, heap_state)
+        blob = len(items).to_bytes(4, "big") + bytes(heap_state.stream)
+        pointer = state.add_heap_blob(blob)
+        state.emit(base | tags.INLINE_ARITY_LIMIT, 0, extension=pointer)
+
+
+class _EncodeState:
+    """Mutable buffers shared across one head/query encoding."""
+
+    __slots__ = ("stream", "heap", "var_offsets", "var_names", "_root")
+
+    def __init__(self, root: "_EncodeState | None" = None):
+        self.stream = bytearray()
+        self._root = root if root is not None else self
+        if root is None:
+            self.heap = bytearray()
+            self.var_offsets: dict[Var, int] = {}
+            self.var_names: list[str] = []
+        else:
+            self.heap = root.heap
+            self.var_offsets = root.var_offsets
+            self.var_names = root.var_names
+
+    def emit(self, tag: int, content: int = 0, extension: int | None = None) -> None:
+        if not (0 <= content < (1 << 24)):
+            raise PIFError(f"content field {content} exceeds 24 bits")
+        self.stream.append(tag)
+        self.stream += content.to_bytes(3, "big")
+        if extension is not None:
+            self.stream += extension.to_bytes(4, "big")
+
+    def sub_state(self) -> "_EncodeState":
+        """A fresh stream buffer sharing the heap and variable numbering."""
+        return _EncodeState(self._root)
+
+    def add_heap_blob(self, blob: bytes) -> int:
+        offset = len(self._root.heap)
+        self._root.heap += blob
+        return offset

@@ -1,0 +1,123 @@
+"""The symbol table backing PIF atom/float/functor content fields.
+
+Atom names, functor names and float values are interned here; the PIF
+content field stores the 24-bit symbol offset.  The table is append-only
+(compiled clause files reference offsets forever) and serialisable so a
+knowledge base can persist it beside its clause files.
+"""
+
+from __future__ import annotations
+
+from ..terms import Atom, Float
+
+__all__ = ["SymbolTable", "SymbolTableFull"]
+
+#: Content fields are 24 bits wide.
+MAX_SYMBOLS = 1 << 24
+
+
+class SymbolTableFull(RuntimeError):
+    """Raised when the 24-bit offset space is exhausted."""
+
+
+class SymbolTable:
+    """Append-only interning table for atoms, functors and floats.
+
+    Atoms and functors share the name space (an atom *is* a 0-arity
+    functor); floats are keyed separately so ``1.0`` and an atom ``'1.0'``
+    do not collide.
+    """
+
+    __slots__ = ("_entries", "_atom_index", "_float_index")
+
+    def __init__(self) -> None:
+        self._entries: list[tuple[str, str | float]] = []
+        self._atom_index: dict[str, int] = {}
+        self._float_index: dict[float, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def intern_atom(self, name: str) -> int:
+        """Offset for an atom/functor name, allocating if new."""
+        offset = self._atom_index.get(name)
+        if offset is None:
+            offset = self._allocate(("atom", name))
+            self._atom_index[name] = offset
+        return offset
+
+    def intern_float(self, value: float) -> int:
+        """Offset for a float value, allocating if new."""
+        offset = self._float_index.get(value)
+        if offset is None:
+            offset = self._allocate(("float", value))
+            self._float_index[value] = offset
+        return offset
+
+    def _allocate(self, entry: tuple[str, str | float]) -> int:
+        if len(self._entries) >= MAX_SYMBOLS:
+            raise SymbolTableFull("24-bit symbol offset space exhausted")
+        self._entries.append(entry)
+        return len(self._entries) - 1
+
+    def lookup(self, offset: int) -> tuple[str, str | float]:
+        """The ``(kind, value)`` entry at ``offset``."""
+        try:
+            return self._entries[offset]
+        except IndexError:
+            raise KeyError(f"no symbol at offset {offset}") from None
+
+    def atom_at(self, offset: int) -> Atom:
+        kind, value = self.lookup(offset)
+        if kind != "atom":
+            raise KeyError(f"symbol {offset} is a {kind}, not an atom")
+        assert isinstance(value, str)
+        return Atom(value)
+
+    def float_at(self, offset: int) -> Float:
+        kind, value = self.lookup(offset)
+        if kind != "float":
+            raise KeyError(f"symbol {offset} is a {kind}, not a float")
+        assert isinstance(value, float)
+        return Float(value)
+
+    def atom_name_at(self, offset: int) -> str:
+        return self.atom_at(offset).name
+
+    def contains_atom(self, name: str) -> bool:
+        return name in self._atom_index
+
+    # -- persistence ---------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Serialise the table (length-prefixed UTF-8 / float text entries)."""
+        out = bytearray()
+        out += len(self._entries).to_bytes(4, "big")
+        for kind, value in self._entries:
+            payload = (
+                value.encode("utf-8") if kind == "atom" else repr(value).encode()
+            )
+            out.append(0 if kind == "atom" else 1)
+            out += len(payload).to_bytes(3, "big")
+            out += payload
+        return bytes(out)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "SymbolTable":
+        table = cls()
+        count = int.from_bytes(data[:4], "big")
+        position = 4
+        for _ in range(count):
+            kind_byte = data[position]
+            length = int.from_bytes(data[position + 1 : position + 4], "big")
+            payload = data[position + 4 : position + 4 + length]
+            position += 4 + length
+            if kind_byte == 0:
+                table.intern_atom(payload.decode("utf-8"))
+            else:
+                table.intern_float(float(payload.decode()))
+        return table
+
+    def size_bytes(self) -> int:
+        """Serialised size, used by the index-vs-data size benchmark."""
+        return len(self.to_bytes())

@@ -1,0 +1,241 @@
+"""PIF type tags — the CLARE data type scheme (paper Table A1).
+
+Every argument in the pseudo in-line format is an 8-bit *type tag* followed
+by a 24-bit content field, with an optional 32-bit extension for pointer
+types.  The tag layouts:
+
+====================  =========  =====================================
+Item                  Tag        Content / extension
+====================  =========  =====================================
+Anonymous variable    0010 0000  --
+First query var       0010 0111  variable offset
+Subsequent query var  0010 0101  variable offset
+First DB var          0010 0110  variable offset
+Subsequent DB var     0010 0100  variable offset
+Atom pointer          0000 1000  symbol table offset
+Float pointer         0000 1001  symbol table offset
+Integer in-line       0001 nnnn  least significant 24 bits (nnnn = MS nibble)
+Structure in-line     011a aaaa  functor symbol offset; elements follow
+Structure pointer     010a aaaa  functor symbol offset; extension -> structure
+Term. list in-line    111a aaaa  elements follow
+Unterm. list in-line  101a aaaa  elements follow, then the tail variable
+Term. list pointer    110a aaaa  extension -> list (DB arguments only)
+Unterm. list pointer  100a aaaa  extension -> list (DB arguments only)
+====================  =========  =====================================
+
+``aaaaa`` is a 5-bit arity (<= 31); larger terms use the pointer form with
+a saturated arity field.  The paper counts 107 supported data types; the
+exact enumeration is not given, so :func:`tag_inventory` reports the tag
+values this implementation can actually emit (see EXPERIMENTS.md for the
+comparison).
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+__all__ = [
+    "TAG_ANONYMOUS_VAR",
+    "TAG_FIRST_QUERY_VAR",
+    "TAG_SUB_QUERY_VAR",
+    "TAG_FIRST_DB_VAR",
+    "TAG_SUB_DB_VAR",
+    "TAG_ATOM_PTR",
+    "TAG_FLOAT_PTR",
+    "TAG_INT_BASE",
+    "TAG_STRUCT_INLINE_BASE",
+    "TAG_STRUCT_PTR_BASE",
+    "TAG_TLIST_INLINE_BASE",
+    "TAG_ULIST_INLINE_BASE",
+    "TAG_TLIST_PTR_BASE",
+    "TAG_ULIST_PTR_BASE",
+    "ARITY_MASK",
+    "INLINE_ARITY_LIMIT",
+    "INT_INLINE_BITS",
+    "INT_INLINE_MIN",
+    "INT_INLINE_MAX",
+    "TagCategory",
+    "tag_category",
+    "tag_arity",
+    "is_variable_tag",
+    "is_complex_tag",
+    "is_pointer_tag",
+    "int_tag_nibble",
+    "tag_name",
+    "tag_inventory",
+]
+
+TAG_ANONYMOUS_VAR = 0x20
+TAG_FIRST_QUERY_VAR = 0x27
+TAG_SUB_QUERY_VAR = 0x25
+TAG_FIRST_DB_VAR = 0x26
+TAG_SUB_DB_VAR = 0x24
+
+TAG_ATOM_PTR = 0x08
+TAG_FLOAT_PTR = 0x09
+TAG_INT_BASE = 0x10  # 0x10 | most_significant_nibble
+
+TAG_STRUCT_INLINE_BASE = 0x60  # 011a aaaa
+TAG_STRUCT_PTR_BASE = 0x40  # 010a aaaa
+TAG_TLIST_INLINE_BASE = 0xE0  # 111a aaaa
+TAG_ULIST_INLINE_BASE = 0xA0  # 101a aaaa
+TAG_TLIST_PTR_BASE = 0xC0  # 110a aaaa
+TAG_ULIST_PTR_BASE = 0x80  # 100a aaaa
+
+ARITY_MASK = 0x1F
+INLINE_ARITY_LIMIT = 31
+
+#: In-line integers: 4-bit tag nibble + 24-bit content = 28 bits, two's
+#: complement.
+INT_INLINE_BITS = 28
+INT_INLINE_MIN = -(2 ** (INT_INLINE_BITS - 1))
+INT_INLINE_MAX = 2 ** (INT_INLINE_BITS - 1) - 1
+
+_VARIABLE_TAGS = {
+    TAG_ANONYMOUS_VAR,
+    TAG_FIRST_QUERY_VAR,
+    TAG_SUB_QUERY_VAR,
+    TAG_FIRST_DB_VAR,
+    TAG_SUB_DB_VAR,
+}
+
+
+class TagCategory(IntEnum):
+    """The three matching categories of section 3.1, split by kind.
+
+    Simple terms require simple matching; variable terms require skipping,
+    storing or fetch-then-match; complex terms require repetitive matching.
+    """
+
+    ATOM = 1
+    FLOAT = 2
+    INTEGER = 3
+    ANONYMOUS = 4
+    FIRST_QUERY_VAR = 5
+    SUB_QUERY_VAR = 6
+    FIRST_DB_VAR = 7
+    SUB_DB_VAR = 8
+    STRUCT_INLINE = 9
+    STRUCT_PTR = 10
+    TLIST_INLINE = 11
+    ULIST_INLINE = 12
+    TLIST_PTR = 13
+    ULIST_PTR = 14
+
+
+_FIXED_CATEGORIES = {
+    TAG_ATOM_PTR: TagCategory.ATOM,
+    TAG_FLOAT_PTR: TagCategory.FLOAT,
+    TAG_ANONYMOUS_VAR: TagCategory.ANONYMOUS,
+    TAG_FIRST_QUERY_VAR: TagCategory.FIRST_QUERY_VAR,
+    TAG_SUB_QUERY_VAR: TagCategory.SUB_QUERY_VAR,
+    TAG_FIRST_DB_VAR: TagCategory.FIRST_DB_VAR,
+    TAG_SUB_DB_VAR: TagCategory.SUB_DB_VAR,
+}
+
+_COMPLEX_BASES = {
+    TAG_STRUCT_INLINE_BASE: TagCategory.STRUCT_INLINE,
+    TAG_STRUCT_PTR_BASE: TagCategory.STRUCT_PTR,
+    TAG_TLIST_INLINE_BASE: TagCategory.TLIST_INLINE,
+    TAG_ULIST_INLINE_BASE: TagCategory.ULIST_INLINE,
+    TAG_TLIST_PTR_BASE: TagCategory.TLIST_PTR,
+    TAG_ULIST_PTR_BASE: TagCategory.ULIST_PTR,
+}
+
+
+def tag_category(tag: int) -> TagCategory:
+    """Classify a tag byte; raises ValueError for unassigned tag values."""
+    fixed = _FIXED_CATEGORIES.get(tag)
+    if fixed is not None:
+        return fixed
+    if TAG_INT_BASE <= tag < TAG_INT_BASE + 16:
+        return TagCategory.INTEGER
+    base = tag & ~ARITY_MASK
+    category = _COMPLEX_BASES.get(base)
+    if category is not None:
+        return category
+    raise ValueError(f"unassigned PIF tag 0x{tag:02x}")
+
+
+def tag_arity(tag: int) -> int:
+    """The 5-bit arity field of a complex-term tag."""
+    if not is_complex_tag(tag):
+        raise ValueError(f"tag 0x{tag:02x} carries no arity")
+    return tag & ARITY_MASK
+
+
+def is_variable_tag(tag: int) -> bool:
+    """True for the five variable tags of Table A1."""
+    return tag in _VARIABLE_TAGS
+
+
+def is_complex_tag(tag: int) -> bool:
+    """True for structure/list tags (in-line or pointer)."""
+    return (tag & ~ARITY_MASK) in _COMPLEX_BASES
+
+
+def is_pointer_tag(tag: int) -> bool:
+    """True for tags whose item carries a 32-bit extension pointer."""
+    return (tag & ~ARITY_MASK) in (
+        TAG_STRUCT_PTR_BASE,
+        TAG_TLIST_PTR_BASE,
+        TAG_ULIST_PTR_BASE,
+    )
+
+
+def int_tag_nibble(value: int) -> int:
+    """The most significant nibble of a 28-bit two's complement integer."""
+    if not (INT_INLINE_MIN <= value <= INT_INLINE_MAX):
+        raise ValueError(f"{value} exceeds the in-line integer range")
+    return (value >> 24) & 0xF
+
+
+def tag_name(tag: int) -> str:
+    """Human readable tag description, for dumps and the Table A1 bench."""
+    category = tag_category(tag)
+    if category == TagCategory.INTEGER:
+        return f"Integer In-line (nibble {tag & 0xF})"
+    names = {
+        TagCategory.ATOM: "Atom Pointer",
+        TagCategory.FLOAT: "Float Pointer",
+        TagCategory.ANONYMOUS: "Anonymous Var",
+        TagCategory.FIRST_QUERY_VAR: "First Query Var",
+        TagCategory.SUB_QUERY_VAR: "Subsequent Query Var",
+        TagCategory.FIRST_DB_VAR: "First DB Var",
+        TagCategory.SUB_DB_VAR: "Subsequent DB Var",
+        TagCategory.STRUCT_INLINE: "Structure In-line",
+        TagCategory.STRUCT_PTR: "Structure Pointer",
+        TagCategory.TLIST_INLINE: "Terminated List In-line",
+        TagCategory.ULIST_INLINE: "Unterminated List In-line",
+        TagCategory.TLIST_PTR: "Terminated List Pointer",
+        TagCategory.ULIST_PTR: "Unterminated List Pointer",
+    }
+    name = names[category]
+    if is_complex_tag(tag):
+        return f"{name} (arity {tag_arity(tag)})"
+    return name
+
+
+def tag_inventory() -> dict[str, list[int]]:
+    """Every tag value this implementation can emit, grouped by item kind.
+
+    The paper states 107 data types are supported but gives no enumeration;
+    this inventory makes our tag space auditable against that claim.
+    """
+    inventory: dict[str, list[int]] = {
+        "variables": sorted(_VARIABLE_TAGS),
+        "atom": [TAG_ATOM_PTR],
+        "float": [TAG_FLOAT_PTR],
+        "integer": [TAG_INT_BASE | n for n in range(16)],
+        # Structures need at least one argument: arity 1..31 in-line, and
+        # pointer forms saturate at 31.
+        "structure_inline": [TAG_STRUCT_INLINE_BASE | a for a in range(1, 32)],
+        "structure_pointer": [TAG_STRUCT_PTR_BASE | 31],
+        # Terminated lists include [] (arity 0); unterminated lists need a
+        # prefix element (arity 1..31).
+        "tlist_inline": [TAG_TLIST_INLINE_BASE | a for a in range(0, 32)],
+        "ulist_inline": [TAG_ULIST_INLINE_BASE | a for a in range(1, 32)],
+        "tlist_pointer": [TAG_TLIST_PTR_BASE | 31],
+        "ulist_pointer": [TAG_ULIST_PTR_BASE | 31],
+    }
+    return inventory

@@ -1,0 +1,53 @@
+"""Query-run reports: where did retrieval time go?
+
+Formats a :class:`~repro.engine.PrologMachine`'s aggregate statistics and
+(when retrieval tracing is on) the per-goal retrieval breakdown into the
+kind of report the PDBM project's benchmark campaign would have printed.
+"""
+
+from __future__ import annotations
+
+from .crs import RetrievalStats, SearchMode
+from .engine import PrologMachine
+from .terms import Term, term_to_string
+
+__all__ = ["format_query_report", "format_retrieval"]
+
+
+def format_retrieval(goal: Term, stats: RetrievalStats) -> str:
+    """One trace line: goal, mode, volumes, time split."""
+    parts = [
+        f"{term_to_string(goal):<36}",
+        f"mode={stats.mode.value:<8}",
+        f"scanned={stats.clauses_total:<6}",
+        f"candidates={stats.final_candidates:<5}",
+        f"filter={stats.filter_time_s * 1e3:8.3f}ms",
+    ]
+    if stats.fs1_candidates is not None:
+        parts.insert(3, f"fs1_cands={stats.fs1_candidates:<6}")
+    return "  ".join(parts)
+
+
+def format_query_report(machine: PrologMachine, title: str = "query report") -> str:
+    """A multi-line report of everything the machine retrieved so far."""
+    stats = machine.stats
+    lines = [title, "=" * len(title)]
+    lines.append(f"retrievals        : {stats.retrievals}")
+    lines.append(f"clauses scanned   : {stats.clauses_scanned}")
+    lines.append(f"candidates passed : {stats.candidates}")
+    if stats.clauses_scanned:
+        ratio = stats.candidates / stats.clauses_scanned
+        lines.append(f"filter selectivity: {100 * ratio:.2f}%")
+    lines.append(f"modelled filter   : {stats.filter_time_s * 1e3:.3f} ms")
+    if stats.mode_uses:
+        lines.append("search modes:")
+        for mode in SearchMode:
+            if mode in stats.mode_uses:
+                lines.append(f"  {mode.value:<9}: {stats.mode_uses[mode]} uses")
+    if machine.trace:
+        lines.append("")
+        lines.append(f"last {len(machine.trace)} retrievals:")
+        for goal, retrieval in machine.trace:
+            if retrieval is not None:
+                lines.append("  " + format_retrieval(goal, retrieval))
+    return "\n".join(lines)

@@ -1,0 +1,90 @@
+"""Analytic superimposed-coding theory for the SCW+MB scheme.
+
+Classic results (Roberts 1979; applied to Prolog indexing by
+Ramamohanarao & Shepherd, the paper's ref [11]):
+
+* with ``r`` keys each setting ``k`` of ``b`` bits, the expected fraction
+  of set bits (*saturation*) is ``1 - (1 - 1/b)^(k r)``;
+* a query requiring ``k q`` independent bits false-drops against an
+  unrelated record with probability ``saturation^(k q)``;
+* for a target record size, false drops are minimised around 50%
+  saturation, i.e. ``k ≈ b ln 2 / r``.
+
+These formulas predict the measured false-drop curves of benchmark E1 and
+give the design tool the paper's project would have used to size the
+96/12-argument prototype.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "expected_saturation",
+    "false_drop_probability",
+    "optimal_bits_per_key",
+    "recommend_width",
+]
+
+
+def expected_saturation(width: int, bits_per_key: int, keys: int) -> float:
+    """Expected fraction of bits set after superimposing ``keys`` keys."""
+    if width <= 0 or bits_per_key <= 0:
+        raise ValueError("width and bits_per_key must be positive")
+    if keys < 0:
+        raise ValueError("keys must be non-negative")
+    return 1.0 - (1.0 - 1.0 / width) ** (bits_per_key * keys)
+
+
+def false_drop_probability(
+    width: int,
+    bits_per_key: int,
+    record_keys: int,
+    query_keys: int,
+) -> float:
+    """P(an unrelated record passes the inclusion test).
+
+    The query contributes ``bits_per_key * query_keys`` (approximately
+    independent) required bit positions; each is present in the record's
+    codeword with probability equal to its saturation.
+    """
+    if query_keys < 0:
+        raise ValueError("query_keys must be non-negative")
+    saturation = expected_saturation(width, bits_per_key, record_keys)
+    return saturation ** (bits_per_key * query_keys)
+
+
+def optimal_bits_per_key(width: int, record_keys: int) -> int:
+    """The ``k`` that drives saturation to ~50% (false-drop optimum)."""
+    if width <= 0 or record_keys <= 0:
+        raise ValueError("width and record_keys must be positive")
+    k = width * math.log(2) / record_keys
+    return max(1, round(k))
+
+
+def recommend_width(
+    record_keys: int,
+    query_keys: int,
+    target_false_drop: float,
+    bits_per_key: int | None = None,
+) -> tuple[int, int]:
+    """Smallest (width, k) meeting a false-drop target.
+
+    Searches widths upward; when ``bits_per_key`` is None the optimal k
+    for each width is used.  Returns the first configuration whose
+    predicted false-drop probability is at or below the target.
+    """
+    if not (0 < target_false_drop < 1):
+        raise ValueError("target_false_drop must be in (0, 1)")
+    if record_keys <= 0 or query_keys <= 0:
+        raise ValueError("record_keys and query_keys must be positive")
+    width = 8
+    while width <= 1 << 16:
+        k = bits_per_key or optimal_bits_per_key(width, record_keys)
+        if (
+            false_drop_probability(width, k, record_keys, query_keys)
+            <= target_false_drop
+        ):
+            return width, k
+        width *= 2
+    raise ValueError("no width up to 65536 bits meets the target")

@@ -1,0 +1,67 @@
+"""The first stage filter (FS1) hardware model.
+
+The prototype FS1 matches codewords "in parallel, using standard PLAs and
+MSI components" while the secondary file streams past at up to 4.5 MB/s
+(paper section 4).  Functionally it computes the SCW+MB inclusion test for
+every index entry; the model also accounts the scan volume and wall time
+so mode benchmarks can compare against software scanning and FS2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..terms import Term
+from .codeword import CodewordScheme
+from .index import SecondaryIndexFile
+
+__all__ = ["FS1Result", "FirstStageFilter", "FS1_SCAN_RATE_BYTES_PER_SEC"]
+
+#: "It can search data at a rate of up to 4.5Mbyte/sec" (paper section 4).
+FS1_SCAN_RATE_BYTES_PER_SEC = 4_500_000
+
+
+@dataclass(frozen=True)
+class FS1Result:
+    """Outcome of one FS1 search over a secondary index file."""
+
+    candidate_addresses: tuple[int, ...]
+    entries_scanned: int
+    bytes_scanned: int
+    scan_time_s: float
+
+    @property
+    def candidate_count(self) -> int:
+        return len(self.candidate_addresses)
+
+
+class FirstStageFilter:
+    """Scan a secondary index file with the SCW+MB match condition."""
+
+    def __init__(
+        self,
+        scheme: CodewordScheme,
+        scan_rate_bytes_per_sec: float = FS1_SCAN_RATE_BYTES_PER_SEC,
+    ):
+        if scan_rate_bytes_per_sec <= 0:
+            raise ValueError("scan rate must be positive")
+        self.scheme = scheme
+        self.scan_rate = scan_rate_bytes_per_sec
+
+    def search(self, index: SecondaryIndexFile, query: Term) -> FS1Result:
+        """All candidate clause addresses for ``query``.
+
+        The whole secondary file streams past the matcher regardless of
+        hit count, so scan volume depends only on the index size.
+        """
+        if index.scheme is not self.scheme and index.scheme != self.scheme:
+            raise ValueError("index was built with a different codeword scheme")
+        query_codeword = self.scheme.query_codeword(query)
+        addresses = index.scan(query_codeword)
+        bytes_scanned = index.size_bytes()
+        return FS1Result(
+            candidate_addresses=tuple(addresses),
+            entries_scanned=len(index),
+            bytes_scanned=bytes_scanned,
+            scan_time_s=bytes_scanned / self.scan_rate,
+        )

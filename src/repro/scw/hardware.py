@@ -1,0 +1,114 @@
+"""Register-level FS1: the codeword matcher as streaming hardware.
+
+The prototype FS1 matches index entries "in parallel, using standard PLAs
+and MSI components" while the secondary file streams past.  This model
+works the way that hardware does — on the raw bytes of the secondary file
+image, not on parsed entry objects:
+
+* at query time the host loads the *query register file*: one codeword
+  segment per encoded argument (the per-argument bit groups of the SCW+MB
+  scheme);
+* during a search, bytes shift into an entry-wide shift register; every
+  time a full entry (codeword + mask bits + address) has arrived, the
+  match PLA evaluates all argument segments in parallel:
+  ``mask[i] OR (segment[i] AND codeword == segment[i])``;
+* on a hit, the address field is latched into the result FIFO.
+
+Functional equivalence with :meth:`SecondaryIndexFile.scan` (which works
+on entry objects) is property-tested — two independent implementations of
+the same match condition, one of them byte-level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..terms import Term
+from .codeword import Codeword, CodewordScheme
+from .fs1 import FS1_SCAN_RATE_BYTES_PER_SEC
+from .index import ADDRESS_BYTES
+
+__all__ = ["FS1Hardware", "FS1HardwareResult"]
+
+
+@dataclass(frozen=True)
+class FS1HardwareResult:
+    """Outcome of streaming one secondary-file image through the matcher."""
+
+    addresses: tuple[int, ...]
+    entries_processed: int
+    bytes_shifted: int
+    scan_time_s: float
+
+
+class FS1Hardware:
+    """Byte-stream codeword matcher with a loadable query register file."""
+
+    def __init__(
+        self,
+        scheme: CodewordScheme,
+        scan_rate_bytes_per_sec: float = FS1_SCAN_RATE_BYTES_PER_SEC,
+    ):
+        self.scheme = scheme
+        self.scan_rate = scan_rate_bytes_per_sec
+        self._segments: tuple[int, ...] | None = None
+        self._entry_bytes = scheme.entry_bytes(ADDRESS_BYTES)
+        self._mask_field = (1 << (scheme.mask_bytes * 8)) - 1
+
+    def set_query(self, query: Term) -> Codeword:
+        """Load the per-argument query segments (the query register file)."""
+        codeword = self.scheme.query_codeword(query)
+        self._segments = codeword.arg_bits
+        return codeword
+
+    def stream(self, image: bytes) -> FS1HardwareResult:
+        """Shift a secondary-file image through the matcher."""
+        if self._segments is None:
+            raise RuntimeError("set_query before streaming the index")
+        if len(image) % self._entry_bytes:
+            raise ValueError(
+                f"index image of {len(image)} bytes is not a whole number "
+                f"of {self._entry_bytes}-byte entries"
+            )
+        cw_bytes = self.scheme.codeword_bytes
+        mask_bytes = self.scheme.mask_bytes
+        hits: list[int] = []
+        entries = 0
+        position = 0
+        while position < len(image):
+            # The shift register has filled with one entry.
+            codeword_bits = int.from_bytes(
+                image[position : position + cw_bytes], "big"
+            )
+            mask = int.from_bytes(
+                image[position + cw_bytes : position + cw_bytes + mask_bytes],
+                "big",
+            )
+            address = int.from_bytes(
+                image[
+                    position + cw_bytes + mask_bytes : position + self._entry_bytes
+                ],
+                "big",
+            )
+            position += self._entry_bytes
+            entries += 1
+            if self._match_pla(codeword_bits, mask):
+                hits.append(address)
+        return FS1HardwareResult(
+            addresses=tuple(hits),
+            entries_processed=entries,
+            bytes_shifted=len(image),
+            scan_time_s=len(image) / self.scan_rate,
+        )
+
+    def _match_pla(self, codeword_bits: int, mask: int) -> bool:
+        """The parallel per-argument match condition."""
+        assert self._segments is not None
+        for position, segment in enumerate(self._segments):
+            if segment == 0:
+                continue  # unconstrained query argument
+            if mask & (1 << position) & self._mask_field:
+                continue  # clause argument absorbs anything
+            if segment & codeword_bits != segment:
+                return False
+        return True

@@ -1,0 +1,89 @@
+"""The secondary index file: codewords + mask bits + clause addresses.
+
+"For fast searching in large files, codewords are generated for facts and
+rule heads and these are maintained in a secondary file.  The secondary
+file is effectively an index table associating codewords with clause
+addresses" (paper section 2.1).  Scanning this file is much cheaper than
+scanning the compiled clause file itself — the size ratio is one of the
+reproduction's benchmarks (E5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..pif.clausefile import ClauseFile
+from ..terms import Term
+from .codeword import Codeword, CodewordScheme
+
+__all__ = ["IndexEntry", "SecondaryIndexFile"]
+
+ADDRESS_BYTES = 4
+
+
+@dataclass(frozen=True)
+class IndexEntry:
+    """One index record: the clause's codeword and its disk address."""
+
+    codeword: Codeword
+    address: int
+
+
+class SecondaryIndexFile:
+    """The SCW+MB index for one compiled clause file."""
+
+    def __init__(self, scheme: CodewordScheme, indicator: tuple[str, int]):
+        self.scheme = scheme
+        self.indicator = indicator
+        self._entries: list[IndexEntry] = []
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[IndexEntry]:
+        return iter(self._entries)
+
+    def add(self, head: Term, address: int) -> IndexEntry:
+        """Index one clause head at the given clause-file address."""
+        entry = IndexEntry(self.scheme.clause_codeword(head), address)
+        self._entries.append(entry)
+        return entry
+
+    @classmethod
+    def build(
+        cls, clause_file: ClauseFile, scheme: CodewordScheme
+    ) -> "SecondaryIndexFile":
+        """Build the index for every clause in ``clause_file``."""
+        index = cls(scheme, clause_file.indicator)
+        addresses = clause_file.record_addresses()
+        for position, address in enumerate(addresses):
+            head = clause_file.decode_clause(position).head
+            index.add(head, address)
+        return index
+
+    def scan(self, query: Codeword) -> list[int]:
+        """Addresses of all clauses whose codeword matches ``query``."""
+        matches = self.scheme.matches
+        return [e.address for e in self._entries if matches(query, e.codeword)]
+
+    def entry_at(self, position: int) -> IndexEntry:
+        return self._entries[position]
+
+    # -- size accounting ---------------------------------------------------
+
+    def size_bytes(self) -> int:
+        """Serialised index size (codeword + mask + address per entry)."""
+        return len(self._entries) * self.scheme.entry_bytes(ADDRESS_BYTES)
+
+    def to_bytes(self) -> bytes:
+        """The on-disk image the FS1 hardware streams through."""
+        out = bytearray()
+        cw_bytes = self.scheme.codeword_bytes
+        mask_bytes = self.scheme.mask_bytes
+        mask_field = (1 << (mask_bytes * 8)) - 1
+        for entry in self._entries:
+            out += entry.codeword.bits.to_bytes(cw_bytes, "big")
+            out += (entry.codeword.mask & mask_field).to_bytes(mask_bytes, "big")
+            out += entry.address.to_bytes(ADDRESS_BYTES, "big")
+        return bytes(out)

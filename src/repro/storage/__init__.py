@@ -1,0 +1,17 @@
+"""Clause storage: modules, predicate stores, the knowledge base."""
+
+from .kb import KnowledgeBase, PredicateStore, UnknownPredicateError
+from .module import DEFAULT_LARGE_THRESHOLD_BYTES, Module, Residency
+from .persist import PersistenceError, load_kb, save_kb
+
+__all__ = [
+    "DEFAULT_LARGE_THRESHOLD_BYTES",
+    "KnowledgeBase",
+    "Module",
+    "PersistenceError",
+    "PredicateStore",
+    "Residency",
+    "UnknownPredicateError",
+    "load_kb",
+    "save_kb",
+]

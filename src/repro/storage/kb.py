@@ -1,0 +1,259 @@
+"""The integrated knowledge base.
+
+One Prolog system manages everything: facts and rules of a predicate live
+together, in the user-specified order, in one compiled clause file per
+``functor/arity`` (mixed relations are a design goal of the PDBM project,
+paper section 1).  Each clause file gets an SCW+MB secondary index; both
+can be placed on the simulated disk for predicates whose module is
+disk resident.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from ..disk import DiskSim
+from ..pif import ClauseFile, CompiledClause, SymbolTable
+from ..scw import CodewordScheme, DEFAULT_SCHEME, SecondaryIndexFile
+from ..terms import (
+    Clause,
+    Term,
+    clause_from_term,
+    functor_indicator,
+    read_program,
+)
+from .module import Module, Residency
+
+__all__ = ["KnowledgeBase", "PredicateStore", "UnknownPredicateError"]
+
+
+class UnknownPredicateError(KeyError):
+    """Query against a predicate with no clauses."""
+
+
+@dataclass
+class PredicateStore:
+    """One predicate: its clause file, index, and module membership."""
+
+    indicator: tuple[str, int]
+    clause_file: ClauseFile
+    module_name: str
+    scheme: CodewordScheme
+    _index: SecondaryIndexFile | None = field(default=None, repr=False)
+
+    def __len__(self) -> int:
+        return len(self.clause_file)
+
+    @property
+    def index(self) -> SecondaryIndexFile:
+        """The SCW+MB secondary index (rebuilt lazily after updates)."""
+        if self._index is None:
+            self._index = SecondaryIndexFile.build(self.clause_file, self.scheme)
+        return self._index
+
+    def invalidate_index(self) -> None:
+        self._index = None
+
+    def clauses(self) -> list[Clause]:
+        """All clauses, decoded, in user order."""
+        return [
+            self.clause_file.decode_clause(i) for i in range(len(self.clause_file))
+        ]
+
+    def compiled_bytes(self) -> int:
+        return self.clause_file.size_bytes()
+
+    def extent_name(self) -> str:
+        name, arity = self.indicator
+        return f"clauses:{name}/{arity}"
+
+    def index_extent_name(self) -> str:
+        name, arity = self.indicator
+        return f"index:{name}/{arity}"
+
+
+class KnowledgeBase:
+    """The single Prolog view over all modules, predicates and clauses."""
+
+    def __init__(
+        self,
+        scheme: CodewordScheme = DEFAULT_SCHEME,
+        disk: DiskSim | None = None,
+    ):
+        self.symbols = SymbolTable()
+        self.scheme = scheme
+        self.disk = disk if disk is not None else DiskSim()
+        self._predicates: dict[tuple[str, int], PredicateStore] = {}
+        self._modules: dict[str, Module] = {"user": Module("user")}
+        #: bumped on every clause addition/removal; caches key on it.
+        self.version = 0
+
+    # -- modules --------------------------------------------------------------
+
+    def module(self, name: str) -> Module:
+        if name not in self._modules:
+            self._modules[name] = Module(name)
+        return self._modules[name]
+
+    def modules(self) -> list[Module]:
+        return list(self._modules.values())
+
+    def residency(self, indicator: tuple[str, int]) -> str:
+        """Where this predicate's clauses live (memory or disk)."""
+        store = self._store(indicator)
+        return self.module(store.module_name).residency(store.compiled_bytes())
+
+    # -- loading clauses --------------------------------------------------------
+
+    def consult_text(self, text: str, module: str = "user") -> int:
+        """Load ``.``-terminated clauses from source text."""
+        count = 0
+        for term in read_program(text):
+            self.add_clause(clause_from_term(term), module=module)
+            count += 1
+        return count
+
+    def consult_clauses(self, clauses: Iterable[Clause], module: str = "user") -> int:
+        count = 0
+        for clause in clauses:
+            self.add_clause(clause, module=module)
+            count += 1
+        return count
+
+    def add_clause(self, clause: Clause, module: str = "user") -> CompiledClause:
+        """Append a clause (``assertz`` order: end of its procedure)."""
+        store = self._store_or_create(clause.indicator, module)
+        compiled = store.clause_file.append(clause)
+        # Appends update a live index incrementally; anything else (see
+        # asserta/retract) rebuilds lazily.
+        if store._index is not None:
+            store._index.add(clause.head, store.clause_file.last_address())
+        self.version += 1
+        return compiled
+
+    def assertz(self, clause_or_term: Clause | Term, module: str = "user") -> None:
+        self.add_clause(_as_clause(clause_or_term), module=module)
+
+    def asserta(self, clause_or_term: Clause | Term, module: str = "user") -> None:
+        """Prepend a clause, preserving the ordering semantics of Prolog."""
+        clause = _as_clause(clause_or_term)
+        store = self._store_or_create(clause.indicator, module)
+        existing = store.clauses()
+        fresh = ClauseFile(clause.indicator, self.symbols)
+        fresh.append(clause)
+        for old in existing:
+            fresh.append(old)
+        store.clause_file = fresh
+        store.invalidate_index()
+        self.version += 1
+
+    def retract(self, clause_or_term: Clause | Term) -> bool:
+        """Remove the first clause *unifying* with the given template.
+
+        Standard Prolog semantics: the template's head and body unify
+        against each stored clause (standardised apart); the first match
+        is removed.
+        """
+        return self.retract_matching(clause_or_term) is not None
+
+    def retract_matching(self, clause_or_term: Clause | Term) -> Clause | None:
+        """Like :meth:`retract` but returns the removed clause."""
+        from ..terms import rename_apart
+        from ..unify import unify
+
+        clause = _as_clause(clause_or_term)
+        store = self._predicates.get(clause.indicator)
+        if store is None:
+            return None
+        template = clause.to_term()
+        existing = store.clauses()
+        for position, candidate in enumerate(existing):
+            renamed = rename_apart(candidate.to_term())
+            if unify(template, renamed) is not None:
+                fresh = ClauseFile(clause.indicator, self.symbols)
+                for keep in existing[:position] + existing[position + 1 :]:
+                    fresh.append(keep)
+                store.clause_file = fresh
+                store.invalidate_index()
+                self.version += 1
+                return candidate
+        return None
+
+    # -- access -----------------------------------------------------------------
+
+    def predicates(self) -> list[tuple[str, int]]:
+        return list(self._predicates)
+
+    def has_predicate(self, indicator: tuple[str, int]) -> bool:
+        return indicator in self._predicates
+
+    def store(self, indicator: tuple[str, int]) -> PredicateStore:
+        return self._store(indicator)
+
+    def store_for_goal(self, goal: Term) -> PredicateStore:
+        return self._store(functor_indicator(goal))
+
+    def clauses(self, indicator: tuple[str, int]) -> list[Clause]:
+        return self._store(indicator).clauses()
+
+    def clause_count(self) -> int:
+        return sum(len(s) for s in self._predicates.values())
+
+    def size_bytes(self) -> int:
+        """Total compiled clause file volume."""
+        return sum(s.compiled_bytes() for s in self._predicates.values())
+
+    def __iter__(self) -> Iterator[PredicateStore]:
+        return iter(self._predicates.values())
+
+    # -- disk placement ---------------------------------------------------------
+
+    def sync_to_disk(self) -> list[str]:
+        """Write disk-resident predicates' files and indexes to the disk.
+
+        Returns the extent names written.  Memory-resident predicates are
+        not written — they are consulted directly.
+        """
+        written = []
+        for store in self._predicates.values():
+            if self.residency(store.indicator) != Residency.DISK:
+                continue
+            # Clause files start on track boundaries so per-track FS2
+            # search calls line up with the physical layout.
+            self.disk.write_extent(
+                store.extent_name(), store.clause_file.to_bytes(), align_track=True
+            )
+            self.disk.write_extent(store.index_extent_name(), store.index.to_bytes())
+            written.extend([store.extent_name(), store.index_extent_name()])
+        return written
+
+    # -- internals ----------------------------------------------------------------
+
+    def _store(self, indicator: tuple[str, int]) -> PredicateStore:
+        try:
+            return self._predicates[indicator]
+        except KeyError:
+            name, arity = indicator
+            raise UnknownPredicateError(f"unknown predicate {name}/{arity}") from None
+
+    def _store_or_create(
+        self, indicator: tuple[str, int], module: str
+    ) -> PredicateStore:
+        store = self._predicates.get(indicator)
+        if store is None:
+            store = PredicateStore(
+                indicator=indicator,
+                clause_file=ClauseFile(indicator, self.symbols),
+                module_name=module,
+                scheme=self.scheme,
+            )
+            self._predicates[indicator] = store
+            self.module(module).add_procedure(indicator)
+        return store
+
+
+def _as_clause(clause_or_term: Clause | Term) -> Clause:
+    if isinstance(clause_or_term, Clause):
+        return clause_or_term
+    return clause_from_term(clause_or_term)

@@ -1,0 +1,53 @@
+"""Prolog-X style modules.
+
+"Using Prolog-X, clauses are compiled and stored in modules, each module
+containing one or more procedures.  Modules are then classified into two
+types depending on their size, viz small modules which are loaded into
+main memory when required, and large modules which are disk resident"
+(paper section 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Module", "Residency", "DEFAULT_LARGE_THRESHOLD_BYTES"]
+
+#: Modules beyond this compiled size become disk resident.  The paper's
+#: benchmarks [7] found ~60k clauses to be the in-memory breaking point on
+#: a 4 MB Sun3/160; with ~40-byte records that is around 2.4 MB, but the
+#: threshold is deliberately configurable per knowledge base.
+DEFAULT_LARGE_THRESHOLD_BYTES = 2 * 1024 * 1024
+
+
+class Residency:
+    """Where a module's clauses live: main memory or disk."""
+
+    MEMORY = "memory"
+    DISK = "disk"
+
+
+@dataclass
+class Module:
+    """A named group of procedures with a size-based residency class."""
+
+    name: str
+    large_threshold_bytes: int = DEFAULT_LARGE_THRESHOLD_BYTES
+    pinned_residency: str | None = None
+    indicators: set[tuple[str, int]] = field(default_factory=set)
+
+    def add_procedure(self, indicator: tuple[str, int]) -> None:
+        self.indicators.add(indicator)
+
+    def residency(self, compiled_bytes: int) -> str:
+        """Memory or disk, by compiled size (unless pinned)."""
+        if self.pinned_residency is not None:
+            return self.pinned_residency
+        if compiled_bytes > self.large_threshold_bytes:
+            return Residency.DISK
+        return Residency.MEMORY
+
+    def pin(self, residency: str) -> None:
+        if residency not in (Residency.MEMORY, Residency.DISK):
+            raise ValueError(f"unknown residency {residency!r}")
+        self.pinned_residency = residency

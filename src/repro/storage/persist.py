@@ -1,0 +1,144 @@
+"""Knowledge-base persistence: real files on the host filesystem.
+
+A saved knowledge base is a directory:
+
+* ``symbols.bin`` — the shared symbol table;
+* ``manifest.txt`` — one line per predicate: ``name/arity<TAB>module``
+  plus module residency pins;
+* ``<name>_<arity>.clauses`` — each predicate's compiled clause file
+  image (the same bytes that stream through CLARE);
+* ``<name>_<arity>.index`` — its secondary index image (rebuilt on load
+  if absent; the codeword scheme parameters are stored in the manifest).
+
+This realises the premise of the paper's title: the knowledge base lives
+in secondary storage and is *not* re-consulted from source.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from ..pif import ClauseFile, CompiledClause, SymbolTable
+from ..scw import CodewordScheme
+from .kb import KnowledgeBase, PredicateStore
+
+__all__ = ["save_kb", "load_kb", "PersistenceError"]
+
+_MANIFEST = "manifest.txt"
+_SYMBOLS = "symbols.bin"
+
+
+class PersistenceError(RuntimeError):
+    """Raised on malformed saved knowledge bases."""
+
+
+def _predicate_stem(indicator: tuple[str, int]) -> str:
+    name, arity = indicator
+    safe = "".join(c if c.isalnum() else f"_{ord(c):02x}_" for c in name)
+    return f"{safe}_{arity}"
+
+
+def save_kb(kb: KnowledgeBase, directory: str | pathlib.Path) -> list[str]:
+    """Write the knowledge base to ``directory``; returns files written."""
+    path = pathlib.Path(directory)
+    path.mkdir(parents=True, exist_ok=True)
+    written: list[str] = []
+
+    (path / _SYMBOLS).write_bytes(kb.symbols.to_bytes())
+    written.append(_SYMBOLS)
+
+    lines = [
+        f"scheme\t{kb.scheme.width}\t{kb.scheme.bits_per_key}\t"
+        f"{kb.scheme.max_args}\t{kb.scheme.max_depth}"
+    ]
+    for module in kb.modules():
+        pin = module.pinned_residency or "-"
+        lines.append(
+            f"module\t{module.name}\t{module.large_threshold_bytes}\t{pin}"
+        )
+    for store in kb:
+        name, arity = store.indicator
+        stem = _predicate_stem(store.indicator)
+        lines.append(f"predicate\t{name}\t{arity}\t{store.module_name}\t{stem}")
+        clause_path = path / f"{stem}.clauses"
+        clause_path.write_bytes(store.clause_file.to_bytes())
+        written.append(clause_path.name)
+        index_path = path / f"{stem}.index"
+        index_path.write_bytes(store.index.to_bytes())
+        written.append(index_path.name)
+    (path / _MANIFEST).write_text("\n".join(lines) + "\n", encoding="utf-8")
+    written.append(_MANIFEST)
+    return written
+
+
+def load_kb(directory: str | pathlib.Path) -> KnowledgeBase:
+    """Reconstruct a knowledge base saved by :func:`save_kb`."""
+    path = pathlib.Path(directory)
+    manifest_path = path / _MANIFEST
+    if not manifest_path.exists():
+        raise PersistenceError(f"no {_MANIFEST} in {path}")
+    symbols = SymbolTable.from_bytes((path / _SYMBOLS).read_bytes())
+
+    scheme = CodewordScheme()
+    modules: list[tuple[str, int, str]] = []
+    predicates: list[tuple[str, int, str, str]] = []
+    for line_number, line in enumerate(
+        manifest_path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if not line.strip():
+            continue
+        fields = line.split("\t")
+        kind = fields[0]
+        if kind == "scheme":
+            scheme = CodewordScheme(
+                width=int(fields[1]),
+                bits_per_key=int(fields[2]),
+                max_args=int(fields[3]),
+                max_depth=int(fields[4]),
+            )
+        elif kind == "module":
+            modules.append((fields[1], int(fields[2]), fields[3]))
+        elif kind == "predicate":
+            predicates.append((fields[1], int(fields[2]), fields[3], fields[4]))
+        else:
+            raise PersistenceError(
+                f"{_MANIFEST}:{line_number}: unknown entry {kind!r}"
+            )
+
+    kb = KnowledgeBase(scheme=scheme)
+    kb.symbols = symbols
+    for name, threshold, pin in modules:
+        module = kb.module(name)
+        module.large_threshold_bytes = threshold
+        if pin != "-":
+            module.pin(pin)
+    for name, arity, module_name, stem in predicates:
+        indicator = (name, arity)
+        clause_path = path / f"{stem}.clauses"
+        if not clause_path.exists():
+            raise PersistenceError(f"missing clause file {clause_path.name}")
+        image = clause_path.read_bytes()
+        clause_file = _clause_file_from_image(image, indicator, symbols)
+        store = PredicateStore(
+            indicator=indicator,
+            clause_file=clause_file,
+            module_name=module_name,
+            scheme=scheme,
+        )
+        kb._predicates[indicator] = store
+        kb.module(module_name).add_procedure(indicator)
+    return kb
+
+
+def _clause_file_from_image(
+    image: bytes, indicator: tuple[str, int], symbols: SymbolTable
+) -> ClauseFile:
+    """Rebuild a ClauseFile from its serialised record stream."""
+    from ..pif.clausefile import decode_compiled
+
+    clause_file = ClauseFile(indicator, symbols)
+    offset = 0
+    while offset < len(image):
+        compiled, offset = CompiledClause.from_bytes(image, indicator, offset)
+        clause_file.append(decode_compiled(compiled, symbols))
+    return clause_file

@@ -1,0 +1,316 @@
+"""Prolog term data model.
+
+Terms are immutable values.  The representation follows Edinburgh Prolog:
+
+* :class:`Atom` -- symbolic constants (``foo``, ``[]``, ``'hello world'``).
+* :class:`Int` / :class:`Float` -- numeric constants.
+* :class:`Var` -- logic variables; the reserved name ``_`` is anonymous.
+* :class:`Struct` -- compound terms ``f(t1, ..., tn)`` with ``n >= 1``.
+
+Lists are ordinary compound terms built from the cons functor ``'.'/2`` and
+the empty-list atom ``[]``; :func:`make_list` and :func:`list_parts` convert
+between Python sequences and cons chains.  This mirrors the CLARE paper's
+distinction between *terminated* lists (ending in ``[]``) and *unterminated*
+("unlimited") lists ending in a tail variable, e.g. ``[a,b|Tail]``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence, Union
+
+__all__ = [
+    "Term",
+    "Atom",
+    "Int",
+    "Float",
+    "Var",
+    "Struct",
+    "NIL",
+    "CONS",
+    "ANONYMOUS",
+    "make_list",
+    "list_parts",
+    "is_list_term",
+    "is_proper_list",
+    "variables",
+    "is_ground",
+    "rename_apart",
+    "term_depth",
+    "term_size",
+    "fresh_var",
+    "functor_indicator",
+]
+
+
+class Term:
+    """Abstract base class for all Prolog terms."""
+
+    __slots__ = ()
+
+    def is_callable(self) -> bool:
+        """True for atoms and compound terms (things that can be a goal)."""
+        return isinstance(self, (Atom, Struct))
+
+
+@dataclass(frozen=True, slots=True)
+class Atom(Term):
+    """A symbolic constant."""
+
+    name: str
+
+    def __str__(self) -> str:
+        from .writer import term_to_string
+
+        return term_to_string(self)
+
+
+@dataclass(frozen=True, slots=True)
+class Int(Term):
+    """An integer constant."""
+
+    value: int
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True, slots=True)
+class Float(Term):
+    """A floating point constant."""
+
+    value: float
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+@dataclass(frozen=True, slots=True)
+class Var(Term):
+    """A logic variable, identified by name within one clause/query."""
+
+    name: str
+
+    def is_anonymous(self) -> bool:
+        """True for the don't-care variable ``_``."""
+        return self.name == "_"
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, slots=True)
+class Struct(Term):
+    """A compound term ``functor(arg1, ..., argN)`` with arity >= 1."""
+
+    functor: str
+    args: tuple[Term, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.args:
+            raise ValueError(
+                f"Struct {self.functor!r} needs at least one argument; "
+                "use Atom for arity-0 constants"
+            )
+        if not isinstance(self.args, tuple):
+            object.__setattr__(self, "args", tuple(self.args))
+
+    @property
+    def arity(self) -> int:
+        return len(self.args)
+
+    @property
+    def indicator(self) -> tuple[str, int]:
+        """The predicate indicator ``(name, arity)``."""
+        return (self.functor, self.arity)
+
+    def __str__(self) -> str:
+        from .writer import term_to_string
+
+        return term_to_string(self)
+
+
+#: The empty list atom.
+NIL = Atom("[]")
+
+#: The list-cons functor name.
+CONS = "."
+
+#: The anonymous (don't-care) variable.
+ANONYMOUS = Var("_")
+
+_fresh_counter = itertools.count(1)
+
+
+def fresh_var(prefix: str = "_G") -> Var:
+    """Return a variable with a globally unique machine-generated name."""
+    return Var(f"{prefix}{next(_fresh_counter)}")
+
+
+def make_list(items: Sequence[Term] | Iterable[Term], tail: Term = NIL) -> Term:
+    """Build a cons-chain list term from ``items`` ending in ``tail``.
+
+    With the default tail this builds a *terminated* list; passing a
+    :class:`Var` tail builds an *unterminated* list such as ``[a,b|T]``.
+    """
+    result = tail
+    for item in reversed(list(items)):
+        result = Struct(CONS, (item, result))
+    return result
+
+
+def list_parts(term: Term) -> tuple[list[Term], Term]:
+    """Split a cons chain into ``(prefix_elements, tail)``.
+
+    For a proper list the tail is ``NIL``; for a partial list it is the
+    first non-cons term encountered (usually a variable).  A non-list term
+    yields ``([], term)``.
+    """
+    items: list[Term] = []
+    while isinstance(term, Struct) and term.functor == CONS and term.arity == 2:
+        items.append(term.args[0])
+        term = term.args[1]
+    return items, term
+
+
+def is_list_term(term: Term) -> bool:
+    """True if ``term`` is a cons cell or the empty list."""
+    if term == NIL:
+        return True
+    return isinstance(term, Struct) and term.functor == CONS and term.arity == 2
+
+
+def is_proper_list(term: Term) -> bool:
+    """True if ``term`` is a cons chain terminated by ``[]``."""
+    _, tail = list_parts(term)
+    return tail == NIL
+
+
+def variables(term: Term) -> list[Var]:
+    """All variables in ``term``, in first-occurrence order, without repeats."""
+    seen: dict[Var, None] = {}
+    _collect_vars(term, seen)
+    return list(seen)
+
+
+def _collect_vars(term: Term, seen: dict[Var, None]) -> None:
+    stack = [term]
+    while stack:
+        current = stack.pop()
+        if isinstance(current, Var):
+            if current not in seen:
+                seen[current] = None
+        elif isinstance(current, Struct):
+            stack.extend(reversed(current.args))
+
+
+def is_ground(term: Term) -> bool:
+    """True if ``term`` contains no variables."""
+    stack = [term]
+    while stack:
+        current = stack.pop()
+        if isinstance(current, Var):
+            return False
+        if isinstance(current, Struct):
+            stack.extend(current.args)
+    return True
+
+
+def rename_apart(
+    term: Term, suffix: str | None = None, keep_anonymous: bool = False
+) -> Term:
+    """Return ``term`` with every variable consistently renamed fresh.
+
+    Used to standardise clauses apart before resolution.  Anonymous
+    variables each become a distinct fresh variable (``_`` never shares)
+    unless ``keep_anonymous`` preserves them (matching treats ``_`` as a
+    skip, so renaming it would change filter semantics).
+    """
+    mapping: dict[Var, Var] = {}
+
+    def rename(t: Term) -> Term:
+        if isinstance(t, Var):
+            if t.is_anonymous():
+                return t if keep_anonymous else fresh_var()
+            if t not in mapping:
+                if suffix is not None:
+                    mapping[t] = Var(f"{t.name}{suffix}")
+                else:
+                    mapping[t] = fresh_var(f"_{t.name}_")
+            return mapping[t]
+        if isinstance(t, Struct):
+            return Struct(t.functor, tuple(rename(a) for a in t.args))
+        return t
+
+    return rename(term)
+
+
+def freshen_anonymous(term: Term) -> Term:
+    """Replace each anonymous-variable occurrence with a distinct fresh var.
+
+    The reader maps every ``_`` to the same :class:`Var` object; resolution
+    must treat each occurrence as independent, so goals are freshened
+    before solving.
+    """
+    if isinstance(term, Var):
+        return fresh_var("_A") if term.is_anonymous() else term
+    if isinstance(term, Struct):
+        return Struct(term.functor, tuple(freshen_anonymous(a) for a in term.args))
+    return term
+
+
+def term_depth(term: Term) -> int:
+    """Nesting depth: constants/variables are depth 0, ``f(a)`` is 1, etc."""
+    if isinstance(term, Struct):
+        return 1 + max(term_depth(a) for a in term.args)
+    return 0
+
+
+def term_size(term: Term) -> int:
+    """Total number of atomic/variable/functor nodes in the term."""
+    size = 0
+    stack = [term]
+    while stack:
+        current = stack.pop()
+        size += 1
+        if isinstance(current, Struct):
+            stack.extend(current.args)
+    return size
+
+
+def functor_indicator(term: Term) -> tuple[str, int]:
+    """The ``(name, arity)`` indicator of a callable term."""
+    if isinstance(term, Atom):
+        return (term.name, 0)
+    if isinstance(term, Struct):
+        return term.indicator
+    raise TypeError(f"term has no functor: {term!r}")
+
+
+def subterms(term: Term) -> Iterator[Term]:
+    """Iterate over every subterm of ``term``, including itself (pre-order)."""
+    stack = [term]
+    while stack:
+        current = stack.pop()
+        yield current
+        if isinstance(current, Struct):
+            stack.extend(reversed(current.args))
+
+
+TermLike = Union[Term, int, float, str]
+
+
+def to_term(value: TermLike) -> Term:
+    """Coerce a Python scalar to a term (ints, floats, strings->atoms)."""
+    if isinstance(value, Term):
+        return value
+    if isinstance(value, bool):
+        raise TypeError("booleans are not Prolog terms")
+    if isinstance(value, int):
+        return Int(value)
+    if isinstance(value, float):
+        return Float(value)
+    if isinstance(value, str):
+        return Atom(value)
+    raise TypeError(f"cannot convert {value!r} to a term")

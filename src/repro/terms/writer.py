@@ -1,0 +1,155 @@
+"""Rendering terms back to Edinburgh Prolog text.
+
+The writer is the inverse of :mod:`repro.terms.reader`: for any term built
+by the reader, ``read_term(term_to_string(t))`` reproduces ``t`` up to
+variable naming.  Operators from the reader's table are printed infix with
+minimal parenthesisation; lists use bracket notation with ``|`` tails.
+"""
+
+from __future__ import annotations
+
+from .term import CONS, NIL, Atom, Float, Int, Struct, Term, Var, list_parts
+
+__all__ = ["term_to_string", "atom_needs_quotes", "quote_atom"]
+
+# (priority, type) per operator, mirroring reader.OPERATORS.
+_INFIX: dict[str, tuple[int, str]] = {
+    ":-": (1200, "xfx"),
+    "-->": (1200, "xfx"),
+    ";": (1100, "xfy"),
+    "->": (1050, "xfy"),
+    ",": (1000, "xfy"),
+    "=": (700, "xfx"),
+    "\\=": (700, "xfx"),
+    "==": (700, "xfx"),
+    "\\==": (700, "xfx"),
+    "is": (700, "xfx"),
+    "=:=": (700, "xfx"),
+    "=\\=": (700, "xfx"),
+    "<": (700, "xfx"),
+    ">": (700, "xfx"),
+    "=<": (700, "xfx"),
+    ">=": (700, "xfx"),
+    "=..": (700, "xfx"),
+    "@<": (700, "xfx"),
+    "@>": (700, "xfx"),
+    "@=<": (700, "xfx"),
+    "@>=": (700, "xfx"),
+    "+": (500, "yfx"),
+    "-": (500, "yfx"),
+    "*": (400, "yfx"),
+    "/": (400, "yfx"),
+    "//": (400, "yfx"),
+    "mod": (400, "yfx"),
+    "^": (200, "xfy"),
+}
+
+_PREFIX: dict[str, tuple[int, str]] = {
+    ":-": (1200, "fx"),
+    "\\+": (900, "fy"),
+    "-": (200, "fy"),
+}
+
+_SOLO_ATOMS = {"[]", "{}", "!", ";", ","}
+
+_SYMBOL_CHARS = set("+-*/\\^<>=~:.?@#&$")
+
+
+def atom_needs_quotes(name: str) -> bool:
+    """True if ``name`` must be quoted to read back as a single atom."""
+    if name in _SOLO_ATOMS:
+        return False
+    if not name:
+        return True
+    if name[0].islower() and all(c.isalnum() or c == "_" for c in name):
+        return False
+    if all(c in _SYMBOL_CHARS for c in name):
+        return False
+    return True
+
+
+def quote_atom(name: str) -> str:
+    """Render an atom name, quoting and escaping when necessary."""
+    if not atom_needs_quotes(name):
+        return name
+    escaped = name.replace("\\", "\\\\").replace("'", "\\'").replace("\n", "\\n")
+    return f"'{escaped}'"
+
+
+def term_to_string(term: Term, max_priority: int = 1200) -> str:
+    """Render ``term`` as Edinburgh Prolog text."""
+    if isinstance(term, Atom):
+        return quote_atom(term.name)
+    if isinstance(term, Int):
+        return str(term.value)
+    if isinstance(term, Float):
+        text = repr(term.value)
+        return text
+    if isinstance(term, Var):
+        return term.name
+    if isinstance(term, Struct):
+        return _struct_to_string(term, max_priority)
+    raise TypeError(f"not a term: {term!r}")
+
+
+def _struct_to_string(term: Struct, max_priority: int) -> str:
+    if term.functor == CONS and term.arity == 2:
+        return _list_to_string(term)
+    if term.functor == "{}" and term.arity == 1:
+        return "{" + term_to_string(term.args[0], 1200) + "}"
+    if term.arity == 2 and term.functor in _INFIX:
+        priority, optype = _INFIX[term.functor]
+        left_max = priority if optype == "yfx" else priority - 1
+        right_max = priority if optype == "xfy" else priority - 1
+        left = term_to_string(term.args[0], left_max)
+        right = term_to_string(term.args[1], right_max)
+        name = term.functor
+        if name == ",":
+            text = f"{left},{right}"
+        elif name.isalpha():
+            text = f"{left} {name} {right}"
+        else:
+            # Avoid gluing symbol runs together ('a+ +' must not become
+            # 'a++') or a '-' onto a following digit.
+            lsep = " " if left[-1:] in _SYMBOL_CHARS else ""
+            rsep = (
+                " "
+                if right[:1] in _SYMBOL_CHARS
+                or (name[-1] == "-" and right[:1].isdigit())
+                else ""
+            )
+            text = f"{left}{lsep}{name}{rsep}{right}"
+        if priority > max_priority:
+            return f"({text})"
+        return text
+    if term.arity == 1 and term.functor in _PREFIX:
+        priority, optype = _PREFIX[term.functor]
+        arg_max = priority if optype == "fy" else priority - 1
+        arg = term_to_string(term.args[0], arg_max)
+        name = term.functor
+        # A space is needed after an alphabetic operator, between runs of
+        # symbol characters, and after '-' before a digit (else '-(3.5)'
+        # would re-read as the literal -3.5).
+        sep = (
+            " "
+            if (
+                name[-1].isalnum()
+                or arg[:1] in _SYMBOL_CHARS
+                or (name == "-" and arg[:1].isdigit())
+            )
+            else ""
+        )
+        text = f"{name}{sep}{arg}"
+        if priority > max_priority:
+            return f"({text})"
+        return text
+    args = ",".join(term_to_string(a, 999) for a in term.args)
+    return f"{quote_atom(term.functor)}({args})"
+
+
+def _list_to_string(term: Struct) -> str:
+    items, tail = list_parts(term)
+    body = ",".join(term_to_string(i, 999) for i in items)
+    if tail == NIL:
+        return f"[{body}]"
+    return f"[{body}|{term_to_string(tail, 999)}]"

@@ -1,0 +1,25 @@
+"""Unification and partial test unification (the Figure 1 algorithm)."""
+
+from .bindings import Bindings
+from .match import (
+    HardwareOp,
+    MatchLevel,
+    MatchOutcome,
+    PartialMatcher,
+    match_clause_head,
+    partial_match,
+)
+from .unify import occurs_in, unifiable, unify
+
+__all__ = [
+    "Bindings",
+    "HardwareOp",
+    "MatchLevel",
+    "MatchOutcome",
+    "PartialMatcher",
+    "match_clause_head",
+    "occurs_in",
+    "partial_match",
+    "unifiable",
+    "unify",
+]

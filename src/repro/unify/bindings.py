@@ -1,0 +1,86 @@
+"""Substitutions and trails for unification.
+
+:class:`Bindings` is a mutable variable->term store with dereferencing
+(``walk``), deep application (``resolve``) and a trail so the interpreter
+can undo bindings on backtracking.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping
+
+from ..terms import Struct, Term, Var
+
+__all__ = ["Bindings"]
+
+
+class Bindings:
+    """A mutable substitution with an undo trail.
+
+    Bindings map variables to terms.  ``walk`` follows variable chains to
+    the representative term; ``resolve`` applies the substitution deeply.
+    ``mark``/``undo_to`` implement the trail used for backtracking.
+    """
+
+    __slots__ = ("_map", "_trail")
+
+    def __init__(self, initial: Mapping[Var, Term] | None = None):
+        self._map: dict[Var, Term] = dict(initial) if initial else {}
+        self._trail: list[Var] = []
+
+    def __len__(self) -> int:
+        return len(self._map)
+
+    def __contains__(self, var: Var) -> bool:
+        return var in self._map
+
+    def __iter__(self) -> Iterator[Var]:
+        return iter(self._map)
+
+    def copy(self) -> "Bindings":
+        """An independent copy (the trail is not copied)."""
+        return Bindings(self._map)
+
+    def bind(self, var: Var, term: Term) -> None:
+        """Bind an unbound ``var`` to ``term``, recording it on the trail."""
+        if var in self._map:
+            raise ValueError(f"variable {var.name} is already bound")
+        self._map[var] = term
+        self._trail.append(var)
+
+    def walk(self, term: Term) -> Term:
+        """Dereference ``term``: follow bound-variable chains to the end.
+
+        Returns either a non-variable term or an unbound variable.
+        """
+        while isinstance(term, Var):
+            bound = self._map.get(term)
+            if bound is None:
+                return term
+            term = bound
+        return term
+
+    def resolve(self, term: Term) -> Term:
+        """Apply the substitution deeply to ``term``."""
+        term = self.walk(term)
+        if isinstance(term, Struct):
+            return Struct(term.functor, tuple(self.resolve(a) for a in term.args))
+        return term
+
+    def mark(self) -> int:
+        """A trail checkpoint for later :meth:`undo_to`."""
+        return len(self._trail)
+
+    def undo_to(self, mark: int) -> None:
+        """Remove every binding made since ``mark``."""
+        while len(self._trail) > mark:
+            var = self._trail.pop()
+            del self._map[var]
+
+    def as_dict(self) -> dict[Var, Term]:
+        """A snapshot of the raw variable->term map."""
+        return dict(self._map)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{v.name}={t}" for v, t in self._map.items())
+        return f"Bindings({inner})"

@@ -1,0 +1,175 @@
+"""Synthetic knowledge-base and query generators.
+
+The paper's evaluation plan (the database-oriented Prolog benchmarks of
+refs [6,7]) needs clause sets whose *shape statistics* are controllable:
+how many clauses per predicate, the fact/rule mix, how many arguments,
+how selective a ground query is, how deep structures nest, and how often
+variables repeat (the shared-variable/cross-binding cases that motivate
+FS2).  All generators are deterministic given their ``seed``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..terms import Atom, Clause, Int, Struct, Term, Var
+
+__all__ = [
+    "FactKBSpec",
+    "generate_facts",
+    "generate_mixed_predicate",
+    "generate_couples",
+    "ground_query_for",
+    "shared_variable_query",
+    "open_query",
+]
+
+
+@dataclass(frozen=True)
+class FactKBSpec:
+    """Parameters of a generated fact predicate."""
+
+    functor: str = "rec"
+    arity: int = 3
+    count: int = 1000
+    #: distinct constants drawn per argument position; smaller pools mean
+    #: less selective queries and more codeword collisions.
+    domain_sizes: tuple[int, ...] = ()
+    #: fraction of arguments replaced by fresh variables (non-ground facts)
+    variable_fraction: float = 0.0
+    #: fraction of arguments that are nested structures f(c1, c2)
+    structure_fraction: float = 0.0
+    seed: int = 0
+
+
+def generate_facts(spec: FactKBSpec) -> list[Clause]:
+    """A predicate of ``count`` facts with the requested shape."""
+    rng = random.Random(spec.seed)
+    domains = list(spec.domain_sizes)
+    while len(domains) < spec.arity:
+        domains.append(max(spec.count // 10, 10))
+    clauses = []
+    for row in range(spec.count):
+        args: list[Term] = []
+        for position in range(spec.arity):
+            roll = rng.random()
+            if roll < spec.variable_fraction:
+                args.append(Var(f"V{position}"))
+            elif roll < spec.variable_fraction + spec.structure_fraction:
+                inner = rng.randrange(domains[position])
+                args.append(
+                    Struct(
+                        f"s{position}",
+                        (Atom(f"c{position}_{inner}"), Int(inner)),
+                    )
+                )
+            else:
+                args.append(Atom(f"c{position}_{rng.randrange(domains[position])}"))
+        clauses.append(Clause(Struct(spec.functor, tuple(args))))
+    return clauses
+
+
+def generate_mixed_predicate(
+    functor: str = "mixed",
+    arity: int = 2,
+    facts: int = 100,
+    rules: int = 10,
+    helper_functor: str = "aux",
+    seed: int = 0,
+) -> list[Clause]:
+    """A *mixed relation*: facts and rules interleaved in one predicate.
+
+    Mixed relations are exactly what coupled systems disallow and the
+    integrated PDBM supports (paper section 1).
+    """
+    rng = random.Random(seed)
+    clauses: list[Clause] = []
+    produced_facts = 0
+    produced_rules = 0
+    total = facts + rules
+    for _ in range(total):
+        want_rule = produced_rules < rules and (
+            produced_facts >= facts or rng.random() < rules / total
+        )
+        if want_rule:
+            head_vars = tuple(Var(f"X{i}") for i in range(arity))
+            body_goal = Struct(helper_functor, head_vars)
+            clauses.append(Clause(Struct(functor, head_vars), (body_goal,)))
+            produced_rules += 1
+        else:
+            args = tuple(
+                Atom(f"m{i}_{rng.randrange(max(facts // 5, 5))}")
+                for i in range(arity)
+            )
+            clauses.append(Clause(Struct(functor, args)))
+            produced_facts += 1
+    return clauses
+
+
+def generate_couples(
+    count: int = 500, same_surname_fraction: float = 0.1, seed: int = 0
+) -> list[Clause]:
+    """The paper's ``married_couple`` predicate.
+
+    Each fact pairs two surnames; in ``same_surname_fraction`` of them the
+    surnames coincide — those are the only answers to the shared-variable
+    query ``married_couple(S, S)``, yet SCW indexing retrieves everything.
+    """
+    rng = random.Random(seed)
+    surname_pool = max(count // 4, 8)
+    clauses = []
+    for _ in range(count):
+        wife = f"surname{rng.randrange(surname_pool)}"
+        if rng.random() < same_surname_fraction:
+            husband = wife
+        else:
+            husband = f"surname{rng.randrange(surname_pool)}"
+            while husband == wife:
+                husband = f"surname{rng.randrange(surname_pool)}"
+        clauses.append(
+            Clause(Struct("married_couple", (Atom(wife), Atom(husband))))
+        )
+    return clauses
+
+
+def ground_query_for(
+    clauses: list[Clause], seed: int = 0, bound_arguments: int | None = None
+) -> Term:
+    """A ground(ish) query guaranteed to match at least one clause.
+
+    Takes a random fact's head and keeps ``bound_arguments`` of its
+    arguments, replacing the rest with fresh variables.
+    """
+    rng = random.Random(seed)
+    facts = [c for c in clauses if c.is_fact and isinstance(c.head, Struct)]
+    if not facts:
+        raise ValueError("no facts to derive a query from")
+    head = rng.choice(facts).head
+    assert isinstance(head, Struct)
+    if bound_arguments is None:
+        bound_arguments = head.arity
+    keep = set(rng.sample(range(head.arity), min(bound_arguments, head.arity)))
+    args = tuple(
+        arg if position in keep else Var(f"Q{position}")
+        for position, arg in enumerate(head.args)
+    )
+    return Struct(head.functor, args)
+
+
+def shared_variable_query(functor: str, arity: int = 2) -> Term:
+    """The ``married_couple(S, S)`` pattern for any binary-ish predicate."""
+    if arity < 2:
+        raise ValueError("shared-variable queries need arity >= 2")
+    shared = Var("Same")
+    args: tuple[Term, ...] = (shared, shared) + tuple(
+        Var(f"Q{i}") for i in range(arity - 2)
+    )
+    return Struct(functor, args)
+
+
+def open_query(functor: str, arity: int) -> Term:
+    """A fully open query: every argument a distinct variable."""
+    if arity == 0:
+        return Atom(functor)
+    return Struct(functor, tuple(Var(f"Q{i}") for i in range(arity)))

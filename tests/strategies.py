@@ -1,0 +1,107 @@
+"""Shared hypothesis strategies for generating random Prolog terms."""
+
+from __future__ import annotations
+
+import string
+
+from hypothesis import strategies as st
+
+from repro.terms import Atom, Float, Int, Struct, Term, Var, make_list
+
+#: PIF in-line integers carry 28 bits (4-bit tag nibble + 24-bit content).
+PIF_INT_MIN = -(2**27)
+PIF_INT_MAX = 2**27 - 1
+
+
+def atom_names() -> st.SearchStrategy[str]:
+    plain = st.text(
+        alphabet=string.ascii_lowercase + string.digits + "_",
+        min_size=1,
+        max_size=8,
+    ).filter(lambda s: s[0].isalpha() and s[0].islower())
+    quoted = st.sampled_from(
+        ["hello world", "Capitalised", "with'quote", "a\\b", "[]", "+", "=="]
+    )
+    return st.one_of(plain, quoted)
+
+
+def var_names() -> st.SearchStrategy[str]:
+    return st.one_of(
+        st.sampled_from(["X", "Y", "Z", "Tail", "_G1", "Same_surname"]),
+        st.text(alphabet=string.ascii_uppercase, min_size=1, max_size=4),
+    )
+
+
+def atoms() -> st.SearchStrategy[Atom]:
+    return atom_names().map(Atom)
+
+
+def ints(
+    min_value: int = PIF_INT_MIN, max_value: int = PIF_INT_MAX
+) -> st.SearchStrategy[Int]:
+    return st.integers(min_value=min_value, max_value=max_value).map(Int)
+
+
+def floats() -> st.SearchStrategy[Float]:
+    return st.floats(allow_nan=False, allow_infinity=False, width=32).map(
+        lambda v: Float(float(v))
+    )
+
+
+def variables_strategy(include_anonymous: bool = True) -> st.SearchStrategy[Var]:
+    named = var_names().map(Var)
+    if include_anonymous:
+        return st.one_of(named, st.just(Var("_")))
+    return named
+
+
+def constants() -> st.SearchStrategy[Term]:
+    return st.one_of(atoms(), ints(), floats())
+
+
+def terms(
+    max_depth: int = 3,
+    max_arity: int = 4,
+    include_variables: bool = True,
+    include_anonymous: bool = True,
+) -> st.SearchStrategy[Term]:
+    """Random terms: constants, variables, structures and lists."""
+    leaves: list[st.SearchStrategy[Term]] = [atoms(), ints(), floats()]
+    if include_variables:
+        leaves.append(variables_strategy(include_anonymous))
+    base = st.one_of(*leaves)
+
+    def extend(children: st.SearchStrategy[Term]) -> st.SearchStrategy[Term]:
+        structs = st.builds(
+            lambda name, args: Struct(name, tuple(args)),
+            atom_names().filter(lambda n: n not in (".", ",", "[]", "{}")),
+            st.lists(children, min_size=1, max_size=max_arity),
+        )
+        proper_lists = st.lists(children, min_size=0, max_size=max_arity).map(
+            make_list
+        )
+        partial_lists = st.builds(
+            lambda items, tail: make_list(items, tail=tail),
+            st.lists(children, min_size=1, max_size=max_arity),
+            variables_strategy(include_anonymous=False)
+            if include_variables
+            else atoms(),
+        )
+        return st.one_of(structs, proper_lists, partial_lists)
+
+    return st.recursive(base, extend, max_leaves=2**max_depth)
+
+
+def ground_terms(max_depth: int = 3) -> st.SearchStrategy[Term]:
+    return terms(max_depth=max_depth, include_variables=False)
+
+
+def clause_heads(
+    functor: str = "p", arity: int = 3, include_variables: bool = True
+) -> st.SearchStrategy[Struct]:
+    """Heads of a fixed predicate, for query-vs-clause matching tests."""
+    arg = terms(max_depth=2, include_variables=include_variables)
+    return st.builds(
+        lambda args: Struct(functor, tuple(args)),
+        st.lists(arg, min_size=arity, max_size=arity),
+    )

@@ -1,0 +1,126 @@
+"""Tests for the command-line driver."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+
+
+def run(argv) -> str:
+    out = io.StringIO()
+    assert main(argv, out=out) == 0
+    return out.getvalue()
+
+
+@pytest.fixture
+def program_file(tmp_path):
+    path = tmp_path / "family.pl"
+    path.write_text(
+        "parent(tom, bob). parent(bob, ann).\n"
+        "grand(X, Z) :- parent(X, Y), parent(Y, Z).\n"
+    )
+    return str(path)
+
+
+class TestTable1Command:
+    def test_prints_all_rows(self):
+        output = run(["table1"])
+        for op in (
+            "MATCH",
+            "DB_STORE",
+            "QUERY_STORE",
+            "DB_FETCH",
+            "QUERY_FETCH",
+            "DB_CROSS_BOUND_FETCH",
+            "QUERY_CROSS_BOUND_FETCH",
+        ):
+            assert op in output
+        assert "235 ns" in output
+        assert "4.26 Mbytes" in output
+
+
+class TestMicrocodeCommand:
+    def test_disassembly(self):
+        output = run(["microcode"])
+        assert "POLL" in output
+        assert "JMAP" in output
+        assert "SIGNAL_HIT" in output
+        assert "CJP !HIT -> FAIL_EXIT" in output
+
+
+class TestGoalCommand:
+    def test_arithmetic(self):
+        assert "X = 42" in run(["goal", "X is 6 * 7"])
+
+    def test_failure(self):
+        assert "false" in run(["goal", "1 = 2"])
+
+    def test_no_variables_prints_true(self):
+        assert "true" in run(["goal", "atom(foo)"])
+
+    def test_solution_limit(self):
+        output = run(["goal", "between(1, 100, X)", "--max-solutions", "3"])
+        assert output.count("X = ") == 3
+        assert "limit reached" in output
+
+
+class TestConsultCommand:
+    def test_consult_and_query(self, program_file):
+        output = run(["consult", program_file, "--goal", "grand(tom, W)"])
+        assert "consulted 3 clauses" in output
+        assert "W = ann" in output
+        assert "[stats]" in output
+
+    def test_disk_pinning(self, program_file):
+        output = run(
+            ["consult", program_file, "--disk", "--goal", "parent(tom, X)"]
+        )
+        assert "pinned to the simulated disk" in output
+        assert "X = bob" in output
+
+    def test_forced_mode(self, program_file):
+        output = run(
+            [
+                "consult",
+                program_file,
+                "--disk",
+                "--mode",
+                "fs2",
+                "--goal",
+                "parent(X, Y)",
+            ]
+        )
+        assert "fs2" in output
+
+    def test_library_flag(self, program_file):
+        output = run(
+            [
+                "consult",
+                program_file,
+                "--library",
+                "--goal",
+                "append([1], [2], L)",
+            ]
+        )
+        assert "L = [1,2]" in output
+
+    def test_no_goals(self, program_file):
+        output = run(["consult", program_file])
+        assert "consulted" in output
+        assert "[stats]" not in output
+
+
+class TestDumpCommand:
+    def test_dump_fact(self):
+        output = run(["dump", "p(a, X, [1, 2])"])
+        assert "clause p/3 (fact)" in output
+        assert "Atom Pointer" in output
+        assert "First DB Var" in output
+        assert "Terminated List In-line" in output
+        assert "record size:" in output
+
+    def test_dump_rule(self):
+        output = run(["dump", "q(X) :- p(X)"])
+        assert "clause q/1 (rule)" in output
+        assert "body:" in output

@@ -1,0 +1,98 @@
+"""Tests for the CRS retrieval cache and KB versioning."""
+
+import pytest
+
+from repro.crs import ClauseRetrievalServer, SearchMode
+from repro.engine import PrologMachine
+from repro.storage import KnowledgeBase
+from repro.terms import read_term
+
+
+def make_kb():
+    kb = KnowledgeBase()
+    kb.consult_text(" ".join(f"p(a{i})." for i in range(50)))
+    return kb
+
+
+class TestKBVersion:
+    def test_version_bumps_on_mutation(self):
+        kb = make_kb()
+        v0 = kb.version
+        kb.assertz(read_term("p(new)"))
+        assert kb.version > v0
+        v1 = kb.version
+        kb.asserta(read_term("p(front)"))
+        assert kb.version > v1
+        v2 = kb.version
+        kb.retract(read_term("p(front)"))
+        assert kb.version > v2
+
+    def test_failed_retract_no_bump(self):
+        kb = make_kb()
+        version = kb.version
+        assert not kb.retract(read_term("p(nothing)"))
+        assert kb.version == version
+
+
+class TestRetrievalCache:
+    def test_cache_hits(self):
+        kb = make_kb()
+        crs = ClauseRetrievalServer(kb, cache_size=16)
+        goal = read_term("p(a3)")
+        first = crs.retrieve(goal, mode=SearchMode.SOFTWARE)
+        second = crs.retrieve(goal, mode=SearchMode.SOFTWARE)
+        assert crs.cache_hits == 1
+        assert crs.cache_misses == 1
+        assert [str(c) for c in second.candidates] == [
+            str(c) for c in first.candidates
+        ]
+
+    def test_cache_hit_costs_nothing(self):
+        kb = make_kb()
+        crs = ClauseRetrievalServer(kb, cache_size=16)
+        goal = read_term("p(a3)")
+        crs.retrieve(goal, mode=SearchMode.SOFTWARE)
+        hit = crs.retrieve(goal, mode=SearchMode.SOFTWARE)
+        assert hit.stats is not None
+        assert hit.stats.filter_time_s == 0.0
+        assert hit.stats.final_candidates == 1
+
+    def test_cache_invalidated_by_updates(self):
+        kb = make_kb()
+        crs = ClauseRetrievalServer(kb, cache_size=16)
+        goal = read_term("p(X)")
+        assert len(crs.retrieve(goal, mode=SearchMode.SOFTWARE)) == 50
+        kb.assertz(read_term("p(extra)"))
+        assert len(crs.retrieve(goal, mode=SearchMode.SOFTWARE)) == 51
+        assert crs.cache_hits == 0  # stale entry was never served
+
+    def test_lru_eviction(self):
+        kb = make_kb()
+        crs = ClauseRetrievalServer(kb, cache_size=2)
+        for i in range(4):
+            crs.retrieve(read_term(f"p(a{i})"), mode=SearchMode.SOFTWARE)
+        assert len(crs._cache) == 2
+
+    def test_cache_off_by_default(self):
+        kb = make_kb()
+        crs = ClauseRetrievalServer(kb)
+        goal = read_term("p(a3)")
+        crs.retrieve(goal)
+        crs.retrieve(goal)
+        assert crs.cache_hits == 0 and crs.cache_misses == 0
+
+    def test_distinct_modes_cached_separately(self):
+        kb = make_kb()
+        crs = ClauseRetrievalServer(kb, cache_size=16)
+        goal = read_term("p(a3)")
+        crs.retrieve(goal, mode=SearchMode.SOFTWARE)
+        crs.retrieve(goal, mode=SearchMode.FS2_ONLY)
+        assert crs.cache_misses == 2
+
+    def test_machine_with_cached_crs(self):
+        kb = make_kb()
+        kb.consult_text("q(X) :- p(X), p(X).")  # p retrieved twice per solve
+        crs = ClauseRetrievalServer(kb, cache_size=32)
+        machine = PrologMachine(kb, crs=crs)
+        assert machine.count_solutions("q(a7)") == 1
+        assert crs.cache_hits >= 1

@@ -1,0 +1,169 @@
+"""Tests for CRS concurrency control: locks, transactions, deadlocks."""
+
+import pytest
+
+from repro.crs import (
+    ClauseRetrievalServer,
+    CRSFrontEnd,
+    DeadlockError,
+    LockManager,
+    LockMode,
+    TransactionAborted,
+    TransactionManager,
+    WouldBlock,
+)
+from repro.storage import KnowledgeBase
+from repro.terms import read_term
+
+
+class TestLockManager:
+    def test_shared_locks_compatible(self):
+        locks = LockManager()
+        assert locks.acquire(1, ("p", 1), LockMode.SHARED)
+        assert locks.acquire(2, ("p", 1), LockMode.SHARED)
+        assert set(locks.holders(("p", 1))) == {1, 2}
+
+    def test_exclusive_conflicts(self):
+        locks = LockManager()
+        assert locks.acquire(1, ("p", 1), LockMode.EXCLUSIVE)
+        assert not locks.acquire(2, ("p", 1), LockMode.SHARED)
+        assert not locks.acquire(3, ("p", 1), LockMode.EXCLUSIVE)
+
+    def test_shared_blocks_exclusive(self):
+        locks = LockManager()
+        assert locks.acquire(1, ("p", 1), LockMode.SHARED)
+        assert not locks.acquire(2, ("p", 1), LockMode.EXCLUSIVE)
+
+    def test_reacquire_same_txn(self):
+        locks = LockManager()
+        assert locks.acquire(1, ("p", 1), LockMode.SHARED)
+        assert locks.acquire(1, ("p", 1), LockMode.SHARED)
+        assert locks.acquire(1, ("p", 1), LockMode.EXCLUSIVE)  # upgrade
+        assert locks.holders(("p", 1))[1] == LockMode.EXCLUSIVE
+
+    def test_release_and_retry(self):
+        locks = LockManager()
+        locks.acquire(1, ("p", 1), LockMode.EXCLUSIVE)
+        assert not locks.acquire(2, ("p", 1), LockMode.SHARED)
+        freed = locks.release_all(1)
+        assert ("p", 1) in freed
+        granted = locks.retry_waiters(("p", 1))
+        assert granted == [2]
+
+    def test_deadlock_detected(self):
+        locks = LockManager()
+        locks.acquire(1, "a", LockMode.EXCLUSIVE)
+        locks.acquire(2, "b", LockMode.EXCLUSIVE)
+        assert not locks.acquire(1, "b", LockMode.EXCLUSIVE)  # 1 waits on 2
+        with pytest.raises(DeadlockError) as excinfo:
+            locks.acquire(2, "a", LockMode.EXCLUSIVE)  # closes the cycle
+        assert set(excinfo.value.cycle) == {1, 2}
+
+    def test_three_way_deadlock(self):
+        locks = LockManager()
+        for txn, resource in ((1, "a"), (2, "b"), (3, "c")):
+            locks.acquire(txn, resource, LockMode.EXCLUSIVE)
+        assert not locks.acquire(1, "b", LockMode.EXCLUSIVE)
+        assert not locks.acquire(2, "c", LockMode.EXCLUSIVE)
+        with pytest.raises(DeadlockError):
+            locks.acquire(3, "a", LockMode.EXCLUSIVE)
+
+    def test_no_false_deadlock(self):
+        locks = LockManager()
+        locks.acquire(1, "a", LockMode.EXCLUSIVE)
+        assert not locks.acquire(2, "a", LockMode.EXCLUSIVE)
+        # 2 waits on 1, but 1 waits on nobody: no cycle.
+        assert not locks.acquire(2, "a", LockMode.EXCLUSIVE)
+
+
+class TestTransactions:
+    def test_commit_releases(self):
+        manager = TransactionManager()
+        txn1 = manager.begin()
+        txn2 = manager.begin()
+        assert txn1.write_lock(("p", 1))
+        assert not txn2.read_lock(("p", 1))
+        txn1.commit()
+        # After release the waiter was granted its lock.
+        assert manager.locks.holders(("p", 1)) == {
+            txn2.txn_id: LockMode.SHARED
+        }
+
+    def test_finished_transaction_rejects_work(self):
+        manager = TransactionManager()
+        txn = manager.begin()
+        txn.commit()
+        with pytest.raises(TransactionAborted):
+            txn.read_lock(("p", 1))
+
+    def test_deadlock_aborts_requester(self):
+        manager = TransactionManager()
+        txn1 = manager.begin()
+        txn2 = manager.begin()
+        txn1.write_lock("a")
+        txn2.write_lock("b")
+        txn1.write_lock("b")  # waits
+        with pytest.raises(DeadlockError):
+            txn2.write_lock("a")
+        assert not txn2.active
+        assert txn1.active
+        # The victim's locks are gone; txn1 can now get "b".
+        assert manager.locks.holders("b").get(txn1.txn_id) == LockMode.EXCLUSIVE
+
+    def test_active_count(self):
+        manager = TransactionManager()
+        txn1 = manager.begin()
+        txn2 = manager.begin()
+        assert manager.active_count == 2
+        txn1.commit()
+        txn2.abort()
+        assert manager.active_count == 0
+
+
+class TestMultiClientFrontEnd:
+    def make_front_end(self):
+        kb = KnowledgeBase()
+        kb.consult_text("p(a). p(b). q(1).")
+        return CRSFrontEnd(ClauseRetrievalServer(kb))
+
+    def test_concurrent_readers(self):
+        front_end = self.make_front_end()
+        alice = front_end.connect()
+        bob = front_end.connect()
+        assert len(alice.retrieve(read_term("p(X)"))) == 2
+        assert len(bob.retrieve(read_term("p(X)"))) == 2
+
+    def test_writer_blocks_reader(self):
+        front_end = self.make_front_end()
+        writer = front_end.connect()
+        reader = front_end.connect()
+        writer.assertz(read_term("p(c)"))
+        with pytest.raises(WouldBlock):
+            reader.retrieve(read_term("p(X)"))
+        writer.commit()
+        # New transaction sees the committed clause.
+        assert len(front_end.connect().retrieve(read_term("p(X)"))) == 3
+
+    def test_reader_blocks_writer(self):
+        front_end = self.make_front_end()
+        reader = front_end.connect()
+        writer = front_end.connect()
+        reader.retrieve(read_term("p(X)"))
+        with pytest.raises(WouldBlock):
+            writer.assertz(read_term("p(c)"))
+
+    def test_independent_predicates_no_conflict(self):
+        front_end = self.make_front_end()
+        one = front_end.connect()
+        two = front_end.connect()
+        one.assertz(read_term("p(c)"))
+        two.assertz(read_term("q(2)"))  # different predicate: no conflict
+        one.commit()
+        two.commit()
+
+    def test_retract_under_lock(self):
+        front_end = self.make_front_end()
+        client = front_end.connect()
+        assert client.retract(read_term("p(a)"))
+        client.commit()
+        assert len(front_end.connect().retrieve(read_term("p(X)"))) == 1

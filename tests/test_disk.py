@@ -1,0 +1,168 @@
+"""Tests for the simulated disk subsystem."""
+
+import pytest
+
+from repro.disk import (
+    FUJITSU_M2351A,
+    MICROPOLIS_1325,
+    DiskFullError,
+    DiskGeometry,
+    DiskSim,
+    DriveModel,
+)
+
+
+class TestGeometry:
+    def test_capacities(self):
+        geometry = DiskGeometry(
+            bytes_per_sector=512,
+            sectors_per_track=17,
+            tracks_per_cylinder=8,
+            cylinders=1024,
+        )
+        assert geometry.track_bytes == 512 * 17
+        assert geometry.cylinder_bytes == 512 * 17 * 8
+        assert geometry.capacity_bytes == 512 * 17 * 8 * 1024
+        assert geometry.total_tracks == 8 * 1024
+
+    def test_locate(self):
+        geometry = DiskGeometry(512, 10, 4, 100)
+        assert geometry.locate(0) == (0, 0, 0)
+        assert geometry.locate(geometry.track_bytes) == (0, 1, 0)
+        assert geometry.locate(geometry.cylinder_bytes + 5) == (1, 0, 5)
+        with pytest.raises(ValueError):
+            geometry.locate(geometry.capacity_bytes)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DiskGeometry(0, 10, 4, 100)
+
+
+class TestDriveModels:
+    def test_fujitsu_is_the_fast_2mb_case(self):
+        assert FUJITSU_M2351A.transfer_rate_bytes_per_sec == pytest.approx(
+            2_000_000
+        )
+
+    def test_micropolis_slower(self):
+        assert (
+            MICROPOLIS_1325.transfer_rate_bytes_per_sec
+            < FUJITSU_M2351A.transfer_rate_bytes_per_sec
+        )
+
+    def test_rm_covers_one_track(self):
+        """The 32 KB Result Memory must hold a full track of either drive."""
+        for drive in (FUJITSU_M2351A, MICROPOLIS_1325):
+            assert drive.geometry.track_bytes <= 32 * 1024
+
+    def test_timing_model(self):
+        drive = FUJITSU_M2351A
+        assert drive.rotation_s == pytest.approx(60 / 3961)
+        one_mb = drive.transfer_time_s(1_000_000)
+        assert one_mb == pytest.approx(0.5)
+        assert drive.read_time_s(1_000_000) > one_mb  # positioning added
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DriveModel(
+                name="bad",
+                geometry=FUJITSU_M2351A.geometry,
+                transfer_rate_bytes_per_sec=0,
+                average_seek_s=0.01,
+                rpm=3600,
+            )
+
+
+class TestDiskSim:
+    def test_write_and_read_extent(self):
+        disk = DiskSim()
+        disk.write_extent("blob", b"hello world")
+        data, stats = disk.read_extent("blob")
+        assert data == b"hello world"
+        assert stats.bytes_transferred == 11
+        assert stats.total_time_s > 0
+
+    def test_extent_replacement_in_place(self):
+        disk = DiskSim()
+        first = disk.write_extent("blob", b"0123456789")
+        second = disk.write_extent("blob", b"01234")
+        assert second.start == first.start
+        data, _ = disk.read_extent("blob")
+        assert data == b"01234"
+
+    def test_growing_extent_reallocates(self):
+        disk = DiskSim()
+        disk.write_extent("a", b"xx")
+        disk.write_extent("b", b"yy")
+        grown = disk.write_extent("a", b"x" * 100)
+        assert grown.length == 100
+        data, _ = disk.read_extent("a")
+        assert data == b"x" * 100
+
+    def test_missing_extent(self):
+        disk = DiskSim()
+        with pytest.raises(KeyError):
+            disk.extent("nope")
+        assert "nope" not in disk
+
+    def test_disk_full(self):
+        disk = DiskSim()
+        with pytest.raises(DiskFullError):
+            disk.write_extent(
+                "huge", b"\0" * (disk.drive.geometry.capacity_bytes + 1)
+            )
+
+    def test_stream_whole_extent(self):
+        disk = DiskSim()
+        disk.write_extent("blob", b"abcdef")
+        records, stats = disk.stream_records("blob")
+        assert list(records) == [b"abcdef"]
+        assert stats.seeks == 1
+
+    def test_stream_selected_records(self):
+        disk = DiskSim()
+        disk.write_extent("blob", b"AAABBBCCCDDD")
+        records, stats = disk.stream_records("blob", [(0, 3), (6, 3)])
+        assert list(records) == [b"AAA", b"CCC"]
+        assert stats.seeks == 2  # non-contiguous: one reposition
+        assert stats.bytes_transferred == 6
+
+    def test_contiguous_records_single_seek(self):
+        disk = DiskSim()
+        disk.write_extent("blob", b"AAABBBCCC")
+        _, stats = disk.stream_records("blob", [(0, 3), (3, 3), (6, 3)])
+        assert stats.seeks == 1
+
+    def test_selective_vs_full_timing(self):
+        """Few selective reads beat a full scan; many do not."""
+        disk = DiskSim()
+        record = b"r" * 64
+        disk.write_extent("blob", record * 1000)
+        _, full = disk.stream_records("blob")
+        _, few = disk.stream_records("blob", [(0, 64)])
+        assert few.total_time_s < full.total_time_s
+        scattered = [(i * 128, 64) for i in range(400)]
+        _, many = disk.stream_records("blob", scattered)
+        assert many.total_time_s > full.total_time_s  # seek-bound
+
+    def test_track_alignment(self):
+        disk = DiskSim()
+        track = disk.drive.geometry.track_bytes
+        disk.write_extent("small", b"x" * 100)
+        aligned = disk.write_extent("aligned", b"y" * 50, align_track=True)
+        assert aligned.start % track == 0
+        assert aligned.start >= 100
+
+    def test_alignment_noop_at_boundary(self):
+        disk = DiskSim()
+        first = disk.write_extent("a", b"z", align_track=True)
+        assert first.start == 0
+
+    def test_track_of(self):
+        disk = DiskSim()
+        disk.write_extent("blob", b"\0" * disk.drive.geometry.track_bytes * 2)
+        cylinder0, track0 = disk.track_of("blob", 0)
+        cylinder1, track1 = disk.track_of(
+            "blob", disk.drive.geometry.track_bytes
+        )
+        assert (cylinder0, track0) != (cylinder1, track1)

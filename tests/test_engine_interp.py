@@ -1,0 +1,276 @@
+"""Tests for the Prolog interpreter: resolution, control, builtins."""
+
+import pytest
+
+from repro.engine import ExistenceError, PrologError, PrologMachine
+from repro.storage import KnowledgeBase
+from repro.terms import Int, read_term, term_to_string
+
+
+def machine(program: str = "", **kwargs) -> PrologMachine:
+    kb = KnowledgeBase()
+    if program:
+        kb.consult_text(program)
+    return PrologMachine(kb, **kwargs)
+
+
+def answers(m: PrologMachine, goal: str, var: str) -> list[str]:
+    return [term_to_string(s[var]) for s in m.solve_text(goal)]
+
+
+class TestResolution:
+    def test_facts(self):
+        m = machine("p(a). p(b).")
+        assert answers(m, "p(X)", "X") == ["a", "b"]
+
+    def test_clause_order_respected(self):
+        m = machine("p(z). p(a). p(m).")
+        assert answers(m, "p(X)", "X") == ["z", "a", "m"]
+
+    def test_rules(self):
+        m = machine(
+            "parent(tom, bob). parent(bob, ann). "
+            "grand(X, Z) :- parent(X, Y), parent(Y, Z)."
+        )
+        assert answers(m, "grand(tom, Z)", "Z") == ["ann"]
+
+    def test_recursion(self):
+        m = machine(
+            "edge(a, b). edge(b, c). edge(c, d). "
+            "path(X, Y) :- edge(X, Y). "
+            "path(X, Z) :- edge(X, Y), path(Y, Z)."
+        )
+        assert answers(m, "path(a, X)", "X") == ["b", "c", "d"]
+
+    def test_backtracking_through_bindings(self):
+        m = machine("p(1). p(2). q(2). r(X) :- p(X), q(X).")
+        assert answers(m, "r(X)", "X") == ["2"]
+
+    def test_list_programs(self):
+        m = machine(
+            "append([], L, L). "
+            "append([H|T], L, [H|R]) :- append(T, L, R)."
+        )
+        assert answers(m, "append([1, 2], [3], X)", "X") == ["[1,2,3]"]
+        # Reverse direction: generate splits.
+        splits = [
+            (term_to_string(s["A"]), term_to_string(s["B"]))
+            for s in m.solve_text("append(A, B, [1, 2])")
+        ]
+        assert splits == [("[]", "[1,2]"), ("[1]", "[2]"), ("[1,2]", "[]")]
+
+    def test_naive_reverse(self):
+        m = machine(
+            "append([], L, L). "
+            "append([H|T], L, [H|R]) :- append(T, L, R). "
+            "nrev([], []). "
+            "nrev([H|T], R) :- nrev(T, RT), append(RT, [H], R)."
+        )
+        assert answers(m, "nrev([1, 2, 3, 4], X)", "X") == ["[4,3,2,1]"]
+
+    def test_unknown_predicate_error(self):
+        m = machine("p(a).")
+        with pytest.raises(ExistenceError):
+            m.succeeds("missing(1)")
+
+    def test_unknown_predicate_fail_mode(self):
+        m = machine("p(a).", unknown_predicates="fail")
+        assert not m.succeeds("missing(1)")
+
+    def test_anonymous_variables_distinct(self):
+        m = machine("p(a, b).")
+        assert m.succeeds("p(_, _)")
+
+
+class TestControl:
+    def test_conjunction_disjunction(self):
+        m = machine("p(1). q(2).")
+        assert answers(m, "(p(X) ; q(X))", "X") == ["1", "2"]
+        assert answers(m, "p(X), q(Y)", "X") == ["1"]
+
+    def test_cut_prunes_clauses(self):
+        m = machine("max(X, Y, X) :- X >= Y, !. max(_, Y, Y).")
+        assert answers(m, "max(3, 2, M)", "M") == ["3"]
+        assert answers(m, "max(2, 3, M)", "M") == ["3"]
+
+    def test_cut_prunes_alternatives(self):
+        m = machine("p(1). p(2). p(3). first(X) :- p(X), !.")
+        assert answers(m, "first(X)", "X") == ["1"]
+
+    def test_cut_local_to_clause(self):
+        m = machine("p(1). p(2). q(X) :- p(X), !. q(99).")
+        assert answers(m, "q(X)", "X") == ["1"]
+        # The cut in q does not affect an outer conjunction's predicates.
+        m2 = machine("p(1). p(2). q(X) :- p(X), !. r(X, Y) :- p(X), q(Y).")
+        assert [
+            (term_to_string(s["X"]), term_to_string(s["Y"]))
+            for s in m2.solve_text("r(X, Y)")
+        ] == [("1", "1"), ("2", "1")]
+
+    def test_if_then_else(self):
+        m = machine("")
+        assert answers(m, "(1 < 2 -> X = yes ; X = no)", "X") == ["yes"]
+        assert answers(m, "(2 < 1 -> X = yes ; X = no)", "X") == ["no"]
+
+    def test_if_then_commits_condition(self):
+        m = machine("p(1). p(2).")
+        # The condition p(X) commits to X = 1.
+        assert answers(m, "(p(X) -> true ; fail)", "X") == ["1"]
+
+    def test_negation_as_failure(self):
+        m = machine("p(a).")
+        assert m.succeeds("\\+ p(b)")
+        assert not m.succeeds("\\+ p(a)")
+
+    def test_negation_leaves_no_bindings(self):
+        m = machine("p(a).")
+        assert answers(m, "\\+ p(zz), X = done", "X") == ["done"]
+
+    def test_call(self):
+        m = machine("p(a). p(b).")
+        assert answers(m, "G = p(X), call(G)", "X") == ["a", "b"]
+
+    def test_fail_and_true(self):
+        m = machine("")
+        assert m.succeeds("true")
+        assert not m.succeeds("fail")
+        assert not m.succeeds("false")
+
+    def test_unbound_goal_raises(self):
+        m = machine("")
+        with pytest.raises(PrologError):
+            m.succeeds("call(X)")
+
+
+class TestBuiltins:
+    def test_unification_builtins(self):
+        m = machine("")
+        assert answers(m, "X = f(1)", "X") == ["f(1)"]
+        assert m.succeeds("a \\= b")
+        assert not m.succeeds("a \\= a")
+        assert m.succeeds("f(X) == f(X)")
+        assert m.succeeds("f(X) \\== f(Y)")
+
+    def test_type_tests(self):
+        m = machine("")
+        assert m.succeeds("atom(foo)")
+        assert not m.succeeds("atom(1)")
+        assert m.succeeds("number(1), number(1.5), integer(1), float(1.5)")
+        assert m.succeeds("var(X)")
+        assert m.succeeds("X = 1, nonvar(X)")
+        assert m.succeeds("compound(f(a))")
+        assert m.succeeds("atomic(foo), atomic(3)")
+        assert m.succeeds("ground(f(a, 1))")
+        assert not m.succeeds("ground(f(X))")
+
+    def test_arithmetic(self):
+        m = machine("")
+        assert answers(m, "X is 2 + 3 * 4", "X") == ["14"]
+        assert answers(m, "X is 10 // 3", "X") == ["3"]
+        assert answers(m, "X is 10 mod 3", "X") == ["1"]
+        assert answers(m, "X is -(5)", "X") == ["-5"]
+        assert answers(m, "X is abs(-7)", "X") == ["7"]
+        assert answers(m, "X is min(2, 3) + max(2, 3)", "X") == ["5"]
+        assert answers(m, "X is 7 / 2", "X") == ["3.5"]
+        assert answers(m, "X is 8 / 2", "X") == ["4"]
+
+    def test_arithmetic_errors(self):
+        m = machine("")
+        with pytest.raises(PrologError):
+            m.succeeds("X is 1 / 0")
+        with pytest.raises(PrologError):
+            m.succeeds("X is foo + 1")
+        with pytest.raises(PrologError):
+            m.succeeds("X is Y + 1")
+
+    def test_comparisons(self):
+        m = machine("")
+        assert m.succeeds("1 < 2, 2 > 1, 1 =< 1, 2 >= 2")
+        assert m.succeeds("1 + 1 =:= 2")
+        assert m.succeeds("1 =\\= 2")
+
+    def test_term_ordering(self):
+        m = machine("")
+        assert m.succeeds("foo @< zoo")
+        assert m.succeeds("1 @< foo")  # numbers before atoms
+        assert m.succeeds("foo @< f(a)")  # atoms before compounds
+        assert m.succeeds("f(a) @=< f(a)")
+
+    def test_functor(self):
+        m = machine("")
+        assert answers(m, "functor(f(a, b), N, A), X = N/A", "X") == ["f/2"]
+        assert answers(m, "functor(T, point, 2)", "T")[0].startswith("point(")
+        assert answers(m, "functor(foo, N, A), X = N/A", "X") == ["foo/0"]
+
+    def test_arg(self):
+        m = machine("")
+        assert answers(m, "arg(2, f(a, b, c), X)", "X") == ["b"]
+        assert not m.succeeds("arg(4, f(a, b, c), _)")
+
+    def test_univ(self):
+        m = machine("")
+        assert answers(m, "f(a, b) =.. L", "L") == ["[f,a,b]"]
+        assert answers(m, "T =.. [g, 1, 2]", "T") == ["g(1,2)"]
+        assert answers(m, "foo =.. L", "L") == ["[foo]"]
+
+    def test_findall(self):
+        m = machine("p(1). p(2). p(3).")
+        assert answers(m, "findall(X, p(X), L)", "L") == ["[1,2,3]"]
+        assert answers(m, "findall(X, p(X), [A | _])", "A") == ["1"]
+        assert answers(m, "findall(X, fail, L)", "L") == ["[]"]
+
+    def test_between(self):
+        m = machine("")
+        assert answers(m, "between(1, 3, X)", "X") == ["1", "2", "3"]
+        assert m.succeeds("between(1, 3, 2)")
+        assert not m.succeeds("between(1, 3, 5)")
+
+    def test_length(self):
+        m = machine("")
+        assert answers(m, "length([a, b, c], N)", "N") == ["3"]
+        assert answers(m, "length(L, 2)", "L")[0].count(",") == 1
+
+    def test_assert_retract(self):
+        m = machine("p(a).")
+        assert m.succeeds("assertz(p(b))")
+        assert answers(m, "p(X)", "X") == ["a", "b"]
+        assert m.succeeds("asserta(p(zero))")
+        assert answers(m, "p(X)", "X") == ["zero", "a", "b"]
+        assert m.succeeds("retract(p(a))")
+        assert answers(m, "p(X)", "X") == ["zero", "b"]
+        assert not m.succeeds("retract(p(never))")
+
+    def test_assert_rule(self):
+        m = machine("p(1).")
+        assert m.succeeds("assertz((q(X) :- p(X)))")
+        assert answers(m, "q(X)", "X") == ["1"]
+
+    def test_clause_inspects_facts(self):
+        m = machine("p(a). p(b).")
+        assert answers(m, "clause(p(X), true)", "X") == ["a", "b"]
+
+    def test_clause_inspects_rules(self):
+        m = machine("q(X) :- p(X), r(X).")
+        bodies = answers(m, "clause(q(_), B)", "B")
+        assert bodies == ["p(_A),r(_A)"] or bodies[0].startswith("p(")
+
+    def test_clause_requires_bound_head(self):
+        m = machine("p(a).")
+        with pytest.raises(PrologError):
+            m.succeeds("clause(X, true)")
+
+
+class TestMachineSurface:
+    def test_count_solutions(self):
+        m = machine("p(1). p(2).")
+        assert m.count_solutions("p(_)") == 2
+
+    def test_all_solutions(self):
+        m = machine("p(1).")
+        assert m.all_solutions("p(X)") == [{"X": Int(1)}]
+
+    def test_stats_recorded(self):
+        m = machine("p(1). q(X) :- p(X).")
+        m.all_solutions("q(X)")
+        assert m.stats.retrievals >= 2
+        assert m.stats.candidates >= 2

@@ -1,0 +1,219 @@
+"""Tests for the extended builtins and the Prolog-source library."""
+
+import io
+
+import pytest
+
+from repro.engine import PrologError, PrologMachine
+from repro.storage import KnowledgeBase
+from repro.terms import term_to_string
+
+
+def machine(program: str = "", **kwargs) -> PrologMachine:
+    kb = KnowledgeBase()
+    if program:
+        kb.consult_text(program)
+    return PrologMachine(kb, **kwargs)
+
+
+def answers(m: PrologMachine, goal: str, var: str) -> list[str]:
+    return [term_to_string(s[var]) for s in m.solve_text(goal)]
+
+
+class TestControlExtensions:
+    def test_once(self):
+        m = machine("p(1). p(2).")
+        assert answers(m, "once(p(X))", "X") == ["1"]
+
+    def test_once_fails_when_goal_fails(self):
+        m = machine("p(1).")
+        assert not m.succeeds("once(fail)")
+
+    def test_not_alias(self):
+        m = machine("p(a).")
+        assert m.succeeds("not(p(b))")
+        assert not m.succeeds("not(p(a))")
+
+    def test_forall(self):
+        m = machine("p(1). p(2). p(3). even(2). big(2). big(3). big(1).")
+        assert m.succeeds("forall(p(X), big(X))")
+        assert not m.succeeds("forall(p(X), even(X))")
+
+    def test_forall_vacuous(self):
+        m = machine("p(1).")
+        assert m.succeeds("forall(fail, whatever)")
+
+
+class TestSorting:
+    def test_msort_keeps_duplicates(self):
+        m = machine("")
+        assert answers(m, "msort([b, a, c, a], L)", "L") == ["[a,a,b,c]"]
+
+    def test_sort_dedupes(self):
+        m = machine("")
+        assert answers(m, "sort([b, a, c, a], L)", "L") == ["[a,b,c]"]
+
+    def test_sort_standard_order(self):
+        m = machine("")
+        assert answers(m, "sort([f(1), 2, foo, X], L)", "L")[0].startswith("[")
+        # Var < Number < Atom < Compound
+        result = answers(m, "msort([f(1), 2, foo], L)", "L")
+        assert result == ["[2,foo,f(1)]"]
+
+    def test_sort_improper_list_rejected(self):
+        m = machine("")
+        with pytest.raises(PrologError):
+            m.succeeds("sort([a | T], L)")
+
+    def test_compare(self):
+        m = machine("")
+        assert answers(m, "compare(O, 1, 2)", "O") == ["<"]
+        assert answers(m, "compare(O, b, a)", "O") == [">"]
+        assert answers(m, "compare(O, f(X), f(X))", "O") == ["="]
+
+
+class TestIO:
+    def test_write_and_nl_captured(self):
+        out = io.StringIO()
+        m = machine("", output=out)
+        assert m.succeeds("write(hello), nl, write(f(X, 1))")
+        assert out.getvalue() == "hello\nf(X,1)"
+
+    def test_writeln_tab(self):
+        out = io.StringIO()
+        m = machine("", output=out)
+        assert m.succeeds("tab(3), writeln(ok)")
+        assert out.getvalue() == "   ok\n"
+
+    def test_tab_validation(self):
+        m = machine("")
+        with pytest.raises(PrologError):
+            m.succeeds("tab(foo)")
+
+
+class TestAtomsAndNumbers:
+    def test_atom_codes_forward(self):
+        m = machine("")
+        assert answers(m, "atom_codes(abc, L)", "L") == ["[97,98,99]"]
+
+    def test_atom_codes_backward(self):
+        m = machine("")
+        assert answers(m, 'atom_codes(A, "hi")', "A") == ["hi"]
+
+    def test_atom_codes_number(self):
+        m = machine("")
+        assert answers(m, "atom_codes(42, L)", "L") == ["[52,50]"]
+
+    def test_atom_length(self):
+        m = machine("")
+        assert answers(m, "atom_length(hello, N)", "N") == ["5"]
+        with pytest.raises(PrologError):
+            m.succeeds("atom_length(1, N)")
+
+    def test_succ(self):
+        m = machine("")
+        assert answers(m, "succ(3, X)", "X") == ["4"]
+        assert answers(m, "succ(X, 4)", "X") == ["3"]
+        assert not m.succeeds("succ(X, 0)")
+        with pytest.raises(PrologError):
+            m.succeeds("succ(X, Y)")
+
+
+class TestLibrary:
+    def lib(self, program=""):
+        return machine(program, load_library=True)
+
+    def test_member(self):
+        m = self.lib()
+        assert answers(m, "member(X, [a, b, c])", "X") == ["a", "b", "c"]
+        assert m.succeeds("member(b, [a, b])")
+        assert not m.succeeds("member(z, [a, b])")
+
+    def test_memberchk_deterministic(self):
+        m = self.lib()
+        assert m.count_solutions("memberchk(a, [a, a, a])") == 1
+
+    def test_append_both_ways(self):
+        m = self.lib()
+        assert answers(m, "append([1], [2, 3], L)", "L") == ["[1,2,3]"]
+        assert m.count_solutions("append(_, _, [a, b, c])") == 4
+
+    def test_reverse(self):
+        m = self.lib()
+        assert answers(m, "reverse([1, 2, 3], R)", "R") == ["[3,2,1]"]
+
+    def test_nrev(self):
+        m = self.lib()
+        assert answers(m, "nrev([1, 2, 3, 4, 5], R)", "R") == ["[5,4,3,2,1]"]
+
+    def test_last_nth(self):
+        m = self.lib()
+        assert answers(m, "last([a, b, c], X)", "X") == ["c"]
+        assert answers(m, "nth0(1, [a, b, c], X)", "X")[0] == "b"
+        assert answers(m, "nth1(1, [a, b, c], X)", "X")[0] == "a"
+
+    def test_numeric_lists(self):
+        m = self.lib()
+        assert answers(m, "sum_list([1, 2, 3], S)", "S") == ["6"]
+        assert answers(m, "max_list([3, 9, 2], M)", "M") == ["9"]
+        assert answers(m, "min_list([3, 9, 2], M)", "M") == ["2"]
+        assert answers(m, "numlist(1, 5, L)", "L") == ["[1,2,3,4,5]"]
+
+    def test_select_permutation(self):
+        m = self.lib()
+        assert m.count_solutions("select(X, [a, b, c], R)") == 3
+        assert m.count_solutions("permutation([a, b, c], P)") == 6
+
+    def test_delete(self):
+        m = self.lib()
+        assert answers(m, "delete([a, b, a, c], a, R)", "R") == ["[b,c]"]
+
+    def test_user_predicates_not_shadowed(self):
+        m = self.lib("member(special, only_this).")
+        assert answers(m, "member(X, only_this)", "X") == ["special"]
+        # The library member/2 was skipped entirely.
+        assert not m.succeeds("member(a, [a])")
+
+    def test_library_module_assignment(self):
+        m = self.lib()
+        assert ("append", 3) in m.kb.module("library").indicators
+
+
+class TestBagofSetof:
+    def test_bagof_basic(self):
+        m = machine("p(1). p(2). p(1).")
+        assert answers(m, "bagof(X, p(X), L)", "L") == ["[1,2,1]"]
+
+    def test_bagof_fails_when_no_solutions(self):
+        m = machine("p(1).")
+        assert not m.succeeds("bagof(X, fail, L)")
+
+    def test_setof_sorts_and_dedupes(self):
+        m = machine("p(2). p(1). p(2).")
+        assert answers(m, "setof(X, p(X), L)", "L") == ["[1,2]"]
+
+    def test_free_variable_grouping(self):
+        m = machine("age(tom, 30). age(ann, 30). age(jim, 7).")
+        groups = [
+            (term_to_string(s["A"]), term_to_string(s["L"]))
+            for s in m.solve_text("bagof(P, age(P, A), L)")
+        ]
+        assert ("30", "[tom,ann]") in groups
+        assert ("7", "[jim]") in groups
+        assert len(groups) == 2
+
+    def test_caret_suppresses_grouping(self):
+        m = machine("age(tom, 30). age(ann, 30). age(jim, 7).")
+        assert answers(m, "bagof(P, A^age(P, A), L)", "L") == ["[tom,ann,jim]"]
+
+    def test_setof_with_grouping(self):
+        m = machine("owns(tom, cat). owns(tom, dog). owns(ann, cat).")
+        groups = [
+            (term_to_string(s["W"]), term_to_string(s["L"]))
+            for s in m.solve_text("setof(T, owns(W, T), L)")
+        ]
+        assert groups == [("tom", "[cat,dog]")] + [("ann", "[cat]")] or len(groups) == 2
+
+    def test_power_operator(self):
+        m = machine("")
+        assert answers(m, "X is 2 ^ 10", "X") == ["1024"]

@@ -1,0 +1,356 @@
+"""Unit tests for the FS2 building blocks: control register, double
+buffer, result memory, microcode, WCS, and item cursors."""
+
+import pytest
+
+from repro.fs2 import (
+    CLARE_BASE_ADDRESS,
+    CLARE_END_ADDRESS,
+    Condition,
+    ControlRegister,
+    DispatchClass,
+    DoubleBuffer,
+    ElementCounters,
+    ExecOp,
+    FilterSelect,
+    ItemCursor,
+    MAX_SATISFIERS,
+    MicroInstruction,
+    MicroProgramController,
+    OperationalMode,
+    ResultMemory,
+    ResultMemoryFull,
+    SLOT_BYTES,
+    SeqOp,
+    WCS_WORDS,
+    WritableControlStore,
+    assemble_search_program,
+    inline_children,
+)
+from repro.fs2.buffer import BufferBankBusy
+from repro.fs2.control import in_clare_window
+from repro.pif import PIFEncoder, SymbolTable, scan_items
+from repro.terms import read_term
+
+
+class TestControlRegister:
+    def test_initial_state(self):
+        reg = ControlRegister()
+        assert reg.filter_select == FilterSelect.FS1  # b2 == 0
+        assert reg.mode == OperationalMode.READ_RESULT
+        assert not reg.match_found
+
+    def test_filter_select_bit2(self):
+        reg = ControlRegister()
+        reg.select_filter(FilterSelect.FS2)
+        assert reg.value & 0x04
+        reg.select_filter(FilterSelect.FS1)
+        assert not (reg.value & 0x04)
+
+    @pytest.mark.parametrize(
+        "mode,b0,b1",
+        [
+            (OperationalMode.READ_RESULT, 0, 0),
+            (OperationalMode.SEARCH, 0, 1),
+            (OperationalMode.MICROPROGRAMMING, 1, 0),
+            (OperationalMode.SET_QUERY, 1, 1),
+        ],
+    )
+    def test_mode_encoding(self, mode, b0, b1):
+        reg = ControlRegister()
+        reg.set_mode(mode)
+        assert (reg.value & 1) == b0
+        assert ((reg.value >> 1) & 1) == b1
+        assert reg.mode == mode
+
+    def test_match_found_bit7(self):
+        reg = ControlRegister()
+        reg.set_match_found(True)
+        assert reg.value & 0x80
+        assert reg.match_found
+        # A host write must not clobber the status bit.
+        reg.write(0x07)
+        assert reg.match_found
+
+    def test_write_validates(self):
+        reg = ControlRegister()
+        with pytest.raises(ValueError):
+            reg.write(0x1FF)
+
+    def test_address_window(self):
+        assert CLARE_BASE_ADDRESS == 0xFFFF7E00
+        assert CLARE_END_ADDRESS == 0xFFFF7FFF
+        assert in_clare_window(0xFFFF7E00)
+        assert in_clare_window(0xFFFF7F80)
+        assert not in_clare_window(0xFFFF7DFF)
+        assert not in_clare_window(0xFFFF8000)
+
+
+class TestDoubleBuffer:
+    def test_roles_alternate(self):
+        buffer = DoubleBuffer()
+        assert buffer.input_bank == 0
+        buffer.toggle()
+        assert buffer.input_bank == 1
+        assert buffer.output_bank == 0
+
+    def test_load_then_consume(self):
+        buffer = DoubleBuffer()
+        buffer.load(b"clause-one")
+        buffer.toggle()
+        assert buffer.output() == b"clause-one"
+        # Next clause streams in while the first is matched.
+        buffer.load(b"clause-two")
+        assert buffer.consume_output() == b"clause-one"
+        buffer.toggle()
+        assert buffer.consume_output() == b"clause-two"
+
+    def test_overrun_detected(self):
+        buffer = DoubleBuffer()
+        buffer.load(b"a")
+        with pytest.raises(BufferBankBusy):
+            buffer.load(b"b")
+
+    def test_empty_output(self):
+        buffer = DoubleBuffer()
+        with pytest.raises(BufferBankBusy):
+            buffer.consume_output()
+
+    def test_record_size_cap(self):
+        buffer = DoubleBuffer(bank_bytes=8)
+        with pytest.raises(ValueError):
+            buffer.load(b"123456789")
+
+
+class TestResultMemory:
+    def test_capture_counts(self):
+        rm = ResultMemory()
+        rm.stream_record(b"abc")
+        rm.capture()
+        rm.stream_record(b"xyz")
+        rm.discard()
+        rm.stream_record(b"def")
+        rm.capture()
+        assert rm.satisfier_count == 2
+        assert rm.read_results() == [b"abc", b"def"]
+
+    def test_discarded_slot_reused(self):
+        rm = ResultMemory()
+        rm.stream_record(b"miss")
+        rm.discard()
+        rm.stream_record(b"hit!")
+        rm.capture()
+        assert rm.read_results() == [b"hit!"]
+
+    def test_slot_limit(self):
+        rm = ResultMemory()
+        rm.stream_record(b"x" * SLOT_BYTES)  # exactly one slot: fine
+        rm.capture()
+        rm.begin_clause()
+        with pytest.raises(ValueError):
+            for _ in range(SLOT_BYTES + 1):
+                rm.stream_byte(0)
+
+    def test_satisfier_limit(self):
+        rm = ResultMemory()
+        for _ in range(MAX_SATISFIERS):
+            rm.stream_record(b"r")
+            rm.capture()
+        with pytest.raises(ResultMemoryFull):
+            rm.stream_record(b"r")
+
+    def test_reset(self):
+        rm = ResultMemory()
+        rm.stream_record(b"a")
+        rm.capture()
+        rm.reset()
+        assert rm.satisfier_count == 0
+        assert rm.read_results() == []
+
+
+class TestMicrocode:
+    def test_instruction_roundtrip(self):
+        instruction = MicroInstruction(
+            seq=SeqOp.CJP,
+            address=0x2A,
+            condition=Condition.HIT,
+            polarity=False,
+            exec_op=ExecOp.MATCH,
+        )
+        assert MicroInstruction.decode(instruction.encode()) == instruction
+
+    def test_word_fits_64_bits(self):
+        instruction = MicroInstruction(
+            seq=SeqOp.JMAP,
+            address=0xFFF,
+            condition=Condition.COUNTERS_DONE,
+            exec_op=ExecOp.SIGNAL_MISS,
+        )
+        assert instruction.encode() < (1 << 64)
+
+    def test_program_assembles(self):
+        program = assemble_search_program()
+        assert 0 < len(program) <= WCS_WORDS
+        assert "POLL" in program.labels
+        assert program.labels["POLL"] == 0
+
+    def test_map_rom_complete(self):
+        program = assemble_search_program()
+        for db_class in DispatchClass:
+            for q_class in DispatchClass:
+                assert (db_class, q_class) in program.map_rom
+
+    def test_disassembler(self):
+        from repro.fs2.microcode import disassemble
+
+        program = assemble_search_program()
+        listing = disassemble(program)
+        assert len(listing) == len(program)
+        text = "\n".join(listing)
+        assert "POLL" in text
+        assert "EXEC MATCH" in text
+        assert "CJP !BUFFER_READY -> POLL" in text
+        assert "JMAP" in text
+
+    def test_map_rom_priorities(self):
+        program = assemble_search_program()
+        anon = program.labels["M_ANON"]
+        # Anonymous wins over everything (Figure 1: skip).
+        assert program.map_rom[(DispatchClass.ANONYMOUS, DispatchClass.CONCRETE)] == anon
+        assert (
+            program.map_rom[(DispatchClass.CONCRETE, DispatchClass.ANONYMOUS)] == anon
+        )
+        # Database variables take precedence over query variables (case 5
+        # before case 6).
+        assert (
+            program.map_rom[
+                (DispatchClass.FIRST_DB_VAR, DispatchClass.FIRST_QUERY_VAR)
+            ]
+            == program.labels["M_DBV_FIRST"]
+        )
+
+
+class TestWCS:
+    def test_load_and_fetch(self):
+        wcs = WritableControlStore()
+        program = assemble_search_program()
+        wcs.load_program(program)
+        assert wcs.loaded
+        first = wcs.fetch(0)
+        assert first.seq == SeqOp.CJP
+        assert first.condition == Condition.BUFFER_READY
+
+    def test_fetch_bounds(self):
+        wcs = WritableControlStore()
+        with pytest.raises(ValueError):
+            wcs.fetch(WCS_WORDS)
+
+    def test_map_rom_lookup(self):
+        wcs = WritableControlStore()
+        wcs.load_program(assemble_search_program())
+        address = wcs.map_address(DispatchClass.CONCRETE, DispatchClass.CONCRETE)
+        assert wcs.fetch(address).exec_op == ExecOp.MATCH
+
+
+class TestSequencer:
+    def test_cont(self):
+        mpc = MicroProgramController()
+        mpc.pc = 5
+        instruction = MicroInstruction(seq=SeqOp.CONT)
+        assert mpc.next_address(instruction, {}, None) == 6
+
+    def test_jmp(self):
+        mpc = MicroProgramController()
+        instruction = MicroInstruction(seq=SeqOp.JMP, address=42)
+        assert mpc.next_address(instruction, {}, None) == 42
+
+    def test_cjp_taken_and_not(self):
+        mpc = MicroProgramController()
+        mpc.pc = 7
+        instruction = MicroInstruction(
+            seq=SeqOp.CJP, address=3, condition=Condition.HIT, polarity=True
+        )
+        assert mpc.next_address(instruction, {Condition.HIT: True}, None) == 3
+        assert mpc.next_address(instruction, {Condition.HIT: False}, None) == 8
+
+    def test_cjp_negative_polarity(self):
+        mpc = MicroProgramController()
+        mpc.pc = 7
+        instruction = MicroInstruction(
+            seq=SeqOp.CJP, address=3, condition=Condition.HIT, polarity=False
+        )
+        assert mpc.next_address(instruction, {Condition.HIT: False}, None) == 3
+
+    def test_jmap(self):
+        mpc = MicroProgramController()
+        instruction = MicroInstruction(seq=SeqOp.JMAP)
+        assert mpc.next_address(instruction, {}, 99) == 99
+        with pytest.raises(ValueError):
+            mpc.next_address(instruction, {}, None)
+
+
+class TestElementCounters:
+    def test_lifecycle(self):
+        counters = ElementCounters()
+        assert not counters.active
+        counters.load(2, 3)
+        assert counters.active
+        assert not counters.either_zero()
+        counters.decrement()
+        counters.decrement()
+        assert counters.either_zero()  # db side hit zero
+        assert counters.query == 1
+        counters.clear()
+        assert not counters.active
+
+
+class TestItemCursor:
+    def encode(self, text):
+        symbols = SymbolTable()
+        encoder = PIFEncoder(symbols, side="db")
+        return ItemCursor(encoder.encode_head(read_term(text)), symbols), symbols
+
+    def test_take_and_peek(self):
+        cursor, _ = self.encode("p(a, 1)")
+        first = cursor.peek()
+        assert cursor.take() == first
+        cursor.take()
+        assert cursor.at_end()
+
+    def test_skip_flat_term(self):
+        cursor, _ = self.encode("p(a, b)")
+        assert cursor.skip_term() == 1
+        assert not cursor.at_end()
+
+    def test_skip_nested_term(self):
+        cursor, _ = self.encode("p(f(g(1), [a, b]), tail)")
+        consumed = cursor.skip_term()
+        assert consumed > 4
+        assert cursor.take_term() == read_term("tail")
+
+    def test_take_term_materialises(self):
+        cursor, _ = self.encode("p(f(X, [1 | T]), end)")
+        assert cursor.take_term() == read_term("f(X, [1 | T])")
+
+    def test_inline_children_counts(self):
+        cursor, _ = self.encode("p(f(a, b), [1, 2], [x | T], [])")
+        struct_item = cursor.take()
+        assert inline_children(struct_item) == 2
+        cursor.take()  # a
+        cursor.take()  # b
+        tlist_item = cursor.take()
+        assert inline_children(tlist_item) == 3  # 2 elements + tail
+        cursor.skip_term  # noqa: B018 -- documented: elements remain
+        for _ in range(3):
+            cursor.take()
+        ulist_item = cursor.take()
+        assert inline_children(ulist_item) == 2  # 1 element + tail var
+        for _ in range(2):
+            cursor.take()
+        nil_item = cursor.take()
+        assert inline_children(nil_item) == 0
+
+    def test_var_names(self):
+        cursor, _ = self.encode("p(Xyz, Xyz)")
+        item = cursor.take()
+        assert cursor.var_name(item.content) == "Xyz"

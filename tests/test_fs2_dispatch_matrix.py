@@ -1,0 +1,111 @@
+"""Table-driven coverage of every FS2 map-ROM dispatch pair.
+
+Each test row pins down one (db item class, query item class) combination
+at the top level of the argument stream and asserts the filter's decision
+— the executable version of the paper's section 3.1 category table.
+"""
+
+import pytest
+
+from repro.fs2 import SecondStageFilter
+from repro.pif import SymbolTable, compile_clause
+from repro.terms import Clause, clause_from_term, read_term
+from repro.unify import PartialMatcher
+
+# (query argument, db argument, expected hit at level 3 + cross binding)
+DISPATCH_CASES = [
+    # anonymous on either side: skip (paper: "don't care object")
+    ("_", "a", True),
+    ("a", "_", True),
+    ("_", "_", True),
+    ("_", "f(a, b)", True),
+    ("f(a, b)", "_", True),
+    # first-occurrence variables: store, always succeed
+    ("X", "a", True),
+    ("a", "Y", True),
+    ("X", "Y", True),
+    ("X", "f(a)", True),
+    ("f(a)", "Y", True),
+    # simple/simple comparisons
+    ("a", "a", True),
+    ("a", "b", False),
+    ("7", "7", True),
+    ("7", "8", False),
+    ("1.5", "1.5", True),
+    ("1.5", "2.5", False),
+    ("a", "1", False),
+    ("1", "1.0", False),
+    # simple vs complex: type mismatch
+    ("a", "f(a)", False),
+    ("f(a)", "a", False),
+    ("[1]", "a", False),
+    ("1", "[1]", False),
+    # complex/complex
+    ("f(a)", "f(a)", True),
+    ("f(a)", "f(b)", False),
+    ("f(a)", "g(a)", False),
+    ("f(a)", "f(a, b)", False),
+    ("[1, 2]", "[1, 2]", True),
+    ("[1, 2]", "[1, 2, 3]", False),
+    ("[1 | T]", "[1, 2, 3]", True),
+    ("[]", "[]", True),
+    ("[]", "[1]", False),
+]
+
+# Subsequent-occurrence pairs need two argument positions.
+SUBSEQUENT_CASES = [
+    # Sub-QV: query variable repeated
+    ("p(X, X)", "p(a, a)", True),
+    ("p(X, X)", "p(a, b)", False),
+    # Sub-DV: clause variable repeated
+    ("p(a, a)", "p(V, V)", True),
+    ("p(a, b)", "p(V, V)", False),
+    # cross bindings (var-var then constant)
+    ("p(X, X)", "p(V, V)", True),
+    ("p(X, b, X)", "p(V, V, b)", True),
+    ("p(X, b, X)", "p(V, V, c)", False),
+    # subsequent vs first on the other side
+    ("p(X, X)", "p(a, V)", True),
+    ("p(a, X, X)", "p(V, V, b)", False),  # X=V=a then X=b clashes
+    ("p(a, X, X)", "p(V, V, a)", True),
+]
+
+
+def run_fs2(query_text: str, clause_text: str) -> bool:
+    symbols = SymbolTable()
+    compiled = compile_clause(clause_from_term(read_term(clause_text)), symbols)
+    fs2 = SecondStageFilter(symbols)
+    fs2.load_microprogram()
+    query = read_term(query_text)
+    fs2.set_query(query)
+    sim = fs2.match_compiled(compiled)
+    oracle = PartialMatcher(query).match_head(read_term(clause_text)).hit
+    assert sim == oracle, "simulator and oracle must agree"
+    return sim
+
+
+class TestDispatchPairs:
+    @pytest.mark.parametrize("query_arg,db_arg,expected", DISPATCH_CASES)
+    def test_single_argument_pair(self, query_arg, db_arg, expected):
+        assert run_fs2(f"p({query_arg})", f"p({db_arg})") is expected
+
+    @pytest.mark.parametrize("query,clause,expected", SUBSEQUENT_CASES)
+    def test_subsequent_occurrence_pair(self, query, clause, expected):
+        assert run_fs2(query, clause) is expected
+
+    def test_anonymous_with_complex_consumes_stream_correctly(self):
+        # The anonymous skip must consume the whole opposing subtree, or
+        # the following argument pair would misalign.
+        assert run_fs2("p(_, after)", "p(f(g(1), [2, 3]), after)")
+        assert not run_fs2("p(_, after)", "p(f(g(1), [2, 3]), other)")
+
+    def test_variable_with_complex_consumes_stream_correctly(self):
+        assert run_fs2("p(X, after)", "p(f(g(1), [2, 3]), after)")
+        assert not run_fs2("p(X, after)", "p(f(g(1), [2, 3]), other)")
+
+    def test_repeated_variable_against_complex(self):
+        assert run_fs2("p(X, X)", "p(f(a), f(a))")
+        assert not run_fs2("p(X, X)", "p(f(a), g(a))")
+        # Shallow stored-word comparison: same functor+arity passes even
+        # with differing elements (a documented hardware false drop).
+        assert run_fs2("p(X, X)", "p(f(a), f(b))")

@@ -1,0 +1,118 @@
+"""Table 1 reproduction tests: FS2 operation timings from device delays."""
+
+import pytest
+
+from repro.fs2 import timing
+from repro.fs2.timing import (
+    CLOCK_HZ,
+    DEVICE_DELAYS_NS,
+    OPERATION_TIMINGS,
+    execution_time_ns,
+    table1,
+    worst_case_op,
+    worst_case_rate_bytes_per_sec,
+)
+from repro.unify import HardwareOp
+
+
+class TestTable1:
+    """Every row of Table 1 must come out of the route model exactly."""
+
+    @pytest.mark.parametrize(
+        "op,expected_ns",
+        [
+            (HardwareOp.MATCH, 105),
+            (HardwareOp.DB_STORE, 95),
+            (HardwareOp.QUERY_STORE, 115),
+            (HardwareOp.DB_FETCH, 105),
+            (HardwareOp.QUERY_FETCH, 170),
+            (HardwareOp.DB_CROSS_BOUND_FETCH, 170),
+            (HardwareOp.QUERY_CROSS_BOUND_FETCH, 235),
+        ],
+    )
+    def test_execution_times(self, op, expected_ns):
+        assert execution_time_ns(op) == expected_ns
+
+    def test_table_covers_all_seven_ops(self):
+        assert set(OPERATION_TIMINGS) == set(HardwareOp)
+        assert len(table1()) == 7
+
+    def test_figure_numbers(self):
+        figures = {t.figure: t.op for t in OPERATION_TIMINGS.values()}
+        assert figures[6] == HardwareOp.MATCH
+        assert figures[12] == HardwareOp.QUERY_CROSS_BOUND_FETCH
+
+    def test_cycle_counts(self):
+        """MATCH/stores/DB_FETCH are single cycle; QUERY_FETCH and
+        DB_CROSS_BOUND_FETCH take two; QUERY_CROSS_BOUND_FETCH takes
+        three microprogram cycles (paper sections 3.3.5-3.3.7)."""
+        counts = {
+            op: OPERATION_TIMINGS[op].cycle_count() for op in HardwareOp
+        }
+        assert counts[HardwareOp.MATCH] == 1
+        assert counts[HardwareOp.DB_STORE] == 1
+        assert counts[HardwareOp.QUERY_STORE] == 1
+        assert counts[HardwareOp.DB_FETCH] == 1
+        assert counts[HardwareOp.QUERY_FETCH] == 2
+        assert counts[HardwareOp.DB_CROSS_BOUND_FETCH] == 2
+        assert counts[HardwareOp.QUERY_CROSS_BOUND_FETCH] == 3
+
+
+class TestRouteBreakdown:
+    """The per-figure route legs, leg by leg."""
+
+    def test_match_routes(self):
+        op = OPERATION_TIMINGS[HardwareOp.MATCH]
+        cycle = op.cycles[0]
+        assert cycle.db_route is not None and cycle.db_route.delay_ns() == 40
+        assert cycle.query_route is not None and cycle.query_route.delay_ns() == 75
+
+    def test_db_store_routes(self):
+        op = OPERATION_TIMINGS[HardwareOp.DB_STORE]
+        cycle = op.cycles[0]
+        assert cycle.db_route is not None and cycle.db_route.delay_ns() == 60
+        assert cycle.query_route is not None and cycle.query_route.delay_ns() == 75
+
+    def test_query_store_routes(self):
+        op = OPERATION_TIMINGS[HardwareOp.QUERY_STORE]
+        cycle = op.cycles[0]
+        assert cycle.db_route is not None and cycle.db_route.delay_ns() == 80
+
+    def test_query_fetch_cycles(self):
+        op = OPERATION_TIMINGS[HardwareOp.QUERY_FETCH]
+        assert op.cycles[0].delay_ns() == 120
+        assert op.cycles[1].delay_ns() == 20
+
+    def test_query_cross_bound_fetch_cycles(self):
+        op = OPERATION_TIMINGS[HardwareOp.QUERY_CROSS_BOUND_FETCH]
+        assert [c.delay_ns() for c in op.cycles] == [95, 65, 45]
+
+    def test_device_delays_as_published(self):
+        assert DEVICE_DELAYS_NS["double_buffer"] == 20
+        assert DEVICE_DELAYS_NS["sel"] == 20
+        assert DEVICE_DELAYS_NS["query_memory"] == 35
+        assert DEVICE_DELAYS_NS["db_memory_read"] == 25
+        assert DEVICE_DELAYS_NS["comparator"] == 30
+
+    def test_sensitivity_to_device_delays(self):
+        """Faster selectors shorten exactly the selector-bound routes."""
+        faster = dict(DEVICE_DELAYS_NS)
+        faster["sel"] = 10
+        op = OPERATION_TIMINGS[HardwareOp.MATCH]
+        assert op.execution_time_ns(faster) < op.execution_time_ns()
+
+
+class TestDerivedRates:
+    def test_worst_case_op(self):
+        assert worst_case_op() == HardwareOp.QUERY_CROSS_BOUND_FETCH
+
+    def test_worst_case_rate_is_4_25_mbytes(self):
+        rate = worst_case_rate_bytes_per_sec()
+        assert rate == pytest.approx(4.25e6, rel=0.01)
+
+    def test_faster_than_peak_disk(self):
+        """Section 4: even the fast SMD disk at ~2 MB/s cannot outrun FS2."""
+        assert worst_case_rate_bytes_per_sec() > 2_000_000
+
+    def test_clock(self):
+        assert CLOCK_HZ == 8_000_000

@@ -1,0 +1,106 @@
+"""Direct unit tests for the Test Unification Engine datapath."""
+
+import pytest
+
+from repro.fs2.tue import SideTerm
+from repro.fs2.tue import TestUnificationEngine as TUEngine
+from repro.terms import read_term
+from repro.unify import HardwareOp
+
+
+@pytest.fixture
+def tue():
+    return TUEngine(cross_binding=True)
+
+
+def st(text: str, side: str) -> SideTerm:
+    return SideTerm(read_term(text), side)
+
+
+class TestShallowCompare:
+    def test_simple_values(self, tue):
+        assert tue.shallow_compare(read_term("a"), read_term("a"))
+        assert not tue.shallow_compare(read_term("a"), read_term("b"))
+        assert tue.shallow_compare(read_term("3"), read_term("3"))
+        assert not tue.shallow_compare(read_term("3"), read_term("3.0"))
+
+    def test_structs_by_functor_and_arity_only(self, tue):
+        assert tue.shallow_compare(read_term("f(a)"), read_term("f(b)"))
+        assert not tue.shallow_compare(read_term("f(a)"), read_term("g(a)"))
+        assert not tue.shallow_compare(read_term("f(a)"), read_term("f(a, b)"))
+
+    def test_lists_counter_rule(self, tue):
+        assert tue.shallow_compare(read_term("[1, 2]"), read_term("[3, 4]"))
+        assert not tue.shallow_compare(read_term("[1]"), read_term("[1, 2]"))
+        assert tue.shallow_compare(read_term("[1 | T]"), read_term("[1, 2, 3]"))
+        assert tue.shallow_compare(read_term("[]"), read_term("[]"))
+        assert not tue.shallow_compare(read_term("[]"), read_term("[1]"))
+
+    def test_category_mismatch(self, tue):
+        assert not tue.shallow_compare(read_term("f(a)"), read_term("[a]"))
+        assert not tue.shallow_compare(read_term("a"), read_term("[a]"))
+
+
+class TestVariableOps:
+    def test_store_and_fetch_consistent(self, tue):
+        tue.var_first("db", "A", st("hello", "query"))
+        assert tue.var_subsequent("db", "A", st("hello", "query"))
+        assert not tue.var_subsequent("db", "A", st("other", "query"))
+
+    def test_db_memory_reset(self, tue):
+        tue.var_first("db", "A", st("x", "query"))
+        tue.reset_db_memory()
+        assert tue.slot("db", "A") is None
+        # After the reset a "subsequent" occurrence self-heals to a store.
+        assert tue.var_subsequent("db", "A", st("y", "query"))
+        assert tue.slot("db", "A") is not None
+
+    def test_reciprocal_cross_binding(self, tue):
+        tue.var_first("db", "A", st("X", "query"))
+        assert tue.slot("query", "X") is not None
+        assert tue.op_counts[HardwareOp.DB_STORE] == 1
+        assert tue.op_counts[HardwareOp.QUERY_STORE] == 1
+
+    def test_cross_bound_fetch_counts(self, tue):
+        tue.var_first("db", "A", st("X", "query"))
+        assert tue.var_subsequent("db", "A", st("b", "query"))
+        assert tue.op_counts[HardwareOp.DB_CROSS_BOUND_FETCH] == 1
+        # The ultimate association is now instantiated to b.
+        assert tue.var_subsequent("query", "X", st("b", "db"))
+        assert not tue.var_subsequent("query", "X", st("c", "db"))
+
+    def test_cross_binding_disabled(self):
+        tue = TUEngine(cross_binding=False)
+        tue.var_first("db", "A", st("X", "query"))
+        assert tue.var_subsequent("db", "A", st("b", "query"))
+        assert tue.var_subsequent("db", "A", st("c", "query"))  # unchecked
+        assert tue.op_counts[HardwareOp.DB_CROSS_BOUND_FETCH] == 0
+        assert tue.op_counts[HardwareOp.DB_FETCH] == 2
+
+    def test_op_time_accrual(self, tue):
+        tue.record_op(HardwareOp.MATCH)
+        tue.record_op(HardwareOp.QUERY_CROSS_BOUND_FETCH)
+        assert tue.op_time_ns == 105 + 235
+        tue.reset_accounting()
+        assert tue.op_time_ns == 0
+        assert not tue.op_counts
+
+
+class TestDispatchTerms:
+    def test_concrete_pair(self, tue):
+        assert tue.dispatch_terms(st("a", "db"), st("a", "query"))
+        assert not tue.dispatch_terms(st("a", "db"), st("b", "query"))
+
+    def test_var_pair_stores(self, tue):
+        assert tue.dispatch_terms(st("V", "db"), st("k", "query"))
+        assert not tue.dispatch_terms(st("V", "db"), st("other", "query"))
+
+    def test_anonymous_skips(self, tue):
+        assert tue.dispatch_terms(st("_", "db"), st("anything", "query"))
+        assert tue.dispatch_terms(st("anything", "db"), st("_", "query"))
+
+    def test_folded_pair_not_counted_as_match(self, tue):
+        tue.dispatch_terms(st("a", "db"), st("a", "query"), folded=True)
+        assert tue.op_counts[HardwareOp.MATCH] == 0
+        tue.dispatch_terms(st("a", "db"), st("a", "query"), folded=False)
+        assert tue.op_counts[HardwareOp.MATCH] == 1

@@ -1,0 +1,95 @@
+"""Tests for the VME memory-mapped window."""
+
+import pytest
+
+from repro.fs2 import (
+    CLARE_BASE_ADDRESS,
+    ControlRegister,
+    OperationalMode,
+    ResultMemory,
+    WritableControlStore,
+    assemble_search_program,
+)
+from repro.fs2.vme import (
+    BusError,
+    CONTROL_OFFSET,
+    RM_OFFSET,
+    VMEWindow,
+    WCS_OFFSET,
+)
+
+
+@pytest.fixture
+def window():
+    return VMEWindow(ControlRegister(), WritableControlStore(), ResultMemory())
+
+
+class TestControlThroughWindow:
+    def test_write_control_register(self, window):
+        window.write(CLARE_BASE_ADDRESS + CONTROL_OFFSET, 0b0000_0111)
+        assert window.control.value & 0x07 == 0x07
+        assert window.control.mode == OperationalMode.SET_QUERY
+
+    def test_read_control_register(self, window):
+        window.control.set_match_found(True)
+        assert window.read(CLARE_BASE_ADDRESS + CONTROL_OFFSET) & 0x80
+
+    def test_status_bit_protected_from_host(self, window):
+        window.control.set_match_found(True)
+        window.write(CLARE_BASE_ADDRESS + CONTROL_OFFSET, 0x00)
+        assert window.read(CLARE_BASE_ADDRESS + CONTROL_OFFSET) & 0x80
+
+
+class TestMicroprogrammingThroughWindow:
+    def test_load_program_words(self, window):
+        program = assemble_search_program()
+        window.load_program_words(program.words)
+        assert window.wcs.loaded
+        # The first instruction reads back identically.
+        first = window.wcs.fetch(0)
+        assert first.encode() == program.words[0]
+
+    def test_wcs_readback(self, window):
+        window.write_block(
+            CLARE_BASE_ADDRESS + WCS_OFFSET, (0xDEADBEEF).to_bytes(8, "little")
+        )
+        data = window.read_block(CLARE_BASE_ADDRESS + WCS_OFFSET, 8)
+        assert int.from_bytes(data, "little") == 0xDEADBEEF
+
+
+class TestResultMemoryThroughWindow:
+    def test_read_captured_records(self, window):
+        window.result.stream_record(b"hit-record")
+        window.result.capture()
+        data = window.read_block(CLARE_BASE_ADDRESS + RM_OFFSET, 10)
+        assert data == b"hit-record"
+
+    def test_second_slot_at_512(self, window):
+        window.result.stream_record(b"first")
+        window.result.capture()
+        window.result.stream_record(b"second")
+        window.result.capture()
+        data = window.read_block(CLARE_BASE_ADDRESS + RM_OFFSET + 512, 6)
+        assert data == b"second"
+
+
+class TestBusErrors:
+    def test_outside_window(self, window):
+        with pytest.raises(BusError):
+            window.read(CLARE_BASE_ADDRESS - 1)
+        with pytest.raises(BusError):
+            window.write(0x0000_0000, 1)
+
+    def test_result_memory_not_writable(self, window):
+        with pytest.raises(BusError):
+            window.write(CLARE_BASE_ADDRESS + RM_OFFSET, 1)
+
+    def test_byte_stores_only(self, window):
+        with pytest.raises(BusError):
+            window.write(CLARE_BASE_ADDRESS + CONTROL_OFFSET, 0x1FF)
+
+    def test_query_memory_stores(self, window):
+        from repro.fs2.vme import QUERY_OFFSET
+
+        window.write_block(CLARE_BASE_ADDRESS + QUERY_OFFSET, b"\x08\x00\x00\x01")
+        assert window.query_stream(4) == b"\x08\x00\x00\x01"

@@ -1,0 +1,168 @@
+"""End-to-end integration tests: the full PDBM stack.
+
+Knowledge base -> PIF compilation -> disk placement -> CRS mode selection
+-> FS1/FS2 filtering -> full unification -> resolution, all in one flow.
+"""
+
+import pytest
+
+from repro.crs import ClauseRetrievalServer, SearchMode
+from repro.engine import PrologMachine
+from repro.storage import KnowledgeBase, Residency
+from repro.terms import read_term, term_to_string
+from repro.unify import unifiable
+from repro.workloads import FactKBSpec, generate_couples, generate_facts
+
+FAMILY = """
+parent(tom, bob).   parent(tom, liz).
+parent(bob, ann).   parent(bob, pat).
+parent(pat, jim).   parent(liz, joe).
+male(tom). male(bob). male(jim). male(joe).
+female(liz). female(ann). female(pat).
+father(X, Y) :- parent(X, Y), male(X).
+mother(X, Y) :- parent(X, Y), female(X).
+anc(X, Y) :- parent(X, Y).
+anc(X, Z) :- parent(X, Y), anc(Y, Z).
+"""
+
+
+def family_machine(mode=None, disk=False) -> PrologMachine:
+    kb = KnowledgeBase()
+    kb.consult_text(FAMILY)
+    if disk:
+        kb.module("user").pin(Residency.DISK)
+        kb.sync_to_disk()
+    return PrologMachine(kb, mode=mode)
+
+
+class TestFamilyAcrossModes:
+    @pytest.mark.parametrize("mode", [None, *SearchMode])
+    def test_same_answers_every_mode(self, mode):
+        machine = family_machine(mode=mode, disk=True)
+        ancestors = sorted(
+            term_to_string(s["X"]) for s in machine.solve_text("anc(X, jim)")
+        )
+        assert ancestors == ["bob", "pat", "tom"]
+
+    @pytest.mark.parametrize("mode", list(SearchMode))
+    def test_rules_work_on_disk(self, mode):
+        machine = family_machine(mode=mode, disk=True)
+        fathers = {
+            (term_to_string(s["F"]), term_to_string(s["C"]))
+            for s in machine.solve_text("father(F, C)")
+        }
+        assert ("tom", "bob") in fathers
+        assert ("bob", "ann") in fathers
+        assert all(f != "liz" for f, _ in fathers)
+
+    def test_planner_driven_end_to_end(self):
+        machine = family_machine(disk=True)
+        assert machine.succeeds("mother(liz, joe)")
+        assert not machine.succeeds("mother(tom, bob)")
+        assert machine.stats.retrievals > 0
+
+
+class TestLargeDiskResidentKB:
+    @pytest.fixture(scope="class")
+    def big_machine(self):
+        kb = KnowledgeBase()
+        clauses = generate_facts(
+            FactKBSpec(functor="item", arity=3, count=2000, seed=13)
+        )
+        kb.consult_clauses(clauses, module="data")
+        kb.module("data").pin(Residency.DISK)
+        kb.sync_to_disk()
+        self_query = clauses[17].head
+        machine = PrologMachine(kb)
+        return machine, self_query
+
+    def test_exact_lookup(self, big_machine):
+        machine, query = big_machine
+        assert machine.succeeds(term_to_string(query))
+
+    def test_filter_reduces_scan(self, big_machine):
+        machine, query = big_machine
+        machine.stats.candidates = 0
+        list(machine.solve(query))
+        # Candidates reaching full unification must be far fewer than the
+        # 2000 clauses scanned by the filters.
+        assert machine.stats.candidates < 100
+
+    def test_planner_avoided_software(self, big_machine):
+        machine, query = big_machine
+        list(machine.solve(query))
+        assert SearchMode.SOFTWARE not in machine.stats.mode_uses
+
+
+class TestMarriedCoupleEndToEnd:
+    """The paper's shared-variable scenario, full stack."""
+
+    @pytest.fixture(scope="class")
+    def setup(self):
+        kb = KnowledgeBase()
+        couples = generate_couples(count=400, same_surname_fraction=0.08, seed=5)
+        kb.consult_clauses(couples, module="data")
+        kb.module("data").pin(Residency.DISK)
+        kb.sync_to_disk()
+        expected = sum(
+            1 for c in couples if c.head.args[0] == c.head.args[1]
+        )
+        return kb, expected
+
+    def test_answer_count_matches(self, setup):
+        kb, expected = setup
+        machine = PrologMachine(kb)
+        count = machine.count_solutions("married_couple(S, S)")
+        assert count == expected
+
+    def test_fs1_retrieves_everything_fs2_filters(self, setup):
+        kb, expected = setup
+        crs = ClauseRetrievalServer(kb)
+        query = read_term("married_couple(S, S)")
+        fs1 = crs.retrieve(query, mode=SearchMode.FS1_ONLY)
+        both = crs.retrieve(query, mode=SearchMode.BOTH)
+        assert len(fs1) == 400  # SCW is blind to shared variables
+        assert len(both) == expected  # FS2 removes every false drop here
+
+    def test_planner_picks_fs2_for_shared_vars(self, setup):
+        kb, _ = setup
+        machine = PrologMachine(kb)
+        list(machine.solve_text("married_couple(S, S)"))
+        assert SearchMode.FS2_ONLY in machine.stats.mode_uses
+
+
+class TestFilterSoundnessEndToEnd:
+    def test_no_answers_lost_vs_naive_scan(self):
+        kb = KnowledgeBase()
+        kb.consult_text(
+            """
+            p(a, f(1), [x]).   p(b, f(2), [y, z]).
+            p(X, f(X), []).    p(a, Y, [Y]).
+            p(c, g(1), [x]).   p(A, B, C) :- q(A, B, C).
+            """,
+            module="data",
+        )
+        kb.module("data").pin(Residency.DISK)
+        kb.sync_to_disk()
+        crs = ClauseRetrievalServer(kb)
+        for query_text in [
+            "p(a, f(1), [x])",
+            "p(X, f(X), Z)",
+            "p(a, W, [W])",
+            "p(U, V, [])",
+        ]:
+            query = read_term(query_text)
+            naive = {
+                str(c)
+                for c in kb.clauses(("p", 3))
+                if unifiable(query, _fresh(c.head))
+            }
+            for mode in SearchMode:
+                got = {str(c) for c, _ in crs.solutions(query, mode=mode)}
+                assert got == naive, f"{mode} diverged on {query_text}"
+
+
+def _fresh(term):
+    from repro.terms import rename_apart
+
+    return rename_apart(term)

@@ -1,0 +1,239 @@
+"""Encoder/decoder round-trip tests for the PIF format."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.pif import (
+    ITEM_SIZE,
+    EncodedArgs,
+    PIFDecoder,
+    PIFEncoder,
+    PIFError,
+    SymbolTable,
+    scan_items,
+    tags,
+)
+from repro.terms import (
+    Atom,
+    Int,
+    Struct,
+    Var,
+    make_list,
+    read_term,
+)
+from tests.strategies import clause_heads, terms
+
+
+@pytest.fixture
+def symbols():
+    return SymbolTable()
+
+
+def roundtrip(term_text: str, symbols: SymbolTable, side: str = "db"):
+    term = read_term(f"p({term_text})")
+    encoder = PIFEncoder(symbols, side=side)
+    encoded = encoder.encode_head(term)
+    decoder = PIFDecoder(symbols)
+    return decoder.decode_head(encoded)
+
+
+class TestSimpleTerms:
+    def test_atom(self, symbols):
+        assert roundtrip("foo", symbols) == read_term("p(foo)")
+
+    def test_integer(self, symbols):
+        assert roundtrip("42", symbols) == read_term("p(42)")
+
+    def test_negative_integer(self, symbols):
+        assert roundtrip("-42", symbols) == read_term("p(-42)")
+
+    def test_integer_range_limits(self, symbols):
+        top = tags.INT_INLINE_MAX
+        bottom = tags.INT_INLINE_MIN
+        assert roundtrip(str(top), symbols) == read_term(f"p({top})")
+        assert roundtrip(str(bottom), symbols) == read_term(f"p({bottom})")
+
+    def test_integer_overflow_rejected(self, symbols):
+        encoder = PIFEncoder(symbols)
+        with pytest.raises(PIFError):
+            encoder.encode_head(Struct("p", (Int(tags.INT_INLINE_MAX + 1),)))
+
+    def test_float(self, symbols):
+        assert roundtrip("3.25", symbols) == read_term("p(3.25)")
+
+    def test_empty_list_is_single_item(self, symbols):
+        encoder = PIFEncoder(symbols)
+        encoded = encoder.encode_head(read_term("p([])"))
+        items = scan_items(encoded.stream)
+        assert len(items) == 1
+        assert items[0].tag == tags.TAG_TLIST_INLINE_BASE
+
+
+class TestVariables:
+    def test_first_and_subsequent_db(self, symbols):
+        encoder = PIFEncoder(symbols, side="db")
+        encoded = encoder.encode_head(read_term("p(X, X, Y)"))
+        item_tags = [i.tag for i in scan_items(encoded.stream)]
+        assert item_tags == [
+            tags.TAG_FIRST_DB_VAR,
+            tags.TAG_SUB_DB_VAR,
+            tags.TAG_FIRST_DB_VAR,
+        ]
+
+    def test_first_and_subsequent_query(self, symbols):
+        encoder = PIFEncoder(symbols, side="query")
+        encoded = encoder.encode_head(read_term("p(X, X)"))
+        item_tags = [i.tag for i in scan_items(encoded.stream)]
+        assert item_tags == [tags.TAG_FIRST_QUERY_VAR, tags.TAG_SUB_QUERY_VAR]
+
+    def test_shared_offset(self, symbols):
+        encoder = PIFEncoder(symbols)
+        encoded = encoder.encode_head(read_term("p(X, Y, X)"))
+        items = scan_items(encoded.stream)
+        assert items[0].content == items[2].content  # X's slot
+        assert items[1].content != items[0].content
+
+    def test_anonymous(self, symbols):
+        encoder = PIFEncoder(symbols)
+        encoded = encoder.encode_head(read_term("p(_, _)"))
+        item_tags = [i.tag for i in scan_items(encoded.stream)]
+        assert item_tags == [tags.TAG_ANONYMOUS_VAR, tags.TAG_ANONYMOUS_VAR]
+        assert encoded.var_names == ()
+
+    def test_var_names_preserved(self, symbols):
+        assert roundtrip("X, foo, X", symbols) == read_term("p(X, foo, X)")
+
+    def test_var_inside_structure(self, symbols):
+        assert roundtrip("f(X, g(X))", symbols) == read_term("p(f(X, g(X)))")
+
+    def test_invalid_side(self, symbols):
+        with pytest.raises(ValueError):
+            PIFEncoder(symbols, side="both")
+
+
+class TestComplexTerms:
+    def test_struct_roundtrip(self, symbols):
+        assert roundtrip("f(a, 1, g(x))", symbols) == read_term("p(f(a, 1, g(x)))")
+
+    def test_list_roundtrip(self, symbols):
+        assert roundtrip("[1, 2, 3]", symbols) == read_term("p([1, 2, 3])")
+
+    def test_unterminated_list(self, symbols):
+        assert roundtrip("[a, b | T]", symbols) == read_term("p([a, b | T])")
+
+    def test_improper_list(self, symbols):
+        assert roundtrip("[a | b]", symbols) == read_term("p([a | b])")
+
+    def test_improper_list_uses_terminated_tag(self, symbols):
+        encoder = PIFEncoder(symbols)
+        encoded = encoder.encode_head(read_term("p([a | b])"))
+        items = scan_items(encoded.stream)
+        assert items[0].tag == tags.TAG_TLIST_INLINE_BASE | 1
+
+    def test_nested(self, symbols):
+        text = "f([g(1), [a]], h(X, [Y | T]))"
+        assert roundtrip(text, symbols) == read_term(f"p({text})")
+
+    def test_inline_struct_tag_carries_arity(self, symbols):
+        encoder = PIFEncoder(symbols)
+        encoded = encoder.encode_head(read_term("p(f(a, b, c))"))
+        items = scan_items(encoded.stream)
+        assert items[0].tag == tags.TAG_STRUCT_INLINE_BASE | 3
+        assert len(items) == 4  # struct item + 3 elements
+
+    def test_big_struct_pointer_form(self, symbols):
+        arity = 40
+        args = ", ".join(str(i) for i in range(arity))
+        term = read_term(f"p(big({args}))")
+        encoder = PIFEncoder(symbols)
+        encoded = encoder.encode_head(term)
+        items = scan_items(encoded.stream)
+        assert len(items) == 1
+        assert items[0].tag == tags.TAG_STRUCT_PTR_BASE | 31
+        assert items[0].extension is not None
+        assert len(encoded.heap) > 0
+        assert PIFDecoder(symbols).decode_head(encoded) == term
+
+    def test_big_list_pointer_form(self, symbols):
+        elements = [Int(i) for i in range(40)]
+        term = Struct("p", (make_list(elements),))
+        encoder = PIFEncoder(symbols)
+        encoded = encoder.encode_head(term)
+        items = scan_items(encoded.stream)
+        assert items[0].tag == tags.TAG_TLIST_PTR_BASE | 31
+        assert PIFDecoder(symbols).decode_head(encoded) == term
+
+    def test_big_unterminated_list(self, symbols):
+        elements = [Int(i) for i in range(35)]
+        term = Struct("p", (make_list(elements, tail=Var("T")),))
+        encoder = PIFEncoder(symbols)
+        encoded = encoder.encode_head(term)
+        items = scan_items(encoded.stream)
+        assert items[0].tag == tags.TAG_ULIST_PTR_BASE | 31
+        assert PIFDecoder(symbols).decode_head(encoded) == term
+
+    def test_nested_big_terms(self, symbols):
+        inner = Struct("g", tuple(Int(i) for i in range(35)))
+        outer = Struct("p", (Struct("f", (inner, Atom("x"))),))
+        encoder = PIFEncoder(symbols)
+        encoded = encoder.encode_head(outer)
+        assert PIFDecoder(symbols).decode_head(encoded) == outer
+
+
+class TestEncodedArgs:
+    def test_atom_head_empty_stream(self, symbols):
+        encoder = PIFEncoder(symbols)
+        encoded = encoder.encode_head(Atom("p"))
+        assert encoded.stream == b""
+        assert encoded.indicator == ("p", 0)
+
+    def test_item_words_view(self, symbols):
+        encoder = PIFEncoder(symbols)
+        encoded = encoder.encode_head(read_term("p(7)"))
+        words = encoded.item_words()
+        assert words == [(tags.TAG_INT_BASE, 7)]
+
+    def test_size_bytes(self, symbols):
+        encoder = PIFEncoder(symbols)
+        encoded = encoder.encode_head(read_term("p(a, b)"))
+        assert encoded.size_bytes == 2 * ITEM_SIZE
+
+    def test_encode_non_callable_rejected(self, symbols):
+        encoder = PIFEncoder(symbols)
+        with pytest.raises(PIFError):
+            encoder.encode_head(Int(1))
+
+    def test_encode_term_single(self, symbols):
+        encoder = PIFEncoder(symbols)
+        term = read_term("f(a, [1|X])")
+        encoded = encoder.encode_term(term)
+        assert PIFDecoder(symbols).decode_term(encoded) == term
+
+
+class TestProperties:
+    @settings(max_examples=250)
+    @given(clause_heads())
+    def test_head_roundtrip(self, head):
+        symbols = SymbolTable()
+        encoder = PIFEncoder(symbols)
+        decoder = PIFDecoder(symbols)
+        encoded = encoder.encode_head(head)
+        assert decoder.decode_head(encoded) == head
+
+    @settings(max_examples=250)
+    @given(terms())
+    def test_term_roundtrip(self, term):
+        symbols = SymbolTable()
+        encoder = PIFEncoder(symbols, side="query")
+        decoder = PIFDecoder(symbols)
+        encoded = encoder.encode_term(term)
+        assert decoder.decode_term(encoded) == term
+
+    @given(terms(include_variables=False))
+    def test_ground_encoding_deterministic(self, term):
+        symbols = SymbolTable()
+        encoder = PIFEncoder(symbols)
+        first = encoder.encode_term(term)
+        second = encoder.encode_term(term)
+        assert first.stream == second.stream
+        assert first.heap == second.heap

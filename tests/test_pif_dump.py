@@ -1,0 +1,87 @@
+"""Tests for the PIF dump tool."""
+
+from repro.pif import PIFEncoder, SymbolTable, compile_clause
+from repro.pif.dump import describe_item, dump_record, dump_stream
+from repro.pif.decoder import scan_items
+from repro.terms import clause_from_term, read_term
+
+
+def encoded(text, side="db"):
+    symbols = SymbolTable()
+    encoder = PIFEncoder(symbols, side=side)
+    return encoder.encode_head(read_term(text)), symbols
+
+
+class TestDescribeItem:
+    def test_integer(self):
+        enc, symbols = encoded("p(-5)")
+        item = scan_items(enc.stream)[0]
+        text = describe_item(item, symbols)
+        assert "Integer" in text
+        assert "value -5" in text
+
+    def test_atom_with_symbols(self):
+        enc, symbols = encoded("p(hello)")
+        item = scan_items(enc.stream)[0]
+        text = describe_item(item, symbols)
+        assert "Atom Pointer" in text
+        assert "'hello'" in text
+
+    def test_atom_without_symbols(self):
+        enc, symbols = encoded("p(hello)")
+        item = scan_items(enc.stream)[0]
+        assert "symbol #" in describe_item(item, None)
+
+    def test_variable_slot(self):
+        enc, symbols = encoded("p(X, X)")
+        items = scan_items(enc.stream)
+        assert "First DB Var" in describe_item(items[0])
+        assert "slot 0" in describe_item(items[0])
+        assert "Subsequent DB Var" in describe_item(items[1])
+
+    def test_query_side_tags(self):
+        enc, symbols = encoded("p(X)", side="query")
+        item = scan_items(enc.stream)[0]
+        assert "Query Var" in describe_item(item)
+
+    def test_pointer_extension(self):
+        args = ", ".join(str(i) for i in range(40))
+        enc, symbols = encoded(f"p(big({args}))")
+        item = scan_items(enc.stream)[0]
+        assert "heap +" in describe_item(item, symbols)
+
+
+class TestDumpStream:
+    def test_nesting_indentation(self):
+        enc, symbols = encoded("p(f(a, b), c)")
+        lines = dump_stream(enc.stream, symbols)
+        assert len(lines) == 4  # f item, a, b, c
+        assert lines[0].startswith("0x")  # depth 0
+        assert lines[1].startswith("  ")  # elements indented
+        assert lines[2].startswith("  ")
+        assert not lines[3].startswith("  ")  # back at top level
+
+    def test_list_with_tail(self):
+        enc, symbols = encoded("p([1 | T])")
+        lines = dump_stream(enc.stream, symbols)
+        assert "List" in lines[0]
+        assert len(lines) == 3  # list item, element, tail var
+
+
+class TestDumpRecord:
+    def test_fact(self):
+        symbols = SymbolTable()
+        record = compile_clause(clause_from_term(read_term("p(a, X)")), symbols)
+        lines = dump_record(record, symbols)
+        assert lines[0] == "clause p/2 (fact)"
+        assert any("Atom Pointer" in line for line in lines)
+        assert any("variables: X" in line for line in lines)
+
+    def test_rule_shows_body(self):
+        symbols = SymbolTable()
+        record = compile_clause(
+            clause_from_term(read_term("p(X) :- q(X), r(X)")), symbols
+        )
+        lines = dump_record(record, symbols)
+        assert lines[0] == "clause p/1 (rule)"
+        assert "body:" in lines

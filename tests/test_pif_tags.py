@@ -1,0 +1,118 @@
+"""Unit tests for the PIF tag scheme (Table A1)."""
+
+import pytest
+
+from repro.pif import tags
+
+
+class TestTagValues:
+    """The tag byte values printed in Table A1."""
+
+    def test_variable_tags(self):
+        assert tags.TAG_ANONYMOUS_VAR == 0x20
+        assert tags.TAG_FIRST_QUERY_VAR == 0x27
+        assert tags.TAG_SUB_QUERY_VAR == 0x25
+        assert tags.TAG_FIRST_DB_VAR == 0x26
+        assert tags.TAG_SUB_DB_VAR == 0x24
+
+    def test_simple_term_tags(self):
+        assert tags.TAG_ATOM_PTR == 0x08
+        assert tags.TAG_FLOAT_PTR == 0x09
+        assert tags.TAG_INT_BASE == 0x10
+
+    def test_complex_bases_match_bit_patterns(self):
+        assert tags.TAG_STRUCT_INLINE_BASE == 0b011_00000
+        assert tags.TAG_STRUCT_PTR_BASE == 0b010_00000
+        assert tags.TAG_TLIST_INLINE_BASE == 0b111_00000
+        assert tags.TAG_ULIST_INLINE_BASE == 0b101_00000
+        assert tags.TAG_TLIST_PTR_BASE == 0b110_00000
+        assert tags.TAG_ULIST_PTR_BASE == 0b100_00000
+
+
+class TestClassification:
+    def test_category_simple(self):
+        assert tags.tag_category(0x08) == tags.TagCategory.ATOM
+        assert tags.tag_category(0x09) == tags.TagCategory.FLOAT
+        assert tags.tag_category(0x13) == tags.TagCategory.INTEGER
+
+    def test_category_variables(self):
+        assert tags.tag_category(0x20) == tags.TagCategory.ANONYMOUS
+        assert tags.tag_category(0x27) == tags.TagCategory.FIRST_QUERY_VAR
+        assert tags.tag_category(0x24) == tags.TagCategory.SUB_DB_VAR
+
+    def test_category_complex(self):
+        assert tags.tag_category(0x62) == tags.TagCategory.STRUCT_INLINE
+        assert tags.tag_category(0x5F) == tags.TagCategory.STRUCT_PTR
+        assert tags.tag_category(0xE0) == tags.TagCategory.TLIST_INLINE
+        assert tags.tag_category(0xA1) == tags.TagCategory.ULIST_INLINE
+        assert tags.tag_category(0xDF) == tags.TagCategory.TLIST_PTR
+        assert tags.tag_category(0x9F) == tags.TagCategory.ULIST_PTR
+
+    def test_unassigned_tag_rejected(self):
+        with pytest.raises(ValueError):
+            tags.tag_category(0x00)
+        with pytest.raises(ValueError):
+            tags.tag_category(0x30)
+
+    def test_tag_arity(self):
+        assert tags.tag_arity(0x62) == 2
+        assert tags.tag_arity(0xE5) == 5
+        with pytest.raises(ValueError):
+            tags.tag_arity(0x08)
+
+    def test_is_variable_tag(self):
+        assert tags.is_variable_tag(0x20)
+        assert tags.is_variable_tag(0x26)
+        assert not tags.is_variable_tag(0x08)
+
+    def test_is_pointer_tag(self):
+        assert tags.is_pointer_tag(0x5F)  # struct pointer
+        assert tags.is_pointer_tag(0xDF)  # terminated list pointer
+        assert tags.is_pointer_tag(0x9F)  # unterminated list pointer
+        assert not tags.is_pointer_tag(0x62)  # in-line struct
+        assert not tags.is_pointer_tag(0x08)
+
+
+class TestIntegerNibble:
+    def test_small_positive(self):
+        assert tags.int_tag_nibble(0) == 0
+        assert tags.int_tag_nibble(123) == 0
+
+    def test_large_positive(self):
+        assert tags.int_tag_nibble(1 << 24) == 1
+        assert tags.int_tag_nibble(tags.INT_INLINE_MAX) == 7
+
+    def test_negative_two_complement(self):
+        assert tags.int_tag_nibble(-1) == 0xF
+        assert tags.int_tag_nibble(tags.INT_INLINE_MIN) == 0x8
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            tags.int_tag_nibble(tags.INT_INLINE_MAX + 1)
+        with pytest.raises(ValueError):
+            tags.int_tag_nibble(tags.INT_INLINE_MIN - 1)
+
+
+class TestInventory:
+    def test_all_inventory_tags_classify(self):
+        for group, values in tags.tag_inventory().items():
+            for tag in values:
+                tags.tag_category(tag)  # must not raise
+
+    def test_inventory_disjoint(self):
+        seen: set[int] = set()
+        for values in tags.tag_inventory().values():
+            for tag in values:
+                assert tag not in seen, f"tag 0x{tag:02x} appears twice"
+                seen.add(tag)
+
+    def test_inventory_magnitude_near_paper_claim(self):
+        # The paper claims 107 supported types; our enumerable tag space
+        # should be the same order of magnitude (see EXPERIMENTS.md).
+        total = sum(len(v) for v in tags.tag_inventory().values())
+        assert 80 <= total <= 160
+
+    def test_tag_names_render(self):
+        assert tags.tag_name(0x08) == "Atom Pointer"
+        assert "arity 3" in tags.tag_name(0x63)
+        assert "nibble" in tags.tag_name(0x12)

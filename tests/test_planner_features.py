@@ -1,0 +1,52 @@
+"""Unit tests for query-feature analysis (the planner's inputs)."""
+
+from repro.crs import analyse_query
+from repro.terms import read_term
+
+
+class TestQueryFeatures:
+    def test_ground_query(self):
+        features = analyse_query(read_term("p(a, f(b), [1])"))
+        assert features.ground
+        assert features.variable_count == 0
+        assert not features.has_shared_variables
+        assert features.constant_arguments == 3
+        assert not features.all_variable_arguments
+
+    def test_open_query(self):
+        features = analyse_query(read_term("p(X, Y, Z)"))
+        assert not features.ground
+        assert features.variable_count == 3
+        assert features.all_variable_arguments
+        assert not features.has_shared_variables
+
+    def test_shared_variables_detected(self):
+        features = analyse_query(read_term("married(S, S)"))
+        assert features.has_shared_variables
+        assert features.shared_variables == ["S"]
+
+    def test_shared_variable_inside_structure(self):
+        features = analyse_query(read_term("p(X, f(X))"))
+        assert features.has_shared_variables
+        assert features.constant_arguments == 1  # f(X) is not a variable
+
+    def test_anonymous_never_shared(self):
+        features = analyse_query(read_term("p(_, _, _)"))
+        assert not features.has_shared_variables
+        assert features.variable_count == 0
+
+    def test_multiple_shared(self):
+        features = analyse_query(read_term("p(A, B, A, B)"))
+        assert features.shared_variables == ["A", "B"]
+
+    def test_atom_query(self):
+        features = analyse_query(read_term("halt"))
+        assert features.ground
+        assert features.arity == 0
+        assert not features.all_variable_arguments
+
+    def test_mixed_query(self):
+        features = analyse_query(read_term("p(a, X)"))
+        assert not features.ground
+        assert features.constant_arguments == 1
+        assert not features.all_variable_arguments

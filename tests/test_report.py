@@ -1,0 +1,73 @@
+"""Tests for query-run reports and retrieval tracing."""
+
+from repro.engine import PrologMachine
+from repro.report import format_query_report, format_retrieval
+from repro.storage import KnowledgeBase, Residency
+
+
+def traced_machine():
+    kb = KnowledgeBase()
+    kb.consult_text(
+        " ".join(f"item(i{n}, cat{n % 5})." for n in range(100))
+        + " lookup(X) :- item(X, cat3).",
+        module="data",
+    )
+    kb.module("data").pin(Residency.DISK)
+    kb.sync_to_disk()
+    return PrologMachine(kb, trace_retrievals=8)
+
+
+class TestTracing:
+    def test_trace_collects_retrievals(self):
+        machine = traced_machine()
+        list(machine.solve_text("item(i5, C)"))
+        assert machine.trace is not None
+        assert len(machine.trace) == 1
+        goal, stats = machine.trace[0]
+        assert stats.clauses_total == 100
+
+    def test_trace_ring_buffer(self):
+        machine = traced_machine()
+        for n in range(12):
+            machine.succeeds(f"item(i{n}, _)")
+        assert len(machine.trace) == 8  # maxlen honoured
+
+    def test_trace_off_by_default(self):
+        kb = KnowledgeBase()
+        kb.consult_text("p(a).")
+        machine = PrologMachine(kb)
+        machine.succeeds("p(a)")
+        assert machine.trace is None
+
+
+class TestReportFormatting:
+    def test_report_contents(self):
+        machine = traced_machine()
+        list(machine.solve_text("lookup(X)"))
+        report = format_query_report(machine, title="demo")
+        assert "demo" in report
+        assert "retrievals" in report
+        assert "clauses scanned" in report
+        assert "search modes:" in report
+        assert "last" in report and "retrievals:" in report
+
+    def test_retrieval_line(self):
+        machine = traced_machine()
+        machine.succeeds("item(i1, _)")
+        goal, stats = machine.trace[0]
+        line = format_retrieval(goal, stats)
+        assert "item(i1," in line
+        assert "mode=" in line
+        assert "scanned=100" in line
+
+    def test_selectivity_percentage(self):
+        machine = traced_machine()
+        machine.succeeds("item(i1, _)")
+        report = format_query_report(machine)
+        assert "filter selectivity" in report
+
+    def test_empty_machine_report(self):
+        kb = KnowledgeBase()
+        machine = PrologMachine(kb)
+        report = format_query_report(machine)
+        assert "retrievals        : 0" in report

@@ -1,0 +1,217 @@
+"""Tests for the SCW+MB codeword scheme and the FS1 filter model."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.pif import ClauseFile, SymbolTable
+from repro.scw import (
+    CodewordScheme,
+    FirstStageFilter,
+    SecondaryIndexFile,
+)
+from repro.terms import Clause, clause_from_term, read_term, rename_apart
+from repro.unify import unifiable
+from tests.strategies import clause_heads
+
+SCHEME = CodewordScheme(width=64, bits_per_key=2, max_args=12)
+
+
+def cw_match(query_text: str, head_text: str, scheme: CodewordScheme = SCHEME) -> bool:
+    query = scheme.query_codeword(read_term(query_text))
+    clause = scheme.clause_codeword(read_term(head_text))
+    return scheme.matches(query, clause)
+
+
+class TestSchemeValidation:
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            CodewordScheme(width=4)
+        with pytest.raises(ValueError):
+            CodewordScheme(bits_per_key=0)
+        with pytest.raises(ValueError):
+            CodewordScheme(max_args=0)
+
+    def test_equality_by_parameters(self):
+        assert CodewordScheme(width=64) == CodewordScheme(width=64)
+        assert CodewordScheme(width=64) != CodewordScheme(width=96)
+
+    def test_entry_size(self):
+        scheme = CodewordScheme(width=96, max_args=12)
+        assert scheme.codeword_bytes == 12
+        assert scheme.mask_bytes == 2
+        assert scheme.entry_bytes() == 12 + 2 + 4
+
+
+class TestCodewordGeneration:
+    def test_deterministic(self):
+        a = SCHEME.clause_codeword(read_term("p(a, b, c)"))
+        b = SCHEME.clause_codeword(read_term("p(a, b, c)"))
+        assert a == b
+
+    def test_bits_per_key_respected(self):
+        cw = SCHEME.clause_codeword(read_term("p(a)"))
+        assert bin(cw.bits).count("1") == SCHEME.bits_per_key
+
+    def test_variable_argument_sets_mask(self):
+        cw = SCHEME.clause_codeword(read_term("p(X, b)"))
+        assert cw.mask & 1
+        assert not (cw.mask & 2)
+
+    def test_variable_inside_structure_sets_mask(self):
+        cw = SCHEME.clause_codeword(read_term("p(f(X))"))
+        assert cw.mask & 1
+
+    def test_tail_variable_sets_mask(self):
+        cw = SCHEME.clause_codeword(read_term("p([a, b | T])"))
+        assert cw.mask & 1
+
+    def test_ground_clause_no_mask(self):
+        cw = SCHEME.clause_codeword(read_term("p(a, f(b), [1, 2])"))
+        assert cw.mask == 0
+
+    def test_atom_head_empty(self):
+        cw = SCHEME.clause_codeword(read_term("p"))
+        assert cw.bits == 0 and cw.arg_bits == ()
+
+    def test_saturation(self):
+        empty = SCHEME.clause_codeword(read_term("p"))
+        assert SCHEME.saturation(empty) == 0.0
+        dense = SCHEME.clause_codeword(
+            read_term("p(f(a1, a2, a3, a4), g(b1, b2, b3, b4))")
+        )
+        assert 0 < SCHEME.saturation(dense) <= 1
+
+
+class TestMatching:
+    def test_exact_ground_match(self):
+        assert cw_match("p(a, b)", "p(a, b)")
+
+    def test_distinct_constants_usually_reject(self):
+        assert not cw_match("p(aaa, bbb)", "p(ccc, ddd)")
+
+    def test_query_variable_unconstrained(self):
+        assert cw_match("p(X, b)", "p(anything, b)")
+
+    def test_clause_variable_masked(self):
+        assert cw_match("p(a)", "p(X)")
+        assert cw_match("p(f(g(1)))", "p(X)")
+
+    def test_shared_variables_invisible(self):
+        # The paper's married_couple example: SCW retrieves everything.
+        assert cw_match("married_couple(S, S)", "married_couple(a, b)")
+        assert cw_match("married_couple(S, S)", "married_couple(x, y)")
+
+    def test_structure_functor_constrains(self):
+        assert cw_match("p(f(a))", "p(f(a))")
+        assert not cw_match("p(f(a))", "p(g(b))")
+
+    def test_partial_structure(self):
+        assert cw_match("p(f(X))", "p(f(anything))")
+
+    def test_truncation_beyond_max_args(self):
+        scheme = CodewordScheme(width=64, max_args=2)
+        args_match = ", ".join(["a", "b", "zzz"])
+        args_clause = ", ".join(["a", "b", "qqq"])
+        # The third argument is not encoded: mismatch goes unseen.
+        q = scheme.query_codeword(read_term(f"p({args_match})"))
+        c = scheme.clause_codeword(read_term(f"p({args_clause})"))
+        assert scheme.matches(q, c)
+
+    def test_atom_query_matches_atom_clause(self):
+        assert cw_match("p", "p")
+
+
+class TestSoundnessProperty:
+    @settings(max_examples=300)
+    @given(clause_heads(), clause_heads())
+    def test_no_false_negatives(self, query, head):
+        """FS1 must pass every clause that fully unifies with the query."""
+        if unifiable(query, rename_apart(head)):
+            q = SCHEME.query_codeword(query)
+            c = SCHEME.clause_codeword(head)
+            assert SCHEME.matches(q, c), "FS1 dropped a true unifier"
+
+    @settings(max_examples=150)
+    @given(clause_heads(), clause_heads())
+    def test_soundness_various_parameters(self, query, head):
+        for scheme in (
+            CodewordScheme(width=32, bits_per_key=1, max_args=2, max_depth=1),
+            CodewordScheme(width=128, bits_per_key=3, max_args=12, max_depth=6),
+        ):
+            if unifiable(query, rename_apart(head)):
+                q = scheme.query_codeword(query)
+                c = scheme.clause_codeword(head)
+                assert scheme.matches(q, c)
+
+
+def build_index(clause_texts, indicator):
+    symbols = SymbolTable()
+    cf = ClauseFile(indicator, symbols)
+    for text in clause_texts:
+        cf.append(clause_from_term(read_term(text)))
+    return cf, SecondaryIndexFile.build(cf, SCHEME)
+
+
+class TestSecondaryIndex:
+    def test_build_indexes_every_clause(self):
+        cf, index = build_index(["p(a)", "p(b)", "p(X) :- q(X)"], ("p", 1))
+        assert len(index) == 3
+
+    def test_scan_filters(self):
+        cf, index = build_index(
+            ["p(apple)", "p(banana)", "p(cherry)"], ("p", 1)
+        )
+        addresses = index.scan(SCHEME.query_codeword(read_term("p(banana)")))
+        expected = cf.record_addresses()[1]
+        assert expected in addresses
+        assert len(addresses) < 3  # at least some filtering
+
+    def test_rule_heads_indexed(self):
+        cf, index = build_index(
+            ["anc(X, Y) :- parent(X, Y)", "anc(a, b)"], ("anc", 2)
+        )
+        addresses = index.scan(SCHEME.query_codeword(read_term("anc(a, b)")))
+        assert set(addresses) == set(cf.record_addresses())  # rule head masked
+
+    def test_size_accounting(self):
+        cf, index = build_index(["p(a)", "p(b)"], ("p", 1))
+        assert index.size_bytes() == 2 * SCHEME.entry_bytes()
+        assert len(index.to_bytes()) == index.size_bytes()
+
+    def test_index_much_smaller_than_clause_file(self):
+        texts = [f"p(atom{i}, f(atom{i}, {i}), [{i}, {i + 1}])" for i in range(50)]
+        cf, index = build_index(texts, ("p", 3))
+        assert index.size_bytes() < cf.size_bytes()
+
+
+class TestFirstStageFilter:
+    def test_search_returns_candidates_and_stats(self):
+        cf, index = build_index(["p(a)", "p(b)", "p(X)"], ("p", 1))
+        fs1 = FirstStageFilter(SCHEME)
+        result = fs1.search(index, read_term("p(a)"))
+        addresses = cf.record_addresses()
+        assert addresses[0] in result.candidate_addresses
+        assert addresses[2] in result.candidate_addresses  # variable clause
+        assert result.entries_scanned == 3
+        assert result.bytes_scanned == index.size_bytes()
+        assert result.scan_time_s == pytest.approx(
+            index.size_bytes() / 4_500_000
+        )
+
+    def test_scheme_mismatch_rejected(self):
+        cf, index = build_index(["p(a)"], ("p", 1))
+        fs1 = FirstStageFilter(CodewordScheme(width=128))
+        with pytest.raises(ValueError):
+            fs1.search(index, read_term("p(a)"))
+
+    def test_bad_scan_rate(self):
+        with pytest.raises(ValueError):
+            FirstStageFilter(SCHEME, scan_rate_bytes_per_sec=0)
+
+    def test_scan_time_scales_with_index_size(self):
+        _, small = build_index(["p(a)"], ("p", 1))
+        _, large = build_index([f"p(a{i})" for i in range(100)], ("p", 1))
+        fs1 = FirstStageFilter(SCHEME)
+        t_small = fs1.search(small, read_term("p(a)")).scan_time_s
+        t_large = fs1.search(large, read_term("p(a)")).scan_time_s
+        assert t_large > t_small * 50

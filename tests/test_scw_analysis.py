@@ -1,0 +1,139 @@
+"""Tests for the analytic superimposed-coding model, incl. agreement with
+Monte-Carlo measurement on the real codeword generator."""
+
+import math
+import random
+
+import pytest
+
+from repro.scw import (
+    CodewordScheme,
+    expected_saturation,
+    false_drop_probability,
+    optimal_bits_per_key,
+    recommend_width,
+)
+from repro.terms import Atom, Struct
+
+
+class TestSaturation:
+    def test_empty_record(self):
+        assert expected_saturation(64, 2, 0) == 0.0
+
+    def test_monotone_in_keys(self):
+        values = [expected_saturation(64, 2, r) for r in range(0, 30, 5)]
+        assert values == sorted(values)
+        assert values[-1] < 1.0
+
+    def test_limit_behaviour(self):
+        assert expected_saturation(64, 2, 10_000) == pytest.approx(1.0)
+
+    def test_known_value(self):
+        # One key, one bit: exactly 1/width of the word is set on average.
+        assert expected_saturation(64, 1, 1) == pytest.approx(1 / 64)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            expected_saturation(0, 2, 3)
+        with pytest.raises(ValueError):
+            expected_saturation(64, 2, -1)
+
+
+class TestFalseDropProbability:
+    def test_wider_is_better(self):
+        narrow = false_drop_probability(32, 2, 10, 3)
+        wide = false_drop_probability(128, 2, 10, 3)
+        assert wide < narrow
+
+    def test_more_query_keys_is_better(self):
+        weak = false_drop_probability(64, 2, 10, 1)
+        strong = false_drop_probability(64, 2, 10, 4)
+        assert strong < weak
+
+    def test_probability_range(self):
+        for width in (16, 64, 256):
+            p = false_drop_probability(width, 2, 12, 3)
+            assert 0.0 <= p <= 1.0
+
+    def test_zero_query_keys_always_drops(self):
+        # No constraints: everything matches (the shared-variable case).
+        assert false_drop_probability(64, 2, 10, 0) == 1.0
+
+
+class TestOptimalParameters:
+    def test_half_saturation_rule(self):
+        k = optimal_bits_per_key(128, 10)
+        assert k == round(128 * math.log(2) / 10)
+        saturation = expected_saturation(128, k, 10)
+        assert 0.35 < saturation < 0.65
+
+    def test_minimum_one(self):
+        assert optimal_bits_per_key(8, 1000) == 1
+
+    def test_recommend_width(self):
+        width, k = recommend_width(
+            record_keys=10, query_keys=3, target_false_drop=0.01
+        )
+        assert false_drop_probability(width, k, 10, 3) <= 0.01
+        # And the next smaller power of two must miss the target.
+        if width > 8:
+            k_small = optimal_bits_per_key(width // 2, 10)
+            assert (
+                false_drop_probability(width // 2, k_small, 10, 3) > 0.01
+            )
+
+    def test_recommend_width_fixed_k(self):
+        width, k = recommend_width(
+            record_keys=10, query_keys=3, target_false_drop=0.05, bits_per_key=2
+        )
+        assert k == 2
+        assert false_drop_probability(width, 2, 10, 3) <= 0.05
+
+    def test_recommend_validation(self):
+        with pytest.raises(ValueError):
+            recommend_width(10, 3, 1.5)
+        with pytest.raises(ValueError):
+            recommend_width(0, 3, 0.01)
+
+
+class TestAnalyticVsMeasured:
+    def test_prediction_matches_monte_carlo(self):
+        """The formula must predict the real generator's false-drop rate.
+
+        Records with 6 distinct random atoms per head; ground queries with
+        2 atoms that match nothing.  Measured drop rate should land within
+        a small factor of the prediction (hash independence is approximate).
+        """
+        rng = random.Random(99)
+        width, k = 48, 2
+        scheme = CodewordScheme(width=width, bits_per_key=k, max_args=12)
+        record_keys = 7  # 6 argument atoms + nothing else per head
+        trials = 400
+        drops = 0
+        query = Struct("p", (Atom("qq_zzz_1"), Atom("qq_zzz_2")))
+        query_cw = scheme.query_codeword(query)
+        query_keys = 2
+        for trial in range(trials):
+            head = Struct(
+                "p",
+                tuple(
+                    Atom(f"r{trial}_{i}_{rng.randrange(10**6)}") for i in range(6)
+                ),
+            )
+            # Different arity so a real system would never compare them;
+            # here we only exercise the codeword mathematics.
+            clause_cw = scheme.clause_codeword(head)
+            if scheme.matches(
+                type(query_cw)(
+                    bits=query_cw.bits,
+                    mask=query_cw.mask,
+                    arg_bits=query_cw.arg_bits,
+                ),
+                clause_cw,
+            ):
+                drops += 1
+        measured = drops / trials
+        predicted = false_drop_probability(width, k, record_keys, query_keys)
+        # Same order of magnitude (generous band for 400 trials).
+        assert predicted / 6 <= measured + 0.01
+        assert measured <= predicted * 6 + 0.01

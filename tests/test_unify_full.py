@@ -1,0 +1,163 @@
+"""Unit and property tests for full unification (repro.unify)."""
+
+from hypothesis import given
+
+from repro.terms import Atom, Int, Struct, Var, read_term, rename_apart, variables
+from repro.unify import Bindings, occurs_in, unifiable, unify
+from tests.strategies import terms
+
+
+def u(left: str, right: str):
+    return unify(read_term(left), read_term(right))
+
+
+class TestBasicUnify:
+    def test_identical_atoms(self):
+        assert u("a", "a") is not None
+
+    def test_distinct_atoms(self):
+        assert u("a", "b") is None
+
+    def test_numbers(self):
+        assert u("1", "1") is not None
+        assert u("1", "2") is None
+        assert u("1", "1.0") is None  # int and float never unify
+
+    def test_var_binds_constant(self):
+        bindings = u("X", "a")
+        assert bindings is not None
+        assert bindings.walk(Var("X")) == Atom("a")
+
+    def test_var_var(self):
+        bindings = u("X", "Y")
+        assert bindings is not None
+        assert bindings.walk(Var("X")) == bindings.walk(Var("Y"))
+
+    def test_struct_match(self):
+        bindings = u("f(X, b)", "f(a, Y)")
+        assert bindings is not None
+        assert bindings.walk(Var("X")) == Atom("a")
+        assert bindings.walk(Var("Y")) == Atom("b")
+
+    def test_struct_functor_mismatch(self):
+        assert u("f(a)", "g(a)") is None
+
+    def test_struct_arity_mismatch(self):
+        assert u("f(a)", "f(a, b)") is None
+
+    def test_shared_variable_consistency(self):
+        assert u("f(X, X)", "f(a, a)") is not None
+        assert u("f(X, X)", "f(a, b)") is None
+
+    def test_cross_binding(self):
+        # The paper's DB_CROSS_BOUND_FETCH example f(X,a,b) vs f(A,a,A)
+        # succeeds with X = b through the cross binding X = A, A = b.
+        bindings = u("f(X, a, b)", "f(A, a, A)")
+        assert bindings is not None
+        assert bindings.walk(Var("X")) == Atom("b")
+        # A genuinely inconsistent cross binding fails.
+        assert u("f(X, b, X)", "f(A, A, c)") is None
+
+    def test_lists(self):
+        bindings = u("[1, 2 | T]", "[1, 2, 3]")
+        assert bindings is not None
+        assert bindings.resolve(Var("T")) == read_term("[3]")
+
+    def test_deep_nesting(self):
+        assert u("f(g(h(X)))", "f(g(h(1)))") is not None
+        assert u("f(g(h(1)))", "f(g(h(2)))") is None
+
+    def test_failure_restores_bindings(self):
+        bindings = Bindings()
+        result = unify(read_term("f(X, a)"), read_term("f(b, c)"), bindings)
+        assert result is None
+        assert len(bindings) == 0
+
+    def test_extends_existing_bindings(self):
+        bindings = Bindings()
+        assert unify(Var("X"), Atom("a"), bindings) is not None
+        assert unify(read_term("f(X)"), read_term("f(a)"), bindings) is not None
+        assert unify(read_term("f(X)"), read_term("f(b)"), bindings) is None
+        assert bindings.walk(Var("X")) == Atom("a")
+
+
+class TestOccursCheck:
+    def test_occurs_direct(self):
+        assert unify(Var("X"), read_term("f(X)"), occurs_check=True) is None
+
+    def test_occurs_allowed_without_check(self):
+        assert unify(Var("X"), read_term("f(X)")) is not None
+
+    def test_occurs_in(self):
+        bindings = Bindings()
+        bindings.bind(Var("Y"), read_term("g(X)"))
+        assert occurs_in(Var("X"), read_term("f(Y)"), bindings)
+        assert not occurs_in(Var("Z"), read_term("f(Y)"), bindings)
+
+
+class TestBindings:
+    def test_walk_chain(self):
+        bindings = Bindings()
+        bindings.bind(Var("X"), Var("Y"))
+        bindings.bind(Var("Y"), Atom("a"))
+        assert bindings.walk(Var("X")) == Atom("a")
+
+    def test_resolve_deep(self):
+        bindings = Bindings()
+        bindings.bind(Var("X"), read_term("g(Y)"))
+        bindings.bind(Var("Y"), Int(1))
+        assert bindings.resolve(read_term("f(X)")) == read_term("f(g(1))")
+
+    def test_trail_undo(self):
+        bindings = Bindings()
+        bindings.bind(Var("X"), Atom("a"))
+        mark = bindings.mark()
+        bindings.bind(Var("Y"), Atom("b"))
+        bindings.undo_to(mark)
+        assert Var("Y") not in bindings
+        assert Var("X") in bindings
+
+    def test_double_bind_rejected(self):
+        bindings = Bindings()
+        bindings.bind(Var("X"), Atom("a"))
+        try:
+            bindings.bind(Var("X"), Atom("b"))
+        except ValueError:
+            pass
+        else:
+            raise AssertionError("rebinding should raise")
+
+    def test_copy_independent(self):
+        bindings = Bindings()
+        bindings.bind(Var("X"), Atom("a"))
+        other = bindings.copy()
+        other.bind(Var("Y"), Atom("b"))
+        assert Var("Y") not in bindings
+
+
+class TestUnifyProperties:
+    @given(terms())
+    def test_reflexive(self, term):
+        assert unifiable(term, term)
+
+    @given(terms(), terms())
+    def test_symmetric(self, left, right):
+        assert unifiable(left, right) == unifiable(right, left)
+
+    @given(terms())
+    def test_fresh_variable_unifies_anything(self, term):
+        fresh = Var("FreshUnusedVariable")
+        assert fresh not in variables(term) or unifiable(fresh, term)
+
+    @given(terms())
+    def test_renamed_copy_unifies(self, term):
+        assert unifiable(term, rename_apart(term))
+
+    @given(terms(), terms())
+    def test_mgu_makes_terms_equal(self, left, right):
+        right = rename_apart(right, suffix="_r")
+        # Without occurs check, cyclic bindings can make resolve diverge;
+        # restrict the assertion to the occurs-check-safe case.
+        bindings = unify(left, right, occurs_check=True)
+        if bindings is not None:
+            assert bindings.resolve(left) == bindings.resolve(right)

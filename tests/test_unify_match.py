@@ -1,0 +1,244 @@
+"""Tests for partial test unification (Figure 1) at match levels 1-5.
+
+The central invariants:
+
+* soundness — a clause head that fully unifies with the query always
+  passes the partial match, at every level, with or without cross-binding;
+* monotonicity — raising the level never admits more clauses;
+* level 5 rejects everything full unification rejects *for the term shapes
+  the hardware distinguishes* (it is still allowed to over-accept).
+"""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.terms import read_term, rename_apart
+from repro.unify import (
+    HardwareOp,
+    MatchLevel,
+    PartialMatcher,
+    match_clause_head,
+    partial_match,
+    unifiable,
+)
+from tests.strategies import clause_heads
+
+ALL_LEVELS = list(MatchLevel)
+
+
+def match(query: str, head: str, level=3, cross_binding=True) -> bool:
+    return partial_match(
+        read_term(query), read_term(head), level=level, cross_binding=cross_binding
+    )
+
+
+class TestSimpleTerms:
+    def test_equal_atoms(self):
+        assert match("p(a)", "p(a)")
+
+    def test_distinct_atoms(self):
+        assert not match("p(a)", "p(b)")
+
+    def test_integers(self):
+        assert match("p(3)", "p(3)")
+        assert not match("p(3)", "p(4)")
+
+    def test_floats(self):
+        assert match("p(1.5)", "p(1.5)")
+        assert not match("p(1.5)", "p(2.5)")
+
+    def test_type_mismatch(self):
+        assert not match("p(a)", "p(1)")
+        assert not match("p(1)", "p(1.0)")
+
+    def test_functor_mismatch_rejected(self):
+        assert not match("p(a)", "q(a)")
+        assert not match("p(a)", "p(a, b)")
+
+    def test_atom_query_zero_arity(self):
+        assert match("p", "p")
+        assert not match("p", "q")
+
+
+class TestVariableCases:
+    def test_anonymous_skips(self):
+        assert match("p(_)", "p(whatever)")
+        assert match("p(a)", "p(_)")
+
+    def test_db_variable_first_occurrence(self):
+        assert match("p(a)", "p(X)")  # case 5a
+
+    def test_query_variable_first_occurrence(self):
+        assert match("p(X)", "p(a)")  # case 6a
+
+    def test_db_variable_consistency(self):
+        assert match("p(a, a)", "p(X, X)")  # 5a then 5b, consistent
+        assert not match("p(a, b)", "p(X, X)")  # 5b mismatch
+
+    def test_query_variable_consistency(self):
+        assert match("p(X, X)", "p(a, a)")
+        assert not match("p(X, X)", "p(a, b)")
+
+    def test_married_couple_example(self):
+        # The paper's shared-variable query: FS2 catches what SCW cannot.
+        assert match(
+            "married_couple(S, S)", "married_couple(smith, smith)"
+        )
+        assert not match(
+            "married_couple(S, S)", "married_couple(smith, jones)"
+        )
+
+    def test_paper_cross_binding_example(self):
+        # Query f(X,a,b) against clause f(A,a,A) (paper section 3.3.6):
+        # the second occurrence of A requires chasing A -> X; the pair
+        # unifies (X = b) and the filter must accept it.
+        assert match("f(X, a, b)", "f(A, a, A)", cross_binding=True)
+
+    def test_cross_binding_catches_inconsistency(self):
+        # Query f(X,b,X) vs clause f(A,A,c): A = X, then X = b, then the
+        # third argument compares the ultimate binding b against c.
+        assert not match("f(X, b, X)", "f(A, A, c)", cross_binding=True)
+        assert match("f(X, b, X)", "f(A, A, b)", cross_binding=True)
+
+    def test_cross_binding_disabled_accepts(self):
+        # Without cross-binding checks (the original level-3 algorithm)
+        # the inconsistent example is a false drop.
+        assert match("f(X, b, X)", "f(A, A, c)", cross_binding=False)
+
+    def test_var_var_cycle(self):
+        assert match("p(X, X)", "p(A, A)")
+        assert match("p(X, Y)", "p(A, A)")
+        assert match("p(X, X)", "p(A, B)")
+
+    def test_same_name_both_sides(self):
+        # Clause variables are standardised apart from query variables.
+        assert match("p(X, a)", "p(X, X)")
+        assert not match("p(b, a)", "p(X, X)")
+
+
+class TestComplexTerms:
+    def test_struct_level3(self):
+        assert match("p(f(a, b))", "p(f(a, b))")
+        assert not match("p(f(a, b))", "p(f(a, c))")
+        assert not match("p(f(a))", "p(g(a))")
+        assert not match("p(f(a))", "p(f(a, b))")
+
+    def test_nested_ignored_at_level3(self):
+        # Depth-2 contents are not compared at level 3: false drop.
+        assert match("p(f(g(1)))", "p(f(g(2)))", level=3)
+        assert not match("p(f(g(1)))", "p(f(g(2)))", level=4)
+
+    def test_level2_ignores_elements(self):
+        assert match("p(f(a))", "p(f(b))", level=2)
+        assert not match("p(f(a))", "p(g(a))", level=2)
+        assert not match("p(f(a))", "p(f(a, b))", level=2)
+
+    def test_level1_type_only(self):
+        assert match("p(a)", "p(b)", level=1)
+        assert not match("p(a)", "p(1)", level=1)
+        assert match("p(f(a))", "p(f(b))", level=1)
+        assert not match("p(f(a))", "p(f(a, b))", level=1)  # arity in tag
+
+    def test_level1_integer_nibble(self):
+        # The in-line integer tag holds the most significant nibble, so
+        # level 1 distinguishes coarse magnitude.
+        assert match("p(1)", "p(2)", level=1)
+        assert not match("p(1)", f"p({1 << 24})", level=1)
+
+    def test_lists_terminated(self):
+        assert match("p([1, 2])", "p([1, 2])")
+        assert not match("p([1, 2])", "p([1, 3])")
+        assert not match("p([1, 2])", "p([1, 2, 3])")
+
+    def test_unlimited_list_rule(self):
+        # Tail variable: compare until either counter is exhausted.
+        assert match("p([1, 2 | T])", "p([1, 2, 3])")
+        assert match("p([1, 2, 3])", "p([1 | T])")
+        assert not match("p([1, 2 | T])", "p([2, 2, 3])")
+
+    def test_variables_inside_structures(self):
+        assert match("p(f(X, X))", "p(f(a, a))")
+        assert not match("p(f(X, X))", "p(f(a, b))")
+
+    def test_variable_shared_across_args_and_struct(self):
+        assert not match("p(X, f(X))", "p(a, f(b))")
+        assert match("p(X, f(X))", "p(a, f(a))")
+
+
+class TestOpAccounting:
+    def test_match_counts(self):
+        outcome = match_clause_head(read_term("p(a, b)"), read_term("p(a, b)"))
+        assert outcome.hit
+        assert outcome.ops[HardwareOp.MATCH] == 2
+
+    def test_store_and_fetch_counts(self):
+        outcome = match_clause_head(read_term("p(X, X)"), read_term("p(a, a)"))
+        assert outcome.hit
+        assert outcome.ops[HardwareOp.QUERY_STORE] == 1
+        assert outcome.ops[HardwareOp.QUERY_FETCH] == 1
+
+    def test_db_store_counts(self):
+        outcome = match_clause_head(read_term("p(a, b)"), read_term("p(X, Y)"))
+        assert outcome.ops[HardwareOp.DB_STORE] == 2
+
+    def test_cross_bound_fetch_counts(self):
+        outcome = match_clause_head(
+            read_term("f(X, a, b)"), read_term("f(A, a, A)")
+        )
+        assert outcome.ops[HardwareOp.DB_CROSS_BOUND_FETCH] == 1
+
+    def test_miss_on_wrong_functor_counts_nothing(self):
+        outcome = match_clause_head(read_term("p(a)"), read_term("q(a)"))
+        assert not outcome.hit
+        assert outcome.op_count() == 0
+
+
+class TestMatcherReuse:
+    def test_matcher_streams_many_clauses(self):
+        matcher = PartialMatcher(read_term("p(X, X)"))
+        assert matcher.match_head(read_term("p(a, a)")).hit
+        assert not matcher.match_head(read_term("p(a, b)")).hit
+        # State from previous clauses must not leak.
+        assert matcher.match_head(read_term("p(b, b)")).hit
+
+    def test_level5_forces_cross_binding(self):
+        matcher = PartialMatcher(read_term("p(X)"), level=5, cross_binding=False)
+        assert matcher.cross_binding
+
+
+class TestProperties:
+    @settings(max_examples=300)
+    @given(clause_heads(), clause_heads())
+    def test_soundness_all_levels(self, query, head):
+        """Unifiable implies accepted, at every level and either binding mode."""
+        if unifiable(query, rename_apart(head)):
+            for level in ALL_LEVELS:
+                for cross in (False, True):
+                    assert partial_match(
+                        query, head, level=level, cross_binding=cross
+                    ), f"level {level}, cross={cross} dropped a true unifier"
+
+    @settings(max_examples=300)
+    @given(clause_heads(), clause_heads())
+    def test_level_monotonicity(self, query, head):
+        """Higher levels only filter more (with cross-binding fixed on)."""
+        results = [
+            partial_match(query, head, level=level, cross_binding=True)
+            for level in ALL_LEVELS
+        ]
+        for looser, tighter in zip(results, results[1:]):
+            assert looser or not tighter
+
+    @settings(max_examples=300)
+    @given(clause_heads(include_variables=False), clause_heads(include_variables=False))
+    def test_ground_level4_exact(self, query, head):
+        """On ground terms, level >= 4 matching equals unifiability."""
+        assert partial_match(query, head, level=4) == unifiable(query, head)
+
+    @settings(max_examples=200)
+    @given(clause_heads(), clause_heads())
+    def test_cross_binding_only_tightens(self, query, head):
+        for level in (2, 3, 4):
+            without = partial_match(query, head, level=level, cross_binding=False)
+            with_cb = partial_match(query, head, level=level, cross_binding=True)
+            assert without or not with_cb

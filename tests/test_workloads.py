@@ -1,0 +1,165 @@
+"""Tests for the synthetic workload generators."""
+
+import pytest
+
+from repro.terms import Struct, Var, is_ground, variables
+from repro.unify import unifiable
+from repro.workloads import (
+    FactKBSpec,
+    WARREN_FULL,
+    build_warren_kb,
+    generate_couples,
+    generate_facts,
+    generate_mixed_predicate,
+    ground_query_for,
+    open_query,
+    shared_variable_query,
+    warren_kb_spec,
+)
+
+
+class TestFactGeneration:
+    def test_count_and_shape(self):
+        clauses = generate_facts(FactKBSpec(functor="r", arity=4, count=50))
+        assert len(clauses) == 50
+        for clause in clauses:
+            assert clause.is_fact
+            assert clause.indicator == ("r", 4)
+
+    def test_deterministic(self):
+        spec = FactKBSpec(count=20, seed=42)
+        assert generate_facts(spec) == generate_facts(spec)
+        assert generate_facts(spec) != generate_facts(
+            FactKBSpec(count=20, seed=43)
+        )
+
+    def test_ground_by_default(self):
+        clauses = generate_facts(FactKBSpec(count=30))
+        assert all(c.is_ground_fact for c in clauses)
+
+    def test_variable_fraction(self):
+        clauses = generate_facts(
+            FactKBSpec(count=200, variable_fraction=0.5, seed=1)
+        )
+        with_vars = sum(1 for c in clauses if not c.is_ground_fact)
+        assert 40 < with_vars < 200
+
+    def test_structure_fraction(self):
+        clauses = generate_facts(
+            FactKBSpec(count=200, structure_fraction=0.5, seed=1)
+        )
+        structured = sum(
+            1
+            for c in clauses
+            if isinstance(c.head, Struct)
+            and any(isinstance(a, Struct) for a in c.head.args)
+        )
+        assert structured > 40
+
+    def test_domain_sizes_control_selectivity(self):
+        tight = generate_facts(
+            FactKBSpec(count=200, domain_sizes=(2, 2, 2), seed=5)
+        )
+        distinct = {str(c.head) for c in tight}
+        assert len(distinct) <= 8  # tiny domains collapse the space
+
+
+class TestMixedPredicate:
+    def test_fact_rule_mix(self):
+        clauses = generate_mixed_predicate(facts=30, rules=5, seed=2)
+        assert sum(1 for c in clauses if c.is_fact) == 30
+        assert sum(1 for c in clauses if not c.is_fact) == 5
+
+    def test_rules_reference_helper(self):
+        clauses = generate_mixed_predicate(facts=5, rules=3, helper_functor="h")
+        for clause in clauses:
+            if not clause.is_fact:
+                assert clause.body[0].functor == "h"  # type: ignore[union-attr]
+
+
+class TestCouples:
+    def test_same_surname_fraction(self):
+        clauses = generate_couples(count=1000, same_surname_fraction=0.2, seed=9)
+        same = sum(
+            1
+            for c in clauses
+            if isinstance(c.head, Struct) and c.head.args[0] == c.head.args[1]
+        )
+        assert 140 < same < 260
+
+    def test_zero_fraction(self):
+        clauses = generate_couples(count=100, same_surname_fraction=0.0, seed=1)
+        assert all(
+            c.head.args[0] != c.head.args[1]  # type: ignore[union-attr]
+            for c in clauses
+        )
+
+
+class TestQueryGenerators:
+    def test_ground_query_matches_something(self):
+        clauses = generate_facts(FactKBSpec(count=50, seed=3))
+        query = ground_query_for(clauses, seed=1)
+        assert is_ground(query)
+        assert any(unifiable(query, c.head) for c in clauses)
+
+    def test_partially_bound_query(self):
+        clauses = generate_facts(FactKBSpec(count=50, arity=4, seed=3))
+        query = ground_query_for(clauses, seed=1, bound_arguments=2)
+        assert isinstance(query, Struct)
+        assert sum(1 for a in query.args if isinstance(a, Var)) == 2
+
+    def test_shared_variable_query(self):
+        query = shared_variable_query("married_couple")
+        assert isinstance(query, Struct)
+        assert query.args[0] == query.args[1]
+        with pytest.raises(ValueError):
+            shared_variable_query("p", arity=1)
+
+    def test_open_query(self):
+        query = open_query("p", 3)
+        assert isinstance(query, Struct)
+        assert len(variables(query)) == 3
+        assert open_query("p", 0).is_callable()
+
+
+class TestWarrenKB:
+    def test_full_spec_ratios(self):
+        assert WARREN_FULL.predicates == 3000
+        assert WARREN_FULL.rules_per_predicate == 10
+        assert WARREN_FULL.facts_per_predicate == 1000
+
+    def test_scaling(self):
+        spec = warren_kb_spec(0.01)
+        assert spec.predicates == 30
+        assert spec.facts == 30_000
+        with pytest.raises(ValueError):
+            warren_kb_spec(0)
+        with pytest.raises(ValueError):
+            warren_kb_spec(1.5)
+
+    def test_build_small_instance(self):
+        spec = warren_kb_spec(0.002)  # 6 predicates, 6000 facts
+        kb = build_warren_kb(spec, seed=4)
+        assert len(kb.predicates()) == spec.predicates
+        assert kb.clause_count() >= spec.predicates * spec.facts_per_predicate
+        # Mixed relations: at least one predicate holds facts and rules.
+        mixed = 0
+        for indicator in kb.predicates():
+            kinds = {c.is_fact for c in kb.clauses(indicator)}
+            if kinds == {True, False}:
+                mixed += 1
+        assert mixed >= 1
+
+    def test_queries_run_against_warren_kb(self):
+        from repro.engine import PrologMachine
+
+        kb = build_warren_kb(warren_kb_spec(0.001), seed=4)
+        machine = PrologMachine(kb, unknown_predicates="fail")
+        indicator = kb.predicates()[1]
+        goal = open_query(*indicator)
+        solutions = 0
+        for _ in machine.solve(goal):
+            solutions += 1
+            if solutions >= 5:
+                break
+        assert solutions > 0
