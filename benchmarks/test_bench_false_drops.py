@@ -7,7 +7,7 @@ shared-variable queries.  Each source gets a sweep.
 """
 
 from repro.scw import CodewordScheme, false_drop_probability, optimal_bits_per_key
-from repro.terms import Atom, Clause, Struct, Var, read_term, rename_apart
+from repro.terms import Atom, Clause, Struct, read_term, rename_apart
 from repro.unify import unifiable
 from repro.workloads import FactKBSpec, generate_couples, generate_facts
 from tables import record_table

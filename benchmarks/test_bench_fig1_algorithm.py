@@ -9,7 +9,7 @@ candidate set on workloads with variables and structures.
 import random
 
 from repro.pif import SymbolTable, compile_clause
-from repro.terms import Clause, read_term, rename_apart
+from repro.terms import read_term, rename_apart
 from repro.fs2 import SecondStageFilter
 from repro.unify import PartialMatcher, unifiable
 from repro.workloads import FactKBSpec, generate_facts

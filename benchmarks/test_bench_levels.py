@@ -17,7 +17,7 @@ from tables import record_table
 def _workload():
     import random
 
-    from repro.terms import Atom, Clause, Int, Struct, Var
+    from repro.terms import Atom, Clause, Int, Struct
 
     rng = random.Random(23)
     clauses = list(

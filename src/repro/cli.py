@@ -3,14 +3,20 @@
 Usage::
 
     python -m repro.cli consult FILE.pl --goal "parent(tom, X)"
+    python -m repro.cli stats FILE.pl --goal "parent(tom, X)" --disk
     python -m repro.cli goal "X is 1 + 2"
     python -m repro.cli table1
     python -m repro.cli microcode
 
 ``consult`` loads a Prolog source file (optionally pinning it to the
 simulated disk) and runs goals against it, reporting which CRS search
-modes the planner chose.  ``table1`` prints the reproduced Table 1 and
-``microcode`` disassembles the FS2 search program.
+modes the planner chose.  ``stats`` is ``consult`` with the
+observability layer switched on: it dumps the full metrics registry
+(cache hits/misses, lock waits, FS2 search calls, stage sim times) and
+``--trace-json FILE`` exports the span trace as NDJSON — one JSON object
+per pipeline stage (disk, FS1, FS2, software) per retrieval.  ``table1``
+prints the reproduced Table 1 and ``microcode`` disassembles the FS2
+search program.
 """
 
 from __future__ import annotations
@@ -18,10 +24,11 @@ from __future__ import annotations
 import argparse
 import sys
 
-from .crs import SearchMode
+from .crs import ClauseRetrievalServer, SearchMode
 from .engine import PrologMachine
 from .fs2 import assemble_search_program, table1, worst_case_rate_bytes_per_sec
 from .fs2.microcode import disassemble
+from .obs import Instrumentation
 from .storage import KnowledgeBase, Residency
 from .terms import read_term, term_to_string
 
@@ -37,23 +44,39 @@ def build_parser() -> argparse.ArgumentParser:
     commands = parser.add_subparsers(dest="command", required=True)
 
     consult = commands.add_parser("consult", help="load a .pl file and run goals")
-    consult.add_argument("file", help="Prolog source file")
-    consult.add_argument(
-        "--goal", action="append", default=[], help="goal to solve (repeatable)"
+    stats = commands.add_parser(
+        "stats",
+        help="like consult, with the observability layer on: dump the "
+        "metrics registry and optionally an NDJSON span trace",
     )
-    consult.add_argument(
-        "--disk", action="store_true", help="pin the program to the simulated disk"
-    )
-    consult.add_argument(
-        "--mode",
-        choices=[m.value for m in SearchMode],
-        help="force one CRS search mode (default: planner)",
-    )
-    consult.add_argument(
-        "--max-solutions", type=int, default=10, help="solutions per goal"
-    )
-    consult.add_argument(
-        "--library", action="store_true", help="load the list library"
+    for sub in (consult, stats):
+        sub.add_argument("file", help="Prolog source file")
+        sub.add_argument(
+            "--goal", action="append", default=[], help="goal to solve (repeatable)"
+        )
+        sub.add_argument(
+            "--disk",
+            action="store_true",
+            help="pin the program to the simulated disk",
+        )
+        sub.add_argument(
+            "--mode",
+            choices=[m.value for m in SearchMode],
+            help="force one CRS search mode (default: planner)",
+        )
+        sub.add_argument(
+            "--max-solutions", type=int, default=10, help="solutions per goal"
+        )
+        sub.add_argument(
+            "--library", action="store_true", help="load the list library"
+        )
+        sub.add_argument(
+            "--trace-json",
+            metavar="FILE",
+            help="write the span trace as NDJSON to FILE",
+        )
+    stats.add_argument(
+        "--cache", type=int, default=0, help="CRS retrieval cache size (entries)"
     )
 
     goal = commands.add_parser("goal", help="solve a goal with an empty KB")
@@ -86,6 +109,8 @@ def main(argv: list[str] | None = None, out=None) -> int:
         )
         _run_goal(machine, args.text, args.max_solutions, out)
         return 0
+    if args.command == "stats":
+        return _cmd_stats(args, out)
     return _cmd_consult(args, out)
 
 
@@ -121,22 +146,10 @@ def _cmd_dump(args, out) -> int:
 
 
 def _cmd_consult(args, out) -> int:
-    kb = KnowledgeBase()
-    with open(args.file, encoding="utf-8") as handle:
-        count = kb.consult_text(handle.read())
-    out.write(f"consulted {count} clauses from {args.file}\n")
-    if args.disk:
-        kb.module("user").pin(Residency.DISK)
-        kb.sync_to_disk()
-        out.write("program pinned to the simulated disk\n")
-    mode = SearchMode(args.mode) if args.mode else None
-    machine = PrologMachine(
-        kb,
-        mode=mode,
-        unknown_predicates="fail",
-        load_library=args.library,
-        output=out,
-    )
+    obs = None
+    if getattr(args, "trace_json", None):
+        obs = Instrumentation()
+    machine = _load_machine(args, out, obs)
     for goal_text in args.goal:
         _run_goal(machine, goal_text, args.max_solutions, out)
     if args.goal:
@@ -151,7 +164,54 @@ def _cmd_consult(args, out) -> int:
             f"scanned={stats.clauses_scanned} candidates={stats.candidates} "
             f"modes: {modes}\n"
         )
+    _write_trace(args, obs, out)
     return 0
+
+
+def _cmd_stats(args, out) -> int:
+    from .report import format_metrics
+
+    obs = Instrumentation()
+    machine = _load_machine(args, out, obs, cache_size=args.cache)
+    for goal_text in args.goal:
+        _run_goal(machine, goal_text, args.max_solutions, out)
+    out.write(format_metrics(obs) + "\n")
+    _write_trace(args, obs, out)
+    return 0
+
+
+def _load_machine(
+    args, out, obs: Instrumentation | None, cache_size: int = 0
+) -> PrologMachine:
+    kb = KnowledgeBase(obs=obs)
+    with open(args.file, encoding="utf-8") as handle:
+        count = kb.consult_text(handle.read())
+    out.write(f"consulted {count} clauses from {args.file}\n")
+    if args.disk:
+        kb.module("user").pin(Residency.DISK)
+        kb.sync_to_disk()
+        out.write("program pinned to the simulated disk\n")
+    mode = SearchMode(args.mode) if args.mode else None
+    crs = None
+    if obs is not None:
+        crs = ClauseRetrievalServer(kb, cache_size=cache_size, obs=obs)
+    return PrologMachine(
+        kb,
+        crs=crs,
+        mode=mode,
+        unknown_predicates="fail",
+        load_library=args.library,
+        output=out,
+        **({"obs": obs} if obs is not None else {}),
+    )
+
+
+def _write_trace(args, obs: Instrumentation | None, out) -> None:
+    path = getattr(args, "trace_json", None)
+    if not path or obs is None:
+        return
+    count = obs.recorder.write_ndjson(path)
+    out.write(f"wrote {count} spans to {path}\n")
 
 
 def _run_goal(machine: PrologMachine, goal_text: str, limit: int, out) -> None:

@@ -9,6 +9,7 @@ abort the requesting transaction per :mod:`repro.crs.concurrency`.
 
 from __future__ import annotations
 
+from ..obs import Instrumentation
 from ..terms import Clause, Term, functor_indicator
 from .concurrency import Transaction, TransactionManager
 from .server import ClauseRetrievalServer, RetrievalResult, SearchMode
@@ -57,9 +58,15 @@ class CRSClient:
 class CRSFrontEnd:
     """The shared entry point handing out client sessions."""
 
-    def __init__(self, server: ClauseRetrievalServer):
+    def __init__(
+        self, server: ClauseRetrievalServer, obs: Instrumentation | None = None
+    ):
         self.server = server
-        self.transactions = TransactionManager()
+        # Lock/transaction metrics land in the same registry the server
+        # uses, so one instrumentation covers the whole multi-client path.
+        self.transactions = TransactionManager(
+            obs=obs if obs is not None else server.obs
+        )
 
     def connect(self) -> CRSClient:
         return CRSClient(self, self.transactions.begin())

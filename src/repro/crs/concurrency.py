@@ -14,6 +14,9 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Hashable
 
+from ..obs import Instrumentation
+from ..obs import get_default as _default_obs
+
 __all__ = [
     "LockMode",
     "DeadlockError",
@@ -54,68 +57,114 @@ class _LockState:
 class LockManager:
     """Predicate-granularity shared/exclusive locks with deadlock detection."""
 
-    def __init__(self) -> None:
+    def __init__(self, obs: Instrumentation | None = None) -> None:
+        self.obs = obs if obs is not None else _default_obs()
         self._locks: dict[Resource, _LockState] = {}
         self._waits_for: dict[int, set[int]] = {}
 
     def acquire(self, txn_id: int, resource: Resource, mode: LockMode) -> bool:
         """Try to take a lock; returns False if the caller must wait.
 
+        Grants are queue-fair: a *new* request — even a SHARED one that is
+        compatible with every current holder — waits behind any queued
+        conflicting request, so a writer waiting on a popular predicate is
+        never starved by a stream of late-arriving readers.  Upgrades
+        (SHARED holder requesting EXCLUSIVE) bypass the queue, as a queued
+        upgrade could never be granted while its own SHARED lock blocks
+        the waiters ahead of it.
+
         Registering the wait first runs deadlock detection — a cycle
         raises :class:`DeadlockError` instead of queueing.
         """
         state = self._locks.setdefault(resource, _LockState())
-        if self._compatible(state, txn_id, mode):
-            held = state.holders.get(txn_id)
-            if held is None or self._stronger(mode, held):
-                state.holders[txn_id] = mode
+        held = state.holders.get(txn_id)
+        if held is not None and not self._stronger(mode, held):
+            return True  # already holds an adequate lock
+        upgrading = held is not None
+        queue_blockers = (
+            set() if upgrading else self._conflicting_waiters(state, txn_id, mode)
+        )
+        if self._compatible(state, txn_id, mode) and not queue_blockers:
+            state.holders[txn_id] = mode
             self._waits_for.pop(txn_id, None)
+            self.obs.counter("locks.acquired", mode=mode.value).inc()
             return True
         blockers = {
             holder
-            for holder, held in state.holders.items()
-            if holder != txn_id and self._conflicts(mode, held)
-        }
+            for holder, holder_mode in state.holders.items()
+            if holder != txn_id and self._conflicts(mode, holder_mode)
+        } | queue_blockers
         self._waits_for.setdefault(txn_id, set()).update(blockers)
         cycle = self._find_cycle(txn_id)
         if cycle is not None:
             self._waits_for[txn_id] -= blockers
             if not self._waits_for[txn_id]:
                 del self._waits_for[txn_id]
+            self.obs.counter("locks.deadlocks").inc()
             raise DeadlockError(cycle)
         if (txn_id, mode) not in state.waiters:
             state.waiters.append((txn_id, mode))
+            self.obs.counter("locks.waits", mode=mode.value).inc()
         return False
 
     def release_all(self, txn_id: int) -> list[Resource]:
-        """Drop every lock the transaction holds; returns freed resources."""
-        freed = []
+        """Drop the transaction's locks and queued requests.
+
+        Returns every resource whose state changed (a lock was released
+        *or* a queued request withdrawn) — all of them need a
+        :meth:`retry_waiters` pass, since removing a queued EXCLUSIVE
+        request can unblock SHARED waiters queued behind it.
+        """
+        touched = []
         for resource, state in self._locks.items():
+            changed = False
             if txn_id in state.holders:
                 del state.holders[txn_id]
-                freed.append(resource)
-            state.waiters = [(t, m) for t, m in state.waiters if t != txn_id]
+                changed = True
+            remaining = [(t, m) for t, m in state.waiters if t != txn_id]
+            if len(remaining) != len(state.waiters):
+                state.waiters = remaining
+                changed = True
+            if changed:
+                touched.append(resource)
         self._waits_for.pop(txn_id, None)
         for waiters in self._waits_for.values():
             waiters.discard(txn_id)
-        return freed
+        return touched
 
     def holders(self, resource: Resource) -> dict[int, LockMode]:
         state = self._locks.get(resource)
         return dict(state.holders) if state else {}
 
+    def waiters(self, resource: Resource) -> list[tuple[int, LockMode]]:
+        state = self._locks.get(resource)
+        return list(state.waiters) if state else []
+
     def retry_waiters(self, resource: Resource) -> list[int]:
-        """Grant whatever queued requests are now compatible (FIFO)."""
+        """Grant queued requests that are now compatible, in FIFO order.
+
+        A waiter is granted only if no *conflicting* waiter remains ahead
+        of it in the queue: a SHARED request queued behind an EXCLUSIVE
+        one keeps waiting even when the holders alone would admit it.
+        Upgrades bypass the queue-order check (as in :meth:`acquire`) —
+        an upgrader's own SHARED lock blocks the waiters ahead of it, so
+        queue-blocking it would wedge the resource.
+        """
         state = self._locks.get(resource)
         if state is None:
             return []
         granted = []
-        still_waiting = []
+        still_waiting: list[tuple[int, LockMode]] = []
         for txn_id, mode in state.waiters:
-            if self._compatible(state, txn_id, mode):
+            blocked_by_queue = txn_id not in state.holders and any(
+                t != txn_id and self._conflicts(mode, m) for t, m in still_waiting
+            )
+            if not blocked_by_queue and self._compatible(state, txn_id, mode):
                 state.holders[txn_id] = mode
                 self._waits_for.pop(txn_id, None)
                 granted.append(txn_id)
+                self.obs.counter("locks.acquired", mode=mode.value).inc()
+                self.obs.counter("locks.waiter_grants").inc()
             else:
                 still_waiting.append((txn_id, mode))
         state.waiters = still_waiting
@@ -130,6 +179,16 @@ class LockManager:
     @staticmethod
     def _conflicts(requested: LockMode, held: LockMode) -> bool:
         return requested == LockMode.EXCLUSIVE or held == LockMode.EXCLUSIVE
+
+    def _conflicting_waiters(
+        self, state: _LockState, txn_id: int, mode: LockMode
+    ) -> set[int]:
+        """Queued requests from other transactions that conflict with ours."""
+        return {
+            waiter
+            for waiter, waiting_mode in state.waiters
+            if waiter != txn_id and self._conflicts(mode, waiting_mode)
+        }
 
     def _compatible(self, state: _LockState, txn_id: int, mode: LockMode) -> bool:
         for holder, held in state.holders.items():
@@ -193,8 +252,9 @@ class Transaction:
 class TransactionManager:
     """Issues transactions and runs the release/retry cycle."""
 
-    def __init__(self) -> None:
-        self.locks = LockManager()
+    def __init__(self, obs: Instrumentation | None = None) -> None:
+        self.obs = obs if obs is not None else _default_obs()
+        self.locks = LockManager(obs=self.obs)
         self._next_id = 1
         self._active: set[int] = set()
 
@@ -202,19 +262,23 @@ class TransactionManager:
         txn = Transaction(self._next_id, self)
         self._active.add(self._next_id)
         self._next_id += 1
+        self.obs.counter("txn.begun").inc()
+        self.obs.gauge("txn.active").set(len(self._active))
         return txn
 
     def commit(self, txn: Transaction) -> None:
-        self._finish(txn)
+        self._finish(txn, "txn.commits")
 
     def abort(self, txn: Transaction) -> None:
-        self._finish(txn)
+        self._finish(txn, "txn.aborts")
 
-    def _finish(self, txn: Transaction) -> None:
+    def _finish(self, txn: Transaction, outcome_counter: str) -> None:
         if not txn.active:
             return
         txn.active = False
         self._active.discard(txn.txn_id)
+        self.obs.counter(outcome_counter).inc()
+        self.obs.gauge("txn.active").set(len(self._active))
         for resource in self.locks.release_all(txn.txn_id):
             self.locks.retry_waiters(resource)
 

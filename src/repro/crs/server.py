@@ -24,6 +24,8 @@ from enum import Enum
 
 from ..disk import TransferStats
 from ..fs2 import SecondStageFilter
+from ..obs import Instrumentation
+from ..obs import get_default as _default_obs
 from ..pif import CompiledClause
 from ..pif.clausefile import decode_compiled
 from ..scw import FirstStageFilter
@@ -123,12 +125,16 @@ class ClauseRetrievalServer:
         cost_model: HostCostModel | None = None,
         cross_binding: bool = True,
         cache_size: int = 0,
+        obs: Instrumentation | None = None,
     ):
         self.kb = kb
         self.cost_model = cost_model or HostCostModel()
         self.cross_binding = cross_binding
-        self.fs1 = FirstStageFilter(kb.scheme)
-        self.fs2 = SecondStageFilter(kb.symbols, cross_binding=cross_binding)
+        self.obs = obs if obs is not None else _default_obs()
+        self.fs1 = FirstStageFilter(kb.scheme, obs=self.obs)
+        self.fs2 = SecondStageFilter(
+            kb.symbols, cross_binding=cross_binding, obs=self.obs
+        )
         self.fs2.load_microprogram()
         # Optional retrieval cache (LRU), invalidated by KB updates.
         from collections import OrderedDict
@@ -148,37 +154,69 @@ class ClauseRetrievalServer:
         served from an LRU cache until the knowledge base changes; cache
         hits report zero filter time (no physical work happened).
         """
+        from ..terms import term_to_string
         from .planner import select_mode  # local import avoids a cycle
 
-        cache_key = None
-        if self.cache_size > 0:
-            if self.kb.version != self._cache_version:
-                self._cache.clear()
-                self._cache_version = self.kb.version
-            cache_key = (_canonical_goal_key(goal), mode)
-            cached = self._cache.get(cache_key)
-            if cached is not None:
-                self._cache.move_to_end(cache_key)
-                self.cache_hits += 1
-                return self._cache_hit_view(cached)
-            self.cache_misses += 1
-        indicator = functor_indicator(goal)
-        store = self.kb.store(indicator)
-        residency = self.kb.residency(indicator)
-        if mode is None:
-            mode = select_mode(goal, store, residency)
-        handler = {
-            SearchMode.SOFTWARE: self._retrieve_software,
-            SearchMode.FS1_ONLY: self._retrieve_fs1,
-            SearchMode.FS2_ONLY: self._retrieve_fs2,
-            SearchMode.BOTH: self._retrieve_both,
-        }[mode]
-        result = handler(goal, store, residency)
-        if cache_key is not None:
-            self._cache[cache_key] = result
-            while len(self._cache) > self.cache_size:
-                self._cache.popitem(last=False)
-        return result
+        with self.obs.span("crs.retrieve", goal=term_to_string(goal)) as span:
+            cache_key = None
+            if self.cache_size > 0:
+                if self.kb.version != self._cache_version:
+                    self._cache.clear()
+                    self._cache_version = self.kb.version
+                cache_key = (_canonical_goal_key(goal), mode)
+                cached = self._cache.get(cache_key)
+                if cached is not None:
+                    self._cache.move_to_end(cache_key)
+                    self.cache_hits += 1
+                    self.obs.counter("crs.cache.hits").inc()
+                    hit = self._cache_hit_view(cached)
+                    span.set(cache="hit", candidates=len(hit.candidates))
+                    # Hits count as retrievals (as in QueryStats); the
+                    # view's zeroed times keep the sim counters honest.
+                    self._account_retrieval(hit)
+                    return hit
+                self.cache_misses += 1
+                self.obs.counter("crs.cache.misses").inc()
+            indicator = functor_indicator(goal)
+            store = self.kb.store(indicator)
+            residency = self.kb.residency(indicator)
+            if mode is None:
+                mode = select_mode(goal, store, residency)
+            handler = {
+                SearchMode.SOFTWARE: self._retrieve_software,
+                SearchMode.FS1_ONLY: self._retrieve_fs1,
+                SearchMode.FS2_ONLY: self._retrieve_fs2,
+                SearchMode.BOTH: self._retrieve_both,
+            }[mode]
+            result = handler(goal, store, residency)
+            if cache_key is not None:
+                self._cache[cache_key] = result
+                while len(self._cache) > self.cache_size:
+                    self._cache.popitem(last=False)
+            span.set(
+                mode=mode.value,
+                residency=residency,
+                clauses=result.stats.clauses_total if result.stats else 0,
+                candidates=len(result.candidates),
+            )
+            self._account_retrieval(result)
+            return result
+
+    def _account_retrieval(self, result: RetrievalResult) -> None:
+        stats = result.stats
+        if stats is None:
+            return
+        obs = self.obs
+        obs.counter("crs.retrievals", mode=stats.mode.value).inc()
+        obs.counter("crs.clauses_scanned").inc(stats.clauses_total)
+        obs.counter("crs.candidates_returned").inc(stats.final_candidates)
+        obs.counter("crs.fs2_search_calls").inc(stats.fs2_search_calls)
+        obs.counter("crs.sim_filter_time_s").inc(stats.filter_time_s)
+        obs.histogram("crs.candidates").observe(stats.final_candidates)
+        obs.histogram(
+            "crs.selectivity",
+            buckets=(0.0, 0.01, 0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0),
+        ).observe(stats.selectivity)
 
     @staticmethod
     def _cache_hit_view(result: RetrievalResult) -> RetrievalResult:
@@ -208,6 +246,12 @@ class ClauseRetrievalServer:
             bindings = unify(goal, renamed_head)
             if bindings is not None:
                 matches.append((clause, bindings))
+        # Ground truth is available here: candidates that failed full
+        # unification are the pipeline's end-to-end false drops.
+        self.obs.counter("crs.true_matches").inc(len(matches))
+        self.obs.counter("crs.false_drops").inc(
+            len(result.candidates) - len(matches)
+        )
         return matches
 
     # -- mode (a): software only ----------------------------------------------
@@ -221,20 +265,33 @@ class ClauseRetrievalServer:
             _, transfer = self._read_clause_extent(store)
             stats.disk_time_s = transfer.total_time_s
             stats.bytes_from_disk = transfer.bytes_transferred
-        matcher = PartialMatcher(goal, cross_binding=self.cross_binding)
-        candidates = []
-        total_ops = 0
-        for position in range(len(store)):
-            clause = store.clause_file.decode_clause(position)
-            outcome = matcher.match_head(clause.head)
-            total_ops += outcome.op_count()
-            if outcome.hit:
-                candidates.append(clause)
-        model = self.cost_model
-        stats.software_time_s = (
-            stats.clauses_total * model.clause_decode_ns
-            + total_ops * model.software_match_op_ns
-        ) / 1e9
+        with self.obs.span(
+            "software.scan", indicator=f"{store.indicator[0]}/{store.indicator[1]}"
+        ) as span:
+            matcher = PartialMatcher(goal, cross_binding=self.cross_binding)
+            candidates = []
+            total_ops = 0
+            for position in range(len(store)):
+                clause = store.clause_file.decode_clause(position)
+                outcome = matcher.match_head(clause.head)
+                total_ops += outcome.op_count()
+                if outcome.hit:
+                    candidates.append(clause)
+            model = self.cost_model
+            stats.software_time_s = (
+                stats.clauses_total * model.clause_decode_ns
+                + total_ops * model.software_match_op_ns
+            ) / 1e9
+            span.set(
+                clauses=stats.clauses_total,
+                candidates=len(candidates),
+                match_ops=total_ops,
+                sim_time_s=stats.software_time_s,
+            )
+        self.obs.counter("software.scans").inc()
+        self.obs.counter("software.clauses_matched").inc(stats.clauses_total)
+        self.obs.counter("software.match_ops").inc(total_ops)
+        self.obs.counter("software.sim_time_s").inc(stats.software_time_s)
         stats.final_candidates = len(candidates)
         return RetrievalResult(goal=goal, candidates=candidates, stats=stats)
 
@@ -303,6 +360,11 @@ class ClauseRetrievalServer:
             stats.bytes_from_disk += store.index.size_bytes()
         candidates = self._stream_through_fs2(goal, store, list(records), stats)
         stats.final_candidates = len(candidates)
+        # FS2 refined FS1's candidate set: the difference is FS1's false
+        # drops relative to level-3 partial unification.
+        self.obs.counter("fs1.false_drops").inc(
+            (stats.fs1_candidates or 0) - stats.final_candidates
+        )
         return RetrievalResult(goal=goal, candidates=candidates, stats=stats)
 
     # -- shared plumbing -------------------------------------------------------------
@@ -357,21 +419,27 @@ class ClauseRetrievalServer:
         addresses: tuple[int, ...],
         residency: str,
     ) -> tuple[list[bytes], TransferStats]:
-        """Fetch candidate records by address (selective disk reads)."""
-        all_addresses = store.clause_file.record_addresses()
-        lengths = {
-            address: len(store.clause_file.record(i).to_bytes())
-            for i, address in enumerate(all_addresses)
-        }
+        """Fetch candidate records by address (selective disk reads).
+
+        Record spans come from the clause file's incrementally-maintained
+        address table, so the cost is O(candidates) — the "selective" FS1
+        path no longer re-serialises every record of the predicate on
+        every retrieval.
+        """
+        spans = [store.clause_file.record_span(a) for a in addresses]
         if residency == Residency.DISK:
             self._ensure_on_disk(store)
-            offsets = [(a, lengths[a]) for a in addresses]
+            offsets = [
+                (address, length)
+                for address, (_, length) in zip(addresses, spans)
+            ]
             record_iter, transfer = self.kb.disk.stream_records(
                 store.extent_name(), offsets
             )
             return list(record_iter), transfer
-        image = store.clause_file.to_bytes()
-        records = [image[a : a + lengths[a]] for a in addresses]
+        records = [
+            store.clause_file.record_bytes(position) for position, _ in spans
+        ]
         return records, TransferStats()
 
     def _ensure_on_disk(self, store: PredicateStore) -> None:
@@ -392,20 +460,31 @@ def _canonical_goal_key(goal: Term) -> str:
 
     Two retrievals of the same goal shape (e.g. ``p(_G1, a)`` and
     ``p(_G7, a)``) are the same retrieval: the candidate set depends only
-    on the goal's constants and variable-sharing pattern.
+    on the goal's constants and variable-sharing pattern.  Anonymous
+    variables take part in the same positional scheme — each ``_``
+    occurrence is a fresh singleton, so ``p(_, a)`` and ``p(X, a)`` (X
+    appearing nowhere else) canonicalise identically: a variable that
+    never recurs always passes partial matching regardless of its name.
     """
     from ..terms import Struct as _Struct
     from ..terms import Var as _Var
     from ..terms import term_to_string as _to_string
 
     mapping: dict[str, str] = {}
+    counter = 0
+
+    def fresh_name() -> str:
+        nonlocal counter
+        name = f"_C{counter}"
+        counter += 1
+        return name
 
     def rename(term: Term) -> Term:
         if isinstance(term, _Var):
             if term.is_anonymous():
-                return term
+                return _Var(fresh_name())  # every `_` is its own singleton
             if term.name not in mapping:
-                mapping[term.name] = f"_C{len(mapping)}"
+                mapping[term.name] = fresh_name()
             return _Var(mapping[term.name])
         if isinstance(term, _Struct):
             return _Struct(term.functor, tuple(rename(a) for a in term.args))

@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Iterator
 
+from ..obs import Instrumentation
+from ..obs import get_default as _default_obs
 from .drive import DriveModel, FUJITSU_M2351A
 
 __all__ = ["DiskSim", "Extent", "TransferStats", "DiskFullError"]
@@ -51,8 +53,13 @@ class TransferStats:
 class DiskSim:
     """A drive holding named extents with modelled access timing."""
 
-    def __init__(self, drive: DriveModel = FUJITSU_M2351A):
+    def __init__(
+        self,
+        drive: DriveModel = FUJITSU_M2351A,
+        obs: Instrumentation | None = None,
+    ):
         self.drive = drive
+        self.obs = obs if obs is not None else _default_obs()
         self._extents: dict[str, Extent] = {}
         self._data: dict[str, bytes] = {}
         self._next_free = 0
@@ -106,13 +113,16 @@ class DiskSim:
 
     def read_extent(self, name: str) -> tuple[bytes, TransferStats]:
         """One contiguous read of a whole extent."""
-        data = self._data[self.extent(name).name]
-        stats = TransferStats(
-            bytes_transferred=len(data),
-            seeks=1,
-            seek_time_s=self.drive.access_time_s(),
-            transfer_time_s=self.drive.transfer_time_s(len(data)),
-        )
+        with self.obs.span("disk.read", extent=name, kind="extent") as span:
+            data = self._data[self.extent(name).name]
+            stats = TransferStats(
+                bytes_transferred=len(data),
+                seeks=1,
+                seek_time_s=self.drive.access_time_s(),
+                transfer_time_s=self.drive.transfer_time_s(len(data)),
+            )
+            span.set(bytes=len(data), seeks=1, sim_time_s=stats.total_time_s)
+        self._account(stats)
         return data, stats
 
     def stream_records(
@@ -125,23 +135,38 @@ class DiskSim:
         reads (FS1 candidate fetches) pay one positioning cost per
         non-contiguous jump; a full scan pays a single seek.
         """
-        data = self._data[self.extent(name).name]
-        stats = TransferStats()
-        if offsets is None:
-            pairs: list[tuple[int, int]] = [(0, len(data))]
-        else:
-            pairs = list(offsets)
-        records: list[bytes] = []
-        previous_end: int | None = None
-        for start, length in pairs:
-            if start != previous_end:
-                stats.seeks += 1
-                stats.seek_time_s += self.drive.access_time_s()
-            records.append(data[start : start + length])
-            stats.bytes_transferred += length
-            stats.transfer_time_s += self.drive.transfer_time_s(length)
-            previous_end = start + length
+        with self.obs.span("disk.read", extent=name, kind="stream") as span:
+            data = self._data[self.extent(name).name]
+            stats = TransferStats()
+            if offsets is None:
+                pairs: list[tuple[int, int]] = [(0, len(data))]
+            else:
+                pairs = list(offsets)
+            records: list[bytes] = []
+            previous_end: int | None = None
+            for start, length in pairs:
+                if start != previous_end:
+                    stats.seeks += 1
+                    stats.seek_time_s += self.drive.access_time_s()
+                records.append(data[start : start + length])
+                stats.bytes_transferred += length
+                stats.transfer_time_s += self.drive.transfer_time_s(length)
+                previous_end = start + length
+            span.set(
+                records=len(records),
+                bytes=stats.bytes_transferred,
+                seeks=stats.seeks,
+                sim_time_s=stats.total_time_s,
+            )
+        self._account(stats)
         return iter(records), stats
+
+    def _account(self, stats: TransferStats) -> None:
+        obs = self.obs
+        obs.counter("disk.reads").inc()
+        obs.counter("disk.bytes_read").inc(stats.bytes_transferred)
+        obs.counter("disk.seeks").inc(stats.seeks)
+        obs.counter("disk.sim_time_s").inc(stats.total_time_s)
 
     def track_of(self, name: str, offset_in_extent: int = 0) -> tuple[int, int]:
         """(cylinder, track) holding a byte of the extent."""

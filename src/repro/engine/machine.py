@@ -14,6 +14,8 @@ from dataclasses import dataclass, field
 from typing import Iterator
 
 from ..crs import ClauseRetrievalServer, SearchMode
+from ..obs import Instrumentation
+from ..obs import get_default as _default_obs
 from ..storage import KnowledgeBase, UnknownPredicateError
 from ..terms import (
     Clause,
@@ -51,11 +53,15 @@ class PrologMachine:
         load_library: bool = False,
         output=None,
         trace_retrievals: int = 0,
+        obs: Instrumentation | None = None,
     ):
         if unknown_predicates not in ("error", "fail"):
             raise ValueError("unknown_predicates must be 'error' or 'fail'")
         self.kb = kb
-        self.crs = crs if crs is not None else ClauseRetrievalServer(kb)
+        self.obs = obs if obs is not None else _default_obs()
+        self.crs = (
+            crs if crs is not None else ClauseRetrievalServer(kb, obs=self.obs)
+        )
         self.mode = mode
         self.unknown_predicates = unknown_predicates
         self.stats = QueryStats()
@@ -139,11 +145,14 @@ class PrologMachine:
             name, arity = indicator
             raise ExistenceError(f"unknown predicate {name}/{arity}")
         try:
-            result = self.crs.retrieve(goal, mode=self.mode)
+            with self.obs.span("engine.retrieve") as span:
+                result = self.crs.retrieve(goal, mode=self.mode)
+                span.set(candidates=len(result.candidates))
         except UnknownPredicateError:
             if self.unknown_predicates == "fail":
                 return []
             raise
+        self.obs.counter("engine.retrievals").inc()
         stats = result.stats
         if self.trace is not None:
             self.trace.append((goal, stats))

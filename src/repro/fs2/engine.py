@@ -21,6 +21,8 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Iterable
 
+from ..obs import Instrumentation
+from ..obs import get_default as _default_obs
 from ..pif import CompiledClause, PIFEncoder, tags
 from ..pif.decoder import Item
 from ..pif.encoder import EncodedArgs
@@ -77,8 +79,14 @@ class FS2SearchStats:
 class SecondStageFilter:
     """The FS2 board: WCS + TUE + Double Buffer + Result Memory."""
 
-    def __init__(self, symbols: SymbolTable, cross_binding: bool = True):
+    def __init__(
+        self,
+        symbols: SymbolTable,
+        cross_binding: bool = True,
+        obs: Instrumentation | None = None,
+    ):
         self.symbols = symbols
+        self.obs = obs if obs is not None else _default_obs()
         self.control = ControlRegister()
         self.control.select_filter(FilterSelect.FS2)
         self.wcs = WritableControlStore()
@@ -133,26 +141,54 @@ class SecondStageFilter:
         stats = FS2SearchStats()
         self.tue.reset_accounting()
         self.buffer.reset()
-        for record in records:
-            # DMA: the record lands in the Double Buffer and, in parallel,
-            # in the Result Memory's current slot.
-            self.buffer.load(record)
-            self.buffer.toggle()
-            self.result.stream_record(record)
-            stats.bytes_streamed += len(record)
-            stats.clauses_examined += 1
-            hit = self._run_clause(
-                self.buffer.consume_output(), record_indicator, stats
+        with self.obs.span(
+            "fs2.search", indicator=f"{record_indicator[0]}/{record_indicator[1]}"
+        ) as span:
+            for record in records:
+                # DMA: the record lands in the Double Buffer and, in parallel,
+                # in the Result Memory's current slot.
+                self.buffer.load(record)
+                self.buffer.toggle()
+                self.result.stream_record(record)
+                stats.bytes_streamed += len(record)
+                stats.clauses_examined += 1
+                hit = self._run_clause(
+                    self.buffer.consume_output(), record_indicator, stats
+                )
+                if hit:
+                    self.result.capture()
+                    stats.satisfiers += 1
+                else:
+                    self.result.discard()
+            stats.op_counts = Counter(self.tue.op_counts)
+            stats.op_time_ns = self.tue.op_time_ns
+            self.control.set_match_found(stats.satisfiers > 0)
+            span.set(
+                clauses=stats.clauses_examined,
+                satisfiers=stats.satisfiers,
+                bytes=stats.bytes_streamed,
+                micro_cycles=stats.micro_cycles,
+                sim_time_s=stats.op_time_ns / 1e9,
             )
-            if hit:
-                self.result.capture()
-                stats.satisfiers += 1
-            else:
-                self.result.discard()
-        stats.op_counts = Counter(self.tue.op_counts)
-        stats.op_time_ns = self.tue.op_time_ns
-        self.control.set_match_found(stats.satisfiers > 0)
+        self._account(stats)
         return stats
+
+    def _account(self, stats: FS2SearchStats) -> None:
+        obs = self.obs
+        obs.counter("fs2.search_calls").inc()
+        obs.counter("fs2.clauses_examined").inc(stats.clauses_examined)
+        obs.counter("fs2.satisfiers").inc(stats.satisfiers)
+        obs.counter("fs2.false_drops").inc(stats.false_drop_candidates)
+        obs.counter("fs2.bytes_streamed").inc(stats.bytes_streamed)
+        obs.counter("fs2.micro_cycles").inc(stats.micro_cycles)
+        obs.counter("fs2.sim_time_s").inc(stats.op_time_ns / 1e9)
+        for op, count in stats.op_counts.items():
+            obs.counter("fs2.ops", op=getattr(op, "name", str(op))).inc(count)
+        # Result-Memory occupancy: satisfier slots used by this call, out
+        # of the 64 the 6-bit counter can address.
+        obs.histogram(
+            "fs2.rm_occupancy", buckets=(0, 1, 2, 4, 8, 16, 32, 48, 63, 64)
+        ).observe(self.result.satisfier_count)
 
     def read_results(self) -> list[bytes]:
         """Read Result mode: the captured satisfier records."""

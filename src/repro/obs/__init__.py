@@ -1,0 +1,35 @@
+"""Pipeline-wide observability: metrics registry + span tracing.
+
+See :mod:`repro.obs.metrics` and :mod:`repro.obs.trace` for the two
+halves; :class:`Instrumentation` bundles them and every instrumented
+component (disk, FS1, FS2, CRS, locks, engine) accepts one via its
+``obs`` argument, defaulting to the process-wide :func:`get_default`.
+"""
+
+from .metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from .trace import (
+    Instrumentation,
+    Span,
+    TraceRecorder,
+    get_default,
+    set_default,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "Instrumentation",
+    "MetricsRegistry",
+    "Span",
+    "TraceRecorder",
+    "get_default",
+    "set_default",
+]

@@ -1,0 +1,230 @@
+"""Dependency-free metrics: counters, gauges, fixed-bucket histograms.
+
+The paper's whole argument is about *where retrieval time goes* — disk
+streaming vs FS1 index scan vs FS2 partial unification vs host software.
+A :class:`MetricsRegistry` aggregates that accounting across every
+retrieval, client and transaction of a run, so mode comparisons and
+bottleneck hunts no longer depend on eyeballing per-call
+:class:`~repro.crs.RetrievalStats`.
+
+Metric instruments are identified by a family name plus optional string
+labels (``registry.counter("crs.retrievals", mode="fs1")``); each distinct
+label combination is its own time series.  Everything is plain Python —
+no third-party client libraries — and the registry serialises to a flat
+``dict`` for JSON export or to aligned text for terminal reports.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+]
+
+#: Default histogram bucket upper bounds: a coarse log scale wide enough
+#: for candidate counts, byte volumes and microsecond-scale times alike.
+DEFAULT_BUCKETS = (1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 10_000, 100_000)
+
+LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: dict[str, str]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing count (float increments allowed)."""
+
+    name: str
+    labels: LabelKey = ()
+    value: float = 0.0
+
+    def inc(self, amount: float = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge")
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """A value that can go up and down (e.g. active transactions)."""
+
+    name: str
+    labels: LabelKey = ()
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1) -> None:
+        self.value -= amount
+
+
+@dataclass
+class Histogram:
+    """Fixed-bucket histogram: counts per upper bound plus an overflow.
+
+    ``buckets`` are inclusive upper bounds in increasing order; a sample
+    larger than the last bound lands in the implicit ``+Inf`` bucket.
+    """
+
+    name: str
+    labels: LabelKey = ()
+    buckets: tuple[float, ...] = DEFAULT_BUCKETS
+    counts: list[int] = field(default_factory=list)
+    sum: float = 0.0
+    count: int = 0
+    min: float | None = None
+    max: float | None = None
+
+    def __post_init__(self) -> None:
+        if not self.counts:
+            self.counts = [0] * (len(self.buckets) + 1)
+
+    def observe(self, value: float) -> None:
+        for position, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[position] += 1
+                break
+        else:
+            self.counts[-1] += 1
+        self.sum += value
+        self.count += 1
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """Get-or-create store for every instrument of one run.
+
+    Thread-safe on creation (multi-client simulations may fan out); the
+    instruments themselves are plain attribute updates, which is fine for
+    the synchronous simulation and cheap enough for the hot path.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._instruments: dict[tuple[str, LabelKey], Counter | Gauge | Histogram] = {}
+
+    # -- get-or-create ---------------------------------------------------
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(
+        self, name: str, buckets: tuple[float, ...] | None = None, **labels: str
+    ) -> Histogram:
+        key = (name, _label_key(labels))
+        with self._lock:
+            instrument = self._instruments.get(key)
+            if instrument is None:
+                instrument = Histogram(
+                    name, key[1], buckets=buckets or DEFAULT_BUCKETS
+                )
+                self._instruments[key] = instrument
+            elif not isinstance(instrument, Histogram):
+                raise TypeError(f"{name!r} is a {type(instrument).__name__}")
+            return instrument
+
+    def _get(self, kind, name: str, labels: dict[str, str]):
+        key = (name, _label_key(labels))
+        with self._lock:
+            instrument = self._instruments.get(key)
+            if instrument is None:
+                instrument = kind(name, key[1])
+                self._instruments[key] = instrument
+            elif not isinstance(instrument, kind):
+                raise TypeError(
+                    f"{name!r} is a {type(instrument).__name__}, not a "
+                    f"{kind.__name__}"
+                )
+            return instrument
+
+    # -- reading ----------------------------------------------------------
+
+    def __iter__(self):
+        return iter(sorted(self._instruments.values(), key=lambda i: (i.name, i.labels)))
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def value(self, name: str, **labels: str) -> float:
+        """Current value of a counter/gauge (0.0 if never touched)."""
+        instrument = self._instruments.get((name, _label_key(labels)))
+        if instrument is None:
+            return 0.0
+        if isinstance(instrument, Histogram):
+            raise TypeError(f"{name!r} is a Histogram; read .sum/.count")
+        return instrument.value
+
+    def total(self, name: str) -> float:
+        """Sum of a counter family across all label combinations."""
+        return sum(
+            i.value
+            for (n, _), i in self._instruments.items()
+            if n == name and isinstance(i, (Counter, Gauge))
+        )
+
+    def snapshot(self) -> dict[str, dict]:
+        """A JSON-ready flat mapping of every instrument."""
+        out: dict[str, dict] = {}
+        for instrument in self:
+            label_text = ",".join(f"{k}={v}" for k, v in instrument.labels)
+            key = instrument.name + (f"{{{label_text}}}" if label_text else "")
+            if isinstance(instrument, Histogram):
+                out[key] = {
+                    "type": "histogram",
+                    "count": instrument.count,
+                    "sum": instrument.sum,
+                    "min": instrument.min,
+                    "max": instrument.max,
+                    "mean": instrument.mean,
+                    "buckets": dict(
+                        zip([str(b) for b in instrument.buckets] + ["+Inf"],
+                            instrument.counts)
+                    ),
+                }
+            else:
+                kind = "counter" if isinstance(instrument, Counter) else "gauge"
+                out[key] = {"type": kind, "value": instrument.value}
+        return out
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    def render(self) -> str:
+        """Aligned text dump, one line per instrument."""
+        lines = []
+        for key, data in sorted(self.snapshot().items()):
+            if data["type"] == "histogram":
+                lines.append(
+                    f"{key:<44} count={data['count']:<8} mean={data['mean']:.3f} "
+                    f"min={data['min']} max={data['max']}"
+                )
+            else:
+                value = data["value"]
+                rendered = f"{value:g}" if isinstance(value, float) else str(value)
+                lines.append(f"{key:<44} {rendered}")
+        return "\n".join(lines)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._instruments.clear()

@@ -176,9 +176,12 @@ class ClauseFile:
         self.symbols = symbols
         self._records: list[CompiledClause] = []
         self._sources: list[Clause] = []
-        # Running byte addresses for the default serialisation, so appends
-        # (and incremental index updates) stay O(1).
+        # Running byte addresses and record lengths for the default
+        # serialisation, so appends (and incremental index updates) stay
+        # O(1) and candidate fetches never re-serialise the whole file.
         self._addresses: list[int] = []
+        self._lengths: list[int] = []
+        self._position_by_address: dict[int, int] = {}
         self._next_address = 0
 
     def __len__(self) -> int:
@@ -198,7 +201,9 @@ class ClauseFile:
         record_bytes = compiled.to_bytes()  # enforce the record size cap
         self._records.append(compiled)
         self._sources.append(clause)
+        self._position_by_address[self._next_address] = len(self._addresses)
         self._addresses.append(self._next_address)
+        self._lengths.append(len(record_bytes))
         self._next_address += len(record_bytes)
         return compiled
 
@@ -230,6 +235,29 @@ class ClauseFile:
             position += len(record.to_bytes(include_names))
         return addresses
 
+    def record_lengths(self) -> list[int]:
+        """Serialised byte length of each record (cached, O(1) per record)."""
+        return list(self._lengths)
+
+    def record_span(self, address: int) -> tuple[int, int]:
+        """(position, length) of the record at a byte ``address``.
+
+        The table is maintained incrementally by :meth:`append`, so
+        candidate fetches are O(1) per address instead of re-serialising
+        every record on every retrieval.
+        """
+        try:
+            position = self._position_by_address[address]
+        except KeyError:
+            raise KeyError(
+                f"no record of {self.indicator} at address {address}"
+            ) from None
+        return position, self._lengths[position]
+
+    def record_bytes(self, position: int) -> bytes:
+        """The serialised record at ``position`` (one record only)."""
+        return self._records[position].to_bytes()
+
     def last_address(self) -> int:
         """Address of the most recently appended record."""
         if not self._addresses:
@@ -237,4 +265,6 @@ class ClauseFile:
         return self._addresses[-1]
 
     def size_bytes(self) -> int:
-        return len(self.to_bytes())
+        # The running append address is the concatenated size; don't
+        # re-serialise 300 records to answer a residency check.
+        return self._next_address

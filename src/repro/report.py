@@ -1,17 +1,27 @@
 """Query-run reports: where did retrieval time go?
 
-Formats a :class:`~repro.engine.PrologMachine`'s aggregate statistics and
-(when retrieval tracing is on) the per-goal retrieval breakdown into the
-kind of report the PDBM project's benchmark campaign would have printed.
+Reporting sits on top of the observability layer (:mod:`repro.obs`):
+the :class:`~repro.obs.MetricsRegistry` aggregates stage-level counters
+across the whole pipeline — disk, FS1, FS2, host software, locks — and
+this module is one consumer of that registry (the CLI's ``stats``
+command and the NDJSON trace export are others).  The per-machine
+:class:`~repro.engine.QueryStats` view of the same run is kept for the
+classic per-goal trace report.
 """
 
 from __future__ import annotations
 
 from .crs import RetrievalStats, SearchMode
 from .engine import PrologMachine
+from .obs import Instrumentation, MetricsRegistry
 from .terms import Term, term_to_string
 
-__all__ = ["format_query_report", "format_retrieval"]
+__all__ = [
+    "format_query_report",
+    "format_retrieval",
+    "format_metrics",
+    "headline_counters",
+]
 
 
 def format_retrieval(goal: Term, stats: RetrievalStats) -> str:
@@ -50,4 +60,68 @@ def format_query_report(machine: PrologMachine, title: str = "query report") -> 
         for goal, retrieval in machine.trace:
             if retrieval is not None:
                 lines.append("  " + format_retrieval(goal, retrieval))
+    if machine.obs.enabled and len(machine.obs.registry):
+        lines.append("")
+        lines.append(format_metrics(machine.obs, title="pipeline metrics"))
+    return "\n".join(lines)
+
+
+def headline_counters(registry: MetricsRegistry) -> dict[str, float]:
+    """The counters every report leads with, present even when zero."""
+    return {
+        "retrievals": registry.total("crs.retrievals"),
+        "cache_hits": registry.total("crs.cache.hits"),
+        "cache_misses": registry.total("crs.cache.misses"),
+        "fs1_searches": registry.total("fs1.searches"),
+        "fs2_search_calls": registry.total("fs2.search_calls"),
+        "disk_bytes": registry.total("disk.bytes_read"),
+        "lock_waits": registry.total("locks.waits"),
+        "deadlocks": registry.total("locks.deadlocks"),
+        "txn_commits": registry.total("txn.commits"),
+        "txn_aborts": registry.total("txn.aborts"),
+    }
+
+
+def format_metrics(
+    source: Instrumentation | MetricsRegistry, title: str = "pipeline metrics"
+) -> str:
+    """Render a metrics registry: headline counters, stage times, dump.
+
+    The stage-time block is the registry's answer to the paper's mode
+    comparison: modelled seconds attributed to the disk stream, the FS1
+    index scan, the FS2 partial unification, and host software.
+    """
+    registry = source.registry if isinstance(source, Instrumentation) else source
+    head = headline_counters(registry)
+    lines = [title, "=" * len(title)]
+    lines.append(
+        "retrievals={:g}  cache hits/misses={:g}/{:g}  "
+        "fs1 searches={:g}  fs2 search calls={:g}".format(
+            head["retrievals"],
+            head["cache_hits"],
+            head["cache_misses"],
+            head["fs1_searches"],
+            head["fs2_search_calls"],
+        )
+    )
+    lines.append(
+        "lock waits={:g}  deadlocks={:g}  txn commits/aborts={:g}/{:g}".format(
+            head["lock_waits"],
+            head["deadlocks"],
+            head["txn_commits"],
+            head["txn_aborts"],
+        )
+    )
+    lines.append("stage sim time (s):")
+    for stage, counter in (
+        ("disk", "disk.sim_time_s"),
+        ("fs1", "fs1.sim_time_s"),
+        ("fs2", "fs2.sim_time_s"),
+        ("software", "software.sim_time_s"),
+    ):
+        lines.append(f"  {stage:<9}: {registry.total(counter):.6f}")
+    if len(registry):
+        lines.append("registry:")
+        for line in registry.render().splitlines():
+            lines.append("  " + line)
     return "\n".join(lines)

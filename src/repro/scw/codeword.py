@@ -204,7 +204,11 @@ class CodewordScheme:
             found.append(f"i:{term.value}")
             return
         if isinstance(term, Float):
-            found.append(f"f:{term.value!r}")
+            # Key by *value equality*, the relation unification uses:
+            # -0.0 == 0.0 must hash identically or FS1 drops a true
+            # unifier (the PIF symbol table already interns by value).
+            value = 0.0 if term.value == 0 else term.value
+            found.append(f"f:{value!r}")
             return
         assert isinstance(term, Struct)
         if term.functor == CONS and term.arity == 2:

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..obs import Instrumentation
+from ..obs import get_default as _default_obs
 from ..terms import Term
 from .codeword import CodewordScheme
 from .index import SecondaryIndexFile
@@ -42,11 +44,13 @@ class FirstStageFilter:
         self,
         scheme: CodewordScheme,
         scan_rate_bytes_per_sec: float = FS1_SCAN_RATE_BYTES_PER_SEC,
+        obs: Instrumentation | None = None,
     ):
         if scan_rate_bytes_per_sec <= 0:
             raise ValueError("scan rate must be positive")
         self.scheme = scheme
         self.scan_rate = scan_rate_bytes_per_sec
+        self.obs = obs if obs is not None else _default_obs()
 
     def search(self, index: SecondaryIndexFile, query: Term) -> FS1Result:
         """All candidate clause addresses for ``query``.
@@ -56,12 +60,31 @@ class FirstStageFilter:
         """
         if index.scheme is not self.scheme and index.scheme != self.scheme:
             raise ValueError("index was built with a different codeword scheme")
-        query_codeword = self.scheme.query_codeword(query)
-        addresses = index.scan(query_codeword)
-        bytes_scanned = index.size_bytes()
-        return FS1Result(
-            candidate_addresses=tuple(addresses),
-            entries_scanned=len(index),
-            bytes_scanned=bytes_scanned,
-            scan_time_s=bytes_scanned / self.scan_rate,
-        )
+        with self.obs.span("fs1.scan", indicator=_render(index.indicator)) as span:
+            query_codeword = self.scheme.query_codeword(query)
+            addresses = index.scan(query_codeword)
+            bytes_scanned = index.size_bytes()
+            result = FS1Result(
+                candidate_addresses=tuple(addresses),
+                entries_scanned=len(index),
+                bytes_scanned=bytes_scanned,
+                scan_time_s=bytes_scanned / self.scan_rate,
+            )
+            span.set(
+                entries=result.entries_scanned,
+                candidates=result.candidate_count,
+                bytes=bytes_scanned,
+                sim_time_s=result.scan_time_s,
+            )
+        obs = self.obs
+        obs.counter("fs1.searches").inc()
+        obs.counter("fs1.entries_scanned").inc(result.entries_scanned)
+        obs.counter("fs1.bytes_scanned").inc(bytes_scanned)
+        obs.counter("fs1.candidates").inc(result.candidate_count)
+        obs.counter("fs1.sim_time_s").inc(result.scan_time_s)
+        return result
+
+
+def _render(indicator: tuple[str, int]) -> str:
+    name, arity = indicator
+    return f"{name}/{arity}"

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, Iterator
 
 from ..disk import DiskSim
+from ..obs import Instrumentation
 from ..pif import ClauseFile, CompiledClause, SymbolTable
 from ..scw import CodewordScheme, DEFAULT_SCHEME, SecondaryIndexFile
 from ..terms import (
@@ -80,10 +81,11 @@ class KnowledgeBase:
         self,
         scheme: CodewordScheme = DEFAULT_SCHEME,
         disk: DiskSim | None = None,
+        obs: Instrumentation | None = None,
     ):
         self.symbols = SymbolTable()
         self.scheme = scheme
-        self.disk = disk if disk is not None else DiskSim()
+        self.disk = disk if disk is not None else DiskSim(obs=obs)
         self._predicates: dict[tuple[str, int], PredicateStore] = {}
         self._modules: dict[str, Module] = {"user": Module("user")}
         #: bumped on every clause addition/removal; caches key on it.

@@ -111,6 +111,74 @@ class TestConsultCommand:
         assert "[stats]" not in output
 
 
+class TestStatsCommand:
+    def test_prints_registry(self, program_file):
+        output = run(
+            ["stats", program_file, "--goal", "parent(tom, X)", "--disk"]
+        )
+        assert "pipeline metrics" in output
+        assert "retrievals=" in output
+        assert "cache hits/misses=" in output
+        assert "lock waits=" in output
+        assert "fs2 search calls=" in output
+        assert "stage sim time (s):" in output
+        assert "registry:" in output
+        assert "crs.retrievals" in output
+
+    def test_cache_flag_counts_hits(self, program_file):
+        output = run(
+            [
+                "stats",
+                program_file,
+                "--goal",
+                "grand(tom, Z)",
+                "--goal",
+                "grand(tom, Z)",
+                "--cache",
+                "16",
+            ]
+        )
+        assert "crs.cache.hits" in output
+
+    def test_trace_json_export(self, program_file, tmp_path):
+        import json
+
+        trace = tmp_path / "trace.ndjson"
+        output = run(
+            [
+                "stats",
+                program_file,
+                "--goal",
+                "parent(tom, X)",
+                "--disk",
+                "--trace-json",
+                str(trace),
+            ]
+        )
+        assert f"spans to {trace}" in output
+        spans = [json.loads(line) for line in trace.read_text().splitlines()]
+        assert spans
+        names = {span["name"] for span in spans}
+        assert "crs.retrieve" in names
+        assert "engine.retrieve" in names
+
+    def test_consult_trace_json(self, program_file, tmp_path):
+        # --trace-json alone turns instrumentation on for plain consult.
+        trace = tmp_path / "trace.ndjson"
+        output = run(
+            [
+                "consult",
+                program_file,
+                "--goal",
+                "parent(tom, X)",
+                "--trace-json",
+                str(trace),
+            ]
+        )
+        assert "wrote" in output and "spans" in output
+        assert trace.exists()
+
+
 class TestDumpCommand:
     def test_dump_fact(self):
         output = run(["dump", "p(a, X, [1, 2])"])

@@ -1,7 +1,5 @@
 """Tests for the CRS retrieval cache and KB versioning."""
 
-import pytest
-
 from repro.crs import ClauseRetrievalServer, SearchMode
 from repro.engine import PrologMachine
 from repro.storage import KnowledgeBase
@@ -88,6 +86,60 @@ class TestRetrievalCache:
         crs.retrieve(goal, mode=SearchMode.SOFTWARE)
         crs.retrieve(goal, mode=SearchMode.FS2_ONLY)
         assert crs.cache_misses == 2
+
+    def test_anonymous_variable_hits_named_variable_entry(self):
+        # p(_, a) and p(X, a) canonicalise to the same key: every `_` is
+        # a singleton, indistinguishable from a named variable used once.
+        kb = KnowledgeBase()
+        kb.consult_text(" ".join(f"q(a{i}, b{i})." for i in range(10)))
+        crs = ClauseRetrievalServer(kb, cache_size=16)
+        crs.retrieve(read_term("q(X, b3)"), mode=SearchMode.SOFTWARE)
+        result = crs.retrieve(read_term("q(_, b3)"), mode=SearchMode.SOFTWARE)
+        assert crs.cache_hits == 1
+        assert crs.cache_misses == 1
+        assert len(result) == 1
+
+    def test_multiple_anonymous_variables_stay_distinct(self):
+        # q(_, _) must NOT share a key with q(X, X): the shared variable
+        # constrains both arguments, the anonymous pair does not.
+        kb = KnowledgeBase()
+        kb.consult_text("q(a, a). q(a, b).")
+        crs = ClauseRetrievalServer(kb, cache_size=16)
+        crs.retrieve(read_term("q(X, X)"), mode=SearchMode.SOFTWARE)
+        result = crs.retrieve(read_term("q(_, _)"), mode=SearchMode.SOFTWARE)
+        assert crs.cache_misses == 2
+        assert len(result) == 2
+
+    def test_variable_renaming_hits(self):
+        kb = make_kb()
+        crs = ClauseRetrievalServer(kb, cache_size=16)
+        crs.retrieve(read_term("p(Foo)"), mode=SearchMode.SOFTWARE)
+        crs.retrieve(read_term("p(Bar)"), mode=SearchMode.SOFTWARE)
+        assert crs.cache_hits == 1
+
+    def test_cache_hit_view_preserves_counts_zeroes_time(self):
+        kb = make_kb()
+        crs = ClauseRetrievalServer(kb, cache_size=16)
+        goal = read_term("p(a3)")
+        miss = crs.retrieve(goal, mode=SearchMode.FS2_ONLY)
+        hit = crs.retrieve(goal, mode=SearchMode.FS2_ONLY)
+        assert miss.stats is not None and hit.stats is not None
+        # Logical volumes survive the cached view...
+        assert hit.stats.clauses_total == miss.stats.clauses_total
+        assert hit.stats.final_candidates == miss.stats.final_candidates
+        assert hit.stats.fs1_candidates == miss.stats.fs1_candidates
+        assert hit.stats.mode == miss.stats.mode
+        # ...but no physical work is charged to a hit.
+        assert hit.stats.disk_time_s == 0.0
+        assert hit.stats.fs1_time_s == 0.0
+        assert hit.stats.fs2_time_s == 0.0
+        assert hit.stats.software_time_s == 0.0
+        assert hit.stats.bytes_from_disk == 0
+        assert hit.stats.fs2_search_calls == 0
+        assert hit.stats.filter_time_s == 0.0
+        # The view is a copy: mutating it cannot corrupt the cache.
+        hit.candidates.clear()
+        assert len(crs.retrieve(goal, mode=SearchMode.FS2_ONLY)) == len(miss)
 
     def test_machine_with_cached_crs(self):
         kb = make_kb()

@@ -76,6 +76,77 @@ class TestLockManager:
         assert not locks.acquire(2, "a", LockMode.EXCLUSIVE)
 
 
+class TestLockFairness:
+    """Regressions for writer starvation and waiter-queue jumping."""
+
+    def test_new_shared_waits_behind_queued_exclusive(self):
+        # Writer starvation: a stream of readers used to be granted over
+        # a waiting writer forever, because grants only checked holders.
+        locks = LockManager()
+        assert locks.acquire(1, ("p", 1), LockMode.SHARED)
+        assert not locks.acquire(2, ("p", 1), LockMode.EXCLUSIVE)
+        assert not locks.acquire(3, ("p", 1), LockMode.SHARED)
+        assert locks.waiters(("p", 1)) == [
+            (2, LockMode.EXCLUSIVE),
+            (3, LockMode.SHARED),
+        ]
+        assert set(locks.holders(("p", 1))) == {1}
+
+    def test_retry_waiters_respects_fifo(self):
+        # A SHARED waiter queued behind an EXCLUSIVE waiter must not be
+        # granted out of order when a holder releases.
+        locks = LockManager()
+        locks.acquire(1, ("p", 1), LockMode.SHARED)
+        locks.acquire(2, ("p", 1), LockMode.SHARED)
+        assert not locks.acquire(3, ("p", 1), LockMode.EXCLUSIVE)
+        assert not locks.acquire(4, ("p", 1), LockMode.SHARED)
+        assert locks.release_all(1) == [("p", 1)]
+        # txn 2 still holds SHARED: the EXCLUSIVE at the head cannot go,
+        # and the SHARED behind it must not jump the queue.
+        assert locks.retry_waiters(("p", 1)) == []
+        assert locks.waiters(("p", 1)) == [
+            (3, LockMode.EXCLUSIVE),
+            (4, LockMode.SHARED),
+        ]
+        locks.release_all(2)
+        assert locks.retry_waiters(("p", 1)) == [3]
+        assert locks.holders(("p", 1)) == {3: LockMode.EXCLUSIVE}
+        locks.release_all(3)
+        assert locks.retry_waiters(("p", 1)) == [4]
+
+    def test_retry_grants_shared_batch_up_to_exclusive(self):
+        locks = LockManager()
+        locks.acquire(1, ("p", 1), LockMode.EXCLUSIVE)
+        assert not locks.acquire(2, ("p", 1), LockMode.SHARED)
+        assert not locks.acquire(3, ("p", 1), LockMode.SHARED)
+        assert not locks.acquire(4, ("p", 1), LockMode.EXCLUSIVE)
+        locks.release_all(1)
+        # Both leading SHARED waiters go together; the EXCLUSIVE stays.
+        assert locks.retry_waiters(("p", 1)) == [2, 3]
+        assert locks.waiters(("p", 1)) == [(4, LockMode.EXCLUSIVE)]
+
+    def test_upgrade_bypasses_waiter_queue(self):
+        # A holder upgrading SHARED -> EXCLUSIVE must not queue behind
+        # other waiters on the same resource, or it deadlocks on itself.
+        locks = LockManager()
+        locks.acquire(1, ("p", 1), LockMode.SHARED)
+        locks.acquire(2, ("p", 1), LockMode.SHARED)
+        assert not locks.acquire(3, ("p", 1), LockMode.EXCLUSIVE)
+        assert not locks.acquire(1, ("p", 1), LockMode.EXCLUSIVE)  # blocked by 2
+        locks.release_all(2)
+        assert locks.retry_waiters(("p", 1)) == [1]
+        assert locks.holders(("p", 1)) == {1: LockMode.EXCLUSIVE}
+
+    def test_release_withdraws_queued_requests(self):
+        locks = LockManager()
+        locks.acquire(1, ("p", 1), LockMode.EXCLUSIVE)
+        assert not locks.acquire(2, ("p", 1), LockMode.EXCLUSIVE)
+        # Aborting txn 2 must drop its queued request, and the resource
+        # counts as touched so the caller retries remaining waiters.
+        assert locks.release_all(2) == [("p", 1)]
+        assert locks.waiters(("p", 1)) == []
+
+
 class TestTransactions:
     def test_commit_releases(self):
         manager = TransactionManager()

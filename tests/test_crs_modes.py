@@ -1,8 +1,6 @@
 """Tests for the CRS search modes, including the mode-equivalence invariant."""
 
 import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro.crs import ClauseRetrievalServer, SearchMode, select_mode
 from repro.storage import KnowledgeBase, Residency
@@ -168,6 +166,81 @@ class TestStats:
         software = crs.retrieve(query, mode=SearchMode.SOFTWARE).stats
         both = crs.retrieve(query, mode=SearchMode.BOTH).stats
         assert both.filter_time_s < software.filter_time_s
+
+
+class TestResultMemoryOverflow:
+    """The 64-satisfier Result Memory limit, end to end."""
+
+    def overflow_kb(self, count=150):
+        # Every record matches the open query: one raw search call over
+        # the whole predicate would capture more satisfiers than the
+        # 6-bit counter allows.
+        kb = KnowledgeBase()
+        kb.consult_text(
+            " ".join(f"hot(k{n}, v). " for n in range(count)), module="data"
+        )
+        kb.module("data").pin(Residency.DISK)
+        kb.sync_to_disk()
+        return kb
+
+    def test_streaming_batches_avoid_overflow(self):
+        from repro.fs2 import MAX_SATISFIERS
+
+        kb = self.overflow_kb(150)
+        crs = ClauseRetrievalServer(kb)
+        result = crs.retrieve(read_term("hot(K, V)"), mode=SearchMode.FS2_ONLY)
+        assert len(result) == 150  # nothing dropped
+        assert result.stats.fs2_search_calls >= -(-150 // MAX_SATISFIERS)
+
+    def test_both_mode_survives_all_matching_track(self):
+        kb = self.overflow_kb(150)
+        crs = ClauseRetrievalServer(kb)
+        result = crs.retrieve(read_term("hot(K, V)"), mode=SearchMode.BOTH)
+        assert len(result) == 150
+        assert result.stats.fs2_search_calls >= 3
+
+    def test_raw_search_call_overflows(self):
+        # The hardware limit is real: bypass the CRS batching and feed
+        # one oversized call straight to FS2.
+        from repro.fs2 import MAX_SATISFIERS, ResultMemoryFull, SecondStageFilter
+
+        kb = self.overflow_kb(MAX_SATISFIERS + 1)
+        store = kb.store(("hot", 2))
+        records = [
+            store.clause_file.record_bytes(position)
+            for position in range(len(store.clause_file))
+        ]
+        fs2 = SecondStageFilter(kb.symbols)
+        fs2.load_microprogram()
+        fs2.set_query(read_term("hot(K, V)"))
+        with pytest.raises(ResultMemoryFull):
+            fs2.search(records, indicator=("hot", 2))
+
+
+class TestSelectiveFetchCost:
+    def test_fetch_does_not_reserialise_the_file(self, fact_kb, monkeypatch):
+        """FS1's selective fetch is O(candidates), not O(predicate).
+
+        The address table is maintained incrementally by the clause
+        file, so a retrieval must not call ``CompiledClause.to_bytes``
+        at all — the old code re-serialised all 300 records per call.
+        """
+        from repro.pif.clausefile import CompiledClause
+
+        crs = ClauseRetrievalServer(fact_kb)
+        query = ground_query_for(fact_kb.clauses(("rec", 3)), seed=2)
+        calls = 0
+        original = CompiledClause.to_bytes
+
+        def counting(self, include_names=True):
+            nonlocal calls
+            calls += 1
+            return original(self, include_names)
+
+        monkeypatch.setattr(CompiledClause, "to_bytes", counting)
+        result = crs.retrieve(query, mode=SearchMode.FS1_ONLY)
+        assert len(result) >= 1
+        assert calls == 0
 
 
 class TestPlanner:

@@ -1,7 +1,5 @@
 """Tests for the conjunction planner (goal reordering by selectivity)."""
 
-import pytest
-
 from repro.crs import ConjunctionPlanner
 from repro.engine import PrologMachine
 from repro.storage import KnowledgeBase

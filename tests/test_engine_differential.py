@@ -79,7 +79,6 @@ def canonical(terms: tuple) -> tuple:
     Fresh-variable names differ between engines (``_Z8`` vs ``_X0_6``);
     only the *pattern* of unbound variables is semantically meaningful.
     """
-    from repro.terms import Term
 
     mapping: dict[str, str] = {}
 

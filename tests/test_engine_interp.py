@@ -4,7 +4,7 @@ import pytest
 
 from repro.engine import ExistenceError, PrologError, PrologMachine
 from repro.storage import KnowledgeBase
-from repro.terms import Int, read_term, term_to_string
+from repro.terms import Int, term_to_string
 
 
 def machine(program: str = "", **kwargs) -> PrologMachine:

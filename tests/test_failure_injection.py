@@ -12,7 +12,6 @@ from repro.fs2 import (
 )
 from repro.fs2.microcode import MicroProgram, assemble_search_program
 from repro.pif import (
-    CompiledClause,
     PIFDecodeError,
     PIFDecoder,
     PIFEncoder,

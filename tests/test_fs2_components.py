@@ -29,7 +29,7 @@ from repro.fs2 import (
 )
 from repro.fs2.buffer import BufferBankBusy
 from repro.fs2.control import in_clare_window
-from repro.pif import PIFEncoder, SymbolTable, scan_items
+from repro.pif import PIFEncoder, SymbolTable
 from repro.terms import read_term
 
 

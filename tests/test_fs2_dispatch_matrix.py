@@ -9,7 +9,7 @@ import pytest
 
 from repro.fs2 import SecondStageFilter
 from repro.pif import SymbolTable, compile_clause
-from repro.terms import Clause, clause_from_term, read_term
+from repro.terms import clause_from_term, read_term
 from repro.unify import PartialMatcher
 
 # (query argument, db argument, expected hit at level 3 + cross binding)

@@ -1,7 +1,5 @@
 """Tests for the disk-to-FS2 streaming co-simulation."""
 
-import pytest
-
 from repro.disk import FUJITSU_M2351A, MICROPOLIS_1325
 from repro.fs2 import SecondStageFilter, simulate_streaming_search
 from repro.pif import SymbolTable, compile_clause

@@ -5,7 +5,6 @@ bytes into decoders, random programs through the storage round-trip) and
 end-to-end invariants over randomly generated knowledge bases.
 """
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -1,7 +1,13 @@
 """Tests for query-run reports and retrieval tracing."""
 
 from repro.engine import PrologMachine
-from repro.report import format_query_report, format_retrieval
+from repro.obs import Instrumentation, MetricsRegistry
+from repro.report import (
+    format_metrics,
+    format_query_report,
+    format_retrieval,
+    headline_counters,
+)
 from repro.storage import KnowledgeBase, Residency
 
 
@@ -71,3 +77,47 @@ class TestReportFormatting:
         machine = PrologMachine(kb)
         report = format_query_report(machine)
         assert "retrievals        : 0" in report
+
+
+class TestMetricsFormatting:
+    def instrumented_machine(self):
+        obs = Instrumentation()
+        kb = KnowledgeBase(obs=obs)
+        kb.consult_text("p(a). p(b).")
+        return PrologMachine(kb, obs=obs), obs
+
+    def test_headline_counters_present_when_zero(self):
+        head = headline_counters(MetricsRegistry())
+        assert head["retrievals"] == 0
+        assert head["lock_waits"] == 0
+        assert set(head) >= {"cache_hits", "fs2_search_calls", "txn_commits"}
+
+    def test_format_metrics_sections(self):
+        machine, obs = self.instrumented_machine()
+        machine.succeeds("p(a)")
+        text = format_metrics(obs, title="demo metrics")
+        assert text.startswith("demo metrics\n============")
+        assert "retrievals=1" in text
+        assert "stage sim time (s):" in text
+        assert "  software " in text
+        assert "registry:" in text
+        assert "crs.retrievals{mode=software}" in text
+
+    def test_format_metrics_accepts_bare_registry(self):
+        registry = MetricsRegistry()
+        registry.counter("locks.waits", mode="X").inc(3)
+        text = format_metrics(registry)
+        assert "lock waits=3" in text
+
+    def test_query_report_appends_metrics_when_enabled(self):
+        machine, obs = self.instrumented_machine()
+        machine.succeeds("p(a)")
+        report = format_query_report(machine)
+        assert "pipeline metrics" in report
+
+    def test_query_report_silent_when_disabled(self):
+        kb = KnowledgeBase()
+        kb.consult_text("p(a).")
+        machine = PrologMachine(kb)
+        machine.succeeds("p(a)")
+        assert "pipeline metrics" not in format_query_report(machine)

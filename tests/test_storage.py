@@ -8,7 +8,7 @@ from repro.storage import (
     Residency,
     UnknownPredicateError,
 )
-from repro.terms import Clause, clause_from_term, read_term
+from repro.terms import clause_from_term, read_term
 
 
 def parse(text):

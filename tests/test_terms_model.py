@@ -9,7 +9,6 @@ from repro.terms import (
     Float,
     Int,
     Struct,
-    Term,
     Var,
     fresh_var,
     functor_indicator,

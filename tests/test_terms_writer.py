@@ -6,8 +6,6 @@ from hypothesis import given
 from repro.terms import (
     Atom,
     Int,
-    Struct,
-    Var,
     atom_needs_quotes,
     make_list,
     read_term,

@@ -2,7 +2,7 @@
 
 from hypothesis import given
 
-from repro.terms import Atom, Int, Struct, Var, read_term, rename_apart, variables
+from repro.terms import Atom, Int, Var, read_term, rename_apart, variables
 from repro.unify import Bindings, occurs_in, unifiable, unify
 from tests.strategies import terms
 

@@ -9,7 +9,6 @@ The central invariants:
   the hardware distinguishes* (it is still allowed to over-accept).
 """
 
-import pytest
 from hypothesis import given, settings
 
 from repro.terms import read_term, rename_apart
