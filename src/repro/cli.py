@@ -24,6 +24,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from .cluster import BatchExecutor, ShardedRetrievalServer, ShardingPolicy
 from .crs import ClauseRetrievalServer, SearchMode
 from .engine import PrologMachine
 from .fs2 import assemble_search_program, table1, worst_case_rate_bytes_per_sec
@@ -74,6 +75,18 @@ def build_parser() -> argparse.ArgumentParser:
             "--trace-json",
             metavar="FILE",
             help="write the span trace as NDJSON to FILE",
+        )
+        sub.add_argument(
+            "--shards",
+            type=int,
+            default=1,
+            help="partition the KB across N CLARE engine instances",
+        )
+        sub.add_argument(
+            "--shard-by",
+            choices=[p.value for p in ShardingPolicy],
+            default=ShardingPolicy.PREDICATE.value,
+            help="shard routing policy (default: predicate)",
         )
     stats.add_argument(
         "--cache", type=int, default=0, help="CRS retrieval cache size (entries)"
@@ -149,6 +162,8 @@ def _cmd_consult(args, out) -> int:
     obs = None
     if getattr(args, "trace_json", None):
         obs = Instrumentation()
+    if args.shards > 1:
+        return _cmd_sharded(args, out, obs)
     machine = _load_machine(args, out, obs)
     for goal_text in args.goal:
         _run_goal(machine, goal_text, args.max_solutions, out)
@@ -169,13 +184,86 @@ def _cmd_consult(args, out) -> int:
 
 
 def _cmd_stats(args, out) -> int:
-    from .report import format_metrics
+    from .report import format_metrics, format_shard_report
 
     obs = Instrumentation()
+    if args.shards > 1:
+        code = _cmd_sharded(args, out, obs, cache_size=args.cache)
+        out.write(format_metrics(obs) + "\n")
+        out.write(format_shard_report(obs.registry) + "\n")
+        return code
     machine = _load_machine(args, out, obs, cache_size=args.cache)
     for goal_text in args.goal:
         _run_goal(machine, goal_text, args.max_solutions, out)
     out.write(format_metrics(obs) + "\n")
+    _write_trace(args, obs, out)
+    return 0
+
+
+def _cmd_sharded(args, out, obs: Instrumentation | None, cache_size: int = 0) -> int:
+    """Consult a program into an N-shard cluster and batch the goals.
+
+    The sharded path is a *retrieval* front-end: goals are clause
+    retrievals answered by full unification over the merged candidates
+    (no builtin evaluation), and the whole goal list also runs as one
+    batch so per-shard busy time and the parallel-disk speedup can be
+    reported.
+    """
+    from .terms import variables
+
+    server = ShardedRetrievalServer(
+        args.shards,
+        args.shard_by,
+        cache_size=cache_size,
+        **({"obs": obs} if obs is not None else {}),
+    )
+    with open(args.file, encoding="utf-8") as handle:
+        count = server.consult_text(handle.read())
+    balance = " ".join(
+        f"s{k}={n}" for k, n in sorted(server.shard_clause_counts().items())
+    )
+    out.write(
+        f"consulted {count} clauses into {args.shards} shards "
+        f"(policy={server.policy.value}): {balance}\n"
+    )
+    if args.disk:
+        server.pin_module("user", Residency.DISK)
+        out.write("shard programs pinned to the simulated disks\n")
+    mode = SearchMode(args.mode) if args.mode else None
+    goals = [read_term(text) for text in args.goal]
+    for goal_text, goal in zip(args.goal, goals):
+        out.write(f"?- {goal_text}.\n")
+        shown = 0
+        for _, bindings in server.solutions(goal, mode=mode):
+            named = [v for v in variables(goal) if not v.is_anonymous()]
+            if not named:
+                out.write("   true\n")
+            else:
+                rendered = ", ".join(
+                    f"{v.name} = {term_to_string(bindings.resolve(v))}"
+                    for v in named
+                )
+                out.write(f"   {rendered}\n")
+            shown += 1
+            if shown >= args.max_solutions:
+                out.write("   ... (solution limit reached)\n")
+                break
+        if shown == 0:
+            out.write("   false\n")
+    if goals:
+        batch = BatchExecutor(server).run(goals, mode=mode)
+        stats = batch.stats
+        busy = " ".join(
+            f"s{k}={v * 1e3:.3f}ms" for k, v in sorted(stats.shard_busy_s.items())
+        )
+        out.write(
+            f"[batch] goals={stats.goals} "
+            f"wall={stats.wall_clock_s * 1e3:.3f}ms "
+            f"serial={stats.serial_time_s * 1e3:.3f}ms "
+            f"speedup={stats.speedup:.2f}x\n"
+        )
+        if busy:
+            out.write(f"[batch] shard busy: {busy}\n")
     _write_trace(args, obs, out)
     return 0
 

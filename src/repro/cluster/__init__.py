@@ -1,0 +1,24 @@
+"""Sharded multi-engine clause retrieval: N CLARE devices, one front door.
+
+:mod:`repro.cluster.routing` places clauses and fans goals out;
+:mod:`repro.cluster.server` runs N complete engine instances behind the
+single-server ``retrieve``/``solutions`` contract; and
+:mod:`repro.cluster.batch` executes goal batches on a thread pool under
+the parallel-disk (max-over-shards) timing model.
+"""
+
+from .batch import BatchExecutor, BatchResult, BatchStats
+from .routing import ShardingPolicy, ShardRouter, stable_shard_hash
+from .server import ClusterShard, MergedRetrievalStats, ShardedRetrievalServer
+
+__all__ = [
+    "BatchExecutor",
+    "BatchResult",
+    "BatchStats",
+    "ClusterShard",
+    "MergedRetrievalStats",
+    "ShardRouter",
+    "ShardedRetrievalServer",
+    "ShardingPolicy",
+    "stable_shard_hash",
+]

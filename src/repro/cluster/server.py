@@ -1,0 +1,450 @@
+"""A sharded, concurrent front-end over N independent CLARE engines.
+
+The paper's CLARE is one two-stage filter (FS1 SCW index scan, FS2
+partial test unification) in front of one disk.  Production traffic
+wants many retrievals in flight against many devices at once, so the
+:class:`ShardedRetrievalServer` partitions the knowledge base across N
+complete engine instances — each shard owns its clause files, SCW+MB
+index, FS2 engine and disk model — and presents the *same*
+``retrieve``/``solutions`` contract as the single-engine
+:class:`~repro.crs.ClauseRetrievalServer`.
+
+Concurrency model: the simulated hardware is stateful (one Result
+Memory, one query register per device), so each shard is guarded by its
+own lock; different shards run genuinely in parallel, one retrieval at a
+time per shard.  Timing model: parallel disks — a broadcast retrieval's
+wall clock is the *maximum* over the queried shards' filter times, not
+their sum; the per-shard breakdown is preserved in
+:class:`MergedRetrievalStats` for the report layer.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..crs import HostCostModel, RetrievalResult, RetrievalStats, SearchMode
+from ..crs.keys import canonical_goal_key
+from ..crs.server import ClauseRetrievalServer
+from ..obs import Instrumentation
+from ..obs import get_default as _default_obs
+from ..scw import CodewordScheme, DEFAULT_SCHEME
+from ..storage import KnowledgeBase, Residency, UnknownPredicateError
+from ..terms import (
+    Clause,
+    Term,
+    clause_from_term,
+    functor_indicator,
+    read_program,
+    rename_apart,
+)
+from ..unify import Bindings, unify
+from .routing import ShardingPolicy, ShardRouter
+
+__all__ = ["ClusterShard", "MergedRetrievalStats", "ShardedRetrievalServer"]
+
+
+@dataclass
+class MergedRetrievalStats(RetrievalStats):
+    """Cluster-level accounting for one goal across its queried shards.
+
+    The count fields (``clauses_total``, ``fs1_candidates``,
+    ``final_candidates``, ``fs2_search_calls``, ``bytes_from_disk``) and
+    the time fields are *sums* over shards — total device work.  The
+    wall clock, :attr:`filter_time_s`, is the max over shards instead:
+    the shards' disks and filter pipelines run in parallel.
+    """
+
+    shards_queried: int = 0
+    broadcast: bool = False
+    per_shard: dict[int, RetrievalStats] = field(default_factory=dict)
+
+    @property
+    def filter_time_s(self) -> float:  # type: ignore[override]
+        """Modelled wall clock: the slowest queried shard's filter time."""
+        if not self.per_shard:
+            return 0.0
+        return max(s.filter_time_s for s in self.per_shard.values())
+
+    @property
+    def serial_filter_time_s(self) -> float:
+        """What the same retrieval would cost on one device at a time."""
+        return sum(s.filter_time_s for s in self.per_shard.values())
+
+
+@dataclass
+class ClusterShard:
+    """One engine instance: its KB, its CRS, and its serialising lock."""
+
+    shard_id: int
+    kb: KnowledgeBase
+    server: ClauseRetrievalServer
+    lock: threading.Lock = field(default_factory=threading.Lock)
+
+
+class ShardedRetrievalServer:
+    """N CLARE engines behind one single-engine-compatible front door."""
+
+    def __init__(
+        self,
+        num_shards: int,
+        policy: ShardingPolicy | str = ShardingPolicy.PREDICATE,
+        scheme: CodewordScheme = DEFAULT_SCHEME,
+        cost_model: HostCostModel | None = None,
+        cross_binding: bool = True,
+        cache_size: int = 0,
+        obs: Instrumentation | None = None,
+    ):
+        self.obs = obs if obs is not None else _default_obs()
+        self.router = ShardRouter(num_shards, policy)
+        self.shards: list[ClusterShard] = []
+        for shard_id in range(num_shards):
+            # Every existing counter/histogram/span the shard's engine
+            # emits is stamped with its shard label; family totals still
+            # aggregate across the whole cluster.
+            shard_obs = self.obs.labelled(shard=str(shard_id))
+            kb = KnowledgeBase(scheme=scheme, obs=shard_obs)
+            server = ClauseRetrievalServer(
+                kb,
+                cost_model=cost_model,
+                cross_binding=cross_binding,
+                cache_size=0,  # caching happens once, at the cluster level
+                obs=shard_obs,
+            )
+            self.shards.append(ClusterShard(shard_id, kb, server))
+        #: bumped on every mutation through this front-end; the cluster
+        #: cache keys on it exactly as the single server keys on
+        #: ``KnowledgeBase.version``.
+        self.version = 0
+        self.cache_size = cache_size
+        self._cache: "OrderedDict[tuple, RetrievalResult]" = OrderedDict()
+        self._cache_lock = threading.Lock()
+        self._cache_version = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    # -- cluster shape -------------------------------------------------------
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    @property
+    def policy(self) -> ShardingPolicy:
+        return self.router.policy
+
+    def clause_count(self) -> int:
+        return sum(shard.kb.clause_count() for shard in self.shards)
+
+    def size_bytes(self) -> int:
+        return sum(shard.kb.size_bytes() for shard in self.shards)
+
+    def shard_clause_counts(self) -> dict[int, int]:
+        """Clauses per shard — the partitioning balance at a glance."""
+        return {s.shard_id: s.kb.clause_count() for s in self.shards}
+
+    # -- loading and updating clauses ---------------------------------------
+
+    def consult_text(self, text: str, module: str = "user") -> int:
+        """Load ``.``-terminated clauses, routing each to its home shard."""
+        count = 0
+        for term in read_program(text):
+            self.add_clause(clause_from_term(term), module=module)
+            count += 1
+        return count
+
+    def consult_clauses(
+        self, clauses: Iterable[Clause], module: str = "user"
+    ) -> int:
+        count = 0
+        for clause in clauses:
+            self.add_clause(clause, module=module)
+            count += 1
+        return count
+
+    def add_clause(self, clause: Clause, module: str = "user") -> int:
+        """Append a clause on its home shard; returns the shard id."""
+        shard_id = self.router.route_clause(clause.head)
+        self.shards[shard_id].kb.add_clause(clause, module=module)
+        self._bump_version()
+        self.obs.counter("cluster.clauses_routed", shard=str(shard_id)).inc()
+        return shard_id
+
+    def assertz(self, clause_or_term: Clause | Term, module: str = "user") -> None:
+        self.add_clause(_as_clause(clause_or_term), module=module)
+
+    def asserta(self, clause_or_term: Clause | Term, module: str = "user") -> None:
+        """Prepend within the clause's home shard.
+
+        Cross-shard clause order is not defined by the cluster (the
+        candidate *set* is what the contract guarantees); within a shard
+        the usual Prolog ordering semantics hold.
+        """
+        clause = _as_clause(clause_or_term)
+        shard_id = self.router.route_clause(clause.head)
+        self.shards[shard_id].kb.asserta(clause, module=module)
+        self._bump_version()
+
+    def retract(self, clause_or_term: Clause | Term) -> bool:
+        """Remove the first matching clause, probing shards in id order."""
+        template = _as_clause(clause_or_term)
+        try:
+            targets = self.router.route_goal(template.head)
+        except UnknownPredicateError:
+            return False
+        for shard_id in targets:
+            shard = self.shards[shard_id]
+            with shard.lock:
+                removed = shard.kb.retract_matching(template)
+            if removed is not None:
+                self._bump_version()
+                return True
+        return False
+
+    def pin_module(self, name: str, residency: str) -> None:
+        """Pin one module's residency on every shard (e.g. to disk)."""
+        for shard in self.shards:
+            shard.kb.module(name).pin(residency)
+        if residency == Residency.DISK:
+            for shard in self.shards:
+                shard.kb.sync_to_disk()
+
+    def sync_to_disk(self) -> dict[int, list[str]]:
+        """Write each shard's disk-resident extents; extents per shard."""
+        return {s.shard_id: s.kb.sync_to_disk() for s in self.shards}
+
+    def _bump_version(self) -> None:
+        with self._cache_lock:
+            self.version += 1
+
+    # -- retrieval -----------------------------------------------------------
+
+    def retrieve(self, goal: Term, mode: SearchMode | None = None) -> RetrievalResult:
+        """Candidates for ``goal`` merged across its routed shards.
+
+        The contract matches the single-engine server: the merged
+        candidate set is identical (the differential suite holds the two
+        implementations against each other), stats itemise where the
+        time went, and with ``cache_size > 0`` repeats are served from
+        the cluster-level LRU until any shard's KB changes.
+        """
+        from ..terms import term_to_string
+
+        with self.obs.span("cluster.retrieve", goal=term_to_string(goal)) as span:
+            cache_key = None
+            version_snapshot = None
+            if self.cache_size > 0:
+                cache_key = (canonical_goal_key(goal), mode)
+                with self._cache_lock:
+                    if self.version != self._cache_version:
+                        self._cache.clear()
+                        self._cache_version = self.version
+                    version_snapshot = self._cache_version
+                    cached = self._cache.get(cache_key)
+                    if cached is not None:
+                        self._cache.move_to_end(cache_key)
+                        self.cache_hits += 1
+                if cached is not None:
+                    self.obs.counter("cluster.cache.hits").inc()
+                    hit = self._cache_hit_view(cached)
+                    span.set(cache="hit", candidates=len(hit.candidates))
+                    self._account_retrieval(hit)
+                    return hit
+                with self._cache_lock:
+                    self.cache_misses += 1
+                self.obs.counter("cluster.cache.misses").inc()
+            targets = self.router.route_goal(goal)  # may raise Unknown…
+            effective_mode = mode if mode is not None else self._plan_mode(goal)
+            if effective_mode is SearchMode.FS1_ONLY:
+                # A raw FS1 scan's codeword false drops are not confined
+                # to the first-arg key's shard: fan out unpruned so the
+                # merged stream matches the single device's exactly.
+                targets = self.router.route_goal(goal, prune=False)
+            shard_results: dict[int, RetrievalResult] = {}
+            for shard_id in targets:
+                shard = self.shards[shard_id]
+                with shard.lock:
+                    shard_results[shard_id] = shard.server.retrieve(
+                        goal, mode=effective_mode
+                    )
+            result = self._merge(goal, effective_mode, shard_results)
+            if cache_key is not None:
+                with self._cache_lock:
+                    # Insert only if no update intervened since this
+                    # thread's start-of-retrieval snapshot — comparing
+                    # the monotonic counter to the snapshot (not to the
+                    # moving ``_cache_version``) closes the window where
+                    # a concurrently re-synced cache would re-admit a
+                    # result computed against the pre-update KB.
+                    if self.version == version_snapshot:
+                        self._cache[cache_key] = result
+                        while len(self._cache) > self.cache_size:
+                            self._cache.popitem(last=False)
+            span.set(
+                shards=len(targets),
+                broadcast=len(targets) > 1,
+                candidates=len(result.candidates),
+            )
+            self._account_retrieval(result)
+            return result
+
+    def solutions(
+        self, goal: Term, mode: SearchMode | None = None
+    ) -> list[tuple[Clause, Bindings]]:
+        """Full unification over the merged candidates."""
+        result = self.retrieve(goal, mode=mode)
+        matches = []
+        for clause in result.candidates:
+            renamed_head = rename_apart(clause.head, keep_anonymous=False)
+            bindings = unify(goal, renamed_head)
+            if bindings is not None:
+                matches.append((clause, bindings))
+        self.obs.counter("cluster.true_matches").inc(len(matches))
+        self.obs.counter("cluster.false_drops").inc(
+            len(result.candidates) - len(matches)
+        )
+        return matches
+
+    def _plan_mode(self, goal: Term) -> SearchMode:
+        """Select one search mode for the whole cluster.
+
+        Mode planning is a *front-end* decision: a shard deciding alone
+        would see only its slice of the predicate (a different size, a
+        different fact fraction) and shards could disagree — merging one
+        shard's raw FS1 candidate stream with another's FS2-refined one.
+        Planning once over an aggregate view of the predicate makes the
+        choice identical to what the single engine's planner would pick
+        over the unpartitioned store.
+        """
+        from ..crs.planner import select_mode
+
+        indicator = functor_indicator(goal)
+        holders = [
+            self.shards[shard_id]
+            for shard_id in self.router.shards_for_indicator(indicator)
+        ]
+        stores = [shard.kb.store(indicator) for shard in holders]
+        residency = holders[0].kb.residency(indicator)
+        return select_mode(goal, _AggregateStore(indicator, stores), residency)
+
+    # -- merging and accounting -----------------------------------------------
+
+    def _merge(
+        self,
+        goal: Term,
+        mode: SearchMode | None,
+        shard_results: dict[int, RetrievalResult],
+    ) -> RetrievalResult:
+        """One result from many: concatenate candidates, fold stats."""
+        per_shard: dict[int, RetrievalStats] = {}
+        candidates: list[Clause] = []
+        merged_mode = mode
+        residencies: set[str] = set()
+        for shard_id in sorted(shard_results):
+            shard_result = shard_results[shard_id]
+            candidates.extend(shard_result.candidates)
+            stats = shard_result.stats
+            if stats is None:
+                continue
+            per_shard[shard_id] = stats
+            residencies.add(stats.residency)
+            if merged_mode is None:
+                merged_mode = stats.mode
+        if merged_mode is None:
+            merged_mode = SearchMode.SOFTWARE
+        residency = (
+            residencies.pop() if len(residencies) == 1
+            else "mixed" if residencies else Residency.MEMORY
+        )
+        stats = MergedRetrievalStats(
+            mode=merged_mode,
+            residency=residency,
+            shards_queried=len(shard_results),
+            broadcast=len(shard_results) > 1,
+            per_shard=per_shard,
+        )
+        for shard_stats in per_shard.values():
+            stats.clauses_total += shard_stats.clauses_total
+            stats.final_candidates += shard_stats.final_candidates
+            stats.fs2_search_calls += shard_stats.fs2_search_calls
+            stats.bytes_from_disk += shard_stats.bytes_from_disk
+            stats.disk_time_s += shard_stats.disk_time_s
+            stats.fs1_time_s += shard_stats.fs1_time_s
+            stats.fs2_time_s += shard_stats.fs2_time_s
+            stats.software_time_s += shard_stats.software_time_s
+            if shard_stats.fs1_candidates is not None:
+                stats.fs1_candidates = (
+                    stats.fs1_candidates or 0
+                ) + shard_stats.fs1_candidates
+        return RetrievalResult(goal=goal, candidates=candidates, stats=stats)
+
+    @staticmethod
+    def _cache_hit_view(result: RetrievalResult) -> RetrievalResult:
+        """A cached cluster result: same candidates, no physical cost."""
+        original = result.stats
+        stats = None
+        if isinstance(original, MergedRetrievalStats):
+            stats = MergedRetrievalStats(
+                mode=original.mode,
+                residency=original.residency,
+                clauses_total=original.clauses_total,
+                fs1_candidates=original.fs1_candidates,
+                final_candidates=original.final_candidates,
+                shards_queried=original.shards_queried,
+                broadcast=original.broadcast,
+                # per_shard stays empty: filter_time_s is 0.0 — a hit
+                # touches no shard hardware at all.
+            )
+        return RetrievalResult(
+            goal=result.goal, candidates=list(result.candidates), stats=stats
+        )
+
+    def _account_retrieval(self, result: RetrievalResult) -> None:
+        stats = result.stats
+        obs = self.obs
+        obs.counter("cluster.retrievals", policy=self.policy.value).inc()
+        obs.counter("cluster.candidates_returned").inc(len(result.candidates))
+        if not isinstance(stats, MergedRetrievalStats):
+            return
+        if stats.per_shard:  # only physical executions count here
+            if stats.broadcast:
+                obs.counter("cluster.broadcasts").inc()
+            else:
+                obs.counter("cluster.single_shard").inc()
+            obs.counter("cluster.wall_clock_s").inc(stats.filter_time_s)
+            obs.counter("cluster.device_time_s").inc(
+                stats.serial_filter_time_s
+            )
+        obs.histogram(
+            "cluster.shards_queried",
+            buckets=(0, 1, 2, 4, 8, 16, 32, 64),
+        ).observe(stats.shards_queried)
+
+
+class _AggregateStore:
+    """A read-only union view of one predicate's per-shard stores.
+
+    Exposes exactly what :func:`repro.crs.planner.select_mode` consumes —
+    ``len`` and an iterable ``clause_file`` — so the cluster's planner
+    sees the same clause population the single engine's planner would.
+    """
+
+    def __init__(self, indicator: tuple[str, int], stores: list):
+        self.indicator = indicator
+        self._stores = stores
+
+    def __len__(self) -> int:
+        return sum(len(store) for store in self._stores)
+
+    @property
+    def clause_file(self):
+        for store in self._stores:
+            yield from store.clause_file
+
+
+def _as_clause(clause_or_term: Clause | Term) -> Clause:
+    if isinstance(clause_or_term, Clause):
+        return clause_or_term
+    return clause_from_term(clause_or_term)

@@ -9,6 +9,7 @@ from .concurrency import (
     TransactionAborted,
     TransactionManager,
 )
+from .keys import canonical_goal_key, constant_index_key, first_arg_index_key
 from .optimizer import ConjunctionPlanner, GoalEstimate
 from .planner import QueryFeatures, analyse_query, select_mode
 from .server import (
@@ -38,5 +39,8 @@ __all__ = [
     "TransactionManager",
     "WouldBlock",
     "analyse_query",
+    "canonical_goal_key",
+    "constant_index_key",
+    "first_arg_index_key",
     "select_mode",
 ]

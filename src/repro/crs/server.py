@@ -19,6 +19,7 @@ host cost model for the software path.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from enum import Enum
 
@@ -33,6 +34,7 @@ from ..storage import KnowledgeBase, PredicateStore, Residency
 from ..terms import Clause, Term, functor_indicator, rename_apart
 from ..unify import Bindings, PartialMatcher, unify
 from ..fs2.result import MAX_SATISFIERS
+from .keys import canonical_goal_key
 
 __all__ = [
     "SearchMode",
@@ -137,10 +139,15 @@ class ClauseRetrievalServer:
         )
         self.fs2.load_microprogram()
         # Optional retrieval cache (LRU), invalidated by KB updates.
+        # Guarded by a lock: the server itself is stateful (FS1/FS2 are
+        # one piece of simulated hardware) and callers serialise whole
+        # retrievals, but cache bookkeeping must stay consistent even
+        # when a front-end probes it from several client threads.
         from collections import OrderedDict
 
         self.cache_size = cache_size
         self._cache: "OrderedDict[tuple, RetrievalResult]" = OrderedDict()
+        self._cache_lock = threading.Lock()
         self._cache_version = kb.version
         self.cache_hits = 0
         self.cache_misses = 0
@@ -159,15 +166,19 @@ class ClauseRetrievalServer:
 
         with self.obs.span("crs.retrieve", goal=term_to_string(goal)) as span:
             cache_key = None
+            version_snapshot = None
             if self.cache_size > 0:
-                if self.kb.version != self._cache_version:
-                    self._cache.clear()
-                    self._cache_version = self.kb.version
-                cache_key = (_canonical_goal_key(goal), mode)
-                cached = self._cache.get(cache_key)
+                cache_key = (canonical_goal_key(goal), mode)
+                with self._cache_lock:
+                    if self.kb.version != self._cache_version:
+                        self._cache.clear()
+                        self._cache_version = self.kb.version
+                    version_snapshot = self._cache_version
+                    cached = self._cache.get(cache_key)
+                    if cached is not None:
+                        self._cache.move_to_end(cache_key)
+                        self.cache_hits += 1
                 if cached is not None:
-                    self._cache.move_to_end(cache_key)
-                    self.cache_hits += 1
                     self.obs.counter("crs.cache.hits").inc()
                     hit = self._cache_hit_view(cached)
                     span.set(cache="hit", candidates=len(hit.candidates))
@@ -175,7 +186,8 @@ class ClauseRetrievalServer:
                     # view's zeroed times keep the sim counters honest.
                     self._account_retrieval(hit)
                     return hit
-                self.cache_misses += 1
+                with self._cache_lock:
+                    self.cache_misses += 1
                 self.obs.counter("crs.cache.misses").inc()
             indicator = functor_indicator(goal)
             store = self.kb.store(indicator)
@@ -190,9 +202,20 @@ class ClauseRetrievalServer:
             }[mode]
             result = handler(goal, store, residency)
             if cache_key is not None:
-                self._cache[cache_key] = result
-                while len(self._cache) > self.cache_size:
-                    self._cache.popitem(last=False)
+                with self._cache_lock:
+                    # A KB update during the retrieval makes this result
+                    # stale; insert only while the version this thread
+                    # started from still holds.  The comparison is
+                    # against the start-of-retrieval snapshot, not the
+                    # current ``_cache_version``: the version counter is
+                    # monotonic, so equality proves no update intervened
+                    # (comparing the moving ``_cache_version`` would
+                    # re-admit a stale result after another thread
+                    # re-synced it past an update).
+                    if self.kb.version == version_snapshot:
+                        self._cache[cache_key] = result
+                        while len(self._cache) > self.cache_size:
+                            self._cache.popitem(last=False)
             span.set(
                 mode=mode.value,
                 residency=residency,
@@ -455,39 +478,7 @@ class ClauseRetrievalServer:
         return decode_compiled(compiled, self.kb.symbols)
 
 
-def _canonical_goal_key(goal: Term) -> str:
-    """A cache key with variables renamed positionally.
-
-    Two retrievals of the same goal shape (e.g. ``p(_G1, a)`` and
-    ``p(_G7, a)``) are the same retrieval: the candidate set depends only
-    on the goal's constants and variable-sharing pattern.  Anonymous
-    variables take part in the same positional scheme — each ``_``
-    occurrence is a fresh singleton, so ``p(_, a)`` and ``p(X, a)`` (X
-    appearing nowhere else) canonicalise identically: a variable that
-    never recurs always passes partial matching regardless of its name.
-    """
-    from ..terms import Struct as _Struct
-    from ..terms import Var as _Var
-    from ..terms import term_to_string as _to_string
-
-    mapping: dict[str, str] = {}
-    counter = 0
-
-    def fresh_name() -> str:
-        nonlocal counter
-        name = f"_C{counter}"
-        counter += 1
-        return name
-
-    def rename(term: Term) -> Term:
-        if isinstance(term, _Var):
-            if term.is_anonymous():
-                return _Var(fresh_name())  # every `_` is its own singleton
-            if term.name not in mapping:
-                mapping[term.name] = fresh_name()
-            return _Var(mapping[term.name])
-        if isinstance(term, _Struct):
-            return _Struct(term.functor, tuple(rename(a) for a in term.args))
-        return term
-
-    return _to_string(rename(goal))
+#: Backwards-compatible alias; the canonicalisation lives in
+#: :mod:`repro.crs.keys` so the cache and the cluster shard router share
+#: one definition of goal identity.
+_canonical_goal_key = canonical_goal_key

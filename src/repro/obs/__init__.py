@@ -15,6 +15,7 @@ from .metrics import (
 )
 from .trace import (
     Instrumentation,
+    LabelledInstrumentation,
     Span,
     TraceRecorder,
     get_default,
@@ -27,6 +28,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "Instrumentation",
+    "LabelledInstrumentation",
     "MetricsRegistry",
     "Span",
     "TraceRecorder",

@@ -41,16 +41,25 @@ def _label_key(labels: dict[str, str]) -> LabelKey:
 
 @dataclass
 class Counter:
-    """A monotonically increasing count (float increments allowed)."""
+    """A monotonically increasing count (float increments allowed).
+
+    Updates are lock-protected: ``value += amount`` is read-modify-write,
+    and concurrent shard workers must never lose increments (the stress
+    suite asserts registry totals equal the sum of per-call stats).
+    """
 
     name: str
     labels: LabelKey = ()
     value: float = 0.0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def inc(self, amount: float = 1) -> None:
         if amount < 0:
             raise ValueError("counters only go up; use a Gauge")
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
 
 @dataclass
@@ -60,15 +69,21 @@ class Gauge:
     name: str
     labels: LabelKey = ()
     value: float = 0.0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def set(self, value: float) -> None:
-        self.value = value
+        with self._lock:
+            self.value = value
 
     def inc(self, amount: float = 1) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def dec(self, amount: float = 1) -> None:
-        self.value -= amount
+        with self._lock:
+            self.value -= amount
 
 
 @dataclass
@@ -87,22 +102,26 @@ class Histogram:
     count: int = 0
     min: float | None = None
     max: float | None = None
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if not self.counts:
             self.counts = [0] * (len(self.buckets) + 1)
 
     def observe(self, value: float) -> None:
-        for position, bound in enumerate(self.buckets):
-            if value <= bound:
-                self.counts[position] += 1
-                break
-        else:
-            self.counts[-1] += 1
-        self.sum += value
-        self.count += 1
-        self.min = value if self.min is None else min(self.min, value)
-        self.max = value if self.max is None else max(self.max, value)
+        with self._lock:
+            for position, bound in enumerate(self.buckets):
+                if value <= bound:
+                    self.counts[position] += 1
+                    break
+            else:
+                self.counts[-1] += 1
+            self.sum += value
+            self.count += 1
+            self.min = value if self.min is None else min(self.min, value)
+            self.max = value if self.max is None else max(self.max, value)
 
     @property
     def mean(self) -> float:

@@ -19,6 +19,7 @@ attribute check per call site — so nothing is recorded unless a driver
 from __future__ import annotations
 
 import json
+import threading
 import time
 from collections import deque
 from contextlib import contextmanager
@@ -31,6 +32,7 @@ __all__ = [
     "Span",
     "TraceRecorder",
     "Instrumentation",
+    "LabelledInstrumentation",
     "get_default",
     "set_default",
 ]
@@ -86,6 +88,7 @@ class TraceRecorder:
     def __init__(self, capacity: int = 4096):
         self._spans: deque[Span] = deque(maxlen=capacity)
         self._next_id = 1
+        self._id_lock = threading.Lock()
 
     def __len__(self) -> int:
         return len(self._spans)
@@ -94,15 +97,16 @@ class TraceRecorder:
         return iter(self._spans)
 
     def new_span(self, name: str, parent_id: int | None, **attrs) -> Span:
-        span = Span(
-            span_id=self._next_id,
+        with self._id_lock:
+            span_id = self._next_id
+            self._next_id += 1
+        return Span(
+            span_id=span_id,
             parent_id=parent_id,
             name=name,
             start_s=time.perf_counter(),
             attrs=dict(attrs),
         )
-        self._next_id += 1
-        return span
 
     def record(self, span: Span) -> None:
         if span.end_s is None:
@@ -157,10 +161,20 @@ class Instrumentation:
         self.registry = registry if registry is not None else MetricsRegistry()
         self.recorder = recorder if recorder is not None else TraceRecorder()
         self.enabled = enabled
-        self._stack: list[int] = []
+        # Span nesting is per *thread*: concurrent shard workers each get
+        # their own parent stack, so one worker closing a span can never
+        # mis-parent (or pop) a span another worker has open.
+        self._local = threading.local()
         self._null_counter = Counter("null")
         self._null_gauge = Gauge("null")
         self._null_histogram = Histogram("null")
+
+    @property
+    def _stack(self) -> list[int]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
 
     def enable(self) -> "Instrumentation":
         self.enabled = True
@@ -215,6 +229,69 @@ class Instrumentation:
     def clear(self) -> None:
         self.registry.reset()
         self.recorder.clear()
+
+    # -- label scoping -------------------------------------------------------
+
+    def labelled(self, **labels: str) -> "LabelledInstrumentation":
+        """A view of this instrumentation that stamps ``labels`` on
+        every metric and span (e.g. ``obs.labelled(shard="3")``).
+
+        The view shares this instrumentation's registry and recorder, so
+        family totals still aggregate across all label combinations —
+        ``registry.total("crs.retrievals")`` covers every shard — while
+        each shard's share stays separately addressable.
+        """
+        return LabelledInstrumentation(
+            self, {k: str(v) for k, v in labels.items()}
+        )
+
+
+class LabelledInstrumentation:
+    """An :class:`Instrumentation` view adding fixed labels to all calls.
+
+    Components take it anywhere an ``obs`` is accepted: it exposes the
+    same ``counter``/``gauge``/``histogram``/``span`` surface plus the
+    shared ``registry``/``recorder``/``enabled`` of its base, so a shard
+    can be built with ``obs.labelled(shard="0")`` and every existing
+    call site transparently becomes a per-shard time series.
+    """
+
+    def __init__(self, base: Instrumentation, labels: dict[str, str]):
+        self._base = base
+        self.labels = dict(labels)
+
+    @property
+    def enabled(self) -> bool:
+        return self._base.enabled
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        return self._base.registry
+
+    @property
+    def recorder(self) -> TraceRecorder:
+        return self._base.recorder
+
+    def labelled(self, **labels: str) -> "LabelledInstrumentation":
+        merged = dict(self.labels)
+        merged.update({k: str(v) for k, v in labels.items()})
+        return LabelledInstrumentation(self._base, merged)
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        return self._base.counter(name, **{**self.labels, **labels})
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        return self._base.gauge(name, **{**self.labels, **labels})
+
+    def histogram(
+        self, name: str, buckets: tuple[float, ...] | None = None, **labels: str
+    ) -> Histogram:
+        return self._base.histogram(
+            name, buckets=buckets, **{**self.labels, **labels}
+        )
+
+    def span(self, name: str, **attrs):
+        return self._base.span(name, **{**self.labels, **attrs})
 
 
 #: Process-wide default, disabled until a driver opts in.

@@ -47,7 +47,15 @@ class SymbolTable:
         return offset
 
     def intern_float(self, value: float) -> int:
-        """Offset for a float value, allocating if new."""
+        """Offset for a float value, allocating if new.
+
+        ``-0.0`` interns as ``0.0``: the two unify (and hash/compare
+        equal as dict keys, so they could never hold separate entries
+        anyway) — canonicalising makes the decoded sign independent of
+        which zero happened to be interned first.
+        """
+        if value == 0.0:
+            value = 0.0
         offset = self._float_index.get(value)
         if offset is None:
             offset = self._allocate(("float", value))

@@ -20,7 +20,9 @@ __all__ = [
     "format_query_report",
     "format_retrieval",
     "format_metrics",
+    "format_shard_report",
     "headline_counters",
+    "shard_breakdown",
 ]
 
 
@@ -80,6 +82,88 @@ def headline_counters(registry: MetricsRegistry) -> dict[str, float]:
         "txn_commits": registry.total("txn.commits"),
         "txn_aborts": registry.total("txn.aborts"),
     }
+
+
+#: The per-shard counter families the cluster report itemises.
+_SHARD_STAGES = (
+    ("retrievals", "crs.retrievals"),
+    ("clauses", "crs.clauses_scanned"),
+    ("candidates", "crs.candidates_returned"),
+    ("disk_s", "disk.sim_time_s"),
+    ("fs1_s", "fs1.sim_time_s"),
+    ("fs2_s", "fs2.sim_time_s"),
+    ("software_s", "software.sim_time_s"),
+)
+
+
+def shard_breakdown(registry: MetricsRegistry) -> dict[str, dict[str, float]]:
+    """Per-shard totals of the stage counters, keyed by shard label.
+
+    Every engine-level counter a shard emits carries its ``shard`` label
+    (see :meth:`repro.obs.Instrumentation.labelled`); this folds each
+    family per shard, summing across its other labels (e.g. mode).
+    """
+    shards: dict[str, dict[str, float]] = {}
+    for instrument in registry:
+        labels = dict(instrument.labels)
+        shard = labels.get("shard")
+        if shard is None or not hasattr(instrument, "value"):
+            continue
+        for stage, family in _SHARD_STAGES:
+            if instrument.name == family:
+                row = shards.setdefault(shard, {s: 0.0 for s, _ in _SHARD_STAGES})
+                row[stage] += instrument.value
+    return shards
+
+
+def format_shard_report(registry: MetricsRegistry) -> str:
+    """The cluster view: per-shard work split and the batch speedup.
+
+    The speedup line compares the parallel-disk wall clock
+    (max-over-shards) with what one device running the same work in
+    sequence would cost — the measured gain over a 1-shard cluster.
+    """
+    lines = ["shard breakdown", "=" * len("shard breakdown")]
+    shards = shard_breakdown(registry)
+    if not shards:
+        lines.append("(no shard-labelled metrics recorded)")
+        return "\n".join(lines)
+    header = f"{'shard':<6}" + "".join(
+        f"{stage:>12}" for stage, _ in _SHARD_STAGES
+    )
+    lines.append(header)
+    for shard in sorted(shards, key=lambda s: (len(s), s)):
+        row = shards[shard]
+        cells = []
+        for stage, _ in _SHARD_STAGES:
+            value = row[stage]
+            if stage.endswith("_s"):
+                cells.append(f"{value:>12.6f}")
+            else:
+                cells.append(f"{value:>12g}")
+        lines.append(f"{shard:<6}" + "".join(cells))
+    wall = registry.total("cluster.wall_clock_s")
+    device = registry.total("cluster.device_time_s")
+    batch_wall = registry.total("cluster.batch.wall_clock_s")
+    batch_serial = registry.total("cluster.batch.serial_time_s")
+    if device > 0.0 and wall > 0.0:
+        lines.append(
+            f"retrieval wall clock: {wall:.6f}s over {device:.6f}s device "
+            f"time ({device / wall:.2f}x vs 1 shard)"
+        )
+    if batch_wall > 0.0:
+        lines.append(
+            f"batch wall clock    : {batch_wall:.6f}s over {batch_serial:.6f}s "
+            f"serial ({batch_serial / batch_wall:.2f}x vs 1 shard)"
+        )
+    broadcasts = registry.total("cluster.broadcasts")
+    single = registry.total("cluster.single_shard")
+    if broadcasts or single:
+        lines.append(
+            f"routing             : {single:g} single-shard, "
+            f"{broadcasts:g} broadcast"
+        )
+    return "\n".join(lines)
 
 
 def format_metrics(

@@ -192,3 +192,74 @@ class TestDumpCommand:
         output = run(["dump", "q(X) :- p(X)"])
         assert "clause q/1 (rule)" in output
         assert "body:" in output
+
+
+class TestShardedCommands:
+    @pytest.fixture
+    def facts_file(self, tmp_path):
+        path = tmp_path / "facts.pl"
+        path.write_text(
+            " ".join(f"parent(p{i}, c{i})." for i in range(20))
+            + "\nparent(X, orphan).\n"
+        )
+        return str(path)
+
+    def test_consult_with_shards_reports_balance(self, facts_file):
+        output = run(
+            ["consult", facts_file, "--shards", "3", "--goal", "parent(p3, X)"]
+        )
+        assert "into 3 shards (policy=predicate)" in output
+        assert "X = c3" in output
+        assert "[batch] goals=1" in output
+
+    def test_shard_by_first_arg_broadcast_goal(self, facts_file):
+        output = run(
+            [
+                "consult", facts_file,
+                "--shards", "4", "--shard-by", "first_arg",
+                "--goal", "parent(W, W)",
+            ]
+        )
+        # Only the catch-all parent(X, orphan) head unifies with W=W... the
+        # shared-variable goal must broadcast and still find it.
+        assert "W = orphan" in output
+
+    def test_sharded_goal_with_no_solutions_prints_false(self, facts_file):
+        output = run(
+            ["consult", facts_file, "--shards", "2", "--goal", "parent(zz, yy)"]
+        )
+        assert "false" in output
+
+    def test_sharded_stats_prints_shard_breakdown(self, facts_file):
+        output = run(
+            [
+                "stats", facts_file,
+                "--shards", "3", "--shard-by", "round_robin",
+                "--goal", "parent(p1, X)", "--goal", "parent(p1, X)",
+                "--cache", "8",
+            ]
+        )
+        assert "shard breakdown" in output
+        assert "pipeline metrics" in output
+        assert "[batch]" in output
+        # Round-robin broadcasts: the routing summary line must show it.
+        assert "broadcast" in output
+
+    def test_sharded_disk_pinning(self, facts_file):
+        output = run(
+            [
+                "consult", facts_file, "--shards", "2", "--disk",
+                "--goal", "parent(p7, X)",
+            ]
+        )
+        assert "pinned to the simulated disks" in output
+        assert "X = c7" in output
+
+    def test_sharded_forced_mode(self, facts_file):
+        output = run(
+            [
+                "consult", facts_file, "--shards", "2",
+                "--mode", "fs1", "--goal", "parent(p2, X)",
+            ]
+        )
+        assert "X = c2" in output

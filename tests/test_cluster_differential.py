@@ -1,0 +1,283 @@
+"""Differential harness: sharded retrieval must equal the single engine.
+
+For any knowledge base, any goal, any shard count, any routing policy and
+any of the four CRS search modes, :class:`ShardedRetrievalServer` must
+return exactly the same clause set (order-insensitive, multiplicities
+included) as one :class:`ClauseRetrievalServer` over the unpartitioned
+KB.  Shared-variable goals such as ``married_couple(X, X)`` have an
+unbound first argument and must broadcast; goals with >12-argument
+predicates exercise the FS1 codeword truncation limit through every
+shard policy.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import ShardedRetrievalServer, ShardingPolicy
+from repro.crs import ClauseRetrievalServer, SearchMode
+from repro.storage import KnowledgeBase, Residency, UnknownPredicateError
+from repro.terms import Clause, Struct, Var, read_term
+
+from .strategies import clause_heads, terms
+
+ALL_POLICIES = list(ShardingPolicy)
+ALL_MODES = list(SearchMode)
+
+
+def candidate_multiset(result):
+    return sorted(str(clause) for clause in result.candidates)
+
+
+def build_single(clauses):
+    kb = KnowledgeBase()
+    kb.consult_clauses(clauses)
+    return ClauseRetrievalServer(kb)
+
+
+def build_sharded(clauses, num_shards, policy, **kwargs):
+    server = ShardedRetrievalServer(num_shards, policy, **kwargs)
+    server.consult_clauses(clauses)
+    return server
+
+
+def assert_differential(clauses, goals, shard_counts, policies, modes):
+    single = build_single(clauses)
+    for policy in policies:
+        for num_shards in shard_counts:
+            sharded = build_sharded(clauses, num_shards, policy)
+            for goal in goals:
+                for mode in modes:
+                    expected = candidate_multiset(
+                        single.retrieve(goal, mode=mode)
+                    )
+                    got = candidate_multiset(
+                        sharded.retrieve(goal, mode=mode)
+                    )
+                    assert got == expected, (
+                        f"policy={policy.value} shards={num_shards} "
+                        f"goal={goal} mode={mode}"
+                    )
+
+
+def goals_for(heads_strategy):
+    """Goals shaped like the clause heads, variables included."""
+    return heads_strategy
+
+
+class TestDifferentialProperty:
+    """Random KBs and goals: every policy, shard count and mode agrees."""
+
+    @given(
+        heads=st.lists(
+            clause_heads(functor="p", arity=3), min_size=1, max_size=14
+        ),
+        goal=clause_heads(functor="p", arity=3),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_same_clause_set_all_policies_and_modes(self, heads, goal):
+        clauses = [Clause(head=h) for h in heads]
+        assert_differential(
+            clauses, [goal], (1, 4), ALL_POLICIES, ALL_MODES
+        )
+
+    @given(
+        heads=st.lists(
+            clause_heads(functor="p", arity=2, include_variables=False),
+            min_size=1,
+            max_size=10,
+        ),
+        shared=st.booleans(),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_shared_variable_goals_broadcast_correctly(self, heads, shared):
+        clauses = [Clause(head=h) for h in heads]
+        # married_couple(X, X)-style goal: the shared variable makes the
+        # first argument unindexable, forcing a broadcast.
+        goal = (
+            Struct("p", (Var("X"), Var("X")))
+            if shared
+            else Struct("p", (Var("X"), Var("Y")))
+        )
+        assert_differential(
+            clauses, [goal], (2, 7), ALL_POLICIES, ALL_MODES
+        )
+
+    @pytest.mark.slow
+    @given(
+        heads=st.lists(
+            clause_heads(functor="p", arity=3), min_size=1, max_size=20
+        ),
+        goals=st.lists(
+            clause_heads(functor="p", arity=3), min_size=1, max_size=3
+        ),
+        extra=st.lists(terms(max_depth=2), min_size=0, max_size=4),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_exhaustive_shard_counts(self, heads, goals, extra):
+        clauses = [Clause(head=h) for h in heads]
+        clauses += [Clause(head=Struct("q", (t,))) for t in extra]
+        assert_differential(
+            clauses, goals, (1, 2, 4, 7), ALL_POLICIES, ALL_MODES
+        )
+
+
+class TestFixedScenarios:
+    PROGRAM = """
+    parent(tom, bob). parent(tom, liz). parent(bob, ann).
+    parent(pat, jim). parent(liz, joe). parent(X, anyone).
+    married_couple(x, x). married_couple(a, b). married_couple(c, c).
+    married_couple(Y, Y).
+    tiny(1). tiny(2.0). tiny(-0.0). tiny(f(g)).
+    """
+
+    def clauses(self):
+        kb = KnowledgeBase()
+        kb.consult_text(self.PROGRAM)
+        return [
+            clause
+            for indicator in kb.predicates()
+            for clause in kb.clauses(indicator)
+        ]
+
+    GOALS = [
+        "parent(tom, X)",
+        "parent(X, Y)",
+        "married_couple(W, W)",
+        "married_couple(x, Z)",
+        "married_couple(A, B)",
+        "tiny(2.0)",
+        "tiny(0.0)",
+        "tiny(f(X))",
+    ]
+
+    def test_fixed_goals_all_policies(self):
+        clauses = self.clauses()
+        goals = [read_term(text) for text in self.GOALS]
+        assert_differential(
+            clauses, goals, (1, 2, 4, 7), ALL_POLICIES, ALL_MODES
+        )
+
+    def test_planner_selected_mode_agrees(self):
+        clauses = self.clauses()
+        single = build_single(clauses)
+        for policy in ALL_POLICIES:
+            sharded = build_sharded(clauses, 4, policy)
+            for text in self.GOALS:
+                goal = read_term(text)
+                assert candidate_multiset(
+                    sharded.retrieve(goal)
+                ) == candidate_multiset(single.retrieve(goal))
+
+    def test_solutions_agree(self):
+        clauses = self.clauses()
+        single = build_single(clauses)
+        for policy in ALL_POLICIES:
+            sharded = build_sharded(clauses, 4, policy)
+            for text in self.GOALS:
+                goal = read_term(text)
+                expected = sorted(
+                    str(clause) for clause, _ in single.solutions(goal)
+                )
+                got = sorted(
+                    str(clause) for clause, _ in sharded.solutions(goal)
+                )
+                assert got == expected, (policy, text)
+
+    def test_unknown_predicate_raises_like_single_engine(self):
+        clauses = self.clauses()
+        goal = read_term("nosuch(a, b)")
+        single = build_single(clauses)
+        with pytest.raises(UnknownPredicateError):
+            single.retrieve(goal)
+        for policy in ALL_POLICIES:
+            sharded = build_sharded(clauses, 3, policy)
+            with pytest.raises(UnknownPredicateError):
+                sharded.retrieve(goal)
+
+    def test_disk_resident_shards_agree(self):
+        clauses = self.clauses()
+        kb = KnowledgeBase()
+        kb.consult_clauses(clauses)
+        kb.module("user").pin(Residency.DISK)
+        kb.sync_to_disk()
+        single = ClauseRetrievalServer(kb)
+        goals = [read_term(text) for text in self.GOALS]
+        for policy in ALL_POLICIES:
+            sharded = build_sharded(clauses, 3, policy)
+            sharded.pin_module("user", Residency.DISK)
+            for goal in goals:
+                for mode in ALL_MODES:
+                    assert candidate_multiset(
+                        sharded.retrieve(goal, mode=mode)
+                    ) == candidate_multiset(single.retrieve(goal, mode=mode))
+
+    def test_updates_visible_through_sharded_front_end(self):
+        clauses = self.clauses()
+        for policy in ALL_POLICIES:
+            sharded = build_sharded(clauses, 4, policy, cache_size=8)
+            before = len(sharded.retrieve(read_term("parent(X, Y)")))
+            sharded.assertz(read_term("parent(new, comer)"))
+            assert (
+                len(sharded.retrieve(read_term("parent(X, Y)"))) == before + 1
+            )
+            assert sharded.retract(read_term("parent(new, comer)"))
+            assert len(sharded.retrieve(read_term("parent(X, Y)"))) == before
+
+
+class TestFS1TruncationEdge:
+    """The paper's 12-argument codeword limit, through every policy.
+
+    Clause heads with more than 12 encoded arguments are truncated by
+    the SCW generator: arguments beyond the limit contribute nothing to
+    the codeword, so FS1 may pass false drops that FS2 (or software)
+    filters — but a matching clause must *never* be falsely dismissed,
+    on any shard, under any routing policy.
+    """
+
+    ARITY = 14  # beyond the 12-argument codeword truncation limit
+
+    def wide_clauses(self):
+        def fact(args):
+            return Clause(head=Struct("wide", tuple(args)))
+
+        from repro.terms import Atom
+
+        base = [Atom(f"c{i}") for i in range(self.ARITY)]
+        variant = list(base)
+        variant[13] = Atom("different")  # differs only beyond the limit
+        other = [Atom(f"d{i}") for i in range(self.ARITY)]
+        return [fact(base), fact(variant), fact(other)]
+
+    def test_wide_heads_retrievable_everywhere(self):
+        clauses = self.wide_clauses()
+        goals = [
+            read_term(
+                "wide(" + ",".join(f"c{i}" for i in range(self.ARITY)) + ")"
+            ),
+            # Pin only the post-truncation argument: invisible to FS1.
+            Struct(
+                "wide",
+                tuple(
+                    [Var(f"A{i}") for i in range(13)]
+                    + [read_term("different")]
+                ),
+            ),
+            Struct("wide", tuple(Var(f"B{i}") for i in range(self.ARITY))),
+        ]
+        assert_differential(
+            clauses, goals, (1, 2, 4, 7), ALL_POLICIES, ALL_MODES
+        )
+
+    def test_no_false_dismissal_beyond_truncation(self):
+        clauses = self.wide_clauses()
+        goal = Struct(
+            "wide",
+            tuple([Var(f"A{i}") for i in range(13)] + [read_term("different")]),
+        )
+        for policy in ALL_POLICIES:
+            sharded = build_sharded(clauses, 4, policy)
+            for mode in ALL_MODES:
+                matches = sharded.solutions(goal, mode=mode)
+                assert len(matches) == 1, (policy, mode)
+                assert "different" in str(matches[0][0])

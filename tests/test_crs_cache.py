@@ -148,3 +148,65 @@ class TestRetrievalCache:
         machine = PrologMachine(kb, crs=crs)
         assert machine.count_solutions("q(a7)") == 1
         assert crs.cache_hits >= 1
+
+
+class TestCanonicalGoalKey:
+    """Regression tests for the shared canonical goal key (repro.crs.keys).
+
+    The key is used both as the retrieval cache identity and as the shard
+    router's goal identity; the string-rendered predecessor could be fooled
+    by spelling (a quoted atom that *looks* like a renamed variable) and
+    made p(X, Y) and p(X, X) ambiguous under renaming.
+    """
+
+    def test_shared_vs_distinct_variables_never_collide(self):
+        from repro.crs import canonical_goal_key
+
+        shared = canonical_goal_key(read_term("p(X, X)"))
+        distinct = canonical_goal_key(read_term("p(X, Y)"))
+        assert shared != distinct
+        # ...and renaming cannot make them collide either.
+        assert shared == canonical_goal_key(read_term("p(Q, Q)"))
+        assert distinct == canonical_goal_key(read_term("p(A, B)"))
+
+    def test_quoted_atom_cannot_spoof_a_variable(self):
+        from repro.crs import canonical_goal_key
+
+        atom_goal = read_term("p('_v0', '_v0')")
+        var_goal = read_term("p(X, X)")
+        assert canonical_goal_key(atom_goal) != canonical_goal_key(var_goal)
+
+    def test_int_and_float_keys_distinct(self):
+        from repro.crs import canonical_goal_key
+
+        assert canonical_goal_key(read_term("p(1)")) != canonical_goal_key(
+            read_term("p(1.0)")
+        )
+
+    def test_negative_zero_keys_like_positive_zero(self):
+        from repro.crs import canonical_goal_key
+
+        assert canonical_goal_key(read_term("p(-0.0)")) == canonical_goal_key(
+            read_term("p(0.0)")
+        )
+
+    def test_routing_key_is_the_cache_key_for_ground_goals(self):
+        from repro.cluster import ShardRouter, ShardingPolicy
+        from repro.crs import canonical_goal_key
+
+        router = ShardRouter(4, ShardingPolicy.FIRST_ARG)
+        for text in ["p(a, b)", "p(f(g(1)), [x, y])", "p(1.5, 'q w')"]:
+            goal = read_term(text)
+            assert router.routing_key(goal) == canonical_goal_key(goal)
+
+    def test_cache_separates_sharing_patterns_end_to_end(self):
+        kb = KnowledgeBase()
+        kb.consult_text("r(a, a). r(a, b).")
+        crs = ClauseRetrievalServer(kb, cache_size=16)
+        both = crs.retrieve(read_term("r(X, Y)"), mode=SearchMode.SOFTWARE)
+        shared = crs.retrieve(read_term("r(X, X)"), mode=SearchMode.SOFTWARE)
+        assert crs.cache_misses == 2 and crs.cache_hits == 0
+        assert len(both) == 2
+        # The shared-variable goal is a *different* retrieval; serving it
+        # from r(X, Y)'s entry would be unsound for FS2-filtered modes.
+        assert len(shared) >= 1
