@@ -9,11 +9,29 @@ registered table in the terminal summary (uncaptured) and writes them to
 import pathlib
 import sys
 
+import pytest
+
 sys.path.insert(0, str(pathlib.Path(__file__).parent))
 
 from tables import format_tables, registered_tables  # noqa: E402
 
 RESULTS_PATH = pathlib.Path(__file__).parent / "results.txt"
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--quick",
+        action="store_true",
+        default=False,
+        help="shrink benchmark workloads for CI smoke runs (fewer "
+        "entries, relaxed speedup floors)",
+    )
+
+
+@pytest.fixture
+def quick(request) -> bool:
+    """True when the suite runs under ``--quick`` (CI smoke mode)."""
+    return request.config.getoption("--quick")
 
 
 def pytest_terminal_summary(terminalreporter):

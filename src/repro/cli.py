@@ -88,6 +88,13 @@ def build_parser() -> argparse.ArgumentParser:
             default=ShardingPolicy.PREDICATE.value,
             help="shard routing policy (default: predicate)",
         )
+        sub.add_argument(
+            "--fs1-mode",
+            choices=["bitsliced", "naive"],
+            default="bitsliced",
+            help="FS1 scan engine: columnar bit-sliced index or the "
+            "per-entry naive loop (default: bitsliced)",
+        )
     stats.add_argument(
         "--cache", type=int, default=0, help="CRS retrieval cache size (entries)"
     )
@@ -215,6 +222,7 @@ def _cmd_sharded(args, out, obs: Instrumentation | None, cache_size: int = 0) ->
         args.shards,
         args.shard_by,
         cache_size=cache_size,
+        fs1_mode=getattr(args, "fs1_mode", "bitsliced"),
         **({"obs": obs} if obs is not None else {}),
     )
     with open(args.file, encoding="utf-8") as handle:
@@ -251,7 +259,9 @@ def _cmd_sharded(args, out, obs: Instrumentation | None, cache_size: int = 0) ->
         if shown == 0:
             out.write("   false\n")
     if goals:
-        batch = BatchExecutor(server).run(goals, mode=mode)
+        # The batch goes through the per-shard batched-FS1 path: each
+        # shard amortises its sub-queries over one columnar index pass.
+        batch = BatchExecutor(server).run(goals, mode=mode, batch_fs1=True)
         stats = batch.stats
         busy = " ".join(
             f"s{k}={v * 1e3:.3f}ms" for k, v in sorted(stats.shard_busy_s.items())
@@ -280,9 +290,12 @@ def _load_machine(
         kb.sync_to_disk()
         out.write("program pinned to the simulated disk\n")
     mode = SearchMode(args.mode) if args.mode else None
-    crs = None
-    if obs is not None:
-        crs = ClauseRetrievalServer(kb, cache_size=cache_size, obs=obs)
+    crs = ClauseRetrievalServer(
+        kb,
+        cache_size=cache_size,
+        fs1_mode=getattr(args, "fs1_mode", "bitsliced"),
+        **({"obs": obs} if obs is not None else {}),
+    )
     return PrologMachine(
         kb,
         crs=crs,

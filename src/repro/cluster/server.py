@@ -96,6 +96,7 @@ class ShardedRetrievalServer:
         cross_binding: bool = True,
         cache_size: int = 0,
         obs: Instrumentation | None = None,
+        fs1_mode: str = "bitsliced",
     ):
         self.obs = obs if obs is not None else _default_obs()
         self.router = ShardRouter(num_shards, policy)
@@ -112,6 +113,7 @@ class ShardedRetrievalServer:
                 cross_binding=cross_binding,
                 cache_size=0,  # caching happens once, at the cluster level
                 obs=shard_obs,
+                fs1_mode=fs1_mode,
             )
             self.shards.append(ClusterShard(shard_id, kb, server))
         #: bumped on every mutation through this front-end; the cluster
@@ -237,31 +239,13 @@ class ShardedRetrievalServer:
             version_snapshot = None
             if self.cache_size > 0:
                 cache_key = (canonical_goal_key(goal), mode)
-                with self._cache_lock:
-                    if self.version != self._cache_version:
-                        self._cache.clear()
-                        self._cache_version = self.version
-                    version_snapshot = self._cache_version
-                    cached = self._cache.get(cache_key)
-                    if cached is not None:
-                        self._cache.move_to_end(cache_key)
-                        self.cache_hits += 1
+                cached, version_snapshot = self._cache_probe(cache_key)
                 if cached is not None:
-                    self.obs.counter("cluster.cache.hits").inc()
                     hit = self._cache_hit_view(cached)
                     span.set(cache="hit", candidates=len(hit.candidates))
                     self._account_retrieval(hit)
                     return hit
-                with self._cache_lock:
-                    self.cache_misses += 1
-                self.obs.counter("cluster.cache.misses").inc()
-            targets = self.router.route_goal(goal)  # may raise Unknown…
-            effective_mode = mode if mode is not None else self._plan_mode(goal)
-            if effective_mode is SearchMode.FS1_ONLY:
-                # A raw FS1 scan's codeword false drops are not confined
-                # to the first-arg key's shard: fan out unpruned so the
-                # merged stream matches the single device's exactly.
-                targets = self.router.route_goal(goal, prune=False)
+            targets, effective_mode = self._route_and_plan(goal, mode)
             shard_results: dict[int, RetrievalResult] = {}
             for shard_id in targets:
                 shard = self.shards[shard_id]
@@ -271,17 +255,7 @@ class ShardedRetrievalServer:
                     )
             result = self._merge(goal, effective_mode, shard_results)
             if cache_key is not None:
-                with self._cache_lock:
-                    # Insert only if no update intervened since this
-                    # thread's start-of-retrieval snapshot — comparing
-                    # the monotonic counter to the snapshot (not to the
-                    # moving ``_cache_version``) closes the window where
-                    # a concurrently re-synced cache would re-admit a
-                    # result computed against the pre-update KB.
-                    if self.version == version_snapshot:
-                        self._cache[cache_key] = result
-                        while len(self._cache) > self.cache_size:
-                            self._cache.popitem(last=False)
+                self._cache_insert(cache_key, version_snapshot, result)
             span.set(
                 shards=len(targets),
                 broadcast=len(targets) > 1,
@@ -289,6 +263,137 @@ class ShardedRetrievalServer:
             )
             self._account_retrieval(result)
             return result
+
+    def retrieve_batch(
+        self, goals: list[Term], mode: SearchMode | None = None
+    ) -> list[RetrievalResult]:
+        """Retrieve many goals, batching each shard's FS1 work.
+
+        Element-wise equivalent to ``[self.retrieve(g, mode) for g in
+        goals]`` — same merged candidate sets, same per-goal modelled
+        stats, same cache behaviour — but executed as per-shard goal
+        batches: every shard receives all of its sub-queries at once (so
+        its engine can amortise batched FS1 scans), and the shards run
+        concurrently, one thread per shard, exactly as the parallel-disk
+        timing model assumes.
+        """
+        from concurrent.futures import ThreadPoolExecutor
+
+        results: list[RetrievalResult | None] = [None] * len(goals)
+        # (position, goal, cache_key, snapshot, targets, effective mode)
+        pending: list[tuple] = []
+        with self.obs.span("cluster.retrieve_batch", goals=len(goals)) as span:
+            for position, goal in enumerate(goals):
+                cache_key = version_snapshot = None
+                if self.cache_size > 0:
+                    cache_key = (canonical_goal_key(goal), mode)
+                    cached, version_snapshot = self._cache_probe(cache_key)
+                    if cached is not None:
+                        hit = self._cache_hit_view(cached)
+                        self._account_retrieval(hit)
+                        results[position] = hit
+                        continue
+                targets, effective_mode = self._route_and_plan(goal, mode)
+                pending.append(
+                    (position, goal, cache_key, version_snapshot,
+                     targets, effective_mode)
+                )
+            # Per-shard worklists: a shard sees all of its sub-queries,
+            # grouped by effective mode so each group is one engine-level
+            # batch (modes must not mix inside a batched FS1 scan).
+            shard_work: dict[int, dict[SearchMode, list[int]]] = {}
+            for item, plan in enumerate(pending):
+                _, _, _, _, targets, effective_mode = plan
+                for shard_id in targets:
+                    shard_work.setdefault(shard_id, {}).setdefault(
+                        effective_mode, []
+                    ).append(item)
+            shard_results: list[dict[int, RetrievalResult]] = [
+                {} for _ in pending
+            ]
+
+            def run_shard(shard_id: int) -> None:
+                shard = self.shards[shard_id]
+                with shard.lock:
+                    for effective_mode, items in shard_work[shard_id].items():
+                        sub = shard.server.retrieve_batch(
+                            [pending[i][1] for i in items],
+                            mode=effective_mode,
+                        )
+                        for item, result in zip(items, sub):
+                            shard_results[item][shard_id] = result
+
+            busy_shards = sorted(shard_work)
+            if len(busy_shards) > 1:
+                with ThreadPoolExecutor(
+                    max_workers=len(busy_shards)
+                ) as pool:
+                    list(pool.map(run_shard, busy_shards))
+            else:
+                for shard_id in busy_shards:
+                    run_shard(shard_id)
+            for plan, per_goal in zip(pending, shard_results):
+                (position, goal, cache_key, version_snapshot,
+                 _, effective_mode) = plan
+                result = self._merge(goal, effective_mode, per_goal)
+                if cache_key is not None:
+                    self._cache_insert(cache_key, version_snapshot, result)
+                self._account_retrieval(result)
+                results[position] = result
+            span.set(
+                executed=len(pending),
+                shards=len(busy_shards),
+            )
+        return results  # type: ignore[return-value]
+
+    def _route_and_plan(
+        self, goal: Term, mode: SearchMode | None
+    ) -> tuple[list[int], SearchMode]:
+        """Target shards and the cluster-wide effective mode for a goal."""
+        targets = self.router.route_goal(goal)  # may raise Unknown…
+        effective_mode = mode if mode is not None else self._plan_mode(goal)
+        if effective_mode is SearchMode.FS1_ONLY:
+            # A raw FS1 scan's codeword false drops are not confined
+            # to the first-arg key's shard: fan out unpruned so the
+            # merged stream matches the single device's exactly.
+            targets = self.router.route_goal(goal, prune=False)
+        return targets, effective_mode
+
+    def _cache_probe(
+        self, cache_key: tuple
+    ) -> tuple[RetrievalResult | None, int]:
+        with self._cache_lock:
+            if self.version != self._cache_version:
+                self._cache.clear()
+                self._cache_version = self.version
+            version_snapshot = self._cache_version
+            cached = self._cache.get(cache_key)
+            if cached is not None:
+                self._cache.move_to_end(cache_key)
+                self.cache_hits += 1
+            else:
+                self.cache_misses += 1
+        if cached is not None:
+            self.obs.counter("cluster.cache.hits").inc()
+        else:
+            self.obs.counter("cluster.cache.misses").inc()
+        return cached, version_snapshot
+
+    def _cache_insert(
+        self, cache_key: tuple, version_snapshot: int | None,
+        result: RetrievalResult,
+    ) -> None:
+        with self._cache_lock:
+            # Insert only if no update intervened since this thread's
+            # start-of-retrieval snapshot — comparing the monotonic
+            # counter to the snapshot (not to the moving
+            # ``_cache_version``) closes the window where a concurrently
+            # re-synced cache would re-admit a result computed against
+            # the pre-update KB.
+            if self.version == version_snapshot:
+                self._cache[cache_key] = result
+                while len(self._cache) > self.cache_size:
+                    self._cache.popitem(last=False)
 
     def solutions(
         self, goal: Term, mode: SearchMode | None = None

@@ -29,7 +29,7 @@ from ..obs import Instrumentation
 from ..obs import get_default as _default_obs
 from ..pif import CompiledClause
 from ..pif.clausefile import decode_compiled
-from ..scw import FirstStageFilter
+from ..scw import FS1Result, FirstStageFilter
 from ..storage import KnowledgeBase, PredicateStore, Residency
 from ..terms import Clause, Term, functor_indicator, rename_apart
 from ..unify import Bindings, PartialMatcher, unify
@@ -128,12 +128,14 @@ class ClauseRetrievalServer:
         cross_binding: bool = True,
         cache_size: int = 0,
         obs: Instrumentation | None = None,
+        fs1_mode: str = "bitsliced",
+        decode_cache_size: int = 4096,
     ):
         self.kb = kb
         self.cost_model = cost_model or HostCostModel()
         self.cross_binding = cross_binding
         self.obs = obs if obs is not None else _default_obs()
-        self.fs1 = FirstStageFilter(kb.scheme, obs=self.obs)
+        self.fs1 = FirstStageFilter(kb.scheme, obs=self.obs, mode=fs1_mode)
         self.fs2 = SecondStageFilter(
             kb.symbols, cross_binding=cross_binding, obs=self.obs
         )
@@ -151,6 +153,14 @@ class ClauseRetrievalServer:
         self._cache_version = kb.version
         self.cache_hits = 0
         self.cache_misses = 0
+        # Decoded-clause cache, keyed by (clause-file generation, record
+        # address).  Records are immutable once appended and mutations
+        # replace the whole file (fresh generation), so entries never go
+        # stale — the LRU bound just caps memory.  FS2 re-runs over
+        # recurring candidate sets skip the PIF re-decode entirely.
+        self.decode_cache_size = decode_cache_size
+        self._decode_cache: "OrderedDict[tuple[int, int], Clause]" = OrderedDict()
+        self._decode_lock = threading.Lock()
 
     # -- public API --------------------------------------------------------
 
@@ -169,53 +179,22 @@ class ClauseRetrievalServer:
             version_snapshot = None
             if self.cache_size > 0:
                 cache_key = (canonical_goal_key(goal), mode)
-                with self._cache_lock:
-                    if self.kb.version != self._cache_version:
-                        self._cache.clear()
-                        self._cache_version = self.kb.version
-                    version_snapshot = self._cache_version
-                    cached = self._cache.get(cache_key)
-                    if cached is not None:
-                        self._cache.move_to_end(cache_key)
-                        self.cache_hits += 1
+                cached, version_snapshot = self._cache_probe(cache_key)
                 if cached is not None:
-                    self.obs.counter("crs.cache.hits").inc()
                     hit = self._cache_hit_view(cached)
                     span.set(cache="hit", candidates=len(hit.candidates))
                     # Hits count as retrievals (as in QueryStats); the
                     # view's zeroed times keep the sim counters honest.
                     self._account_retrieval(hit)
                     return hit
-                with self._cache_lock:
-                    self.cache_misses += 1
-                self.obs.counter("crs.cache.misses").inc()
             indicator = functor_indicator(goal)
             store = self.kb.store(indicator)
             residency = self.kb.residency(indicator)
             if mode is None:
                 mode = select_mode(goal, store, residency)
-            handler = {
-                SearchMode.SOFTWARE: self._retrieve_software,
-                SearchMode.FS1_ONLY: self._retrieve_fs1,
-                SearchMode.FS2_ONLY: self._retrieve_fs2,
-                SearchMode.BOTH: self._retrieve_both,
-            }[mode]
-            result = handler(goal, store, residency)
+            result = self._dispatch(goal, store, residency, mode)
             if cache_key is not None:
-                with self._cache_lock:
-                    # A KB update during the retrieval makes this result
-                    # stale; insert only while the version this thread
-                    # started from still holds.  The comparison is
-                    # against the start-of-retrieval snapshot, not the
-                    # current ``_cache_version``: the version counter is
-                    # monotonic, so equality proves no update intervened
-                    # (comparing the moving ``_cache_version`` would
-                    # re-admit a stale result after another thread
-                    # re-synced it past an update).
-                    if self.kb.version == version_snapshot:
-                        self._cache[cache_key] = result
-                        while len(self._cache) > self.cache_size:
-                            self._cache.popitem(last=False)
+                self._cache_insert(cache_key, version_snapshot, result)
             span.set(
                 mode=mode.value,
                 residency=residency,
@@ -224,6 +203,151 @@ class ClauseRetrievalServer:
             )
             self._account_retrieval(result)
             return result
+
+    def retrieve_batch(
+        self, goals: list[Term], mode: SearchMode | None = None
+    ) -> list[RetrievalResult]:
+        """Candidates for many goals, amortising FS1 index passes.
+
+        Results come back in input order and are element-wise identical
+        to ``[self.retrieve(g, mode) for g in goals]`` — same candidate
+        sets, same per-goal simulated accounting, same cache behaviour.
+        The difference is host wall clock: goals of the same predicate
+        whose planned mode involves FS1 are evaluated as one *batched*
+        bit-sliced scan (every distinct signature column the batch needs
+        is loaded once), and the query-codeword and decoded-clause
+        caches do the rest.
+        """
+        from ..terms import term_to_string
+        from .planner import select_mode  # local import avoids a cycle
+
+        results: list[RetrievalResult | None] = [None] * len(goals)
+        # (index, goal, store, residency, mode, cache_key, snapshot)
+        planned: list[tuple] = []
+        with self.obs.span("crs.retrieve_batch", goals=len(goals)):
+            for position, goal in enumerate(goals):
+                cache_key = version_snapshot = None
+                if self.cache_size > 0:
+                    cache_key = (canonical_goal_key(goal), mode)
+                    cached, version_snapshot = self._cache_probe(cache_key)
+                    if cached is not None:
+                        hit = self._cache_hit_view(cached)
+                        self._account_retrieval(hit)
+                        results[position] = hit
+                        continue
+                indicator = functor_indicator(goal)
+                store = self.kb.store(indicator)
+                residency = self.kb.residency(indicator)
+                effective = (
+                    mode if mode is not None
+                    else select_mode(goal, store, residency)
+                )
+                planned.append(
+                    (position, goal, store, residency, effective,
+                     cache_key, version_snapshot)
+                )
+            # Group FS1-involving goals by predicate: one batched scan
+            # per (indicator, mode) group; everything else runs solo.
+            groups: dict[tuple, list[tuple]] = {}
+            for plan in planned:
+                _, _, store, _, effective, _, _ = plan
+                if effective in (SearchMode.FS1_ONLY, SearchMode.BOTH):
+                    groups.setdefault(
+                        (store.indicator, effective), []
+                    ).append(plan)
+                else:
+                    groups.setdefault((id(plan), None), []).append(plan)
+            for members in groups.values():
+                fs1_results: list[FS1Result | None] = [None] * len(members)
+                if len(members) > 1:
+                    store = members[0][2]
+                    fs1_results = list(self.fs1.search_batch(
+                        store.index, [plan[1] for plan in members]
+                    ))
+                for plan, fs1_result in zip(members, fs1_results):
+                    (position, goal, store, residency, effective,
+                     cache_key, version_snapshot) = plan
+                    with self.obs.span(
+                        "crs.retrieve", goal=term_to_string(goal), batch="1"
+                    ) as span:
+                        result = self._dispatch(
+                            goal, store, residency, effective,
+                            fs1_result=fs1_result,
+                        )
+                        span.set(
+                            mode=effective.value,
+                            residency=residency,
+                            clauses=(
+                                result.stats.clauses_total
+                                if result.stats else 0
+                            ),
+                            candidates=len(result.candidates),
+                        )
+                    if cache_key is not None:
+                        self._cache_insert(cache_key, version_snapshot, result)
+                    self._account_retrieval(result)
+                    results[position] = result
+        return results  # type: ignore[return-value]
+
+    def _dispatch(
+        self,
+        goal: Term,
+        store: PredicateStore,
+        residency: str,
+        mode: SearchMode,
+        fs1_result: "FS1Result | None" = None,
+    ) -> RetrievalResult:
+        """Run one retrieval through its mode handler.
+
+        ``fs1_result`` carries a precomputed (batched) FS1 scan into the
+        FS1-involving handlers; the other modes ignore it.
+        """
+        if mode is SearchMode.FS1_ONLY:
+            return self._retrieve_fs1(goal, store, residency, fs1_result)
+        if mode is SearchMode.BOTH:
+            return self._retrieve_both(goal, store, residency, fs1_result)
+        if mode is SearchMode.FS2_ONLY:
+            return self._retrieve_fs2(goal, store, residency)
+        return self._retrieve_software(goal, store, residency)
+
+    def _cache_probe(
+        self, cache_key: tuple
+    ) -> tuple[RetrievalResult | None, int]:
+        """Look up the retrieval LRU; returns (hit, version snapshot)."""
+        with self._cache_lock:
+            if self.kb.version != self._cache_version:
+                self._cache.clear()
+                self._cache_version = self.kb.version
+            version_snapshot = self._cache_version
+            cached = self._cache.get(cache_key)
+            if cached is not None:
+                self._cache.move_to_end(cache_key)
+                self.cache_hits += 1
+            else:
+                self.cache_misses += 1
+        if cached is not None:
+            self.obs.counter("crs.cache.hits").inc()
+        else:
+            self.obs.counter("crs.cache.misses").inc()
+        return cached, version_snapshot
+
+    def _cache_insert(
+        self, cache_key: tuple, version_snapshot: int | None,
+        result: RetrievalResult,
+    ) -> None:
+        with self._cache_lock:
+            # A KB update during the retrieval makes this result stale;
+            # insert only while the version this thread started from
+            # still holds.  The comparison is against the
+            # start-of-retrieval snapshot, not the current
+            # ``_cache_version``: the version counter is monotonic, so
+            # equality proves no update intervened (comparing the moving
+            # ``_cache_version`` would re-admit a stale result after
+            # another thread re-synced it past an update).
+            if self.kb.version == version_snapshot:
+                self._cache[cache_key] = result
+                while len(self._cache) > self.cache_size:
+                    self._cache.popitem(last=False)
 
     def _account_retrieval(self, result: RetrievalResult) -> None:
         stats = result.stats
@@ -321,11 +445,16 @@ class ClauseRetrievalServer:
     # -- mode (b): FS1 only -----------------------------------------------------
 
     def _retrieve_fs1(
-        self, goal: Term, store: PredicateStore, residency: str
+        self,
+        goal: Term,
+        store: PredicateStore,
+        residency: str,
+        fs1_result: FS1Result | None = None,
     ) -> RetrievalResult:
         stats = RetrievalStats(mode=SearchMode.FS1_ONLY, residency=residency)
         stats.clauses_total = len(store)
-        fs1_result = self.fs1.search(store.index, goal)
+        if fs1_result is None:
+            fs1_result = self.fs1.search(store.index, goal)
         stats.fs1_time_s = fs1_result.scan_time_s
         stats.fs1_candidates = fs1_result.candidate_count
         records, transfer = self._fetch_records(
@@ -341,7 +470,10 @@ class ClauseRetrievalServer:
             stats.disk_time_s += max(0.0, index_transfer - stats.fs1_time_s)
             stats.bytes_from_disk += store.index.size_bytes()
         candidates = [
-            self._decode_record(store, record) for record in records
+            self._decode_record(store, record, address)
+            for record, address in zip(
+                records, fs1_result.candidate_addresses
+            )
         ]
         stats.final_candidates = len(candidates)
         return RetrievalResult(goal=goal, candidates=candidates, stats=stats)
@@ -354,22 +486,30 @@ class ClauseRetrievalServer:
         stats = RetrievalStats(mode=SearchMode.FS2_ONLY, residency=residency)
         stats.clauses_total = len(store)
         records = [store.clause_file.record(i).to_bytes() for i in range(len(store))]
+        addresses = store.clause_file.record_addresses()
         if residency == Residency.DISK:
             _, transfer = self._read_clause_extent(store)
             stats.disk_time_s = transfer.total_time_s
             stats.bytes_from_disk = transfer.bytes_transferred
-        candidates = self._stream_through_fs2(goal, store, records, stats)
+        candidates = self._stream_through_fs2(
+            goal, store, records, stats, addresses
+        )
         stats.final_candidates = len(candidates)
         return RetrievalResult(goal=goal, candidates=candidates, stats=stats)
 
     # -- mode (d): FS1 + FS2 -------------------------------------------------------
 
     def _retrieve_both(
-        self, goal: Term, store: PredicateStore, residency: str
+        self,
+        goal: Term,
+        store: PredicateStore,
+        residency: str,
+        fs1_result: FS1Result | None = None,
     ) -> RetrievalResult:
         stats = RetrievalStats(mode=SearchMode.BOTH, residency=residency)
         stats.clauses_total = len(store)
-        fs1_result = self.fs1.search(store.index, goal)
+        if fs1_result is None:
+            fs1_result = self.fs1.search(store.index, goal)
         stats.fs1_time_s = fs1_result.scan_time_s
         stats.fs1_candidates = fs1_result.candidate_count
         records, transfer = self._fetch_records(
@@ -381,7 +521,10 @@ class ClauseRetrievalServer:
             index_transfer = self.kb.disk.drive.read_time_s(store.index.size_bytes())
             stats.disk_time_s += max(0.0, index_transfer - stats.fs1_time_s)
             stats.bytes_from_disk += store.index.size_bytes()
-        candidates = self._stream_through_fs2(goal, store, list(records), stats)
+        candidates = self._stream_through_fs2(
+            goal, store, list(records), stats,
+            list(fs1_result.candidate_addresses),
+        )
         stats.final_candidates = len(candidates)
         # FS2 refined FS1's candidate set: the difference is FS1's false
         # drops relative to level-3 partial unification.
@@ -398,34 +541,56 @@ class ClauseRetrievalServer:
         store: PredicateStore,
         records: list[bytes],
         stats: RetrievalStats,
+        addresses: list[int] | None = None,
     ) -> list[Clause]:
-        """Run records through FS2 in track-sized search calls."""
+        """Run records through FS2 in track-sized search calls.
+
+        ``addresses`` (parallel to ``records``) lets surviving records
+        decode through the clause cache.  FS2 captures satisfiers in
+        stream order, so each result record maps back to its address by
+        an ordered byte-equality walk over the call's records; two
+        identical records serialise (and decode) identically, so the
+        attribution is sound even for duplicate clauses.
+        """
         self.fs2.set_query(goal)
         track_bytes = self.kb.disk.drive.geometry.track_bytes
         candidates: list[Clause] = []
         call: list[bytes] = []
+        call_addresses: list[int] = []
         call_bytes = 0
 
         def flush() -> None:
-            nonlocal call, call_bytes
+            nonlocal call, call_addresses, call_bytes
             if not call:
                 return
             search_stats = self.fs2.search(call, indicator=store.indicator)
             stats.fs2_time_s += search_stats.op_time_ns / 1e9
             stats.fs2_search_calls += 1
+            cursor = 0
             for record in self.fs2.read_results():
-                candidates.append(self._decode_record(store, record))
+                address = None
+                if addresses is not None:
+                    while cursor < len(call):
+                        matched = call[cursor] == record
+                        cursor += 1
+                        if matched:
+                            address = call_addresses[cursor - 1]
+                            break
+                candidates.append(self._decode_record(store, record, address))
             call = []
+            call_addresses = []
             call_bytes = 0
             self.fs2.set_query(goal)  # re-arm the Result Memory
 
-        for record in records:
+        for position, record in enumerate(records):
             if call and (
                 call_bytes + len(record) > track_bytes
                 or len(call) >= MAX_SATISFIERS
             ):
                 flush()
             call.append(record)
+            if addresses is not None:
+                call_addresses.append(addresses[position])
             call_bytes += len(record)
         flush()
         return candidates
@@ -473,9 +638,35 @@ class ClauseRetrievalServer:
                 store.index_extent_name(), store.index.to_bytes()
             )
 
-    def _decode_record(self, store: PredicateStore, record: bytes) -> Clause:
+    def _decode_record(
+        self, store: PredicateStore, record: bytes, address: int | None = None
+    ) -> Clause:
+        """Decode one candidate record, through the decoded-clause cache.
+
+        The key is (clause-file generation, record address): addresses
+        are stable under append and every other mutation replaces the
+        file under a fresh generation, so a cached decode can never be
+        served for changed bytes.
+        """
+        if address is None or self.decode_cache_size <= 0:
+            compiled, _ = CompiledClause.from_bytes(record, store.indicator)
+            return decode_compiled(compiled, self.kb.symbols)
+        key = (store.clause_file.generation, address)
+        with self._decode_lock:
+            clause = self._decode_cache.get(key)
+            if clause is not None:
+                self._decode_cache.move_to_end(key)
+        if clause is not None:
+            self.obs.counter("crs.decode_cache.hits").inc()
+            return clause
+        self.obs.counter("crs.decode_cache.misses").inc()
         compiled, _ = CompiledClause.from_bytes(record, store.indicator)
-        return decode_compiled(compiled, self.kb.symbols)
+        clause = decode_compiled(compiled, self.kb.symbols)
+        with self._decode_lock:
+            self._decode_cache[key] = clause
+            while len(self._decode_cache) > self.decode_cache_size:
+                self._decode_cache.popitem(last=False)
+        return clause
 
 
 #: Backwards-compatible alias; the canonicalisation lives in

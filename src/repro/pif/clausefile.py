@@ -22,6 +22,7 @@ slot (the 9-bit low counter of the RM address generator).
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
 from typing import Iterator
 
@@ -168,12 +169,20 @@ def compile_clause(clause: Clause, symbols: SymbolTable) -> CompiledClause:
     )
 
 
+#: Process-wide generation ids.  Every ClauseFile gets a fresh one, so a
+#: (generation, address) pair names one immutable record forever:
+#: appends never move existing records, and the mutations that do
+#: (asserta, retract) build a *new* ClauseFile with a new generation.
+_GENERATIONS = itertools.count(1)
+
+
 class ClauseFile:
     """The compiled clauses of one predicate, in user-specified order."""
 
     def __init__(self, indicator: tuple[str, int], symbols: SymbolTable):
         self.indicator = indicator
         self.symbols = symbols
+        self.generation = next(_GENERATIONS)
         self._records: list[CompiledClause] = []
         self._sources: list[Clause] = []
         # Running byte addresses and record lengths for the default

@@ -6,13 +6,20 @@ from .analysis import (
     optimal_bits_per_key,
     recommend_width,
 )
+from .bitsliced import BitSlicedIndex
 from .codeword import DEFAULT_SCHEME, Codeword, CodewordScheme
-from .fs1 import FS1_SCAN_RATE_BYTES_PER_SEC, FS1Result, FirstStageFilter
+from .fs1 import (
+    FS1_SCAN_RATE_BYTES_PER_SEC,
+    FS1Result,
+    FirstStageFilter,
+    SchemeMismatchError,
+)
 from .hardware import FS1Hardware, FS1HardwareResult
 from .index import ADDRESS_BYTES, IndexEntry, SecondaryIndexFile
 
 __all__ = [
     "ADDRESS_BYTES",
+    "BitSlicedIndex",
     "DEFAULT_SCHEME",
     "Codeword",
     "CodewordScheme",
@@ -22,6 +29,7 @@ __all__ = [
     "FS1_SCAN_RATE_BYTES_PER_SEC",
     "FirstStageFilter",
     "IndexEntry",
+    "SchemeMismatchError",
     "SecondaryIndexFile",
     "expected_saturation",
     "false_drop_probability",

@@ -5,22 +5,65 @@ MSI components" while the secondary file streams past at up to 4.5 MB/s
 (paper section 4).  Functionally it computes the SCW+MB inclusion test for
 every index entry; the model also accounts the scan volume and wall time
 so mode benchmarks can compare against software scanning and FS2.
+
+Two execution engines implement the identical match condition:
+
+* ``mode="naive"`` — the original per-entry Python loop over the
+  horizontal :class:`~repro.scw.index.SecondaryIndexFile` records;
+* ``mode="bitsliced"`` (the default) — the columnar
+  :class:`~repro.scw.bitsliced.BitSlicedIndex`, whose big-integer column
+  ANDs model the PLA matcher's data-parallelism in real wall clock.
+
+Both report the same simulated SCW+MB scan time (the whole secondary
+file streams past the matcher either way); only the host-side cost
+changes.  :meth:`FirstStageFilter.search_batch` additionally evaluates K
+query codewords against one pass over the columns, which is what the
+cluster's batch executor amortises.
 """
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass
 
 from ..obs import Instrumentation
 from ..obs import get_default as _default_obs
 from ..terms import Term
-from .codeword import CodewordScheme
+from .codeword import Codeword, CodewordScheme
 from .index import SecondaryIndexFile
 
-__all__ = ["FS1Result", "FirstStageFilter", "FS1_SCAN_RATE_BYTES_PER_SEC"]
+__all__ = [
+    "FS1Result",
+    "FirstStageFilter",
+    "SchemeMismatchError",
+    "FS1_SCAN_RATE_BYTES_PER_SEC",
+    "QUERY_CODEWORD_CACHE_SIZE",
+]
 
 #: "It can search data at a rate of up to 4.5Mbyte/sec" (paper section 4).
 FS1_SCAN_RATE_BYTES_PER_SEC = 4_500_000
+
+#: Query codewords are cached per canonical goal key; repeated and
+#: batched retrievals of equivalent goals skip the BLAKE2 hashing.
+QUERY_CODEWORD_CACHE_SIZE = 1024
+
+_canonical_goal_key = None
+
+
+def _goal_key(goal: Term):
+    # Imported lazily: repro.crs imports repro.scw at package-init time,
+    # so a module-level import here would be circular.
+    global _canonical_goal_key
+    if _canonical_goal_key is None:
+        from ..crs.keys import canonical_goal_key
+
+        _canonical_goal_key = canonical_goal_key
+    return _canonical_goal_key(goal)
+
+
+class SchemeMismatchError(ValueError):
+    """An index probed with a filter built for a different codeword scheme."""
 
 
 @dataclass(frozen=True)
@@ -45,12 +88,41 @@ class FirstStageFilter:
         scheme: CodewordScheme,
         scan_rate_bytes_per_sec: float = FS1_SCAN_RATE_BYTES_PER_SEC,
         obs: Instrumentation | None = None,
+        mode: str = "bitsliced",
     ):
         if scan_rate_bytes_per_sec <= 0:
             raise ValueError("scan rate must be positive")
+        if mode not in ("bitsliced", "naive"):
+            raise ValueError("FS1 mode must be 'bitsliced' or 'naive'")
         self.scheme = scheme
         self.scan_rate = scan_rate_bytes_per_sec
+        self.mode = mode
         self.obs = obs if obs is not None else _default_obs()
+        self._codeword_cache: "OrderedDict[tuple, Codeword]" = OrderedDict()
+        self._codeword_lock = threading.Lock()
+
+    def query_codeword(self, query: Term) -> Codeword:
+        """``scheme.query_codeword`` behind a canonical-goal-key LRU.
+
+        Goals that are the same retrieval (``p(_, a)`` and ``p(X, a)``
+        with ``X`` a singleton) produce identical codewords, so repeated
+        and batched queries re-hash nothing.
+        """
+        key = _goal_key(query)
+        with self._codeword_lock:
+            cached = self._codeword_cache.get(key)
+            if cached is not None:
+                self._codeword_cache.move_to_end(key)
+        if cached is not None:
+            self.obs.counter("fs1.codeword_cache.hits").inc()
+            return cached
+        self.obs.counter("fs1.codeword_cache.misses").inc()
+        codeword = self.scheme.query_codeword(query)
+        with self._codeword_lock:
+            self._codeword_cache[key] = codeword
+            while len(self._codeword_cache) > QUERY_CODEWORD_CACHE_SIZE:
+                self._codeword_cache.popitem(last=False)
+        return codeword
 
     def search(self, index: SecondaryIndexFile, query: Term) -> FS1Result:
         """All candidate clause addresses for ``query``.
@@ -58,31 +130,101 @@ class FirstStageFilter:
         The whole secondary file streams past the matcher regardless of
         hit count, so scan volume depends only on the index size.
         """
-        if index.scheme is not self.scheme and index.scheme != self.scheme:
-            raise ValueError("index was built with a different codeword scheme")
+        self._check_scheme(index)
         with self.obs.span("fs1.scan", indicator=_render(index.indicator)) as span:
-            query_codeword = self.scheme.query_codeword(query)
-            addresses = index.scan(query_codeword)
-            bytes_scanned = index.size_bytes()
-            result = FS1Result(
-                candidate_addresses=tuple(addresses),
-                entries_scanned=len(index),
-                bytes_scanned=bytes_scanned,
-                scan_time_s=bytes_scanned / self.scan_rate,
-            )
+            query_codeword = self.query_codeword(query)
+            if self.mode == "bitsliced":
+                addresses, columns_touched = index.bitsliced.scan_info(
+                    query_codeword
+                )
+                self.obs.counter("fs1.bitsliced.scans").inc()
+                self.obs.counter("fs1.bitsliced.columns_touched").inc(
+                    columns_touched
+                )
+            else:
+                addresses = index.scan(query_codeword)
+            result = self._result(index, addresses)
             span.set(
+                engine=self.mode,
                 entries=result.entries_scanned,
                 candidates=result.candidate_count,
-                bytes=bytes_scanned,
+                bytes=result.bytes_scanned,
                 sim_time_s=result.scan_time_s,
             )
+        self._account(result)
+        return result
+
+    def search_batch(
+        self, index: SecondaryIndexFile, queries: list[Term]
+    ) -> list[FS1Result]:
+        """One FS1 result per query, sharing index passes across the batch.
+
+        Under the bit-sliced engine every distinct column the batch needs
+        is loaded once; under the naive engine the batch degrades to K
+        independent scans.  Per-query simulated scan accounting is
+        identical to :meth:`search` — the modelled hardware streams the
+        secondary file once per query either way.
+        """
+        self._check_scheme(index)
+        with self.obs.span(
+            "fs1.batch_scan",
+            indicator=_render(index.indicator),
+            queries=len(queries),
+        ) as span:
+            codewords = [self.query_codeword(query) for query in queries]
+            if self.mode == "bitsliced":
+                address_lists, columns_touched = index.bitsliced.scan_batch(
+                    codewords
+                )
+                self.obs.counter("fs1.bitsliced.scans").inc(len(queries))
+                self.obs.counter("fs1.bitsliced.columns_touched").inc(
+                    columns_touched
+                )
+            else:
+                address_lists = [index.scan(cw) for cw in codewords]
+            results = [
+                self._result(index, addresses) for addresses in address_lists
+            ]
+            span.set(
+                engine=self.mode,
+                entries=len(index),
+                candidates=sum(r.candidate_count for r in results),
+            )
+        self.obs.counter("fs1.batch.scans").inc()
+        self.obs.histogram(
+            "fs1.batch.size", buckets=(1, 2, 4, 8, 16, 32, 64, 128, 256)
+        ).observe(len(queries))
+        for result in results:
+            self._account(result)
+        return results
+
+    # -- internals ---------------------------------------------------------
+
+    def _check_scheme(self, index: SecondaryIndexFile) -> None:
+        if index.scheme != self.scheme:
+            raise SchemeMismatchError(
+                "index was built with a different codeword scheme: "
+                f"{index.scheme!r} != {self.scheme!r}"
+            )
+
+    def _result(
+        self, index: SecondaryIndexFile, addresses: list[int]
+    ) -> FS1Result:
+        bytes_scanned = index.size_bytes()
+        return FS1Result(
+            candidate_addresses=tuple(addresses),
+            entries_scanned=len(index),
+            bytes_scanned=bytes_scanned,
+            scan_time_s=bytes_scanned / self.scan_rate,
+        )
+
+    def _account(self, result: FS1Result) -> None:
         obs = self.obs
         obs.counter("fs1.searches").inc()
         obs.counter("fs1.entries_scanned").inc(result.entries_scanned)
-        obs.counter("fs1.bytes_scanned").inc(bytes_scanned)
+        obs.counter("fs1.bytes_scanned").inc(result.bytes_scanned)
         obs.counter("fs1.candidates").inc(result.candidate_count)
         obs.counter("fs1.sim_time_s").inc(result.scan_time_s)
-        return result
 
 
 def _render(indicator: tuple[str, int]) -> str:

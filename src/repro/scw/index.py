@@ -15,6 +15,7 @@ from typing import Iterator
 
 from ..pif.clausefile import ClauseFile
 from ..terms import Term
+from .bitsliced import BitSlicedIndex
 from .codeword import Codeword, CodewordScheme
 
 __all__ = ["IndexEntry", "SecondaryIndexFile"]
@@ -37,6 +38,10 @@ class SecondaryIndexFile:
         self.scheme = scheme
         self.indicator = indicator
         self._entries: list[IndexEntry] = []
+        # The bit-sliced (columnar) view is built lazily on first use and
+        # then maintained incrementally by :meth:`add`, so append-heavy
+        # loads pay nothing until a bit-sliced scan actually happens.
+        self._bitsliced: BitSlicedIndex | None = None
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -48,7 +53,19 @@ class SecondaryIndexFile:
         """Index one clause head at the given clause-file address."""
         entry = IndexEntry(self.scheme.clause_codeword(head), address)
         self._entries.append(entry)
+        if self._bitsliced is not None:
+            self._bitsliced.add(entry.codeword, entry.address)
         return entry
+
+    @property
+    def bitsliced(self) -> BitSlicedIndex:
+        """The columnar view of this index (built lazily, kept in sync)."""
+        if self._bitsliced is None:
+            sliced = BitSlicedIndex(self.scheme)
+            for entry in self._entries:
+                sliced.add(entry.codeword, entry.address)
+            self._bitsliced = sliced
+        return self._bitsliced
 
     @classmethod
     def build(
