@@ -95,6 +95,13 @@ def build_parser() -> argparse.ArgumentParser:
             help="FS1 scan engine: columnar bit-sliced index or the "
             "per-entry naive loop (default: bitsliced)",
         )
+        sub.add_argument(
+            "--fs2-mode",
+            choices=["compiled", "microcoded"],
+            default="compiled",
+            help="FS2 match engine: plan-compiled fast path or the "
+            "cycle-stepped microcode sequencer (default: compiled)",
+        )
     stats.add_argument(
         "--cache", type=int, default=0, help="CRS retrieval cache size (entries)"
     )
@@ -223,6 +230,7 @@ def _cmd_sharded(args, out, obs: Instrumentation | None, cache_size: int = 0) ->
         args.shard_by,
         cache_size=cache_size,
         fs1_mode=getattr(args, "fs1_mode", "bitsliced"),
+        fs2_mode=getattr(args, "fs2_mode", "compiled"),
         **({"obs": obs} if obs is not None else {}),
     )
     with open(args.file, encoding="utf-8") as handle:
@@ -294,6 +302,7 @@ def _load_machine(
         kb,
         cache_size=cache_size,
         fs1_mode=getattr(args, "fs1_mode", "bitsliced"),
+        fs2_mode=getattr(args, "fs2_mode", "compiled"),
         **({"obs": obs} if obs is not None else {}),
     )
     return PrologMachine(

@@ -97,6 +97,7 @@ class ShardedRetrievalServer:
         cache_size: int = 0,
         obs: Instrumentation | None = None,
         fs1_mode: str = "bitsliced",
+        fs2_mode: str = "compiled",
     ):
         self.obs = obs if obs is not None else _default_obs()
         self.router = ShardRouter(num_shards, policy)
@@ -114,6 +115,7 @@ class ShardedRetrievalServer:
                 cache_size=0,  # caching happens once, at the cluster level
                 obs=shard_obs,
                 fs1_mode=fs1_mode,
+                fs2_mode=fs2_mode,
             )
             self.shards.append(ClusterShard(shard_id, kb, server))
         #: bumped on every mutation through this front-end; the cluster

@@ -129,6 +129,7 @@ class ClauseRetrievalServer:
         cache_size: int = 0,
         obs: Instrumentation | None = None,
         fs1_mode: str = "bitsliced",
+        fs2_mode: str = "compiled",
         decode_cache_size: int = 4096,
     ):
         self.kb = kb
@@ -137,7 +138,7 @@ class ClauseRetrievalServer:
         self.obs = obs if obs is not None else _default_obs()
         self.fs1 = FirstStageFilter(kb.scheme, obs=self.obs, mode=fs1_mode)
         self.fs2 = SecondStageFilter(
-            kb.symbols, cross_binding=cross_binding, obs=self.obs
+            kb.symbols, cross_binding=cross_binding, obs=self.obs, mode=fs2_mode
         )
         self.fs2.load_microprogram()
         # Optional retrieval cache (LRU), invalidated by KB updates.
@@ -546,11 +547,10 @@ class ClauseRetrievalServer:
         """Run records through FS2 in track-sized search calls.
 
         ``addresses`` (parallel to ``records``) lets surviving records
-        decode through the clause cache.  FS2 captures satisfiers in
-        stream order, so each result record maps back to its address by
-        an ordered byte-equality walk over the call's records; two
-        identical records serialise (and decode) identically, so the
-        attribution is sound even for duplicate clauses.
+        decode through the clause cache.  The Result Memory records the
+        in-call stream position of every captured slot, so each result
+        record maps back to its address by a direct index — O(results)
+        per call, not O(call x results).
         """
         self.fs2.set_query(goal)
         track_bytes = self.kb.disk.drive.geometry.track_bytes
@@ -566,21 +566,16 @@ class ClauseRetrievalServer:
             search_stats = self.fs2.search(call, indicator=store.indicator)
             stats.fs2_time_s += search_stats.op_time_ns / 1e9
             stats.fs2_search_calls += 1
-            cursor = 0
-            for record in self.fs2.read_results():
+            positions = self.fs2.result.satisfier_positions()
+            for slot, record in enumerate(self.fs2.read_results()):
                 address = None
                 if addresses is not None:
-                    while cursor < len(call):
-                        matched = call[cursor] == record
-                        cursor += 1
-                        if matched:
-                            address = call_addresses[cursor - 1]
-                            break
+                    address = call_addresses[positions[slot]]
                 candidates.append(self._decode_record(store, record, address))
             call = []
             call_addresses = []
             call_bytes = 0
-            self.fs2.set_query(goal)  # re-arm the Result Memory
+            self.fs2.rearm()  # reset the Result Memory, keep the query
 
         for position, record in enumerate(records):
             if call and (

@@ -8,8 +8,15 @@ from .control import (
     FilterSelect,
     OperationalMode,
 )
+from .compiled import (
+    CompiledMatcher,
+    CycleCosts,
+    PlanNode,
+    compile_plan,
+    derive_cycle_costs,
+)
 from .cursor import ItemCursor, inline_children
-from .engine import FS2ProtocolError, FS2SearchStats, SecondStageFilter
+from .engine import FS2_MODES, FS2ProtocolError, FS2SearchStats, SecondStageFilter
 from .microcode import (
     WCS_WORDS,
     WORD_BITS,
@@ -41,13 +48,16 @@ __all__ = [
     "CLARE_END_ADDRESS",
     "CLOCK_HZ",
     "ClauseTiming",
+    "CompiledMatcher",
     "Condition",
     "ControlRegister",
+    "CycleCosts",
     "DEVICE_DELAYS_NS",
     "DispatchClass",
     "DoubleBuffer",
     "ElementCounters",
     "ExecOp",
+    "FS2_MODES",
     "FS2ProtocolError",
     "FS2SearchStats",
     "FilterSelect",
@@ -58,6 +68,7 @@ __all__ = [
     "MicroProgramController",
     "OPERATION_TIMINGS",
     "OperationalMode",
+    "PlanNode",
     "RM_BYTES",
     "ResultMemory",
     "ResultMemoryFull",
@@ -72,6 +83,8 @@ __all__ = [
     "WORD_BITS",
     "WritableControlStore",
     "assemble_search_program",
+    "compile_plan",
+    "derive_cycle_costs",
     "execution_time_ns",
     "inline_children",
     "table1",

@@ -1,0 +1,887 @@
+"""The compiled FS2 fast path: plan-compiled partial test unification.
+
+Microcoded mode steps the sequencer one control transfer at a time —
+faithful, but every cycle costs an instruction decode, a condition-code
+dictionary and a handler dispatch on the host.  Compiled mode translates
+the Set-Query state into a **match plan** once (a flat sequence of
+type-dispatched comparator nodes over the decoded query items) and runs
+the level-3 + cross-binding algorithm directly over the raw clause
+bytes, skipping the per-cycle sequencer entirely.
+
+The simulated model is untouched:
+
+* satisfier sets are identical — the matcher mirrors every branch of
+  the microcoded datapath ops (``MATCH``/``ANON_SKIP``/``*VAR_*``/
+  ``FINISH_COMPLEX``) over the same stream-consumption rules;
+* ``op_counts`` and ``op_time_ns`` are identical by construction — the
+  matcher drives the *same* :class:`TestUnificationEngine` instance
+  through the same operations in the same order;
+* ``micro_cycles`` is reproduced from a per-dispatch-class cycle-cost
+  table derived **mechanically** from the assembled search program by
+  :func:`derive_cycle_costs` — a symbolic walk over the WCS words, not
+  a hand-maintained table — so a microprogram change propagates to the
+  fast path or fails loudly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..pif import tags
+from ..pif.clausefile import _FLAG_HAS_NAMES
+from ..pif.decoder import PIFDecodeError
+from ..pif.encoder import EncodedArgs
+from ..pif.symbols import SymbolTable
+from ..terms import NIL, Int, Struct, Term, Var, make_list
+from ..unify.match import HardwareOp
+from .microcode import Condition, ExecOp, MicroProgram, SeqOp
+from .tue import SideTerm, TestUnificationEngine
+
+__all__ = [
+    "CompiledMatcher",
+    "CycleCosts",
+    "PlanNode",
+    "compile_plan",
+    "derive_cycle_costs",
+    "parse_record",
+]
+
+_MATCH = HardwareOp.MATCH
+
+# Dispatch classes as plain ints (== the DispatchClass values), so the
+# hot loop never touches the IntEnum machinery.
+_CLS_CONC = 0
+_CLS_ANON = 1
+_CLS_DBV_FIRST = 2
+_CLS_DBV_SUB = 3
+_CLS_QV_FIRST = 4
+_CLS_QV_SUB = 5
+
+# Item kinds for the concrete comparator (<= 2 means simple).
+_K_INT = 0
+_K_ATOM = 1
+_K_FLOAT = 2
+_K_STRUCT = 3
+_K_LIST = 4
+
+_CATEGORY_CLASS = {
+    tags.TagCategory.ANONYMOUS: _CLS_ANON,
+    tags.TagCategory.FIRST_DB_VAR: _CLS_DBV_FIRST,
+    tags.TagCategory.SUB_DB_VAR: _CLS_DBV_SUB,
+    tags.TagCategory.FIRST_QUERY_VAR: _CLS_QV_FIRST,
+    tags.TagCategory.SUB_QUERY_VAR: _CLS_QV_SUB,
+}
+
+_CATEGORY_KIND = {
+    tags.TagCategory.INTEGER: _K_INT,
+    tags.TagCategory.ATOM: _K_ATOM,
+    tags.TagCategory.FLOAT: _K_FLOAT,
+    tags.TagCategory.STRUCT_INLINE: _K_STRUCT,
+    tags.TagCategory.STRUCT_PTR: _K_STRUCT,
+    tags.TagCategory.TLIST_INLINE: _K_LIST,
+    tags.TagCategory.ULIST_INLINE: _K_LIST,
+    tags.TagCategory.TLIST_PTR: _K_LIST,
+    tags.TagCategory.ULIST_PTR: _K_LIST,
+}
+
+# 256-entry per-tag lookup tables (None marks an unassigned tag value):
+# dispatch class, item kind, encoded item length, and how many stream
+# items directly follow an in-line item (cursor.inline_children).
+_CLS: list[int | None] = [None] * 256
+_KIND: list[int | None] = [None] * 256
+_LEN: list[int | None] = [None] * 256
+_CHILDREN: list[int | None] = [None] * 256
+
+for _tag in range(256):
+    try:
+        _category = tags.tag_category(_tag)
+    except ValueError:
+        continue
+    _CLS[_tag] = _CATEGORY_CLASS.get(_category, _CLS_CONC)
+    _KIND[_tag] = _CATEGORY_KIND.get(_category)
+    _LEN[_tag] = 8 if tags.is_pointer_tag(_tag) else 4
+    _arity = _tag & tags.ARITY_MASK
+    if _category == tags.TagCategory.STRUCT_INLINE:
+        _CHILDREN[_tag] = _arity
+    elif _category == tags.TagCategory.TLIST_INLINE:
+        _CHILDREN[_tag] = _arity + 1 if _arity else 0
+    elif _category == tags.TagCategory.ULIST_INLINE:
+        _CHILDREN[_tag] = _arity + 1
+    else:
+        _CHILDREN[_tag] = 0
+del _tag, _category, _arity
+
+
+# -- cycle-cost derivation ---------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CycleCosts:
+    """Sequencer cycle counts for each control segment of the program.
+
+    Every field is the number of instructions the microcoded loop would
+    fetch along that segment; ``dispatch`` maps
+    ``(db_class, query_class, hit, entered)`` to the cycles spent in the
+    map-ROM routine the pair dispatches to (terminating at ``NEXT``,
+    ``ELEM``, or the miss exit).
+    """
+
+    entry: int  # POLL (buffer ready) .. first ARG fetch
+    arg_header: int  # ARG check + LOAD_PAIR + JMAP
+    hit_exit: int  # ARG check (streams done) + SIGNAL_HIT
+    next_to_arg: int  # NEXT at argument level, back to ARG
+    next_to_elem: int  # NEXT inside an element loop
+    elem_header: int  # ELEM check + LOAD_PAIR + JMAP
+    finish_hit: int  # ELEM done + FINISH_COMPLEX (hit), back to ARG
+    finish_miss: int  # ELEM done + FINISH_COMPLEX (miss) + SIGNAL_MISS
+    dispatch: dict[tuple[int, int, bool, bool], int]
+
+
+def derive_cycle_costs(program: MicroProgram) -> CycleCosts:
+    """Walk the assembled program symbolically and count segment cycles.
+
+    The microcoded loop counts one cycle per fetched instruction and
+    stops once an outcome is signalled, so each segment is walked with
+    its condition codes pinned and the count stops *at* the signalling
+    instruction (the jump after it is never fetched) or *before* the
+    next segment's entry label.  Raises :class:`ValueError` for programs
+    without the standard labels or with segments that read unexpected
+    conditions — compiled mode only accepts programs it can account for.
+    """
+    labels = program.labels
+    for name in ("POLL", "ARG", "NEXT", "ELEM"):
+        if name not in labels:
+            raise ValueError(
+                f"cannot derive cycle costs: program has no {name!r} label"
+            )
+    arg = labels["ARG"]
+    nxt = labels["NEXT"]
+    elem = labels["ELEM"]
+
+    def walk(start: int, conds: dict[Condition, bool]) -> tuple[int, str]:
+        conds = dict(conds)
+        conds[Condition.ALWAYS] = True
+        pc = start
+        cycles = 0
+        for _ in range(4 * len(program.words) + 4):
+            instruction = program.instruction(pc)
+            cycles += 1
+            if instruction.exec_op == ExecOp.SIGNAL_HIT:
+                return cycles, "hit"
+            if instruction.exec_op == ExecOp.SIGNAL_MISS:
+                return cycles, "miss"
+            seq = instruction.seq
+            if seq == SeqOp.JMAP:
+                return cycles, "dispatch"
+            if seq == SeqOp.CONT:
+                target = pc + 1
+            elif seq == SeqOp.JMP:
+                target = instruction.address
+            else:  # CJP
+                try:
+                    value = conds[instruction.condition]
+                except KeyError:
+                    raise ValueError(
+                        "cycle-cost walk read unpinned condition "
+                        f"{instruction.condition.name} at address {pc}"
+                    ) from None
+                target = instruction.address if value == instruction.polarity else pc + 1
+            if target == arg:
+                return cycles, "arg"
+            if target == nxt:
+                return cycles, "next"
+            if target == elem:
+                return cycles, "elem"
+            pc = target
+        raise ValueError("cycle-cost walk did not terminate")
+
+    def segment(start: int, conds: dict[Condition, bool], expect: str) -> int:
+        cycles, terminal = walk(start, conds)
+        if terminal != expect:
+            raise ValueError(
+                f"segment from {start} ended at {terminal!r}, expected {expect!r}"
+            )
+        return cycles
+
+    entry = segment(labels["POLL"], {Condition.BUFFER_READY: True}, "arg")
+    arg_header = segment(arg, {Condition.ARGS_DONE: False}, "dispatch")
+    hit_exit = segment(arg, {Condition.ARGS_DONE: True}, "hit")
+    next_to_arg = segment(nxt, {Condition.IN_COMPLEX: False}, "arg")
+    next_to_elem = segment(nxt, {Condition.IN_COMPLEX: True}, "elem")
+    elem_header = segment(elem, {Condition.COUNTERS_DONE: False}, "dispatch")
+    finish_hit = segment(
+        elem, {Condition.COUNTERS_DONE: True, Condition.HIT: True}, "arg"
+    )
+    finish_miss = segment(
+        elem, {Condition.COUNTERS_DONE: True, Condition.HIT: False}, "miss"
+    )
+
+    # The map-ROM routines, enumerated over the condition-code values a
+    # dispatch can leave behind: (hit, entered) with entered => hit.
+    dispatch: dict[tuple[int, int, bool, bool], int] = {}
+    for (db_class, q_class), address in program.map_rom.items():
+        for hit, entered in ((True, False), (True, True), (False, False)):
+            cycles, _ = walk(
+                address, {Condition.HIT: hit, Condition.ENTERED: entered}
+            )
+            dispatch[(int(db_class), int(q_class), hit, entered)] = cycles
+
+    return CycleCosts(
+        entry=entry,
+        arg_header=arg_header,
+        hit_exit=hit_exit,
+        next_to_arg=next_to_arg,
+        next_to_elem=next_to_elem,
+        elem_header=elem_header,
+        finish_hit=finish_hit,
+        finish_miss=finish_miss,
+        dispatch=dispatch,
+    )
+
+
+# -- the match plan ----------------------------------------------------------
+
+
+class PlanNode:
+    """One query term, pre-decoded for direct dispatch.
+
+    ``children`` are the in-line stream children (structure arguments or
+    list prefix elements) for the element loop; ``tail`` is an in-line
+    list's tail node.  ``term`` is the materialised term — what the
+    microcoded path would build with ``take_term`` when a db variable
+    meets this argument.
+    """
+
+    __slots__ = (
+        "tag",
+        "content",
+        "cls",
+        "kind",
+        "arity",
+        "inline",
+        "open_",
+        "term",
+        "var_name",
+        "children",
+        "tail",
+    )
+
+    tag: int
+    content: int
+    cls: int
+    kind: int | None
+    arity: int
+    inline: bool
+    open_: bool
+    term: Term
+    var_name: str | None
+    children: tuple["PlanNode", ...]
+    tail: "PlanNode | None"
+
+
+def compile_plan(
+    encoded: EncodedArgs, symbols: SymbolTable
+) -> tuple[PlanNode, ...]:
+    """Translate an encoded query into its match plan (one node per arg)."""
+    data = encoded.stream
+    heap = encoded.heap
+    names = encoded.var_names
+    nodes = []
+    position = 0
+    end = len(data)
+    while position < end:
+        node, position = _read_node(data, position, heap, names, symbols)
+        nodes.append(node)
+    return tuple(nodes)
+
+
+def _read_node(
+    data: bytes,
+    position: int,
+    heap: bytes,
+    names: tuple[str, ...],
+    symbols: SymbolTable,
+) -> tuple[PlanNode, int]:
+    tag = data[position]
+    cls = _CLS[tag]
+    if cls is None:
+        raise PIFDecodeError(f"unassigned PIF tag 0x{tag:02x} in query stream")
+    content = (data[position + 1] << 16) | (data[position + 2] << 8) | data[
+        position + 3
+    ]
+    position += 4
+    node = PlanNode()
+    node.tag = tag
+    node.content = content
+    node.cls = cls
+    node.kind = _KIND[tag]
+    node.arity = tag & tags.ARITY_MASK
+    node.inline = False
+    node.open_ = False
+    node.var_name = None
+    node.children = ()
+    node.tail = None
+
+    category = tags.tag_category(tag)
+    if category == tags.TagCategory.INTEGER:
+        raw = ((tag & 0xF) << 24) | content
+        if raw >= 1 << (tags.INT_INLINE_BITS - 1):
+            raw -= 1 << tags.INT_INLINE_BITS
+        node.term = Int(raw)
+    elif category == tags.TagCategory.ATOM:
+        node.term = symbols.atom_at(content)
+    elif category == tags.TagCategory.FLOAT:
+        node.term = symbols.float_at(content)
+    elif category == tags.TagCategory.ANONYMOUS:
+        node.term = Var("_")
+    elif category in (
+        tags.TagCategory.FIRST_QUERY_VAR,
+        tags.TagCategory.SUB_QUERY_VAR,
+        tags.TagCategory.FIRST_DB_VAR,
+        tags.TagCategory.SUB_DB_VAR,
+    ):
+        name = names[content] if content < len(names) else f"_V{content}"
+        node.var_name = name
+        node.term = Var(name)
+    elif category == tags.TagCategory.STRUCT_INLINE:
+        node.inline = True
+        children = []
+        for _ in range(node.arity):
+            child, position = _read_node(data, position, heap, names, symbols)
+            children.append(child)
+        node.children = tuple(children)
+        node.term = Struct(
+            symbols.atom_name_at(content), tuple(c.term for c in children)
+        )
+    elif category == tags.TagCategory.TLIST_INLINE:
+        node.inline = True
+        if node.arity == 0:
+            node.term = NIL
+        else:
+            children = []
+            for _ in range(node.arity):
+                child, position = _read_node(data, position, heap, names, symbols)
+                children.append(child)
+            tail, position = _read_node(data, position, heap, names, symbols)
+            node.children = tuple(children)
+            node.tail = tail
+            node.term = make_list([c.term for c in children], tail=tail.term)
+    elif category == tags.TagCategory.ULIST_INLINE:
+        node.inline = True
+        node.open_ = True
+        children = []
+        for _ in range(node.arity):
+            child, position = _read_node(data, position, heap, names, symbols)
+            children.append(child)
+        tail, position = _read_node(data, position, heap, names, symbols)
+        node.children = tuple(children)
+        node.tail = tail
+        node.term = make_list([c.term for c in children], tail=tail.term)
+    else:
+        # Pointer forms: the term lives in the heap; the element loop
+        # never enters them, so no children are planned.
+        node.open_ = category == tags.TagCategory.ULIST_PTR
+        node.term, position = _read_term(data, position - 4, heap, names, symbols)
+    return node, position
+
+
+def _read_term(
+    data: bytes,
+    position: int,
+    heap: bytes,
+    names: tuple[str, ...],
+    symbols: SymbolTable,
+) -> tuple[Term, int]:
+    """Materialise one whole term from raw item bytes.
+
+    The byte-level mirror of ``ItemCursor.take_term``: same sign
+    extension, same symbol-table lookups, same ``_V<offset>`` fallback
+    for unnamed variables, same heap layout for pointer forms.
+    """
+    tag = data[position]
+    content = (data[position + 1] << 16) | (data[position + 2] << 8) | data[
+        position + 3
+    ]
+    position += 4
+    try:
+        category = tags.tag_category(tag)
+    except ValueError as exc:
+        raise PIFDecodeError(str(exc)) from None
+    if category == tags.TagCategory.INTEGER:
+        raw = ((tag & 0xF) << 24) | content
+        if raw >= 1 << (tags.INT_INLINE_BITS - 1):
+            raw -= 1 << tags.INT_INLINE_BITS
+        return Int(raw), position
+    if category == tags.TagCategory.ATOM:
+        return symbols.atom_at(content), position
+    if category == tags.TagCategory.FLOAT:
+        return symbols.float_at(content), position
+    if category == tags.TagCategory.ANONYMOUS:
+        return Var("_"), position
+    if category in (
+        tags.TagCategory.FIRST_QUERY_VAR,
+        tags.TagCategory.SUB_QUERY_VAR,
+        tags.TagCategory.FIRST_DB_VAR,
+        tags.TagCategory.SUB_DB_VAR,
+    ):
+        name = names[content] if content < len(names) else f"_V{content}"
+        return Var(name), position
+    arity = tag & tags.ARITY_MASK
+    if category == tags.TagCategory.STRUCT_INLINE:
+        args = []
+        for _ in range(arity):
+            arg, position = _read_term(data, position, heap, names, symbols)
+            args.append(arg)
+        return Struct(symbols.atom_name_at(content), tuple(args)), position
+    if category == tags.TagCategory.TLIST_INLINE:
+        if arity == 0:
+            return NIL, position
+        elements = []
+        for _ in range(arity):
+            element, position = _read_term(data, position, heap, names, symbols)
+            elements.append(element)
+        tail, position = _read_term(data, position, heap, names, symbols)
+        return make_list(elements, tail=tail), position
+    if category == tags.TagCategory.ULIST_INLINE:
+        elements = []
+        for _ in range(arity):
+            element, position = _read_term(data, position, heap, names, symbols)
+            elements.append(element)
+        tail, position = _read_term(data, position, heap, names, symbols)
+        return make_list(elements, tail=tail), position
+    # Pointer forms: a 4-byte extension points into the heap, whose blob
+    # is a u32 element count followed by the element items (+ tail for
+    # lists); nested extensions index the same heap.
+    extension = int.from_bytes(data[position : position + 4], "big")
+    position += 4
+    if extension + 4 > len(heap):
+        raise PIFDecodeError(f"heap pointer {extension} out of range")
+    count = int.from_bytes(heap[extension : extension + 4], "big")
+    cursor = extension + 4
+    if category == tags.TagCategory.STRUCT_PTR:
+        args = []
+        for _ in range(count):
+            arg, cursor = _read_term(heap, cursor, heap, names, symbols)
+            args.append(arg)
+        return Struct(symbols.atom_name_at(content), tuple(args)), position
+    elements = []
+    for _ in range(count):
+        element, cursor = _read_term(heap, cursor, heap, names, symbols)
+        elements.append(element)
+    tail, cursor = _read_term(heap, cursor, heap, names, symbols)
+    return make_list(elements, tail=tail), position
+
+
+# -- clause record access ----------------------------------------------------
+
+
+def parse_record(record: bytes) -> tuple[bytes, bytes, tuple[str, ...]]:
+    """(head stream, heap, var names) straight off a serialised record.
+
+    The lean mirror of ``CompiledClause.from_bytes`` for the fast path:
+    no dataclass, no body-stream slice, names decoded only when the
+    record's flag says they are present.
+    """
+    flags = record[2]
+    head_len = (record[3] << 8) | record[4]
+    body_len = (record[5] << 8) | record[6]
+    heap_len = (record[7] << 8) | record[8]
+    head_end = 9 + head_len
+    heap_start = head_end + body_len
+    heap_end = heap_start + heap_len
+    names: tuple[str, ...] = ()
+    if flags & _FLAG_HAS_NAMES:
+        position = heap_end
+        count = record[position]
+        position += 1
+        parsed = []
+        for _ in range(count):
+            length = record[position]
+            position += 1
+            parsed.append(record[position : position + length].decode("utf-8"))
+            position += length
+        names = tuple(parsed)
+    return record[9:head_end], record[heap_start:heap_end], names
+
+
+def _skip_term(data: bytes, position: int) -> int:
+    """Advance past one whole in-line subtree (cursor.skip_term)."""
+    remaining = 1
+    while remaining:
+        tag = data[position]
+        position += _LEN[tag]
+        remaining += _CHILDREN[tag] - 1
+    return position
+
+
+# -- the matcher -------------------------------------------------------------
+
+
+class CompiledMatcher:
+    """Run the level-3 + cross-binding match natively over clause bytes.
+
+    The matcher shares the filter's :class:`TestUnificationEngine`, so
+    every binding-memory operation lands in the same ``op_counts`` /
+    ``op_time_ns`` accounting the microcoded path would produce, and
+    charges ``micro_cycles`` from the :class:`CycleCosts` table at every
+    control-flow step the sequencer would have taken.
+    """
+
+    def __init__(
+        self,
+        symbols: SymbolTable,
+        tue: TestUnificationEngine,
+        costs: CycleCosts,
+    ):
+        self.symbols = symbols
+        self.tue = tue
+        self.costs = costs
+
+    def match(
+        self,
+        plan: tuple[PlanNode, ...],
+        data: bytes,
+        heap: bytes,
+        var_names: tuple[str, ...],
+        stats,
+    ) -> bool:
+        """One clause through the plan; returns the hit/miss outcome."""
+        tue = self.tue
+        symbols = self.symbols
+        costs = self.costs
+        dispatch = costs.dispatch
+        next_to_arg = costs.next_to_arg
+        cls_table = _CLS
+        kind_table = _KIND
+        n_names = len(var_names)
+
+        # INIT_CLAUSE: both binding memories reset for every clause.
+        tue.reset_db_memory()
+        tue.reset_query_memory()
+
+        cycles = costs.entry
+        position = 0
+        end = len(data)
+        qi = 0
+        qn = len(plan)
+        outcome = True
+
+        while True:
+            # ARG: both streams exhausted => the clause is a satisfier.
+            if position >= end and qi >= qn:
+                cycles += costs.hit_exit
+                break
+            cycles += costs.arg_header
+            tag = data[position]
+            db_cls = cls_table[tag]
+            if db_cls is None:
+                raise PIFDecodeError(f"unassigned PIF tag 0x{tag:02x} in record")
+            node = plan[qi]
+            q_cls = node.cls
+
+            # Map-ROM priority: anonymous, db-var cases, query-var
+            # cases, then the concrete comparator.
+            if db_cls == 1 or q_cls == 1:  # ANON_SKIP
+                position = position + 4 if db_cls == 1 else _skip_term(data, position)
+                qi += 1
+                cycles += dispatch[(db_cls, q_cls, True, False)] + next_to_arg
+                continue
+            if db_cls == 2:  # DBVAR_FIRST
+                offset = (
+                    (data[position + 1] << 16)
+                    | (data[position + 2] << 8)
+                    | data[position + 3]
+                )
+                position += 4
+                name = var_names[offset] if offset < n_names else f"_V{offset}"
+                tue.var_first("db", name, SideTerm(node.term, "query"))
+                qi += 1
+                cycles += dispatch[(2, q_cls, True, False)] + next_to_arg
+                continue
+            if db_cls == 3:  # DBVAR_SUB
+                offset = (
+                    (data[position + 1] << 16)
+                    | (data[position + 2] << 8)
+                    | data[position + 3]
+                )
+                position += 4
+                name = var_names[offset] if offset < n_names else f"_V{offset}"
+                hit = tue.var_subsequent("db", name, SideTerm(node.term, "query"))
+                qi += 1
+                if hit:
+                    cycles += dispatch[(3, q_cls, True, False)] + next_to_arg
+                    continue
+                cycles += dispatch[(3, q_cls, False, False)]
+                outcome = False
+                break
+            if q_cls == 4:  # QVAR_FIRST
+                term, position = _read_term(data, position, heap, var_names, symbols)
+                tue.var_first("query", node.var_name, SideTerm(term, "db"))
+                qi += 1
+                cycles += dispatch[(db_cls, 4, True, False)] + next_to_arg
+                continue
+            if q_cls == 5:  # QVAR_SUB
+                term, position = _read_term(data, position, heap, var_names, symbols)
+                hit = tue.var_subsequent(
+                    "query", node.var_name, SideTerm(term, "db")
+                )
+                qi += 1
+                if hit:
+                    cycles += dispatch[(db_cls, 5, True, False)] + next_to_arg
+                    continue
+                cycles += dispatch[(db_cls, 5, False, False)]
+                outcome = False
+                break
+
+            # MATCH: the concrete/concrete comparator.
+            tue.record_op(_MATCH)
+            db_kind = kind_table[tag]
+            q_kind = node.kind
+            hit = False
+            entered = False
+            db_arity = tag & 0x1F
+            if db_kind != q_kind:
+                position = _skip_term(data, position)
+                qi += 1
+            elif db_kind <= 2:  # int / atom / float: one tag+content word
+                content = (
+                    (data[position + 1] << 16)
+                    | (data[position + 2] << 8)
+                    | data[position + 3]
+                )
+                position += 4
+                qi += 1
+                hit = tag == node.tag and content == node.content
+            elif db_kind == 3:  # structures
+                content = (
+                    (data[position + 1] << 16)
+                    | (data[position + 2] << 8)
+                    | data[position + 3]
+                )
+                db_inline = (tag & 0xE0) == 0x60
+                if content != node.content:
+                    position = _skip_term(data, position)
+                    qi += 1
+                elif db_inline != node.inline or db_arity != node.arity:
+                    position = _skip_term(data, position)
+                    qi += 1
+                elif not db_inline:
+                    position += 8  # pointer pair: tag+content settled it
+                    qi += 1
+                    hit = True
+                else:
+                    position += 4
+                    qi += 1
+                    hit = True
+                    entered = True
+            else:  # lists
+                base = tag & 0xE0
+                db_open = base == 0xA0 or base == 0x80
+                db_inline = base == 0xE0 or base == 0xA0
+                closed_pair = not db_open and not node.open_
+                if closed_pair and db_inline != node.inline:
+                    position = _skip_term(data, position)
+                    qi += 1
+                elif closed_pair and db_inline and db_arity != node.arity:
+                    position = _skip_term(data, position)
+                    qi += 1
+                elif not db_inline or not node.inline:
+                    position = _skip_term(data, position)
+                    qi += 1
+                    hit = True
+                elif db_arity == 0 and node.arity == 0:
+                    position += 4  # [] vs []
+                    qi += 1
+                    hit = True
+                else:
+                    position += 4
+                    qi += 1
+                    hit = True
+                    entered = True
+            cycles += dispatch[(0, 0, hit, entered)]
+            if not hit:
+                outcome = False
+                break
+            if not entered:
+                cycles += next_to_arg
+                continue
+
+            # -- element loop (level 3: one shallow level) ----------------
+            elem_header = costs.elem_header
+            next_to_elem = costs.next_to_elem
+            db_count = db_arity
+            q_count = node.arity
+            children = node.children
+            ci = 0
+            is_list = db_kind == 4
+            if is_list:
+                db_tail = db_open or db_arity > 0
+                q_tail = node.open_ or node.arity > 0
+            loop_hit = True
+            while db_count > 0 and q_count > 0:
+                cycles += elem_header
+                db_count -= 1
+                q_count -= 1
+                ctag = data[position]
+                cdb_cls = cls_table[ctag]
+                if cdb_cls is None:
+                    raise PIFDecodeError(
+                        f"unassigned PIF tag 0x{ctag:02x} in record"
+                    )
+                cnode = children[ci]
+                cq_cls = cnode.cls
+                ehit = True
+                if cdb_cls == 1 or cq_cls == 1:  # ANON_SKIP
+                    position = (
+                        position + 4
+                        if cdb_cls == 1
+                        else _skip_term(data, position)
+                    )
+                    ci += 1
+                elif cdb_cls == 2:  # DBVAR_FIRST
+                    offset = (
+                        (data[position + 1] << 16)
+                        | (data[position + 2] << 8)
+                        | data[position + 3]
+                    )
+                    position += 4
+                    name = (
+                        var_names[offset] if offset < n_names else f"_V{offset}"
+                    )
+                    tue.var_first("db", name, SideTerm(cnode.term, "query"))
+                    ci += 1
+                elif cdb_cls == 3:  # DBVAR_SUB
+                    offset = (
+                        (data[position + 1] << 16)
+                        | (data[position + 2] << 8)
+                        | data[position + 3]
+                    )
+                    position += 4
+                    name = (
+                        var_names[offset] if offset < n_names else f"_V{offset}"
+                    )
+                    ehit = tue.var_subsequent(
+                        "db", name, SideTerm(cnode.term, "query")
+                    )
+                    ci += 1
+                elif cq_cls == 4:  # QVAR_FIRST
+                    term, position = _read_term(
+                        data, position, heap, var_names, symbols
+                    )
+                    tue.var_first("query", cnode.var_name, SideTerm(term, "db"))
+                    ci += 1
+                elif cq_cls == 5:  # QVAR_SUB
+                    term, position = _read_term(
+                        data, position, heap, var_names, symbols
+                    )
+                    ehit = tue.var_subsequent(
+                        "query", cnode.var_name, SideTerm(term, "db")
+                    )
+                    ci += 1
+                else:  # MATCH, counters active: shallow verdicts only
+                    tue.record_op(_MATCH)
+                    cdb_kind = kind_table[ctag]
+                    cq_kind = cnode.kind
+                    ehit = False
+                    carity = ctag & 0x1F
+                    if cdb_kind != cq_kind:
+                        position = _skip_term(data, position)
+                        ci += 1
+                    elif cdb_kind <= 2:
+                        content = (
+                            (data[position + 1] << 16)
+                            | (data[position + 2] << 8)
+                            | data[position + 3]
+                        )
+                        position += 4
+                        ci += 1
+                        ehit = ctag == cnode.tag and content == cnode.content
+                    elif cdb_kind == 3:
+                        content = (
+                            (data[position + 1] << 16)
+                            | (data[position + 2] << 8)
+                            | data[position + 3]
+                        )
+                        cdb_inline = (ctag & 0xE0) == 0x60
+                        if content != cnode.content:
+                            position = _skip_term(data, position)
+                            ci += 1
+                        elif (
+                            cdb_inline != cnode.inline or carity != cnode.arity
+                        ):
+                            position = _skip_term(data, position)
+                            ci += 1
+                        elif not cdb_inline:
+                            position += 8
+                            ci += 1
+                            ehit = True
+                        else:
+                            # Depth >= 2: shallow only; skip the elements.
+                            position = _skip_term(data, position)
+                            ci += 1
+                            ehit = True
+                    else:
+                        cbase = ctag & 0xE0
+                        cdb_open = cbase == 0xA0 or cbase == 0x80
+                        cdb_inline = cbase == 0xE0 or cbase == 0xA0
+                        cclosed = not cdb_open and not cnode.open_
+                        if cclosed and cdb_inline != cnode.inline:
+                            position = _skip_term(data, position)
+                            ci += 1
+                        elif (
+                            cclosed
+                            and cdb_inline
+                            and carity != cnode.arity
+                        ):
+                            position = _skip_term(data, position)
+                            ci += 1
+                        else:
+                            # Shallow verdict already computed; skip.
+                            position = _skip_term(data, position)
+                            ci += 1
+                            ehit = True
+                cycles += dispatch[(cdb_cls, cq_cls, ehit, False)]
+                if not ehit:
+                    loop_hit = False
+                    break
+                cycles += next_to_elem
+            if not loop_hit:
+                outcome = False
+                break
+
+            # FINISH_COMPLEX: list tails / leftover skipping.
+            fin_hit = True
+            if is_list:
+                if db_count == 0 and q_count == 0 and db_tail and q_tail:
+                    # Both prefixes exhausted together: the tails meet.
+                    tail_tag = data[position]
+                    tail_node = node.tail
+                    if (
+                        tail_tag == tags.TAG_TLIST_INLINE_BASE
+                        and tail_node.tag == tags.TAG_TLIST_INLINE_BASE
+                    ):
+                        position += 4  # [] vs []: nothing to compare
+                    else:
+                        term, position = _read_term(
+                            data, position, heap, var_names, symbols
+                        )
+                        fin_hit = tue.dispatch_terms(
+                            SideTerm(term, "db"),
+                            SideTerm(tail_node.term, "query"),
+                        )
+                else:
+                    # One counter reached zero first: skip, succeed.
+                    for _ in range(db_count):
+                        position = _skip_term(data, position)
+                    if db_tail:
+                        position = _skip_term(data, position)
+            # Structures: the counters always exhaust together.
+            if fin_hit:
+                cycles += costs.finish_hit
+                continue
+            cycles += costs.finish_miss
+            outcome = False
+            break
+
+        stats.micro_cycles += cycles
+        return outcome

@@ -17,7 +17,7 @@ which accrues the Table 1 execution times.
 
 from __future__ import annotations
 
-from collections import Counter
+from collections import Counter, OrderedDict
 from dataclasses import dataclass, field
 from typing import Iterable
 
@@ -30,6 +30,8 @@ from ..pif.symbols import SymbolTable
 from ..terms import Term, functor_indicator
 from ..unify.match import HardwareOp
 from .buffer import DoubleBuffer
+from .compiled import CompiledMatcher, PlanNode, compile_plan, derive_cycle_costs
+from .compiled import parse_record as _parse_record
 from .control import ControlRegister, FilterSelect, OperationalMode
 from .cursor import ItemCursor
 from .microcode import (
@@ -41,12 +43,16 @@ from .microcode import (
     assemble_search_program,
 )
 from .result import ResultMemory
+from .timing import CLOCK_HZ
 from .tue import SideTerm, TestUnificationEngine
 from .wcs import ElementCounters, MicroProgramController, WritableControlStore
 
-__all__ = ["FS2SearchStats", "SecondStageFilter", "FS2ProtocolError"]
+__all__ = ["FS2SearchStats", "SecondStageFilter", "FS2ProtocolError", "FS2_MODES"]
 
 _WATCHDOG_BASE = 10_000
+
+#: The two execution engines behind the same host protocol.
+FS2_MODES = ("microcoded", "compiled")
 
 
 class FS2ProtocolError(RuntimeError):
@@ -71,8 +77,6 @@ class FS2SearchStats:
     @property
     def clock_time_ns(self) -> float:
         """Wall time of the microprogram at the 8 MHz WCS clock."""
-        from .timing import CLOCK_HZ
-
         return self.micro_cycles * 1e9 / CLOCK_HZ
 
 
@@ -84,8 +88,13 @@ class SecondStageFilter:
         symbols: SymbolTable,
         cross_binding: bool = True,
         obs: Instrumentation | None = None,
+        mode: str = "microcoded",
+        plan_cache_size: int = 128,
     ):
+        if mode not in FS2_MODES:
+            raise ValueError(f"unknown FS2 mode {mode!r}; expected {FS2_MODES}")
         self.symbols = symbols
+        self.mode = mode
         self.obs = obs if obs is not None else _default_obs()
         self.control = ControlRegister()
         self.control.select_filter(FilterSelect.FS2)
@@ -98,6 +107,16 @@ class SecondStageFilter:
         self._program: MicroProgram | None = None
         self._query_encoded: EncodedArgs | None = None
         self._indicator: tuple[str, int] | None = None
+        # Compiled fast path: the matcher (built at microprogram-load
+        # time from the mechanically derived cycle costs), the current
+        # match plan, and the per-(canonical goal key, indicator) LRU of
+        # (encoded query, plan) pairs.
+        self.plan_cache_size = plan_cache_size
+        self._matcher: CompiledMatcher | None = None
+        self._plan: tuple[PlanNode, ...] | None = None
+        self._plan_cache: "OrderedDict[tuple, tuple[EncodedArgs, tuple[PlanNode, ...]]]" = (
+            OrderedDict()
+        )
         # Per-clause datapath state.
         self._db_cursor: ItemCursor | None = None
         self._q_cursor: ItemCursor | None = None
@@ -115,17 +134,70 @@ class SecondStageFilter:
     def load_microprogram(self, program: MicroProgram | None = None) -> None:
         """Microprogramming mode: write the search program into the WCS."""
         self.control.set_mode(OperationalMode.MICROPROGRAMMING)
-        self.wcs.load_program(program or assemble_search_program())
-        self._program = program or assemble_search_program()
+        program = program or assemble_search_program()
+        self.wcs.load_program(program)
+        self._program = program
+        if self.mode == "compiled":
+            # The cycle-cost table is derived from the words just loaded,
+            # so a nonstandard program either accounts identically or is
+            # rejected here rather than silently drifting.
+            self._matcher = CompiledMatcher(
+                self.symbols, self.tue, derive_cycle_costs(program)
+            )
 
     def set_query(self, query: Term) -> None:
         """Set Query mode: encode the query into the Query Memory."""
         if not self.wcs.loaded:
             raise FS2ProtocolError("load the microprogram before the query")
         self.control.set_mode(OperationalMode.SET_QUERY)
+        indicator = functor_indicator(query)
+        if self._matcher is not None:
+            self._set_query_compiled(query, indicator)
+        else:
+            encoder = PIFEncoder(self.symbols, side="query")
+            self._query_encoded = encoder.encode_head(query)
+        self._indicator = indicator
+        self.tue.reset_query_memory()
+        self.control.set_match_found(False)
+        self.result.reset()
+
+    def _set_query_compiled(self, query: Term, indicator: tuple[str, int]) -> None:
+        """Probe the plan LRU; compile (and cache) on a miss.
+
+        Keyed by the canonical goal key, so renamed-variable aliases of
+        one retrieval share a plan: the match outcome and every stat are
+        name-independent (names only key the TUE binding memories).
+        """
+        from ..crs.keys import canonical_goal_key  # local import avoids a cycle
+
+        key = (canonical_goal_key(query), indicator)
+        cached = self._plan_cache.get(key)
+        if cached is not None:
+            self._plan_cache.move_to_end(key)
+            self.obs.counter("fs2.plan_cache.hits").inc()
+            self._query_encoded, self._plan = cached
+            return
+        self.obs.counter("fs2.plan_cache.misses").inc()
         encoder = PIFEncoder(self.symbols, side="query")
-        self._query_encoded = encoder.encode_head(query)
-        self._indicator = functor_indicator(query)
+        encoded = encoder.encode_head(query)
+        plan = compile_plan(encoded, self.symbols)
+        self._query_encoded = encoded
+        self._plan = plan
+        self._plan_cache[key] = (encoded, plan)
+        while len(self._plan_cache) > self.plan_cache_size:
+            self._plan_cache.popitem(last=False)
+            self.obs.counter("fs2.plan_cache.evictions").inc()
+
+    def rearm(self) -> None:
+        """Re-enter Set Query mode for the query already loaded.
+
+        The cheap flush between chunked search calls over one goal: the
+        Result Memory and Query Memory reset exactly as ``set_query``
+        would, but the goal is neither re-encoded nor re-planned.
+        """
+        if self._query_encoded is None or self._indicator is None:
+            raise FS2ProtocolError("set the query before re-arming")
+        self.control.set_mode(OperationalMode.SET_QUERY)
         self.tue.reset_query_memory()
         self.control.set_match_found(False)
         self.result.reset()
@@ -189,6 +261,9 @@ class SecondStageFilter:
         obs.histogram(
             "fs2.rm_occupancy", buckets=(0, 1, 2, 4, 8, 16, 32, 48, 63, 64)
         ).observe(self.result.satisfier_count)
+        if self._matcher is not None:
+            obs.counter("fs2.compiled.search_calls").inc()
+            obs.counter("fs2.compiled.clauses").inc(stats.clauses_examined)
 
     def read_results(self) -> list[bytes]:
         """Read Result mode: the captured satisfier records."""
@@ -203,6 +278,12 @@ class SecondStageFilter:
         indicator: tuple[str, int],
         stats: FS2SearchStats,
     ) -> bool:
+        matcher = self._matcher
+        if matcher is not None:
+            if indicator != self._indicator:
+                return False  # wrong predicate: never a satisfier
+            head, heap, names = _parse_record(record)
+            return matcher.match(self._plan, head, heap, names, stats)
         compiled, _ = CompiledClause.from_bytes(record, indicator)
         return self._match_compiled(compiled, stats)
 
@@ -210,6 +291,16 @@ class SecondStageFilter:
         """Match a single compiled clause (no streaming); for testing."""
         if self._query_encoded is None:
             raise FS2ProtocolError("set the query before matching")
+        if self._matcher is not None:
+            if compiled.indicator != self._indicator:
+                return False
+            return self._matcher.match(
+                self._plan,
+                compiled.head_stream,
+                compiled.heap,
+                compiled.var_names,
+                FS2SearchStats(),
+            )
         return self._match_compiled(compiled, FS2SearchStats())
 
     def _match_compiled(

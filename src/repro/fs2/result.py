@@ -35,6 +35,11 @@ class ResultMemory:
         self._satisfier_counter = 0  # 6-bit
         self._byte_counter = 0  # 9-bit
         self._slot_lengths: list[int] = []
+        # In-call stream position of each captured satisfier, so the
+        # host can map result slots back to the records (and addresses)
+        # it streamed in — a direct index, not a byte-equality walk.
+        self._stream_index = -1
+        self._positions: list[int] = []
 
     @property
     def satisfier_count(self) -> int:
@@ -58,10 +63,28 @@ class ResultMemory:
         self._byte_counter += 1
 
     def stream_record(self, record: bytes) -> None:
-        """Convenience: stream a whole record into the current slot."""
+        """Stream a whole record into the current slot (one DMA burst).
+
+        Semantically ``begin_clause`` plus ``stream_byte`` per byte, but
+        copied as one slice so the per-record host cost is flat.
+        """
+        self._stream_index += 1
         self.begin_clause()
-        for byte in record:
-            self.stream_byte(byte)
+        if not record:
+            return
+        if self._satisfier_counter >= MAX_SATISFIERS:
+            raise ResultMemoryFull(
+                f"all {MAX_SATISFIERS} Result Memory slots are captured"
+            )
+        base = self._satisfier_counter << 9
+        if len(record) > SLOT_BYTES:
+            # Same partial state the per-byte path leaves behind: the
+            # slot fills up, then the overflow byte raises.
+            self._memory[base : base + SLOT_BYTES] = record[:SLOT_BYTES]
+            self._byte_counter = SLOT_BYTES
+            raise ValueError("clause exceeds the 512-byte slot")
+        self._memory[base : base + len(record)] = record
+        self._byte_counter = len(record)
 
     def capture(self) -> None:
         """The clause matched: advance the 6-bit counter to keep its slot."""
@@ -70,6 +93,7 @@ class ResultMemory:
                 f"more than {MAX_SATISFIERS} satisfiers in one search call"
             )
         self._slot_lengths.append(self._byte_counter)
+        self._positions.append(self._stream_index)
         self._satisfier_counter += 1
 
     def discard(self) -> None:
@@ -84,7 +108,18 @@ class ResultMemory:
             records.append(bytes(self._memory[base : base + length]))
         return records
 
+    def satisfier_positions(self) -> list[int]:
+        """In-call stream position of each captured slot, in slot order.
+
+        ``satisfier_positions()[i]`` is the zero-based index, among the
+        records streamed since the last reset, of the record now held in
+        result slot ``i``.
+        """
+        return list(self._positions)
+
     def reset(self) -> None:
         self._satisfier_counter = 0
         self._byte_counter = 0
         self._slot_lengths.clear()
+        self._stream_index = -1
+        self._positions.clear()

@@ -76,6 +76,9 @@ def headline_counters(registry: MetricsRegistry) -> dict[str, float]:
         "cache_misses": registry.total("crs.cache.misses"),
         "fs1_searches": registry.total("fs1.searches"),
         "fs2_search_calls": registry.total("fs2.search_calls"),
+        "fs2_plan_cache_hits": registry.total("fs2.plan_cache.hits"),
+        "fs2_plan_cache_misses": registry.total("fs2.plan_cache.misses"),
+        "fs2_compiled_clauses": registry.total("fs2.compiled.clauses"),
         "disk_bytes": registry.total("disk.bytes_read"),
         "lock_waits": registry.total("locks.waits"),
         "deadlocks": registry.total("locks.deadlocks"),
@@ -186,6 +189,13 @@ def format_metrics(
             head["cache_misses"],
             head["fs1_searches"],
             head["fs2_search_calls"],
+        )
+    )
+    lines.append(
+        "fs2 plan cache hits/misses={:g}/{:g}  compiled clauses={:g}".format(
+            head["fs2_plan_cache_hits"],
+            head["fs2_plan_cache_misses"],
+            head["fs2_compiled_clauses"],
         )
     )
     lines.append(
