@@ -1,0 +1,110 @@
+"""[E11] Network serving overhead: loadgen p50/p99 vs in-process calls.
+
+The serving subsystem's cost claim: putting the cluster behind the TCP
+frame protocol adds bounded per-request overhead — the open-loop p50
+stays within a small multiple of the in-process retrieval time, and at
+an offered load the admission controller can sustain, nothing is shed.
+The absolute numbers land in ``BENCH_net.json`` at the repo root (the
+CI smoke job uploads it alongside ``BENCH_fs1.json``/``BENCH_fs2.json``);
+the assertions are deliberately loose — CI boxes are noisy and this
+measures host wall clock, not modelled hardware time.
+"""
+
+import json
+import pathlib
+import time
+
+from repro.cluster import ShardedRetrievalServer, ShardingPolicy
+from repro.net import BackgroundService, RetrievalService
+from repro.terms import read_term
+from repro.workloads import percentile, run_loadgen
+from tables import record_table
+
+RESULT_PATH = pathlib.Path(__file__).parent.parent / "BENCH_net.json"
+
+
+def build_engine(facts: int) -> ShardedRetrievalServer:
+    engine = ShardedRetrievalServer(2, ShardingPolicy.FIRST_ARG)
+    engine.consult_text(
+        " ".join(f"edge(n{i}, n{(i * 7) % facts})." for i in range(facts))
+    )
+    return engine
+
+
+def in_process_baseline(engine, goals, samples: int) -> list[float]:
+    latencies = []
+    for index in range(samples):
+        goal = goals[index % len(goals)]
+        begin = time.perf_counter()
+        engine.retrieve(goal)
+        latencies.append(time.perf_counter() - begin)
+    return latencies
+
+
+def test_bench_network_serving_overhead(quick):
+    facts = 300 if quick else 2_000
+    qps = 150.0 if quick else 400.0
+    duration_s = 0.5 if quick else 2.0
+    overhead_ceiling_ms = 250.0  # sanity bound, not a perf claim
+
+    engine = build_engine(facts)
+    goals = [
+        read_term("edge(n1, X)"),
+        read_term("edge(n17, X)"),
+        read_term("edge(X, n0)"),
+    ]
+    baseline = in_process_baseline(engine, goals, samples=200)
+
+    service = RetrievalService(engine, max_in_flight=4, queue_limit=32)
+    with BackgroundService(service) as background:
+        host, port = background.start()
+        result = run_loadgen(
+            host, port, goals, qps=qps, duration_s=duration_s
+        )
+
+    base_p50_ms = percentile(baseline, 0.50) * 1e3
+    base_p99_ms = percentile(baseline, 0.99) * 1e3
+    net_p50_ms = result.latency_s(0.50) * 1e3
+    net_p99_ms = result.latency_s(0.99) * 1e3
+
+    payload = {
+        "facts": facts,
+        "offered": result.offered,
+        "ok": result.ok,
+        "busy": result.busy,
+        "deadline_expired": result.deadline_expired,
+        "errors": result.errors,
+        "achieved_qps": round(result.achieved_qps, 1),
+        "in_process_p50_ms": round(base_p50_ms, 4),
+        "in_process_p99_ms": round(base_p99_ms, 4),
+        "network_p50_ms": round(net_p50_ms, 4),
+        "network_p99_ms": round(net_p99_ms, 4),
+        "overhead_p50_ms": round(net_p50_ms - base_p50_ms, 4),
+        "quick": quick,
+    }
+    RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    record_table(
+        "E11",
+        "Network serving vs in-process retrieval (host wall clock)",
+        ("path", "requests", "p50 ms", "p99 ms"),
+        [
+            ("in-process", len(baseline), round(base_p50_ms, 3),
+             round(base_p99_ms, 3)),
+            ("loopback TCP", result.ok, round(net_p50_ms, 3),
+             round(net_p99_ms, 3)),
+        ],
+        notes=(
+            f"open-loop {qps:g} qps for {duration_s:g}s, "
+            f"busy={result.busy} deadline={result.deadline_expired} "
+            f"errors={result.errors}; results in {RESULT_PATH.name}"
+        ),
+    )
+
+    # The service must sustain the offered load without shedding...
+    assert result.errors == 0
+    assert result.ok + result.busy == result.offered
+    assert result.ok > 0.8 * result.offered
+    # ...and loopback overhead stays within a sane bound.
+    assert net_p50_ms < overhead_ceiling_ms
+    assert net_p99_ms < 4 * overhead_ceiling_ms

@@ -106,6 +106,96 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache", type=int, default=0, help="CRS retrieval cache size (entries)"
     )
 
+    serve = commands.add_parser(
+        "serve",
+        help="load a .pl file into a shard cluster and serve retrievals "
+        "over TCP (see repro.net for the wire protocol)",
+    )
+    serve.add_argument("file", help="Prolog source file")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=0, help="TCP port (0 = ephemeral)"
+    )
+    serve.add_argument(
+        "--disk", action="store_true",
+        help="pin the program to the simulated disk",
+    )
+    serve.add_argument("--shards", type=int, default=1)
+    serve.add_argument(
+        "--shard-by",
+        choices=[p.value for p in ShardingPolicy],
+        default=ShardingPolicy.PREDICATE.value,
+    )
+    serve.add_argument(
+        "--fs1-mode", choices=["bitsliced", "naive"], default="bitsliced"
+    )
+    serve.add_argument(
+        "--fs2-mode", choices=["compiled", "microcoded"], default="compiled"
+    )
+    serve.add_argument(
+        "--max-in-flight", type=int, default=4,
+        help="concurrent retrievals executing (worker threads)",
+    )
+    serve.add_argument(
+        "--queue-limit", type=int, default=16,
+        help="requests allowed to wait for a worker before SERVER_BUSY",
+    )
+    serve.add_argument(
+        "--default-deadline-ms", type=int, default=0,
+        help="deadline applied to requests that do not carry one (0 = none)",
+    )
+    serve.add_argument(
+        "--max-requests", type=int, default=None,
+        help="drain and exit after handling N requests (default: serve "
+        "until interrupted)",
+    )
+
+    client = commands.add_parser(
+        "client", help="query a running `serve` instance over TCP"
+    )
+    client.add_argument("--host", default="127.0.0.1")
+    client.add_argument("--port", type=int, required=True)
+    client.add_argument(
+        "--goal", action="append", default=[], help="goal to retrieve (repeatable)"
+    )
+    client.add_argument(
+        "--batch", action="store_true",
+        help="send all goals as one REQ_RETRIEVE_BATCH frame",
+    )
+    client.add_argument(
+        "--deadline-ms", type=int, default=0,
+        help="per-request deadline (0 = none)",
+    )
+    client.add_argument(
+        "--mode", choices=[m.value for m in SearchMode],
+        help="force one CRS search mode",
+    )
+    client.add_argument(
+        "--server-stats", action="store_true",
+        help="also fetch and print the server's stats snapshot",
+    )
+
+    loadgen = commands.add_parser(
+        "loadgen",
+        help="open-loop load generator against a running `serve` instance",
+    )
+    loadgen.add_argument("--host", default="127.0.0.1")
+    loadgen.add_argument("--port", type=int, required=True)
+    loadgen.add_argument(
+        "--goal", action="append", default=[], required=True,
+        help="goal pool, issued round-robin (repeatable)",
+    )
+    loadgen.add_argument("--qps", type=float, default=200.0)
+    loadgen.add_argument("--duration-s", type=float, default=1.0)
+    loadgen.add_argument("--deadline-ms", type=int, default=0)
+    loadgen.add_argument(
+        "--mode", choices=[m.value for m in SearchMode]
+    )
+    loadgen.add_argument(
+        "--retries", type=int, default=0,
+        help="client retry cap (0 keeps SERVER_BUSY visible in the counts)",
+    )
+
     goal = commands.add_parser("goal", help="solve a goal with an empty KB")
     goal.add_argument("text", help="the goal")
     goal.add_argument("--max-solutions", type=int, default=10)
@@ -138,6 +228,12 @@ def main(argv: list[str] | None = None, out=None) -> int:
         return 0
     if args.command == "stats":
         return _cmd_stats(args, out)
+    if args.command == "serve":
+        return _cmd_serve(args, out)
+    if args.command == "client":
+        return _cmd_client(args, out)
+    if args.command == "loadgen":
+        return _cmd_loadgen(args, out)
     return _cmd_consult(args, out)
 
 
@@ -283,6 +379,117 @@ def _cmd_sharded(args, out, obs: Instrumentation | None, cache_size: int = 0) ->
         if busy:
             out.write(f"[batch] shard busy: {busy}\n")
     _write_trace(args, obs, out)
+    return 0
+
+
+def _cmd_serve(args, out) -> int:
+    """Load a program into a cluster and serve it over TCP until drained."""
+    import asyncio
+
+    from .net import RetrievalService
+    from .report import format_net_report
+
+    obs = Instrumentation()
+    server = ShardedRetrievalServer(
+        max(1, args.shards),
+        args.shard_by,
+        fs1_mode=args.fs1_mode,
+        fs2_mode=args.fs2_mode,
+        obs=obs,
+    )
+    with open(args.file, encoding="utf-8") as handle:
+        count = server.consult_text(handle.read())
+    out.write(f"consulted {count} clauses into {max(1, args.shards)} shard(s)\n")
+    if args.disk:
+        server.pin_module("user", Residency.DISK)
+        out.write("shard programs pinned to the simulated disks\n")
+    service = RetrievalService(
+        server,
+        args.host,
+        args.port,
+        max_in_flight=args.max_in_flight,
+        queue_limit=args.queue_limit,
+        default_deadline_s=(
+            args.default_deadline_ms / 1000.0
+            if args.default_deadline_ms > 0 else None
+        ),
+        obs=obs,
+    )
+
+    async def serve() -> None:
+        host, port = await service.start()
+        out.write(f"[net] serving on {host}:{port}\n")
+        if hasattr(out, "flush"):
+            out.flush()
+        await service.run(args.max_requests)
+
+    try:
+        asyncio.run(serve())
+    except KeyboardInterrupt:
+        pass  # run()'s finally already drained
+    out.write(format_net_report(obs.registry) + "\n")
+    return 0
+
+
+def _cmd_client(args, out) -> int:
+    """One-shot client: retrieve goals from a running `serve` instance."""
+    from .net import DeadlineExceeded, NetError, RetrievalClient
+    from .report import format_retrieval
+
+    mode = SearchMode(args.mode) if args.mode else None
+    deadline_s = args.deadline_ms / 1000.0 if args.deadline_ms > 0 else None
+    goals = [read_term(text) for text in args.goal]
+    try:
+        with RetrievalClient(args.host, args.port) as client:
+            if not goals:
+                client.ping()
+                out.write("pong\n")
+            elif args.batch:
+                results = client.retrieve_batch(
+                    goals, mode=mode, deadline_s=deadline_s
+                )
+            else:
+                results = [
+                    client.retrieve(goal, mode=mode, deadline_s=deadline_s)
+                    for goal in goals
+                ]
+            if goals:
+                for result in results:
+                    out.write(format_retrieval(result.goal, result.stats) + "\n")
+                    for clause in result.candidates:
+                        out.write(f"   {clause}\n")
+            if args.server_stats:
+                snap = client.stats()
+                out.write(
+                    f"[server] address={snap['address']} "
+                    f"handled={snap['handled']} "
+                    f"admitted_now={snap['admitted_now']} "
+                    f"engine_clauses={snap['engine_clauses']}\n"
+                )
+    except (DeadlineExceeded, NetError, ConnectionError, OSError) as exc:
+        out.write(f"error: {exc}\n")
+        return 1
+    return 0
+
+
+def _cmd_loadgen(args, out) -> int:
+    """Open-loop load generation against a running `serve` instance."""
+    from .workloads import run_loadgen
+
+    mode = SearchMode(args.mode) if args.mode else None
+    deadline_s = args.deadline_ms / 1000.0 if args.deadline_ms > 0 else None
+    goals = [read_term(text) for text in args.goal]
+    result = run_loadgen(
+        args.host,
+        args.port,
+        goals,
+        qps=args.qps,
+        duration_s=args.duration_s,
+        mode=mode,
+        deadline_s=deadline_s,
+        max_retries=args.retries,
+    )
+    out.write("[loadgen] " + result.summary() + "\n")
     return 0
 
 

@@ -13,10 +13,11 @@ shards concurrently, so the batch takes as long as its busiest shard
 from __future__ import annotations
 
 import threading
-from concurrent.futures import ThreadPoolExecutor
+import time
+from concurrent.futures import FIRST_EXCEPTION, ThreadPoolExecutor, wait
 from dataclasses import dataclass, field
 
-from ..crs import RetrievalResult, SearchMode
+from ..crs import RetrievalResult, RetrievalTimeout, SearchMode
 from ..obs import Instrumentation
 from ..terms import Term
 from .server import MergedRetrievalStats, ShardedRetrievalServer
@@ -82,6 +83,7 @@ class BatchExecutor:
         goals: list[Term],
         mode: SearchMode | None = None,
         batch_fs1: bool = False,
+        timeout: float | None = None,
     ) -> BatchResult:
         """Retrieve every goal; results come back in input order.
 
@@ -96,7 +98,14 @@ class BatchExecutor:
         modelled times, less host wall clock.  Shard busy time is
         accumulated from the merged per-shard stats either way (cluster
         cache hits cost nothing).
+
+        ``timeout`` (host seconds) bounds the whole batch: a stuck
+        shard no longer wedges the run forever — the batch raises
+        :class:`~repro.crs.RetrievalTimeout` at the deadline, and each
+        fanned-out goal carries the remaining budget into its own
+        shard-lock waits.
         """
+        deadline = None if timeout is None else time.monotonic() + timeout
         stats = BatchStats(goals=len(goals))
         busy_lock = threading.Lock()
 
@@ -112,7 +121,13 @@ class BatchExecutor:
             return result
 
         def one(goal: Term) -> RetrievalResult:
-            return account(self.server.retrieve(goal, mode=mode))
+            remaining = (
+                None if deadline is None
+                else max(0.0, deadline - time.monotonic())
+            )
+            return account(
+                self.server.retrieve(goal, mode=mode, timeout=remaining)
+            )
 
         with self.obs.span(
             "cluster.batch", goals=len(goals), fs1_batched=str(batch_fs1)
@@ -120,13 +135,34 @@ class BatchExecutor:
             if batch_fs1 and len(goals) > 1:
                 results = [
                     account(result)
-                    for result in self.server.retrieve_batch(goals, mode=mode)
+                    for result in self.server.retrieve_batch(
+                        goals, mode=mode, timeout=timeout
+                    )
                 ]
             elif len(goals) <= 1:
                 results = [one(goal) for goal in goals]
             else:
-                with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
-                    results = list(pool.map(one, goals))
+                pool = ThreadPoolExecutor(max_workers=self.max_workers)
+                try:
+                    futures = [pool.submit(one, goal) for goal in goals]
+                    remaining = (
+                        None if deadline is None
+                        else max(0.0, deadline - time.monotonic())
+                    )
+                    done, not_done = wait(
+                        futures, timeout=remaining,
+                        return_when=FIRST_EXCEPTION,
+                    )
+                    for future in done:
+                        future.result()
+                    if not_done:
+                        raise RetrievalTimeout(
+                            f"{len(not_done)} goal(s) still running at "
+                            "the batch deadline"
+                        )
+                    results = [future.result() for future in futures]
+                finally:
+                    pool.shutdown(wait=deadline is None, cancel_futures=True)
             span.set(
                 wall_clock_s=stats.wall_clock_s,
                 serial_time_s=stats.serial_time_s,

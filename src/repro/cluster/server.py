@@ -21,11 +21,18 @@ their sum; the per-shard breakdown is preserved in
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Iterable
 
-from ..crs import HostCostModel, RetrievalResult, RetrievalStats, SearchMode
+from ..crs import (
+    HostCostModel,
+    RetrievalResult,
+    RetrievalStats,
+    RetrievalTimeout,
+    SearchMode,
+)
 from ..crs.keys import canonical_goal_key
 from ..crs.server import ClauseRetrievalServer
 from ..obs import Instrumentation
@@ -225,7 +232,12 @@ class ShardedRetrievalServer:
 
     # -- retrieval -----------------------------------------------------------
 
-    def retrieve(self, goal: Term, mode: SearchMode | None = None) -> RetrievalResult:
+    def retrieve(
+        self,
+        goal: Term,
+        mode: SearchMode | None = None,
+        timeout: float | None = None,
+    ) -> RetrievalResult:
         """Candidates for ``goal`` merged across its routed shards.
 
         The contract matches the single-engine server: the merged
@@ -233,9 +245,18 @@ class ShardedRetrievalServer:
         implementations against each other), stats itemise where the
         time went, and with ``cache_size > 0`` repeats are served from
         the cluster-level LRU until any shard's KB changes.
+
+        ``timeout`` (host seconds) bounds the whole fan-out: a shard
+        whose lock cannot be acquired before the deadline raises
+        :class:`~repro.crs.RetrievalTimeout` instead of blocking forever
+        behind a stuck retrieval.  Each shard's own execution runs
+        uninterrupted once its lock is held (the simulated hardware has
+        no preemption); queue wait is where a wedged shard stalls every
+        other request, and that is what the deadline cuts off.
         """
         from ..terms import term_to_string
 
+        deadline = None if timeout is None else time.monotonic() + timeout
         with self.obs.span("cluster.retrieve", goal=term_to_string(goal)) as span:
             cache_key = None
             version_snapshot = None
@@ -251,10 +272,13 @@ class ShardedRetrievalServer:
             shard_results: dict[int, RetrievalResult] = {}
             for shard_id in targets:
                 shard = self.shards[shard_id]
-                with shard.lock:
+                self._acquire_shard(shard, deadline)
+                try:
                     shard_results[shard_id] = shard.server.retrieve(
                         goal, mode=effective_mode
                     )
+                finally:
+                    shard.lock.release()
             result = self._merge(goal, effective_mode, shard_results)
             if cache_key is not None:
                 self._cache_insert(cache_key, version_snapshot, result)
@@ -267,7 +291,10 @@ class ShardedRetrievalServer:
             return result
 
     def retrieve_batch(
-        self, goals: list[Term], mode: SearchMode | None = None
+        self,
+        goals: list[Term],
+        mode: SearchMode | None = None,
+        timeout: float | None = None,
     ) -> list[RetrievalResult]:
         """Retrieve many goals, batching each shard's FS1 work.
 
@@ -278,8 +305,15 @@ class ShardedRetrievalServer:
         its engine can amortise batched FS1 scans), and the shards run
         concurrently, one thread per shard, exactly as the parallel-disk
         timing model assumes.
+
+        ``timeout`` bounds the whole fan-out: if any shard worker is
+        still running (or still queued behind a stuck shard lock) at the
+        deadline, the batch raises :class:`~repro.crs.RetrievalTimeout`
+        rather than blocking on the slowest shard forever.
         """
-        from concurrent.futures import ThreadPoolExecutor
+        from concurrent.futures import FIRST_EXCEPTION, ThreadPoolExecutor, wait
+
+        deadline = None if timeout is None else time.monotonic() + timeout
 
         results: list[RetrievalResult | None] = [None] * len(goals)
         # (position, goal, cache_key, snapshot, targets, effective mode)
@@ -316,7 +350,8 @@ class ShardedRetrievalServer:
 
             def run_shard(shard_id: int) -> None:
                 shard = self.shards[shard_id]
-                with shard.lock:
+                self._acquire_shard(shard, deadline)
+                try:
                     for effective_mode, items in shard_work[shard_id].items():
                         sub = shard.server.retrieve_batch(
                             [pending[i][1] for i in items],
@@ -324,13 +359,37 @@ class ShardedRetrievalServer:
                         )
                         for item, result in zip(items, sub):
                             shard_results[item][shard_id] = result
+                finally:
+                    shard.lock.release()
 
             busy_shards = sorted(shard_work)
             if len(busy_shards) > 1:
-                with ThreadPoolExecutor(
-                    max_workers=len(busy_shards)
-                ) as pool:
-                    list(pool.map(run_shard, busy_shards))
+                pool = ThreadPoolExecutor(max_workers=len(busy_shards))
+                try:
+                    futures = [
+                        pool.submit(run_shard, shard_id)
+                        for shard_id in busy_shards
+                    ]
+                    remaining = (
+                        None if deadline is None
+                        else max(0.0, deadline - time.monotonic())
+                    )
+                    done, not_done = wait(
+                        futures, timeout=remaining,
+                        return_when=FIRST_EXCEPTION,
+                    )
+                    for future in done:
+                        future.result()  # re-raise worker failures
+                    if not_done:
+                        # Workers still blocked on a shard lock will
+                        # time themselves out via _acquire_shard; the
+                        # pool is released without joining them.
+                        raise RetrievalTimeout(
+                            f"{len(not_done)} shard batch(es) still "
+                            "running at the deadline"
+                        )
+                finally:
+                    pool.shutdown(wait=deadline is None, cancel_futures=True)
             else:
                 for shard_id in busy_shards:
                     run_shard(shard_id)
@@ -347,6 +406,22 @@ class ShardedRetrievalServer:
                 shards=len(busy_shards),
             )
         return results  # type: ignore[return-value]
+
+    @staticmethod
+    def _acquire_shard(shard: ClusterShard, deadline: float | None) -> None:
+        """Take a shard's lock, or raise :class:`RetrievalTimeout`.
+
+        With no deadline this blocks exactly like the old ``with
+        shard.lock:`` — unbounded, preserving the in-process contract.
+        """
+        if deadline is None:
+            shard.lock.acquire()
+            return
+        remaining = deadline - time.monotonic()
+        if remaining <= 0 or not shard.lock.acquire(timeout=remaining):
+            raise RetrievalTimeout(
+                f"shard {shard.shard_id} busy past the retrieval deadline"
+            )
 
     def _route_and_plan(
         self, goal: Term, mode: SearchMode | None

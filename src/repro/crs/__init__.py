@@ -17,6 +17,7 @@ from .server import (
     HostCostModel,
     RetrievalResult,
     RetrievalStats,
+    RetrievalTimeout,
     SearchMode,
 )
 
@@ -33,6 +34,7 @@ __all__ = [
     "QueryFeatures",
     "RetrievalResult",
     "RetrievalStats",
+    "RetrievalTimeout",
     "SearchMode",
     "Transaction",
     "TransactionAborted",

@@ -41,8 +41,22 @@ __all__ = [
     "HostCostModel",
     "RetrievalStats",
     "RetrievalResult",
+    "RetrievalTimeout",
     "ClauseRetrievalServer",
 ]
+
+
+class RetrievalTimeout(TimeoutError):
+    """A retrieval exceeded its deadline before completing.
+
+    Raised by the deadline-aware cluster fan-out paths
+    (:meth:`repro.cluster.ShardedRetrievalServer.retrieve`,
+    :meth:`~repro.cluster.ShardedRetrievalServer.retrieve_batch`,
+    :meth:`repro.cluster.BatchExecutor.run`) when a shard cannot be
+    acquired — or a fanned-out batch cannot complete — within the
+    caller's budget.  The network service layer maps it to a
+    ``DEADLINE_EXPIRED`` error frame.
+    """
 
 
 class SearchMode(Enum):

@@ -1,0 +1,41 @@
+"""Network serving for CLARE: wire protocol, asyncio server, clients.
+
+The paper's engine is a *server* a host Prolog system queries; this
+package puts the in-process :class:`~repro.cluster.ShardedRetrievalServer`
+behind an actual socket.  ``protocol`` defines the length-prefixed frame
+format (reusing the PIF encoder and symbol table), ``server`` is the
+asyncio front-end with admission control and deadlines, and ``client``
+holds the pooled sync and async clients with retry/backoff.
+"""
+
+from .client import AsyncRetrievalClient, BackoffPolicy, ConnectError, RetrievalClient
+from .protocol import (
+    DEFAULT_MAX_FRAME_BYTES,
+    DeadlineExceeded,
+    ErrorCode,
+    FrameType,
+    NetError,
+    ProtocolError,
+    RemoteError,
+    ServerBusy,
+    ServerDraining,
+)
+from .server import BackgroundService, RetrievalService
+
+__all__ = [
+    "AsyncRetrievalClient",
+    "BackgroundService",
+    "BackoffPolicy",
+    "ConnectError",
+    "DEFAULT_MAX_FRAME_BYTES",
+    "DeadlineExceeded",
+    "ErrorCode",
+    "FrameType",
+    "NetError",
+    "ProtocolError",
+    "RemoteError",
+    "RetrievalClient",
+    "RetrievalService",
+    "ServerBusy",
+    "ServerDraining",
+]

@@ -1,0 +1,574 @@
+"""Deadline-aware clients for the CLARE wire protocol.
+
+Two clients share one behaviour contract:
+
+* :class:`RetrievalClient` — blocking, socket-pooled, for host Prolog
+  systems and scripts;
+* :class:`AsyncRetrievalClient` — the same surface on asyncio streams,
+  for open-loop load generation and other event-loop drivers.
+
+Both mirror the in-process API — ``retrieve(goal, mode=...)`` and
+``retrieve_batch(goals, mode=...)`` return the very same
+:class:`~repro.crs.RetrievalResult` objects (candidates *and* stats)
+that :class:`~repro.cluster.ShardedRetrievalServer` hands back, which
+is what the loopback differential suite pins down.
+
+Retry policy: connect failures, dropped connections, and ``SERVER_BUSY``
+/ ``SHUTTING_DOWN`` rejections are retried with capped exponential
+backoff and full jitter (:class:`BackoffPolicy`); everything else is a
+real answer and surfaces as the mapped exception immediately.  A
+``deadline_s`` budget spans *all* attempts: each attempt sends the
+remaining budget to the server (which enforces it on queue wait and
+execution), the next backoff never sleeps past the deadline, and a
+budget exhausted client-side raises
+:class:`~repro.net.protocol.DeadlineExceeded` without another attempt.
+"""
+
+from __future__ import annotations
+
+import random
+import socket
+import threading
+import time
+from dataclasses import dataclass
+
+from ..crs import RetrievalResult, SearchMode
+from ..obs import Instrumentation
+from ..obs import get_default as _default_obs
+from ..terms import Term
+from . import protocol
+from .protocol import (
+    DEFAULT_MAX_FRAME_BYTES,
+    DeadlineExceeded,
+    FrameType,
+    ProtocolError,
+    ServerBusy,
+    ServerDraining,
+)
+
+__all__ = ["BackoffPolicy", "ConnectError", "RetrievalClient", "AsyncRetrievalClient"]
+
+
+class ConnectError(protocol.NetError):
+    """The server could not be reached (after retries, if any)."""
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """Capped exponential backoff with full jitter.
+
+    Attempt ``n`` (0-based) sleeps ``uniform(0, min(cap_s, base_s *
+    multiplier**n))`` — the classic full-jitter scheme, which spreads a
+    thundering herd of rejected clients instead of resynchronising them.
+    """
+
+    base_s: float = 0.02
+    multiplier: float = 2.0
+    cap_s: float = 0.5
+    max_retries: int = 4
+
+    def delay(self, attempt: int, rng: random.Random) -> float:
+        ceiling = min(self.cap_s, self.base_s * self.multiplier**attempt)
+        return rng.uniform(0.0, ceiling)
+
+
+def _remaining(deadline: float | None) -> float | None:
+    if deadline is None:
+        return None
+    return deadline - time.monotonic()
+
+
+def _deadline_ms(deadline: float | None) -> int:
+    """The whole-millisecond budget to advertise to the server."""
+    remaining = _remaining(deadline)
+    if remaining is None:
+        return 0
+    # Round up: a 0.4 ms budget must not be sent as "no deadline".
+    return max(1, int(remaining * 1000))
+
+
+_RETRYABLE = (ServerBusy, ServerDraining, ConnectError, ConnectionError, OSError)
+
+
+class _ClientCore:
+    """Shared bookkeeping for the sync and async clients."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        pool_size: int,
+        backoff: BackoffPolicy,
+        max_frame_bytes: int,
+        obs: Instrumentation | None,
+        rng: random.Random | None,
+    ):
+        self.host = host
+        self.port = port
+        self.pool_size = pool_size
+        self.backoff = backoff
+        self.max_frame_bytes = max_frame_bytes
+        self.obs = obs if obs is not None else _default_obs()
+        self.rng = rng if rng is not None else random.Random()
+        self._next_request_id = 1
+        self._id_lock = threading.Lock()
+
+    def take_request_id(self) -> int:
+        with self._id_lock:
+            request_id = self._next_request_id
+            self._next_request_id = (self._next_request_id + 1) & 0xFFFFFFFF
+            return request_id
+
+    def next_delay(self, attempt: int, deadline: float | None) -> float:
+        """The backoff before retry ``attempt``, clipped to the deadline."""
+        delay = self.backoff.delay(attempt, self.rng)
+        remaining = _remaining(deadline)
+        if remaining is not None:
+            if remaining <= 0:
+                raise DeadlineExceeded("deadline expired between attempts")
+            delay = min(delay, remaining)
+        self.obs.counter("net.client.retries").inc()
+        return delay
+
+    def check_budget(self, deadline: float | None) -> None:
+        remaining = _remaining(deadline)
+        if remaining is not None and remaining <= 0:
+            raise DeadlineExceeded("deadline expired before the request left")
+
+    def decode_response(self, frame: protocol.Frame, request_id: int):
+        if frame.request_id != request_id:
+            raise ProtocolError(
+                f"response for request {frame.request_id}, expected "
+                f"{request_id}"
+            )
+        if frame.type is FrameType.RESP_ERROR:
+            code, message = protocol.decode_error(frame.payload)
+            raise protocol.error_to_exception(code, message)
+        return frame
+
+
+class _SyncConnection:
+    """One framed TCP connection (blocking sockets)."""
+
+    def __init__(self, host: str, port: int, connect_timeout: float | None):
+        try:
+            self.sock = socket.create_connection(
+                (host, port), timeout=connect_timeout
+            )
+        except OSError as exc:
+            raise ConnectError(f"cannot reach {host}:{port}: {exc}") from exc
+        self.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+
+    def request(
+        self,
+        frame_type: FrameType,
+        request_id: int,
+        payload: bytes,
+        timeout: float | None,
+        max_frame_bytes: int,
+    ) -> protocol.Frame:
+        self.sock.settimeout(timeout)
+        self.sock.sendall(protocol.encode_frame(frame_type, request_id, payload))
+        header = self._read_exact(protocol.HEADER.size)
+        resp_type, resp_id, length = protocol.decode_header(
+            header, max_frame_bytes
+        )
+        return protocol.Frame(resp_type, resp_id, self._read_exact(length))
+
+    def _read_exact(self, count: int) -> bytes:
+        chunks = bytearray()
+        while len(chunks) < count:
+            chunk = self.sock.recv(count - len(chunks))
+            if not chunk:
+                raise ConnectionError("connection closed mid-frame")
+            chunks += chunk
+        return bytes(chunks)
+
+    def close(self) -> None:
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+class RetrievalClient:
+    """Blocking, pooled wire client mirroring the in-process API."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        pool_size: int = 2,
+        backoff: BackoffPolicy | None = None,
+        connect_timeout_s: float | None = 5.0,
+        request_timeout_s: float | None = 30.0,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+        obs: Instrumentation | None = None,
+        rng: random.Random | None = None,
+        sleep=time.sleep,
+    ):
+        self._core = _ClientCore(
+            host, port,
+            pool_size=pool_size,
+            backoff=backoff if backoff is not None else BackoffPolicy(),
+            max_frame_bytes=max_frame_bytes,
+            obs=obs,
+            rng=rng,
+        )
+        self.connect_timeout_s = connect_timeout_s
+        self.request_timeout_s = request_timeout_s
+        self._sleep = sleep
+        self._idle: list[_SyncConnection] = []
+        self._pool_lock = threading.Lock()
+        self._closed = False
+
+    # -- public API ----------------------------------------------------------
+
+    def retrieve(
+        self,
+        goal: Term,
+        mode: SearchMode | None = None,
+        deadline_s: float | None = None,
+    ) -> RetrievalResult:
+        deadline = None if deadline_s is None else time.monotonic() + deadline_s
+        frame = self._request_with_retries(
+            FrameType.REQ_RETRIEVE,
+            lambda: protocol.encode_retrieve_request(
+                goal, mode, _deadline_ms(deadline)
+            ),
+            deadline,
+        )
+        self._expect(frame, FrameType.RESP_RESULT)
+        return protocol.decode_result_response(frame.payload)
+
+    def retrieve_batch(
+        self,
+        goals: list[Term],
+        mode: SearchMode | None = None,
+        deadline_s: float | None = None,
+    ) -> list[RetrievalResult]:
+        deadline = None if deadline_s is None else time.monotonic() + deadline_s
+        frame = self._request_with_retries(
+            FrameType.REQ_RETRIEVE_BATCH,
+            lambda: protocol.encode_batch_request(
+                goals, mode, _deadline_ms(deadline)
+            ),
+            deadline,
+        )
+        self._expect(frame, FrameType.RESP_BATCH)
+        return protocol.decode_batch_response(frame.payload)
+
+    def ping(self) -> bool:
+        frame = self._request_with_retries(
+            FrameType.REQ_PING, lambda: b"", None
+        )
+        self._expect(frame, FrameType.RESP_PONG)
+        return True
+
+    def stats(self) -> dict:
+        frame = self._request_with_retries(
+            FrameType.REQ_STATS, lambda: b"", None
+        )
+        self._expect(frame, FrameType.RESP_STATS)
+        return protocol.decode_stats_response(frame.payload)
+
+    def close(self) -> None:
+        self._closed = True
+        with self._pool_lock:
+            idle, self._idle = self._idle, []
+        for conn in idle:
+            conn.close()
+
+    def __enter__(self) -> "RetrievalClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- transport -----------------------------------------------------------
+
+    @staticmethod
+    def _expect(frame: protocol.Frame, expected: FrameType) -> None:
+        if frame.type is not expected:
+            raise ProtocolError(
+                f"expected {expected.name}, got {frame.type.name}"
+            )
+
+    def _request_with_retries(
+        self, frame_type: FrameType, make_payload, deadline: float | None
+    ) -> protocol.Frame:
+        core = self._core
+        attempt = 0
+        while True:
+            core.check_budget(deadline)
+            try:
+                return self._attempt(frame_type, make_payload(), deadline)
+            except _RETRYABLE as exc:
+                if attempt >= core.backoff.max_retries:
+                    raise
+                if isinstance(exc, ServerBusy):
+                    core.obs.counter("net.client.busy_retries").inc()
+                self._sleep(core.next_delay(attempt, deadline))
+                attempt += 1
+
+    def _attempt(
+        self, frame_type: FrameType, payload: bytes, deadline: float | None
+    ) -> protocol.Frame:
+        core = self._core
+        request_id = core.take_request_id()
+        conn = self._checkout()
+        keep = False
+        try:
+            timeout = self.request_timeout_s
+            remaining = _remaining(deadline)
+            if remaining is not None:
+                # Pad the socket timeout slightly past the deadline so
+                # the *server's* DEADLINE_EXPIRED answer wins the race.
+                budget = max(remaining, 0.001) + 1.0
+                timeout = budget if timeout is None else min(timeout, budget)
+            try:
+                frame = conn.request(
+                    frame_type, request_id, payload, timeout,
+                    core.max_frame_bytes,
+                )
+            except socket.timeout as exc:
+                raise DeadlineExceeded(
+                    f"no response within {timeout:.3f}s"
+                ) from exc
+            response = core.decode_response(frame, request_id)
+            keep = True
+            return response
+        except (ServerBusy, ServerDraining):
+            keep = True  # the connection itself is healthy
+            raise
+        finally:
+            if keep and not self._closed:
+                self._checkin(conn)
+            else:
+                conn.close()
+
+    def _checkout(self) -> _SyncConnection:
+        with self._pool_lock:
+            if self._idle:
+                return self._idle.pop()
+        self._core.obs.counter("net.client.connects").inc()
+        return _SyncConnection(
+            self._core.host, self._core.port, self.connect_timeout_s
+        )
+
+    def _checkin(self, conn: _SyncConnection) -> None:
+        with self._pool_lock:
+            if len(self._idle) < self._core.pool_size:
+                self._idle.append(conn)
+                return
+        conn.close()
+
+
+class _AsyncConnection:
+    """One framed TCP connection (asyncio streams)."""
+
+    def __init__(self, reader, writer):
+        self.reader = reader
+        self.writer = writer
+
+    @classmethod
+    async def open(cls, host: str, port: int, connect_timeout: float | None):
+        import asyncio
+
+        try:
+            reader, writer = await asyncio.wait_for(
+                asyncio.open_connection(host, port), connect_timeout
+            )
+        except (OSError, TimeoutError) as exc:
+            raise ConnectError(f"cannot reach {host}:{port}: {exc}") from exc
+        return cls(reader, writer)
+
+    async def request(
+        self,
+        frame_type: FrameType,
+        request_id: int,
+        payload: bytes,
+        timeout: float | None,
+        max_frame_bytes: int,
+    ) -> protocol.Frame:
+        import asyncio
+
+        self.writer.write(protocol.encode_frame(frame_type, request_id, payload))
+        await self.writer.drain()
+
+        async def read_frame():
+            header = await self.reader.readexactly(protocol.HEADER.size)
+            resp_type, resp_id, length = protocol.decode_header(
+                header, max_frame_bytes
+            )
+            return protocol.Frame(
+                resp_type, resp_id, await self.reader.readexactly(length)
+            )
+
+        try:
+            return await asyncio.wait_for(read_frame(), timeout)
+        except asyncio.IncompleteReadError as exc:
+            raise ConnectionError("connection closed mid-frame") from exc
+        except TimeoutError as exc:
+            raise DeadlineExceeded(f"no response within {timeout}s") from exc
+
+    def close(self) -> None:
+        try:
+            self.writer.close()
+        except (ConnectionError, OSError, RuntimeError):
+            pass
+
+
+class AsyncRetrievalClient:
+    """The same contract as :class:`RetrievalClient`, on asyncio streams."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        pool_size: int = 8,
+        backoff: BackoffPolicy | None = None,
+        connect_timeout_s: float | None = 5.0,
+        request_timeout_s: float | None = 30.0,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+        obs: Instrumentation | None = None,
+        rng: random.Random | None = None,
+    ):
+        self._core = _ClientCore(
+            host, port,
+            pool_size=pool_size,
+            backoff=backoff if backoff is not None else BackoffPolicy(),
+            max_frame_bytes=max_frame_bytes,
+            obs=obs,
+            rng=rng,
+        )
+        self.connect_timeout_s = connect_timeout_s
+        self.request_timeout_s = request_timeout_s
+        self._idle: list[_AsyncConnection] = []
+        self._closed = False
+
+    async def retrieve(
+        self,
+        goal: Term,
+        mode: SearchMode | None = None,
+        deadline_s: float | None = None,
+    ) -> RetrievalResult:
+        deadline = None if deadline_s is None else time.monotonic() + deadline_s
+        frame = await self._request_with_retries(
+            FrameType.REQ_RETRIEVE,
+            lambda: protocol.encode_retrieve_request(
+                goal, mode, _deadline_ms(deadline)
+            ),
+            deadline,
+        )
+        RetrievalClient._expect(frame, FrameType.RESP_RESULT)
+        return protocol.decode_result_response(frame.payload)
+
+    async def retrieve_batch(
+        self,
+        goals: list[Term],
+        mode: SearchMode | None = None,
+        deadline_s: float | None = None,
+    ) -> list[RetrievalResult]:
+        deadline = None if deadline_s is None else time.monotonic() + deadline_s
+        frame = await self._request_with_retries(
+            FrameType.REQ_RETRIEVE_BATCH,
+            lambda: protocol.encode_batch_request(
+                goals, mode, _deadline_ms(deadline)
+            ),
+            deadline,
+        )
+        RetrievalClient._expect(frame, FrameType.RESP_BATCH)
+        return protocol.decode_batch_response(frame.payload)
+
+    async def ping(self) -> bool:
+        frame = await self._request_with_retries(
+            FrameType.REQ_PING, lambda: b"", None
+        )
+        RetrievalClient._expect(frame, FrameType.RESP_PONG)
+        return True
+
+    async def stats(self) -> dict:
+        frame = await self._request_with_retries(
+            FrameType.REQ_STATS, lambda: b"", None
+        )
+        RetrievalClient._expect(frame, FrameType.RESP_STATS)
+        return protocol.decode_stats_response(frame.payload)
+
+    async def close(self) -> None:
+        self._closed = True
+        idle, self._idle = self._idle, []
+        for conn in idle:
+            conn.close()
+
+    async def __aenter__(self) -> "AsyncRetrievalClient":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    # -- transport -----------------------------------------------------------
+
+    async def _request_with_retries(
+        self, frame_type: FrameType, make_payload, deadline: float | None
+    ) -> protocol.Frame:
+        import asyncio
+
+        core = self._core
+        attempt = 0
+        while True:
+            core.check_budget(deadline)
+            try:
+                return await self._attempt(frame_type, make_payload(), deadline)
+            except _RETRYABLE as exc:
+                if attempt >= core.backoff.max_retries:
+                    raise
+                if isinstance(exc, ServerBusy):
+                    core.obs.counter("net.client.busy_retries").inc()
+                await asyncio.sleep(core.next_delay(attempt, deadline))
+                attempt += 1
+
+    async def _attempt(
+        self, frame_type: FrameType, payload: bytes, deadline: float | None
+    ) -> protocol.Frame:
+        core = self._core
+        request_id = core.take_request_id()
+        conn = await self._checkout()
+        keep = False
+        try:
+            timeout = self.request_timeout_s
+            remaining = _remaining(deadline)
+            if remaining is not None:
+                budget = max(remaining, 0.001) + 1.0
+                timeout = budget if timeout is None else min(timeout, budget)
+            frame = await conn.request(
+                frame_type, request_id, payload, timeout, core.max_frame_bytes
+            )
+            response = core.decode_response(frame, request_id)
+            keep = True
+            return response
+        except (ServerBusy, ServerDraining):
+            keep = True
+            raise
+        finally:
+            if keep and not self._closed:
+                self._checkin(conn)
+            else:
+                conn.close()
+
+    async def _checkout(self) -> _AsyncConnection:
+        if self._idle:
+            return self._idle.pop()
+        self._core.obs.counter("net.client.connects").inc()
+        return await _AsyncConnection.open(
+            self._core.host, self._core.port, self.connect_timeout_s
+        )
+
+    def _checkin(self, conn: _AsyncConnection) -> None:
+        if len(self._idle) < self._core.pool_size:
+            self._idle.append(conn)
+            return
+        conn.close()

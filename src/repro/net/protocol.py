@@ -1,0 +1,546 @@
+"""The CLARE wire protocol: length-prefixed binary frames over TCP.
+
+The paper positions the retrieval engine as a *server* a host Prolog
+system talks to; this module defines what actually crosses that wire.
+Every message is one **frame**::
+
+    +0   u16  magic (0xC1AE)
+    +2   u8   protocol version (1)
+    +3   u8   frame type
+    +4   u32  request id (echoed verbatim in the response)
+    +8   u32  payload length
+    +12  ...  payload
+
+and requests/responses are matched by request id, so one connection can
+carry many concurrent retrievals (the server multiplexes; the clients
+pipeline).  A reader that sees a bad magic, an unknown version, or a
+declared payload longer than its ``max_frame_bytes`` budget raises
+:class:`ProtocolError` and must drop the connection — framing cannot be
+resynchronised once trust in the length prefix is gone.
+
+Payloads reuse the existing PIF machinery end to end: goals travel as
+query-side PIF item streams, candidate clauses as the same compiled
+records that stream off the simulated disk, and each frame carries its
+own miniature :class:`~repro.pif.SymbolTable` so a message is fully
+self-contained — no connection-level symbol state to leak, resync, or
+poison.  :class:`~repro.crs.RetrievalStats` (and the cluster's
+:class:`~repro.cluster.MergedRetrievalStats`, per-shard split included)
+serialise field-for-field, so a client-side stats object compares equal
+to the in-process one — the loopback differential suite relies on it.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from dataclasses import dataclass
+from enum import IntEnum
+
+from ..cluster import MergedRetrievalStats
+from ..crs import RetrievalResult, RetrievalStats, RetrievalTimeout, SearchMode
+from ..pif import CompiledClause, PIFDecoder, PIFEncoder, SymbolTable, compile_clause
+from ..pif.encoder import EncodedArgs
+from ..storage import UnknownPredicateError
+from ..terms import Clause, Term
+
+__all__ = [
+    "MAGIC",
+    "VERSION",
+    "HEADER",
+    "DEFAULT_MAX_FRAME_BYTES",
+    "FrameType",
+    "ErrorCode",
+    "Frame",
+    "ProtocolError",
+    "NetError",
+    "ServerBusy",
+    "ServerDraining",
+    "DeadlineExceeded",
+    "RemoteError",
+    "encode_frame",
+    "decode_header",
+    "encode_retrieve_request",
+    "decode_retrieve_request",
+    "encode_batch_request",
+    "decode_batch_request",
+    "encode_result_response",
+    "decode_result_response",
+    "encode_batch_response",
+    "decode_batch_response",
+    "encode_error",
+    "decode_error",
+    "encode_stats_response",
+    "decode_stats_response",
+    "error_to_exception",
+    "exception_to_error",
+]
+
+MAGIC = 0xC1AE
+VERSION = 1
+HEADER = struct.Struct(">HBBII")
+
+#: Hard ceiling on one frame's payload.  A batch of Result-Memory-sized
+#: clause records fits comfortably; a length prefix claiming more is a
+#: corrupt or hostile peer, not a big retrieval.
+DEFAULT_MAX_FRAME_BYTES = 8 * 1024 * 1024
+
+
+class FrameType(IntEnum):
+    REQ_RETRIEVE = 0x01
+    REQ_RETRIEVE_BATCH = 0x02
+    REQ_STATS = 0x03
+    REQ_PING = 0x04
+    RESP_RESULT = 0x11
+    RESP_BATCH = 0x12
+    RESP_STATS = 0x13
+    RESP_PONG = 0x14
+    RESP_ERROR = 0x1F
+
+
+class ErrorCode(IntEnum):
+    SERVER_BUSY = 1
+    DEADLINE_EXPIRED = 2
+    UNKNOWN_PREDICATE = 3
+    BAD_REQUEST = 4
+    SHUTTING_DOWN = 5
+    INTERNAL = 6
+
+
+class ProtocolError(ValueError):
+    """A malformed frame: bad magic/version, truncation, oversize."""
+
+
+class NetError(RuntimeError):
+    """Base class for errors the service reports over the wire."""
+
+
+class ServerBusy(NetError):
+    """Admission control rejected the request (``SERVER_BUSY`` frame)."""
+
+
+class ServerDraining(NetError):
+    """The server is shutting down and accepts no new requests."""
+
+
+class DeadlineExceeded(NetError):
+    """The request's deadline expired (in queue, in flight, or client-side)."""
+
+
+class RemoteError(NetError):
+    """The server failed internally or rejected the request as malformed."""
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One decoded frame: type, correlation id, raw payload."""
+
+    type: FrameType
+    request_id: int
+    payload: bytes
+
+
+def encode_frame(frame_type: FrameType, request_id: int, payload: bytes) -> bytes:
+    return HEADER.pack(
+        MAGIC, VERSION, int(frame_type), request_id, len(payload)
+    ) + payload
+
+
+def decode_header(
+    data: bytes, max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES
+) -> tuple[FrameType, int, int]:
+    """Parse a 12-byte header; returns (type, request id, payload length)."""
+    if len(data) != HEADER.size:
+        raise ProtocolError(f"header is {len(data)} bytes, need {HEADER.size}")
+    magic, version, frame_type, request_id, length = HEADER.unpack(data)
+    if magic != MAGIC:
+        raise ProtocolError(f"bad magic 0x{magic:04x}")
+    if version != VERSION:
+        raise ProtocolError(f"unsupported protocol version {version}")
+    try:
+        frame_type = FrameType(frame_type)
+    except ValueError:
+        raise ProtocolError(f"unknown frame type 0x{frame_type:02x}") from None
+    if length > max_frame_bytes:
+        raise ProtocolError(
+            f"declared payload of {length} bytes exceeds the "
+            f"{max_frame_bytes}-byte frame limit"
+        )
+    return frame_type, request_id, length
+
+
+# -- payload primitives -------------------------------------------------------
+
+
+class _Writer:
+    __slots__ = ("buf",)
+
+    def __init__(self) -> None:
+        self.buf = bytearray()
+
+    def u8(self, value: int) -> None:
+        self.buf.append(value & 0xFF)
+
+    def u16(self, value: int) -> None:
+        self.buf += value.to_bytes(2, "big")
+
+    def u32(self, value: int) -> None:
+        self.buf += value.to_bytes(4, "big")
+
+    def u64(self, value: int) -> None:
+        self.buf += value.to_bytes(8, "big")
+
+    def f64(self, value: float) -> None:
+        self.buf += struct.pack(">d", value)
+
+    def blob16(self, data: bytes) -> None:
+        self.u16(len(data))
+        self.buf += data
+
+    def text(self, value: str) -> None:
+        self.blob16(value.encode("utf-8"))
+
+
+class _Reader:
+    __slots__ = ("data", "pos")
+
+    def __init__(self, data: bytes) -> None:
+        self.data = data
+        self.pos = 0
+
+    def _take(self, count: int) -> bytes:
+        end = self.pos + count
+        if end > len(self.data):
+            raise ProtocolError("truncated payload")
+        chunk = self.data[self.pos : end]
+        self.pos = end
+        return chunk
+
+    def u8(self) -> int:
+        return self._take(1)[0]
+
+    def u16(self) -> int:
+        return int.from_bytes(self._take(2), "big")
+
+    def u32(self) -> int:
+        return int.from_bytes(self._take(4), "big")
+
+    def u64(self) -> int:
+        return int.from_bytes(self._take(8), "big")
+
+    def f64(self) -> float:
+        return struct.unpack(">d", self._take(8))[0]
+
+    def blob16(self) -> bytes:
+        return self._take(self.u16())
+
+    def text(self) -> str:
+        return self.blob16().decode("utf-8")
+
+    def at_end(self) -> bool:
+        return self.pos >= len(self.data)
+
+
+class PayloadEncoder:
+    """One payload under construction, with its own symbol table.
+
+    Terms intern into the per-message table while the body is written;
+    :meth:`finish` prepends the serialised table so the receiver can
+    decode without any shared connection state.
+    """
+
+    def __init__(self) -> None:
+        self.symbols = SymbolTable()
+        self.body = _Writer()
+
+    def goal(self, goal: Term) -> None:
+        encoded = PIFEncoder(self.symbols, side="query").encode_term(goal)
+        self._encoded_args(encoded)
+
+    def clause(self, clause: Clause) -> None:
+        compiled = compile_clause(clause, self.symbols)
+        name, arity = compiled.indicator
+        self.body.u32(self.symbols.intern_atom(name))
+        self.body.u16(arity)
+        self.body.blob16(compiled.to_bytes())
+
+    def _encoded_args(self, encoded: EncodedArgs) -> None:
+        self.body.blob16(encoded.stream)
+        self.body.blob16(encoded.heap)
+        self.body.u8(len(encoded.var_names))
+        for var_name in encoded.var_names:
+            self.body.text(var_name)
+
+    def stats(self, stats: RetrievalStats | None) -> None:
+        write = self.body
+        if stats is None:
+            write.u8(0xFF)
+            return
+        merged = isinstance(stats, MergedRetrievalStats)
+        write.u8(1 if merged else 0)
+        self._stats_fields(stats)
+        if merged:
+            write.u16(stats.shards_queried)
+            write.u8(1 if stats.broadcast else 0)
+            write.u16(len(stats.per_shard))
+            for shard_id in sorted(stats.per_shard):
+                write.u16(shard_id)
+                self._stats_fields(stats.per_shard[shard_id])
+
+    def _stats_fields(self, stats: RetrievalStats) -> None:
+        write = self.body
+        write.u8(tuple(SearchMode).index(stats.mode))
+        write.text(stats.residency)
+        write.u32(stats.clauses_total)
+        fs1 = stats.fs1_candidates
+        write.u8(0 if fs1 is None else 1)
+        write.u32(fs1 or 0)
+        write.u32(stats.final_candidates)
+        write.u32(stats.fs2_search_calls)
+        write.u64(stats.bytes_from_disk)
+        write.f64(stats.disk_time_s)
+        write.f64(stats.fs1_time_s)
+        write.f64(stats.fs2_time_s)
+        write.f64(stats.software_time_s)
+
+    def result(self, result: RetrievalResult) -> None:
+        self.goal(result.goal)
+        self.body.u32(len(result.candidates))
+        for clause in result.candidates:
+            self.clause(clause)
+        self.stats(result.stats)
+
+    def finish(self) -> bytes:
+        table = self.symbols.to_bytes()
+        return len(table).to_bytes(4, "big") + table + bytes(self.body.buf)
+
+
+class PayloadDecoder:
+    """The reading side of :class:`PayloadEncoder`."""
+
+    def __init__(self, payload: bytes) -> None:
+        if len(payload) < 4:
+            raise ProtocolError("truncated payload")
+        table_len = int.from_bytes(payload[:4], "big")
+        if 4 + table_len > len(payload):
+            raise ProtocolError("truncated symbol table")
+        try:
+            self.symbols = SymbolTable.from_bytes(payload[4 : 4 + table_len])
+        except (IndexError, ValueError, UnicodeDecodeError) as exc:
+            raise ProtocolError(f"corrupt symbol table: {exc}") from None
+        self.body = _Reader(payload[4 + table_len :])
+        self._decoder = PIFDecoder(self.symbols)
+
+    def goal(self) -> Term:
+        return self._decoder.decode_term(self._encoded_args())
+
+    def clause(self) -> Clause:
+        from ..pif.clausefile import decode_compiled
+
+        name = self.symbols.atom_name_at(self.body.u32())
+        arity = self.body.u16()
+        record = self.body.blob16()
+        compiled, _ = CompiledClause.from_bytes(record, (name, arity))
+        return decode_compiled(compiled, self.symbols)
+
+    def _encoded_args(self) -> EncodedArgs:
+        stream = self.body.blob16()
+        heap = self.body.blob16()
+        var_names = tuple(self.body.text() for _ in range(self.body.u8()))
+        return EncodedArgs(
+            indicator=("$term", 1), stream=stream, heap=heap,
+            var_names=var_names,
+        )
+
+    def stats(self) -> RetrievalStats | None:
+        kind = self.body.u8()
+        if kind == 0xFF:
+            return None
+        if kind not in (0, 1):
+            raise ProtocolError(f"unknown stats kind {kind}")
+        fields = self._stats_fields()
+        if kind == 0:
+            return RetrievalStats(**fields)
+        shards_queried = self.body.u16()
+        broadcast = self.body.u8() == 1
+        per_shard: dict[int, RetrievalStats] = {}
+        for _ in range(self.body.u16()):
+            shard_id = self.body.u16()
+            per_shard[shard_id] = RetrievalStats(**self._stats_fields())
+        return MergedRetrievalStats(
+            shards_queried=shards_queried,
+            broadcast=broadcast,
+            per_shard=per_shard,
+            **fields,
+        )
+
+    def _stats_fields(self) -> dict:
+        read = self.body
+        mode_index = read.u8()
+        modes = tuple(SearchMode)
+        if mode_index >= len(modes):
+            raise ProtocolError(f"unknown search mode index {mode_index}")
+        residency = read.text()
+        clauses_total = read.u32()
+        has_fs1 = read.u8()
+        fs1_raw = read.u32()
+        return {
+            "mode": modes[mode_index],
+            "residency": residency,
+            "clauses_total": clauses_total,
+            "fs1_candidates": fs1_raw if has_fs1 else None,
+            "final_candidates": read.u32(),
+            "fs2_search_calls": read.u32(),
+            "bytes_from_disk": read.u64(),
+            "disk_time_s": read.f64(),
+            "fs1_time_s": read.f64(),
+            "fs2_time_s": read.f64(),
+            "software_time_s": read.f64(),
+        }
+
+    def result(self) -> RetrievalResult:
+        goal = self.goal()
+        candidates = [self.clause() for _ in range(self.body.u32())]
+        return RetrievalResult(
+            goal=goal, candidates=candidates, stats=self.stats()
+        )
+
+
+# -- request payloads ---------------------------------------------------------
+
+
+def _mode_byte(mode: SearchMode | None) -> int:
+    return 0xFF if mode is None else tuple(SearchMode).index(mode)
+
+
+def _mode_from_byte(value: int) -> SearchMode | None:
+    if value == 0xFF:
+        return None
+    modes = tuple(SearchMode)
+    if value >= len(modes):
+        raise ProtocolError(f"unknown search mode index {value}")
+    return modes[value]
+
+
+def encode_retrieve_request(
+    goal: Term, mode: SearchMode | None = None, deadline_ms: int = 0
+) -> bytes:
+    encoder = PayloadEncoder()
+    encoder.body.u8(_mode_byte(mode))
+    encoder.body.u32(max(0, deadline_ms))
+    encoder.goal(goal)
+    return encoder.finish()
+
+
+def decode_retrieve_request(payload: bytes) -> tuple[Term, SearchMode | None, int]:
+    decoder = PayloadDecoder(payload)
+    mode = _mode_from_byte(decoder.body.u8())
+    deadline_ms = decoder.body.u32()
+    return decoder.goal(), mode, deadline_ms
+
+
+def encode_batch_request(
+    goals: list[Term], mode: SearchMode | None = None, deadline_ms: int = 0
+) -> bytes:
+    encoder = PayloadEncoder()
+    encoder.body.u8(_mode_byte(mode))
+    encoder.body.u32(max(0, deadline_ms))
+    encoder.body.u16(len(goals))
+    for goal in goals:
+        encoder.goal(goal)
+    return encoder.finish()
+
+
+def decode_batch_request(
+    payload: bytes,
+) -> tuple[list[Term], SearchMode | None, int]:
+    decoder = PayloadDecoder(payload)
+    mode = _mode_from_byte(decoder.body.u8())
+    deadline_ms = decoder.body.u32()
+    goals = [decoder.goal() for _ in range(decoder.body.u16())]
+    return goals, mode, deadline_ms
+
+
+# -- response payloads --------------------------------------------------------
+
+
+def encode_result_response(result: RetrievalResult) -> bytes:
+    encoder = PayloadEncoder()
+    encoder.result(result)
+    return encoder.finish()
+
+
+def decode_result_response(payload: bytes) -> RetrievalResult:
+    return PayloadDecoder(payload).result()
+
+
+def encode_batch_response(results: list[RetrievalResult]) -> bytes:
+    encoder = PayloadEncoder()
+    encoder.body.u16(len(results))
+    for result in results:
+        encoder.result(result)
+    return encoder.finish()
+
+
+def decode_batch_response(payload: bytes) -> list[RetrievalResult]:
+    decoder = PayloadDecoder(payload)
+    return [decoder.result() for _ in range(decoder.body.u16())]
+
+
+def encode_error(code: ErrorCode, message: str) -> bytes:
+    writer = _Writer()
+    writer.u8(int(code))
+    writer.text(message)
+    return bytes(writer.buf)
+
+
+def decode_error(payload: bytes) -> tuple[ErrorCode, str]:
+    reader = _Reader(payload)
+    raw = reader.u8()
+    try:
+        code = ErrorCode(raw)
+    except ValueError:
+        raise ProtocolError(f"unknown error code {raw}") from None
+    return code, reader.text()
+
+
+def encode_stats_response(snapshot: dict) -> bytes:
+    return json.dumps(snapshot, sort_keys=True).encode("utf-8")
+
+
+def decode_stats_response(payload: bytes) -> dict:
+    try:
+        return json.loads(payload.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ProtocolError(f"corrupt stats payload: {exc}") from None
+
+
+# -- error mapping ------------------------------------------------------------
+
+
+def error_to_exception(code: ErrorCode, message: str) -> Exception:
+    """The client-side exception for a ``RESP_ERROR`` frame."""
+    if code is ErrorCode.SERVER_BUSY:
+        return ServerBusy(message)
+    if code is ErrorCode.DEADLINE_EXPIRED:
+        return DeadlineExceeded(message)
+    if code is ErrorCode.UNKNOWN_PREDICATE:
+        return UnknownPredicateError(message)
+    if code is ErrorCode.SHUTTING_DOWN:
+        return ServerDraining(message)
+    return RemoteError(f"{code.name}: {message}")
+
+
+def exception_to_error(exc: BaseException) -> tuple[ErrorCode, str]:
+    """The wire (code, message) a server reports for a handler failure."""
+    if isinstance(exc, ServerBusy):
+        return ErrorCode.SERVER_BUSY, str(exc)
+    if isinstance(exc, (DeadlineExceeded, RetrievalTimeout)):
+        return ErrorCode.DEADLINE_EXPIRED, str(exc)
+    if isinstance(exc, UnknownPredicateError):
+        # KeyError reprs quote the message; unwrap the original text.
+        return ErrorCode.UNKNOWN_PREDICATE, str(exc.args[0] if exc.args else exc)
+    if isinstance(exc, ServerDraining):
+        return ErrorCode.SHUTTING_DOWN, str(exc)
+    if isinstance(exc, (ProtocolError, ValueError, KeyError)):
+        return ErrorCode.BAD_REQUEST, str(exc)
+    return ErrorCode.INTERNAL, f"{type(exc).__name__}: {exc}"

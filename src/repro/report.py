@@ -20,6 +20,7 @@ __all__ = [
     "format_query_report",
     "format_retrieval",
     "format_metrics",
+    "format_net_report",
     "format_shard_report",
     "headline_counters",
     "shard_breakdown",
@@ -166,6 +167,60 @@ def format_shard_report(registry: MetricsRegistry) -> str:
             f"routing             : {single:g} single-shard, "
             f"{broadcasts:g} broadcast"
         )
+    return "\n".join(lines)
+
+
+def format_net_report(registry: MetricsRegistry) -> str:
+    """The serving view: admission control, errors, bytes, latency.
+
+    Rendered by ``repro.cli serve`` at drain time so an operator sees
+    what the admission controller actually did — how much load was
+    accepted, how much was shed with ``SERVER_BUSY``, and how many
+    requests spent their deadline in the queue.
+    """
+    lines = ["net serving", "=" * len("net serving")]
+    accepted = registry.total("net.accepted")
+    connections = registry.total("net.connections")
+    if accepted == 0 and connections == 0:
+        lines.append("(no network activity recorded)")
+        return "\n".join(lines)
+    lines.append(
+        "accepted={:g}  busy_rejected={:g}  deadline_expired={:g}  "
+        "drains={:g}".format(
+            accepted,
+            registry.total("net.busy_rejected"),
+            registry.total("net.deadline_expired"),
+            registry.total("net.drains"),
+        )
+    )
+    lines.append(
+        "connections={:g}  disconnects={:g}  bad_frames={:g}  "
+        "truncated_frames={:g}  send_failures={:g}".format(
+            connections,
+            registry.total("net.disconnects"),
+            registry.total("net.bad_frames"),
+            registry.total("net.truncated_frames"),
+            registry.total("net.send_failures"),
+        )
+    )
+    lines.append(
+        "bytes in/out={:g}/{:g}".format(
+            registry.total("net.bytes_in"), registry.total("net.bytes_out")
+        )
+    )
+    for instrument in registry:
+        if instrument.name == "net.request_ms" and getattr(
+            instrument, "count", 0
+        ):
+            lines.append(
+                "request latency: n={} mean={:.3f}ms min={:.3f}ms "
+                "max={:.3f}ms".format(
+                    instrument.count,
+                    instrument.mean,
+                    instrument.min,
+                    instrument.max,
+                )
+            )
     return "\n".join(lines)
 
 

@@ -38,11 +38,36 @@ def _predicate_stem(indicator: tuple[str, int]) -> str:
     return f"{safe}_{arity}"
 
 
+def _assign_stems(kb: KnowledgeBase) -> dict[tuple[str, int], str]:
+    """A unique file stem per predicate, collision-checked up front.
+
+    The escaped stem is not injective in general (distinct names can
+    escape alike, and case-only differences — ``foo/1`` vs ``Foo/1`` —
+    collide on case-insensitive filesystems), so stems are deduplicated
+    case-insensitively with a deterministic ``__N`` suffix.  The
+    manifest records the assigned stem, and :func:`load_kb` trusts the
+    manifest — never re-derives the stem — so a disambiguated save
+    round-trips exactly.
+    """
+    stems: dict[tuple[str, int], str] = {}
+    taken: set[str] = set()
+    for store in kb:
+        base = _predicate_stem(store.indicator)
+        stem, suffix = base, 1
+        while stem.casefold() in taken:
+            suffix += 1
+            stem = f"{base}__{suffix}"
+        taken.add(stem.casefold())
+        stems[store.indicator] = stem
+    return stems
+
+
 def save_kb(kb: KnowledgeBase, directory: str | pathlib.Path) -> list[str]:
     """Write the knowledge base to ``directory``; returns files written."""
     path = pathlib.Path(directory)
     path.mkdir(parents=True, exist_ok=True)
     written: list[str] = []
+    stems = _assign_stems(kb)
 
     (path / _SYMBOLS).write_bytes(kb.symbols.to_bytes())
     written.append(_SYMBOLS)
@@ -58,7 +83,7 @@ def save_kb(kb: KnowledgeBase, directory: str | pathlib.Path) -> list[str]:
         )
     for store in kb:
         name, arity = store.indicator
-        stem = _predicate_stem(store.indicator)
+        stem = stems[store.indicator]
         lines.append(f"predicate\t{name}\t{arity}\t{store.module_name}\t{stem}")
         clause_path = path / f"{stem}.clauses"
         clause_path.write_bytes(store.clause_file.to_bytes())
@@ -103,6 +128,18 @@ def load_kb(directory: str | pathlib.Path) -> KnowledgeBase:
         else:
             raise PersistenceError(
                 f"{_MANIFEST}:{line_number}: unknown entry {kind!r}"
+            )
+
+    seen_stems: dict[str, tuple[str, int]] = {}
+    for name, arity, _, stem in predicates:
+        prior = seen_stems.setdefault(stem, (name, arity))
+        if prior != (name, arity):
+            # Two predicates sharing one clause file means the save
+            # silently overwrote one with the other (pre-collision-check
+            # writer); loading either image as both would corrupt the KB.
+            raise PersistenceError(
+                f"manifest maps both {prior[0]}/{prior[1]} and "
+                f"{name}/{arity} to clause file stem {stem!r}"
             )
 
     kb = KnowledgeBase(scheme=scheme)

@@ -1,6 +1,7 @@
 """Synthetic workload generators for the evaluation benchmarks."""
 
 from .dbbench import DBBenchProgram, build_benchmark_kb, standard_suite
+from .loadgen import LoadgenResult, percentile, run_loadgen
 from .synthetic import (
     FactKBSpec,
     generate_couples,
@@ -24,6 +25,9 @@ __all__ = [
     "generate_facts",
     "generate_mixed_predicate",
     "ground_query_for",
+    "LoadgenResult",
+    "percentile",
+    "run_loadgen",
     "open_query",
     "shared_variable_query",
     "warren_kb_spec",

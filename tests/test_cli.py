@@ -263,3 +263,106 @@ class TestShardedCommands:
             ]
         )
         assert "X = c2" in output
+
+
+class TestNetCommands:
+    """`serve`, `client` and `loadgen` wired together over loopback."""
+
+    def serve_in_background(self, program_file, extra_args=()):
+        import re
+        import threading
+        import time
+
+        out = io.StringIO()
+        thread = threading.Thread(
+            target=main,
+            args=(
+                ["serve", program_file, "--shards", "2", *extra_args],
+            ),
+            kwargs={"out": out},
+            daemon=True,
+        )
+        thread.start()
+        port = None
+        deadline = time.monotonic() + 15
+        while time.monotonic() < deadline:
+            match = re.search(r"serving on 127\.0\.0\.1:(\d+)", out.getvalue())
+            if match:
+                port = int(match.group(1))
+                break
+            time.sleep(0.02)
+        assert port is not None, out.getvalue()
+        return out, thread, port
+
+    def test_serve_client_roundtrip_and_net_counters(self, program_file):
+        out, thread, port = self.serve_in_background(
+            program_file, extra_args=["--max-requests", "3"]
+        )
+        client_out = io.StringIO()
+        code = main(
+            ["client", "--port", str(port), "--goal", "parent(tom, X)",
+             "--goal", "grand(A, B)", "--server-stats"],
+            out=client_out,
+        )
+        assert code == 0
+        text = client_out.getvalue()
+        assert "parent(tom,bob)." in text
+        assert "mode=" in text
+        assert "[server]" in text and "engine_clauses=3" in text
+
+        # One more request reaches --max-requests and drains the server.
+        main(["client", "--port", str(port), "--goal", "parent(bob, X)"],
+             out=io.StringIO())
+        thread.join(timeout=20)
+        assert not thread.is_alive(), "serve did not drain at --max-requests"
+        served = out.getvalue()
+        assert "net serving" in served
+        assert "accepted=3" in served
+        assert "busy_rejected=0" in served
+        assert "drains=1" in served
+
+    def test_client_ping_without_goals(self, program_file):
+        out, thread, port = self.serve_in_background(
+            program_file, extra_args=["--max-requests", "2"]
+        )
+        ping_out = io.StringIO()
+        assert main(["client", "--port", str(port)], out=ping_out) == 0
+        assert ping_out.getvalue() == "pong\n"
+        # Pings are not admitted requests; finish the server off.
+        main(["client", "--port", str(port), "--goal", "parent(tom, X)"],
+             out=io.StringIO())
+        main(["client", "--port", str(port), "--goal", "parent(tom, X)"],
+             out=io.StringIO())
+        thread.join(timeout=20)
+        assert not thread.is_alive()
+
+    def test_client_error_exit_code(self):
+        import socket
+
+        probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        out = io.StringIO()
+        code = main(
+            ["client", "--port", str(port), "--goal", "p(X)"], out=out
+        )
+        assert code == 1
+        assert out.getvalue().startswith("error:")
+
+    def test_loadgen_summary(self, program_file):
+        out, thread, port = self.serve_in_background(
+            program_file, extra_args=["--max-requests", "10"]
+        )
+        lg_out = io.StringIO()
+        code = main(
+            ["loadgen", "--port", str(port), "--goal", "parent(tom, X)",
+             "--qps", "100", "--duration-s", "0.1"],
+            out=lg_out,
+        )
+        assert code == 0
+        summary = lg_out.getvalue()
+        assert summary.startswith("[loadgen] offered=10 ok=10")
+        assert "p99=" in summary
+        thread.join(timeout=20)
+        assert not thread.is_alive()

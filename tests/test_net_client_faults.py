@@ -1,0 +1,336 @@
+"""Fault injection on the wire: flaky peers, corrupt frames, retries.
+
+The client contract under faults: transport failures (connect refused,
+connection dropped mid-stream, truncated response frames) and explicit
+``SERVER_BUSY``/``SHUTTING_DOWN`` rejections are retried with capped
+full-jitter backoff; protocol corruption (bad magic, oversized length
+prefix) is *not* retried — the peer cannot be trusted — and surfaces as
+:class:`ProtocolError`.  The server side mirrors it: a client that dies
+mid-frame or declares an oversized payload costs the server one
+connection, never the process.
+
+The scripted server below plays one exact per-connection script, so
+every fault fires deterministically; backoff randomness is pinned by an
+injected ``random.Random`` seed and a recording fake ``sleep``.
+"""
+
+import random
+import socket
+import threading
+
+import pytest
+
+from repro.cluster import ShardedRetrievalServer, ShardingPolicy
+from repro.net import (
+    BackgroundService,
+    BackoffPolicy,
+    DeadlineExceeded,
+    ProtocolError,
+    RetrievalClient,
+    RetrievalService,
+    ServerBusy,
+)
+from repro.net import protocol
+from repro.net.protocol import ErrorCode, FrameType
+from repro.obs import Instrumentation
+from repro.terms import read_term
+
+
+class ScriptedServer:
+    """A raw TCP peer that plays one scripted handler per connection."""
+
+    def __init__(self, *connection_scripts):
+        self.scripts = list(connection_scripts)
+        self.connections = 0
+        self.listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self.listener.bind(("127.0.0.1", 0))
+        self.listener.listen(len(self.scripts) + 1)
+        self.listener.settimeout(10.0)
+        self.host, self.port = self.listener.getsockname()
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def _serve(self):
+        for script in self.scripts:
+            try:
+                conn, _ = self.listener.accept()
+            except (OSError, socket.timeout):
+                return
+            self.connections += 1
+            try:
+                script(conn)
+            finally:
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+
+    def close(self):
+        try:
+            self.listener.close()
+        except OSError:
+            pass
+        self._thread.join(timeout=10)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+
+
+def read_request(conn) -> tuple[FrameType, int, bytes]:
+    header = b""
+    while len(header) < protocol.HEADER.size:
+        chunk = conn.recv(protocol.HEADER.size - len(header))
+        if not chunk:
+            raise ConnectionError("client hung up")
+        header += chunk
+    frame_type, request_id, length = protocol.decode_header(header)
+    payload = b""
+    while len(payload) < length:
+        payload += conn.recv(length - len(payload))
+    return frame_type, request_id, payload
+
+
+def drop_after_request(conn):
+    """Read one request, then vanish before answering."""
+    read_request(conn)
+
+
+def truncated_pong(conn):
+    """Read one request, answer with half a frame, then vanish."""
+    _, request_id, _ = read_request(conn)
+    frame = protocol.encode_frame(FrameType.RESP_PONG, request_id, b"")
+    conn.sendall(frame[:6])
+
+
+def garbage_response(conn):
+    """Read one request, answer with a bad-magic header."""
+    read_request(conn)
+    conn.sendall(b"\xde\xad\xbe\xef" + b"\x00" * 8)
+
+
+def oversized_response(conn):
+    """Read one request, declare a payload far past the frame limit."""
+    read_request(conn)
+    conn.sendall(
+        protocol.HEADER.pack(
+            protocol.MAGIC, protocol.VERSION, int(FrameType.RESP_PONG),
+            1, protocol.DEFAULT_MAX_FRAME_BYTES + 1,
+        )
+    )
+
+
+def pong(conn):
+    """Answer one request correctly."""
+    _, request_id, _ = read_request(conn)
+    conn.sendall(protocol.encode_frame(FrameType.RESP_PONG, request_id, b""))
+
+
+def busy_busy_pong(conn):
+    """One connection: reject twice with SERVER_BUSY, then answer."""
+    for _ in range(2):
+        _, request_id, _ = read_request(conn)
+        conn.sendall(
+            protocol.encode_frame(
+                FrameType.RESP_ERROR, request_id,
+                protocol.encode_error(ErrorCode.SERVER_BUSY, "full"),
+            )
+        )
+    pong(conn)
+
+
+def always_busy(conn):
+    try:
+        while True:
+            _, request_id, _ = read_request(conn)
+            conn.sendall(
+                protocol.encode_frame(
+                    FrameType.RESP_ERROR, request_id,
+                    protocol.encode_error(ErrorCode.SERVER_BUSY, "full"),
+                )
+            )
+    except (ConnectionError, OSError):
+        pass
+
+
+class TestClientRetries:
+    def test_dropped_connection_mid_stream_is_retried(self):
+        with ScriptedServer(drop_after_request, pong) as server:
+            with RetrievalClient(server.host, server.port, sleep=lambda s: None) as client:
+                assert client.ping() is True
+            assert server.connections == 2  # one dropped, one succeeded
+
+    def test_truncated_response_frame_is_retried(self):
+        with ScriptedServer(truncated_pong, pong) as server:
+            with RetrievalClient(server.host, server.port, sleep=lambda s: None) as client:
+                assert client.ping() is True
+            assert server.connections == 2
+
+    def test_bad_magic_is_not_retried(self):
+        # A peer that breaks framing cannot be trusted; fail loudly.
+        with ScriptedServer(garbage_response) as server:
+            with RetrievalClient(server.host, server.port, sleep=lambda s: None) as client:
+                with pytest.raises(ProtocolError, match="magic"):
+                    client.ping()
+            assert server.connections == 1
+
+    def test_oversized_length_prefix_is_not_retried(self):
+        with ScriptedServer(oversized_response) as server:
+            with RetrievalClient(server.host, server.port, sleep=lambda s: None) as client:
+                with pytest.raises(ProtocolError, match="frame limit"):
+                    client.ping()
+            assert server.connections == 1
+
+    def test_server_busy_retried_on_same_connection(self):
+        obs = Instrumentation()
+        slept = []
+        with ScriptedServer(busy_busy_pong) as server:
+            client = RetrievalClient(
+                server.host, server.port,
+                sleep=slept.append, rng=random.Random(7), obs=obs,
+            )
+            with client:
+                assert client.ping() is True
+            # A SERVER_BUSY answer proves the connection is healthy:
+            # all three attempts must ride the same socket.
+            assert server.connections == 1
+        assert len(slept) == 2
+        assert obs.registry.total("net.client.busy_retries") == 2
+        assert obs.registry.total("net.client.retries") == 2
+
+    def test_retries_exhaust_to_server_busy(self):
+        with ScriptedServer(always_busy) as server:
+            client = RetrievalClient(
+                server.host, server.port,
+                backoff=BackoffPolicy(max_retries=3),
+                sleep=lambda s: None,
+            )
+            with client:
+                with pytest.raises(ServerBusy):
+                    client.ping()
+
+    def test_connect_refused_exhausts_to_connect_error(self):
+        from repro.net import ConnectError
+
+        probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()  # nothing listens here any more
+        client = RetrievalClient(
+            "127.0.0.1", port,
+            backoff=BackoffPolicy(max_retries=1), sleep=lambda s: None,
+            connect_timeout_s=0.5,
+        )
+        with client, pytest.raises(ConnectError):
+            client.ping()
+
+    def test_deadline_bounds_busy_retries(self):
+        # An always-busy server with a generous retry cap: the request
+        # budget, not the retry count, ends the loop.
+        with ScriptedServer(always_busy) as server:
+            client = RetrievalClient(
+                server.host, server.port,
+                backoff=BackoffPolicy(max_retries=10_000, base_s=0.01),
+            )
+            with client:
+                with pytest.raises(DeadlineExceeded):
+                    client.retrieve(
+                        read_term("p(X)"), deadline_s=0.08
+                    )
+
+
+class TestBackoffPolicy:
+    def test_full_jitter_is_deterministic_under_seed(self):
+        policy = BackoffPolicy(base_s=0.02, multiplier=2.0, cap_s=0.5)
+        first = [policy.delay(n, random.Random(99)) for n in range(6)]
+        second = [policy.delay(n, random.Random(99)) for n in range(6)]
+        assert first == second
+
+    def test_delays_respect_the_exponential_cap(self):
+        policy = BackoffPolicy(base_s=0.02, multiplier=2.0, cap_s=0.1)
+        rng = random.Random(3)
+        for attempt in range(12):
+            ceiling = min(0.1, 0.02 * 2.0**attempt)
+            for _ in range(50):
+                assert 0.0 <= policy.delay(attempt, rng) <= ceiling
+
+    def test_recorded_sleeps_match_the_seeded_sequence(self):
+        slept = []
+        with ScriptedServer(busy_busy_pong) as server:
+            client = RetrievalClient(
+                server.host, server.port,
+                sleep=slept.append, rng=random.Random(1234),
+            )
+            with client:
+                client.ping()
+        policy = BackoffPolicy()
+        expected_rng = random.Random(1234)
+        expected = [policy.delay(n, expected_rng) for n in range(2)]
+        assert slept == expected
+
+
+class TestServerSideFaults:
+    """The real service survives hostile and dying clients."""
+
+    @pytest.fixture
+    def live_service(self):
+        engine = ShardedRetrievalServer(2, ShardingPolicy.FIRST_ARG)
+        engine.consult_text("p(a). p(b). p(c).")
+        obs = Instrumentation()
+        service = RetrievalService(engine, obs=obs)
+        with BackgroundService(service) as background:
+            host, port = background.start()
+            yield host, port, obs
+
+    def test_client_dying_mid_frame_counts_truncated(self, live_service):
+        host, port, obs = live_service
+        raw = socket.create_connection((host, port))
+        frame = protocol.encode_frame(
+            FrameType.REQ_RETRIEVE, 1,
+            protocol.encode_retrieve_request(read_term("p(X)")),
+        )
+        raw.sendall(frame[: len(frame) // 2])  # header + partial payload
+        raw.close()
+        # The service must shrug it off and keep answering others.
+        with RetrievalClient(host, port) as client:
+            assert len(client.retrieve(read_term("p(X)")).candidates) == 3
+        assert obs.registry.total("net.truncated_frames") == 1
+
+    def test_oversized_request_gets_bad_request_then_hangup(self, live_service):
+        host, port, obs = live_service
+        raw = socket.create_connection((host, port))
+        raw.sendall(
+            protocol.HEADER.pack(
+                protocol.MAGIC, protocol.VERSION,
+                int(FrameType.REQ_RETRIEVE), 9,
+                protocol.DEFAULT_MAX_FRAME_BYTES + 1,
+            )
+        )
+        header = raw.recv(protocol.HEADER.size)
+        frame_type, _, length = protocol.decode_header(header)
+        assert frame_type is FrameType.RESP_ERROR
+        payload = raw.recv(length)
+        code, message = protocol.decode_error(payload)
+        assert code is ErrorCode.BAD_REQUEST
+        assert "frame limit" in message
+        assert raw.recv(1) == b""  # server hung up after the error
+        raw.close()
+        assert obs.registry.total("net.bad_frames") == 1
+        # The listener is still healthy.
+        with RetrievalClient(host, port) as client:
+            assert client.ping() is True
+
+    def test_bad_magic_request_drops_connection(self, live_service):
+        host, port, obs = live_service
+        raw = socket.create_connection((host, port))
+        raw.sendall(b"\x00" * protocol.HEADER.size)
+        header = raw.recv(protocol.HEADER.size)
+        frame_type, _, length = protocol.decode_header(header)
+        assert frame_type is FrameType.RESP_ERROR
+        code, _ = protocol.decode_error(raw.recv(length))
+        assert code is ErrorCode.BAD_REQUEST
+        assert raw.recv(1) == b""
+        raw.close()
+        assert obs.registry.total("net.bad_frames") == 1

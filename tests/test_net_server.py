@@ -1,0 +1,393 @@
+"""The network service end to end over loopback TCP.
+
+The load-bearing suite for the serving layer:
+
+* **differential** — a client must return element-wise identical
+  clauses *and stats* to calling the in-process
+  :class:`ShardedRetrievalServer` directly, including broadcast-forcing
+  shared-variable goals and Result-Memory-overflow retrievals;
+* **overload** — past ``max_in_flight + queue_limit`` the server sheds
+  load with ``SERVER_BUSY`` immediately, and the p99 latency of the
+  requests it *did* admit stays bounded;
+* **deadlines** — a request that spends its budget queueing fails with
+  ``DEADLINE_EXPIRED`` without touching the engines;
+* **drain** — graceful shutdown completes every admitted request.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.cluster import ShardedRetrievalServer, ShardingPolicy
+from repro.crs import SearchMode
+from repro.net import (
+    AsyncRetrievalClient,
+    BackgroundService,
+    BackoffPolicy,
+    DeadlineExceeded,
+    RetrievalClient,
+    RetrievalService,
+    ServerBusy,
+    ServerDraining,
+)
+from repro.obs import Instrumentation
+from repro.storage import Residency, UnknownPredicateError
+from repro.terms import read_term
+from repro.workloads import percentile, run_loadgen
+
+
+def family_engine(num_shards=2, policy=ShardingPolicy.FIRST_ARG, **kwargs):
+    engine = ShardedRetrievalServer(num_shards, policy, **kwargs)
+    engine.consult_text(
+        """
+        parent(tom, bob). parent(tom, liz). parent(bob, ann).
+        parent(bob, pat). parent(pat, jim). parent(liz, joe).
+        married_couple(amy, amy). married_couple(sam, pam).
+        likes(X, prolog). grandparent(X, Z) :- parent(X, Y), parent(Y, Z).
+        """
+    )
+    return engine
+
+
+@pytest.fixture
+def served_family():
+    engine = family_engine()
+    service = RetrievalService(engine)
+    with BackgroundService(service) as background:
+        host, port = background.start()
+        with RetrievalClient(host, port) as client:
+            yield engine, client
+
+
+DIFFERENTIAL_GOALS = [
+    "parent(tom, X)",
+    "parent(X, jim)",
+    "parent(X, Y)",
+    "married_couple(X, X)",  # unbound first arg: must broadcast
+    "married_couple(W, W)",  # same broadcast under renaming
+    "likes(anyone, What)",
+    "grandparent(A, B)",
+]
+
+
+class TestLoopbackDifferential:
+    """Client answers == in-process answers, clause for clause."""
+
+    @pytest.mark.parametrize("goal_text", DIFFERENTIAL_GOALS)
+    @pytest.mark.parametrize("mode", [None, SearchMode.SOFTWARE, SearchMode.BOTH])
+    def test_retrieve_matches_in_process(self, served_family, goal_text, mode):
+        engine, client = served_family
+        goal = read_term(goal_text)
+        local = engine.retrieve(goal, mode=mode)
+        remote = client.retrieve(goal, mode=mode)
+        assert [str(c) for c in remote.candidates] == [
+            str(c) for c in local.candidates
+        ]
+        assert remote.stats == local.stats
+        assert str(remote.goal) == str(goal)
+
+    def test_retrieve_batch_matches_in_process(self, served_family):
+        engine, client = served_family
+        goals = [read_term(text) for text in DIFFERENTIAL_GOALS]
+        local = engine.retrieve_batch(goals)
+        remote = client.retrieve_batch(goals)
+        assert len(remote) == len(local) == len(goals)
+        for local_result, remote_result in zip(local, remote):
+            assert [str(c) for c in remote_result.candidates] == [
+                str(c) for c in local_result.candidates
+            ]
+            assert remote_result.stats == local_result.stats
+
+    def test_unknown_predicate_propagates(self, served_family):
+        _, client = served_family
+        with pytest.raises(UnknownPredicateError):
+            client.retrieve(read_term("no_such_predicate(X)"))
+
+    def test_rm_overflow_goal_over_the_wire(self):
+        # 200 facts pinned to disk, FS2_ONLY: the CRS must chunk the
+        # search around the 64-satisfier Result Memory, and the wire
+        # answer (candidates, stats, fs2_search_calls) must agree with
+        # the in-process one exactly.
+        engine = ShardedRetrievalServer(2, ShardingPolicy.FIRST_ARG)
+        engine.consult_text(" ".join(f"p({i})." for i in range(200)))
+        engine.pin_module("user", Residency.DISK)
+        service = RetrievalService(engine)
+        with BackgroundService(service) as background:
+            host, port = background.start()
+            with RetrievalClient(host, port) as client:
+                goal = read_term("p(X)")
+                local = engine.retrieve(goal, mode=SearchMode.FS2_ONLY)
+                remote = client.retrieve(goal, mode=SearchMode.FS2_ONLY)
+                assert len(remote.candidates) == 200
+                assert remote.stats.fs2_search_calls >= 4
+                assert [str(c) for c in remote.candidates] == [
+                    str(c) for c in local.candidates
+                ]
+                assert remote.stats == local.stats
+
+
+class TestServiceSurface:
+    def test_ping_and_stats(self, served_family):
+        engine, client = served_family
+        assert client.ping() is True
+        snapshot = client.stats()
+        assert snapshot["engine_clauses"] == engine.clause_count()
+        assert snapshot["draining"] is False
+
+    def test_counters_track_requests(self):
+        obs = Instrumentation()
+        engine = family_engine()
+        service = RetrievalService(engine, obs=obs)
+        with BackgroundService(service) as background:
+            host, port = background.start()
+            with RetrievalClient(host, port) as client:
+                client.retrieve(read_term("parent(tom, X)"))
+                client.retrieve_batch([read_term("parent(bob, X)")])
+        registry = obs.registry
+        assert registry.total("net.accepted") == 2
+        assert registry.total("net.connections") >= 1
+        assert registry.total("net.bytes_in") > 0
+        assert registry.total("net.bytes_out") > 0
+        assert registry.total("net.drains") == 1
+        assert registry.gauge("net.queue_depth").value == 0
+
+    def test_async_client_matches_sync(self, served_family):
+        import asyncio
+
+        engine, sync_client = served_family
+        host = sync_client._core.host
+        port = sync_client._core.port
+
+        async def run():
+            async with AsyncRetrievalClient(host, port) as client:
+                result = await client.retrieve(read_term("parent(tom, X)"))
+                batch = await client.retrieve_batch(
+                    [read_term("parent(bob, X)"), read_term("parent(X, Y)")]
+                )
+                assert await client.ping() is True
+                return result, batch
+
+        result, batch = asyncio.run(run())
+        local = engine.retrieve(read_term("parent(tom, X)"))
+        assert [str(c) for c in result.candidates] == [
+            str(c) for c in local.candidates
+        ]
+        assert result.stats == local.stats
+        assert len(batch) == 2
+
+
+class SlowEngine:
+    """An engine whose every retrieval takes a fixed host time."""
+
+    def __init__(self, engine, delay_s):
+        self.engine = engine
+        self.delay_s = delay_s
+
+    def clause_count(self):
+        return self.engine.clause_count()
+
+    def retrieve(self, goal, mode=None, timeout=None):
+        time.sleep(self.delay_s)
+        return self.engine.retrieve(goal, mode=mode, timeout=timeout)
+
+    def retrieve_batch(self, goals, mode=None, timeout=None):
+        time.sleep(self.delay_s)
+        return self.engine.retrieve_batch(goals, mode=mode, timeout=timeout)
+
+
+class TestOverload:
+    def test_busy_rejections_and_bounded_admitted_latency(self):
+        """Acceptance: overload sheds with SERVER_BUSY, admitted p99 bounded.
+
+        1 worker * 50 ms per retrieval and a queue of 2 gives capacity
+        for 3 admitted requests; 12 concurrent clients guarantee
+        rejections.  Every admitted request waits at most
+        (queue_limit + 1) * delay, so its measured latency is bounded —
+        that is the explicit-admission-control contract.
+        """
+        delay_s = 0.05
+        max_in_flight, queue_limit = 1, 2
+        obs = Instrumentation()
+        engine = SlowEngine(family_engine(), delay_s)
+        service = RetrievalService(
+            engine, max_in_flight=max_in_flight, queue_limit=queue_limit,
+            obs=obs,
+        )
+        goal = read_term("parent(tom, X)")
+        outcomes = []
+        outcome_lock = threading.Lock()
+
+        def one_client():
+            # No retries: a SERVER_BUSY answer must count as shed load.
+            with RetrievalClient(
+                service.host, service.port,
+                backoff=BackoffPolicy(max_retries=0),
+            ) as client:
+                begin = time.monotonic()
+                try:
+                    client.retrieve(goal)
+                except ServerBusy:
+                    with outcome_lock:
+                        outcomes.append(("busy", time.monotonic() - begin))
+                else:
+                    with outcome_lock:
+                        outcomes.append(("ok", time.monotonic() - begin))
+
+        with BackgroundService(service) as background:
+            background.start()
+            threads = [
+                threading.Thread(target=one_client) for _ in range(12)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=30)
+
+        ok_latencies = [t for kind, t in outcomes if kind == "ok"]
+        busy = [t for kind, t in outcomes if kind == "busy"]
+        assert len(outcomes) == 12
+        assert busy, "overload never produced a SERVER_BUSY rejection"
+        assert ok_latencies, "no request was admitted under overload"
+        # Admitted p99 bounded: worst case is a full queue ahead of you.
+        bound_s = (queue_limit + 1) * delay_s + 1.0  # + generous host slack
+        assert percentile(ok_latencies, 0.99) < bound_s
+        # Rejections are immediate — far cheaper than one engine call.
+        assert min(busy) < delay_s
+        registry = obs.registry
+        assert registry.total("net.busy_rejected") == len(busy)
+        assert registry.total("net.accepted") == len(ok_latencies)
+
+    def test_loadgen_counts_busy_under_overload(self):
+        engine = SlowEngine(family_engine(), 0.03)
+        service = RetrievalService(engine, max_in_flight=1, queue_limit=1)
+        with BackgroundService(service) as background:
+            host, port = background.start()
+            result = run_loadgen(
+                host, port, [read_term("parent(tom, X)")],
+                qps=200.0, duration_s=0.25,
+            )
+        assert result.offered == 50
+        assert result.ok + result.busy + result.errors == result.offered
+        assert result.busy > 0  # open loop kept offering past capacity
+        assert result.ok > 0
+
+
+class TestDeadlines:
+    def test_queue_wait_burns_deadline(self):
+        """A request that queues past its budget fails without executing."""
+        engine = SlowEngine(family_engine(), 0.15)
+        service = RetrievalService(engine, max_in_flight=1, queue_limit=4)
+        with BackgroundService(service) as background:
+            host, port = background.start()
+            with RetrievalClient(
+                host, port, backoff=BackoffPolicy(max_retries=0)
+            ) as blocker, RetrievalClient(
+                host, port, backoff=BackoffPolicy(max_retries=0)
+            ) as victim:
+                goal = read_term("parent(tom, X)")
+                filler = threading.Thread(
+                    target=lambda: blocker.retrieve(goal)
+                )
+                filler.start()
+                time.sleep(0.03)  # let the filler occupy the one worker
+                with pytest.raises(DeadlineExceeded):
+                    victim.retrieve(goal, deadline_s=0.05)
+                filler.join(timeout=10)
+
+    def test_default_deadline_applies(self):
+        engine = SlowEngine(family_engine(), 0.15)
+        service = RetrievalService(
+            engine, max_in_flight=1, queue_limit=4, default_deadline_s=0.05
+        )
+        with BackgroundService(service) as background:
+            host, port = background.start()
+            with RetrievalClient(
+                host, port, backoff=BackoffPolicy(max_retries=0)
+            ) as blocker, RetrievalClient(
+                host, port, backoff=BackoffPolicy(max_retries=0)
+            ) as victim:
+                goal = read_term("parent(tom, X)")
+                filler = threading.Thread(
+                    target=lambda: blocker.retrieve(goal)
+                )
+                filler.start()
+                time.sleep(0.03)
+                # No explicit deadline: the server's default applies.
+                with pytest.raises(DeadlineExceeded):
+                    victim.retrieve(goal)
+                filler.join(timeout=10)
+
+
+class TestGracefulDrain:
+    def test_drain_completes_in_flight_requests(self):
+        """Acceptance: shutdown answers everything it admitted."""
+        engine = SlowEngine(family_engine(), 0.1)
+        service = RetrievalService(engine, max_in_flight=4, queue_limit=8)
+        background = BackgroundService(service)
+        host, port = background.start()
+        goal = read_term("parent(tom, X)")
+        results = []
+        failures = []
+        lock = threading.Lock()
+
+        def one_client():
+            try:
+                with RetrievalClient(
+                    host, port, backoff=BackoffPolicy(max_retries=0)
+                ) as client:
+                    result = client.retrieve(goal)
+                with lock:
+                    results.append(result)
+            except Exception as exc:  # noqa: BLE001 - recorded for assert
+                with lock:
+                    failures.append(exc)
+
+        threads = [threading.Thread(target=one_client) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        time.sleep(0.05)  # all four admitted, none finished (0.1 s engine)
+        background.stop()  # graceful drain
+        for thread in threads:
+            thread.join(timeout=30)
+        assert not failures, failures
+        assert len(results) == 4
+        for result in results:
+            assert [str(c) for c in result.candidates] == [
+                "parent(tom,bob).", "parent(tom,liz)."
+            ]
+
+    def test_draining_server_refuses_new_requests(self):
+        engine = family_engine()
+        service = RetrievalService(engine)
+        with BackgroundService(service) as background:
+            host, port = background.start()
+            with RetrievalClient(
+                host, port, backoff=BackoffPolicy(max_retries=0)
+            ) as client:
+                client.ping()  # open the connection before the drain
+                service._draining = True
+                with pytest.raises(ServerDraining):
+                    client.retrieve(read_term("parent(tom, X)"))
+                service._draining = False
+
+    def test_max_requests_drains_and_stops(self):
+        engine = family_engine()
+        service = RetrievalService(engine)
+        background = BackgroundService(service)
+        host, port = background.start()
+
+        def run_until_done():
+            # run() is already active inside BackgroundService; here we
+            # just drive two requests and watch the service finish.
+            with RetrievalClient(host, port) as client:
+                client.retrieve(read_term("parent(tom, X)"))
+                client.retrieve(read_term("parent(bob, X)"))
+
+        service.max_requests = 2
+        run_until_done()
+        deadline = time.monotonic() + 10
+        while not service._done.is_set() and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert service._done.is_set()
+        background.stop()

@@ -110,3 +110,76 @@ class TestLoad:
         kb = load_kb(saved_dir)
         kb.assertz(read_term("parent(ann, joe)"))
         assert len(kb.clauses(("parent", 2))) == 3
+
+
+class TestStemCollisions:
+    """File-stem collisions must disambiguate, not silently overwrite."""
+
+    def test_case_only_names_get_distinct_stems(self, tmp_path):
+        # p/1 vs 'P'/1 escape to stems differing only by case — a real
+        # collision on case-insensitive filesystems.  The writer must
+        # assign distinct stems and the manifest must round-trip both.
+        kb = KnowledgeBase()
+        kb.consult_text("p(1). p(2). 'P'(a). 'P'(b). 'P'(c).")
+        save_kb(kb, tmp_path / "kb")
+        manifest = (tmp_path / "kb" / "manifest.txt").read_text()
+        stems = [
+            line.split("\t")[4]
+            for line in manifest.splitlines()
+            if line.startswith("predicate\t")
+        ]
+        assert len(stems) == len(set(stems)) == 2
+        assert len({stem.casefold() for stem in stems}) == 2
+
+        restored = load_kb(tmp_path / "kb")
+        assert len(restored.clauses(("p", 1))) == 2
+        assert len(restored.clauses(("P", 1))) == 3
+        heads = [str(c.head) for c in restored.clauses(("P", 1))]
+        assert heads == ["'P'(a)", "'P'(b)", "'P'(c)"]
+
+    def test_suffixed_stem_files_exist(self, tmp_path):
+        kb = KnowledgeBase()
+        kb.consult_text("p(1). 'P'(a).")
+        written = save_kb(kb, tmp_path / "kb")
+        clause_files = sorted(
+            name for name in written if name.endswith(".clauses")
+        )
+        assert clause_files == ["P_1__2.clauses", "p_1.clauses"]
+        for name in clause_files:
+            assert (tmp_path / "kb" / name).exists()
+
+    def test_same_name_different_arity_never_collides(self, tmp_path):
+        kb = KnowledgeBase()
+        kb.consult_text("p(1). p(1, 2). p(1, 2, 3).")
+        save_kb(kb, tmp_path / "kb")
+        restored = load_kb(tmp_path / "kb")
+        assert set(restored.predicates()) == {("p", 1), ("p", 2), ("p", 3)}
+
+    def test_duplicate_stem_manifest_rejected(self, tmp_path):
+        # A directory written by a pre-collision-check saver: two
+        # predicates point at one clause file.  Loading either image as
+        # both would corrupt the KB, so the loader must refuse.
+        kb = KnowledgeBase()
+        kb.consult_text("p(1). q(2).")
+        save_kb(kb, tmp_path / "kb")
+        manifest_path = tmp_path / "kb" / "manifest.txt"
+        lines = manifest_path.read_text().splitlines()
+        rewritten = [
+            line.replace("\tq_1", "\tp_1")
+            if line.startswith("predicate\tq") else line
+            for line in lines
+        ]
+        manifest_path.write_text("\n".join(rewritten) + "\n")
+        with pytest.raises(PersistenceError, match="stem"):
+            load_kb(tmp_path / "kb")
+
+    def test_collision_roundtrip_preserves_clause_bytes(self, tmp_path):
+        kb = KnowledgeBase()
+        kb.consult_text("p(1). p(2). 'P'(a).")
+        save_kb(kb, tmp_path / "kb")
+        expected_p = kb.store(("p", 1)).clause_file.to_bytes()
+        expected_upper = kb.store(("P", 1)).clause_file.to_bytes()
+        assert (tmp_path / "kb" / "p_1.clauses").read_bytes() == expected_p
+        assert (
+            tmp_path / "kb" / "P_1__2.clauses"
+        ).read_bytes() == expected_upper
