@@ -1,0 +1,116 @@
+"""[E12] `solve` throughput: recursive path queries, three delivery paths.
+
+Solutions per second enumerating the full transitive closure
+``path(n0, X)`` of an edge chain, measured on:
+
+* the tree-walking interpreter over a single KnowledgeBase,
+* the CRS-backed ``SolveEngine`` (ZIP machine pulling candidates
+  through a first-arg-routed shard cluster), and
+* the ``solve`` verb over loopback TCP with per-answer streaming.
+
+Absolute numbers land in ``BENCH_solve.json`` at the repo root (the CI
+bench-smoke job uploads it as an artifact); the assertions only pin
+correctness (full closure enumerated, identical counts) and liveness —
+wall-clock claims would be noise on shared CI boxes.
+"""
+
+import json
+import pathlib
+import time
+
+from repro.cluster import ShardedRetrievalServer, ShardingPolicy
+from repro.engine import PrologMachine, SolveEngine
+from repro.net import BackgroundService, RetrievalClient, RetrievalService
+from repro.storage import KnowledgeBase
+from repro.terms import read_term
+from repro.workloads import chain_program
+from tables import record_table
+
+RESULT_PATH = pathlib.Path(__file__).parent.parent / "BENCH_solve.json"
+
+
+def timed_drain(stream) -> tuple[int, float]:
+    begin = time.perf_counter()
+    count = sum(1 for _ in stream)
+    return count, time.perf_counter() - begin
+
+
+def test_bench_solve_recursive_path(quick):
+    length = 20 if quick else 50
+    program = chain_program(length)
+    goal_text = f"path(n0, X)"
+    expected = length  # n0 reaches every other node exactly once
+
+    kb = KnowledgeBase()
+    kb.consult_text(program)
+    machine = PrologMachine(kb, unknown_predicates="fail")
+    interp_count, interp_s = timed_drain(machine.solve(read_term(goal_text)))
+
+    cluster = ShardedRetrievalServer(2, policy=ShardingPolicy.FIRST_ARG)
+    cluster.consult_text(program)
+    engine = SolveEngine(cluster)
+    solve_count, solve_s = timed_drain(engine.solve(read_term(goal_text)))
+    stats = engine.stats
+
+    service = RetrievalService(cluster, max_in_flight=2, queue_limit=8)
+    with BackgroundService(service) as background:
+        host, port = background.service.address
+        with RetrievalClient(host, port) as client:
+            net_count, net_s = timed_drain(client.solve(read_term(goal_text)))
+
+    rows = [
+        ("interp / single KB", interp_count, round(interp_s * 1e3, 2),
+         round(interp_count / interp_s, 1)),
+        ("zip / sharded CRS", solve_count, round(solve_s * 1e3, 2),
+         round(solve_count / solve_s, 1)),
+        ("zip / net solve", net_count, round(net_s * 1e3, 2),
+         round(net_count / net_s, 1)),
+    ]
+    payload = {
+        "chain_length": length,
+        "goal": goal_text,
+        "paths": {
+            "interp_single_kb": {
+                "solutions": interp_count,
+                "wall_s": round(interp_s, 6),
+                "solutions_per_sec": round(interp_count / interp_s, 2),
+            },
+            "solve_engine_cluster": {
+                "solutions": solve_count,
+                "wall_s": round(solve_s, 6),
+                "solutions_per_sec": round(solve_count / solve_s, 2),
+                "retrievals": stats.retrievals,
+                "cache_hits": stats.cache_hits,
+                "single_shard": stats.single_shard,
+                "broadcasts": stats.broadcasts,
+            },
+            "net_solve_stream": {
+                "solutions": net_count,
+                "wall_s": round(net_s, 6),
+                "solutions_per_sec": round(net_count / net_s, 2),
+            },
+        },
+        "quick": quick,
+    }
+    RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    record_table(
+        "E12",
+        "`solve` throughput on the recursive path workload",
+        ("path", "solutions", "wall ms", "solutions/s"),
+        rows,
+        notes=(
+            f"chain of {length} edges, full closure from n0; "
+            f"engine pulls: {stats.retrievals} retrievals, "
+            f"{stats.cache_hits} cache hits, "
+            f"{stats.single_shard} single-shard, "
+            f"{stats.broadcasts} broadcasts; "
+            f"results in {RESULT_PATH.name}"
+        ),
+    )
+
+    assert interp_count == expected
+    assert solve_count == expected
+    assert net_count == expected
+    # First-arg routing must have kept bound-source pulls off broadcast.
+    assert stats.single_shard > 0

@@ -1,0 +1,11 @@
+% A small directed graph with its transitive closure — the demo
+% program behind the `serve` / `client --solve` quickstart.
+
+edge(a, b).
+edge(b, c).
+edge(c, d).
+edge(a, e).
+edge(e, d).
+
+path(X, Y) :- edge(X, Y).
+path(X, Z) :- edge(X, Y), path(Y, Z).

@@ -163,6 +163,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="send all goals as one REQ_RETRIEVE_BATCH frame",
     )
     client.add_argument(
+        "--solve", action="append", default=[], metavar="GOAL",
+        help="resolve a (possibly multi-goal) query server-side, "
+        "streaming one solution frame per answer (repeatable)",
+    )
+    client.add_argument(
+        "--engine", choices=["zip", "interp"], default="zip",
+        help="resolution engine for --solve (default: zip)",
+    )
+    client.add_argument(
+        "--max-solutions", type=int, default=0,
+        help="per --solve query solution cap (0 = all)",
+    )
+    client.add_argument(
         "--deadline-ms", type=int, default=0,
         help="per-request deadline (0 = none)",
     )
@@ -441,7 +454,28 @@ def _cmd_client(args, out) -> int:
     goals = [read_term(text) for text in args.goal]
     try:
         with RetrievalClient(args.host, args.port) as client:
-            if not goals:
+            for query_text in args.solve:
+                out.write(f"?- {query_text}.\n")
+                shown = 0
+                for solution in client.solve(
+                    read_term(query_text),
+                    engine=args.engine,
+                    mode=mode,
+                    deadline_s=deadline_s,
+                    max_solutions=args.max_solutions,
+                ):
+                    if not solution:
+                        out.write("   true\n")
+                    else:
+                        rendered = ", ".join(
+                            f"{name} = {term_to_string(value)}"
+                            for name, value in sorted(solution.items())
+                        )
+                        out.write(f"   {rendered}\n")
+                    shown += 1
+                if shown == 0:
+                    out.write("   false\n")
+            if not goals and not args.solve:
                 client.ping()
                 out.write("pong\n")
             elif args.batch:

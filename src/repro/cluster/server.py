@@ -176,9 +176,17 @@ class ShardedRetrievalServer:
         return count
 
     def add_clause(self, clause: Clause, module: str = "user") -> int:
-        """Append a clause on its home shard; returns the shard id."""
+        """Append a clause on its home shard; returns the shard id.
+
+        Mutations hold the shard lock: ``retract_matching`` swaps in a
+        rebuilt clause file after snapshotting the old one, so an
+        unlocked concurrent append would land on the file being
+        replaced and vanish with it (a lost update).
+        """
         shard_id = self.router.route_clause(clause.head)
-        self.shards[shard_id].kb.add_clause(clause, module=module)
+        shard = self.shards[shard_id]
+        with shard.lock:
+            shard.kb.add_clause(clause, module=module)
         self._bump_version()
         self.obs.counter("cluster.clauses_routed", shard=str(shard_id)).inc()
         return shard_id
@@ -195,24 +203,36 @@ class ShardedRetrievalServer:
         """
         clause = _as_clause(clause_or_term)
         shard_id = self.router.route_clause(clause.head)
-        self.shards[shard_id].kb.asserta(clause, module=module)
+        shard = self.shards[shard_id]
+        with shard.lock:
+            shard.kb.asserta(clause, module=module)
         self._bump_version()
 
     def retract(self, clause_or_term: Clause | Term) -> bool:
         """Remove the first matching clause, probing shards in id order."""
+        return self.retract_matching(clause_or_term) is not None
+
+    def retract_matching(self, clause_or_term: Clause | Term) -> Clause | None:
+        """Like :meth:`retract` but returns the clause actually removed.
+
+        The resolution engines need the removed clause to bind a
+        ``retract/1`` template against; version bumping here is what
+        keeps the cluster cache (and every retriever layered on it) from
+        serving the retracted clause to later choice points.
+        """
         template = _as_clause(clause_or_term)
         try:
             targets = self.router.route_goal(template.head)
         except UnknownPredicateError:
-            return False
+            return None
         for shard_id in targets:
             shard = self.shards[shard_id]
             with shard.lock:
                 removed = shard.kb.retract_matching(template)
             if removed is not None:
                 self._bump_version()
-                return True
-        return False
+                return removed
+        return None
 
     def pin_module(self, name: str, residency: str) -> None:
         """Pin one module's residency on every shard (e.g. to disk)."""

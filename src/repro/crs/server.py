@@ -640,12 +640,29 @@ class ClauseRetrievalServer:
         return records, TransferStats()
 
     def _ensure_on_disk(self, store: PredicateStore) -> None:
-        if store.extent_name() not in self.kb.disk:
-            self.kb.disk.write_extent(store.extent_name(), store.clause_file.to_bytes())
-        if store.index_extent_name() not in self.kb.disk:
-            self.kb.disk.write_extent(
-                store.index_extent_name(), store.index.to_bytes()
-            )
+        """Write (or *re*write) the predicate's extents when stale.
+
+        Staleness is judged by the knowledge base's per-predicate
+        freshness key — (clause-file generation, clause count) at the
+        last extent write.  An assert or retract during resolution
+        changes the key, so the next disk-path retrieval rewrites the
+        extents before slicing candidate records out of them; without
+        this, the current address table would be applied to the *old*
+        extent bytes and later choice points could be fed stale or
+        corrupt candidates.
+        """
+        current = self.kb.disk_sync_key(store.indicator)
+        if (
+            self.kb.disk_synced_key(store.indicator) == current
+            and store.extent_name() in self.kb.disk
+            and store.index_extent_name() in self.kb.disk
+        ):
+            return
+        self.kb.disk.write_extent(store.extent_name(), store.clause_file.to_bytes())
+        self.kb.disk.write_extent(
+            store.index_extent_name(), store.index.to_bytes()
+        )
+        self.kb.mark_disk_synced(store.indicator)
 
     def _decode_record(
         self, store: PredicateStore, record: bytes, address: int | None = None

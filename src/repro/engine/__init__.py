@@ -1,13 +1,25 @@
 """The PDBM Prolog interpreter and integrated machine."""
 
-from .interp import ExistenceError, PrologError, Solver, term_order_key
+from .interp import (
+    ExistenceError,
+    PrologError,
+    ResourceError,
+    Solver,
+    term_order_key,
+)
 from .machine import PrologMachine, QueryStats
+from .solve import ClusterRetriever, RetrieverStats, SolveEngine, SolveStats
 
 __all__ = [
+    "ClusterRetriever",
     "ExistenceError",
     "PrologError",
     "PrologMachine",
     "QueryStats",
+    "ResourceError",
+    "RetrieverStats",
     "Solver",
+    "SolveEngine",
+    "SolveStats",
     "term_order_key",
 ]

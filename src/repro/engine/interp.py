@@ -10,6 +10,7 @@ tests drive the solver directly.
 
 from __future__ import annotations
 
+import sys
 from typing import Callable, Iterator
 
 from ..terms import (
@@ -22,14 +23,19 @@ from ..terms import (
     Term,
     Var,
     functor_indicator,
-    is_ground,
     make_list,
     rename_apart,
     term_to_string,
 )
 from ..unify import Bindings, unify
 
-__all__ = ["PrologError", "ExistenceError", "Solver", "term_order_key"]
+__all__ = [
+    "PrologError",
+    "ExistenceError",
+    "ResourceError",
+    "Solver",
+    "term_order_key",
+]
 
 Retriever = Callable[[Term], list[Clause]]
 
@@ -40,6 +46,46 @@ class PrologError(RuntimeError):
 
 class ExistenceError(PrologError):
     """Call to a predicate with no clauses and no builtin."""
+
+
+class ResourceError(PrologError):
+    """A resource budget was exhausted during resolution.
+
+    Raised when the resolution depth budget (``Solver.max_depth``, the
+    compiled machine's step limit) runs out, and in place of Python's
+    own :class:`RecursionError` when a query out-nests the frame budget
+    the solver reserved — so a runaway recursive program always fails
+    with a typed, catchable Prolog error instead of tearing down the
+    host.
+    """
+
+
+#: Python frames one resolution level costs in the generator-based DFS
+#: (``_solve_goal`` -> ``_call_user_predicate`` -> ``_solve_conjunction``
+#: plus a control frame or two).  Used to translate a depth budget into
+#: a recursion-limit request.
+_FRAMES_PER_DEPTH = 6
+
+#: Never ask CPython for more frames than the C stack of this build can
+#: actually resume through: deep ``yield from`` chains re-enter one C
+#: frame per level, and an 8 MiB stack segfaults somewhere beyond ~40k
+#: resumed generator frames.  20k frames keeps a 2x safety margin and
+#: still allows ~3000 levels of resolution depth — enough for nrev on a
+#: 300-element list (~600 levels) or path/2 over thousand-node chains.
+_RECURSION_LIMIT_CEILING = 20_000
+
+
+def _ensure_stack_headroom(max_depth: int) -> None:
+    """Raise the interpreter recursion limit toward the depth budget.
+
+    Monotonic (never lowers the limit) so concurrent solver threads can
+    not yank frames out from under each other; capped by the C-stack
+    ceiling, beyond which the RecursionError -> ResourceError translation
+    in :meth:`Solver.solve` takes over.
+    """
+    needed = min(1000 + max_depth * _FRAMES_PER_DEPTH, _RECURSION_LIMIT_CEILING)
+    if sys.getrecursionlimit() < needed:
+        sys.setrecursionlimit(needed)
 
 
 class _CutSignal:
@@ -63,8 +109,6 @@ class Solver:
         max_depth: int = 100_000,
         output=None,
     ):
-        import sys
-
         self._retrieve = retriever
         self._assertz = assertz
         self._asserta = asserta
@@ -81,11 +125,30 @@ class Solver:
         The same :class:`Bindings` object is yielded each time (with
         different contents); callers wanting snapshots must resolve or
         copy before advancing.
+
+        Deep recursion fails cleanly: the solver reserves Python stack
+        headroom for its depth budget up front, and if a query still
+        out-nests the frame ceiling, the :class:`RecursionError` is
+        translated into a typed :class:`ResourceError` here rather than
+        escaping raw.
         """
         if bindings is None:
             bindings = Bindings()
         signal = _CutSignal()
-        yield from self._solve_goal(goal, bindings, 0, signal)
+        _ensure_stack_headroom(self.max_depth)
+        solutions = self._solve_goal(goal, bindings, 0, signal)
+        while True:
+            try:
+                value = next(solutions)
+            except StopIteration:
+                return
+            except RecursionError:
+                raise ResourceError(
+                    "resolution depth exhausted the Python stack budget "
+                    f"(max_depth={self.max_depth}); the program recurses "
+                    "too deeply"
+                ) from None
+            yield value
 
     # -- control ---------------------------------------------------------------
 
@@ -93,7 +156,7 @@ class Solver:
         self, goal: Term, bindings: Bindings, depth: int, signal: _CutSignal
     ) -> Iterator[Bindings]:
         if depth > self.max_depth:
-            raise PrologError(f"depth limit {self.max_depth} exceeded")
+            raise ResourceError(f"depth limit {self.max_depth} exceeded")
         goal = bindings.walk(goal)
         if isinstance(goal, Var):
             raise PrologError("unbound goal (instantiation error)")
@@ -312,6 +375,14 @@ def _type_test(predicate):
             yield bindings
 
     return test
+
+
+def _bi_ground(solver, goal, bindings, depth):
+    # ground/1 must look *through* the substitution (a shallow walk sees
+    # bound variables inside structures as unbound) and terminate on
+    # cyclic bindings; Bindings.is_ground does both.
+    if bindings.is_ground(goal.args[0]):
+        yield bindings
 
 
 def _bi_is(solver, goal, bindings, depth):
@@ -745,7 +816,7 @@ _BUILTINS = {
     ("float", 1): _type_test(lambda t: isinstance(t, Float)),
     ("atomic", 1): _type_test(lambda t: isinstance(t, (Atom, Int, Float))),
     ("compound", 1): _type_test(lambda t: isinstance(t, Struct)),
-    ("ground", 1): _type_test(is_ground),
+    ("ground", 1): _bi_ground,
     ("is", 2): _bi_is,
     ("=:=", 2): _arith_compare(lambda a, b: a == b),
     ("=\\=", 2): _arith_compare(lambda a, b: a != b),

@@ -107,16 +107,22 @@ class PrologMachine:
         """Solve through the ZIP compiled-clause machine.
 
         Clauses compile on first use; retrieval still goes through the
-        CRS, so disk-resident predicates take the CLARE pipeline.  Raises
-        :class:`~repro.engine.zipvm.CompileError` when a reached clause
-        uses constructs the compiled engine does not support.
+        CRS, so disk-resident predicates take the CLARE pipeline.
+        Procedures (or goals) the compiler does not support escape to
+        the tree-walking interpreter per *predicate*, so the answer
+        sequence always matches :meth:`solve`.
         """
         from ..terms import freshen_anonymous
         from .zipvm import ZipMachine
 
         goal_vars = [v for v in variables(goal) if not v.is_anonymous()]
         goal = freshen_anonymous(goal)
-        vm = ZipMachine(self._retrieve_clauses)
+        vm = ZipMachine(
+            self._retrieve_clauses,
+            assertz=lambda clause: self.kb.assertz(clause),
+            asserta=lambda clause: self.kb.asserta(clause),
+            retract=lambda clause: self.kb.retract_matching(clause),
+        )
         for bindings in vm.solve(goal):
             yield {v.name: bindings.resolve(v) for v in goal_vars}
 

@@ -1,0 +1,393 @@
+"""Multi-goal resolution over a sharded retrieval cluster: ``solve``.
+
+This is the layer that turns the repo from a filter benchmark into a
+queryable database.  A :class:`ClusterRetriever` adapts the sharded
+front door (:class:`repro.cluster.ShardedRetrievalServer` — or a single
+:class:`repro.crs.ClauseRetrievalServer`) into the pluggable
+``Retriever`` callable both resolution engines consume, and a
+:class:`SolveEngine` runs conjunctive queries through the compiled ZIP
+machine (or the tree-walking interpreter) against it.
+
+What the adapter adds over a bare ``retrieve`` call:
+
+* **Routing-aware accounting** — with a first-argument sharding policy,
+  a goal whose first argument is bound routes to exactly one shard; an
+  unbound first argument broadcasts.  The retriever tracks both so a
+  ``solve`` can report how often its candidate pulls stayed on one
+  engine.
+* **Choice-point-aware caching** — candidates are cached per canonical
+  goal key and invalidated by the cluster's version counter, so
+  re-entering a choice point (or retrying a goal after backtracking)
+  re-pulls candidates only when an ``assert``/``retract`` actually
+  changed the database mid-search.
+* **Batched sibling prefetch** — when the compiled machine calls a
+  predicate, the *ground* user-predicate goals sitting next on its goal
+  stack are fetched in the same :meth:`retrieve_batch` round trip, so
+  sibling goals of an activated clause body amortise FS1 index passes
+  exactly like the PR 3/4 batch path.
+* **Deadline propagation** — one deadline bounds every retrieval issued
+  by the query, and the solve loop re-checks it between solutions, so
+  the network layer's deadline/drain semantics extend through
+  resolution.
+"""
+
+from __future__ import annotations
+
+import inspect
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from ..crs import SearchMode
+from ..crs.keys import canonical_goal_key
+from ..crs.server import RetrievalTimeout
+from ..storage import UnknownPredicateError
+from ..terms import (
+    Clause,
+    Term,
+    freshen_anonymous,
+    read_term,
+    variables,
+)
+from .interp import ExistenceError, Solver
+from .zipvm import ZipMachine
+
+__all__ = ["ClusterRetriever", "RetrieverStats", "SolveEngine", "SolveStats"]
+
+
+@dataclass
+class RetrieverStats:
+    """Where one retriever's candidate pulls went."""
+
+    retrievals: int = 0
+    cache_hits: int = 0
+    prefetch_batches: int = 0
+    prefetched_goals: int = 0
+    single_shard: int = 0
+    broadcasts: int = 0
+
+
+class ClusterRetriever:
+    """A cluster (or single CRS) behind the engines' retriever contract.
+
+    ``backend`` needs ``retrieve(goal, mode=...)`` returning an object
+    with a ``candidates`` list; ``retrieve_batch``, ``version`` and
+    ``router`` are picked up when present (the sharded front door has
+    all three).  Not thread-safe: one retriever per running query.
+    """
+
+    def __init__(
+        self,
+        backend,
+        mode: SearchMode | None = None,
+        cache_size: int = 512,
+        prefetch_width: int = 8,
+        unknown: str = "fail",
+    ):
+        if unknown not in ("fail", "error"):
+            raise ValueError("unknown must be 'fail' or 'error'")
+        self._backend = backend
+        self.mode = mode
+        self.cache_size = cache_size
+        self.prefetch_width = prefetch_width
+        self.unknown = unknown
+        self.stats = RetrieverStats()
+        self._cache: "OrderedDict[tuple, list[Clause]]" = OrderedDict()
+        self._version = self._backend_version()
+        self._deadline: float | None = None
+        self._supports_timeout = _accepts_timeout(backend.retrieve)
+        self._batch = getattr(backend, "retrieve_batch", None)
+        self._batch_supports_timeout = (
+            self._batch is not None and _accepts_timeout(self._batch)
+        )
+        self._router = getattr(backend, "router", None)
+
+    # -- the Retriever contract ---------------------------------------------
+
+    def __call__(self, goal: Term) -> list[Clause]:
+        return self.prefetch(goal, ())
+
+    def prefetch(self, goal: Term, siblings: tuple[Term, ...]) -> list[Clause]:
+        """Candidates for ``goal``, pulling cache-cold ``siblings`` along.
+
+        Siblings ride in the same ``retrieve_batch`` call and land in
+        the cache for the engine's next goal dispatch; only the primary
+        goal's candidates are returned.
+        """
+        self._sync_version()
+        key = canonical_goal_key(goal)
+        cached = self._cache_probe(key)
+        if cached is not None:
+            return list(cached)
+        extras: list[Term] = []
+        extra_keys: list[tuple] = []
+        if self._batch is not None:
+            seen = {key}
+            for sibling in siblings:
+                sibling_key = canonical_goal_key(sibling)
+                if sibling_key in seen or sibling_key in self._cache:
+                    continue
+                seen.add(sibling_key)
+                extras.append(sibling)
+                extra_keys.append(sibling_key)
+                if len(extras) >= self.prefetch_width:
+                    break
+        self.stats.retrievals += 1
+        self._note_routing(goal)
+        version_snapshot = self._backend_version()
+        try:
+            if extras:
+                self.stats.prefetch_batches += 1
+                self.stats.prefetched_goals += len(extras)
+                results = self._retrieve_batch([goal, *extras])
+                batches = [list(r.candidates) for r in results]
+            else:
+                result = self._retrieve_one(goal)
+                batches = [list(result.candidates)]
+        except UnknownPredicateError:
+            if self.unknown == "error":
+                name, arity = _goal_indicator(goal)
+                raise ExistenceError(f"unknown predicate {name}/{arity}") from None
+            batches = [[] for _ in range(1 + len(extras))]
+        self._cache_insert(key, batches[0], version_snapshot)
+        for sibling_key, candidates in zip(extra_keys, batches[1:]):
+            self._cache_insert(sibling_key, candidates, version_snapshot)
+        return list(batches[0])
+
+    def set_deadline(self, deadline: float | None) -> None:
+        """Absolute ``time.monotonic`` deadline for every later pull."""
+        self._deadline = deadline
+
+    # -- internals -----------------------------------------------------------
+
+    def _retrieve_one(self, goal: Term):
+        if self._supports_timeout:
+            return self._backend.retrieve(
+                goal, mode=self.mode, timeout=self._remaining()
+            )
+        self._check_deadline()
+        return self._backend.retrieve(goal, mode=self.mode)
+
+    def _retrieve_batch(self, goals: list[Term]):
+        if self._batch_supports_timeout:
+            return self._batch(goals, mode=self.mode, timeout=self._remaining())
+        self._check_deadline()
+        return self._batch(goals, mode=self.mode)
+
+    def _remaining(self) -> float | None:
+        if self._deadline is None:
+            return None
+        remaining = self._deadline - time.monotonic()
+        if remaining <= 0:
+            raise RetrievalTimeout("solve deadline expired before retrieval")
+        return remaining
+
+    def _check_deadline(self) -> None:
+        self._remaining()
+
+    def _backend_version(self) -> int:
+        version = getattr(self._backend, "version", None)
+        if version is not None:
+            return version
+        kb = getattr(self._backend, "kb", None)
+        return getattr(kb, "version", 0)
+
+    def _sync_version(self) -> None:
+        version = self._backend_version()
+        if version != self._version:
+            self._cache.clear()
+            self._version = version
+
+    def _cache_probe(self, key: tuple) -> list[Clause] | None:
+        if self.cache_size <= 0:
+            return None
+        cached = self._cache.get(key)
+        if cached is not None:
+            self._cache.move_to_end(key)
+            self.stats.cache_hits += 1
+        return cached
+
+    def _cache_insert(
+        self, key: tuple, candidates: list[Clause], version_snapshot: int
+    ) -> None:
+        # A mutation during the pull makes this candidate list stale for
+        # the *next* probe even though it was correct for this one.
+        if self.cache_size <= 0 or self._backend_version() != version_snapshot:
+            return
+        self._cache[key] = candidates
+        while len(self._cache) > self.cache_size:
+            self._cache.popitem(last=False)
+
+    def _note_routing(self, goal: Term) -> None:
+        if self._router is None:
+            return
+        try:
+            targets = self._router.route_goal(goal)
+        except UnknownPredicateError:
+            return
+        if len(targets) > 1:
+            self.stats.broadcasts += 1
+        else:
+            self.stats.single_shard += 1
+
+
+def _accepts_timeout(callable_) -> bool:
+    try:
+        return "timeout" in inspect.signature(callable_).parameters
+    except (TypeError, ValueError):  # builtins, C callables
+        return False
+
+
+def _goal_indicator(goal: Term) -> tuple[str, int]:
+    from ..terms import functor_indicator
+
+    return functor_indicator(goal)
+
+
+@dataclass
+class SolveStats:
+    """One query's resolution and retrieval accounting."""
+
+    solutions: int = 0
+    calls: int = 0
+    backtracks: int = 0
+    escapes: int = 0
+    retrievals: int = 0
+    cache_hits: int = 0
+    prefetch_batches: int = 0
+    prefetched_goals: int = 0
+    single_shard: int = 0
+    broadcasts: int = 0
+
+
+class SolveEngine:
+    """Conjunctive queries against a sharded retrieval backend.
+
+    ``engine`` selects the default execution model: ``"zip"`` runs the
+    compiled ZIP machine (with per-predicate interpreter escapes),
+    ``"interp"`` the tree-walking interpreter.  Both produce identical
+    answer sequences — the differential suite enforces it.
+
+    Database mutation (``assert``/``retract`` goals) routes through the
+    backend's front-door methods, so its version counter bumps and no
+    cache layer — cluster LRU, retriever cache, decoded-clause LRU, disk
+    extents — can serve stale candidates to later choice points.
+
+    Not thread-safe: build one engine per concurrently running query
+    (construction is cheap; the caches that matter live in the backend).
+    """
+
+    def __init__(
+        self,
+        backend,
+        mode: SearchMode | None = None,
+        engine: str = "zip",
+        cache_size: int = 512,
+        prefetch_width: int = 8,
+        unknown: str = "fail",
+        output=None,
+    ):
+        if engine not in ("zip", "interp"):
+            raise ValueError("engine must be 'zip' or 'interp'")
+        self.backend = backend
+        self.engine = engine
+        self.retriever = ClusterRetriever(
+            backend,
+            mode=mode,
+            cache_size=cache_size,
+            prefetch_width=prefetch_width,
+            unknown=unknown,
+        )
+        self._output = output
+        self._assertz = getattr(backend, "assertz", None)
+        self._asserta = getattr(backend, "asserta", None)
+        self._retract = getattr(
+            backend, "retract_matching", getattr(backend, "retract", None)
+        )
+        self.stats = SolveStats()
+
+    # -- queries -------------------------------------------------------------
+
+    def solve(
+        self,
+        goal: Term,
+        deadline_s: float | None = None,
+        max_solutions: int = 0,
+        engine: str | None = None,
+    ) -> Iterator[dict[str, Term]]:
+        """Solutions as {variable name: value} dicts, streamed lazily.
+
+        ``deadline_s`` bounds the whole enumeration (retrievals inherit
+        the remaining budget; :class:`RetrievalTimeout` is raised when
+        it runs out); ``max_solutions`` > 0 stops after that many.
+        """
+        engine = engine or self.engine
+        if engine not in ("zip", "interp"):
+            raise ValueError("engine must be 'zip' or 'interp'")
+        goal_vars = [v for v in variables(goal) if not v.is_anonymous()]
+        goal = freshen_anonymous(goal)
+        deadline = (
+            None if deadline_s is None else time.monotonic() + deadline_s
+        )
+        self.retriever.set_deadline(deadline)
+        solutions = self._bindings_iter(goal, engine)
+        produced = 0
+        try:
+            for bindings in solutions:
+                if deadline is not None and time.monotonic() > deadline:
+                    raise RetrievalTimeout("solve deadline expired")
+                produced += 1
+                self.stats.solutions += 1
+                yield {v.name: bindings.resolve(v) for v in goal_vars}
+                if max_solutions and produced >= max_solutions:
+                    return
+        finally:
+            self.retriever.set_deadline(None)
+
+    def solve_text(self, text: str, **kwargs) -> Iterator[dict[str, Term]]:
+        return self.solve(read_term(text), **kwargs)
+
+    def _bindings_iter(self, goal: Term, engine: str):
+        if engine == "interp":
+            solver = Solver(
+                self.retriever,
+                assertz=self._assert_hook(self._assertz),
+                asserta=self._assert_hook(self._asserta),
+                retract=self._retract,
+                output=self._output,
+            )
+            return self._counting(solver.solve(goal), None)
+        vm = ZipMachine(
+            self.retriever,
+            assertz=self._assert_hook(self._assertz),
+            asserta=self._assert_hook(self._asserta),
+            retract=self._retract,
+            output=self._output,
+        )
+        return self._counting(vm.solve(goal), vm)
+
+    @staticmethod
+    def _assert_hook(method) -> Callable[[Clause], None] | None:
+        if method is None:
+            return None
+        return lambda clause: method(clause)
+
+    def _counting(self, solutions, vm: ZipMachine | None):
+        retriever_stats = self.retriever.stats
+        for bindings in solutions:
+            self._snapshot_stats(vm, retriever_stats)
+            yield bindings
+        self._snapshot_stats(vm, retriever_stats)
+
+    def _snapshot_stats(self, vm: ZipMachine | None, retriever: RetrieverStats):
+        if vm is not None:
+            self.stats.calls = vm.calls
+            self.stats.backtracks = vm.backtracks
+            self.stats.escapes = vm.escapes
+        self.stats.retrievals = retriever.retrievals
+        self.stats.cache_hits = retriever.cache_hits
+        self.stats.prefetch_batches = retriever.prefetch_batches
+        self.stats.prefetched_goals = retriever.prefetched_goals
+        self.stats.single_shard = retriever.single_shard
+        self.stats.broadcasts = retriever.broadcasts

@@ -21,11 +21,20 @@ references; each activation allocates fresh variables for its slots, so
 standardisation-apart is a frame allocation, not a term copy.
 
 The machine supports the deterministic builtin core (unification, type
-tests, arithmetic, comparison) plus cut.  Clauses using control
-constructs it does not compile (``;``, ``->``, ``\\+``, ``findall`` ...)
-raise :class:`CompileError`; the integrated machine falls back to the
-tree-walking interpreter for those — and a property test holds the two
-engines to identical answer sets on the common fragment.
+tests, arithmetic, comparison) plus cut, and *escapes* to the
+tree-walking interpreter for everything else — per **predicate**, never
+per clause.  When any clause of a procedure uses constructs the
+compiler rejects (``;``, ``->``, ``\\+``, ``findall`` ...), the whole
+call runs under the interpreter as one choice point, so clause order —
+and therefore the answer *sequence* — is exactly what a pure
+interpreter run produces.  (A per-clause fallback would interleave
+compiled and interpreted activations of the same procedure and could
+reorder solutions; the differential suite in
+``tests/test_engine_differential.py`` holds the two engines to
+identical sequences, not just sets.)  Non-inline builtins reached as
+goals (``between/3``, ``findall/3``, assert/retract ...) escape the
+same way, one goal at a time, which gives the compiled engine the full
+builtin surface of :mod:`repro.engine.interp`.
 """
 
 from __future__ import annotations
@@ -43,10 +52,11 @@ from ..terms import (
     Var,
     fresh_var,
     functor_indicator,
+    is_ground,
     variables,
 )
 from ..unify import Bindings, unify
-from .interp import PrologError, term_order_key
+from .interp import PrologError, ResourceError, Solver, term_order_key
 
 __all__ = ["CompileError", "CompiledProcedureClause", "ZipMachine", "compile_clause_code"]
 
@@ -179,7 +189,45 @@ _UNSUPPORTED = {
     ("retract", 1),
 }
 
+def _escaped_goal_indicators() -> frozenset:
+    """Goal indicators the machine hands to the interpreter.
+
+    Derived from the interpreter's own dispatch tables so the two
+    engines can never disagree about what a goal *is*: everything interp
+    treats as a control construct or builtin, minus what the machine
+    runs inline and the two control forms (conjunction, cut) it
+    implements natively.
+    """
+    from .interp import _BUILTINS, _CONTROL
+
+    native = set(_INLINE_BUILTINS) | {(",", 2), ("!", 0)}
+    return frozenset((set(_CONTROL) | set(_BUILTINS)) - native)
+
+
+_ESCAPED_GOALS = _escaped_goal_indicators()
+
+#: Control constructs that are cut-*transparent* in the interpreter: a
+#: ``!`` inside their branches cuts the surrounding clause (or query).
+#: A query containing one of these as a conjunct is delegated whole to
+#: the interpreter — a per-goal escape would run it under a fresh cut
+#: barrier and could prune differently.
+_CUT_TRANSPARENT = frozenset({(";", 2), ("->", 2)})
+
 _COMPILE_CACHE: dict[Clause, CompiledProcedureClause] = {}
+_COMPILABLE_CACHE: dict[Clause, bool] = {}
+
+
+def clause_compilable(clause: Clause) -> bool:
+    """True if the clause compiles (memoised, including the negative)."""
+    cached = _COMPILABLE_CACHE.get(clause)
+    if cached is None:
+        try:
+            compile_clause_code(clause)
+            cached = True
+        except CompileError:
+            cached = False
+        _COMPILABLE_CACHE[clause] = cached
+    return cached
 
 
 def compile_clause_code(clause: Clause) -> CompiledProcedureClause:
@@ -276,29 +324,90 @@ class _ChoicePoint:
     trail_mark: int
 
 
+@dataclass
+class _EscapePoint:
+    """A choice point whose alternatives live in an interpreter generator.
+
+    ``entry_mark`` is the trail height before the escaped goal ran at
+    all; ``resume_mark`` is the height at its most recent solution.
+    Backtracking into the point undoes to ``resume_mark`` (never to
+    ``entry_mark`` while the generator is live — its suspended frames
+    hold absolute marks above it) and advances the generator; exhaustion
+    undoes to ``entry_mark`` and pops.
+    """
+
+    goal_stack: list
+    solutions: Iterator[Bindings]
+    entry_mark: int
+    resume_mark: int
+
+
 class ZipMachine:
-    """Explicit-stack execution of compiled clauses."""
+    """Explicit-stack execution of compiled clauses.
+
+    ``assertz``/``asserta``/``retract`` hooks (and ``output``) are
+    forwarded to the embedded interpreter that serves escaped goals, so
+    database mutation during compiled resolution routes through the same
+    store as an interpreter run would.
+    """
 
     def __init__(
         self,
         retriever: Callable[[Term], list[Clause]],
         max_steps: int = 5_000_000,
+        assertz: Callable[[Clause], None] | None = None,
+        asserta: Callable[[Clause], None] | None = None,
+        retract: Callable[[Clause], object] | None = None,
+        output=None,
     ):
         self._retrieve = retriever
         self.max_steps = max_steps
         self.calls = 0
         self.backtracks = 0
+        #: goals handed to the interpreter (escapes), including whole
+        #: predicate-level fallbacks.
+        self.escapes = 0
         self._steps = 0
+        self._interp = Solver(
+            retriever,
+            assertz=assertz,
+            asserta=asserta,
+            retract=retract,
+            output=output,
+        )
 
     def solve(self, query: Term) -> Iterator[Bindings]:
         """All solutions; yields the live bindings per solution."""
         bindings = Bindings()
+        if self._query_needs_interpreter(query, bindings):
+            # A cut-transparent control construct at the query's top
+            # level: only the interpreter threads the query-level cut
+            # signal through it correctly, so the whole query escapes.
+            self.escapes += 1
+            yield from self._interp.solve(query, bindings)
+            return
         goal_stack: list[_Goal] | None = [_Goal(query, 0)]
-        choice_points: list[_ChoicePoint] = []
+        choice_points: list[_ChoicePoint | _EscapePoint] = []
         while goal_stack is not None:
             if self._execute(goal_stack, choice_points, bindings):
                 yield bindings
             goal_stack = self._backtrack(choice_points, bindings)
+
+    @staticmethod
+    def _query_needs_interpreter(query: Term, bindings: Bindings) -> bool:
+        from ..terms import body_goals
+
+        walked = bindings.walk(query)
+        if isinstance(walked, Var):
+            return False  # let the machine raise its own error
+        for conjunct in body_goals(walked):
+            conjunct = bindings.walk(conjunct)
+            if (
+                isinstance(conjunct, Struct)
+                and conjunct.indicator in _CUT_TRANSPARENT
+            ):
+                return True
+        return False
 
     # -- inner execution -------------------------------------------------------
 
@@ -312,7 +421,7 @@ class ZipMachine:
         while goal_stack:
             self._steps += 1
             if self._steps > self.max_steps:
-                raise PrologError(
+                raise ResourceError(
                     f"compiled execution exceeded {self.max_steps} steps"
                 )
             goal_entry = goal_stack.pop()
@@ -332,11 +441,26 @@ class ZipMachine:
             if indicator in _INLINE_BUILTINS:
                 if self._builtin(goal, indicator, bindings):
                     continue
+            elif indicator in _ESCAPED_GOALS:
+                # Control construct / non-inline builtin: interpreter
+                # escape (cut-opaque forms only; transparent ones divert
+                # the whole query in solve()).
+                if self._start_escape(goal, goal_stack, choice_points, bindings):
+                    continue
             else:
                 # User predicate: try its clauses.
-                clauses = self._retrieve(bindings.resolve(goal))
+                clauses = self._fetch_candidates(goal, goal_stack, bindings)
                 self.calls += 1
-                if self._try_clauses(
+                if any(not clause_compilable(c) for c in clauses):
+                    # Per-predicate fallback: one uncompilable clause
+                    # sends the *whole call* to the interpreter, so the
+                    # procedure's clause order (and thus the solution
+                    # sequence) is preserved exactly.
+                    if self._start_escape(
+                        goal, goal_stack, choice_points, bindings
+                    ):
+                        continue
+                elif self._try_clauses(
                     goal, clauses, 0, goal_stack, choice_points, bindings
                 ):
                     continue
@@ -347,13 +471,107 @@ class ZipMachine:
             goal_stack[:] = replacement
         return True
 
+    #: how far down the goal stack sibling-goal prefetch looks.
+    _PREFETCH_WINDOW = 8
+
+    def _fetch_candidates(
+        self, goal: Term, goal_stack: list[_Goal], bindings: Bindings
+    ) -> list[Clause]:
+        """Pull candidates for ``goal``, prefetching sibling goals.
+
+        Retrievers exposing a ``prefetch(goal, siblings)`` method (the
+        cluster-backed :class:`repro.engine.solve.ClusterRetriever`) get
+        the *ground* user-predicate goals next on the goal stack —
+        typically the remaining body goals of the clause just activated
+        — so one batched retrieval warms the cache for the choice points
+        about to be created.  Only ground siblings qualify: their
+        resolved form cannot change when the current goal binds
+        variables, so the prefetched candidate sets stay exact.
+        """
+        from ..terms import body_goals
+
+        resolved = bindings.resolve(goal)
+        prefetch = getattr(self._retrieve, "prefetch", None)
+        if prefetch is None:
+            return self._retrieve(resolved)
+        siblings: list[Term] = []
+        for entry in reversed(goal_stack[-self._PREFETCH_WINDOW :]):
+            term = bindings.resolve(entry.term)
+            if not isinstance(term, (Atom, Struct)):
+                continue
+            # A stack entry may itself be an unexpanded conjunction
+            # (queries push them whole): flatten so its conjuncts count
+            # as siblings too.
+            for conjunct in body_goals(term):
+                if not isinstance(conjunct, (Atom, Struct)):
+                    continue
+                indicator = functor_indicator(conjunct)
+                if (
+                    indicator in _INLINE_BUILTINS
+                    or indicator in _ESCAPED_GOALS
+                    or indicator == ("!", 0)
+                ):
+                    continue
+                if is_ground(conjunct):
+                    siblings.append(conjunct)
+            if len(siblings) >= self._PREFETCH_WINDOW:
+                break
+        return prefetch(resolved, tuple(siblings))
+
+    def _start_escape(
+        self,
+        goal: Term,
+        goal_stack: list[_Goal],
+        choice_points: list,
+        bindings: Bindings,
+    ) -> bool:
+        """Run ``goal`` under the interpreter as one choice point.
+
+        The interpreter generator shares this machine's ``bindings`` (and
+        therefore its trail), so solutions it produces are visible to the
+        compiled continuation and undone by the normal backtracking
+        discipline.  Returns True when the goal produced a first
+        solution; the generator is parked as an :class:`_EscapePoint`
+        for the remaining ones.
+        """
+        self.escapes += 1
+        continuation = [_Goal(g.term, g.cut_barrier) for g in goal_stack]
+        entry_mark = bindings.mark()
+        solutions = self._interp.solve(goal, bindings)
+        try:
+            next(solutions)
+        except StopIteration:
+            bindings.undo_to(entry_mark)
+            return False
+        choice_points.append(
+            _EscapePoint(
+                goal_stack=continuation,
+                solutions=solutions,
+                entry_mark=entry_mark,
+                resume_mark=bindings.mark(),
+            )
+        )
+        return True
+
     def _backtrack(
-        self, choice_points: list[_ChoicePoint], bindings: Bindings
+        self, choice_points: list, bindings: Bindings
     ) -> list[_Goal] | None:
         """Restore the most recent alternative; None when exhausted."""
         while choice_points:
             self.backtracks += 1
             point = choice_points[-1]
+            if isinstance(point, _EscapePoint):
+                bindings.undo_to(point.resume_mark)
+                try:
+                    next(point.solutions)
+                except StopIteration:
+                    bindings.undo_to(point.entry_mark)
+                    choice_points.pop()
+                    continue
+                point.resume_mark = bindings.mark()
+                return [
+                    _Goal(g.term, g.cut_barrier) for g in point.goal_stack
+                ]
             bindings.undo_to(point.trail_mark)
             if point.next_clause >= len(point.clauses):
                 choice_points.pop()

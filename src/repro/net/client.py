@@ -168,8 +168,20 @@ class _SyncConnection:
         timeout: float | None,
         max_frame_bytes: int,
     ) -> protocol.Frame:
+        self.send_request(frame_type, request_id, payload, timeout)
+        return self.read_frame(max_frame_bytes)
+
+    def send_request(
+        self,
+        frame_type: FrameType,
+        request_id: int,
+        payload: bytes,
+        timeout: float | None,
+    ) -> None:
         self.sock.settimeout(timeout)
         self.sock.sendall(protocol.encode_frame(frame_type, request_id, payload))
+
+    def read_frame(self, max_frame_bytes: int) -> protocol.Frame:
         header = self._read_exact(protocol.HEADER.size)
         resp_type, resp_id, length = protocol.decode_header(
             header, max_frame_bytes
@@ -259,6 +271,100 @@ class RetrievalClient:
         )
         self._expect(frame, FrameType.RESP_BATCH)
         return protocol.decode_batch_response(frame.payload)
+
+    def solve(
+        self,
+        goal: Term,
+        *,
+        engine: str = "zip",
+        mode: SearchMode | None = None,
+        deadline_s: float | None = None,
+        max_solutions: int = 0,
+    ):
+        """Resolve ``goal`` server-side; yield one binding dict per answer.
+
+        Solutions stream incrementally — each arrives as its own frame,
+        so the first answer is usable long before the search finishes.
+        Busy/draining rejections and connection failures are retried
+        only *before* the first solution frame; once the stream has
+        started, a failure surfaces immediately (the solutions already
+        yielded stand, but re-running the query could replay them).
+        A mid-stream ``RESP_ERROR`` (deadline expired, resource budget
+        exhausted) raises the mapped exception after the partial stream.
+        """
+        deadline = None if deadline_s is None else time.monotonic() + deadline_s
+        core = self._core
+        attempt = 0
+        while True:
+            core.check_budget(deadline)
+            stream = self._solve_attempt(
+                goal, engine, mode, deadline, max_solutions
+            )
+            try:
+                first = next(stream)
+            except StopIteration:
+                return
+            except _RETRYABLE as exc:
+                if attempt >= core.backoff.max_retries:
+                    raise
+                if isinstance(exc, ServerBusy):
+                    core.obs.counter("net.client.busy_retries").inc()
+                self._sleep(core.next_delay(attempt, deadline))
+                attempt += 1
+                continue
+            yield first
+            yield from stream  # post-first-frame failures are not retried
+            return
+
+    def _solve_attempt(
+        self,
+        goal: Term,
+        engine: str,
+        mode: SearchMode | None,
+        deadline: float | None,
+        max_solutions: int,
+    ):
+        """One connection's worth of the solve stream (no retries)."""
+        core = self._core
+        request_id = core.take_request_id()
+        payload = protocol.encode_solve_request(
+            goal, engine, mode, _deadline_ms(deadline), max_solutions
+        )
+        conn = self._checkout()
+        keep = False
+        try:
+            timeout = self.request_timeout_s
+            remaining = _remaining(deadline)
+            if remaining is not None:
+                budget = max(remaining, 0.001) + 1.0
+                timeout = budget if timeout is None else min(timeout, budget)
+            try:
+                conn.send_request(
+                    FrameType.REQ_SOLVE, request_id, payload, timeout
+                )
+                while True:
+                    frame = conn.read_frame(core.max_frame_bytes)
+                    frame = core.decode_response(frame, request_id)
+                    if frame.type is FrameType.RESP_SOLVE_DONE:
+                        keep = True
+                        return
+                    self._expect(frame, FrameType.RESP_SOLUTION)
+                    _, bindings = protocol.decode_solution(frame.payload)
+                    yield bindings
+            except socket.timeout as exc:
+                raise DeadlineExceeded(
+                    f"no response within {timeout:.3f}s"
+                ) from exc
+        except (ServerBusy, ServerDraining):
+            keep = True  # the connection itself is healthy
+            raise
+        finally:
+            # An abandoned or failed stream may leave frames in flight;
+            # the connection cannot be pooled unless the trailer arrived.
+            if keep and not self._closed:
+                self._checkin(conn)
+            else:
+                conn.close()
 
     def ping(self) -> bool:
         frame = self._request_with_retries(
@@ -393,12 +499,21 @@ class _AsyncConnection:
         timeout: float | None,
         max_frame_bytes: int,
     ) -> protocol.Frame:
-        import asyncio
+        await self.send_request(frame_type, request_id, payload)
+        return await self.read_frame(timeout, max_frame_bytes)
 
+    async def send_request(
+        self, frame_type: FrameType, request_id: int, payload: bytes
+    ) -> None:
         self.writer.write(protocol.encode_frame(frame_type, request_id, payload))
         await self.writer.drain()
 
-        async def read_frame():
+    async def read_frame(
+        self, timeout: float | None, max_frame_bytes: int
+    ) -> protocol.Frame:
+        import asyncio
+
+        async def _read():
             header = await self.reader.readexactly(protocol.HEADER.size)
             resp_type, resp_id, length = protocol.decode_header(
                 header, max_frame_bytes
@@ -408,7 +523,7 @@ class _AsyncConnection:
             )
 
         try:
-            return await asyncio.wait_for(read_frame(), timeout)
+            return await asyncio.wait_for(_read(), timeout)
         except asyncio.IncompleteReadError as exc:
             raise ConnectionError("connection closed mid-frame") from exc
         except TimeoutError as exc:
@@ -483,6 +598,83 @@ class AsyncRetrievalClient:
         )
         RetrievalClient._expect(frame, FrameType.RESP_BATCH)
         return protocol.decode_batch_response(frame.payload)
+
+    async def solve(
+        self,
+        goal: Term,
+        *,
+        engine: str = "zip",
+        mode: SearchMode | None = None,
+        deadline_s: float | None = None,
+        max_solutions: int = 0,
+    ):
+        """Async counterpart of :meth:`RetrievalClient.solve`."""
+        import asyncio
+
+        deadline = None if deadline_s is None else time.monotonic() + deadline_s
+        core = self._core
+        attempt = 0
+        while True:
+            core.check_budget(deadline)
+            stream = self._solve_attempt(
+                goal, engine, mode, deadline, max_solutions
+            )
+            try:
+                first = await stream.__anext__()
+            except StopAsyncIteration:
+                return
+            except _RETRYABLE as exc:
+                if attempt >= core.backoff.max_retries:
+                    raise
+                if isinstance(exc, ServerBusy):
+                    core.obs.counter("net.client.busy_retries").inc()
+                await asyncio.sleep(core.next_delay(attempt, deadline))
+                attempt += 1
+                continue
+            yield first
+            async for bindings in stream:
+                yield bindings
+            return
+
+    async def _solve_attempt(
+        self,
+        goal: Term,
+        engine: str,
+        mode: SearchMode | None,
+        deadline: float | None,
+        max_solutions: int,
+    ):
+        core = self._core
+        request_id = core.take_request_id()
+        payload = protocol.encode_solve_request(
+            goal, engine, mode, _deadline_ms(deadline), max_solutions
+        )
+        conn = await self._checkout()
+        keep = False
+        try:
+            timeout = self.request_timeout_s
+            remaining = _remaining(deadline)
+            if remaining is not None:
+                budget = max(remaining, 0.001) + 1.0
+                timeout = budget if timeout is None else min(timeout, budget)
+            await conn.send_request(FrameType.REQ_SOLVE, request_id, payload)
+            while True:
+                frame = await conn.read_frame(timeout, core.max_frame_bytes)
+                frame = core.decode_response(frame, request_id)
+                if frame.type is FrameType.RESP_SOLVE_DONE:
+                    keep = True
+                    return
+                RetrievalClient._expect(frame, FrameType.RESP_SOLUTION)
+                _, bindings = protocol.decode_solution(frame.payload)
+                yield bindings
+        except (ServerBusy, ServerDraining):
+            keep = True
+            raise
+        finally:
+            if keep and not self._closed:
+                self._checkin(conn)
+            else:
+                conn.close()
 
     async def ping(self) -> bool:
         frame = await self._request_with_retries(

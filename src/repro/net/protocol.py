@@ -38,6 +38,7 @@ from enum import IntEnum
 
 from ..cluster import MergedRetrievalStats
 from ..crs import RetrievalResult, RetrievalStats, RetrievalTimeout, SearchMode
+from ..engine.interp import PrologError, ResourceError
 from ..pif import CompiledClause, PIFDecoder, PIFEncoder, SymbolTable, compile_clause
 from ..pif.encoder import EncodedArgs
 from ..storage import UnknownPredicateError
@@ -67,6 +68,12 @@ __all__ = [
     "decode_result_response",
     "encode_batch_response",
     "decode_batch_response",
+    "encode_solve_request",
+    "decode_solve_request",
+    "encode_solution",
+    "decode_solution",
+    "encode_solve_done",
+    "decode_solve_done",
     "encode_error",
     "decode_error",
     "encode_stats_response",
@@ -90,10 +97,13 @@ class FrameType(IntEnum):
     REQ_RETRIEVE_BATCH = 0x02
     REQ_STATS = 0x03
     REQ_PING = 0x04
+    REQ_SOLVE = 0x05
     RESP_RESULT = 0x11
     RESP_BATCH = 0x12
     RESP_STATS = 0x13
     RESP_PONG = 0x14
+    RESP_SOLUTION = 0x15
+    RESP_SOLVE_DONE = 0x16
     RESP_ERROR = 0x1F
 
 
@@ -104,6 +114,8 @@ class ErrorCode(IntEnum):
     BAD_REQUEST = 4
     SHUTTING_DOWN = 5
     INTERNAL = 6
+    RESOURCE_EXHAUSTED = 7
+    RESOLUTION_ERROR = 8
 
 
 class ProtocolError(ValueError):
@@ -460,6 +472,81 @@ def decode_batch_request(
     return goals, mode, deadline_ms
 
 
+#: Engine selectors for a ``REQ_SOLVE`` frame.
+_SOLVE_ENGINES = ("zip", "interp")
+
+
+def encode_solve_request(
+    goal: Term,
+    engine: str = "zip",
+    mode: SearchMode | None = None,
+    deadline_ms: int = 0,
+    max_solutions: int = 0,
+) -> bytes:
+    """A ``REQ_SOLVE`` payload: resolve ``goal`` and stream every answer."""
+    if engine not in _SOLVE_ENGINES:
+        raise ValueError(f"unknown solve engine {engine!r}")
+    encoder = PayloadEncoder()
+    encoder.body.u8(_SOLVE_ENGINES.index(engine))
+    encoder.body.u8(_mode_byte(mode))
+    encoder.body.u32(max(0, deadline_ms))
+    encoder.body.u32(max(0, max_solutions))
+    encoder.goal(goal)
+    return encoder.finish()
+
+
+def decode_solve_request(
+    payload: bytes,
+) -> tuple[Term, str, SearchMode | None, int, int]:
+    decoder = PayloadDecoder(payload)
+    engine_index = decoder.body.u8()
+    if engine_index >= len(_SOLVE_ENGINES):
+        raise ProtocolError(f"unknown solve engine index {engine_index}")
+    mode = _mode_from_byte(decoder.body.u8())
+    deadline_ms = decoder.body.u32()
+    max_solutions = decoder.body.u32()
+    return decoder.goal(), _SOLVE_ENGINES[engine_index], mode, deadline_ms, max_solutions
+
+
+def encode_solution(index: int, bindings: dict[str, Term]) -> bytes:
+    """One ``RESP_SOLUTION`` frame: answer ``index`` (0-based), one term
+    per query variable.  Each frame carries its own symbol table, so a
+    client can decode any prefix of the stream the deadline allows."""
+    encoder = PayloadEncoder()
+    encoder.body.u32(index)
+    encoder.body.u16(len(bindings))
+    for name in sorted(bindings):
+        encoder.body.text(name)
+        encoder.goal(bindings[name])
+    return encoder.finish()
+
+
+def decode_solution(payload: bytes) -> tuple[int, dict[str, Term]]:
+    decoder = PayloadDecoder(payload)
+    index = decoder.body.u32()
+    bindings: dict[str, Term] = {}
+    for _ in range(decoder.body.u16()):
+        name = decoder.body.text()
+        bindings[name] = decoder.goal()
+    return index, bindings
+
+
+def encode_solve_done(count: int, completed: bool, reason: str = "") -> bytes:
+    """The ``RESP_SOLVE_DONE`` trailer: how many solutions were streamed
+    and whether the search ran to exhaustion (``completed``) or stopped
+    early (``max_solutions`` cap — ``reason`` says which)."""
+    writer = _Writer()
+    writer.u32(count)
+    writer.u8(1 if completed else 0)
+    writer.text(reason)
+    return bytes(writer.buf)
+
+
+def decode_solve_done(payload: bytes) -> tuple[int, bool, str]:
+    reader = _Reader(payload)
+    return reader.u32(), reader.u8() == 1, reader.text()
+
+
 # -- response payloads --------------------------------------------------------
 
 
@@ -527,6 +614,10 @@ def error_to_exception(code: ErrorCode, message: str) -> Exception:
         return UnknownPredicateError(message)
     if code is ErrorCode.SHUTTING_DOWN:
         return ServerDraining(message)
+    if code is ErrorCode.RESOURCE_EXHAUSTED:
+        return ResourceError(message)
+    if code is ErrorCode.RESOLUTION_ERROR:
+        return PrologError(message)
     return RemoteError(f"{code.name}: {message}")
 
 
@@ -541,6 +632,10 @@ def exception_to_error(exc: BaseException) -> tuple[ErrorCode, str]:
         return ErrorCode.UNKNOWN_PREDICATE, str(exc.args[0] if exc.args else exc)
     if isinstance(exc, ServerDraining):
         return ErrorCode.SHUTTING_DOWN, str(exc)
+    if isinstance(exc, ResourceError):
+        return ErrorCode.RESOURCE_EXHAUSTED, str(exc)
+    if isinstance(exc, PrologError):
+        return ErrorCode.RESOLUTION_ERROR, str(exc)
     if isinstance(exc, (ProtocolError, ValueError, KeyError)):
         return ErrorCode.BAD_REQUEST, str(exc)
     return ErrorCode.INTERNAL, f"{type(exc).__name__}: {exc}"

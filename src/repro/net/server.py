@@ -33,6 +33,7 @@ import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 
+from ..engine.solve import SolveEngine
 from ..obs import Instrumentation
 from ..obs import get_default as _default_obs
 from . import protocol
@@ -219,7 +220,8 @@ class RetrievalService:
             )
             return
         if frame_type not in (
-            FrameType.REQ_RETRIEVE, FrameType.REQ_RETRIEVE_BATCH
+            FrameType.REQ_RETRIEVE, FrameType.REQ_RETRIEVE_BATCH,
+            FrameType.REQ_SOLVE,
         ):
             await self._send_error(
                 writer, write_lock, request_id, ErrorCode.BAD_REQUEST,
@@ -243,10 +245,13 @@ class RetrievalService:
         self._admitted += 1
         self.obs.counter("net.accepted").inc()
         self._update_load_gauges()
+        handler = (
+            self._serve_solve
+            if frame_type is FrameType.REQ_SOLVE
+            else self._serve_request
+        )
         task = asyncio.create_task(
-            self._serve_request(
-                writer, write_lock, frame_type, request_id, payload
-            )
+            handler(writer, write_lock, frame_type, request_id, payload)
         )
         self._inflight.add(task)
         task.add_done_callback(self._inflight.discard)
@@ -353,6 +358,125 @@ class RetrievalService:
             ):
                 self._done.set()
 
+    async def _serve_solve(
+        self,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+        frame_type: FrameType,
+        request_id: int,
+        payload: bytes,
+    ) -> None:
+        """Run a ``solve`` request, streaming one frame per solution.
+
+        The resolution loop runs on a pool worker (the engines are
+        synchronous); each answer crosses back to the event loop as its
+        own ``RESP_SOLUTION`` frame, *blocking the worker until the frame
+        is flushed* so a slow client exerts backpressure on the search
+        instead of buffering unbounded solutions server-side.  The
+        stream ends with ``RESP_SOLVE_DONE`` (exhausted or capped) or a
+        ``RESP_ERROR`` frame (deadline expired, resource budget blown,
+        resolution error) — either way the admitted request is not done
+        until the trailer is flushed, which is what drain waits on.
+        """
+        started = time.monotonic()
+        loop = asyncio.get_running_loop()
+        try:
+            try:
+                goal, engine_name, mode, deadline_ms, max_solutions = (
+                    protocol.decode_solve_request(payload)
+                )
+            except Exception as exc:
+                code, message = protocol.exception_to_error(
+                    exc if isinstance(exc, ProtocolError)
+                    else ProtocolError(f"undecodable request: {exc}")
+                )
+                await self._send_error(
+                    writer, write_lock, request_id, code, message
+                )
+                return
+            deadline = None
+            if deadline_ms:
+                deadline = started + deadline_ms / 1000.0
+            elif self.default_deadline_s is not None:
+                deadline = started + self.default_deadline_s
+
+            def send_from_worker(resp_type, frame_payload):
+                sent = asyncio.run_coroutine_threadsafe(
+                    self._send(
+                        writer, write_lock, resp_type, request_id,
+                        frame_payload,
+                    ),
+                    loop,
+                ).result()
+                if not sent:
+                    # The client went away mid-stream: abort the search
+                    # rather than resolving into a dead socket (an
+                    # infinite answer stream would otherwise pin this
+                    # worker and stall drain forever).
+                    raise ConnectionError("solve client disconnected")
+
+            def work():
+                queue_wait_s = time.monotonic() - started
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        raise DeadlineExceeded(
+                            f"deadline expired after {queue_wait_s * 1e3:.1f}"
+                            "ms in the accept queue"
+                        )
+                solver = SolveEngine(self.engine, mode=mode, engine=engine_name)
+                count = 0
+                with self.obs.span(
+                    "net.solve",
+                    engine=engine_name,
+                    request_id=request_id,
+                ) as span:
+                    span.set(queue_wait_ms=round(queue_wait_s * 1e3, 3))
+                    for solution in solver.solve(
+                        goal,
+                        deadline_s=remaining,
+                        max_solutions=max_solutions,
+                    ):
+                        send_from_worker(
+                            FrameType.RESP_SOLUTION,
+                            protocol.encode_solution(count, solution),
+                        )
+                        count += 1
+                    span.set(solutions=count)
+                capped = bool(max_solutions) and count >= max_solutions
+                send_from_worker(
+                    FrameType.RESP_SOLVE_DONE,
+                    protocol.encode_solve_done(
+                        count,
+                        completed=not capped,
+                        reason="solution cap reached" if capped else "",
+                    ),
+                )
+
+            try:
+                await loop.run_in_executor(self._executor, work)
+                self.obs.counter("net.solves").inc()
+            except Exception as exc:
+                code, message = protocol.exception_to_error(exc)
+                if code is ErrorCode.DEADLINE_EXPIRED:
+                    self.obs.counter("net.deadline_expired").inc()
+                await self._send_error(
+                    writer, write_lock, request_id, code, message
+                )
+        finally:
+            self._admitted -= 1
+            self._handled += 1
+            self._update_load_gauges()
+            self.obs.histogram("net.request_ms").observe(
+                (time.monotonic() - started) * 1e3
+            )
+            if (
+                self.max_requests is not None
+                and self._handled >= self.max_requests
+            ):
+                self._done.set()
+
     # -- plumbing ------------------------------------------------------------
 
     def _update_load_gauges(self) -> None:
@@ -370,7 +494,7 @@ class RetrievalService:
         frame_type: FrameType,
         request_id: int,
         payload: bytes,
-    ) -> None:
+    ) -> bool:
         frame = protocol.encode_frame(frame_type, request_id, payload)
         try:
             async with write_lock:
@@ -378,9 +502,10 @@ class RetrievalService:
                 await writer.drain()
         except (ConnectionError, OSError):
             self.obs.counter("net.send_failures").inc()
-            return
+            return False
         self.obs.counter("net.bytes_out").inc(len(frame))
         self.obs.counter("net.responses", type=frame_type.name).inc()
+        return True
 
     async def _send_error(
         self,

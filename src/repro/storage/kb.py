@@ -90,6 +90,14 @@ class KnowledgeBase:
         self._modules: dict[str, Module] = {"user": Module("user")}
         #: bumped on every clause addition/removal; caches key on it.
         self.version = 0
+        #: per-predicate (generation, clause count) as of the last disk
+        #: write, so retrieval paths can tell a fresh extent from one
+        #: that predates an assert/retract.  Appends keep the clause
+        #: file's generation but grow the count; every other mutation
+        #: replaces the file under a new generation — either way the key
+        #: changes and the extent must be rewritten before its bytes are
+        #: trusted again.
+        self._disk_synced: dict[tuple[str, int], tuple[int, int]] = {}
 
     # -- modules --------------------------------------------------------------
 
@@ -227,8 +235,22 @@ class KnowledgeBase:
                 store.extent_name(), store.clause_file.to_bytes(), align_track=True
             )
             self.disk.write_extent(store.index_extent_name(), store.index.to_bytes())
+            self.mark_disk_synced(store.indicator)
             written.extend([store.extent_name(), store.index_extent_name()])
         return written
+
+    def disk_sync_key(self, indicator: tuple[str, int]) -> tuple[int, int]:
+        """The freshness key the on-disk extents of a predicate must match."""
+        store = self._store(indicator)
+        return (store.clause_file.generation, len(store.clause_file))
+
+    def disk_synced_key(self, indicator: tuple[str, int]) -> tuple[int, int] | None:
+        """The freshness key recorded at the last extent write, if any."""
+        return self._disk_synced.get(indicator)
+
+    def mark_disk_synced(self, indicator: tuple[str, int]) -> None:
+        """Record that the predicate's extents match its current clauses."""
+        self._disk_synced[indicator] = self.disk_sync_key(indicator)
 
     # -- internals ----------------------------------------------------------------
 

@@ -61,11 +61,74 @@ class Bindings:
         return term
 
     def resolve(self, term: Term) -> Term:
-        """Apply the substitution deeply to ``term``."""
-        term = self.walk(term)
+        """Apply the substitution deeply to ``term``.
+
+        Cyclic bindings (``X = f(X)``, legal without occurs check) are
+        handled coinductively: re-entering a variable that is already
+        being expanded stops the recursion and leaves the variable in
+        place, so the result is always a finite term — ``X = f(X)``
+        resolves to ``f(X)``, which prints and compares finitely.
+        """
+        return self._resolve(term, None)
+
+    def _resolve(self, term: Term, active: set[Var] | None) -> Term:
+        chain: set[Var] | None = None
+        while isinstance(term, Var):
+            if active is not None and term in active:
+                return term
+            bound = self._map.get(term)
+            if bound is None:
+                return term
+            if isinstance(bound, Struct):
+                # Expanding through this variable: guard against cycles.
+                if active is None:
+                    active = set()
+                active.add(term)
+                resolved = Struct(
+                    bound.functor,
+                    tuple(self._resolve(a, active) for a in bound.args),
+                )
+                active.discard(term)
+                return resolved
+            if isinstance(bound, Var):
+                # Var-to-var chains can only cycle through direct bind()
+                # misuse, but a wedged resolve is worse than a set probe.
+                if chain is None:
+                    chain = set()
+                if term in chain:
+                    return term
+                chain.add(term)
+            term = bound
         if isinstance(term, Struct):
-            return Struct(term.functor, tuple(self.resolve(a) for a in term.args))
+            return Struct(
+                term.functor,
+                tuple(self._resolve(a, active) for a in term.args),
+            )
         return term
+
+    def is_ground(self, term: Term) -> bool:
+        """True if ``term`` contains no unbound variable under this store.
+
+        Cycle-safe: a variable reached again while its own binding is
+        being expanded contributes nothing new (every variable on a
+        binding cycle is bound by construction), so ``X = f(X)`` is
+        ground, matching systems that support rational trees.
+        """
+        seen: set[Var] = set()
+        stack = [term]
+        while stack:
+            current = stack.pop()
+            while isinstance(current, Var):
+                if current in seen:
+                    break
+                bound = self._map.get(current)
+                if bound is None:
+                    return False
+                seen.add(current)
+                current = bound
+            if isinstance(current, Struct):
+                stack.extend(current.args)
+        return True
 
     def mark(self) -> int:
         """A trail checkpoint for later :meth:`undo_to`."""

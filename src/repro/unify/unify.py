@@ -46,6 +46,13 @@ def unify(
         bindings = Bindings()
     mark = bindings.mark()
     stack: list[tuple[Term, Term]] = [(left, right)]
+    # Coinductive guard for rational trees: without an occurs check a
+    # variable may be bound to a term containing itself, and unifying two
+    # such cyclic terms (X = f(X) against Y = f(Y)) would re-derive the
+    # same pair forever.  ``walk`` returns the stored term objects, so an
+    # identity pair that comes around again is already being proved and
+    # can be assumed (greatest-fixpoint semantics, as in SWI/YAP).
+    in_progress: set[tuple[int, int]] | None = None
     while stack:
         a, b = stack.pop()
         a = bindings.walk(a)
@@ -68,6 +75,12 @@ def unify(
             if a.functor != b.functor or a.arity != b.arity:
                 bindings.undo_to(mark)
                 return None
+            pair = (id(a), id(b))
+            if in_progress is None:
+                in_progress = set()
+            elif pair in in_progress:
+                continue
+            in_progress.add(pair)
             stack.extend(zip(a.args, b.args))
             continue
         # Distinct constants (or constant vs compound).

@@ -1,6 +1,13 @@
 """Synthetic workload generators for the evaluation benchmarks."""
 
 from .dbbench import DBBenchProgram, build_benchmark_kb, standard_suite
+from .graphs import (
+    chain_path_goals,
+    chain_program,
+    layered_program,
+    nrev_goal,
+    nrev_program,
+)
 from .loadgen import LoadgenResult, percentile, run_loadgen
 from .synthetic import (
     FactKBSpec,
@@ -21,6 +28,11 @@ __all__ = [
     "WARREN_FULL",
     "WarrenSpec",
     "build_warren_kb",
+    "chain_path_goals",
+    "chain_program",
+    "layered_program",
+    "nrev_goal",
+    "nrev_program",
     "generate_couples",
     "generate_facts",
     "generate_mixed_predicate",

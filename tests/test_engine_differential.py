@@ -129,6 +129,85 @@ def test_engines_agree_on_random_programs(seed):
         )
 
 
+@pytest.mark.parametrize("seed", range(35, 45))
+def test_engines_agree_with_uncompilable_clauses(seed):
+    """Programs where some predicates hold clauses the VM cannot compile.
+
+    Negation (``\\+``) in a clause body raises CompileError, so the VM
+    must fall back to the interpreter for that *predicate* — while the
+    callers and siblings stay compiled — and the answer sequence must
+    still match the interpreter exactly.
+    """
+    rng = random.Random(seed)
+    kb, goals = random_program(rng)
+    facts = [ind for ind in kb.predicates() if ind[0].startswith("f")]
+    poisoned = 0
+    for indicator in list(kb.predicates()):
+        if not indicator[0].startswith("r") or rng.random() >= 0.6:
+            continue
+        name, arity = indicator
+        pos_name, pos_arity = rng.choice(facts)
+        neg_name, neg_arity = rng.choice(facts)
+        head_vars = [Var(f"X{i}") for i in range(arity)]
+        pool = list(head_vars)
+        pos_args = tuple(pool[i % len(pool)] for i in range(pos_arity))
+        neg_args = tuple(pool[i % len(pool)] for i in range(neg_arity))
+        kb.add_clause(
+            Clause(
+                Struct(name, tuple(head_vars)),
+                (
+                    Struct(pos_name, pos_args),
+                    Struct("\\+", (Struct(neg_name, neg_args),)),
+                ),
+            )
+        )
+        poisoned += 1
+    if not poisoned:
+        pytest.skip("seed produced no rule predicates to poison")
+    for goal in goals:
+        interpreted = interpreter_solutions(kb, goal)
+        compiled = compiled_solutions(kb, goal)
+        assert compiled == interpreted, (
+            f"seed {seed}, goal {term_to_string(goal)}"
+        )
+
+
+def test_per_predicate_fallback_keeps_siblings_compiled():
+    """One uncompilable predicate escapes; its compilable caller does not.
+
+    Pre-fix the VM gave up on the whole query at the first CompileError;
+    now only ``odd/1`` (negation in the body) runs on the interpreter,
+    and the VM still executes ``classify/2`` itself.
+    """
+    kb = KnowledgeBase()
+    kb.consult_text(
+        """
+        num(1). num(2). num(3). num(4).
+        even(2). even(4).
+        odd(X) :- num(X), \\+ even(X).
+        classify(X, odd) :- odd(X).
+        classify(X, even) :- even(X).
+        """
+    )
+
+    def retriever(g):
+        indicator = functor_indicator(g)
+        return kb.clauses(indicator) if kb.has_predicate(indicator) else []
+
+    goal = Struct("classify", (Var("N"), Var("K")))
+    vm = ZipMachine(retriever)
+    got = []
+    for bindings in vm.solve(goal):
+        got.append(
+            canonical((bindings.resolve(Var("N")), bindings.resolve(Var("K"))))
+        )
+    assert got == interpreter_solutions(kb, goal)
+    # The escape hatch opened once per odd/1 activation, but classify/2
+    # itself ran compiled — the VM executed real calls too.
+    assert vm.escapes >= 1
+    assert vm.calls >= 1
+
+
 @pytest.mark.parametrize("seed", range(25, 35))
 def test_engines_agree_with_cuts(seed):
     """Random programs with a cut appended to some rules."""

@@ -1,0 +1,160 @@
+"""Regression tests: deep recursion budgets and cyclic (rational-tree) bindings.
+
+Two resolution-engine failure modes fixed in the same sweep:
+
+* deep conjunctive recursion used to die with a raw ``RecursionError``
+  (the interpreter nests one generator chain per proof level, so a
+  ~160-deep proof blew the default Python stack budget — e.g. ``nrev``
+  on a 300-element list, or a long ``path/2`` chain);
+* cyclic bindings (``X = f(X)``, legal under no-occurs-check
+  unification) used to hang or overflow when resolved, printed, tested
+  for groundness, or unified against another cycle.
+"""
+
+import pytest
+
+from repro.engine import PrologMachine, PrologError, ResourceError
+from repro.engine.interp import Solver
+from repro.engine.zipvm import ZipMachine
+from repro.storage import KnowledgeBase
+from repro.terms import (
+    Atom,
+    Struct,
+    Var,
+    clause_from_term,
+    functor_indicator,
+    read_program,
+    read_term,
+    term_to_string,
+    variables,
+)
+from repro.workloads import chain_program, nrev_goal, nrev_program
+
+
+def indexed_retriever(text: str):
+    """A first-argument-indexed in-memory retriever.
+
+    Deep-chain tests need thousands of inferences; without first-arg
+    indexing every ``edge/2`` call would scan the whole fact base and
+    the test would measure unification throughput instead of recursion
+    depth.  This mirrors what the CRS provides (a sound candidate
+    superset, much smaller than the procedure).
+    """
+    by_indicator: dict = {}
+    for term in read_program(text):
+        clause = clause_from_term(term)
+        by_indicator.setdefault(clause.indicator, []).append(clause)
+
+    def retrieve(goal):
+        clauses = by_indicator.get(functor_indicator(goal), [])
+        if isinstance(goal, Struct) and goal.args:
+            first = goal.args[0]
+            if isinstance(first, Atom):
+                return [
+                    c for c in clauses
+                    if not (
+                        isinstance(c.head.args[0], Atom)
+                        and c.head.args[0] != first
+                    )
+                ]
+        return list(clauses)
+
+    return retrieve
+
+
+class TestDeepRecursion:
+    def test_deep_chain_resolves_past_the_default_python_stack(self):
+        # 2000 proof levels is far beyond the ~160 the interpreter
+        # could field before it sized the stack budget explicitly.
+        depth = 2000
+        solver = Solver(indexed_retriever(chain_program(depth)))
+        goal = read_term(f"path(n0, n{depth})")
+        assert len(list(solver.solve(goal))) == 1
+
+    def test_depth_beyond_the_stack_ceiling_raises_resource_error(self):
+        # A proof too deep for any safe Python stack must surface as
+        # the typed ResourceError, never a raw RecursionError.
+        depth = 6000
+        solver = Solver(indexed_retriever(chain_program(depth)))
+        goal = read_term(f"path(n0, n{depth})")
+        with pytest.raises(ResourceError, match="stack|depth"):
+            list(solver.solve(goal))
+
+    def test_configured_depth_limit_raises_resource_error(self):
+        solver = Solver(
+            indexed_retriever(chain_program(100)), max_depth=20
+        )
+        with pytest.raises(ResourceError, match="depth"):
+            list(solver.solve(read_term("path(n0, n100)")))
+
+    def test_resource_error_is_a_prolog_error(self):
+        # Callers that already catch PrologError keep working.
+        assert issubclass(ResourceError, PrologError)
+
+    def test_zip_machine_is_stackless_on_deep_chains(self):
+        # The VM drives explicit goal/choice-point stacks, so the same
+        # proof depth needs no Python stack headroom at all.
+        depth = 2500
+        vm = ZipMachine(indexed_retriever(chain_program(depth)))
+        goal = read_term(f"path(n0, n{depth})")
+        assert len(list(vm.solve(goal))) == 1
+
+    def test_nrev_answer_is_correct(self):
+        # The workload from the original failure report, scaled to a
+        # size the simulator interprets quickly; the recursion-depth
+        # coverage above goes far deeper than nrev-300 ever did.
+        solver = Solver(indexed_retriever(nrev_program()))
+        n = 60
+        goal = read_term(nrev_goal(n))
+        result_var = next(v for v in variables(goal) if v.name == "R")
+        # The solver yields live bindings: snapshot before advancing.
+        rendered = [
+            term_to_string(b.resolve(result_var)) for b in solver.solve(goal)
+        ]
+        expected = "[" + ",".join(str(i) for i in reversed(range(n))) + "]"
+        assert rendered == [expected]
+
+
+class TestCyclicBindings:
+    def setup_method(self):
+        self.kb = KnowledgeBase()
+        self.kb.consult_text("mark(done).")
+        self.machine = PrologMachine(self.kb, unknown_predicates="fail")
+
+    def test_cyclic_binding_can_be_created_and_printed(self):
+        solutions = list(self.machine.solve_text("X = f(X)"))
+        assert len(solutions) == 1
+        # Printing must terminate; the cycle variable appears unexpanded.
+        rendered = term_to_string(solutions[0]["X"])
+        assert rendered.startswith("f(")
+
+    def test_cyclic_binding_is_backtracked_over(self):
+        solutions = list(
+            self.machine.solve_text("(X = f(X), mark(X) ; X = done)")
+        )
+        assert [term_to_string(s["X"]) for s in solutions] == ["done"]
+
+    def test_two_cycles_unify(self):
+        # Coinductive struct-struct unification: both sides are the
+        # rational tree f(f(f(...))), so X = Y must succeed.
+        solutions = list(
+            self.machine.solve_text("X = f(X), Y = f(Y), X = Y")
+        )
+        assert len(solutions) == 1
+
+    def test_cycle_against_mismatched_functor_fails(self):
+        assert not list(
+            self.machine.solve_text("X = f(X), Y = g(Y), X = Y")
+        )
+
+    def test_ground_on_cyclic_term(self):
+        # A rational tree with no free leaves is ground (SWI semantics).
+        assert len(list(self.machine.solve_text("X = f(X), ground(X)"))) == 1
+        assert not list(self.machine.solve_text("X = f(X, Z), ground(X)"))
+
+    def test_nested_cycle_inside_structure(self):
+        solutions = list(
+            self.machine.solve_text("X = g(a, X), X = g(A, B)")
+        )
+        assert len(solutions) == 1
+        assert term_to_string(solutions[0]["A"]) == "a"
