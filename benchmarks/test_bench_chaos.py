@@ -1,0 +1,111 @@
+"""[E13] Cluster availability and tail latency under replica churn.
+
+The elasticity claim: with two replicas per shard, killing (and later
+restarting) one replica at a time costs availability measured in single
+failed operations, not outage windows — reads fail over to the healthy
+sibling, writes keep acknowledging, and nothing acknowledged is lost.
+One chaos run under a kill/restart churn schedule and one fault-free
+baseline produce the comparison; the absolute numbers land in
+``BENCH_chaos.json`` at the repo root (uploaded by the CI smoke job),
+and the correctness gates (zero wrong answers, zero lost writes) are
+asserted outright — they are the point of the experiment.
+"""
+
+import json
+import pathlib
+
+from tables import record_table
+from tests.chaos import ChaosDriver, FaultEvent, chaos_program
+
+RESULT_PATH = pathlib.Path(__file__).parent.parent / "BENCH_chaos.json"
+
+
+def churn_schedule(steps: int) -> list[FaultEvent]:
+    """Kill one replica of each shard in turn, restarting it before the
+    next kill — at most one replica per group is ever down."""
+    events = []
+    slot = steps // 6 or 1
+    for index, (shard, replica) in enumerate(
+        [(0, 0), (1, 0), (0, 1), (1, 1)]
+    ):
+        kill_at = slot * (index + 1)
+        events.append(
+            FaultEvent(step=kill_at, action="kill", shard=shard,
+                       replica=replica)
+        )
+        events.append(
+            FaultEvent(step=kill_at + slot // 2, action="restart",
+                       shard=shard, replica=replica)
+        )
+    return events
+
+
+def run(schedule, steps, workdir, seed=0):
+    return ChaosDriver(
+        chaos_program(),
+        schedule,
+        seed=seed,
+        steps=steps,
+        workdir=workdir,
+    ).run()
+
+
+def test_bench_availability_under_replica_churn(quick, tmp_path):
+    steps = 60 if quick else 150
+
+    baseline = run([], steps, tmp_path / "baseline")
+    churned = run(churn_schedule(steps), steps, tmp_path / "churn")
+
+    payload = {
+        "steps": steps,
+        "baseline": {
+            "ops": baseline.ops,
+            "availability": round(baseline.availability, 4),
+            "p50_ms": round(baseline.latency_s(0.50) * 1e3, 3),
+            "p99_ms": round(baseline.latency_s(0.99) * 1e3, 3),
+        },
+        "churn": {
+            "ops": churned.ops,
+            "availability": round(churned.availability, 4),
+            "errors": churned.errors,
+            "p50_ms": round(churned.latency_s(0.50) * 1e3, 3),
+            "p99_ms": round(churned.latency_s(0.99) * 1e3, 3),
+            "faults_fired": churned.faults_fired,
+            "wrong_answers": len(churned.wrong_answers),
+            "lost_writes": len(churned.lost_writes),
+        },
+        "quick": quick,
+    }
+    RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    record_table(
+        "E13",
+        "Availability and tail latency under one-replica-killed churn",
+        ("run", "ops", "availability", "p50 ms", "p99 ms"),
+        [
+            ("no faults", baseline.ops,
+             f"{baseline.availability:.2%}",
+             round(baseline.latency_s(0.50) * 1e3, 2),
+             round(baseline.latency_s(0.99) * 1e3, 2)),
+            ("kill/restart churn", churned.ops,
+             f"{churned.availability:.2%}",
+             round(churned.latency_s(0.50) * 1e3, 2),
+             round(churned.latency_s(0.99) * 1e3, 2)),
+        ],
+        notes=(
+            f"2 shards x 2 replicas, faults={churned.faults_fired}; "
+            f"errors={churned.errors}, "
+            f"wrong={len(churned.wrong_answers)}, "
+            f"lost={len(churned.lost_writes)}; "
+            f"results in {RESULT_PATH.name}"
+        ),
+    )
+
+    # Correctness gates: churn may cost availability, never answers.
+    assert churned.wrong_answers == []
+    assert churned.lost_writes == []
+    assert churned.sweep_mismatches == []
+    assert baseline.errors == 0
+    # The availability claim itself.
+    assert churned.faults_fired.get("kill", 0) >= 2
+    assert churned.availability >= 0.99, churned.summary()

@@ -159,6 +159,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--goal", action="append", default=[], help="goal to retrieve (repeatable)"
     )
     client.add_argument(
+        "--assert", action="append", default=[], dest="assert_clauses",
+        metavar="CLAUSE", help="assertz a clause on the server (repeatable)",
+    )
+    client.add_argument(
+        "--retract", action="append", default=[], metavar="TEMPLATE",
+        help="retract the first server clause unifying with TEMPLATE "
+        "(repeatable)",
+    )
+    client.add_argument(
+        "--manifest", action="store_true",
+        help="fetch and print the server's cluster manifest (JSON)",
+    )
+    client.add_argument(
         "--batch", action="store_true",
         help="send all goals as one REQ_RETRIEVE_BATCH frame",
     )
@@ -431,6 +444,19 @@ def _cmd_serve(args, out) -> int:
 
     async def serve() -> None:
         host, port = await service.start()
+        # Publish a one-node manifest: this instance is a complete
+        # single-replica cluster, so `client --manifest` answers and
+        # versioned mutations are stale-checkable against it.
+        from .cluster import ClusterManifest, ManifestHolder
+
+        service.manifest_holder = ManifestHolder(
+            ClusterManifest(
+                num_shards=1,
+                policy=args.shard_by,
+                version=1,
+                replicas={0: (f"{host}:{port}",)},
+            )
+        )
         out.write(f"[net] serving on {host}:{port}\n")
         if hasattr(out, "flush"):
             out.flush()
@@ -475,7 +501,25 @@ def _cmd_client(args, out) -> int:
                     shown += 1
                 if shown == 0:
                     out.write("   false\n")
-            if not goals and not args.solve:
+            for text in args.assert_clauses:
+                version, _, _ = client.mutate(
+                    "assertz", read_term(text), deadline_s=deadline_s
+                )
+                out.write(f"asserted {text.strip()} (version {version})\n")
+            for text in args.retract:
+                version, _, removed = client.mutate(
+                    "retract", read_term(text), deadline_s=deadline_s
+                )
+                if removed is None:
+                    out.write(f"retract {text.strip()}: false\n")
+                else:
+                    out.write(f"retracted {removed} (version {version})\n")
+            if args.manifest:
+                out.write(client.manifest().to_json() + "\n")
+            wrote = (
+                args.assert_clauses or args.retract or args.manifest
+            )
+            if not goals and not args.solve and not wrote:
                 client.ping()
                 out.write("pong\n")
             elif args.batch:

@@ -5,20 +5,78 @@
 single-server ``retrieve``/``solutions`` contract; and
 :mod:`repro.cluster.batch` executes goal batches on a thread pool under
 the parallel-disk (max-over-shards) timing model.
+
+Elasticity lives in three more modules: :mod:`repro.cluster.manifest`
+(the versioned shard→replica→address placement and its CAS holder),
+:mod:`repro.cluster.fleet` (replicated nodes behind real sockets, the
+failover/replicated-write client, and the chaos fault verbs), and
+:mod:`repro.cluster.migrate` (live shard migration and replica resync
+via snapshot + mutation-log catch-up).
 """
 
 from .batch import BatchExecutor, BatchResult, BatchStats
+from .manifest import (
+    ClusterManifest,
+    ManifestError,
+    ManifestHolder,
+    ManifestVersionError,
+)
 from .routing import ShardingPolicy, ShardRouter, stable_shard_hash
-from .server import ClusterShard, MergedRetrievalStats, ShardedRetrievalServer
+from .server import (
+    ClusterShard,
+    MergedRetrievalStats,
+    MutationLogOverflow,
+    MutationRecord,
+    ShardedRetrievalServer,
+)
 
 __all__ = [
     "BatchExecutor",
     "BatchResult",
     "BatchStats",
+    "ClusterManifest",
+    "ClusterNode",
     "ClusterShard",
+    "Fleet",
+    "FleetClient",
+    "FleetWriteError",
+    "ManifestError",
+    "ManifestHolder",
+    "ManifestVersionError",
     "MergedRetrievalStats",
+    "MigrationError",
+    "MutationLogOverflow",
+    "MutationRecord",
     "ShardRouter",
     "ShardedRetrievalServer",
     "ShardingPolicy",
+    "migrate_shard",
+    "resync_replica",
     "stable_shard_hash",
 ]
+
+#: Fleet and migration live behind a lazy import: they pull in
+#: :mod:`repro.net`, whose protocol module imports *this* package for
+#: :class:`MergedRetrievalStats` — importing them eagerly here would
+#: close that loop while both modules are half-initialised.
+_LAZY = {
+    "ClusterNode": "fleet",
+    "Fleet": "fleet",
+    "FleetClient": "fleet",
+    "FleetWriteError": "fleet",
+    "MigrationError": "migrate",
+    "migrate_shard": "migrate",
+    "resync_replica": "migrate",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    module = importlib.import_module(f".{module_name}", __name__)
+    value = getattr(module, name)
+    globals()[name] = value
+    return value

@@ -71,12 +71,16 @@ class BatchExecutor:
         server: ShardedRetrievalServer,
         max_workers: int | None = None,
         obs: Instrumentation | None = None,
+        clock=time.monotonic,
     ):
         self.server = server
         # One worker per shard saturates the simulated hardware: each
         # shard admits one retrieval at a time anyway.
         self.max_workers = max_workers or max(2, server.num_shards)
         self.obs = obs if obs is not None else server.obs
+        # Injectable so deadline tests can drive time deterministically
+        # instead of racing real sleeps against real thread scheduling.
+        self._clock = clock
 
     def run(
         self,
@@ -105,7 +109,7 @@ class BatchExecutor:
         fanned-out goal carries the remaining budget into its own
         shard-lock waits.
         """
-        deadline = None if timeout is None else time.monotonic() + timeout
+        deadline = None if timeout is None else self._clock() + timeout
         stats = BatchStats(goals=len(goals))
         busy_lock = threading.Lock()
 
@@ -123,7 +127,7 @@ class BatchExecutor:
         def one(goal: Term) -> RetrievalResult:
             remaining = (
                 None if deadline is None
-                else max(0.0, deadline - time.monotonic())
+                else max(0.0, deadline - self._clock())
             )
             return account(
                 self.server.retrieve(goal, mode=mode, timeout=remaining)
@@ -147,7 +151,7 @@ class BatchExecutor:
                     futures = [pool.submit(one, goal) for goal in goals]
                     remaining = (
                         None if deadline is None
-                        else max(0.0, deadline - time.monotonic())
+                        else max(0.0, deadline - self._clock())
                     )
                     done, not_done = wait(
                         futures, timeout=remaining,

@@ -1,0 +1,698 @@
+"""An elastic cluster: replicated shard nodes behind real sockets.
+
+This module turns the single-process :class:`ShardedRetrievalServer`
+into a *fleet*: every (shard, replica) pair is a :class:`ClusterNode` —
+a complete one-shard engine behind its own
+:class:`~repro.net.RetrievalService` socket — and a
+:class:`ClusterManifest` (shared through one :class:`ManifestHolder`)
+says which addresses hold which shard.  Three parties cooperate:
+
+* :class:`Fleet` — the coordinator.  Partitions a program across
+  shards, boots the nodes, and owns the fault/elasticity verbs the
+  chaos harness drives: :meth:`Fleet.kill` (abrupt crash),
+  :meth:`Fleet.restart` (resync from a healthy peer, then serve),
+  :meth:`Fleet.slow` (latency injection), and — in
+  :mod:`repro.cluster.migrate` — live shard migration.
+* :class:`ClusterNode` — one replica's lifecycle (start/drain/crash).
+* :class:`FleetClient` — the routing client.  Reads fan out over a
+  shard's healthy replicas with true failover
+  (:class:`~repro.net.FailoverClient`); writes apply to *every* active
+  replica of the home shard, tagged with the manifest version they
+  routed under, so a write racing a migration flip is rejected with
+  ``STALE_MANIFEST`` and re-routed instead of landing on retired
+  placement.
+
+Write-acknowledgement contract (what "no lost acknowledged writes"
+means in the chaos suite): a write is acknowledged iff at least one
+active replica applied it, and every active replica that did *not*
+acknowledge is marked stale — excluded from reads until the fleet
+resyncs it.  Reads therefore never observe a replica that is missing an
+acknowledged write.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+from ..crs import RetrievalResult, RetrievalStats, SearchMode
+from ..obs import Instrumentation
+from ..obs import get_default as _default_obs
+from ..scw import CodewordScheme, DEFAULT_SCHEME
+from ..storage import UnknownPredicateError
+from ..terms import Clause, Term, clause_from_term, read_program
+from .manifest import ClusterManifest, ManifestHolder
+from .routing import ShardingPolicy, ShardRouter
+from .server import MergedRetrievalStats, ShardedRetrievalServer
+
+__all__ = ["ClusterNode", "Fleet", "FleetClient", "FleetWriteError"]
+
+
+class FleetWriteError(RuntimeError):
+    """No active replica acknowledged a write — it must not be counted."""
+
+
+def _as_clause(clause_or_term: Clause | Term) -> Clause:
+    if isinstance(clause_or_term, Clause):
+        return clause_or_term
+    return clause_from_term(clause_or_term)
+
+
+@dataclass
+class ClusterNode:
+    """One replica: a one-shard engine behind its own socket."""
+
+    shard_id: int
+    engine: ShardedRetrievalServer
+    service: object = None  # RetrievalService, once built
+    background: object = None  # BackgroundService, once started
+    address: str = ""
+    alive: bool = False
+    service_opts: dict = field(default_factory=dict)
+
+    def start(self, manifest_holder: ManifestHolder | None) -> str:
+        """Serve (or resume serving) on this node's address."""
+        from ..net.server import BackgroundService, RetrievalService
+
+        host, port = "127.0.0.1", 0
+        if self.address:
+            # A restart must come back on the address the manifest
+            # advertises — peers and clients know no other name for it.
+            host, _, port_text = self.address.rpartition(":")
+            port = int(port_text)
+        self.service = RetrievalService(
+            self.engine, host=host, port=port,
+            manifest_holder=manifest_holder, **self.service_opts
+        )
+        self.background = BackgroundService(self.service)
+        bound_host, bound_port = self.background.start()
+        self.address = f"{bound_host}:{bound_port}"
+        self.alive = True
+        return self.address
+
+    def drain(self) -> None:
+        """Graceful stop: finish every admitted request, then close."""
+        if self.background is not None:
+            self.background.stop()
+        self.alive = False
+
+    def crash(self) -> None:
+        """Abrupt stop: connections reset, in-flight work abandoned."""
+        if self.background is not None:
+            self.background.kill()
+        self.alive = False
+
+
+class Fleet:
+    """Coordinator for a replicated, elastically placed cluster."""
+
+    def __init__(
+        self,
+        program_text: str = "",
+        *,
+        num_shards: int = 2,
+        replicas: int = 2,
+        policy: ShardingPolicy | str = ShardingPolicy.PREDICATE,
+        scheme: CodewordScheme = DEFAULT_SCHEME,
+        module: str = "user",
+        obs: Instrumentation | None = None,
+        service_opts: dict | None = None,
+        engine_opts: dict | None = None,
+    ):
+        if replicas < 1:
+            raise ValueError("a fleet needs at least one replica per shard")
+        self.obs = obs if obs is not None else _default_obs()
+        self.policy = ShardingPolicy(policy)
+        self.num_shards = num_shards
+        self.scheme = scheme
+        self._service_opts = dict(service_opts or {})
+        self._engine_opts = dict(engine_opts or {})
+        #: placement oracle: the same deterministic router the sharded
+        #: server uses, populated while the program is partitioned.  A
+        #: :class:`FleetClient` shares it to route goals to shard ids
+        #: (production would serialise its state into the manifest).
+        self.router = ShardRouter(num_shards, self.policy)
+        self._partition: dict[int, list[tuple[Clause, str]]] = {
+            shard_id: [] for shard_id in range(num_shards)
+        }
+        for term in read_program(program_text):
+            clause = clause_from_term(term)
+            home = self.router.route_clause(clause.head)
+            self._partition[home].append((clause, module))
+        #: address -> node, every replica ever started (dead ones stay
+        #: until restarted or migrated away).
+        self.nodes: dict[str, ClusterNode] = {}
+        self.holder: ManifestHolder | None = None
+        self._lock = threading.Lock()
+        self._replicas = replicas
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> ClusterManifest:
+        """Boot every (shard, replica) node and publish manifest v0."""
+        placement: dict[int, tuple[str, ...]] = {}
+        started: list[ClusterNode] = []
+        for shard_id in range(self.num_shards):
+            addresses: list[str] = []
+            for _ in range(self._replicas):
+                node = self._build_node(shard_id)
+                node.start(None)
+                started.append(node)
+                self.nodes[node.address] = node
+                addresses.append(node.address)
+            placement[shard_id] = tuple(addresses)
+        manifest = ClusterManifest(
+            num_shards=self.num_shards,
+            policy=self.policy.value,
+            # manifest_version=0 on the wire means "unversioned, skip
+            # the stale check"; publishing v1 keeps every fleet write
+            # stale-checkable from the very first flip.
+            version=1,
+            replicas=placement,
+        )
+        self.holder = ManifestHolder(manifest)
+        for node in started:
+            node.service.manifest_holder = self.holder
+        self.obs.counter("cluster.fleet.nodes_started").inc(len(started))
+        return manifest
+
+    def stop(self) -> None:
+        for node in list(self.nodes.values()):
+            if node.alive:
+                node.drain()
+
+    def __enter__(self) -> "Fleet":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    @property
+    def manifest(self) -> ClusterManifest:
+        assert self.holder is not None, "fleet not started"
+        return self.holder.current
+
+    def node_at(self, address: str) -> ClusterNode:
+        return self.nodes[address]
+
+    def live_addresses(self) -> tuple[str, ...]:
+        return tuple(
+            sorted(a for a, n in self.nodes.items() if n.alive)
+        )
+
+    # -- fault & elasticity verbs --------------------------------------------
+
+    def kill(self, address: str) -> None:
+        """Crash one replica abruptly (chaos ``kill`` fault)."""
+        node = self.nodes[address]
+        node.crash()
+        self.obs.counter("cluster.fleet.kills").inc()
+
+    def restart(self, address: str, workdir=None) -> None:
+        """Bring a crashed replica back, resynced from a healthy peer.
+
+        A node that was down missed writes; serving its stale engine
+        would hand out wrong answers.  Restart therefore resyncs from a
+        live replica of the same shard (snapshot + catch-up delta, see
+        :func:`repro.cluster.migrate.resync_replica`) *before* the
+        socket reopens.  With no live peer the engine is served as-is —
+        nothing fresher exists anywhere.
+        """
+        import tempfile
+
+        from .migrate import resync_replica
+
+        node = self.nodes[address]
+        if node.alive:
+            raise ValueError(f"{address} is already serving")
+        peer = self._live_peer(node.shard_id, exclude=address)
+        if peer is not None:
+            if workdir is None:
+                with tempfile.TemporaryDirectory(
+                    prefix="clare-resync-"
+                ) as tmp:
+                    resync_replica(peer, node, tmp)
+            else:
+                resync_replica(peer, node, workdir)
+        node.start(self.holder)
+        self.obs.counter("cluster.fleet.restarts").inc()
+
+    def slow(self, address: str, delay_s: float) -> None:
+        """Inject latency: every retrieval on this node sleeps first.
+
+        The slowdown applies engine-side (inside the service's worker
+        pool), so a slowed replica behaves exactly like an overloaded
+        one: requests convoy, admission control starts refusing, and
+        clients fail over to its siblings.
+        """
+        node = self.nodes[address]
+        node.engine = _SlowEngine(node.engine, delay_s)
+        if node.service is not None:
+            node.service.engine = node.engine
+        self.obs.counter("cluster.fleet.slowdowns").inc()
+
+    def _live_peer(
+        self, shard_id: int, exclude: str
+    ) -> ClusterNode | None:
+        for address in self.manifest.replicas_for(shard_id):
+            node = self.nodes.get(address)
+            if node is not None and node.alive and address != exclude:
+                return node
+        return None
+
+    # -- node construction ---------------------------------------------------
+
+    def _build_node(self, shard_id: int) -> ClusterNode:
+        """A one-shard engine seeded with the shard's clause partition."""
+        engine = ShardedRetrievalServer(
+            1,
+            policy=self.policy,
+            scheme=self.scheme,
+            obs=self.obs.labelled(node_shard=str(shard_id)),
+            **self._engine_opts,
+        )
+        for clause, module in self._partition[shard_id]:
+            engine.add_clause(clause, module=module)
+        return ClusterNode(
+            shard_id=shard_id,
+            engine=engine,
+            service_opts=dict(self._service_opts),
+        )
+
+    def new_node(self, shard_id: int) -> ClusterNode:
+        """An *empty* started node for a migration target; the caller
+        loads a snapshot into it (``engine.adopt_kb``) before it is
+        added to the manifest."""
+        engine = ShardedRetrievalServer(
+            1,
+            policy=self.policy,
+            scheme=self.scheme,
+            obs=self.obs.labelled(node_shard=str(shard_id)),
+            **self._engine_opts,
+        )
+        node = ClusterNode(
+            shard_id=shard_id,
+            engine=engine,
+            service_opts=dict(self._service_opts),
+        )
+        node.start(self.holder)
+        self.nodes[node.address] = node
+        return node
+
+
+class _SlowEngine:
+    """An engine proxy that sleeps before every retrieval (chaos fault)."""
+
+    def __init__(self, engine, delay_s: float):
+        self._engine = engine
+        self.delay_s = delay_s
+
+    def retrieve(self, goal, mode=None, timeout=None):
+        time.sleep(self.delay_s)
+        return self._engine.retrieve(goal, mode=mode, timeout=timeout)
+
+    def retrieve_batch(self, goals, mode=None, timeout=None):
+        time.sleep(self.delay_s)
+        return self._engine.retrieve_batch(goals, mode=mode, timeout=timeout)
+
+    def __getattr__(self, name):
+        return getattr(self._engine, name)
+
+
+class FleetClient:
+    """Route goals and writes across the fleet, surviving churn.
+
+    Reads: the goal's shard set comes from the shared placement router;
+    each shard's candidates come from *one* healthy replica, chosen by a
+    per-shard :class:`~repro.net.FailoverClient` (busy/dead replicas are
+    skipped per-address, never punishing their siblings).
+
+    Writes: applied to **every** active replica of the home shard,
+    tagged with the manifest version.  ``STALE_MANIFEST`` answers
+    trigger a manifest refresh and a re-route that skips replicas which
+    already acknowledged (no double apply).  Replicas that fail to
+    acknowledge are marked stale and excluded from reads until the
+    coordinator resyncs them (:meth:`clear_stale`).
+
+    Retracts are two-phase: the first replica unifies the template and
+    reports the exact clause it removed; the remaining replicas replay
+    that clause with ``retract_exact`` — replaying the *template*
+    everywhere could remove different clauses on different replicas.
+    """
+
+    def __init__(
+        self,
+        manifest: ClusterManifest,
+        router: ShardRouter,
+        *,
+        obs: Instrumentation | None = None,
+        read_deadline_s: float | None = 5.0,
+        write_deadline_s: float | None = 5.0,
+        failover_opts: dict | None = None,
+    ):
+        from ..net.client import FailoverClient
+
+        self.obs = obs if obs is not None else _default_obs()
+        self.router = router
+        self.read_deadline_s = read_deadline_s
+        self.write_deadline_s = write_deadline_s
+        self._failover_opts = dict(failover_opts or {})
+        self._failover_cls = FailoverClient
+        self._manifest = manifest
+        self._stale: set[str] = set()
+        self._shard_clients: dict[int, FailoverClient] = {}
+        self._lock = threading.Lock()
+        self._rebuild_clients()
+
+    # -- manifest plumbing ----------------------------------------------------
+
+    @property
+    def manifest(self) -> ClusterManifest:
+        return self._manifest
+
+    def adopt_manifest(self, manifest: ClusterManifest) -> None:
+        """Switch to a newer manifest; stale marks survive only for
+        addresses the new placement still lists."""
+        with self._lock:
+            self._manifest = manifest
+            listed = set(manifest.addresses())
+            self._stale &= listed
+        self._rebuild_clients()
+
+    def refresh_manifest(self) -> ClusterManifest:
+        """Fetch the current manifest from whichever replica answers."""
+        last_exc: Exception | None = None
+        for client in list(self._shard_clients.values()):
+            try:
+                fresh = client.manifest()
+            except Exception as exc:  # every replica of this shard down
+                last_exc = exc
+                continue
+            if fresh.version > self._manifest.version:
+                self.adopt_manifest(fresh)
+                self.obs.counter("cluster.fleet.manifest_refreshes").inc()
+            return self._manifest
+        raise last_exc if last_exc is not None else RuntimeError(
+            "no replicas to fetch a manifest from"
+        )
+
+    def mark_stale(self, address: str) -> None:
+        """Exclude a replica from reads (it missed an acknowledged write)."""
+        with self._lock:
+            self._stale.add(address)
+        self._rebuild_clients()
+
+    def clear_stale(self, address: str) -> None:
+        """Readmit a replica the coordinator has resynced."""
+        with self._lock:
+            self._stale.discard(address)
+        self._rebuild_clients()
+
+    @property
+    def stale_addresses(self) -> frozenset[str]:
+        with self._lock:
+            return frozenset(self._stale)
+
+    def _readable_replicas(self, shard_id: int) -> list[str]:
+        replicas = self._manifest.replicas_for(shard_id)
+        readable = [a for a in replicas if a not in self._stale]
+        # With every replica stale there is nothing consistent to
+        # prefer; degrade to the full set rather than failing reads.
+        return readable if readable else list(replicas)
+
+    def _rebuild_clients(self) -> None:
+        with self._lock:
+            manifest = self._manifest
+            existing = self._shard_clients
+            fresh: dict[int, object] = {}
+            for shard_id in range(manifest.num_shards):
+                replicas = self._readable_replicas(shard_id)
+                if not replicas:
+                    continue
+                client = existing.pop(shard_id, None)
+                if client is None:
+                    client = self._failover_cls(
+                        replicas, obs=self.obs, **self._failover_opts
+                    )
+                else:
+                    client.set_addresses(replicas)
+                fresh[shard_id] = client
+            leftovers = list(existing.values())
+            self._shard_clients = fresh
+        for client in leftovers:
+            client.close()
+
+    def close(self) -> None:
+        with self._lock:
+            clients, self._shard_clients = dict(self._shard_clients), {}
+        for client in clients.values():
+            client.close()
+
+    def __enter__(self) -> "FleetClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- reads ----------------------------------------------------------------
+
+    def retrieve(
+        self,
+        goal: Term,
+        mode: SearchMode | None = None,
+        deadline_s: float | None = None,
+    ) -> RetrievalResult:
+        """Candidates for ``goal`` merged across its shards' replicas."""
+        deadline_s = (
+            deadline_s if deadline_s is not None else self.read_deadline_s
+        )
+        targets = self._route(goal, mode)
+        shard_results: dict[int, RetrievalResult] = {}
+        for shard_id in targets:
+            client = self._shard_clients.get(shard_id)
+            if client is None:
+                raise UnknownPredicateError(
+                    f"shard {shard_id} has no replicas in the manifest"
+                )
+            shard_results[shard_id] = client.retrieve(
+                goal, mode=mode, deadline_s=deadline_s
+            )
+        self.obs.counter("cluster.fleet.reads").inc()
+        return self._merge(goal, shard_results)
+
+    def _route(
+        self, goal: Term, mode: SearchMode | None
+    ) -> tuple[int, ...]:
+        # Mirrors ShardedRetrievalServer._route_and_plan: a raw FS1
+        # scan's false drops are not confined to the key shard.
+        if mode is SearchMode.FS1_ONLY:
+            return self.router.route_goal(goal, prune=False)
+        return self.router.route_goal(goal)
+
+    def _merge(
+        self, goal: Term, shard_results: dict[int, RetrievalResult]
+    ) -> RetrievalResult:
+        candidates: list[Clause] = []
+        per_shard: dict[int, RetrievalStats] = {}
+        mode = SearchMode.SOFTWARE
+        residencies: set[str] = set()
+        for shard_id in sorted(shard_results):
+            result = shard_results[shard_id]
+            candidates.extend(result.candidates)
+            stats = result.stats
+            if stats is None:
+                continue
+            mode = stats.mode
+            residencies.add(stats.residency)
+            if isinstance(stats, MergedRetrievalStats) and stats.per_shard:
+                # A node is a one-shard cluster; unwrap its inner stats
+                # so the fleet's per_shard is keyed by *cluster* shard.
+                per_shard[shard_id] = next(iter(stats.per_shard.values()))
+            elif not isinstance(stats, MergedRetrievalStats):
+                per_shard[shard_id] = stats
+        merged = MergedRetrievalStats(
+            mode=mode,
+            residency=(
+                residencies.pop() if len(residencies) == 1
+                else "mixed" if residencies else "memory"
+            ),
+            shards_queried=len(shard_results),
+            broadcast=len(shard_results) > 1,
+            per_shard=per_shard,
+        )
+        for stats in per_shard.values():
+            merged.clauses_total += stats.clauses_total
+            merged.final_candidates += stats.final_candidates
+            merged.fs2_search_calls += stats.fs2_search_calls
+            merged.bytes_from_disk += stats.bytes_from_disk
+            merged.disk_time_s += stats.disk_time_s
+            merged.fs1_time_s += stats.fs1_time_s
+            merged.fs2_time_s += stats.fs2_time_s
+            merged.software_time_s += stats.software_time_s
+            if stats.fs1_candidates is not None:
+                merged.fs1_candidates = (
+                    merged.fs1_candidates or 0
+                ) + stats.fs1_candidates
+        return RetrievalResult(goal=goal, candidates=candidates, stats=merged)
+
+    # -- writes ----------------------------------------------------------------
+
+    def assertz(
+        self, clause_or_term: Clause | Term, module: str = "user"
+    ) -> None:
+        clause = _as_clause(clause_or_term)
+        shard_id = self.router.route_clause(clause.head)
+        self._replicated_write("assertz", clause, module, shard_id)
+
+    def asserta(
+        self, clause_or_term: Clause | Term, module: str = "user"
+    ) -> None:
+        clause = _as_clause(clause_or_term)
+        shard_id = self.router.route_clause(clause.head)
+        self._replicated_write("asserta", clause, module, shard_id)
+
+    def retract(self, clause_or_term: Clause | Term) -> Clause | None:
+        """Two-phase replicated retract; returns the clause removed."""
+        template = _as_clause(clause_or_term)
+        try:
+            targets = self.router.route_goal(template.head)
+        except UnknownPredicateError:
+            return None
+        for shard_id in targets:
+            removed = self._replicated_retract(template, shard_id)
+            if removed is not None:
+                return removed
+        return None
+
+    def _replicated_retract(
+        self, template: Clause, shard_id: int
+    ) -> Clause | None:
+        """Phase 1: one replica picks the victim; phase 2: the rest
+        replay it exactly."""
+        from ..net.protocol import StaleManifest
+
+        for _ in range(4):  # stale-manifest refresh loop
+            version = self._manifest.version
+            replicas = self._readable_replicas(shard_id)
+            removed: Clause | None = None
+            chooser: str | None = None
+            for address in replicas:
+                try:
+                    _, applied, removed = self._address_client(
+                        shard_id, address
+                    ).mutate(
+                        "retract", template,
+                        manifest_version=version,
+                        deadline_s=self.write_deadline_s,
+                    )
+                except StaleManifest:
+                    self.refresh_manifest()
+                    break
+                except Exception:
+                    self.mark_stale(address)
+                    continue
+                chooser = address
+                break
+            else:
+                # No replica could even attempt the retract.
+                raise FleetWriteError(
+                    f"no replica of shard {shard_id} acknowledged the "
+                    "retract"
+                )
+            if chooser is None:
+                continue  # stale manifest: re-route under the fresh one
+            if removed is None:
+                return None  # nothing matched; replicas agree vacuously
+            self._fan_out(
+                "retract_exact", removed, "user", shard_id,
+                version, acked={chooser},
+            )
+            return removed
+        raise FleetWriteError("manifest kept moving during a retract")
+
+    def _replicated_write(
+        self, op: str, clause: Clause, module: str, shard_id: int
+    ) -> None:
+        self._fan_out(op, clause, module, shard_id, None, acked=set())
+
+    def _fan_out(
+        self,
+        op: str,
+        clause: Clause,
+        module: str,
+        shard_id: int,
+        version: int | None,
+        acked: set[str],
+    ) -> None:
+        """Apply one mutation to every active replica of a shard.
+
+        ``acked`` carries addresses that already applied it (survives
+        stale-manifest re-routes, preventing double application).
+        Raises :class:`FleetWriteError` if nothing acknowledged.
+        """
+        from ..net.protocol import StaleManifest
+
+        for _ in range(4):  # stale-manifest refresh loop
+            round_version = (
+                version if version is not None else self._manifest.version
+            )
+            replicas = [
+                a for a in self._manifest.replicas_for(shard_id)
+                if a not in acked
+            ]
+            stale_hit = False
+            for address in replicas:
+                try:
+                    self._address_client(shard_id, address).mutate(
+                        op, clause, module,
+                        manifest_version=round_version,
+                        deadline_s=self.write_deadline_s,
+                    )
+                except StaleManifest:
+                    stale_hit = True
+                    break
+                except Exception:
+                    self.obs.counter("cluster.fleet.write_failures").inc()
+                    continue
+                acked.add(address)
+            if stale_hit:
+                self.refresh_manifest()
+                version = None  # re-read the fresh version next round
+                continue
+            break
+        # Anything still listed for this shard that did not acknowledge
+        # may be missing the write (even a fully failed fan-out can have
+        # applied somewhere if a connection died after the send): stale
+        # until the coordinator resyncs it.  (Dead nodes land here too —
+        # harmless, their reads fail anyway, and restart clears the mark.)
+        for address in self._manifest.replicas_for(shard_id):
+            if address not in acked:
+                self.mark_stale(address)
+        if not acked:
+            raise FleetWriteError(
+                f"no replica of shard {shard_id} acknowledged the {op}"
+            )
+        self.obs.counter("cluster.fleet.writes", op=op).inc()
+
+    def _address_client(self, shard_id: int, address: str):
+        """A pooled single-address client for write fan-out."""
+        client = self._shard_clients.get(shard_id)
+        if client is not None:
+            try:
+                return client.client_for(address)
+            except KeyError:
+                pass
+        # The address is excluded from the read set (stale) or the
+        # shard has no failover client; open a throwaway-pooled client
+        # via a one-address failover wrapper kept per instance.
+        with self._lock:
+            extras = getattr(self, "_extra_clients", None)
+            if extras is None:
+                extras = self._extra_clients = {}
+            if address not in extras:
+                extras[address] = self._failover_cls(
+                    [address], obs=self.obs, **self._failover_opts
+                )
+            return extras[address].client_for(address)

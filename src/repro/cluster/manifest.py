@@ -1,0 +1,235 @@
+"""The cluster manifest: who serves which shard, at which version.
+
+A :class:`ClusterManifest` is the single source of truth for placement
+in an elastic cluster: for every shard it lists the replica addresses
+(``host:port`` of a :class:`~repro.net.RetrievalService` node) that hold
+a complete copy of that shard's clause files.  The manifest is
+
+* **versioned** — every placement change produces a *new* manifest with
+  ``version + 1``; readers and writers carry the version they acted on,
+  so a node that has moved on can reject a stale mutation with a
+  ``STALE_MANIFEST`` frame instead of silently applying it to the wrong
+  replica set;
+* **immutable** — the ``with_*`` methods return fresh manifests; the
+  only mutable cell in the system is the :class:`ManifestHolder`, whose
+  :meth:`~ManifestHolder.flip` is an atomic compare-and-swap on the
+  version (the migration coordinator's "flip the manifest" step);
+* **JSON-serialisable** — it travels over ``REQ_MANIFEST`` frames and
+  can be written next to a saved knowledge base, so a cold-started
+  router can rediscover the fleet without consulting anything.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from dataclasses import dataclass, field
+
+__all__ = [
+    "ManifestError",
+    "ManifestVersionError",
+    "ClusterManifest",
+    "ManifestHolder",
+]
+
+
+class ManifestError(ValueError):
+    """A malformed manifest (bad shard ids, duplicate replicas, ...)."""
+
+
+class ManifestVersionError(ManifestError):
+    """A compare-and-swap flip lost the race: the version moved."""
+
+
+def _normalise(
+    replicas: dict[int, tuple[str, ...]] | dict[int, list[str]]
+) -> dict[int, tuple[str, ...]]:
+    return {int(k): tuple(v) for k, v in replicas.items()}
+
+
+@dataclass(frozen=True)
+class ClusterManifest:
+    """Versioned shard → replica-address placement for one cluster."""
+
+    num_shards: int
+    policy: str
+    version: int = 0
+    #: shard id → addresses ("host:port") holding a full replica.
+    replicas: dict[int, tuple[str, ...]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.num_shards < 1:
+            raise ManifestError("a manifest needs at least one shard")
+        if self.version < 0:
+            raise ManifestError("manifest versions start at 0")
+        object.__setattr__(self, "replicas", _normalise(self.replicas))
+        for shard_id, addresses in self.replicas.items():
+            if not 0 <= shard_id < self.num_shards:
+                raise ManifestError(
+                    f"shard {shard_id} outside 0..{self.num_shards - 1}"
+                )
+            if len(set(addresses)) != len(addresses):
+                raise ManifestError(
+                    f"shard {shard_id} lists a replica address twice"
+                )
+
+    # -- queries -------------------------------------------------------------
+
+    def replicas_for(self, shard_id: int) -> tuple[str, ...]:
+        """The replica addresses of one shard (empty if none placed)."""
+        return self.replicas.get(shard_id, ())
+
+    def addresses(self) -> tuple[str, ...]:
+        """Every distinct address in the manifest, sorted."""
+        seen: set[str] = set()
+        for addresses in self.replicas.values():
+            seen.update(addresses)
+        return tuple(sorted(seen))
+
+    def shards_at(self, address: str) -> tuple[int, ...]:
+        """The shards an address holds a replica of."""
+        return tuple(
+            sorted(
+                shard_id
+                for shard_id, addresses in self.replicas.items()
+                if address in addresses
+            )
+        )
+
+    def replication_factor(self) -> int:
+        """The smallest replica count over placed shards (0 if none)."""
+        if not self.replicas:
+            return 0
+        return min(len(a) for a in self.replicas.values())
+
+    # -- placement changes (each returns a version+1 manifest) ---------------
+
+    def _evolve(self, replicas: dict[int, tuple[str, ...]]) -> "ClusterManifest":
+        return ClusterManifest(
+            num_shards=self.num_shards,
+            policy=self.policy,
+            version=self.version + 1,
+            replicas=replicas,
+        )
+
+    def with_replica(self, shard_id: int, address: str) -> "ClusterManifest":
+        """Add a replica of ``shard_id`` at ``address``."""
+        current = self.replicas_for(shard_id)
+        if address in current:
+            raise ManifestError(
+                f"shard {shard_id} already has a replica at {address}"
+            )
+        replicas = dict(self.replicas)
+        replicas[shard_id] = current + (address,)
+        return self._evolve(replicas)
+
+    def without_replica(self, shard_id: int, address: str) -> "ClusterManifest":
+        """Drop the replica of ``shard_id`` at ``address``."""
+        current = self.replicas_for(shard_id)
+        if address not in current:
+            raise ManifestError(
+                f"shard {shard_id} has no replica at {address}"
+            )
+        replicas = dict(self.replicas)
+        replicas[shard_id] = tuple(a for a in current if a != address)
+        return self._evolve(replicas)
+
+    def moved_replica(
+        self, shard_id: int, source: str, target: str
+    ) -> "ClusterManifest":
+        """One atomic placement step: ``source`` out, ``target`` in.
+
+        This is the shape of a migration flip — the shard is never
+        listed with neither node, and the whole move costs one version.
+        """
+        current = self.replicas_for(shard_id)
+        if source not in current:
+            raise ManifestError(f"shard {shard_id} has no replica at {source}")
+        if target in current:
+            raise ManifestError(
+                f"shard {shard_id} already has a replica at {target}"
+            )
+        replicas = dict(self.replicas)
+        replicas[shard_id] = tuple(
+            target if a == source else a for a in current
+        )
+        return self._evolve(replicas)
+
+    # -- serialisation -------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "version": self.version,
+            "num_shards": self.num_shards,
+            "policy": self.policy,
+            "replicas": {
+                str(shard_id): list(addresses)
+                for shard_id, addresses in sorted(self.replicas.items())
+            },
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ClusterManifest":
+        try:
+            return cls(
+                num_shards=int(data["num_shards"]),
+                policy=str(data["policy"]),
+                version=int(data["version"]),
+                replicas={
+                    int(shard_id): tuple(addresses)
+                    for shard_id, addresses in data.get("replicas", {}).items()
+                },
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            if isinstance(exc, ManifestError):
+                raise
+            raise ManifestError(f"malformed manifest: {exc}") from exc
+
+    @classmethod
+    def from_json(cls, text: str) -> "ClusterManifest":
+        try:
+            data = json.loads(text)
+        except ValueError as exc:
+            raise ManifestError(f"manifest is not JSON: {exc}") from exc
+        if not isinstance(data, dict):
+            raise ManifestError("manifest JSON must be an object")
+        return cls.from_dict(data)
+
+
+class ManifestHolder:
+    """The one mutable cell: the fleet's current manifest, CAS-flipped.
+
+    Every placement change goes through :meth:`flip`, which succeeds
+    only if the caller evolved the manifest it read — two concurrent
+    coordinators cannot both win, and the loser sees
+    :class:`ManifestVersionError` instead of silently clobbering the
+    other's move.
+    """
+
+    def __init__(self, manifest: ClusterManifest):
+        self._manifest = manifest
+        self._lock = threading.Lock()
+
+    @property
+    def current(self) -> ClusterManifest:
+        with self._lock:
+            return self._manifest
+
+    @property
+    def version(self) -> int:
+        with self._lock:
+            return self._manifest.version
+
+    def flip(self, new_manifest: ClusterManifest) -> ClusterManifest:
+        """Install ``new_manifest`` iff it is the successor of the current one."""
+        with self._lock:
+            if new_manifest.version != self._manifest.version + 1:
+                raise ManifestVersionError(
+                    f"flip to version {new_manifest.version} rejected: "
+                    f"current is {self._manifest.version}"
+                )
+            self._manifest = new_manifest
+            return new_manifest

@@ -1,0 +1,208 @@
+"""Live shard migration and replica resync over real snapshots.
+
+Moving a shard replica is a four-beat protocol, built entirely from
+machinery that already exists elsewhere in the tree:
+
+1. **Snapshot** — the source's clause files are written with
+   :func:`~repro.storage.save_kb` while the shard lock pins a cut point
+   ``seq`` (the engine's mutation-log sequence at exactly the snapshot's
+   content), and loaded into a fresh node with
+   :func:`~repro.storage.load_kb` + ``adopt_kb``.
+2. **Catch-up** — the writes that landed on the source after ``seq``
+   stream over as mutation-log deltas
+   (:meth:`~repro.cluster.ShardedRetrievalServer.mutations_since`),
+   round after round, until the target has drawn level.  A delta that
+   fell off the capped log (:class:`~repro.cluster.MutationLogOverflow`)
+   forces a fresh snapshot instead of a silently incomplete replay.
+3. **Flip** — the manifest version advances atomically
+   (:meth:`~repro.cluster.ManifestHolder.flip` of a ``moved_replica``
+   manifest).  From this instant every versioned write stamped with the
+   old placement is refused with ``STALE_MANIFEST`` — nothing new can
+   land on the retiring replica.
+4. **Drain + final delta** — the source drains gracefully (admitted
+   writes finish and are logged), and one last delta carries anything
+   that slipped in between the last catch-up round and the flip.  Only
+   then is the source retired.
+
+No acknowledged write can be lost: a write is either in the snapshot
+(seq ≤ cut), in a catch-up delta, refused as stale (and re-routed by the
+client to the new placement), or in the final post-drain delta.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from ..obs import get_default as _default_obs
+from ..storage import kb_fingerprint, load_kb, save_kb
+from .fleet import ClusterNode, Fleet
+
+__all__ = ["MigrationError", "migrate_shard", "resync_replica",
+           "snapshot_node", "catch_up"]
+
+#: How many catch-up rounds to chase a source under write load before
+#: concluding it cannot be caught (each round replays everything new
+#: since the previous one; under any finite write rate this converges).
+_MAX_CATCH_UP_ROUNDS = 16
+
+#: How many times a fallen-off-the-log delta may force a re-snapshot.
+_MAX_SNAPSHOT_ATTEMPTS = 3
+
+
+class MigrationError(RuntimeError):
+    """A shard migration or replica resync could not complete."""
+
+
+def snapshot_node(node: ClusterNode, directory: str | pathlib.Path) -> int:
+    """Save a node's KB under its shard lock; returns the cut ``seq``.
+
+    Holding the lock while reading ``engine.version`` *and* writing the
+    files is what makes the cut exact: every mutation bumps the version
+    inside the same lock, so the snapshot's content corresponds to the
+    returned sequence number precisely — the delta from ``seq`` neither
+    misses a write the snapshot lacks nor doubles one it already holds.
+    """
+    engine = node.engine
+    shard = engine.shards[0]
+    with shard.lock:
+        seq = engine.version
+        save_kb(shard.kb, directory)
+    return seq
+
+
+def catch_up(source: ClusterNode, target: ClusterNode, seq: int) -> int:
+    """Replay source mutations after ``seq`` onto the target.
+
+    Runs in rounds (new writes may land while a round replays) until a
+    round comes back empty; returns the sequence the target has now
+    caught up to.  Raises :class:`~repro.cluster.MutationLogOverflow`
+    (via ``mutations_since``) when the delta fell off the capped log,
+    and :class:`MigrationError` when the source out-writes the chase.
+    """
+    for _ in range(_MAX_CATCH_UP_ROUNDS):
+        records = source.engine.mutations_since(seq)
+        if not records:
+            return seq
+        for record in records:
+            target.engine.apply_mutation(record)
+        seq = records[-1].seq
+    raise MigrationError(
+        f"source still producing writes after {_MAX_CATCH_UP_ROUNDS} "
+        "catch-up rounds"
+    )
+
+
+def _snapshot_into(
+    source: ClusterNode,
+    target: ClusterNode,
+    workdir: str | pathlib.Path,
+) -> int:
+    """Snapshot + load + initial catch-up, retrying on log overflow."""
+    from .server import MutationLogOverflow
+
+    workdir = pathlib.Path(workdir)
+    last_exc: Exception | None = None
+    for attempt in range(_MAX_SNAPSHOT_ATTEMPTS):
+        snapdir = workdir / f"snapshot-{attempt}"
+        seq = snapshot_node(source, snapdir)
+        target.engine.adopt_kb(load_kb(snapdir))
+        try:
+            return catch_up(source, target, seq)
+        except MutationLogOverflow as exc:
+            # The source's write rate evicted our delta (or a reload
+            # intervened); the snapshot is stale — take a fresh one.
+            last_exc = exc
+    raise MigrationError(
+        f"catch-up delta kept falling off the mutation log after "
+        f"{_MAX_SNAPSHOT_ATTEMPTS} snapshots"
+    ) from last_exc
+
+
+def migrate_shard(
+    fleet: Fleet,
+    shard_id: int,
+    source_address: str,
+    workdir: str | pathlib.Path,
+    *,
+    verify: bool = False,
+) -> str:
+    """Move one replica of ``shard_id`` off ``source_address`` live.
+
+    Returns the new replica's address.  The manifest flip is atomic and
+    versioned: clients writing under the old placement are refused with
+    ``STALE_MANIFEST`` and re-route; reads simply fail over.  With
+    ``verify=True`` the retired source and the new target are compared
+    clause-for-clause (:func:`~repro.storage.kb_fingerprint`) — only
+    sound when no writes raced the flip, so it is opt-in for tests.
+    """
+    obs = fleet.obs
+    source = fleet.node_at(source_address)
+    if source.shard_id != shard_id:
+        raise MigrationError(
+            f"{source_address} serves shard {source.shard_id}, "
+            f"not {shard_id}"
+        )
+    if not source.alive:
+        raise MigrationError(f"{source_address} is not serving")
+    if source_address not in fleet.manifest.replicas_for(shard_id):
+        raise MigrationError(
+            f"{source_address} is not in the manifest for shard {shard_id}"
+        )
+    with obs.span("cluster.migrate", shard=shard_id, source=source_address):
+        target = fleet.new_node(shard_id)
+        try:
+            seq = _snapshot_into(source, target, workdir)
+            # Atomic placement flip: one version step swaps source for
+            # target.  Stale-stamped writes bounce off every node from
+            # here on (the holder is shared), so the source's mutation
+            # log can only grow by writes admitted before the flip.
+            fleet.holder.flip(
+                fleet.manifest.moved_replica(
+                    shard_id, source_address, target.address
+                )
+            )
+            source.drain()  # graceful: admitted writes finish + log
+            seq = catch_up(source, target, seq)
+        except BaseException:
+            # Roll the half-built target back out of the fleet; the
+            # manifest was only flipped if everything before the drain
+            # succeeded, and a post-flip failure leaves the target
+            # authoritative (retiring the source anyway would be worse).
+            if target.address not in fleet.manifest.addresses():
+                target.crash()
+                fleet.nodes.pop(target.address, None)
+            raise
+        if verify:
+            source_print = kb_fingerprint(source.engine.shards[0].kb)
+            target_print = kb_fingerprint(target.engine.shards[0].kb)
+            if source_print != target_print:
+                raise MigrationError(
+                    "migrated replica diverges from its source: "
+                    f"{sorted(set(source_print) ^ set(target_print)) or 'clause bodies differ'}"
+                )
+        fleet.nodes.pop(source_address, None)
+        obs.counter("cluster.migrations").inc()
+    return target.address
+
+
+def resync_replica(
+    peer: ClusterNode,
+    stale: ClusterNode,
+    workdir: str | pathlib.Path,
+) -> None:
+    """Rebuild a stale replica's state from a healthy peer of its shard.
+
+    Used on restart-after-crash: the stale node adopts a snapshot of the
+    peer and replays the delta until level.  The stale node must not be
+    serving while this runs (its reads would be wrong mid-copy); the
+    caller readmits it afterwards.
+    """
+    if stale.alive:
+        raise MigrationError("resync target must be stopped while copying")
+    if peer.shard_id != stale.shard_id:
+        raise MigrationError(
+            f"peer serves shard {peer.shard_id}, target expects "
+            f"{stale.shard_id}"
+        )
+    _snapshot_into(peer, stale, workdir)
+    _default_obs().counter("cluster.resyncs").inc()

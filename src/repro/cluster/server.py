@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import threading
 import time
-from collections import OrderedDict
+from collections import OrderedDict, deque
 from dataclasses import dataclass, field
 from typing import Iterable
 
@@ -50,7 +50,41 @@ from ..terms import (
 from ..unify import Bindings, unify
 from .routing import ShardingPolicy, ShardRouter
 
-__all__ = ["ClusterShard", "MergedRetrievalStats", "ShardedRetrievalServer"]
+__all__ = [
+    "ClusterShard",
+    "MergedRetrievalStats",
+    "MutationLogOverflow",
+    "MutationRecord",
+    "ShardedRetrievalServer",
+]
+
+
+class MutationLogOverflow(RuntimeError):
+    """The requested delta fell off the capped mutation log.
+
+    A catch-up reader that asks for "everything since seq N" after the
+    log has evicted N+1 cannot be given a correct delta; it must take a
+    fresh snapshot instead of a silently incomplete replay.
+    """
+
+
+@dataclass(frozen=True)
+class MutationRecord:
+    """One logged KB mutation, replayable on a replica.
+
+    ``op`` is one of ``assertz``/``asserta``/``retract``/``reload``.
+    For the first three, ``clause`` is the exact clause added or removed
+    (for retract: the clause the *primary* removed, not the unification
+    template — replaying the template could remove a different clause on
+    the replica).  ``reload`` marks a wholesale KB replacement
+    (:meth:`ShardedRetrievalServer.adopt_kb`); it cannot be replayed
+    incrementally and forces delta readers back to a snapshot.
+    """
+
+    seq: int
+    op: str
+    clause: Clause | None = None
+    module: str = "user"
 
 
 @dataclass
@@ -105,8 +139,13 @@ class ShardedRetrievalServer:
         obs: Instrumentation | None = None,
         fs1_mode: str = "bitsliced",
         fs2_mode: str = "compiled",
+        mutation_log_size: int = 4096,
     ):
         self.obs = obs if obs is not None else _default_obs()
+        self._fs1_mode = fs1_mode
+        self._fs2_mode = fs2_mode
+        self._cost_model = cost_model
+        self._cross_binding = cross_binding
         self.router = ShardRouter(num_shards, policy)
         self.shards: list[ClusterShard] = []
         for shard_id in range(num_shards):
@@ -129,6 +168,12 @@ class ShardedRetrievalServer:
         #: cache keys on it exactly as the single server keys on
         #: ``KnowledgeBase.version``.
         self.version = 0
+        #: the last ``mutation_log_size`` mutations, seq-stamped with the
+        #: version they produced — the catch-up transport for migration
+        #: and replica resync (see :meth:`mutations_since`).
+        self._mutation_log: deque[MutationRecord] = deque(
+            maxlen=mutation_log_size
+        )
         self.cache_size = cache_size
         self._cache: "OrderedDict[tuple, RetrievalResult]" = OrderedDict()
         self._cache_lock = threading.Lock()
@@ -185,9 +230,13 @@ class ShardedRetrievalServer:
         """
         shard_id = self.router.route_clause(clause.head)
         shard = self.shards[shard_id]
+        # The version bump (and its mutation-log append) happens while
+        # the shard lock is still held: a snapshot taken under that lock
+        # then sees KB state and log cut at exactly the same seq, so a
+        # snapshot + delta replay neither misses nor doubles a mutation.
         with shard.lock:
             shard.kb.add_clause(clause, module=module)
-        self._bump_version()
+            self._bump_version(op="assertz", clause=clause, module=module)
         self.obs.counter("cluster.clauses_routed", shard=str(shard_id)).inc()
         return shard_id
 
@@ -206,7 +255,7 @@ class ShardedRetrievalServer:
         shard = self.shards[shard_id]
         with shard.lock:
             shard.kb.asserta(clause, module=module)
-        self._bump_version()
+            self._bump_version(op="asserta", clause=clause, module=module)
 
     def retract(self, clause_or_term: Clause | Term) -> bool:
         """Remove the first matching clause, probing shards in id order."""
@@ -229,8 +278,9 @@ class ShardedRetrievalServer:
             shard = self.shards[shard_id]
             with shard.lock:
                 removed = shard.kb.retract_matching(template)
+                if removed is not None:
+                    self._bump_version(op="retract", clause=removed)
             if removed is not None:
-                self._bump_version()
                 return removed
         return None
 
@@ -246,9 +296,112 @@ class ShardedRetrievalServer:
         """Write each shard's disk-resident extents; extents per shard."""
         return {s.shard_id: s.kb.sync_to_disk() for s in self.shards}
 
-    def _bump_version(self) -> None:
+    def _bump_version(
+        self,
+        op: str = "reload",
+        clause: Clause | None = None,
+        module: str = "user",
+    ) -> int:
         with self._cache_lock:
             self.version += 1
+            self._mutation_log.append(
+                MutationRecord(
+                    seq=self.version, op=op, clause=clause, module=module
+                )
+            )
+            return self.version
+
+    # -- replication: deltas, exact replay, wholesale adoption ---------------
+
+    def mutations_since(self, seq: int) -> list[MutationRecord]:
+        """Every mutation after ``seq``, in order, or raise on a gap.
+
+        ``seq`` is a value previously read from :attr:`version` (e.g. at
+        snapshot time).  Raises :class:`MutationLogOverflow` when the
+        capped log has already evicted records the caller would need —
+        the caller must fall back to a fresh snapshot.
+        """
+        with self._cache_lock:
+            if seq > self.version:
+                raise MutationLogOverflow(
+                    f"seq {seq} is ahead of version {self.version}"
+                )
+            if seq == self.version:
+                return []
+            records = [r for r in self._mutation_log if r.seq > seq]
+            if not records or records[0].seq != seq + 1:
+                raise MutationLogOverflow(
+                    f"mutations after seq {seq} have been evicted "
+                    f"(log starts at "
+                    f"{records[0].seq if records else self.version + 1})"
+                )
+            return records
+
+    def apply_mutation(self, record: MutationRecord) -> None:
+        """Replay one logged mutation from another node onto this one."""
+        if record.op == "assertz":
+            assert record.clause is not None
+            self.add_clause(record.clause, module=record.module)
+        elif record.op == "asserta":
+            assert record.clause is not None
+            self.asserta(record.clause, module=record.module)
+        elif record.op == "retract":
+            assert record.clause is not None
+            self.remove_exact(record.clause)
+        else:
+            raise MutationLogOverflow(
+                f"mutation op {record.op!r} is not incrementally "
+                "replayable; take a fresh snapshot"
+            )
+
+    def remove_exact(self, clause: Clause) -> bool:
+        """Remove the first structurally identical clause (replica replay)."""
+        try:
+            targets = self.router.route_goal(clause.head)
+        except UnknownPredicateError:
+            return False
+        for shard_id in targets:
+            shard = self.shards[shard_id]
+            with shard.lock:
+                removed = shard.kb.remove_exact(clause)
+                if removed:
+                    self._bump_version(op="retract", clause=clause)
+            if removed:
+                return True
+        return False
+
+    def adopt_kb(self, kb: KnowledgeBase) -> None:
+        """Replace a single-shard node's knowledge base (snapshot restore).
+
+        Builds a fresh engine over ``kb``, registers every clause's
+        placement with the router, and swaps both in under the shard
+        lock.  Logged as a ``reload`` — readers of the mutation log
+        cannot replay across an adoption and must re-snapshot.  Only
+        single-shard servers (cluster *nodes*) adopt: on a multi-shard
+        server the clauses' hash placement need not be the adopted
+        shard, and the router would record a lie.
+        """
+        if self.num_shards != 1:
+            raise ValueError("adopt_kb is for single-shard nodes only")
+        shard = self.shards[0]
+        shard_obs = self.obs.labelled(shard="0")
+        kb.disk.obs = shard_obs
+        server = ClauseRetrievalServer(
+            kb,
+            cost_model=self._cost_model,
+            cross_binding=self._cross_binding,
+            cache_size=0,
+            obs=shard_obs,
+            fs1_mode=self._fs1_mode,
+            fs2_mode=self._fs2_mode,
+        )
+        for store in kb:
+            for clause in store.clauses():
+                self.router.route_clause(clause.head)
+        with shard.lock:
+            shard.kb = kb
+            shard.server = server
+            self._bump_version(op="reload")
 
     # -- retrieval -----------------------------------------------------------
 

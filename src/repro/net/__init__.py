@@ -8,7 +8,14 @@ asyncio front-end with admission control and deadlines, and ``client``
 holds the pooled sync and async clients with retry/backoff.
 """
 
-from .client import AsyncRetrievalClient, BackoffPolicy, ConnectError, RetrievalClient
+from .client import (
+    AddressHealth,
+    AsyncRetrievalClient,
+    BackoffPolicy,
+    ConnectError,
+    FailoverClient,
+    RetrievalClient,
+)
 from .protocol import (
     DEFAULT_MAX_FRAME_BYTES,
     DeadlineExceeded,
@@ -19,10 +26,12 @@ from .protocol import (
     RemoteError,
     ServerBusy,
     ServerDraining,
+    StaleManifest,
 )
 from .server import BackgroundService, RetrievalService
 
 __all__ = [
+    "AddressHealth",
     "AsyncRetrievalClient",
     "BackgroundService",
     "BackoffPolicy",
@@ -30,6 +39,7 @@ __all__ = [
     "DEFAULT_MAX_FRAME_BYTES",
     "DeadlineExceeded",
     "ErrorCode",
+    "FailoverClient",
     "FrameType",
     "NetError",
     "ProtocolError",
@@ -38,4 +48,5 @@ __all__ = [
     "RetrievalService",
     "ServerBusy",
     "ServerDraining",
+    "StaleManifest",
 ]

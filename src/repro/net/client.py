@@ -35,7 +35,7 @@ from dataclasses import dataclass
 from ..crs import RetrievalResult, SearchMode
 from ..obs import Instrumentation
 from ..obs import get_default as _default_obs
-from ..terms import Term
+from ..terms import Clause, Term, clause_from_term
 from . import protocol
 from .protocol import (
     DEFAULT_MAX_FRAME_BYTES,
@@ -46,7 +46,14 @@ from .protocol import (
     ServerDraining,
 )
 
-__all__ = ["BackoffPolicy", "ConnectError", "RetrievalClient", "AsyncRetrievalClient"]
+__all__ = [
+    "BackoffPolicy",
+    "ConnectError",
+    "RetrievalClient",
+    "AsyncRetrievalClient",
+    "AddressHealth",
+    "FailoverClient",
+]
 
 
 class ConnectError(protocol.NetError):
@@ -88,6 +95,19 @@ def _deadline_ms(deadline: float | None) -> int:
 
 
 _RETRYABLE = (ServerBusy, ServerDraining, ConnectError, ConnectionError, OSError)
+
+#: What a *mutation* may be retried on.  A connection that dropped after
+#: the request was sent leaves the server's state unknown — retrying an
+#: assert there could apply it twice — so only rejections that provably
+#: happened before any state change (busy, draining) and failures to
+#: connect at all are safe to retry.
+_MUTATION_RETRYABLE = (ServerBusy, ServerDraining, ConnectError)
+
+
+def _as_clause(clause_or_term: Clause | Term) -> Clause:
+    if isinstance(clause_or_term, Clause):
+        return clause_or_term
+    return clause_from_term(clause_or_term)
 
 
 class _ClientCore:
@@ -366,6 +386,77 @@ class RetrievalClient:
             else:
                 conn.close()
 
+    def mutate(
+        self,
+        op: str,
+        clause_or_term: Clause | Term,
+        module: str = "user",
+        *,
+        manifest_version: int = 0,
+        deadline_s: float | None = None,
+    ) -> tuple[int, bool, Clause | None]:
+        """One assert/retract on the server; returns
+        ``(engine version, applied, removed clause)``.
+
+        Only busy/draining rejections and *connect* failures are retried
+        — a drop after the frame was sent leaves the mutation's fate
+        unknown, and retrying could apply it twice.  Callers that need
+        at-least-once across drops (the fleet's replicated writes) track
+        acknowledgements themselves.
+        """
+        clause = _as_clause(clause_or_term)
+        deadline = None if deadline_s is None else time.monotonic() + deadline_s
+        frame = self._request_with_retries(
+            FrameType.REQ_MUTATE,
+            lambda: protocol.encode_mutate_request(
+                op, clause, module, manifest_version, _deadline_ms(deadline)
+            ),
+            deadline,
+            retryable=_MUTATION_RETRYABLE,
+        )
+        self._expect(frame, FrameType.RESP_MUTATED)
+        return protocol.decode_mutated_response(frame.payload)
+
+    def assertz(
+        self, clause_or_term: Clause | Term, module: str = "user", **kwargs
+    ) -> int:
+        """Append a clause; returns the server's new engine version."""
+        version, _, _ = self.mutate("assertz", clause_or_term, module, **kwargs)
+        return version
+
+    def asserta(
+        self, clause_or_term: Clause | Term, module: str = "user", **kwargs
+    ) -> int:
+        """Prepend a clause; returns the server's new engine version."""
+        version, _, _ = self.mutate("asserta", clause_or_term, module, **kwargs)
+        return version
+
+    def retract(
+        self, clause_or_term: Clause | Term, **kwargs
+    ) -> Clause | None:
+        """Remove the first unifying clause; returns the one removed."""
+        _, _, removed = self.mutate("retract", clause_or_term, **kwargs)
+        return removed
+
+    def retract_exact(
+        self, clause_or_term: Clause | Term, **kwargs
+    ) -> bool:
+        """Remove a structurally identical clause (replication replay)."""
+        _, applied, _ = self.mutate("retract_exact", clause_or_term, **kwargs)
+        return applied
+
+    def manifest(self):
+        """The node's current cluster manifest (a ``ClusterManifest``)."""
+        from ..cluster.manifest import ClusterManifest
+
+        frame = self._request_with_retries(
+            FrameType.REQ_MANIFEST, lambda: b"", None
+        )
+        self._expect(frame, FrameType.RESP_MANIFEST)
+        return ClusterManifest.from_json(
+            protocol.decode_manifest_response(frame.payload)
+        )
+
     def ping(self) -> bool:
         frame = self._request_with_retries(
             FrameType.REQ_PING, lambda: b"", None
@@ -403,7 +494,11 @@ class RetrievalClient:
             )
 
     def _request_with_retries(
-        self, frame_type: FrameType, make_payload, deadline: float | None
+        self,
+        frame_type: FrameType,
+        make_payload,
+        deadline: float | None,
+        retryable: tuple = _RETRYABLE,
     ) -> protocol.Frame:
         core = self._core
         attempt = 0
@@ -411,7 +506,7 @@ class RetrievalClient:
             core.check_budget(deadline)
             try:
                 return self._attempt(frame_type, make_payload(), deadline)
-            except _RETRYABLE as exc:
+            except retryable as exc:
                 if attempt >= core.backoff.max_retries:
                     raise
                 if isinstance(exc, ServerBusy):
@@ -764,3 +859,266 @@ class AsyncRetrievalClient:
             self._idle.append(conn)
             return
         conn.close()
+
+
+# -- replica failover ---------------------------------------------------------
+
+
+@dataclass
+class AddressHealth:
+    """One address's recent behaviour, as seen by a failover client.
+
+    Health is *per address*: a SERVER_BUSY from one replica quarantines
+    only that replica, never its siblings — before this bookkeeping
+    existed, the pooled client's retry counter conflated "this replica
+    is busy" with "the service is busy" and a single overloaded replica
+    masked perfectly healthy ones.
+    """
+
+    consecutive_failures: int = 0
+    busy_rejections: int = 0
+    quarantined_until: float = 0.0
+
+    def note_success(self) -> None:
+        self.consecutive_failures = 0
+        self.quarantined_until = 0.0
+
+    def note_busy(self, now: float, penalty_s: float) -> None:
+        """A busy rejection: short quarantine, no failure escalation."""
+        self.busy_rejections += 1
+        self.quarantined_until = max(
+            self.quarantined_until, now + penalty_s
+        )
+
+    def note_failure(self, now: float, base_s: float, cap_s: float) -> None:
+        """A transport failure: exponentially growing quarantine."""
+        self.consecutive_failures += 1
+        penalty = min(
+            cap_s, base_s * (2.0 ** (self.consecutive_failures - 1))
+        )
+        self.quarantined_until = max(self.quarantined_until, now + penalty)
+
+    def available(self, now: float) -> bool:
+        return now >= self.quarantined_until
+
+
+def _split_address(address: str) -> tuple[str, int]:
+    host, _, port = address.rpartition(":")
+    if not host or not port.isdigit():
+        raise ValueError(f"address must be host:port, got {address!r}")
+    return host, int(port)
+
+
+class FailoverClient:
+    """Reads with failover across a replica group's addresses.
+
+    Wraps one single-attempt :class:`RetrievalClient` per address and
+    owns the retry loop itself: an attempt pass walks the addresses
+    healthy-first (preserving the given order among equally healthy
+    replicas), *moving to the next address immediately* on busy,
+    draining, connect, or drop failures — the backoff sleep happens only
+    after a full pass found no willing replica.  That is the difference
+    between same-target retry (PR 5's client) and true failover: a dead
+    or busy replica costs one probe, not a retry budget.
+
+    Non-transport answers (wrong-predicate errors, stale-manifest
+    rejections, deadline expiry) surface immediately — another replica
+    would answer the same.
+    """
+
+    def __init__(
+        self,
+        addresses: list[str] | tuple[str, ...],
+        *,
+        backoff: BackoffPolicy | None = None,
+        busy_penalty_s: float = 0.05,
+        failure_penalty_s: float = 0.1,
+        failure_penalty_cap_s: float = 2.0,
+        connect_timeout_s: float | None = 5.0,
+        request_timeout_s: float | None = 30.0,
+        pool_size: int = 2,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+        obs: Instrumentation | None = None,
+        rng: random.Random | None = None,
+        sleep=time.sleep,
+        clock=time.monotonic,
+    ):
+        if not addresses:
+            raise ValueError("a failover client needs at least one address")
+        self.backoff = backoff if backoff is not None else BackoffPolicy()
+        self.busy_penalty_s = busy_penalty_s
+        self.failure_penalty_s = failure_penalty_s
+        self.failure_penalty_cap_s = failure_penalty_cap_s
+        self.obs = obs if obs is not None else _default_obs()
+        self.rng = rng if rng is not None else random.Random()
+        self._sleep = sleep
+        self._clock = clock
+        self._client_options = dict(
+            pool_size=pool_size,
+            # Inner clients never retry: one call is one attempt, and
+            # this class decides where the *next* attempt goes.
+            backoff=BackoffPolicy(max_retries=0),
+            connect_timeout_s=connect_timeout_s,
+            request_timeout_s=request_timeout_s,
+            max_frame_bytes=max_frame_bytes,
+            obs=obs,
+            rng=rng,
+        )
+        self._addresses: list[str] = []
+        self._clients: dict[str, RetrievalClient] = {}
+        self._health: dict[str, AddressHealth] = {}
+        self._lock = threading.Lock()
+        self.set_addresses(list(addresses))
+
+    # -- membership ----------------------------------------------------------
+
+    @property
+    def addresses(self) -> tuple[str, ...]:
+        with self._lock:
+            return tuple(self._addresses)
+
+    def set_addresses(self, addresses: list[str]) -> None:
+        """Adopt a new replica set (manifest flip): keep shared health
+        and pooled connections for surviving addresses, drop the rest."""
+        if not addresses:
+            raise ValueError("a failover client needs at least one address")
+        with self._lock:
+            stale = set(self._clients) - set(addresses)
+            for address in addresses:
+                if address not in self._clients:
+                    host, port = _split_address(address)
+                    self._clients[address] = RetrievalClient(
+                        host, port, **self._client_options
+                    )
+                    self._health.setdefault(address, AddressHealth())
+            dropped = [self._clients.pop(a) for a in stale]
+            self._addresses = list(addresses)
+        for client in dropped:
+            client.close()
+
+    def client_for(self, address: str) -> RetrievalClient:
+        """Direct (non-failover) access to one replica's pooled client."""
+        with self._lock:
+            return self._clients[address]
+
+    def health_of(self, address: str) -> AddressHealth:
+        with self._lock:
+            return self._health[address]
+
+    # -- public API ----------------------------------------------------------
+
+    def retrieve(
+        self,
+        goal: Term,
+        mode: SearchMode | None = None,
+        deadline_s: float | None = None,
+    ) -> RetrievalResult:
+        deadline = None if deadline_s is None else time.monotonic() + deadline_s
+        return self._with_failover(
+            lambda client, remaining: client.retrieve(
+                goal, mode=mode, deadline_s=remaining
+            ),
+            deadline,
+        )
+
+    def retrieve_batch(
+        self,
+        goals: list[Term],
+        mode: SearchMode | None = None,
+        deadline_s: float | None = None,
+    ) -> list[RetrievalResult]:
+        deadline = None if deadline_s is None else time.monotonic() + deadline_s
+        return self._with_failover(
+            lambda client, remaining: client.retrieve_batch(
+                goals, mode=mode, deadline_s=remaining
+            ),
+            deadline,
+        )
+
+    def manifest(self):
+        """The freshest manifest any replica will serve."""
+        return self._with_failover(
+            lambda client, remaining: client.manifest(), None
+        )
+
+    def close(self) -> None:
+        with self._lock:
+            clients, self._clients = dict(self._clients), {}
+            self._addresses = []
+        for client in clients.values():
+            client.close()
+
+    def __enter__(self) -> "FailoverClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- the failover loop ---------------------------------------------------
+
+    def _ordered_addresses(self) -> list[str]:
+        """Candidate order for one pass: available first, in the replica
+        order given; quarantined ones after, soonest-recovering first —
+        they are still *tried* when nothing healthier answers."""
+        now = self._clock()
+        with self._lock:
+            addresses = list(self._addresses)
+            health = {a: self._health[a] for a in addresses}
+        available = [a for a in addresses if health[a].available(now)]
+        quarantined = sorted(
+            (a for a in addresses if not health[a].available(now)),
+            key=lambda a: health[a].quarantined_until,
+        )
+        return available + quarantined
+
+    def _with_failover(self, call, deadline: float | None):
+        attempt = 0
+        while True:
+            remaining = _remaining(deadline)
+            if remaining is not None and remaining <= 0:
+                raise DeadlineExceeded("deadline expired between attempts")
+            last_exc: Exception | None = None
+            for address in self._ordered_addresses():
+                try:
+                    client = self.client_for(address)
+                except KeyError:
+                    continue  # membership changed under us
+                try:
+                    result = call(client, _remaining(deadline))
+                except ServerBusy as exc:
+                    # Penalise *this* address only and probe the next
+                    # replica immediately — no backoff sleep yet.
+                    self.health_of(address).note_busy(
+                        self._clock(), self.busy_penalty_s
+                    )
+                    self.obs.counter(
+                        "net.failover.busy", address=address
+                    ).inc()
+                    last_exc = exc
+                except (
+                    ServerDraining, ConnectError, ConnectionError, OSError
+                ) as exc:
+                    self.health_of(address).note_failure(
+                        self._clock(),
+                        self.failure_penalty_s,
+                        self.failure_penalty_cap_s,
+                    )
+                    self.obs.counter(
+                        "net.failover.errors", address=address
+                    ).inc()
+                    last_exc = exc
+                else:
+                    self.health_of(address).note_success()
+                    return result
+            if attempt >= self.backoff.max_retries:
+                assert last_exc is not None
+                raise last_exc
+            delay = self.backoff.delay(attempt, self.rng)
+            remaining = _remaining(deadline)
+            if remaining is not None:
+                if remaining <= 0:
+                    raise DeadlineExceeded("deadline expired between attempts")
+                delay = min(delay, remaining)
+            self.obs.counter("net.failover.passes").inc()
+            self._sleep(delay)
+            attempt += 1

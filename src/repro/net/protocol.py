@@ -57,6 +57,7 @@ __all__ = [
     "ServerBusy",
     "ServerDraining",
     "DeadlineExceeded",
+    "StaleManifest",
     "RemoteError",
     "encode_frame",
     "decode_header",
@@ -74,6 +75,12 @@ __all__ = [
     "decode_solution",
     "encode_solve_done",
     "decode_solve_done",
+    "encode_mutate_request",
+    "decode_mutate_request",
+    "encode_mutated_response",
+    "decode_mutated_response",
+    "encode_manifest_response",
+    "decode_manifest_response",
     "encode_error",
     "decode_error",
     "encode_stats_response",
@@ -98,12 +105,16 @@ class FrameType(IntEnum):
     REQ_STATS = 0x03
     REQ_PING = 0x04
     REQ_SOLVE = 0x05
+    REQ_MUTATE = 0x06
+    REQ_MANIFEST = 0x07
     RESP_RESULT = 0x11
     RESP_BATCH = 0x12
     RESP_STATS = 0x13
     RESP_PONG = 0x14
     RESP_SOLUTION = 0x15
     RESP_SOLVE_DONE = 0x16
+    RESP_MUTATED = 0x17
+    RESP_MANIFEST = 0x18
     RESP_ERROR = 0x1F
 
 
@@ -116,6 +127,7 @@ class ErrorCode(IntEnum):
     INTERNAL = 6
     RESOURCE_EXHAUSTED = 7
     RESOLUTION_ERROR = 8
+    STALE_MANIFEST = 9
 
 
 class ProtocolError(ValueError):
@@ -136,6 +148,15 @@ class ServerDraining(NetError):
 
 class DeadlineExceeded(NetError):
     """The request's deadline expired (in queue, in flight, or client-side)."""
+
+
+class StaleManifest(NetError):
+    """The request was tagged with an out-of-date cluster manifest version.
+
+    The message carries the node's current version as text; clients
+    re-fetch the manifest (``REQ_MANIFEST``) and re-route, rather than
+    applying a write against placement that no longer holds.
+    """
 
 
 class RemoteError(NetError):
@@ -547,6 +568,84 @@ def decode_solve_done(payload: bytes) -> tuple[int, bool, str]:
     return reader.u32(), reader.u8() == 1, reader.text()
 
 
+#: Mutation operations a ``REQ_MUTATE`` frame can carry.  ``retract``
+#: removes the first clause *unifying* with the template (and reports
+#: which); ``retract_exact`` removes only a structurally identical
+#: clause — the replication-safe form a client replays onto the other
+#: replicas after the first replica has chosen the victim.
+MUTATION_OPS = ("assertz", "asserta", "retract", "retract_exact")
+
+
+def encode_mutate_request(
+    op: str,
+    clause: Clause,
+    module: str = "user",
+    manifest_version: int = 0,
+    deadline_ms: int = 0,
+) -> bytes:
+    """A ``REQ_MUTATE`` payload.  ``manifest_version`` is the placement
+    the client routed under; 0 means "unversioned" (single-node use) and
+    is never rejected as stale."""
+    if op not in MUTATION_OPS:
+        raise ValueError(f"unknown mutation op {op!r}")
+    encoder = PayloadEncoder()
+    encoder.body.u8(MUTATION_OPS.index(op))
+    encoder.body.u32(max(0, manifest_version))
+    encoder.body.u32(max(0, deadline_ms))
+    encoder.body.text(module)
+    encoder.clause(clause)
+    return encoder.finish()
+
+
+def decode_mutate_request(payload: bytes) -> tuple[str, Clause, str, int, int]:
+    decoder = PayloadDecoder(payload)
+    op_index = decoder.body.u8()
+    if op_index >= len(MUTATION_OPS):
+        raise ProtocolError(f"unknown mutation op index {op_index}")
+    manifest_version = decoder.body.u32()
+    deadline_ms = decoder.body.u32()
+    module = decoder.body.text()
+    clause = decoder.clause()
+    return MUTATION_OPS[op_index], clause, module, manifest_version, deadline_ms
+
+
+def encode_mutated_response(
+    version: int, applied: bool, removed: Clause | None = None
+) -> bytes:
+    """A ``RESP_MUTATED`` payload: the engine's post-mutation version,
+    whether anything changed (retracts can miss), and — for unifying
+    retracts — the exact clause removed, so the client can replay it
+    verbatim on the remaining replicas."""
+    encoder = PayloadEncoder()
+    encoder.body.u64(version)
+    encoder.body.u8(1 if applied else 0)
+    encoder.body.u8(1 if removed is not None else 0)
+    if removed is not None:
+        encoder.clause(removed)
+    return encoder.finish()
+
+
+def decode_mutated_response(payload: bytes) -> tuple[int, bool, Clause | None]:
+    decoder = PayloadDecoder(payload)
+    version = decoder.body.u64()
+    applied = decoder.body.u8() == 1
+    removed = decoder.clause() if decoder.body.u8() == 1 else None
+    return version, applied, removed
+
+
+def encode_manifest_response(manifest_json: str) -> bytes:
+    """A ``RESP_MANIFEST`` payload: the node's current cluster manifest
+    as JSON (see :meth:`repro.cluster.ClusterManifest.to_json`)."""
+    return manifest_json.encode("utf-8")
+
+
+def decode_manifest_response(payload: bytes) -> str:
+    try:
+        return payload.decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise ProtocolError(f"corrupt manifest payload: {exc}") from None
+
+
 # -- response payloads --------------------------------------------------------
 
 
@@ -618,6 +717,8 @@ def error_to_exception(code: ErrorCode, message: str) -> Exception:
         return ResourceError(message)
     if code is ErrorCode.RESOLUTION_ERROR:
         return PrologError(message)
+    if code is ErrorCode.STALE_MANIFEST:
+        return StaleManifest(message)
     return RemoteError(f"{code.name}: {message}")
 
 
@@ -636,6 +737,8 @@ def exception_to_error(exc: BaseException) -> tuple[ErrorCode, str]:
         return ErrorCode.RESOURCE_EXHAUSTED, str(exc)
     if isinstance(exc, PrologError):
         return ErrorCode.RESOLUTION_ERROR, str(exc)
+    if isinstance(exc, StaleManifest):
+        return ErrorCode.STALE_MANIFEST, str(exc)
     if isinstance(exc, (ProtocolError, ValueError, KeyError)):
         return ErrorCode.BAD_REQUEST, str(exc)
     return ErrorCode.INTERNAL, f"{type(exc).__name__}: {exc}"

@@ -68,8 +68,13 @@ class RetrievalService:
         default_deadline_s: float | None = None,
         max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
         obs: Instrumentation | None = None,
+        manifest_holder=None,
     ):
         self.engine = engine
+        #: optional :class:`~repro.cluster.ManifestHolder`; when set,
+        #: ``REQ_MANIFEST`` serves its JSON and versioned mutations are
+        #: checked against it (stale placement => ``STALE_MANIFEST``).
+        self.manifest_holder = manifest_holder
         self.host = host
         self.port = port
         self.max_in_flight = max_in_flight
@@ -142,6 +147,35 @@ class RetrievalService:
         self._executor.shutdown(wait=True)
         self._drained = True
         self.obs.counter("net.drains").inc()
+        self.obs.gauge("net.queue_depth").set(0)
+        self.obs.gauge("net.in_flight").set(0)
+
+    async def abort(self) -> None:
+        """Die abruptly: drop connections and in-flight work on the floor.
+
+        The crash-fault counterpart of :meth:`drain` (chaos testing,
+        emergency shutdown): nothing is completed, nothing is flushed —
+        clients see connection resets exactly as they would from a
+        killed process, and recover via failover.
+        """
+        if self._drained:
+            return
+        self._draining = True
+        self._drained = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for task in list(self._inflight):
+            task.cancel()
+        for writer in list(self._connections):
+            writer.close()
+        self._connections.clear()
+        # Let the per-connection reader tasks observe their closed
+        # transports and finish; torn down mid-read they would be
+        # cancelled by loop shutdown and spray tracebacks instead.
+        await asyncio.sleep(0.05)
+        self._executor.shutdown(wait=False, cancel_futures=True)
+        self.obs.counter("net.aborts").inc()
         self.obs.gauge("net.queue_depth").set(0)
         self.obs.gauge("net.in_flight").set(0)
 
@@ -219,9 +253,23 @@ class RetrievalService:
                 protocol.encode_stats_response(self.stats_snapshot()),
             )
             return
+        if frame_type is FrameType.REQ_MANIFEST:
+            if self.manifest_holder is None:
+                await self._send_error(
+                    writer, write_lock, request_id, ErrorCode.BAD_REQUEST,
+                    "this node serves no cluster manifest",
+                )
+                return
+            await self._send(
+                writer, write_lock, FrameType.RESP_MANIFEST, request_id,
+                protocol.encode_manifest_response(
+                    self.manifest_holder.current.to_json()
+                ),
+            )
+            return
         if frame_type not in (
             FrameType.REQ_RETRIEVE, FrameType.REQ_RETRIEVE_BATCH,
-            FrameType.REQ_SOLVE,
+            FrameType.REQ_SOLVE, FrameType.REQ_MUTATE,
         ):
             await self._send_error(
                 writer, write_lock, request_id, ErrorCode.BAD_REQUEST,
@@ -245,11 +293,12 @@ class RetrievalService:
         self._admitted += 1
         self.obs.counter("net.accepted").inc()
         self._update_load_gauges()
-        handler = (
-            self._serve_solve
-            if frame_type is FrameType.REQ_SOLVE
-            else self._serve_request
-        )
+        if frame_type is FrameType.REQ_SOLVE:
+            handler = self._serve_solve
+        elif frame_type is FrameType.REQ_MUTATE:
+            handler = self._serve_mutate
+        else:
+            handler = self._serve_request
         task = asyncio.create_task(
             handler(writer, write_lock, frame_type, request_id, payload)
         )
@@ -345,6 +394,111 @@ class RetrievalService:
                     writer, write_lock, FrameType.RESP_RESULT, request_id,
                     response,
                 )
+        finally:
+            self._admitted -= 1
+            self._handled += 1
+            self._update_load_gauges()
+            self.obs.histogram("net.request_ms").observe(
+                (time.monotonic() - started) * 1e3
+            )
+            if (
+                self.max_requests is not None
+                and self._handled >= self.max_requests
+            ):
+                self._done.set()
+
+    async def _serve_mutate(
+        self,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+        frame_type: FrameType,
+        request_id: int,
+        payload: bytes,
+    ) -> None:
+        """Apply one assert/retract against this node's engine.
+
+        A versioned request (``manifest_version != 0``) is rejected with
+        ``STALE_MANIFEST`` when it does not match the node's current
+        manifest — the client routed under placement that no longer
+        holds, and applying the write could land it on a replica set the
+        cluster has already moved away from.
+        """
+        started = time.monotonic()
+        try:
+            try:
+                op, clause, module, manifest_version, deadline_ms = (
+                    protocol.decode_mutate_request(payload)
+                )
+            except Exception as exc:
+                code, message = protocol.exception_to_error(
+                    exc if isinstance(exc, ProtocolError)
+                    else ProtocolError(f"undecodable request: {exc}")
+                )
+                await self._send_error(
+                    writer, write_lock, request_id, code, message
+                )
+                return
+            if self.manifest_holder is not None and manifest_version:
+                current = self.manifest_holder.version
+                if manifest_version != current:
+                    self.obs.counter("net.stale_manifest").inc()
+                    await self._send_error(
+                        writer, write_lock, request_id,
+                        ErrorCode.STALE_MANIFEST,
+                        f"request routed under manifest version "
+                        f"{manifest_version}; node is at {current}",
+                    )
+                    return
+            deadline = None
+            if deadline_ms:
+                deadline = started + deadline_ms / 1000.0
+            elif self.default_deadline_s is not None:
+                deadline = started + self.default_deadline_s
+
+            def work():
+                queue_wait_s = time.monotonic() - started
+                if deadline is not None and time.monotonic() >= deadline:
+                    raise DeadlineExceeded(
+                        f"deadline expired after {queue_wait_s * 1e3:.1f}"
+                        "ms in the accept queue"
+                    )
+                with self.obs.span(
+                    "net.mutate", op=op, request_id=request_id
+                ):
+                    removed = None
+                    if op == "assertz":
+                        self.engine.assertz(clause, module=module)
+                        applied = True
+                    elif op == "asserta":
+                        self.engine.asserta(clause, module=module)
+                        applied = True
+                    elif op == "retract":
+                        removed = self.engine.retract_matching(clause)
+                        applied = removed is not None
+                    else:  # retract_exact
+                        applied = self.engine.remove_exact(clause)
+                    return applied, removed
+
+            loop = asyncio.get_running_loop()
+            try:
+                applied, removed = await loop.run_in_executor(
+                    self._executor, work
+                )
+            except Exception as exc:
+                code, message = protocol.exception_to_error(exc)
+                if code is ErrorCode.DEADLINE_EXPIRED:
+                    self.obs.counter("net.deadline_expired").inc()
+                await self._send_error(
+                    writer, write_lock, request_id, code, message
+                )
+                return
+            self.obs.counter("net.mutations", op=op).inc()
+            await self._send(
+                writer, write_lock, FrameType.RESP_MUTATED, request_id,
+                protocol.encode_mutated_response(
+                    self.engine.version, applied, removed
+                ),
+            )
         finally:
             self._admitted -= 1
             self._handled += 1
@@ -538,6 +692,7 @@ class BackgroundService:
         self._loop: asyncio.AbstractEventLoop | None = None
         self._thread: threading.Thread | None = None
         self._startup_error: BaseException | None = None
+        self._abort = False
 
     def start(self, timeout: float = 10.0) -> tuple[str, int]:
         """Start the loop thread; returns the bound (host, port).
@@ -573,7 +728,10 @@ class BackgroundService:
             return
         self._ready.set()
         await self._stop.wait()
-        await self.service.drain()
+        if self._abort:
+            await self.service.abort()
+        else:
+            await self.service.drain()
 
     def stop(self, timeout: float = 30.0) -> None:
         """Drain the service and join the loop thread."""
@@ -585,6 +743,11 @@ class BackgroundService:
             except RuntimeError:
                 pass  # loop already closed
         self._thread.join(timeout)
+
+    def kill(self, timeout: float = 30.0) -> None:
+        """Crash the service: abort instead of drain, then join."""
+        self._abort = True
+        self.stop(timeout)
 
     def __enter__(self) -> "BackgroundService":
         self.start()

@@ -2,7 +2,7 @@
 
 from .kb import KnowledgeBase, PredicateStore, UnknownPredicateError
 from .module import DEFAULT_LARGE_THRESHOLD_BYTES, Module, Residency
-from .persist import PersistenceError, load_kb, save_kb
+from .persist import PersistenceError, kb_fingerprint, load_kb, save_kb
 
 __all__ = [
     "DEFAULT_LARGE_THRESHOLD_BYTES",
@@ -12,6 +12,7 @@ __all__ = [
     "PredicateStore",
     "Residency",
     "UnknownPredicateError",
+    "kb_fingerprint",
     "load_kb",
     "save_kb",
 ]

@@ -190,6 +190,30 @@ class KnowledgeBase:
                 return candidate
         return None
 
+    def remove_exact(self, clause: Clause) -> bool:
+        """Remove the first *structurally identical* clause, if present.
+
+        Replication replay needs this instead of :meth:`retract`: a
+        retract template unifies, so replaying it on a replica could
+        remove a *different* (more general) clause than the primary
+        removed.  Shipping the clause the primary actually removed and
+        matching it by structural equality keeps replicas byte-identical.
+        """
+        store = self._predicates.get(clause.indicator)
+        if store is None:
+            return False
+        existing = store.clauses()
+        for position, candidate in enumerate(existing):
+            if candidate == clause:
+                fresh = ClauseFile(clause.indicator, self.symbols)
+                for keep in existing[:position] + existing[position + 1 :]:
+                    fresh.append(keep)
+                store.clause_file = fresh
+                store.invalidate_index()
+                self.version += 1
+                return True
+        return False
+
     # -- access -----------------------------------------------------------------
 
     def predicates(self) -> list[tuple[str, int]]:

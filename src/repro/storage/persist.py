@@ -22,7 +22,7 @@ from ..pif import ClauseFile, CompiledClause, SymbolTable
 from ..scw import CodewordScheme
 from .kb import KnowledgeBase, PredicateStore
 
-__all__ = ["save_kb", "load_kb", "PersistenceError"]
+__all__ = ["save_kb", "load_kb", "kb_fingerprint", "PersistenceError"]
 
 _MANIFEST = "manifest.txt"
 _SYMBOLS = "symbols.bin"
@@ -165,6 +165,24 @@ def load_kb(directory: str | pathlib.Path) -> KnowledgeBase:
         kb._predicates[indicator] = store
         kb.module(module_name).add_procedure(indicator)
     return kb
+
+
+def kb_fingerprint(kb: KnowledgeBase) -> dict[str, list[str]]:
+    """A content fingerprint: predicate → its clauses as strings, in order.
+
+    Two knowledge bases with equal fingerprints answer every retrieval
+    identically (same clause population, same within-predicate order).
+    Migration and replica-resync tests compare fingerprints to prove a
+    snapshot + catch-up delta reconstructed the source exactly; the
+    string form makes mismatches directly readable in assertion diffs.
+    """
+    fingerprint: dict[str, list[str]] = {}
+    for store in kb:
+        name, arity = store.indicator
+        fingerprint[f"{name}/{arity}"] = [
+            str(clause) for clause in store.clauses()
+        ]
+    return fingerprint
 
 
 def _clause_file_from_image(

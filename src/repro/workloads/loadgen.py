@@ -91,6 +91,8 @@ async def _run_loadgen_async(
     mode: SearchMode | None,
     deadline_s: float | None,
     max_retries: int,
+    clock=time.monotonic,
+    sleep=asyncio.sleep,
 ) -> LoadgenResult:
     result = LoadgenResult()
     # retries=0 by default: an open-loop driver wants SERVER_BUSY to
@@ -101,7 +103,7 @@ async def _run_loadgen_async(
 
     async def one(index: int) -> None:
         goal = goals[index % len(goals)]
-        begin = time.monotonic()
+        begin = clock()
         try:
             response = await client.retrieve(
                 goal, mode=mode, deadline_s=deadline_s
@@ -116,27 +118,27 @@ async def _run_loadgen_async(
             async with lock:
                 result.errors += 1
         else:
-            elapsed = time.monotonic() - begin
+            elapsed = clock() - begin
             async with lock:
                 result.ok += 1
                 result.latencies_s.append(elapsed)
                 result.candidates += len(response.candidates)
 
-    start = time.monotonic()
+    start = clock()
     total = max(1, int(qps * duration_s))
     inflight: set[asyncio.Task] = set()
     for index in range(total):
         departure = start + index / qps
-        delay = departure - time.monotonic()
+        delay = departure - clock()
         if delay > 0:
-            await asyncio.sleep(delay)
+            await sleep(delay)
         task = asyncio.create_task(one(index))
         inflight.add(task)
         task.add_done_callback(inflight.discard)
     if inflight:
         await asyncio.gather(*list(inflight), return_exceptions=True)
     result.offered = total
-    result.wall_clock_s = time.monotonic() - start
+    result.wall_clock_s = clock() - start
     await client.close()
     return result
 
@@ -151,12 +153,16 @@ def run_loadgen(
     mode: SearchMode | None = None,
     deadline_s: float | None = None,
     max_retries: int = 0,
+    clock=time.monotonic,
+    sleep=asyncio.sleep,
 ) -> LoadgenResult:
     """Drive the service open-loop at ``qps`` for ``duration_s`` seconds.
 
     ``goals`` are issued round-robin.  ``deadline_s`` is the per-request
     budget sent over the wire; ``max_retries`` is the client retry cap
     (0 so admission-control rejections surface as ``busy`` counts).
+    ``clock`` and ``sleep`` are injectable so tests can pace the arrival
+    schedule deterministically instead of asserting on real time.
     """
     if qps <= 0:
         raise ValueError("qps must be positive")
@@ -170,5 +176,7 @@ def run_loadgen(
             mode=mode,
             deadline_s=deadline_s,
             max_retries=max_retries,
+            clock=clock,
+            sleep=sleep,
         )
     )

@@ -111,3 +111,131 @@ def clause_heads(
         lambda args: Struct(functor, tuple(args)),
         st.lists(arg, min_size=arity, max_size=arity),
     )
+
+
+# -- cluster elasticity ------------------------------------------------------
+
+
+def addresses() -> st.SearchStrategy[str]:
+    """Distinct-looking ``host:port`` replica addresses."""
+    return st.builds(
+        lambda a, b, port: f"10.{a}.{b}.1:{port}",
+        st.integers(min_value=0, max_value=31),
+        st.integers(min_value=0, max_value=31),
+        st.integers(min_value=1024, max_value=65535),
+    )
+
+
+def manifests(
+    max_shards: int = 4, max_replicas: int = 3
+) -> "st.SearchStrategy":
+    """Valid :class:`~repro.cluster.ClusterManifest` placements.
+
+    Every shard gets at least one replica and no address is reused
+    anywhere in the manifest (the invariant the constructor enforces).
+    """
+    from repro.cluster import ClusterManifest
+    from repro.cluster.routing import ShardingPolicy
+
+    @st.composite
+    def build(draw):
+        num_shards = draw(st.integers(min_value=1, max_value=max_shards))
+        policy = draw(st.sampled_from([p.value for p in ShardingPolicy]))
+        version = draw(st.integers(min_value=0, max_value=1_000_000))
+        pool = draw(
+            st.lists(
+                addresses(),
+                min_size=num_shards,
+                max_size=num_shards * max_replicas,
+                unique=True,
+            )
+        )
+        replicas: dict[int, tuple[str, ...]] = {
+            shard: () for shard in range(num_shards)
+        }
+        # Deal the pool round-robin so every shard is non-empty.
+        for position, address in enumerate(pool):
+            shard = position % num_shards
+            replicas[shard] = replicas[shard] + (address,)
+        return ClusterManifest(
+            num_shards=num_shards,
+            policy=policy,
+            version=version,
+            replicas=replicas,
+        )
+
+    return build()
+
+
+def fault_schedules(
+    max_steps: int = 60,
+    num_shards: int = 2,
+    max_replicas: int = 2,
+    max_events: int = 6,
+) -> "st.SearchStrategy":
+    """Chaos fault schedules for :class:`tests.chaos.ChaosDriver`.
+
+    Generated schedules are *safe by construction*: a kill is only ever
+    followed (never preceded) by its restart, at most one replica of a
+    shard is down at a time, and migrations target live replicas — the
+    driver additionally skips any event whose precondition fails, so an
+    adversarial shrink cannot wedge the run.
+    """
+    from tests.chaos import FaultEvent
+
+    @st.composite
+    def build(draw):
+        events = []
+        down: dict[tuple[int, int], int] = {}  # (shard, replica) -> kill step
+        count = draw(st.integers(min_value=1, max_value=max_events))
+        step = 0
+        for _ in range(count):
+            step = draw(
+                st.integers(min_value=step + 1, max_value=step + 10)
+            )
+            if step >= max_steps:
+                break
+            shard = draw(st.integers(min_value=0, max_value=num_shards - 1))
+            replica = draw(
+                st.integers(min_value=0, max_value=max_replicas - 1)
+            )
+            if (shard, replica) in down:
+                events.append(
+                    FaultEvent(step=step, action="restart",
+                               shard=shard, replica=replica)
+                )
+                del down[(shard, replica)]
+                continue
+            action = draw(
+                st.sampled_from(["kill", "migrate", "slow", "none"])
+            )
+            if action == "kill" and not any(s == shard for s, _ in down):
+                events.append(
+                    FaultEvent(step=step, action="kill",
+                               shard=shard, replica=replica)
+                )
+                down[(shard, replica)] = step
+            elif action == "migrate" and not any(
+                s == shard for s, _ in down
+            ):
+                events.append(
+                    FaultEvent(step=step, action="migrate", shard=shard,
+                               replica=replica,
+                               announce=draw(st.booleans()))
+                )
+            elif action == "slow":
+                events.append(
+                    FaultEvent(step=step, action="slow", shard=shard,
+                               replica=replica, delay_s=0.005)
+                )
+        # Heal everything before the run ends so the final sweep sees a
+        # fully live fleet even if the driver's own heal pass changes.
+        for (shard, replica), kill_step in sorted(down.items()):
+            step += 1
+            events.append(
+                FaultEvent(step=step, action="restart",
+                           shard=shard, replica=replica)
+            )
+        return events
+
+    return build()

@@ -366,3 +366,37 @@ class TestNetCommands:
         assert "p99=" in summary
         thread.join(timeout=20)
         assert not thread.is_alive()
+
+    def test_client_assert_retract_and_manifest(self, program_file):
+        out, thread, port = self.serve_in_background(
+            program_file, extra_args=["--max-requests", "4"]
+        )
+        mutate_out = io.StringIO()
+        code = main(
+            ["client", "--port", str(port),
+             "--assert", "parent(zeus, ares)", "--manifest"],
+            out=mutate_out,
+        )
+        assert code == 0
+        text = mutate_out.getvalue()
+        assert "asserted parent(zeus, ares) (version" in text
+        # The serve instance publishes itself as a one-node cluster.
+        assert '"num_shards": 1' in text
+        assert f"127.0.0.1:{port}" in text
+
+        read_out = io.StringIO()
+        main(["client", "--port", str(port), "--goal", "parent(zeus, X)"],
+             out=read_out)
+        assert "parent(zeus,ares)." in read_out.getvalue()
+
+        retract_out = io.StringIO()
+        main(["client", "--port", str(port),
+              "--retract", "parent(zeus, ares)"], out=retract_out)
+        assert "retracted parent(zeus,ares). (version" in retract_out.getvalue()
+
+        again = io.StringIO()
+        main(["client", "--port", str(port),
+              "--retract", "parent(zeus, ares)"], out=again)
+        assert "retract parent(zeus, ares): false" in again.getvalue()
+        thread.join(timeout=20)
+        assert not thread.is_alive()

@@ -1,0 +1,142 @@
+"""Chaos/differential acceptance: the elastic cluster under faults.
+
+Each test runs :class:`tests.chaos.ChaosDriver` — seeded mixed traffic
+against a replicated fleet and a single-server oracle — under a fixed
+fault schedule, and holds the cluster to the contract:
+
+* **zero wrong answers** — every compared read matches the oracle
+  exactly, including reads served mid-failover and mid-migration;
+* **no lost acknowledged writes** — every assert the fleet acked is
+  present at the final sweep, on every predicate, fleet-wide;
+* **bounded unavailability** — transient errors (refused connections,
+  deadlines, un-acked writes) stay under 1% of operations *with*
+  retries in play.
+
+Schedules are deterministic (seeded rng, single-threaded driver), so a
+failure here replays identically under the same (schedule, seed) pair.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from tests.chaos import ChaosDriver, FaultEvent, chaos_program
+from tests.strategies import fault_schedules
+
+STEPS = 120
+
+
+def run_chaos(schedule, tmp_path, *, seed=0, steps=STEPS, **kwargs):
+    driver = ChaosDriver(
+        chaos_program(),
+        schedule,
+        seed=seed,
+        steps=steps,
+        workdir=tmp_path,
+        **kwargs,
+    )
+    return driver.run()
+
+
+def assert_contract(report):
+    assert report.wrong_answers == []
+    assert report.lost_writes == []
+    assert report.sweep_mismatches == []
+    assert report.error_rate < 0.01, report.summary()
+    assert report.ops == report.steps
+
+
+class TestSchedules:
+    def test_no_faults_baseline_is_exact(self, tmp_path):
+        report = run_chaos([], tmp_path, seed=7)
+        assert_contract(report)
+        assert report.errors == 0
+        assert report.faults_fired == {}
+
+    def test_kill_restart_churn(self, tmp_path):
+        """Schedule 1: replicas of both shards crash and come back."""
+        schedule = [
+            FaultEvent(step=10, action="kill", shard=0, replica=0),
+            FaultEvent(step=35, action="restart", shard=0, replica=0),
+            FaultEvent(step=50, action="kill", shard=1, replica=1),
+            FaultEvent(step=80, action="restart", shard=1, replica=1),
+            FaultEvent(step=90, action="kill", shard=0, replica=1),
+            FaultEvent(step=110, action="restart", shard=0, replica=1),
+        ]
+        report = run_chaos(schedule, tmp_path, seed=1)
+        assert_contract(report)
+        assert report.faults_fired["kill"] == 3
+        assert report.faults_fired["restart"] == 3
+
+    def test_double_live_migration(self, tmp_path):
+        """Schedule 2: both shards migrate mid-traffic — once with the
+        client discovering the flip via STALE_MANIFEST, once told."""
+        schedule = [
+            FaultEvent(step=20, action="migrate", shard=0, replica=0),
+            FaultEvent(
+                step=60, action="migrate", shard=1, replica=1, announce=True
+            ),
+            FaultEvent(step=90, action="migrate", shard=0, replica=1),
+        ]
+        report = run_chaos(schedule, tmp_path, seed=2)
+        assert_contract(report)
+        assert report.faults_fired["migrate"] == 3
+
+    def test_mixed_kill_slow_migrate(self, tmp_path):
+        """Schedule 3: a slowed replica, a crash, a migration, and a
+        late restart, all interleaved."""
+        schedule = [
+            FaultEvent(step=8, action="slow", shard=0, replica=0,
+                       delay_s=0.02),
+            FaultEvent(step=25, action="kill", shard=1, replica=0),
+            FaultEvent(step=45, action="migrate", shard=0, replica=1),
+            FaultEvent(step=70, action="restart", shard=1, replica=0),
+            FaultEvent(step=85, action="kill", shard=0, replica=0),
+            FaultEvent(step=105, action="restart", shard=0, replica=0),
+        ]
+        report = run_chaos(schedule, tmp_path, seed=3)
+        assert_contract(report)
+        for action in ("slow", "kill", "migrate", "restart"):
+            assert report.faults_fired.get(action, 0) >= 1, report.summary()
+
+    def test_same_schedule_same_seed_replays_identically(self, tmp_path):
+        schedule = [
+            FaultEvent(step=10, action="kill", shard=0, replica=0),
+            FaultEvent(step=30, action="restart", shard=0, replica=0),
+        ]
+        first = run_chaos(schedule, tmp_path / "a", seed=11, steps=40)
+        second = run_chaos(schedule, tmp_path / "b", seed=11, steps=40)
+        assert (first.reads, first.writes, first.retracts) == (
+            second.reads, second.writes, second.retracts
+        )
+        assert first.faults_fired == second.faults_fired
+
+
+class TestReportAccounting:
+    def test_availability_and_percentiles(self, tmp_path):
+        report = run_chaos([], tmp_path, seed=5, steps=30)
+        assert report.availability == 1.0 - report.error_rate
+        assert 0.0 <= report.latency_s(0.5) <= report.latency_s(0.99)
+        summary = report.summary()
+        assert "ops=30" in summary and "wrong=0" in summary
+
+    def test_unknown_fault_action_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault action"):
+            FaultEvent(step=0, action="explode")
+
+
+@pytest.mark.slow
+class TestGeneratedSchedules:
+    @settings(
+        max_examples=5,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(fault_schedules(max_steps=40))
+    def test_any_safe_schedule_upholds_the_contract(
+        self, tmp_path_factory, schedule
+    ):
+        workdir = tmp_path_factory.mktemp("chaos-hypothesis")
+        report = run_chaos(schedule, workdir, seed=13, steps=40)
+        assert report.wrong_answers == []
+        assert report.lost_writes == []
+        assert report.sweep_mismatches == []

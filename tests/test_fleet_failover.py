@@ -1,0 +1,191 @@
+"""Replica failover: per-address health, quarantine, and the busy-mask fix.
+
+The headline regression here: the pooled client used to count
+``SERVER_BUSY`` retries against a single retry budget with no notion of
+*which* address rejected, so one overloaded replica could exhaust the
+budget and mask its perfectly healthy siblings.  The
+:class:`~repro.net.FailoverClient` keeps an :class:`~repro.net.AddressHealth`
+per address and moves to the next replica immediately on a busy answer —
+the first test pins exactly that behaviour over real sockets.
+"""
+
+import random
+
+import pytest
+
+from repro.cluster import ShardedRetrievalServer
+from repro.net import (
+    AddressHealth,
+    BackgroundService,
+    BackoffPolicy,
+    FailoverClient,
+    RetrievalService,
+    ServerBusy,
+)
+from repro.net import protocol
+from repro.net.protocol import ErrorCode, FrameType
+from repro.obs import Instrumentation
+from repro.terms import read_term
+from tests.test_net_client_faults import ScriptedServer, read_request
+
+
+def small_engine():
+    engine = ShardedRetrievalServer(1)
+    engine.consult_text("p(a). p(b). p(c).")
+    return engine
+
+
+def always_busy(conn):
+    """Answer every request on the connection with SERVER_BUSY."""
+    try:
+        while True:
+            _, request_id, _ = read_request(conn)
+            conn.sendall(
+                protocol.encode_frame(
+                    FrameType.RESP_ERROR,
+                    request_id,
+                    protocol.encode_error(
+                        ErrorCode.SERVER_BUSY, "scripted busy"
+                    ),
+                )
+            )
+    except (ConnectionError, OSError):
+        return
+
+
+def failover_client(addresses, **kwargs):
+    sleeps = []
+    kwargs.setdefault("rng", random.Random(0))
+    kwargs.setdefault("sleep", sleeps.append)
+    client = FailoverClient(addresses, **kwargs)
+    return client, sleeps
+
+
+class TestAddressHealth:
+    def test_busy_never_escalates_failures(self):
+        health = AddressHealth()
+        for _ in range(10):
+            health.note_busy(now=100.0, penalty_s=0.05)
+        assert health.consecutive_failures == 0
+        assert health.busy_rejections == 10
+        assert health.quarantined_until == pytest.approx(100.05)
+
+    def test_failures_quarantine_exponentially_with_cap(self):
+        health = AddressHealth()
+        health.note_failure(now=0.0, base_s=0.1, cap_s=2.0)
+        assert health.quarantined_until == pytest.approx(0.1)
+        for _ in range(10):
+            health.note_failure(now=0.0, base_s=0.1, cap_s=2.0)
+        assert health.quarantined_until == pytest.approx(2.0)  # capped
+
+    def test_success_resets(self):
+        health = AddressHealth()
+        health.note_failure(now=0.0, base_s=0.1, cap_s=2.0)
+        health.note_success()
+        assert health.consecutive_failures == 0
+        assert health.available(now=0.0)
+
+
+class TestBusyReplicaDoesNotMaskHealthyOne:
+    def test_busy_first_replica_fails_over_without_backoff(self):
+        """Regression: one busy replica must cost one probe, not a retry
+        budget — the healthy sibling answers on the same pass, with no
+        backoff sleep and no error surfaced."""
+        obs = Instrumentation(enabled=True)
+        service = RetrievalService(small_engine(), obs=obs)
+        with ScriptedServer(always_busy) as busy_node:
+            with BackgroundService(service) as background:
+                host, port = background.start()
+                healthy = f"{host}:{port}"
+                busy = f"{busy_node.host}:{busy_node.port}"
+                client, sleeps = failover_client(
+                    [busy, healthy], obs=obs,
+                    backoff=BackoffPolicy(max_retries=2),
+                )
+                with client:
+                    result = client.retrieve(read_term("p(X)."))
+        assert len(result.candidates) == 3
+        assert sleeps == []  # same-pass failover, no backoff sleep
+        health = client.health_of(busy)
+        assert health.busy_rejections >= 1
+        assert client.health_of(healthy).busy_rejections == 0
+        assert obs.registry.total("net.failover.busy") >= 1
+
+    def test_busy_replica_is_deprioritised_on_the_next_call(self):
+        """After a busy answer the quarantined replica drops to the back
+        of the candidate order while the penalty lasts."""
+        service = RetrievalService(small_engine())
+        with ScriptedServer(always_busy) as busy_node:
+            with BackgroundService(service) as background:
+                host, port = background.start()
+                healthy = f"{host}:{port}"
+                busy = f"{busy_node.host}:{busy_node.port}"
+                # Frozen clock: the busy quarantine can never expire
+                # mid-test, so the candidate order is deterministic.
+                client, _ = failover_client(
+                    [busy, healthy], clock=lambda: 0.0
+                )
+                with client:
+                    client.retrieve(read_term("p(X)."))
+                    assert client._ordered_addresses()[0] == healthy
+                    # Second call goes straight to the healthy node: the
+                    # busy node's connection count must not grow.
+                    before = busy_node.connections
+                    client.retrieve(read_term("p(X)."))
+                    assert busy_node.connections == before
+
+    def test_all_replicas_busy_surfaces_server_busy(self):
+        with ScriptedServer(always_busy, always_busy) as node:
+            address = f"{node.host}:{node.port}"
+            client, sleeps = failover_client(
+                [address], backoff=BackoffPolicy(max_retries=1),
+            )
+            with client:
+                with pytest.raises(ServerBusy):
+                    client.retrieve(read_term("p(X)."))
+        assert len(sleeps) == 1  # one full failed pass -> one backoff
+
+
+class TestDeadReplicaFailover:
+    def test_connect_refused_fails_over_same_pass(self):
+        service = RetrievalService(small_engine())
+        with BackgroundService(service) as background:
+            host, port = background.start()
+            # A port nothing listens on: immediate ECONNREFUSED.
+            probe = ScriptedServer()
+            probe.close()
+            dead = f"{probe.host}:{probe.port}"
+            healthy = f"{host}:{port}"
+            client, sleeps = failover_client([dead, healthy])
+            with client:
+                result = client.retrieve(read_term("p(X)."))
+        assert len(result.candidates) == 3
+        assert sleeps == []
+        assert client.health_of(dead).consecutive_failures >= 1
+
+    def test_set_addresses_preserves_health_of_survivors(self):
+        probe = ScriptedServer()
+        probe.close()
+        dead = f"{probe.host}:{probe.port}"
+        client, _ = failover_client([dead])
+        try:
+            with pytest.raises(Exception):
+                client.retrieve(read_term("p(X)."), deadline_s=0.5)
+            failures = client.health_of(dead).consecutive_failures
+            assert failures >= 1
+            client.set_addresses([dead, "127.0.0.1:1"])
+            assert client.health_of(dead).consecutive_failures == failures
+        finally:
+            client.close()
+
+    def test_empty_membership_rejected(self):
+        with pytest.raises(ValueError):
+            FailoverClient([])
+        client, _ = failover_client(["127.0.0.1:1"])
+        with client:
+            with pytest.raises(ValueError):
+                client.set_addresses([])
+
+    def test_malformed_address_rejected(self):
+        with pytest.raises(ValueError):
+            FailoverClient(["no-port-here"])

@@ -1,0 +1,180 @@
+"""Cluster manifest: validation, evolution, CAS flips, serialisation."""
+
+import json
+import threading
+
+import pytest
+from hypothesis import given, settings
+
+from repro.cluster import (
+    ClusterManifest,
+    ManifestError,
+    ManifestHolder,
+    ManifestVersionError,
+)
+from tests.strategies import manifests
+
+
+def two_shard_manifest() -> ClusterManifest:
+    return ClusterManifest(
+        num_shards=2,
+        policy="predicate",
+        version=1,
+        replicas={0: ("a:1", "b:2"), 1: ("c:3", "d:4")},
+    )
+
+
+class TestValidation:
+    def test_shard_id_out_of_range_rejected(self):
+        with pytest.raises(ManifestError):
+            ClusterManifest(
+                num_shards=2, policy="predicate", replicas={2: ("a:1",)}
+            )
+
+    def test_duplicate_replica_address_rejected(self):
+        with pytest.raises(ManifestError):
+            ClusterManifest(
+                num_shards=1, policy="predicate",
+                replicas={0: ("a:1", "a:1")},
+            )
+
+    def test_negative_version_rejected(self):
+        with pytest.raises(ManifestError):
+            ClusterManifest(num_shards=1, policy="predicate", version=-1)
+
+    def test_zero_shards_rejected(self):
+        with pytest.raises(ManifestError):
+            ClusterManifest(num_shards=0, policy="predicate")
+
+    def test_lists_normalised_to_tuples(self):
+        manifest = ClusterManifest(
+            num_shards=1, policy="predicate", replicas={0: ["a:1"]}
+        )
+        assert manifest.replicas_for(0) == ("a:1",)
+
+
+class TestQueries:
+    def test_replicas_for_and_addresses(self):
+        manifest = two_shard_manifest()
+        assert manifest.replicas_for(0) == ("a:1", "b:2")
+        assert manifest.replicas_for(9) == ()
+        assert manifest.addresses() == ("a:1", "b:2", "c:3", "d:4")
+
+    def test_shards_at_and_replication_factor(self):
+        manifest = two_shard_manifest()
+        assert manifest.shards_at("c:3") == (1,)
+        assert manifest.shards_at("nowhere:0") == ()
+        assert manifest.replication_factor() == 2
+
+
+class TestEvolution:
+    def test_with_replica_bumps_version(self):
+        manifest = two_shard_manifest()
+        grown = manifest.with_replica(0, "e:5")
+        assert grown.version == manifest.version + 1
+        assert grown.replicas_for(0) == ("a:1", "b:2", "e:5")
+        # The original is untouched (immutability).
+        assert manifest.replicas_for(0) == ("a:1", "b:2")
+
+    def test_without_replica(self):
+        shrunk = two_shard_manifest().without_replica(1, "c:3")
+        assert shrunk.replicas_for(1) == ("d:4",)
+
+    def test_moved_replica_is_one_atomic_step(self):
+        moved = two_shard_manifest().moved_replica(0, "a:1", "z:9")
+        assert moved.version == 2
+        # In-place substitution: the replica order is preserved.
+        assert moved.replicas_for(0) == ("z:9", "b:2")
+
+    def test_moved_replica_rejects_unknown_source(self):
+        with pytest.raises(ManifestError):
+            two_shard_manifest().moved_replica(0, "nope:1", "z:9")
+
+    def test_moved_replica_rejects_duplicate_target(self):
+        with pytest.raises(ManifestError):
+            two_shard_manifest().moved_replica(0, "a:1", "b:2")
+
+
+class TestSerialisation:
+    def test_json_round_trip(self):
+        manifest = two_shard_manifest()
+        again = ClusterManifest.from_json(manifest.to_json())
+        assert again == manifest
+
+    def test_json_is_stable(self):
+        text = two_shard_manifest().to_json()
+        assert json.loads(text)["replicas"]["0"] == ["a:1", "b:2"]
+        assert two_shard_manifest().to_json() == text
+
+    def test_malformed_json_raises_manifest_error(self):
+        with pytest.raises(ManifestError):
+            ClusterManifest.from_json("not json at all{")
+        with pytest.raises(ManifestError):
+            ClusterManifest.from_json("[1, 2]")
+        with pytest.raises(ManifestError):
+            ClusterManifest.from_json('{"version": 3}')
+
+    @settings(max_examples=50, deadline=None)
+    @given(manifests())
+    def test_round_trip_any_valid_manifest(self, manifest):
+        assert ClusterManifest.from_json(manifest.to_json()) == manifest
+
+    @settings(max_examples=50, deadline=None)
+    @given(manifests())
+    def test_every_shard_readable_after_move(self, manifest):
+        """Moving any replica keeps all placement invariants intact."""
+        for shard_id in range(manifest.num_shards):
+            group = manifest.replicas_for(shard_id)
+            if not group:
+                continue
+            moved = manifest.moved_replica(
+                shard_id, group[0], "fresh-node:1"
+            )
+            assert moved.version == manifest.version + 1
+            assert "fresh-node:1" in moved.replicas_for(shard_id)
+            assert group[0] not in moved.replicas_for(shard_id)
+            break
+
+
+class TestHolder:
+    def test_flip_accepts_successor_only(self):
+        holder = ManifestHolder(two_shard_manifest())
+        successor = holder.current.with_replica(0, "e:5")
+        assert holder.flip(successor) is successor
+        assert holder.version == 2
+
+    def test_flip_rejects_stale_and_skipped_versions(self):
+        holder = ManifestHolder(two_shard_manifest())
+        stale = two_shard_manifest()  # same version as current
+        with pytest.raises(ManifestVersionError):
+            holder.flip(stale)
+        skipped = ClusterManifest(
+            num_shards=2, policy="predicate", version=5,
+            replicas={0: ("a:1",)},
+        )
+        with pytest.raises(ManifestVersionError):
+            holder.flip(skipped)
+
+    def test_concurrent_flips_one_winner(self):
+        holder = ManifestHolder(two_shard_manifest())
+        base = holder.current
+        outcomes = []
+
+        def racer(address):
+            try:
+                holder.flip(base.with_replica(0, address))
+                outcomes.append(("won", address))
+            except ManifestVersionError:
+                outcomes.append(("lost", address))
+
+        threads = [
+            threading.Thread(target=racer, args=(f"n{i}:1",))
+            for i in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        winners = [address for kind, address in outcomes if kind == "won"]
+        assert len(winners) == 1
+        assert holder.version == base.version + 1

@@ -1,0 +1,316 @@
+"""Live migration and replica resync: exact cuts, catch-up, rollback.
+
+The engine-level tests build :class:`~repro.cluster.fleet.ClusterNode`
+shells around in-process engines — snapshot, catch-up, and resync never
+touch a socket, so the interleavings are driven exactly.  The
+``migrate_shard`` tests run a real fleet end to end: sockets, manifest
+flip, drain, and client re-routing.
+"""
+
+import threading
+
+import pytest
+
+from repro.cluster import (
+    Fleet,
+    FleetClient,
+    MigrationError,
+    ShardedRetrievalServer,
+    migrate_shard,
+    resync_replica,
+)
+from repro.cluster.fleet import ClusterNode
+from repro.cluster.migrate import catch_up, snapshot_node
+from repro.storage import kb_fingerprint, load_kb
+from repro.terms import Atom, Clause, Struct
+
+
+def fact(name: str, *args: str) -> Clause:
+    return Clause(head=Struct(name, tuple(Atom(a) for a in args)), body=())
+
+
+def engine_node(shard_id: int = 0, **engine_opts) -> ClusterNode:
+    """A socketless node: just the engine, for cut/catch-up tests."""
+    return ClusterNode(
+        shard_id=shard_id, engine=ShardedRetrievalServer(1, **engine_opts)
+    )
+
+
+def prints(node: ClusterNode):
+    return kb_fingerprint(node.engine.shards[0].kb)
+
+
+class TestSnapshotCut:
+    def test_snapshot_seq_matches_content(self, tmp_path):
+        node = engine_node()
+        node.engine.consult_text("p(a). p(b).")
+        seq = snapshot_node(node, tmp_path)
+        assert seq == node.engine.version
+        # Writes after the cut do not retroactively enter the files.
+        node.engine.assertz(fact("p", "late"))
+        loaded = kb_fingerprint(load_kb(tmp_path))
+        assert loaded["p/1"] == ["p(a).", "p(b)."]
+
+    def test_snapshot_excludes_nothing_before_the_cut(self, tmp_path):
+        node = engine_node()
+        node.engine.consult_text("p(a).")
+        node.engine.assertz(fact("p", "b"))
+        snapshot_node(node, tmp_path)
+        assert kb_fingerprint(load_kb(tmp_path)) == prints(node)
+
+    def test_snapshot_under_concurrent_writers_is_a_consistent_cut(
+        self, tmp_path
+    ):
+        """Hammer the engine from a thread while snapshotting: every
+        snapshot + delta-from-its-seq must reconstruct the final state
+        exactly.  Functor names chosen to exercise the stem-mangling
+        (collision) paths of the clause-file writer too."""
+        node = engine_node()
+        node.engine.assertz(fact("pred", "seed"))
+        node.engine.assertz(fact("Pred", "seed"))  # stem-collides w/ pred
+        stop = threading.Event()
+
+        def writer():
+            i = 0
+            while not stop.is_set():
+                node.engine.assertz(fact("pred" if i % 2 else "Pred", f"w{i}"))
+                i += 1
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        try:
+            cuts = []
+            for attempt in range(5):
+                snapdir = tmp_path / f"cut{attempt}"
+                seq = snapshot_node(node, snapdir)
+                cuts.append((seq, snapdir))
+        finally:
+            stop.set()
+            thread.join()
+        for seq, snapdir in cuts:
+            target = engine_node()
+            target.engine.adopt_kb(load_kb(snapdir))
+            catch_up(node, target, seq)
+            assert prints(target) == prints(node)
+
+
+class TestCatchUp:
+    def test_delta_replays_interleaved_writes(self, tmp_path):
+        source = engine_node()
+        source.engine.consult_text("p(a).")
+        seq = snapshot_node(source, tmp_path)
+        source.engine.assertz(fact("p", "b"))
+        source.engine.asserta(fact("p", "front"))
+        source.engine.retract_matching(fact("p", "a"))
+        target = engine_node()
+        target.engine.adopt_kb(load_kb(tmp_path))
+        new_seq = catch_up(source, target, seq)
+        assert new_seq == source.engine.version
+        assert prints(target) == prints(source)
+        assert prints(target)["p/1"] == ["p(front).", "p(b)."]
+
+    def test_catch_up_converges_over_multiple_rounds(self):
+        source = engine_node()
+        source.engine.consult_text("p(a).")
+        target = engine_node()
+        target.engine.adopt_kb(load_kb_like(source))
+        seq = source.engine.version
+
+        real = source.engine
+
+        class TrickleSource:
+            """Lands one more write during each of the first 3 rounds."""
+
+            def __init__(self):
+                self.rounds = 0
+
+            def mutations_since(self, since):
+                if self.rounds < 3:
+                    real.assertz(fact("p", f"mid{self.rounds}"))
+                    self.rounds += 1
+                return real.mutations_since(since)
+
+            def __getattr__(self, name):
+                return getattr(real, name)
+
+        source.engine = TrickleSource()
+        catch_up(source, target, seq)
+        source.engine = real
+        assert prints(target) == prints(source)
+
+    def test_catch_up_gives_up_on_an_unbounded_writer(self):
+        source = engine_node()
+        source.engine.consult_text("p(a).")
+        target = engine_node()
+        target.engine.adopt_kb(load_kb_like(source))
+        seq = source.engine.version
+
+        real = source.engine
+
+        class FireHose:
+            def mutations_since(self, since):
+                real.assertz(fact("p", f"x{real.version}"))
+                return real.mutations_since(since)
+
+            def __getattr__(self, name):
+                return getattr(real, name)
+
+        source.engine = FireHose()
+        with pytest.raises(MigrationError, match="catch-up rounds"):
+            catch_up(source, target, seq)
+
+
+def load_kb_like(node: ClusterNode):
+    """Clone a node's KB through the real save/load path."""
+    import tempfile
+
+    with tempfile.TemporaryDirectory(prefix="clare-test-") as tmp:
+        snapshot_node(node, tmp)
+        return load_kb(tmp)
+
+
+class TestResync:
+    def test_resync_rebuilds_from_peer(self, tmp_path):
+        peer = engine_node()
+        peer.engine.consult_text("p(a). p(b). q(c).")
+        peer.engine.assertz(fact("p", "d"))
+        stale = engine_node()
+        resync_replica(peer, stale, tmp_path)
+        assert prints(stale) == prints(peer)
+
+    def test_resync_refuses_a_serving_target(self, tmp_path):
+        peer, stale = engine_node(), engine_node()
+        stale.alive = True
+        with pytest.raises(MigrationError, match="stopped"):
+            resync_replica(peer, stale, tmp_path)
+
+    def test_resync_refuses_a_shard_mismatch(self, tmp_path):
+        with pytest.raises(MigrationError, match="shard"):
+            resync_replica(engine_node(0), engine_node(1), tmp_path)
+
+    def test_overflowed_delta_forces_a_fresh_snapshot(
+        self, tmp_path, monkeypatch
+    ):
+        """A flood between snapshot and catch-up evicts the delta from
+        the capped log; resync must re-snapshot, not replay a gap."""
+        from repro.cluster import migrate as migrate_mod
+
+        peer = engine_node(mutation_log_size=4)
+        peer.engine.consult_text("p(a).")
+        stale = engine_node()
+        real_snapshot = migrate_mod.snapshot_node
+        floods = {"left": 1}
+
+        def flooding_snapshot(node, directory):
+            seq = real_snapshot(node, directory)
+            if floods["left"]:
+                floods["left"] -= 1
+                for i in range(10):  # > log capacity: the delta is gone
+                    node.engine.assertz(fact("p", f"flood{i}"))
+            return seq
+
+        monkeypatch.setattr(migrate_mod, "snapshot_node", flooding_snapshot)
+        resync_replica(peer, stale, tmp_path)
+        assert prints(stale) == prints(peer)
+        assert (tmp_path / "snapshot-0").is_dir()
+        assert (tmp_path / "snapshot-1").is_dir()
+
+    def test_persistent_overflow_surfaces_migration_error(
+        self, tmp_path, monkeypatch
+    ):
+        from repro.cluster import migrate as migrate_mod
+
+        peer = engine_node(mutation_log_size=4)
+        peer.engine.consult_text("p(a).")
+        stale = engine_node()
+        real_snapshot = migrate_mod.snapshot_node
+
+        def always_flooding(node, directory):
+            seq = real_snapshot(node, directory)
+            for i in range(10):
+                node.engine.assertz(fact("p", f"f{node.engine.version}_{i}"))
+            return seq
+
+        monkeypatch.setattr(migrate_mod, "snapshot_node", always_flooding)
+        with pytest.raises(MigrationError, match="mutation log"):
+            resync_replica(peer, stale, tmp_path)
+
+
+PROGRAM = "p(a). p(b). q(c). q(d)."
+
+
+class TestMigrateShard:
+    def test_live_migration_end_to_end(self, tmp_path):
+        with Fleet(PROGRAM, num_shards=2, replicas=2) as fleet:
+            client = FleetClient(fleet.manifest, fleet.router)
+            with client:
+                source = fleet.manifest.replicas_for(0)[0]
+                before_version = fleet.manifest.version
+                target = migrate_shard(
+                    fleet, 0, source, tmp_path, verify=True
+                )
+                assert target != source
+                manifest = fleet.manifest
+                assert manifest.version == before_version + 1
+                assert target in manifest.replicas_for(0)
+                assert source not in manifest.replicas_for(0)
+                assert source not in fleet.nodes
+                assert fleet.nodes[target].alive
+                # A client still on the old manifest: reads fail over
+                # off the drained source transparently...
+                got = client.retrieve(Struct("p", (Atom("a"),)))
+                assert [str(c) for c in got.candidates] == ["p(a)."]
+                # ...and a stale-stamped write is refused, refreshed,
+                # and re-routed onto the new placement.
+                client.assertz(fact("p", "post_move"))
+                assert client.manifest.version == manifest.version
+                sweep = client.retrieve(Struct("p", (Atom("post_move"),)))
+                assert [str(c) for c in sweep.candidates] == ["p(post_move)."]
+
+    def test_migration_carries_post_snapshot_writes(self, tmp_path):
+        """Writes landing between snapshot and flip arrive via delta."""
+        with Fleet(PROGRAM, num_shards=1, replicas=2) as fleet:
+            client = FleetClient(fleet.manifest, fleet.router)
+            with client:
+                client.assertz(fact("p", "before_move"))
+                source = fleet.manifest.replicas_for(0)[0]
+                target = migrate_shard(
+                    fleet, 0, source, tmp_path, verify=True
+                )
+                survivor = fleet.nodes[target]
+                assert "p(before_move)." in prints(survivor)["p/1"]
+
+    def test_rejects_shard_mismatch_dead_source_and_unlisted(self, tmp_path):
+        with Fleet(PROGRAM, num_shards=2, replicas=2) as fleet:
+            shard0 = fleet.manifest.replicas_for(0)[0]
+            shard1 = fleet.manifest.replicas_for(1)[0]
+            with pytest.raises(MigrationError, match="serves shard"):
+                migrate_shard(fleet, 0, shard1, tmp_path)
+            fleet.kill(shard0)
+            with pytest.raises(MigrationError, match="not serving"):
+                migrate_shard(fleet, 0, shard0, tmp_path)
+            victim = fleet.manifest.replicas_for(0)[1]
+            fleet.holder.flip(fleet.manifest.without_replica(0, victim))
+            with pytest.raises(MigrationError, match="not in the manifest"):
+                migrate_shard(fleet, 0, victim, tmp_path)
+
+    def test_failed_migration_rolls_the_target_back(
+        self, tmp_path, monkeypatch
+    ):
+        from repro.cluster import migrate as migrate_mod
+
+        with Fleet(PROGRAM, num_shards=1, replicas=1) as fleet:
+            source = fleet.manifest.replicas_for(0)[0]
+            version = fleet.manifest.version
+            nodes_before = set(fleet.nodes)
+
+            def boom(*args, **kwargs):
+                raise RuntimeError("simulated snapshot failure")
+
+            monkeypatch.setattr(migrate_mod, "_snapshot_into", boom)
+            with pytest.raises(RuntimeError, match="simulated"):
+                migrate_shard(fleet, 0, source, tmp_path)
+            # No manifest flip, no orphaned half-built node.
+            assert fleet.manifest.version == version
+            assert set(fleet.nodes) == nodes_before
+            assert fleet.nodes[source].alive

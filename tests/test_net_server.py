@@ -391,3 +391,30 @@ class TestGracefulDrain:
             time.sleep(0.01)
         assert service._done.is_set()
         background.stop()
+
+
+class TestLoadgenInjectedClock:
+    """Arrival pacing flows from the injected clock/sleep pair, so the
+    open-loop schedule is assertable without real time elapsing."""
+
+    def test_frozen_clock_paces_departures_deterministically(self):
+        delays = []
+
+        async def recording_sleep(delay):
+            delays.append(delay)
+
+        service = RetrievalService(family_engine())
+        with BackgroundService(service) as background:
+            host, port = background.start()
+            result = run_loadgen(
+                host, port, [read_term("parent(tom, X)")],
+                qps=100.0, duration_s=0.1,
+                clock=lambda: 0.0, sleep=recording_sleep,
+            )
+        assert result.offered == 10
+        assert result.ok == 10
+        # With time frozen at 0, request i's delay is exactly its
+        # departure offset i/qps (i=0 departs immediately, no sleep).
+        assert delays == pytest.approx([i / 100.0 for i in range(1, 10)])
+        assert result.wall_clock_s == 0.0
+        assert result.latencies_s == [0.0] * 10
