@@ -28,6 +28,7 @@ from .server import (
     MutationLogOverflow,
     MutationRecord,
     ShardedRetrievalServer,
+    WritesFrozen,
 )
 
 __all__ = [
@@ -50,6 +51,7 @@ __all__ = [
     "ShardRouter",
     "ShardedRetrievalServer",
     "ShardingPolicy",
+    "WritesFrozen",
     "migrate_shard",
     "resync_replica",
     "stable_shard_hash",

@@ -27,13 +27,24 @@ means in the chaos suite): a write is acknowledged iff at least one
 active replica applied it, and every active replica that did *not*
 acknowledge is marked stale — excluded from reads until the fleet
 resyncs it.  Reads therefore never observe a replica that is missing an
-acknowledged write.
+acknowledged write, with one deliberate, *flagged* exception: when every
+replica of a shard is stale-marked there is nothing consistent left to
+prefer, so reads degrade to the full set and the merged stats carry
+``degraded=True`` (plus a ``cluster.fleet.degraded_reads`` counter) so
+callers can tell those answers apart.
+
+Every logical write also carries a client-generated ``write_id``.  The
+id is reused verbatim across stale-manifest re-routes, replica fan-out,
+and both phases of a retract, and the engines memoise applied ids — so
+a write that reaches the same node twice by different paths (directly
+*and* via a migration's delta replay) lands exactly once.
 """
 
 from __future__ import annotations
 
 import threading
 import time
+import uuid
 from dataclasses import dataclass, field
 
 from ..crs import RetrievalResult, RetrievalStats, SearchMode
@@ -44,13 +55,24 @@ from ..storage import UnknownPredicateError
 from ..terms import Clause, Term, clause_from_term, read_program
 from .manifest import ClusterManifest, ManifestHolder
 from .routing import ShardingPolicy, ShardRouter
-from .server import MergedRetrievalStats, ShardedRetrievalServer
+from .server import (
+    MergedRetrievalStats,
+    ShardedRetrievalServer,
+    WritesFrozen,
+)
 
 __all__ = ["ClusterNode", "Fleet", "FleetClient", "FleetWriteError"]
 
 
 class FleetWriteError(RuntimeError):
     """No active replica acknowledged a write — it must not be counted."""
+
+
+#: Re-route/retry budget for one replicated write: each round handles
+#: one stale-manifest refresh or one frozen-write backoff.  A migration
+#: freeze lasts one final delta replay (small: the log is capped), so
+#: with escalating waits this budget comfortably outlives it.
+_WRITE_ROUNDS = 8
 
 
 def _as_clause(clause_or_term: Clause | Term) -> Clause:
@@ -351,6 +373,7 @@ class FleetClient:
         read_deadline_s: float | None = 5.0,
         write_deadline_s: float | None = 5.0,
         failover_opts: dict | None = None,
+        sleep=time.sleep,
     ):
         from ..net.client import FailoverClient
 
@@ -363,6 +386,16 @@ class FleetClient:
         self._manifest = manifest
         self._stale: set[str] = set()
         self._shard_clients: dict[int, FailoverClient] = {}
+        #: single-address clients for write fan-out to replicas outside
+        #: the read set (stale-marked); owned here so :meth:`close`
+        #: closes them and :meth:`adopt_manifest` prunes retired ones.
+        self._extra_clients: dict[str, FailoverClient] = {}
+        #: shards whose reads currently fall back to stale replicas.
+        self._degraded_shards: set[int] = set()
+        #: injectable for tests; frozen-write retries back off with it.
+        self._sleep = sleep
+        self._write_tag = uuid.uuid4().hex[:12]
+        self._write_seq = 0
         self._lock = threading.Lock()
         self._rebuild_clients()
 
@@ -379,6 +412,13 @@ class FleetClient:
             self._manifest = manifest
             listed = set(manifest.addresses())
             self._stale &= listed
+            retired = [
+                self._extra_clients.pop(address)
+                for address in list(self._extra_clients)
+                if address not in listed
+            ]
+        for client in retired:
+            client.close()
         self._rebuild_clients()
 
     def refresh_manifest(self) -> ClusterManifest:
@@ -427,10 +467,13 @@ class FleetClient:
             manifest = self._manifest
             existing = self._shard_clients
             fresh: dict[int, object] = {}
+            degraded: set[int] = set()
             for shard_id in range(manifest.num_shards):
                 replicas = self._readable_replicas(shard_id)
                 if not replicas:
                     continue
+                if all(a in self._stale for a in replicas):
+                    degraded.add(shard_id)
                 client = existing.pop(shard_id, None)
                 if client is None:
                     client = self._failover_cls(
@@ -441,13 +484,17 @@ class FleetClient:
                 fresh[shard_id] = client
             leftovers = list(existing.values())
             self._shard_clients = fresh
+            self._degraded_shards = degraded
         for client in leftovers:
             client.close()
 
     def close(self) -> None:
         with self._lock:
             clients, self._shard_clients = dict(self._shard_clients), {}
+            extras, self._extra_clients = dict(self._extra_clients), {}
         for client in clients.values():
+            client.close()
+        for client in extras.values():
             client.close()
 
     def __enter__(self) -> "FleetClient":
@@ -469,6 +516,7 @@ class FleetClient:
             deadline_s if deadline_s is not None else self.read_deadline_s
         )
         targets = self._route(goal, mode)
+        degraded = bool(self._degraded_shards.intersection(targets))
         shard_results: dict[int, RetrievalResult] = {}
         for shard_id in targets:
             client = self._shard_clients.get(shard_id)
@@ -480,7 +528,14 @@ class FleetClient:
                 goal, mode=mode, deadline_s=deadline_s
             )
         self.obs.counter("cluster.fleet.reads").inc()
-        return self._merge(goal, shard_results)
+        result = self._merge(goal, shard_results)
+        if degraded:
+            # Some queried shard had every replica stale-marked: the
+            # answer may be missing acknowledged writes.  Availability
+            # over consistency, but never silently.
+            result.stats.degraded = True
+            self.obs.counter("cluster.fleet.degraded_reads").inc()
+        return result
 
     def _route(
         self, goal: Term, mode: SearchMode | None
@@ -566,6 +621,18 @@ class FleetClient:
                 return removed
         return None
 
+    def _new_write_id(self) -> str:
+        """One idempotency stamp per *logical* write.
+
+        Reused verbatim across stale-manifest re-routes, replica
+        fan-out, and both retract phases, so any node that sees the
+        same write twice — directly and via a migration delta replay —
+        applies it once (see ``ShardedRetrievalServer._applied_before``).
+        """
+        with self._lock:
+            self._write_seq += 1
+            return f"{self._write_tag}:{self._write_seq}"
+
     def _replicated_retract(
         self, template: Clause, shard_id: int
     ) -> Clause | None:
@@ -573,11 +640,14 @@ class FleetClient:
         replay it exactly."""
         from ..net.protocol import StaleManifest
 
-        for _ in range(4):  # stale-manifest refresh loop
+        write_id = self._new_write_id()
+        frozen_wait = 0.01
+        for _ in range(_WRITE_ROUNDS):
             version = self._manifest.version
             replicas = self._readable_replicas(shard_id)
             removed: Clause | None = None
             chooser: str | None = None
+            retry_round = False
             for address in replicas:
                 try:
                     _, applied, removed = self._address_client(
@@ -586,9 +656,15 @@ class FleetClient:
                         "retract", template,
                         manifest_version=version,
                         deadline_s=self.write_deadline_s,
+                        write_id=write_id,
                     )
                 except StaleManifest:
                     self.refresh_manifest()
+                    retry_round = True
+                    break
+                except WritesFrozen:
+                    frozen_wait = self._frozen_backoff(frozen_wait)
+                    retry_round = True
                     break
                 except Exception:
                     self.mark_stale(address)
@@ -601,13 +677,13 @@ class FleetClient:
                     f"no replica of shard {shard_id} acknowledged the "
                     "retract"
                 )
-            if chooser is None:
-                continue  # stale manifest: re-route under the fresh one
+            if retry_round or chooser is None:
+                continue  # stale/frozen: re-route under the fresh placement
             if removed is None:
                 return None  # nothing matched; replicas agree vacuously
             self._fan_out(
                 "retract_exact", removed, "user", shard_id,
-                version, acked={chooser},
+                version, acked={chooser}, write_id=write_id,
             )
             return removed
         raise FleetWriteError("manifest kept moving during a retract")
@@ -615,7 +691,22 @@ class FleetClient:
     def _replicated_write(
         self, op: str, clause: Clause, module: str, shard_id: int
     ) -> None:
-        self._fan_out(op, clause, module, shard_id, None, acked=set())
+        self._fan_out(
+            op, clause, module, shard_id, None, acked=set(),
+            write_id=self._new_write_id(),
+        )
+
+    def _frozen_backoff(self, wait_s: float) -> float:
+        """A migration is finalising: nothing was applied on the frozen
+        replica, so wait briefly for the flip, pick up whatever manifest
+        is current, and re-route.  Returns the next (escalated) wait."""
+        self.obs.counter("cluster.fleet.write_frozen_retries").inc()
+        self._sleep(wait_s)
+        try:
+            self.refresh_manifest()
+        except Exception:
+            pass  # next round retries under the manifest we have
+        return min(wait_s * 2.0, 0.25)
 
     def _fan_out(
         self,
@@ -625,16 +716,21 @@ class FleetClient:
         shard_id: int,
         version: int | None,
         acked: set[str],
+        write_id: str = "",
     ) -> None:
         """Apply one mutation to every active replica of a shard.
 
         ``acked`` carries addresses that already applied it (survives
-        stale-manifest re-routes, preventing double application).
+        stale-manifest re-routes, preventing double application across
+        rounds; ``write_id`` prevents it across *placements*).
         Raises :class:`FleetWriteError` if nothing acknowledged.
         """
         from ..net.protocol import StaleManifest
 
-        for _ in range(4):  # stale-manifest refresh loop
+        refused: set[str] = set()
+        ambiguous = False
+        frozen_wait = 0.01
+        for _ in range(_WRITE_ROUNDS):
             round_version = (
                 version if version is not None else self._manifest.version
             )
@@ -642,24 +738,37 @@ class FleetClient:
                 a for a in self._manifest.replicas_for(shard_id)
                 if a not in acked
             ]
-            stale_hit = False
+            stale_hit = frozen_hit = False
             for address in replicas:
                 try:
                     self._address_client(shard_id, address).mutate(
                         op, clause, module,
                         manifest_version=round_version,
                         deadline_s=self.write_deadline_s,
+                        write_id=write_id,
                     )
                 except StaleManifest:
                     stale_hit = True
                     break
+                except WritesFrozen:
+                    # Refused provably before any state change; keep
+                    # probing siblings, then wait out the freeze.
+                    frozen_hit = True
+                    refused.add(address)
+                    continue
                 except Exception:
+                    ambiguous = True  # fate unknown: may have applied
                     self.obs.counter("cluster.fleet.write_failures").inc()
                     continue
                 acked.add(address)
+                refused.discard(address)
             if stale_hit:
                 self.refresh_manifest()
                 version = None  # re-read the fresh version next round
+                continue
+            if frozen_hit:
+                frozen_wait = self._frozen_backoff(frozen_wait)
+                version = None
                 continue
             break
         # Anything still listed for this shard that did not acknowledge
@@ -667,9 +776,15 @@ class FleetClient:
         # applied somewhere if a connection died after the send): stale
         # until the coordinator resyncs it.  (Dead nodes land here too —
         # harmless, their reads fail anyway, and restart clears the mark.)
+        # Exception: when *nothing* acked and every failure was a frozen
+        # refusal, the write provably landed nowhere — there is no
+        # acknowledged write for the refusers to be missing.
         for address in self._manifest.replicas_for(shard_id):
-            if address not in acked:
-                self.mark_stale(address)
+            if address in acked:
+                continue
+            if not acked and not ambiguous and address in refused:
+                continue
+            self.mark_stale(address)
         if not acked:
             raise FleetWriteError(
                 f"no replica of shard {shard_id} acknowledged the {op}"
@@ -685,14 +800,12 @@ class FleetClient:
             except KeyError:
                 pass
         # The address is excluded from the read set (stale) or the
-        # shard has no failover client; open a throwaway-pooled client
-        # via a one-address failover wrapper kept per instance.
+        # shard has no failover client; open a pooled client via a
+        # one-address failover wrapper owned by this instance (closed
+        # on close(), pruned when a manifest retires the address).
         with self._lock:
-            extras = getattr(self, "_extra_clients", None)
-            if extras is None:
-                extras = self._extra_clients = {}
-            if address not in extras:
-                extras[address] = self._failover_cls(
+            if address not in self._extra_clients:
+                self._extra_clients[address] = self._failover_cls(
                     [address], obs=self.obs, **self._failover_opts
                 )
-            return extras[address].client_for(address)
+            return self._extra_clients[address].client_for(address)

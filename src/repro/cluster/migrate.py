@@ -1,41 +1,52 @@
 """Live shard migration and replica resync over real snapshots.
 
-Moving a shard replica is a four-beat protocol, built entirely from
+Moving a shard replica is a five-beat protocol, built entirely from
 machinery that already exists elsewhere in the tree:
 
 1. **Snapshot** — the source's clause files are written with
    :func:`~repro.storage.save_kb` while the shard lock pins a cut point
    ``seq`` (the engine's mutation-log sequence at exactly the snapshot's
    content), and loaded into a fresh node with
-   :func:`~repro.storage.load_kb` + ``adopt_kb``.
+   :func:`~repro.storage.load_kb` + ``adopt_kb``.  The snapshot carries
+   the engine's applied write-id memo in a sidecar, so idempotent
+   dedupe survives the restore.
 2. **Catch-up** — the writes that landed on the source after ``seq``
    stream over as mutation-log deltas
    (:meth:`~repro.cluster.ShardedRetrievalServer.mutations_since`),
    round after round, until the target has drawn level.  A delta that
    fell off the capped log (:class:`~repro.cluster.MutationLogOverflow`)
    forces a fresh snapshot instead of a silently incomplete replay.
-3. **Flip** — the manifest version advances atomically
+3. **Freeze + final delta** — every live replica of the shard briefly
+   refuses mutations (:class:`~repro.cluster.WritesFrozen`; clients
+   back off and retry), a quiescence barrier guarantees in-flight
+   writes are logged, and one last delta levels the target *while
+   nothing can change*.  An overflow here retries from a fresh snapshot
+   of the now-quiescent source — it cannot out-write the log again.
+4. **Flip** — the manifest version advances atomically
    (:meth:`~repro.cluster.ManifestHolder.flip` of a ``moved_replica``
    manifest).  From this instant every versioned write stamped with the
-   old placement is refused with ``STALE_MANIFEST`` — nothing new can
-   land on the retiring replica.
-4. **Drain + final delta** — the source drains gracefully (admitted
-   writes finish and are logged), and one last delta carries anything
-   that slipped in between the last catch-up round and the flip.  Only
-   then is the source retired.
+   old placement is refused with ``STALE_MANIFEST`` — and because the
+   final delta already landed, the target becomes readable *complete*:
+   no acknowledged write is missing from it, ever.
+5. **Thaw + drain** — the siblings accept writes again, the retiring
+   source drains gracefully and is removed from the fleet.
 
-No acknowledged write can be lost: a write is either in the snapshot
-(seq ≤ cut), in a catch-up delta, refused as stale (and re-routed by the
-client to the new placement), or in the final post-drain delta.
+No acknowledged write can be lost or doubled: a write is in the
+snapshot (seq ≤ cut), in a catch-up delta, in the frozen final delta,
+or refused (stale/frozen) and re-routed by the client — and the
+client's per-write ``write_id`` makes a delta replay of a write the
+client also re-routed to the target a no-op instead of a duplicate.
 """
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 from ..obs import get_default as _default_obs
 from ..storage import kb_fingerprint, load_kb, save_kb
 from .fleet import ClusterNode, Fleet
+from .server import MutationLogOverflow
 
 __all__ = ["MigrationError", "migrate_shard", "resync_replica",
            "snapshot_node", "catch_up"]
@@ -53,6 +64,13 @@ class MigrationError(RuntimeError):
     """A shard migration or replica resync could not complete."""
 
 
+#: Sidecar file a snapshot directory carries next to the clause files:
+#: the source engine's applied write-id memo at the cut.  A restored
+#: replica needs it to dedupe a client re-route of a write that is
+#: already *inside* the snapshot content.
+WRITE_IDS_FILE = "write_ids.json"
+
+
 def snapshot_node(node: ClusterNode, directory: str | pathlib.Path) -> int:
     """Save a node's KB under its shard lock; returns the cut ``seq``.
 
@@ -61,12 +79,18 @@ def snapshot_node(node: ClusterNode, directory: str | pathlib.Path) -> int:
     inside the same lock, so the snapshot's content corresponds to the
     returned sequence number precisely — the delta from ``seq`` neither
     misses a write the snapshot lacks nor doubles one it already holds.
+    The applied write-id memo is captured under the same lock and saved
+    alongside (:data:`WRITE_IDS_FILE`).
     """
     engine = node.engine
     shard = engine.shards[0]
     with shard.lock:
         seq = engine.version
         save_kb(shard.kb, directory)
+        applied = engine.applied_write_ids()
+    (pathlib.Path(directory) / WRITE_IDS_FILE).write_text(
+        json.dumps(applied), encoding="utf-8"
+    )
     return seq
 
 
@@ -98,14 +122,17 @@ def _snapshot_into(
     workdir: str | pathlib.Path,
 ) -> int:
     """Snapshot + load + initial catch-up, retrying on log overflow."""
-    from .server import MutationLogOverflow
-
     workdir = pathlib.Path(workdir)
     last_exc: Exception | None = None
     for attempt in range(_MAX_SNAPSHOT_ATTEMPTS):
         snapdir = workdir / f"snapshot-{attempt}"
         seq = snapshot_node(source, snapdir)
         target.engine.adopt_kb(load_kb(snapdir))
+        sidecar = snapdir / WRITE_IDS_FILE
+        if sidecar.exists():
+            target.engine.adopt_write_ids(
+                json.loads(sidecar.read_text(encoding="utf-8"))
+            )
         try:
             return catch_up(source, target, seq)
         except MutationLogOverflow as exc:
@@ -128,7 +155,11 @@ def migrate_shard(
 ) -> str:
     """Move one replica of ``shard_id`` off ``source_address`` live.
 
-    Returns the new replica's address.  The manifest flip is atomic and
+    Returns the new replica's address.  The final delta lands *before*
+    the manifest flip, under a brief shard-wide write freeze
+    (:class:`~repro.cluster.WritesFrozen` refusals; clients back off and
+    re-route), so the instant the target becomes readable it already
+    holds every acknowledged write.  The flip itself is atomic and
     versioned: clients writing under the old placement are refused with
     ``STALE_MANIFEST`` and re-route; reads simply fail over.  With
     ``verify=True`` the retired source and the new target are compared
@@ -150,28 +181,57 @@ def migrate_shard(
         )
     with obs.span("cluster.migrate", shard=shard_id, source=source_address):
         target = fleet.new_node(shard_id)
+        frozen: list[ClusterNode] = []
+        flipped = False
         try:
-            seq = _snapshot_into(source, target, workdir)
-            # Atomic placement flip: one version step swaps source for
-            # target.  Stale-stamped writes bounce off every node from
-            # here on (the holder is shared), so the source's mutation
-            # log can only grow by writes admitted before the flip.
-            fleet.holder.flip(
-                fleet.manifest.moved_replica(
-                    shard_id, source_address, target.address
+            try:
+                # Bulk copy while traffic flows freely.
+                seq = _snapshot_into(source, target, workdir)
+                # Freeze the whole replica group — not just the source:
+                # a write acked by a sibling alone would otherwise be
+                # missing from both the source's log and the target.
+                # Each freeze ends with a quiescence barrier, so every
+                # admitted write is logged before the final delta reads.
+                for address in fleet.manifest.replicas_for(shard_id):
+                    node = fleet.nodes.get(address)
+                    if node is not None and node.alive:
+                        node.engine.freeze_writes()
+                        frozen.append(node)
+                try:
+                    catch_up(source, target, seq)
+                except MutationLogOverflow:
+                    # The source out-wrote the log between the last live
+                    # round and the freeze.  It is quiescent now, so one
+                    # fresh snapshot is guaranteed to level the target.
+                    _snapshot_into(
+                        source, target, pathlib.Path(workdir) / "frozen"
+                    )
+                # Atomic placement flip: one version step swaps source
+                # for target.  The target is already complete, so it is
+                # readable-consistent from its very first instant; the
+                # source can no longer accept versioned writes at all.
+                fleet.holder.flip(
+                    fleet.manifest.moved_replica(
+                        shard_id, source_address, target.address
+                    )
                 )
-            )
-            source.drain()  # graceful: admitted writes finish + log
-            seq = catch_up(source, target, seq)
-        except BaseException:
-            # Roll the half-built target back out of the fleet; the
-            # manifest was only flipped if everything before the drain
-            # succeeded, and a post-flip failure leaves the target
-            # authoritative (retiring the source anyway would be worse).
-            if target.address not in fleet.manifest.addresses():
-                target.crash()
-                fleet.nodes.pop(target.address, None)
-            raise
+                flipped = True
+            except BaseException:
+                # Nothing was flipped: the old placement is still whole.
+                # Roll the half-built target back out of the fleet.
+                if not flipped:
+                    target.crash()
+                    fleet.nodes.pop(target.address, None)
+                raise
+        finally:
+            # Thaw the survivors whichever way it went.  The retiring
+            # source stays frozen through its drain on success — an
+            # unversioned straggler write landing there would be lost.
+            for node in frozen:
+                if node is not source or not flipped:
+                    node.engine.thaw_writes()
+        source.drain()  # graceful: in-flight reads finish, then close
+        source.engine.thaw_writes()
         if verify:
             source_print = kb_fingerprint(source.engine.shards[0].kb)
             target_print = kb_fingerprint(target.engine.shards[0].kb)

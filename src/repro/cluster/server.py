@@ -56,6 +56,7 @@ __all__ = [
     "MutationLogOverflow",
     "MutationRecord",
     "ShardedRetrievalServer",
+    "WritesFrozen",
 ]
 
 
@@ -65,6 +66,15 @@ class MutationLogOverflow(RuntimeError):
     A catch-up reader that asks for "everything since seq N" after the
     log has evicted N+1 cannot be given a correct delta; it must take a
     fresh snapshot instead of a silently incomplete replay.
+    """
+
+
+class WritesFrozen(RuntimeError):
+    """Mutations are temporarily refused (a migration is finalising).
+
+    Raised *before* any state changes, so a caller that sees it knows
+    the write was not applied and may simply retry; the fleet client
+    backs off briefly and re-routes under the post-flip manifest.
     """
 
 
@@ -79,12 +89,19 @@ class MutationRecord:
     the replica).  ``reload`` marks a wholesale KB replacement
     (:meth:`ShardedRetrievalServer.adopt_kb`); it cannot be replayed
     incrementally and forces delta readers back to a snapshot.
+
+    ``write_id`` is the client's idempotency stamp for the logical write
+    (``None`` for coordinator-originated mutations).  Replaying a record
+    onto a replica that already applied that id — because the client
+    re-routed the same write there after a manifest flip — is a no-op
+    instead of a duplicate.
     """
 
     seq: int
     op: str
     clause: Clause | None = None
     module: str = "user"
+    write_id: str | None = None
 
 
 @dataclass
@@ -101,6 +118,11 @@ class MergedRetrievalStats(RetrievalStats):
     shards_queried: int = 0
     broadcast: bool = False
     per_shard: dict[int, RetrievalStats] = field(default_factory=dict)
+    #: set by the fleet client when some queried shard had every replica
+    #: stale-marked and the read was knowingly served from replicas that
+    #: may be missing acknowledged writes.  Client-local only — it never
+    #: crosses the wire (each node reports its own stats unflagged).
+    degraded: bool = False
 
     @property
     def filter_time_s(self) -> float:  # type: ignore[override]
@@ -174,6 +196,15 @@ class ShardedRetrievalServer:
         self._mutation_log: deque[MutationRecord] = deque(
             maxlen=mutation_log_size
         )
+        #: idempotency memo: write_id -> clause removed (retracts) or
+        #: ``None``, for the ids most recently applied.  Bounded like
+        #: the mutation log — a duplicate can only arrive within one
+        #: catch-up/re-route window, which the log cap already limits.
+        self._applied_writes: "OrderedDict[str, Clause | None]" = OrderedDict()
+        self._applied_writes_cap = mutation_log_size
+        #: when set, mutations are refused with :class:`WritesFrozen`
+        #: before touching any state (see :meth:`freeze_writes`).
+        self.writes_frozen = False
         self.cache_size = cache_size
         self._cache: "OrderedDict[tuple, RetrievalResult]" = OrderedDict()
         self._cache_lock = threading.Lock()
@@ -220,7 +251,12 @@ class ShardedRetrievalServer:
             count += 1
         return count
 
-    def add_clause(self, clause: Clause, module: str = "user") -> int:
+    def add_clause(
+        self,
+        clause: Clause,
+        module: str = "user",
+        write_id: str | None = None,
+    ) -> int:
         """Append a clause on its home shard; returns the shard id.
 
         Mutations hold the shard lock: ``retract_matching`` swaps in a
@@ -235,15 +271,32 @@ class ShardedRetrievalServer:
         # then sees KB state and log cut at exactly the same seq, so a
         # snapshot + delta replay neither misses nor doubles a mutation.
         with shard.lock:
+            if write_id is not None and self._applied_before(write_id)[0]:
+                return shard_id  # duplicate delivery: already applied
+            self._check_frozen()
             shard.kb.add_clause(clause, module=module)
-            self._bump_version(op="assertz", clause=clause, module=module)
+            self._bump_version(
+                op="assertz", clause=clause, module=module, write_id=write_id
+            )
         self.obs.counter("cluster.clauses_routed", shard=str(shard_id)).inc()
         return shard_id
 
-    def assertz(self, clause_or_term: Clause | Term, module: str = "user") -> None:
-        self.add_clause(_as_clause(clause_or_term), module=module)
+    def assertz(
+        self,
+        clause_or_term: Clause | Term,
+        module: str = "user",
+        write_id: str | None = None,
+    ) -> None:
+        self.add_clause(
+            _as_clause(clause_or_term), module=module, write_id=write_id
+        )
 
-    def asserta(self, clause_or_term: Clause | Term, module: str = "user") -> None:
+    def asserta(
+        self,
+        clause_or_term: Clause | Term,
+        module: str = "user",
+        write_id: str | None = None,
+    ) -> None:
         """Prepend within the clause's home shard.
 
         Cross-shard clause order is not defined by the cluster (the
@@ -254,14 +307,23 @@ class ShardedRetrievalServer:
         shard_id = self.router.route_clause(clause.head)
         shard = self.shards[shard_id]
         with shard.lock:
+            if write_id is not None and self._applied_before(write_id)[0]:
+                return
+            self._check_frozen()
             shard.kb.asserta(clause, module=module)
-            self._bump_version(op="asserta", clause=clause, module=module)
+            self._bump_version(
+                op="asserta", clause=clause, module=module, write_id=write_id
+            )
 
     def retract(self, clause_or_term: Clause | Term) -> bool:
         """Remove the first matching clause, probing shards in id order."""
         return self.retract_matching(clause_or_term) is not None
 
-    def retract_matching(self, clause_or_term: Clause | Term) -> Clause | None:
+    def retract_matching(
+        self,
+        clause_or_term: Clause | Term,
+        write_id: str | None = None,
+    ) -> Clause | None:
         """Like :meth:`retract` but returns the clause actually removed.
 
         The resolution engines need the removed clause to bind a
@@ -277,9 +339,18 @@ class ShardedRetrievalServer:
         for shard_id in targets:
             shard = self.shards[shard_id]
             with shard.lock:
+                if write_id is not None:
+                    hit, memo = self._applied_before(write_id)
+                    if hit:
+                        # Duplicate delivery: report the clause the
+                        # first application removed, not a second one.
+                        return memo
+                self._check_frozen()
                 removed = shard.kb.retract_matching(template)
                 if removed is not None:
-                    self._bump_version(op="retract", clause=removed)
+                    self._bump_version(
+                        op="retract", clause=removed, write_id=write_id
+                    )
             if removed is not None:
                 return removed
         return None
@@ -301,15 +372,80 @@ class ShardedRetrievalServer:
         op: str = "reload",
         clause: Clause | None = None,
         module: str = "user",
+        write_id: str | None = None,
     ) -> int:
         with self._cache_lock:
             self.version += 1
             self._mutation_log.append(
                 MutationRecord(
-                    seq=self.version, op=op, clause=clause, module=module
+                    seq=self.version, op=op, clause=clause, module=module,
+                    write_id=write_id,
                 )
             )
+            if write_id is not None:
+                self._applied_writes[write_id] = (
+                    clause if op == "retract" else None
+                )
+                self._applied_writes.move_to_end(write_id)
+                while len(self._applied_writes) > self._applied_writes_cap:
+                    self._applied_writes.popitem(last=False)
             return self.version
+
+    def _applied_before(self, write_id: str) -> tuple[bool, Clause | None]:
+        """(seen, memoised removed clause) for one idempotency stamp.
+
+        Callers hold the shard lock, so check-then-apply is atomic
+        against a concurrent delivery of the same id (e.g. a client
+        re-route racing the migration coordinator's delta replay).
+        """
+        with self._cache_lock:
+            if write_id in self._applied_writes:
+                return True, self._applied_writes[write_id]
+        return False, None
+
+    def _check_frozen(self) -> None:
+        if self.writes_frozen:
+            raise WritesFrozen(
+                "writes are frozen while a migration finalises; retry"
+            )
+
+    def freeze_writes(self) -> None:
+        """Refuse mutations until :meth:`thaw_writes` (migration finale).
+
+        The flag is checked *inside* the shard lock, so acquiring every
+        shard lock once after setting it is a quiescence barrier: any
+        mutation admitted before the freeze has finished and logged by
+        the time this returns, and none can start after — a delta read
+        next is provably the last.
+        """
+        self.writes_frozen = True
+        for shard in self.shards:
+            with shard.lock:
+                pass
+
+    def thaw_writes(self) -> None:
+        self.writes_frozen = False
+
+    def applied_write_ids(self) -> list[str]:
+        """The memoised idempotency stamps, oldest first (for snapshots)."""
+        with self._cache_lock:
+            return list(self._applied_writes)
+
+    def adopt_write_ids(self, write_ids: Iterable[str]) -> None:
+        """Install a snapshot's write-id memo (after :meth:`adopt_kb`).
+
+        Without this, a write inside the snapshot that the client also
+        re-routes here after a manifest flip would apply twice — the
+        memo travels with the content it describes.  Retract memo values
+        are not persisted; a duplicate retract after a restore reports
+        "nothing matched" rather than removing a second clause.
+        """
+        with self._cache_lock:
+            self._applied_writes.clear()
+            for write_id in write_ids:
+                self._applied_writes[write_id] = None
+            while len(self._applied_writes) > self._applied_writes_cap:
+                self._applied_writes.popitem(last=False)
 
     # -- replication: deltas, exact replay, wholesale adoption ---------------
 
@@ -338,23 +474,34 @@ class ShardedRetrievalServer:
             return records
 
     def apply_mutation(self, record: MutationRecord) -> None:
-        """Replay one logged mutation from another node onto this one."""
+        """Replay one logged mutation from another node onto this one.
+
+        The record's ``write_id`` rides along, so a replay of a write
+        this node already applied directly (the client re-routed it here
+        after a manifest flip) dedupes instead of doubling the clause.
+        """
         if record.op == "assertz":
             assert record.clause is not None
-            self.add_clause(record.clause, module=record.module)
+            self.add_clause(
+                record.clause, module=record.module, write_id=record.write_id
+            )
         elif record.op == "asserta":
             assert record.clause is not None
-            self.asserta(record.clause, module=record.module)
+            self.asserta(
+                record.clause, module=record.module, write_id=record.write_id
+            )
         elif record.op == "retract":
             assert record.clause is not None
-            self.remove_exact(record.clause)
+            self.remove_exact(record.clause, write_id=record.write_id)
         else:
             raise MutationLogOverflow(
                 f"mutation op {record.op!r} is not incrementally "
                 "replayable; take a fresh snapshot"
             )
 
-    def remove_exact(self, clause: Clause) -> bool:
+    def remove_exact(
+        self, clause: Clause, write_id: str | None = None
+    ) -> bool:
         """Remove the first structurally identical clause (replica replay)."""
         try:
             targets = self.router.route_goal(clause.head)
@@ -363,9 +510,14 @@ class ShardedRetrievalServer:
         for shard_id in targets:
             shard = self.shards[shard_id]
             with shard.lock:
+                if write_id is not None and self._applied_before(write_id)[0]:
+                    return True
+                self._check_frozen()
                 removed = shard.kb.remove_exact(clause)
                 if removed:
-                    self._bump_version(op="retract", clause=clause)
+                    self._bump_version(
+                        op="retract", clause=clause, write_id=write_id
+                    )
             if removed:
                 return True
         return False
@@ -401,6 +553,11 @@ class ShardedRetrievalServer:
         with shard.lock:
             shard.kb = kb
             shard.server = server
+            # The memo describes content this engine no longer holds;
+            # the restorer installs the snapshot's own ids afterwards
+            # (:meth:`adopt_write_ids`).
+            with self._cache_lock:
+                self._applied_writes.clear()
             self._bump_version(op="reload")
 
     # -- retrieval -----------------------------------------------------------

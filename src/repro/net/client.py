@@ -44,6 +44,7 @@ from .protocol import (
     ProtocolError,
     ServerBusy,
     ServerDraining,
+    WritesFrozen,
 )
 
 __all__ = [
@@ -99,9 +100,9 @@ _RETRYABLE = (ServerBusy, ServerDraining, ConnectError, ConnectionError, OSError
 #: What a *mutation* may be retried on.  A connection that dropped after
 #: the request was sent leaves the server's state unknown — retrying an
 #: assert there could apply it twice — so only rejections that provably
-#: happened before any state change (busy, draining) and failures to
-#: connect at all are safe to retry.
-_MUTATION_RETRYABLE = (ServerBusy, ServerDraining, ConnectError)
+#: happened before any state change (busy, draining, a migration's
+#: write freeze) and failures to connect at all are safe to retry.
+_MUTATION_RETRYABLE = (ServerBusy, ServerDraining, ConnectError, WritesFrozen)
 
 
 def _as_clause(clause_or_term: Clause | Term) -> Clause:
@@ -394,22 +395,25 @@ class RetrievalClient:
         *,
         manifest_version: int = 0,
         deadline_s: float | None = None,
+        write_id: str = "",
     ) -> tuple[int, bool, Clause | None]:
         """One assert/retract on the server; returns
         ``(engine version, applied, removed clause)``.
 
-        Only busy/draining rejections and *connect* failures are retried
-        — a drop after the frame was sent leaves the mutation's fate
-        unknown, and retrying could apply it twice.  Callers that need
-        at-least-once across drops (the fleet's replicated writes) track
-        acknowledgements themselves.
+        Only busy/draining/frozen rejections and *connect* failures are
+        retried — a drop after the frame was sent leaves the mutation's
+        fate unknown, and retrying could apply it twice.  Callers that
+        need at-least-once across drops (the fleet's replicated writes)
+        track acknowledgements themselves and stamp each logical write
+        with a ``write_id`` so re-deliveries dedupe server-side.
         """
         clause = _as_clause(clause_or_term)
         deadline = None if deadline_s is None else time.monotonic() + deadline_s
         frame = self._request_with_retries(
             FrameType.REQ_MUTATE,
             lambda: protocol.encode_mutate_request(
-                op, clause, module, manifest_version, _deadline_ms(deadline)
+                op, clause, module, manifest_version, _deadline_ms(deadline),
+                write_id,
             ),
             deadline,
             retryable=_MUTATION_RETRYABLE,

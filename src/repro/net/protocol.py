@@ -36,7 +36,7 @@ import struct
 from dataclasses import dataclass
 from enum import IntEnum
 
-from ..cluster import MergedRetrievalStats
+from ..cluster import MergedRetrievalStats, WritesFrozen
 from ..crs import RetrievalResult, RetrievalStats, RetrievalTimeout, SearchMode
 from ..engine.interp import PrologError, ResourceError
 from ..pif import CompiledClause, PIFDecoder, PIFEncoder, SymbolTable, compile_clause
@@ -58,6 +58,7 @@ __all__ = [
     "ServerDraining",
     "DeadlineExceeded",
     "StaleManifest",
+    "WritesFrozen",
     "RemoteError",
     "encode_frame",
     "decode_header",
@@ -128,6 +129,7 @@ class ErrorCode(IntEnum):
     RESOURCE_EXHAUSTED = 7
     RESOLUTION_ERROR = 8
     STALE_MANIFEST = 9
+    WRITE_FROZEN = 10
 
 
 class ProtocolError(ValueError):
@@ -582,10 +584,16 @@ def encode_mutate_request(
     module: str = "user",
     manifest_version: int = 0,
     deadline_ms: int = 0,
+    write_id: str = "",
 ) -> bytes:
     """A ``REQ_MUTATE`` payload.  ``manifest_version`` is the placement
     the client routed under; 0 means "unversioned" (single-node use) and
-    is never rejected as stale."""
+    is never rejected as stale.  ``write_id`` is the client's
+    idempotency stamp for the logical write — one id per write, reused
+    across re-routes and replica fan-out, so a node that sees the same
+    id twice (directly and via a migration delta replay) applies it
+    once.  Empty means unstamped; the field is a trailing addition, so
+    old decoders simply ignore it and old frames decode as unstamped."""
     if op not in MUTATION_OPS:
         raise ValueError(f"unknown mutation op {op!r}")
     encoder = PayloadEncoder()
@@ -594,10 +602,13 @@ def encode_mutate_request(
     encoder.body.u32(max(0, deadline_ms))
     encoder.body.text(module)
     encoder.clause(clause)
+    encoder.body.text(write_id)
     return encoder.finish()
 
 
-def decode_mutate_request(payload: bytes) -> tuple[str, Clause, str, int, int]:
+def decode_mutate_request(
+    payload: bytes,
+) -> tuple[str, Clause, str, int, int, str]:
     decoder = PayloadDecoder(payload)
     op_index = decoder.body.u8()
     if op_index >= len(MUTATION_OPS):
@@ -606,7 +617,11 @@ def decode_mutate_request(payload: bytes) -> tuple[str, Clause, str, int, int]:
     deadline_ms = decoder.body.u32()
     module = decoder.body.text()
     clause = decoder.clause()
-    return MUTATION_OPS[op_index], clause, module, manifest_version, deadline_ms
+    write_id = "" if decoder.body.at_end() else decoder.body.text()
+    return (
+        MUTATION_OPS[op_index], clause, module, manifest_version,
+        deadline_ms, write_id,
+    )
 
 
 def encode_mutated_response(
@@ -719,6 +734,8 @@ def error_to_exception(code: ErrorCode, message: str) -> Exception:
         return PrologError(message)
     if code is ErrorCode.STALE_MANIFEST:
         return StaleManifest(message)
+    if code is ErrorCode.WRITE_FROZEN:
+        return WritesFrozen(message)
     return RemoteError(f"{code.name}: {message}")
 
 
@@ -739,6 +756,8 @@ def exception_to_error(exc: BaseException) -> tuple[ErrorCode, str]:
         return ErrorCode.RESOLUTION_ERROR, str(exc)
     if isinstance(exc, StaleManifest):
         return ErrorCode.STALE_MANIFEST, str(exc)
+    if isinstance(exc, WritesFrozen):
+        return ErrorCode.WRITE_FROZEN, str(exc)
     if isinstance(exc, (ProtocolError, ValueError, KeyError)):
         return ErrorCode.BAD_REQUEST, str(exc)
     return ErrorCode.INTERNAL, f"{type(exc).__name__}: {exc}"

@@ -426,7 +426,7 @@ class RetrievalService:
         started = time.monotonic()
         try:
             try:
-                op, clause, module, manifest_version, deadline_ms = (
+                op, clause, module, manifest_version, deadline_ms, write_id = (
                     protocol.decode_mutate_request(payload)
                 )
             except Exception as exc:
@@ -465,18 +465,27 @@ class RetrievalService:
                 with self.obs.span(
                     "net.mutate", op=op, request_id=request_id
                 ):
+                    stamp = write_id or None
                     removed = None
                     if op == "assertz":
-                        self.engine.assertz(clause, module=module)
+                        self.engine.assertz(
+                            clause, module=module, write_id=stamp
+                        )
                         applied = True
                     elif op == "asserta":
-                        self.engine.asserta(clause, module=module)
+                        self.engine.asserta(
+                            clause, module=module, write_id=stamp
+                        )
                         applied = True
                     elif op == "retract":
-                        removed = self.engine.retract_matching(clause)
+                        removed = self.engine.retract_matching(
+                            clause, write_id=stamp
+                        )
                         applied = removed is not None
                     else:  # retract_exact
-                        applied = self.engine.remove_exact(clause)
+                        applied = self.engine.remove_exact(
+                            clause, write_id=stamp
+                        )
                     return applied, removed
 
             loop = asyncio.get_running_loop()

@@ -16,11 +16,13 @@ from repro.cluster import (
     FleetClient,
     MigrationError,
     ShardedRetrievalServer,
+    WritesFrozen,
     migrate_shard,
     resync_replica,
 )
 from repro.cluster.fleet import ClusterNode
 from repro.cluster.migrate import catch_up, snapshot_node
+from repro.net import RetrievalClient
 from repro.storage import kb_fingerprint, load_kb
 from repro.terms import Atom, Clause, Struct
 
@@ -236,6 +238,99 @@ class TestResync:
             resync_replica(peer, stale, tmp_path)
 
 
+class TestWriteIdempotency:
+    def test_duplicate_assert_applies_once(self):
+        node = engine_node()
+        node.engine.consult_text("p(a).")
+        node.engine.assertz(fact("p", "b"), write_id="c:1")
+        node.engine.assertz(fact("p", "b"), write_id="c:1")
+        assert prints(node)["p/1"].count("p(b).") == 1
+
+    def test_duplicate_retract_reports_the_first_removal(self):
+        node = engine_node()
+        node.engine.consult_text("p(a). p(a).")
+        first = node.engine.retract_matching(fact("p", "a"), write_id="c:2")
+        second = node.engine.retract_matching(fact("p", "a"), write_id="c:2")
+        assert str(first) == "p(a)."
+        assert str(second) == str(first)
+        # The duplicate delivery must not have removed the second copy.
+        assert prints(node)["p/1"] == ["p(a)."]
+
+    def test_delta_replay_dedupes_a_rerouted_write(self, tmp_path):
+        """The double-apply race, distilled: a write lands on the source
+        (and its log) after the snapshot cut, the client re-routes the
+        *same* write directly to the target, and the catch-up delta then
+        replays the source's copy — the target must hold exactly one."""
+        source, target = engine_node(), engine_node()
+        source.engine.consult_text("p(a).")
+        seq = snapshot_node(source, tmp_path)
+        target.engine.adopt_kb(load_kb(tmp_path))
+        source.engine.assertz(fact("p", "raced"), write_id="client:7")
+        # The client's re-route arrives at the target first...
+        target.engine.assertz(fact("p", "raced"), write_id="client:7")
+        # ...and the delta replay carries the same stamped write again.
+        catch_up(source, target, seq)
+        assert prints(target)["p/1"].count("p(raced).") == 1
+        assert prints(target) == prints(source)
+
+    def test_snapshot_carries_the_write_id_memo(self, tmp_path):
+        """A write already *inside* the snapshot dedupes a re-route too:
+        the applied-id memo travels with the clause files."""
+        source, target = engine_node(), engine_node()
+        source.engine.consult_text("p(a).")
+        source.engine.assertz(fact("p", "early"), write_id="client:9")
+        resync_replica(source, target, tmp_path)
+        target.engine.assertz(fact("p", "early"), write_id="client:9")
+        assert prints(target)["p/1"].count("p(early).") == 1
+
+
+class TestWriteFreeze:
+    def test_frozen_engine_refuses_mutations_without_applying(self):
+        node = engine_node()
+        node.engine.consult_text("p(a).")
+        node.engine.freeze_writes()
+        with pytest.raises(WritesFrozen):
+            node.engine.assertz(fact("p", "b"))
+        with pytest.raises(WritesFrozen):
+            node.engine.retract_matching(fact("p", "a"))
+        assert prints(node)["p/1"] == ["p(a)."]
+        node.engine.thaw_writes()
+        node.engine.assertz(fact("p", "b"))
+        assert "p(b)." in prints(node)["p/1"]
+
+    def test_freeze_is_a_quiescence_barrier(self):
+        """Once freeze_writes() returns, the mutation log is final:
+        every concurrent writer either landed (and is logged) before
+        the freeze or was refused — never logged afterwards."""
+        node = engine_node()
+        node.engine.consult_text("p(a).")
+        before = node.engine.version
+        outcomes = []
+        barrier = threading.Barrier(9)
+
+        def writer(i):
+            barrier.wait()
+            try:
+                node.engine.assertz(fact("p", f"w{i}"))
+                outcomes.append("landed")
+            except WritesFrozen:
+                outcomes.append("refused")
+
+        threads = [
+            threading.Thread(target=writer, args=(i,)) for i in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        barrier.wait()
+        node.engine.freeze_writes()
+        version_at_freeze = node.engine.version
+        for thread in threads:
+            thread.join()
+        assert node.engine.version == version_at_freeze
+        assert len(outcomes) == 8
+        assert outcomes.count("landed") == version_at_freeze - before
+
+
 PROGRAM = "p(a). p(b). q(c). q(d)."
 
 
@@ -314,3 +409,193 @@ class TestMigrateShard:
             assert fleet.manifest.version == version
             assert set(fleet.nodes) == nodes_before
             assert fleet.nodes[source].alive
+
+    def test_failed_migration_leaves_no_replica_frozen(
+        self, tmp_path, monkeypatch
+    ):
+        """An abort after the freeze must thaw everything it froze."""
+        from repro.cluster import migrate as migrate_mod
+
+        with Fleet(PROGRAM, num_shards=1, replicas=2) as fleet:
+            source = fleet.manifest.replicas_for(0)[0]
+
+            def frozen_boom(source_node, target_node, seq):
+                raise RuntimeError("simulated delta failure")
+
+            monkeypatch.setattr(migrate_mod, "catch_up", frozen_boom)
+            with pytest.raises(RuntimeError, match="simulated"):
+                migrate_shard(fleet, 0, source, tmp_path)
+            for address in fleet.manifest.replicas_for(0):
+                assert not fleet.nodes[address].engine.writes_frozen
+
+    def test_rerouted_write_does_not_double_apply(self, tmp_path):
+        """The reviewed flip race, end to end: the same logical write
+        reaches the target both inside the migrated state and as a
+        direct client delivery (a post-flip re-route of a write the
+        source had already accepted); the target must hold one copy."""
+        with Fleet(PROGRAM, num_shards=1, replicas=2) as fleet:
+            client = FleetClient(fleet.manifest, fleet.router)
+            with client:
+                client.assertz(fact("p", "racer"))
+            source = fleet.manifest.replicas_for(0)[0]
+            record = next(
+                r for r in fleet.nodes[source].engine._mutation_log
+                if r.clause is not None and str(r.clause) == "p(racer)."
+            )
+            assert record.write_id  # fleet writes are stamped
+            target = migrate_shard(fleet, 0, source, tmp_path, verify=True)
+            host, _, port = target.rpartition(":")
+            with RetrievalClient(host, int(port)) as direct:
+                direct.mutate(
+                    "assertz", fact("p", "racer"), write_id=record.write_id
+                )
+            survivor = fleet.nodes[target]
+            assert prints(survivor)["p/1"].count("p(racer).") == 1
+
+    def test_target_is_complete_the_moment_it_is_readable(self, tmp_path):
+        """The flip happens only after the final delta: at every
+        manifest version that lists the target, the target already
+        holds everything the source acknowledged."""
+        with Fleet(PROGRAM, num_shards=1, replicas=2) as fleet:
+            client = FleetClient(fleet.manifest, fleet.router)
+            with client:
+                client.assertz(fact("p", "acked_before_move"))
+            source = fleet.manifest.replicas_for(0)[0]
+            holder = fleet.holder
+            original_flip = holder.flip
+            seen_at_flip = {}
+
+            def checking_flip(manifest):
+                new_address = (
+                    set(manifest.replicas_for(0))
+                    - set(holder.current.replicas_for(0))
+                )
+                for address in new_address:
+                    seen_at_flip[address] = prints(fleet.nodes[address])
+                return original_flip(manifest)
+
+            holder.flip = checking_flip
+            try:
+                target = migrate_shard(fleet, 0, source, tmp_path)
+            finally:
+                holder.flip = original_flip
+            assert target in seen_at_flip
+            assert "p(acked_before_move)." in seen_at_flip[target]["p/1"]
+
+    def test_migration_under_concurrent_client_writes(self, tmp_path):
+        """Writes racing the snapshot, freeze, and flip: no acknowledged
+        write may be lost from a trusted replica, and *no* replica may
+        hold a duplicate (the double-apply race would show up here)."""
+        with Fleet(PROGRAM, num_shards=1, replicas=2) as fleet:
+            client = FleetClient(fleet.manifest, fleet.router)
+            with client:
+                source = fleet.manifest.replicas_for(0)[0]
+                acked: list[Clause] = []
+                stop = threading.Event()
+
+                def writer():
+                    i = 0
+                    while not stop.is_set() and i < 300:
+                        clause = fact("p", f"c{i}")
+                        i += 1
+                        try:
+                            client.assertz(clause)
+                        except Exception:
+                            continue
+                        acked.append(clause)
+
+                thread = threading.Thread(target=writer)
+                thread.start()
+                try:
+                    target = migrate_shard(fleet, 0, source, tmp_path)
+                finally:
+                    stop.set()
+                    thread.join()
+                assert acked
+                replicas = fleet.manifest.replicas_for(0)
+                assert target in replicas
+                stale = client.stale_addresses
+                books = {
+                    address: prints(fleet.nodes[address])["p/1"]
+                    for address in replicas
+                }
+                for clause in acked:
+                    text = str(clause)
+                    for address in replicas:
+                        copies = books[address].count(text)
+                        assert copies <= 1, (text, address)
+                        if address not in stale:
+                            assert copies == 1, (text, address)
+
+
+class TestFleetClientConsistency:
+    def test_writes_ride_out_a_freeze_window(self):
+        """A write hitting a frozen replica group backs off and retries
+        instead of failing — and frozen refusals, having provably
+        applied nothing, do not stale-mark anybody."""
+        with Fleet(PROGRAM, num_shards=1, replicas=2) as fleet:
+            nodes = [
+                fleet.nodes[a] for a in fleet.manifest.replicas_for(0)
+            ]
+            for node in nodes:
+                node.engine.freeze_writes()
+            waits = []
+
+            def sleep_then_thaw(seconds):
+                waits.append(seconds)
+                for node in nodes:
+                    node.engine.thaw_writes()
+
+            client = FleetClient(
+                fleet.manifest, fleet.router, sleep=sleep_then_thaw
+            )
+            with client:
+                client.assertz(fact("p", "thawed"))
+                assert waits  # the freeze was actually hit and waited out
+                assert not client.stale_addresses
+                for node in nodes:
+                    assert "p(thawed)." in prints(node)["p/1"]
+
+    def test_reads_from_a_fully_stale_shard_are_flagged_degraded(self):
+        with Fleet(PROGRAM, num_shards=1, replicas=2) as fleet:
+            client = FleetClient(fleet.manifest, fleet.router)
+            with client:
+                goal = Struct("p", (Atom("a"),))
+                assert client.retrieve(goal).stats.degraded is False
+                for address in fleet.manifest.replicas_for(0):
+                    client.mark_stale(address)
+                degraded = client.retrieve(goal)
+                assert degraded.stats.degraded is True
+                # Degraded availability still answers.
+                assert [str(c) for c in degraded.candidates] == ["p(a)."]
+                client.clear_stale(fleet.manifest.replicas_for(0)[0])
+                assert client.retrieve(goal).stats.degraded is False
+
+    def test_extra_clients_are_pruned_and_closed(self):
+        closed = []
+
+        with Fleet(PROGRAM, num_shards=1, replicas=2) as fleet:
+            client = FleetClient(fleet.manifest, fleet.router)
+
+            class TrackingFailover(client._failover_cls):
+                def close(self):
+                    closed.append(self)
+                    super().close()
+
+            client._failover_cls = TrackingFailover
+            with client:
+                victim = fleet.manifest.replicas_for(0)[1]
+                # Stale-marking evicts the address from the read set, so
+                # write fan-out needs a one-address extra client for it.
+                client.mark_stale(victim)
+                client.assertz(fact("p", "via_extra"))
+                assert victim in client._extra_clients
+                extra = client._extra_clients[victim]
+                # A manifest that no longer lists the address prunes
+                # (and closes) its extra client.
+                client.adopt_manifest(
+                    fleet.manifest.without_replica(0, victim)
+                )
+                assert victim not in client._extra_clients
+                assert extra in closed
+            assert client._extra_clients == {}

@@ -25,6 +25,7 @@ from repro.net.protocol import (
     RemoteError,
     ServerBusy,
     ServerDraining,
+    WritesFrozen,
     decode_header,
     encode_frame,
 )
@@ -132,6 +133,29 @@ class TestRequestPayloads:
         assert [str(g) for g in decoded] == [str(g) for g in goals]
         assert mode is SearchMode.BOTH
         assert deadline_ms == 250
+
+    def test_mutate_request_round_trip_with_write_id(self):
+        clause = Clause(head=read_term("p(a, b)"), body=())
+        payload = protocol.encode_mutate_request(
+            "assertz", clause, "mod", 7, 1500, "client1:42"
+        )
+        op, decoded, module, version, deadline_ms, write_id = (
+            protocol.decode_mutate_request(payload)
+        )
+        assert op == "assertz"
+        assert str(decoded) == str(clause)
+        assert module == "mod"
+        assert version == 7
+        assert deadline_ms == 1500
+        assert write_id == "client1:42"
+
+    def test_mutate_request_write_id_defaults_empty(self):
+        # A frame without the trailing write_id field (an unstamped or
+        # old-encoder frame) must decode as "" — not raise.
+        clause = Clause(head=read_term("p(a)"), body=())
+        payload = protocol.encode_mutate_request("retract", clause)
+        *_, write_id = protocol.decode_mutate_request(payload)
+        assert write_id == ""
 
     def test_shared_variables_stay_shared(self):
         # q(X, X) must decode with *one* variable bound twice, not two
@@ -276,6 +300,7 @@ class TestErrorMapping:
             (ErrorCode.DEADLINE_EXPIRED, DeadlineExceeded),
             (ErrorCode.UNKNOWN_PREDICATE, UnknownPredicateError),
             (ErrorCode.SHUTTING_DOWN, ServerDraining),
+            (ErrorCode.WRITE_FROZEN, WritesFrozen),
             (ErrorCode.BAD_REQUEST, RemoteError),
             (ErrorCode.INTERNAL, RemoteError),
         ],
@@ -290,6 +315,7 @@ class TestErrorMapping:
             (DeadlineExceeded("x"), ErrorCode.DEADLINE_EXPIRED),
             (RetrievalTimeout("x"), ErrorCode.DEADLINE_EXPIRED),
             (ServerDraining("x"), ErrorCode.SHUTTING_DOWN),
+            (WritesFrozen("x"), ErrorCode.WRITE_FROZEN),
             (ProtocolError("x"), ErrorCode.BAD_REQUEST),
             (ValueError("x"), ErrorCode.BAD_REQUEST),
             (RuntimeError("x"), ErrorCode.INTERNAL),
