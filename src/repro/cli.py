@@ -133,8 +133,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--fs2-mode", choices=["compiled", "microcoded"], default="compiled"
     )
     serve.add_argument(
+        "--workers", default="threads",
+        help="shard execution backend: 'threads' (default) or "
+        "'processes[:N]' to host each shard in a worker process over "
+        "shared mmap segments (N overrides --shards)",
+    )
+    serve.add_argument(
         "--max-in-flight", type=int, default=4,
         help="concurrent retrievals executing (worker threads)",
+    )
+    serve.add_argument(
+        "--executor-workers", type=int, default=None,
+        help="service thread-pool size (default: --max-in-flight); "
+        "raise it with --workers processes:N so fan-out overlaps",
     )
     serve.add_argument(
         "--queue-limit", type=int, default=16,
@@ -206,10 +217,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="open-loop load generator against a running `serve` instance",
     )
     loadgen.add_argument("--host", default="127.0.0.1")
-    loadgen.add_argument("--port", type=int, required=True)
+    loadgen.add_argument(
+        "--port", type=int, default=None,
+        help="port of a running `serve` instance (omit with --cores)",
+    )
     loadgen.add_argument(
         "--goal", action="append", default=[], required=True,
         help="goal pool, issued round-robin (repeatable)",
+    )
+    loadgen.add_argument(
+        "--cores", default=None, metavar="N[,N...]",
+        help="self-hosting sweep: serve --file at each core count with "
+        "process shard workers and print a percentile table",
+    )
+    loadgen.add_argument(
+        "--file", default=None,
+        help="Prolog source to self-host (required with --cores)",
+    )
+    loadgen.add_argument(
+        "--workers", choices=["processes", "threads"], default="processes",
+        help="shard backend for the --cores sweep",
     )
     loadgen.add_argument("--qps", type=float, default=200.0)
     loadgen.add_argument("--duration-s", type=float, default=1.0)
@@ -416,24 +443,40 @@ def _cmd_serve(args, out) -> int:
     from .report import format_net_report
 
     obs = Instrumentation()
-    server = ShardedRetrievalServer(
-        max(1, args.shards),
-        args.shard_by,
-        fs1_mode=args.fs1_mode,
-        fs2_mode=args.fs2_mode,
-        obs=obs,
-    )
+    backend, num_shards = _parse_workers(args.workers, max(1, args.shards))
+    if backend == "processes":
+        from .parallel import ProcessShardedRetrievalServer
+
+        server = ProcessShardedRetrievalServer(
+            num_shards,
+            args.shard_by,
+            fs1_mode=args.fs1_mode,
+            fs2_mode=args.fs2_mode,
+            obs=obs,
+        )
+    else:
+        server = ShardedRetrievalServer(
+            num_shards,
+            args.shard_by,
+            fs1_mode=args.fs1_mode,
+            fs2_mode=args.fs2_mode,
+            obs=obs,
+        )
     with open(args.file, encoding="utf-8") as handle:
         count = server.consult_text(handle.read())
-    out.write(f"consulted {count} clauses into {max(1, args.shards)} shard(s)\n")
+    out.write(f"consulted {count} clauses into {num_shards} shard(s)\n")
     if args.disk:
         server.pin_module("user", Residency.DISK)
         out.write("shard programs pinned to the simulated disks\n")
+    if backend == "processes":
+        server.start()
+        out.write(f"[parallel] {num_shards} shard worker process(es) up\n")
     service = RetrievalService(
         server,
         args.host,
         args.port,
         max_in_flight=args.max_in_flight,
+        executor_workers=args.executor_workers,
         queue_limit=args.queue_limit,
         default_deadline_s=(
             args.default_deadline_ms / 1000.0
@@ -466,8 +509,25 @@ def _cmd_serve(args, out) -> int:
         asyncio.run(serve())
     except KeyboardInterrupt:
         pass  # run()'s finally already drained
+    finally:
+        if backend == "processes":
+            server.close()
     out.write(format_net_report(obs.registry) + "\n")
     return 0
+
+
+def _parse_workers(spec: str, default_shards: int) -> tuple[str, int]:
+    """Parse ``--workers threads | processes[:N]`` into (backend, shards)."""
+    if spec == "threads":
+        return "threads", default_shards
+    if spec == "processes":
+        return "processes", default_shards
+    if spec.startswith("processes:"):
+        count = int(spec.split(":", 1)[1])
+        if count < 1:
+            raise SystemExit("--workers processes:N needs N >= 1")
+        return "processes", count
+    raise SystemExit(f"unknown --workers backend {spec!r}")
 
 
 def _cmd_client(args, out) -> int:
@@ -557,6 +617,30 @@ def _cmd_loadgen(args, out) -> int:
     mode = SearchMode(args.mode) if args.mode else None
     deadline_s = args.deadline_ms / 1000.0 if args.deadline_ms > 0 else None
     goals = [read_term(text) for text in args.goal]
+    if args.cores is not None:
+        from .workloads import format_cores_table, run_cores_sweep
+
+        if args.file is None:
+            out.write("error: --cores needs --file (the program to self-host)\n")
+            return 1
+        cores = tuple(int(part) for part in args.cores.split(","))
+        with open(args.file, encoding="utf-8") as handle:
+            program_text = handle.read()
+        rows = run_cores_sweep(
+            program_text,
+            goals,
+            cores=cores,
+            qps=args.qps,
+            duration_s=args.duration_s,
+            mode=mode,
+            deadline_s=deadline_s,
+            workers=args.workers,
+        )
+        out.write(format_cores_table(rows) + "\n")
+        return 0
+    if args.port is None:
+        out.write("error: --port is required without --cores\n")
+        return 1
     result = run_loadgen(
         args.host,
         args.port,

@@ -278,6 +278,7 @@ class ShardedRetrievalServer:
             self._bump_version(
                 op="assertz", clause=clause, module=module, write_id=write_id
             )
+            self._on_shard_mutation(shard, "assertz", clause, module)
         self.obs.counter("cluster.clauses_routed", shard=str(shard_id)).inc()
         return shard_id
 
@@ -314,6 +315,7 @@ class ShardedRetrievalServer:
             self._bump_version(
                 op="asserta", clause=clause, module=module, write_id=write_id
             )
+            self._on_shard_mutation(shard, "asserta", clause, module)
 
     def retract(self, clause_or_term: Clause | Term) -> bool:
         """Remove the first matching clause, probing shards in id order."""
@@ -351,6 +353,10 @@ class ShardedRetrievalServer:
                     self._bump_version(
                         op="retract", clause=removed, write_id=write_id
                     )
+                    # Forward the clause actually removed, not the
+                    # template: replaying the template on the worker
+                    # could remove a different (more general) clause.
+                    self._on_shard_mutation(shard, "remove_exact", removed)
             if removed is not None:
                 return removed
         return None
@@ -362,6 +368,14 @@ class ShardedRetrievalServer:
         if residency == Residency.DISK:
             for shard in self.shards:
                 shard.kb.sync_to_disk()
+        self._on_pin_module(name, residency)
+
+    def _on_pin_module(self, name: str, residency: str) -> None:
+        """Hook: a residency pin was applied to every shard.
+
+        Process-backed subclasses forward the pin so worker engines
+        plan and account disk residency identically to the parent.
+        """
 
     def sync_to_disk(self) -> dict[int, list[str]]:
         """Write each shard's disk-resident extents; extents per shard."""
@@ -518,6 +532,7 @@ class ShardedRetrievalServer:
                     self._bump_version(
                         op="retract", clause=clause, write_id=write_id
                     )
+                    self._on_shard_mutation(shard, "remove_exact", clause)
             if removed:
                 return True
         return False
@@ -559,6 +574,7 @@ class ShardedRetrievalServer:
             with self._cache_lock:
                 self._applied_writes.clear()
             self._bump_version(op="reload")
+            self._on_shard_mutation(shard, "reload", None)
 
     # -- retrieval -----------------------------------------------------------
 
@@ -604,8 +620,8 @@ class ShardedRetrievalServer:
                 shard = self.shards[shard_id]
                 self._acquire_shard(shard, deadline)
                 try:
-                    shard_results[shard_id] = shard.server.retrieve(
-                        goal, mode=effective_mode
+                    shard_results[shard_id] = self._shard_retrieve(
+                        shard, goal, effective_mode
                     )
                 finally:
                     shard.lock.release()
@@ -683,9 +699,10 @@ class ShardedRetrievalServer:
                 self._acquire_shard(shard, deadline)
                 try:
                     for effective_mode, items in shard_work[shard_id].items():
-                        sub = shard.server.retrieve_batch(
+                        sub = self._shard_retrieve_batch(
+                            shard,
                             [pending[i][1] for i in items],
-                            mode=effective_mode,
+                            effective_mode,
                         )
                         for item, result in zip(items, sub):
                             shard_results[item][shard_id] = result
@@ -736,6 +753,40 @@ class ShardedRetrievalServer:
                 shards=len(busy_shards),
             )
         return results  # type: ignore[return-value]
+
+    # -- shard execution seam -------------------------------------------------
+    #
+    # All engine work funnels through these two methods (called with the
+    # shard's lock held), so an execution backend that hosts the engine
+    # elsewhere — e.g. the process workers in :mod:`repro.parallel` —
+    # only overrides *where* the retrieval runs.  Routing, planning,
+    # caching, merging and accounting stay in this class, which is what
+    # keeps the two backends' results and modelled stats bit-identical.
+
+    def _shard_retrieve(
+        self, shard: ClusterShard, goal: Term, mode: SearchMode
+    ) -> RetrievalResult:
+        return shard.server.retrieve(goal, mode=mode)
+
+    def _shard_retrieve_batch(
+        self, shard: ClusterShard, goals: list[Term], mode: SearchMode
+    ) -> list[RetrievalResult]:
+        return shard.server.retrieve_batch(goals, mode=mode)
+
+    def _on_shard_mutation(
+        self,
+        shard: ClusterShard,
+        op: str,
+        clause: Clause | None,
+        module: str = "user",
+    ) -> None:
+        """Hook: one mutation just applied to ``shard`` (lock held).
+
+        The base server mutates the shard's engine in place, so there is
+        nothing to do; a process-backed subclass forwards the mutation to
+        the shard's worker before releasing the lock, so whichever
+        reader acquires the lock next sees post-mutation worker state.
+        """
 
     @staticmethod
     def _acquire_shard(shard: ClusterShard, deadline: float | None) -> None:

@@ -22,6 +22,7 @@ from __future__ import annotations
 import threading
 from dataclasses import dataclass, field
 from enum import Enum
+from typing import Iterable
 
 from ..disk import TransferStats
 from ..fs2 import SecondStageFilter
@@ -145,6 +146,7 @@ class ClauseRetrievalServer:
         fs1_mode: str = "bitsliced",
         fs2_mode: str = "compiled",
         decode_cache_size: int = 4096,
+        decode_cache_bytes: int = 8 << 20,
     ):
         self.kb = kb
         self.cost_model = cost_model or HostCostModel()
@@ -173,8 +175,17 @@ class ClauseRetrievalServer:
         # replace the whole file (fresh generation), so entries never go
         # stale — the LRU bound just caps memory.  FS2 re-runs over
         # recurring candidate sets skip the PIF re-decode entirely.
+        # The cache is bounded by *resident bytes* (each entry charged
+        # its serialised record length, a stable proxy for the decoded
+        # term graph) so a worker process has a predictable memory
+        # ceiling regardless of clause size; ``decode_cache_size`` still
+        # caps entries as a secondary bound.
         self.decode_cache_size = decode_cache_size
-        self._decode_cache: "OrderedDict[tuple[int, int], Clause]" = OrderedDict()
+        self.decode_cache_bytes = decode_cache_bytes
+        self._decode_cache: "OrderedDict[tuple[int, int], tuple[Clause, int]]" = (
+            OrderedDict()
+        )
+        self._decode_cache_bytes = 0
         self._decode_lock = threading.Lock()
 
     # -- public API --------------------------------------------------------
@@ -500,7 +511,12 @@ class ClauseRetrievalServer:
     ) -> RetrievalResult:
         stats = RetrievalStats(mode=SearchMode.FS2_ONLY, residency=residency)
         stats.clauses_total = len(store)
-        records = [store.clause_file.record(i).to_bytes() for i in range(len(store))]
+        # Lazy feed: records stream into the FS2 chunker one at a time
+        # (memoryview slices when the clause file is segment-backed), so
+        # a full-predicate scan never materialises the record list.
+        records = (
+            store.clause_file.record_bytes(i) for i in range(len(store))
+        )
         addresses = store.clause_file.record_addresses()
         if residency == Residency.DISK:
             _, transfer = self._read_clause_extent(store)
@@ -537,7 +553,7 @@ class ClauseRetrievalServer:
             stats.disk_time_s += max(0.0, index_transfer - stats.fs1_time_s)
             stats.bytes_from_disk += store.index.size_bytes()
         candidates = self._stream_through_fs2(
-            goal, store, list(records), stats,
+            goal, store, records, stats,
             list(fs1_result.candidate_addresses),
         )
         stats.final_candidates = len(candidates)
@@ -554,17 +570,20 @@ class ClauseRetrievalServer:
         self,
         goal: Term,
         store: PredicateStore,
-        records: list[bytes],
+        records: "Iterable[bytes]",
         stats: RetrievalStats,
         addresses: list[int] | None = None,
     ) -> list[Clause]:
         """Run records through FS2 in track-sized search calls.
 
-        ``addresses`` (parallel to ``records``) lets surviving records
-        decode through the clause cache.  The Result Memory records the
-        in-call stream position of every captured slot, so each result
-        record maps back to its address by a direct index — O(results)
-        per call, not O(call x results).
+        ``records`` may be any iterable (lazy generators from the FS1
+        survivor enumeration or a segment-backed clause file stream
+        straight through without an intermediate list).  ``addresses``
+        (parallel to ``records``) lets surviving records decode through
+        the clause cache.  The Result Memory records the in-call stream
+        position of every captured slot, so each result record maps back
+        to its address by a direct index — O(results) per call, not
+        O(call x results).
         """
         self.fs2.set_query(goal)
         track_bytes = self.kb.disk.drive.geometry.track_bytes
@@ -615,13 +634,15 @@ class ClauseRetrievalServer:
         store: PredicateStore,
         addresses: tuple[int, ...],
         residency: str,
-    ) -> tuple[list[bytes], TransferStats]:
+    ) -> "tuple[Iterable[bytes], TransferStats]":
         """Fetch candidate records by address (selective disk reads).
 
         Record spans come from the clause file's incrementally-maintained
         address table, so the cost is O(candidates) — the "selective" FS1
         path no longer re-serialises every record of the predicate on
-        every retrieval.
+        every retrieval.  The memory-resident path yields records lazily
+        (zero-copy memoryviews for segment-backed clause files) so the
+        FS1→FS2 hand-off never builds an intermediate record list.
         """
         spans = [store.clause_file.record_span(a) for a in addresses]
         if residency == Residency.DISK:
@@ -634,9 +655,9 @@ class ClauseRetrievalServer:
                 store.extent_name(), offsets
             )
             return list(record_iter), transfer
-        records = [
+        records = (
             store.clause_file.record_bytes(position) for position, _ in spans
-        ]
+        )
         return records, TransferStats()
 
     def _ensure_on_disk(self, store: PredicateStore) -> None:
@@ -679,19 +700,26 @@ class ClauseRetrievalServer:
             return decode_compiled(compiled, self.kb.symbols)
         key = (store.clause_file.generation, address)
         with self._decode_lock:
-            clause = self._decode_cache.get(key)
-            if clause is not None:
+            entry = self._decode_cache.get(key)
+            if entry is not None:
                 self._decode_cache.move_to_end(key)
-        if clause is not None:
+        if entry is not None:
             self.obs.counter("crs.decode_cache.hits").inc()
-            return clause
+            return entry[0]
         self.obs.counter("crs.decode_cache.misses").inc()
         compiled, _ = CompiledClause.from_bytes(record, store.indicator)
         clause = decode_compiled(compiled, self.kb.symbols)
+        cost = len(record)
         with self._decode_lock:
-            self._decode_cache[key] = clause
-            while len(self._decode_cache) > self.decode_cache_size:
-                self._decode_cache.popitem(last=False)
+            self._decode_cache[key] = (clause, cost)
+            self._decode_cache_bytes += cost
+            while self._decode_cache and (
+                self._decode_cache_bytes > self.decode_cache_bytes
+                or len(self._decode_cache) > self.decode_cache_size
+            ):
+                _, (_, evicted) = self._decode_cache.popitem(last=False)
+                self._decode_cache_bytes -= evicted
+            self.obs.gauge("crs.decode_cache.bytes").set(self._decode_cache_bytes)
         return clause
 
 

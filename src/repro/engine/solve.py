@@ -44,8 +44,11 @@ from ..crs.keys import canonical_goal_key
 from ..crs.server import RetrievalTimeout
 from ..storage import UnknownPredicateError
 from ..terms import (
+    Atom,
     Clause,
+    Struct,
     Term,
+    Var,
     freshen_anonymous,
     read_term,
     variables,
@@ -82,6 +85,7 @@ class ClusterRetriever:
         backend,
         mode: SearchMode | None = None,
         cache_size: int = 512,
+        cache_bytes: int = 4 << 20,
         prefetch_width: int = 8,
         unknown: str = "fail",
     ):
@@ -90,10 +94,15 @@ class ClusterRetriever:
         self._backend = backend
         self.mode = mode
         self.cache_size = cache_size
+        self.cache_bytes = cache_bytes
         self.prefetch_width = prefetch_width
         self.unknown = unknown
         self.stats = RetrieverStats()
-        self._cache: "OrderedDict[tuple, list[Clause]]" = OrderedDict()
+        # key -> (candidates, estimated bytes); bounded by entry count
+        # AND by estimated resident bytes, so a few huge candidate lists
+        # can't pin the whole predicate set in memory.
+        self._cache: "OrderedDict[tuple, tuple[list[Clause], int]]" = OrderedDict()
+        self._cache_bytes = 0
         self._version = self._backend_version()
         self._deadline: float | None = None
         self._supports_timeout = _accepts_timeout(backend.retrieve)
@@ -197,16 +206,18 @@ class ClusterRetriever:
         version = self._backend_version()
         if version != self._version:
             self._cache.clear()
+            self._cache_bytes = 0
             self._version = version
 
     def _cache_probe(self, key: tuple) -> list[Clause] | None:
         if self.cache_size <= 0:
             return None
-        cached = self._cache.get(key)
-        if cached is not None:
-            self._cache.move_to_end(key)
-            self.stats.cache_hits += 1
-        return cached
+        entry = self._cache.get(key)
+        if entry is None:
+            return None
+        self._cache.move_to_end(key)
+        self.stats.cache_hits += 1
+        return entry[0]
 
     def _cache_insert(
         self, key: tuple, candidates: list[Clause], version_snapshot: int
@@ -215,9 +226,20 @@ class ClusterRetriever:
         # the *next* probe even though it was correct for this one.
         if self.cache_size <= 0 or self._backend_version() != version_snapshot:
             return
-        self._cache[key] = candidates
-        while len(self._cache) > self.cache_size:
-            self._cache.popitem(last=False)
+        cost = _candidates_cost(candidates)
+        if cost > self.cache_bytes:
+            return  # would evict everything else and still not fit
+        previous = self._cache.pop(key, None)
+        if previous is not None:
+            self._cache_bytes -= previous[1]
+        self._cache[key] = (candidates, cost)
+        self._cache_bytes += cost
+        while self._cache and (
+            len(self._cache) > self.cache_size
+            or self._cache_bytes > self.cache_bytes
+        ):
+            _, (_, evicted) = self._cache.popitem(last=False)
+            self._cache_bytes -= evicted
 
     def _note_routing(self, goal: Term) -> None:
         if self._router is None:
@@ -230,6 +252,29 @@ class ClusterRetriever:
             self.stats.broadcasts += 1
         else:
             self.stats.single_shard += 1
+
+
+def _candidates_cost(candidates: list[Clause]) -> int:
+    """Estimated resident bytes of one cached candidate list.
+
+    A structural walk (constant per term node plus symbol-name lengths)
+    rather than ``sys.getsizeof`` recursion: terms are shared, frozen
+    dataclasses, so an estimate that is stable across interpreters is
+    worth more than a byte-exact one.
+    """
+    total = 64  # the list itself
+    for clause in candidates:
+        total += 64
+        stack = [clause.head, *clause.body]
+        while stack:
+            term = stack.pop()
+            total += 48
+            if isinstance(term, Struct):
+                total += len(term.functor)
+                stack.extend(term.args)
+            elif isinstance(term, (Atom, Var)):
+                total += len(term.name)
+    return total
 
 
 def _accepts_timeout(callable_) -> bool:

@@ -480,7 +480,9 @@ def parse_record(record: bytes) -> tuple[bytes, bytes, tuple[str, ...]]:
 
     The lean mirror of ``CompiledClause.from_bytes`` for the fast path:
     no dataclass, no body-stream slice, names decoded only when the
-    record's flag says they are present.
+    record's flag says they are present.  Accepts ``bytes`` or a
+    ``memoryview`` over an mmap'd segment — slicing a memoryview is
+    zero-copy, so the byte-walk never materialises the record.
     """
     flags = record[2]
     head_len = (record[3] << 8) | record[4]
@@ -498,7 +500,7 @@ def parse_record(record: bytes) -> tuple[bytes, bytes, tuple[str, ...]]:
         for _ in range(count):
             length = record[position]
             position += 1
-            parsed.append(record[position : position + length].decode("utf-8"))
+            parsed.append(bytes(record[position : position + length]).decode("utf-8"))
             position += length
         names = tuple(parsed)
     return record[9:head_end], record[heap_start:heap_end], names

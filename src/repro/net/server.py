@@ -64,6 +64,7 @@ class RetrievalService:
         port: int = 0,
         *,
         max_in_flight: int = 4,
+        executor_workers: int | None = None,
         queue_limit: int = 16,
         default_deadline_s: float | None = None,
         max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
@@ -82,8 +83,21 @@ class RetrievalService:
         self.default_deadline_s = default_deadline_s
         self.max_frame_bytes = max_frame_bytes
         self.obs = obs if obs is not None else _default_obs()
+        # With a process-backed engine the pool threads mostly block in
+        # ``Connection.recv`` (GIL released), so sizing the pool above
+        # ``max_in_flight`` lets broadcast fan-out overlap across worker
+        # processes; admission control still bounds concurrency at
+        # ``max_in_flight`` requests.
+        self.executor_workers = (
+            executor_workers if executor_workers is not None else max_in_flight
+        )
+        if self.executor_workers < max_in_flight:
+            raise ValueError(
+                "executor_workers must be >= max_in_flight or admitted "
+                "requests would starve in the pool queue"
+            )
         self._executor = ThreadPoolExecutor(
-            max_workers=max_in_flight, thread_name_prefix="clare-net"
+            max_workers=self.executor_workers, thread_name_prefix="clare-net"
         )
         self._server: asyncio.AbstractServer | None = None
         self._admitted = 0  # queued + executing requests

@@ -39,6 +39,19 @@ def _label_key(labels: dict[str, str]) -> LabelKey:
     return tuple(sorted((k, str(v)) for k, v in labels.items()))
 
 
+def _parse_snapshot_key(key: str) -> tuple[str, dict[str, str]]:
+    """Invert the ``name{k=v,...}`` encoding used by ``snapshot()``."""
+    if "{" not in key:
+        return key, {}
+    name, _, rest = key.partition("{")
+    labels: dict[str, str] = {}
+    for pair in rest.rstrip("}").split(","):
+        if pair:
+            label, _, value = pair.partition("=")
+            labels[label] = value
+    return name, labels
+
+
 @dataclass
 class Counter:
     """A monotonically increasing count (float increments allowed).
@@ -225,6 +238,77 @@ class MetricsRegistry:
                 kind = "counter" if isinstance(instrument, Counter) else "gauge"
                 out[key] = {"type": kind, "value": instrument.value}
         return out
+
+    def merge_snapshot(
+        self,
+        snapshot: dict[str, dict],
+        previous: dict[str, dict] | None = None,
+        **labels: str,
+    ) -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        The aggregation transport for process workers: each worker keeps
+        its own registry (instruments are not shareable across process
+        boundaries) and the parent periodically pulls a snapshot and
+        merges it here.  ``previous`` is the last snapshot already
+        merged from the same source — counters and histograms advance by
+        the *delta* since then, so repeated pulls never double-count;
+        gauges are set to the latest value.  Extra ``labels`` (e.g.
+        ``worker="3"``) are stamped on every merged series.
+
+        A counter that went backwards (the worker restarted with a fresh
+        registry) is credited its full current value.  Histogram bucket
+        layouts are expected to match the local family (both sides run
+        the same code); on a mismatch the buckets are skipped but
+        count/sum/min/max still merge.
+        """
+        previous = previous or {}
+        extra = {k: str(v) for k, v in labels.items()}
+        for key, data in snapshot.items():
+            name, parsed = _parse_snapshot_key(key)
+            merged = {**parsed, **extra}
+            prior = previous.get(key)
+            kind = data["type"]
+            if kind == "counter":
+                delta = data["value"] - (prior["value"] if prior else 0.0)
+                if delta < 0:
+                    delta = data["value"]
+                if delta > 0:
+                    self.counter(name, **merged).inc(delta)
+            elif kind == "gauge":
+                self.gauge(name, **merged).set(data["value"])
+            else:
+                bounds = tuple(
+                    float(b) for b in data["buckets"] if b != "+Inf"
+                )
+                hist = self.histogram(name, buckets=bounds, **merged)
+                prev_count = prior["count"] if prior else 0
+                count_delta = data["count"] - prev_count
+                if count_delta < 0:  # source restarted
+                    prior = None
+                    count_delta = data["count"]
+                if count_delta == 0:
+                    continue
+                prev_buckets = prior["buckets"] if prior else {}
+                with hist._lock:
+                    incoming = list(data["buckets"].items())
+                    if len(incoming) == len(hist.counts):
+                        for position, (bucket, count) in enumerate(incoming):
+                            hist.counts[position] += count - prev_buckets.get(
+                                bucket, 0
+                            )
+                    hist.sum += data["sum"] - (prior["sum"] if prior else 0.0)
+                    hist.count += count_delta
+                    for extreme, fold in (("min", min), ("max", max)):
+                        value = data[extreme]
+                        if value is None:
+                            continue
+                        current = getattr(hist, extreme)
+                        setattr(
+                            hist,
+                            extreme,
+                            value if current is None else fold(current, value),
+                        )
 
     def to_json(self, indent: int | None = 2) -> str:
         return json.dumps(self.snapshot(), indent=indent, sort_keys=True)

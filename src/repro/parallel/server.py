@@ -1,0 +1,265 @@
+"""A process-backed :class:`~repro.cluster.ShardedRetrievalServer`.
+
+``ProcessShardedRetrievalServer`` keeps the entire cluster front-end —
+routing, front-end mode planning, the cluster LRU, the mutation log and
+idempotency memo, stat merging — in the parent, and moves only the
+*engine execution* into one worker process per shard.  The parent
+remains authoritative: its in-process shard engines hold the canonical
+KB (so snapshots, migration and the mutation log keep working
+unchanged), and :meth:`start` exports each shard into an mmap segment
+directory that the workers attach zero-copy.
+
+Why this shape gives bit-identical accounting with the threaded path:
+
+* the parent plans the effective mode once per goal over its aggregate
+  view and ships it explicitly — workers never plan;
+* worker shard content is byte-identical to the parent shard (segments
+  are written from it, and every later mutation is forwarded under the
+  same shard lock that ordered it locally);
+* the worker runs the *same* ``ClauseRetrievalServer`` code over the
+  same records, and simulated time is a pure function of those inputs.
+
+The GIL is what changes: each worker owns its own interpreter, so the
+per-record Python work of a broadcast ``retrieve_batch`` runs on N
+cores instead of interleaving on one.  The parent-side threads spend
+their time blocked in ``Connection.recv`` (GIL released).
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+from multiprocessing import get_context
+from pathlib import Path
+
+from ..cluster.server import ClusterShard, ShardedRetrievalServer
+from ..crs import RetrievalResult, SearchMode
+from ..terms import Clause, Term
+from .segments import write_segments
+from .worker import WorkerConfig, worker_main
+
+__all__ = ["ProcessShardedRetrievalServer", "WorkerError"]
+
+
+class WorkerError(RuntimeError):
+    """A shard worker process died or failed to come up."""
+
+
+class _WorkerHandle:
+    """Parent-side endpoint of one shard worker (pipe + process)."""
+
+    def __init__(self, shard_id: int, process, conn):
+        self.shard_id = shard_id
+        self.process = process
+        self.conn = conn
+        #: last metrics snapshot merged into the parent registry, so
+        #: repeated pulls advance by delta instead of double-counting.
+        self.last_metrics: dict | None = None
+
+    def call(self, *message):
+        """One RPC round-trip.  Caller holds the shard lock."""
+        try:
+            self.conn.send(message)
+            status, payload = self.conn.recv()
+        except (EOFError, OSError, BrokenPipeError) as exc:
+            raise WorkerError(
+                f"shard worker {self.shard_id} died mid-call"
+            ) from exc
+        if status == "err":
+            raise payload
+        return payload
+
+    def stop(self, timeout: float = 5.0) -> None:
+        try:
+            self.conn.send(("stop",))
+            self.conn.recv()
+        except (EOFError, OSError, BrokenPipeError):
+            pass
+        self.process.join(timeout=timeout)
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join(timeout=timeout)
+        self.conn.close()
+
+
+class ProcessShardedRetrievalServer(ShardedRetrievalServer):
+    """The multi-core data plane: shard engines in worker processes.
+
+    Drop-in for :class:`~repro.cluster.ShardedRetrievalServer` (and
+    therefore for :class:`~repro.cluster.BatchExecutor`, the network
+    service, and the solve engine's ``ClusterRetriever``): construct,
+    load clauses, then :meth:`start` to bring the workers up.  Before
+    ``start`` — and after :meth:`close` — it behaves exactly like its
+    threaded parent, which is what lets one test drive both paths from
+    a single instance.
+    """
+
+    def __init__(
+        self,
+        *args,
+        spool_dir: str | None = None,
+        start_method: str = "spawn",
+        **kwargs,
+    ):
+        super().__init__(*args, **kwargs)
+        self._spool_dir = spool_dir
+        self._owns_spool = False
+        self._start_method = start_method
+        self._handles: dict[int, _WorkerHandle] = {}
+        self._reload_counter = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        return bool(self._handles)
+
+    def start(self) -> "ProcessShardedRetrievalServer":
+        """Export segments and spawn one worker per shard (idempotent)."""
+        if self._handles:
+            return self
+        if self._spool_dir is None:
+            self._spool_dir = tempfile.mkdtemp(prefix="clare-segments-")
+            self._owns_spool = True
+        ctx = get_context(self._start_method)
+        handles: dict[int, _WorkerHandle] = {}
+        try:
+            for shard in self.shards:
+                segments_dir = self._export_shard(shard)
+                parent_conn, child_conn = ctx.Pipe()
+                config = WorkerConfig(
+                    shard_id=shard.shard_id,
+                    segments_dir=segments_dir,
+                    fs1_mode=self._fs1_mode,
+                    fs2_mode=self._fs2_mode,
+                    cross_binding=self._cross_binding,
+                    cost_model=self._cost_model,
+                )
+                process = ctx.Process(
+                    target=worker_main,
+                    args=(child_conn, config),
+                    name=f"clare-shard-{shard.shard_id}",
+                    daemon=True,
+                )
+                process.start()
+                child_conn.close()
+                handles[shard.shard_id] = _WorkerHandle(
+                    shard.shard_id, process, parent_conn
+                )
+            for handle in handles.values():  # ready handshake per worker
+                try:
+                    status, payload = handle.conn.recv()
+                except (EOFError, OSError) as exc:
+                    raise WorkerError(
+                        f"shard worker {handle.shard_id} failed to start"
+                    ) from exc
+                if status == "err":
+                    raise payload
+        except BaseException:
+            for handle in handles.values():
+                handle.stop(timeout=1.0)
+            raise
+        self._handles = handles
+        self.obs.counter("parallel.workers_started").inc(len(handles))
+        return self
+
+    def close(self) -> None:
+        """Stop the workers and reclaim the spool (idempotent)."""
+        handles, self._handles = self._handles, {}
+        for handle in handles.values():
+            handle.stop()
+        if self._owns_spool and self._spool_dir is not None:
+            shutil.rmtree(self._spool_dir, ignore_errors=True)
+            self._spool_dir = None
+            self._owns_spool = False
+
+    def __enter__(self) -> "ProcessShardedRetrievalServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _export_shard(self, shard: ClusterShard) -> str:
+        """Write one shard's segments under a fresh generation directory.
+
+        Re-exports (worker reload after ``adopt_kb``) get a new
+        directory instead of overwriting: the old worker may still hold
+        maps over the previous files, and the generation suffix keeps
+        the swap atomic from its point of view.
+        """
+        self._reload_counter += 1
+        directory = str(
+            Path(self._spool_dir)
+            / f"shard-{shard.shard_id}-g{self._reload_counter}"
+        )
+        write_segments(shard.kb, directory)
+        return directory
+
+    # -- execution seam overrides -------------------------------------------
+
+    def _shard_retrieve(
+        self, shard: ClusterShard, goal: Term, mode: SearchMode
+    ) -> RetrievalResult:
+        handle = self._handles.get(shard.shard_id)
+        if handle is None:
+            return super()._shard_retrieve(shard, goal, mode)
+        return handle.call("retrieve", goal, mode)
+
+    def _shard_retrieve_batch(
+        self, shard: ClusterShard, goals: list[Term], mode: SearchMode
+    ) -> list[RetrievalResult]:
+        handle = self._handles.get(shard.shard_id)
+        if handle is None:
+            return super()._shard_retrieve_batch(shard, goals, mode)
+        return handle.call("retrieve_batch", goals, mode)
+
+    def _on_shard_mutation(
+        self,
+        shard: ClusterShard,
+        op: str,
+        clause: Clause | None,
+        module: str = "user",
+    ) -> None:
+        handle = self._handles.get(shard.shard_id)
+        if handle is None:
+            return
+        if op == "reload":
+            handle.call("reload", self._export_shard(shard))
+        else:
+            handle.call("mutate", op, clause, module)
+
+    def _on_pin_module(self, name: str, residency: str) -> None:
+        for shard in self.shards:
+            handle = self._handles.get(shard.shard_id)
+            if handle is None:
+                continue
+            with shard.lock:
+                handle.call("pin", name, residency)
+
+    # -- observability -------------------------------------------------------
+
+    def pull_worker_metrics(self) -> dict[int, dict]:
+        """Merge each worker's metrics into the parent registry.
+
+        Counter and histogram families advance by delta since the last
+        pull (see :meth:`~repro.obs.MetricsRegistry.merge_snapshot`);
+        every merged series gains a ``worker`` label next to the
+        ``shard`` label the worker already stamps, so cluster-wide
+        totals keep aggregating while per-worker shares stay visible.
+        Returns the raw snapshots by shard id.
+        """
+        snapshots: dict[int, dict] = {}
+        for shard in self.shards:
+            handle = self._handles.get(shard.shard_id)
+            if handle is None:
+                continue
+            with shard.lock:
+                snapshot = handle.call("metrics")
+            self.obs.registry.merge_snapshot(
+                snapshot,
+                previous=handle.last_metrics,
+                worker=str(shard.shard_id),
+            )
+            handle.last_metrics = snapshot
+            snapshots[shard.shard_id] = snapshot
+        return snapshots

@@ -1,0 +1,140 @@
+"""The shard worker process: one CLARE engine over attached segments.
+
+Each worker is spawned (never forked — spawn is the only start method
+that behaves identically across platforms and never inherits locks or
+mmaps mid-operation) with a picklable :class:`WorkerConfig`, attaches
+the shard's segment directory zero-copy, builds the same
+:class:`~repro.crs.ClauseRetrievalServer` the threaded path uses, and
+then serves a tiny pickled-tuple RPC over its pipe:
+
+``("retrieve", goal, mode)`` / ``("retrieve_batch", goals, mode)``
+    Execute with the mode the parent planned — the worker never plans,
+    which is one half of the bit-identical-stats guarantee (the other
+    half is identical shard content and identical engine code).
+``("mutate", op, clause, module)``
+    Apply one forwarded mutation (``assertz``/``asserta``/
+    ``remove_exact``); the touched predicate leaves its segment via
+    copy-on-write.
+``("pin", name, residency)``
+    Mirror a module residency pin (plus the disk sync it implies).
+``("reload", segments_dir)``
+    Drop the engine and re-attach a freshly exported directory
+    (wholesale KB adoption on the parent side).
+``("metrics", )``
+    Return the worker registry's snapshot for parent-side merging.
+``("ping", )`` / ``("stop", )``
+    Liveness and orderly shutdown.
+
+Replies are ``("ok", payload)`` or ``("err", exception)``; results and
+stats ride the pipe as pickled dataclasses (terms are frozen slotted
+dataclasses with value equality, so transport is loss-free).
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass
+
+from ..crs import HostCostModel
+from ..crs.server import ClauseRetrievalServer
+from ..obs import Instrumentation
+from ..storage import Residency
+from .segments import attach_kb
+
+__all__ = ["WorkerConfig", "worker_main"]
+
+
+@dataclass(frozen=True)
+class WorkerConfig:
+    """Everything a spawned worker needs to rebuild its shard engine."""
+
+    shard_id: int
+    segments_dir: str
+    fs1_mode: str = "bitsliced"
+    fs2_mode: str = "compiled"
+    cross_binding: bool = True
+    cost_model: HostCostModel | None = None
+
+
+def _build_engine(config: WorkerConfig, segments_dir: str):
+    base = Instrumentation()
+    obs = base.labelled(shard=str(config.shard_id))
+    kb = attach_kb(segments_dir, obs=obs)
+    server = ClauseRetrievalServer(
+        kb,
+        cost_model=config.cost_model,
+        cross_binding=config.cross_binding,
+        cache_size=0,  # caching happens once, at the cluster front-end
+        obs=obs,
+        fs1_mode=config.fs1_mode,
+        fs2_mode=config.fs2_mode,
+    )
+    return base, kb, server
+
+
+def _apply_mutation(kb, op: str, clause, module: str) -> None:
+    if op == "assertz":
+        kb.add_clause(clause, module=module)
+    elif op == "asserta":
+        kb.asserta(clause, module=module)
+    elif op == "remove_exact":
+        kb.remove_exact(clause)
+    else:
+        raise ValueError(f"unknown mutation op {op!r}")
+
+
+def _send(conn, status: str, payload) -> None:
+    try:
+        conn.send((status, payload))
+    except (pickle.PicklingError, TypeError, AttributeError):
+        # An unpicklable payload (exotic exception state) must not kill
+        # the reply — degrade to a plain RuntimeError description.
+        conn.send(("err", RuntimeError(f"{type(payload).__name__}: {payload}")))
+
+
+def worker_main(conn, config: WorkerConfig) -> None:
+    """Entry point for the spawned worker process."""
+    try:
+        base, kb, server = _build_engine(config, config.segments_dir)
+    except BaseException as exc:  # surface attach failures to the parent
+        _send(conn, "err", exc)
+        conn.close()
+        return
+    _send(conn, "ok", "ready")
+
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break  # parent went away; nothing left to serve
+        verb = message[0]
+        try:
+            if verb == "retrieve":
+                payload = server.retrieve(message[1], mode=message[2])
+            elif verb == "retrieve_batch":
+                payload = server.retrieve_batch(message[1], mode=message[2])
+            elif verb == "mutate":
+                _apply_mutation(kb, message[1], message[2], message[3])
+                payload = kb.version
+            elif verb == "pin":
+                kb.module(message[1]).pin(message[2])
+                if message[2] == Residency.DISK:
+                    kb.sync_to_disk()
+                payload = None
+            elif verb == "reload":
+                base, kb, server = _build_engine(config, message[1])
+                payload = "ready"
+            elif verb == "metrics":
+                payload = base.registry.snapshot()
+            elif verb == "ping":
+                payload = "pong"
+            elif verb == "stop":
+                _send(conn, "ok", None)
+                break
+            else:
+                raise ValueError(f"unknown worker verb {verb!r}")
+        except BaseException as exc:
+            _send(conn, "err", exc)
+        else:
+            _send(conn, "ok", payload)
+    conn.close()

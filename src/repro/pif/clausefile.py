@@ -105,7 +105,11 @@ class CompiledClause:
     def from_bytes(
         cls, data: bytes, indicator: tuple[str, int], offset: int = 0
     ) -> tuple["CompiledClause", int]:
-        """Deserialise one record; returns (clause, next offset)."""
+        """Deserialise one record; returns (clause, next offset).
+
+        ``data`` may be ``bytes`` or a ``memoryview`` over an mmap'd
+        segment; only the three streams are copied out, never the record.
+        """
         total = int.from_bytes(data[offset : offset + 2], "big")
         flags = data[offset + 2]
         head_len = int.from_bytes(data[offset + 3 : offset + 5], "big")
@@ -126,7 +130,7 @@ class CompiledClause:
             for _ in range(count):
                 length = data[position]
                 position += 1
-                names.append(data[position : position + length].decode("utf-8"))
+                names.append(bytes(data[position : position + length]).decode("utf-8"))
                 position += length
             var_names = tuple(names)
         return (
@@ -174,6 +178,16 @@ def compile_clause(clause: Clause, symbols: SymbolTable) -> CompiledClause:
 #: appends never move existing records, and the mutations that do
 #: (asserta, retract) build a *new* ClauseFile with a new generation.
 _GENERATIONS = itertools.count(1)
+
+
+def next_generation() -> int:
+    """Allocate a fresh process-wide clause-file generation id.
+
+    Exposed for clause-file *views* (e.g. segment-backed shared files)
+    that participate in the (generation, address) cache-keying contract
+    without going through :class:`ClauseFile`.
+    """
+    return next(_GENERATIONS)
 
 
 class ClauseFile:

@@ -27,7 +27,7 @@ wall-clock goes, not what the modelled 1989 hardware would charge.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Iterable, Iterator, Sequence
 
 from .codeword import Codeword, CodewordScheme
 
@@ -77,17 +77,80 @@ class BitSlicedIndex:
         self._addresses.append(address)
         self._occupied |= slot
 
+    # -- segment export / attach -------------------------------------------
+
+    def packed_columns(self) -> tuple[int, bytes, bytes]:
+        """(bytes per column, columns image, planes image).
+
+        The serialised form of the columnar index: each column (and each
+        mask plane) as a little-endian fixed-width integer of
+        ``ceil(N/8)`` bytes.  Written once into a shared segment; worker
+        processes rebuild the index with :meth:`from_packed` by slicing
+        the mmap — no clause decoding, no re-hashing.
+        """
+        nbytes = max(1, (len(self._addresses) + 7) // 8)
+        columns = b"".join(c.to_bytes(nbytes, "little") for c in self._columns)
+        planes = b"".join(p.to_bytes(nbytes, "little") for p in self._planes)
+        return nbytes, columns, planes
+
+    @classmethod
+    def from_packed(
+        cls,
+        scheme: CodewordScheme,
+        addresses: Sequence[int],
+        column_bytes: int,
+        columns: bytes,
+        planes: bytes,
+    ) -> "BitSlicedIndex":
+        """Rebuild an index from its :meth:`packed_columns` image.
+
+        ``columns``/``planes`` may be ``bytes`` or memoryviews over an
+        mmap'd segment; each column is one ``int.from_bytes`` over its
+        slice, so attaching costs O(width) conversions, not O(entries)
+        decodes.
+        """
+        index = cls(scheme)
+        index._columns = [
+            int.from_bytes(
+                columns[b * column_bytes : (b + 1) * column_bytes], "little"
+            )
+            for b in range(len(columns) // column_bytes)
+        ]
+        index._planes = [
+            int.from_bytes(
+                planes[p * column_bytes : (p + 1) * column_bytes], "little"
+            )
+            for p in range(len(planes) // column_bytes)
+        ]
+        if len(index._planes) < scheme.max_args:
+            index._planes.extend(
+                [0] * (scheme.max_args - len(index._planes))
+            )
+        index._addresses = list(addresses)
+        index._occupied = (1 << len(index._addresses)) - 1
+        return index
+
     # -- scanning ----------------------------------------------------------
 
     def scan(self, query: Codeword) -> list[int]:
         """Addresses matching ``query`` — identical to the naive scan."""
         survivors, _ = self._survivors(query)
-        return self._enumerate(survivors)
+        return self._materialize(survivors)
 
     def scan_info(self, query: Codeword) -> tuple[list[int], int]:
         """(matching addresses, distinct columns touched) for one query."""
         survivors, columns_touched = self._survivors(query)
-        return self._enumerate(survivors), columns_touched
+        return self._materialize(survivors), columns_touched
+
+    def iter_scan(self, query: Codeword) -> Iterator[int]:
+        """Lazily yield matching addresses, in clause-file order.
+
+        Same result set as :meth:`scan`, but survivors are enumerated on
+        demand so a consumer that stops early (or streams straight into
+        FS2) never builds the intermediate address list.
+        """
+        survivors, _ = self._survivors(query)
+        return self._enumerate(survivors)
 
     def scan_batch(
         self, queries: Sequence[Codeword]
@@ -131,7 +194,7 @@ class BitSlicedIndex:
                 survivors &= plane | contain[(q, p)]
                 if not survivors:
                     break
-            results.append(self._enumerate(survivors))
+            results.append(self._materialize(survivors))
         return results, len(wanted)
 
     # -- internals ---------------------------------------------------------
@@ -154,6 +217,18 @@ class BitSlicedIndex:
                 break
         return survivors, columns_touched
 
-    def _enumerate(self, survivors: int) -> list[int]:
+    def _enumerate(self, survivors: int) -> Iterator[int]:
+        """Lazily yield the addresses of the set bits of ``survivors``."""
         addresses = self._addresses
-        return [addresses[j] for j in _bit_positions(survivors)]
+        for j in _bit_positions(survivors):
+            yield addresses[j]
+
+    def _materialize(self, survivors: int) -> list[int]:
+        if survivors == self._occupied:
+            # All entries survive — the all-variable / zero-set-bits query
+            # path lands here without having touched a single column, and
+            # the answer is just the address list in file order.  Skip the
+            # per-bit extraction walk over the (potentially huge) survivor
+            # integer.
+            return list(self._addresses)
+        return list(self._enumerate(survivors))

@@ -8,7 +8,13 @@ from .graphs import (
     nrev_goal,
     nrev_program,
 )
-from .loadgen import LoadgenResult, percentile, run_loadgen
+from .loadgen import (
+    LoadgenResult,
+    format_cores_table,
+    percentile,
+    run_cores_sweep,
+    run_loadgen,
+)
 from .synthetic import (
     FactKBSpec,
     generate_couples,
@@ -40,6 +46,8 @@ __all__ = [
     "LoadgenResult",
     "percentile",
     "run_loadgen",
+    "run_cores_sweep",
+    "format_cores_table",
     "open_query",
     "shared_variable_query",
     "warren_kb_spec",

@@ -249,3 +249,49 @@ class TestBitSlicedIndexDirect:
         )
         codeword = SCHEME.query_codeword(read_term("p(a, 1, x)"))
         assert index.bitsliced.scan(codeword) == [0, 32, 64, 96, 128]
+
+
+class TestLazyEnumeration:
+    """Pin the allocation behaviour of survivor enumeration."""
+
+    def test_all_variable_query_touches_no_columns(self):
+        index = build_index(
+            [read_term(f"p(a{i}, {i}, x)") for i in range(12)]
+        ).bitsliced
+        codeword = SCHEME.query_codeword(read_term("p(X, Y, Z)"))
+        addresses, columns_touched = index.scan_info(codeword)
+        assert columns_touched == 0
+        assert addresses == [i * 32 for i in range(12)]
+
+    def test_all_variable_batch_touches_no_columns(self):
+        index = build_index(
+            [read_term(f"p(a{i}, {i}, x)") for i in range(6)]
+        ).bitsliced
+        codeword = SCHEME.query_codeword(read_term("p(X, _, Z)"))
+        results, columns_touched = index.scan_batch([codeword, codeword])
+        assert columns_touched == 0
+        assert results == [[i * 32 for i in range(6)]] * 2
+
+    def test_iter_scan_is_lazy_and_complete(self):
+        index = build_index(
+            [read_term("p(a, 1, x)") for _ in range(8)]
+        ).bitsliced
+        codeword = SCHEME.query_codeword(read_term("p(a, Y, Z)"))
+        lazy = index.iter_scan(codeword)
+        import types
+
+        assert isinstance(lazy, types.GeneratorType)
+        assert next(lazy) == 0  # partial consumption is fine
+        assert [0, *lazy] == index.scan(codeword)
+
+    def test_packed_columns_round_trip(self):
+        index = build_index(
+            [read_term(f"p(a{i}, {i}, x)") for i in range(9)]
+        ).bitsliced
+        column_bytes, columns, planes = index.packed_columns()
+        rebuilt = BitSlicedIndex.from_packed(
+            SCHEME, [i * 32 for i in range(9)], column_bytes, columns, planes
+        )
+        for text in ("p(a1, Y, Z)", "p(X, Y, Z)", "p(a2, 2, x)"):
+            codeword = SCHEME.query_codeword(read_term(text))
+            assert rebuilt.scan(codeword) == index.scan(codeword)

@@ -1,0 +1,208 @@
+"""Differential harness: process shard workers must equal the threads.
+
+:class:`repro.parallel.ProcessShardedRetrievalServer` moves shard
+execution into worker processes over shared mmap segments, but the
+contract is *bit identity*: for any program, goal, mode, and mutation
+history, both the candidate multiset AND the modelled 1989 statistics
+(simulated disk/FS1/FS2 times, byte counts, per-shard splits) must be
+exactly the threaded cluster's.  The suite drives both backends side by
+side — element-wise over ``retrieve``, ``retrieve_batch``, full
+``solve`` queries, and across forwarded mutations — and a hypothesis
+property (slow tier) repeats the comparison over random knowledge
+bases.
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import ShardedRetrievalServer, ShardingPolicy
+from repro.crs import SearchMode
+from repro.engine import SolveEngine
+from repro.parallel import ProcessShardedRetrievalServer
+from repro.storage import Residency
+from repro.terms import Atom, Clause, Struct, Var, read_term
+from tests.strategies import clause_heads
+
+PROGRAM = """
+edge(a, b). edge(b, c). edge(c, d). edge(a, d). edge(d, e).
+path(X, Y) :- edge(X, Y).
+path(X, Z) :- edge(X, Y), path(Y, Z).
+likes(mary, wine). likes(john, X) :- likes(X, wine).
+wide(a, b, c, d, e, f, g, h, i, j, k, l, m, n).
+"""
+
+GOALS = [
+    "edge(a, X)",
+    "edge(X, Y)",
+    "path(a, Z)",
+    "likes(X, wine)",
+    "wide(a, B, c, D, e, F, g, H, i, J, k, L, m, N)",
+]
+
+ALL_MODES = [None, *SearchMode]
+
+
+def fingerprint(result):
+    """Candidates element-wise (order preserved) plus the full stats row."""
+    return (
+        [str(c) for c in result.candidates],
+        dataclasses.astuple(result.stats),
+    )
+
+
+def build_pair(clauses=None, text=PROGRAM, num_shards=3,
+               policy=ShardingPolicy.PREDICATE):
+    threaded = ShardedRetrievalServer(num_shards, policy)
+    process = ProcessShardedRetrievalServer(num_shards, policy)
+    if clauses is not None:
+        threaded.consult_clauses(clauses)
+        process.consult_clauses(clauses)
+    else:
+        threaded.consult_text(text)
+        process.consult_text(text)
+    process.start()
+    return threaded, process
+
+
+@pytest.fixture(scope="module")
+def readonly_pair():
+    threaded, process = build_pair()
+    yield threaded, process
+    process.close()
+
+
+class TestRetrieveIdentity:
+    def test_every_goal_and_mode_agrees(self, readonly_pair):
+        threaded, process = readonly_pair
+        for goal_text in GOALS:
+            goal = read_term(goal_text)
+            for mode in ALL_MODES:
+                expected = fingerprint(threaded.retrieve(goal, mode=mode))
+                got = fingerprint(process.retrieve(goal, mode=mode))
+                assert got == expected, (goal_text, mode)
+
+    def test_retrieve_batch_is_element_wise_identical(self, readonly_pair):
+        threaded, process = readonly_pair
+        goals = [read_term(text) for text in GOALS]
+        expected = [fingerprint(r) for r in threaded.retrieve_batch(goals)]
+        got = [fingerprint(r) for r in process.retrieve_batch(goals)]
+        assert got == expected
+
+    def test_worker_metrics_reach_the_parent_registry(self, readonly_pair):
+        _, process = readonly_pair
+        process.retrieve(read_term("edge(a, X)"))
+        snapshots = process.pull_worker_metrics()
+        assert set(snapshots) == {0, 1, 2}
+        assert any(
+            key.startswith("crs.retrievals")
+            for snapshot in snapshots.values()
+            for key in snapshot
+        )
+        merged = process.obs.registry.snapshot()
+        assert any("worker=" in key for key in merged)
+
+
+class TestMutationIdentity:
+    def test_mutations_keep_both_paths_identical(self):
+        threaded, process = build_pair()
+        try:
+            steps = [
+                ("assertz", Clause(Struct("edge", (Atom("e"), Atom("f"))))),
+                ("asserta", Clause(Struct("edge", (Atom("zz"), Atom("a"))))),
+                ("retract", Clause(Struct("edge", (Atom("a"), Var("Q"))))),
+                ("assertz", Clause(Struct("fresh", (Atom("n1"),)))),
+            ]
+            for op, clause in steps:
+                if op == "assertz":
+                    threaded.add_clause(clause)
+                    process.add_clause(clause)
+                elif op == "asserta":
+                    threaded.asserta(clause)
+                    process.asserta(clause)
+                else:
+                    removed_t = threaded.retract_matching(clause)
+                    removed_p = process.retract_matching(clause)
+                    assert str(removed_t) == str(removed_p)
+                for goal_text in ("edge(X, Y)", "fresh(X)"):
+                    goal = read_term(goal_text)
+                    try:
+                        expected = fingerprint(threaded.retrieve(goal))
+                    except Exception as exc:
+                        with pytest.raises(type(exc)):
+                            process.retrieve(goal)
+                        continue
+                    assert fingerprint(process.retrieve(goal)) == expected
+        finally:
+            process.close()
+
+    def test_pin_to_disk_is_mirrored(self):
+        threaded, process = build_pair()
+        try:
+            threaded.pin_module("user", Residency.DISK)
+            process.pin_module("user", Residency.DISK)
+            goal = read_term("edge(a, X)")
+            expected = fingerprint(threaded.retrieve(goal))
+            got = fingerprint(process.retrieve(goal))
+            assert got == expected
+            assert got[1] == expected[1]  # disk_time_s rides in the stats
+        finally:
+            process.close()
+
+
+class TestSolveIdentity:
+    def test_solve_streams_identical_answers_and_stats(self):
+        threaded, process = build_pair()
+        try:
+            for engine_kind in ("zip", "interp"):
+                for query in ("path(a, Z)", "likes(X, wine)"):
+                    goal = read_term(query)
+                    eng_t = SolveEngine(threaded, engine=engine_kind)
+                    eng_p = SolveEngine(process, engine=engine_kind)
+                    answers_t = [
+                        sorted((k, str(v)) for k, v in s.items())
+                        for s in eng_t.solve(goal, max_solutions=20)
+                    ]
+                    answers_p = [
+                        sorted((k, str(v)) for k, v in s.items())
+                        for s in eng_p.solve(goal, max_solutions=20)
+                    ]
+                    assert answers_p == answers_t, (engine_kind, query)
+                    assert dataclasses.astuple(eng_p.stats) == dataclasses.astuple(
+                        eng_t.stats
+                    )
+        finally:
+            process.close()
+
+
+@pytest.mark.slow
+class TestDifferentialProperty:
+    @given(
+        heads=st.lists(
+            clause_heads(functor="p", arity=3), min_size=1, max_size=10
+        ),
+        goal=clause_heads(functor="p", arity=3),
+        policy=st.sampled_from(list(ShardingPolicy)),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_random_kb_process_equals_threaded(self, heads, goal, policy):
+        clauses = [Clause(head=h) for h in heads]
+        threaded, process = build_pair(
+            clauses=clauses, num_shards=2, policy=policy
+        )
+        try:
+            for mode in SearchMode:
+                expected = fingerprint(threaded.retrieve(goal, mode=mode))
+                got = fingerprint(process.retrieve(goal, mode=mode))
+                assert got == expected, (policy, mode)
+            batch_expected = [
+                fingerprint(r) for r in threaded.retrieve_batch([goal, goal])
+            ]
+            batch_got = [
+                fingerprint(r) for r in process.retrieve_batch([goal, goal])
+            ]
+            assert batch_got == batch_expected
+        finally:
+            process.close()
