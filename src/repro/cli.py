@@ -90,10 +90,12 @@ def build_parser() -> argparse.ArgumentParser:
         )
         sub.add_argument(
             "--fs1-mode",
-            choices=["bitsliced", "naive"],
+            choices=["bitsliced", "vector", "naive"],
             default="bitsliced",
-            help="FS1 scan engine: columnar bit-sliced index or the "
-            "per-entry naive loop (default: bitsliced)",
+            help="FS1 scan engine: columnar big-int bit-sliced index, "
+            "the uint64 word-array vector engine (numpy-accelerated "
+            "when available), or the per-entry naive loop "
+            "(default: bitsliced)",
         )
         sub.add_argument(
             "--fs2-mode",
@@ -127,10 +129,19 @@ def build_parser() -> argparse.ArgumentParser:
         default=ShardingPolicy.PREDICATE.value,
     )
     serve.add_argument(
-        "--fs1-mode", choices=["bitsliced", "naive"], default="bitsliced"
+        "--fs1-mode",
+        choices=["bitsliced", "vector", "naive"],
+        default="bitsliced",
     )
     serve.add_argument(
         "--fs2-mode", choices=["compiled", "microcoded"], default="compiled"
+    )
+    serve.add_argument(
+        "--result-transport",
+        choices=["shm", "pipe"],
+        default="shm",
+        help="how process workers return results: shared-memory slabs "
+        "(default) or the pickled pipe; ignored with --workers threads",
     )
     serve.add_argument(
         "--workers", default="threads",
@@ -237,6 +248,13 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument(
         "--workers", choices=["processes", "threads"], default="processes",
         help="shard backend for the --cores sweep",
+    )
+    loadgen.add_argument(
+        "--result-transport",
+        choices=["shm", "pipe"],
+        default="shm",
+        help="result transport for --cores process workers "
+        "(shared-memory slabs or the pickled pipe)",
     )
     loadgen.add_argument("--qps", type=float, default=200.0)
     loadgen.add_argument("--duration-s", type=float, default=1.0)
@@ -453,6 +471,7 @@ def _cmd_serve(args, out) -> int:
             fs1_mode=args.fs1_mode,
             fs2_mode=args.fs2_mode,
             obs=obs,
+            result_transport=getattr(args, "result_transport", "shm"),
         )
     else:
         server = ShardedRetrievalServer(
@@ -635,6 +654,7 @@ def _cmd_loadgen(args, out) -> int:
             mode=mode,
             deadline_s=deadline_s,
             workers=args.workers,
+            result_transport=args.result_transport,
         )
         out.write(format_cores_table(rows) + "\n")
         return 0

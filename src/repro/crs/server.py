@@ -128,6 +128,12 @@ class RetrievalResult:
     goal: Term
     candidates: list[Clause] = field(default_factory=list)
     stats: RetrievalStats | None = None
+    #: clause-file record addresses parallel to ``candidates`` when the
+    #: retrieval path knows them (all four modes do); ``None`` for
+    #: merged/legacy results.  The shared-memory result transport ships
+    #: (address, record bytes) pairs instead of pickled terms, so it
+    #: needs the address of every surviving candidate.
+    addresses: tuple[int, ...] | None = None
 
     def __len__(self) -> int:
         return len(self.candidates)
@@ -405,7 +411,10 @@ class ClauseRetrievalServer:
                 final_candidates=original.final_candidates,
             )
         return RetrievalResult(
-            goal=result.goal, candidates=list(result.candidates), stats=stats
+            goal=result.goal,
+            candidates=list(result.candidates),
+            stats=stats,
+            addresses=result.addresses,
         )
 
     def solutions(
@@ -442,7 +451,9 @@ class ClauseRetrievalServer:
             "software.scan", indicator=f"{store.indicator[0]}/{store.indicator[1]}"
         ) as span:
             matcher = PartialMatcher(goal, cross_binding=self.cross_binding)
+            record_addresses = store.clause_file.record_addresses()
             candidates = []
+            hit_addresses = []
             total_ops = 0
             for position in range(len(store)):
                 clause = store.clause_file.decode_clause(position)
@@ -450,6 +461,7 @@ class ClauseRetrievalServer:
                 total_ops += outcome.op_count()
                 if outcome.hit:
                     candidates.append(clause)
+                    hit_addresses.append(record_addresses[position])
             model = self.cost_model
             stats.software_time_s = (
                 stats.clauses_total * model.clause_decode_ns
@@ -466,7 +478,12 @@ class ClauseRetrievalServer:
         self.obs.counter("software.match_ops").inc(total_ops)
         self.obs.counter("software.sim_time_s").inc(stats.software_time_s)
         stats.final_candidates = len(candidates)
-        return RetrievalResult(goal=goal, candidates=candidates, stats=stats)
+        return RetrievalResult(
+            goal=goal,
+            candidates=candidates,
+            stats=stats,
+            addresses=tuple(hit_addresses),
+        )
 
     # -- mode (b): FS1 only -----------------------------------------------------
 
@@ -502,7 +519,12 @@ class ClauseRetrievalServer:
             )
         ]
         stats.final_candidates = len(candidates)
-        return RetrievalResult(goal=goal, candidates=candidates, stats=stats)
+        return RetrievalResult(
+            goal=goal,
+            candidates=candidates,
+            stats=stats,
+            addresses=tuple(fs1_result.candidate_addresses),
+        )
 
     # -- mode (c): FS2 only -------------------------------------------------------
 
@@ -522,11 +544,16 @@ class ClauseRetrievalServer:
             _, transfer = self._read_clause_extent(store)
             stats.disk_time_s = transfer.total_time_s
             stats.bytes_from_disk = transfer.bytes_transferred
-        candidates = self._stream_through_fs2(
+        candidates, hit_addresses = self._stream_through_fs2(
             goal, store, records, stats, addresses
         )
         stats.final_candidates = len(candidates)
-        return RetrievalResult(goal=goal, candidates=candidates, stats=stats)
+        return RetrievalResult(
+            goal=goal,
+            candidates=candidates,
+            stats=stats,
+            addresses=hit_addresses,
+        )
 
     # -- mode (d): FS1 + FS2 -------------------------------------------------------
 
@@ -552,7 +579,7 @@ class ClauseRetrievalServer:
             index_transfer = self.kb.disk.drive.read_time_s(store.index.size_bytes())
             stats.disk_time_s += max(0.0, index_transfer - stats.fs1_time_s)
             stats.bytes_from_disk += store.index.size_bytes()
-        candidates = self._stream_through_fs2(
+        candidates, hit_addresses = self._stream_through_fs2(
             goal, store, records, stats,
             list(fs1_result.candidate_addresses),
         )
@@ -562,7 +589,12 @@ class ClauseRetrievalServer:
         self.obs.counter("fs1.false_drops").inc(
             (stats.fs1_candidates or 0) - stats.final_candidates
         )
-        return RetrievalResult(goal=goal, candidates=candidates, stats=stats)
+        return RetrievalResult(
+            goal=goal,
+            candidates=candidates,
+            stats=stats,
+            addresses=hit_addresses,
+        )
 
     # -- shared plumbing -------------------------------------------------------------
 
@@ -573,7 +605,7 @@ class ClauseRetrievalServer:
         records: "Iterable[bytes]",
         stats: RetrievalStats,
         addresses: list[int] | None = None,
-    ) -> list[Clause]:
+    ) -> tuple[list[Clause], tuple[int, ...] | None]:
         """Run records through FS2 in track-sized search calls.
 
         ``records`` may be any iterable (lazy generators from the FS1
@@ -583,11 +615,13 @@ class ClauseRetrievalServer:
         the clause cache.  The Result Memory records the in-call stream
         position of every captured slot, so each result record maps back
         to its address by a direct index — O(results) per call, not
-        O(call x results).
+        O(call x results).  Returns the surviving clauses plus their
+        record addresses (``None`` when the caller supplied none).
         """
         self.fs2.set_query(goal)
         track_bytes = self.kb.disk.drive.geometry.track_bytes
         candidates: list[Clause] = []
+        hit_addresses: list[int] = []
         call: list[bytes] = []
         call_addresses: list[int] = []
         call_bytes = 0
@@ -604,6 +638,7 @@ class ClauseRetrievalServer:
                 address = None
                 if addresses is not None:
                     address = call_addresses[positions[slot]]
+                    hit_addresses.append(address)
                 candidates.append(self._decode_record(store, record, address))
             call = []
             call_addresses = []
@@ -621,7 +656,9 @@ class ClauseRetrievalServer:
                 call_addresses.append(addresses[position])
             call_bytes += len(record)
         flush()
-        return candidates
+        if addresses is None:
+            return candidates, None
+        return candidates, tuple(hit_addresses)
 
     def _read_clause_extent(
         self, store: PredicateStore

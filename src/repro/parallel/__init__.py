@@ -2,7 +2,8 @@
 
 See :mod:`repro.parallel.segments` for the mmap segment format and the
 shared read-only views, :mod:`repro.parallel.worker` for the worker
-process protocol, and :mod:`repro.parallel.server` for the
+process protocol, :mod:`repro.parallel.shm` for the shared-memory
+result slab ring, and :mod:`repro.parallel.server` for the
 process-backed drop-in behind the cluster front-end.
 """
 
@@ -15,6 +16,7 @@ from .segments import (
     write_segments,
 )
 from .server import ProcessShardedRetrievalServer, WorkerError
+from .shm import decode_batch, decode_result, encode_batch, encode_result
 from .worker import WorkerConfig, worker_main
 
 __all__ = [
@@ -26,6 +28,10 @@ __all__ = [
     "WorkerConfig",
     "WorkerError",
     "attach_kb",
+    "decode_batch",
+    "decode_result",
+    "encode_batch",
+    "encode_result",
     "worker_main",
     "write_segments",
 ]

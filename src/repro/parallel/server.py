@@ -23,6 +23,19 @@ The GIL is what changes: each worker owns its own interpreter, so the
 per-record Python work of a broadcast ``retrieve_batch`` runs on N
 cores instead of interleaving on one.  The parent-side threads spend
 their time blocked in ``Connection.recv`` (GIL released).
+
+Result transport: with ``result_transport="shm"`` (the default) each
+worker owns a ring of shared-memory slots and replies to the retrieve
+verbs with a ``("__shm__", slot, length)`` reference instead of a
+pickled result — the parent decodes candidates off the slab through its
+own clause cache (:mod:`repro.parallel.shm`).  ``"pipe"`` restores the
+pickled transport; either way the control channel stays the pipe.
+
+Fault tolerance: a worker that dies mid-call is respawned in place —
+segments are re-exported from the parent's authoritative shard (which
+replays every mutation by construction), the call retried once, and
+``parallel.worker.restarts`` incremented.  ``WorkerError`` only
+escapes when the *respawned* worker fails too.
 """
 
 from __future__ import annotations
@@ -30,12 +43,20 @@ from __future__ import annotations
 import shutil
 import tempfile
 from multiprocessing import get_context
+from multiprocessing.shared_memory import SharedMemory
 from pathlib import Path
 
 from ..cluster.server import ClusterShard, ShardedRetrievalServer
 from ..crs import RetrievalResult, SearchMode
 from ..terms import Clause, Term
 from .segments import write_segments
+from .shm import (
+    DEFAULT_SLOT_BYTES,
+    DEFAULT_SLOTS,
+    decode_batch,
+    decode_result,
+    is_shm_ref,
+)
 from .worker import WorkerConfig, worker_main
 
 __all__ = ["ProcessShardedRetrievalServer", "WorkerError"]
@@ -46,12 +67,15 @@ class WorkerError(RuntimeError):
 
 
 class _WorkerHandle:
-    """Parent-side endpoint of one shard worker (pipe + process)."""
+    """Parent-side endpoint of one shard worker (pipe + process + slab)."""
 
-    def __init__(self, shard_id: int, process, conn):
+    def __init__(self, shard_id: int, process, conn, shm=None):
         self.shard_id = shard_id
         self.process = process
         self.conn = conn
+        #: the worker's result slab (parent-owned; ``None`` on the
+        #: pickled-pipe transport).
+        self.shm = shm
         #: last metrics snapshot merged into the parent registry, so
         #: repeated pulls advance by delta instead of double-counting.
         self.last_metrics: dict | None = None
@@ -69,6 +93,15 @@ class _WorkerHandle:
             raise payload
         return payload
 
+    #: per-slot capacity, stamped at launch so ``slab_view`` can do the
+    #: offset math without re-deriving it from the config.
+    slot_bytes: int = DEFAULT_SLOT_BYTES
+
+    def slab_view(self, slot: int, length: int) -> memoryview:
+        """A zero-copy view of one slab payload (release after decode)."""
+        offset = slot * self.slot_bytes
+        return self.shm.buf[offset : offset + length]
+
     def stop(self, timeout: float = 5.0) -> None:
         try:
             self.conn.send(("stop",))
@@ -80,6 +113,16 @@ class _WorkerHandle:
             self.process.terminate()
             self.process.join(timeout=timeout)
         self.conn.close()
+        if self.shm is not None:
+            try:
+                self.shm.close()
+            except BufferError:  # a decoded view is still alive somewhere
+                pass
+            try:
+                self.shm.unlink()
+            except FileNotFoundError:
+                pass
+            self.shm = None
 
 
 class ProcessShardedRetrievalServer(ShardedRetrievalServer):
@@ -99,12 +142,20 @@ class ProcessShardedRetrievalServer(ShardedRetrievalServer):
         *args,
         spool_dir: str | None = None,
         start_method: str = "spawn",
+        result_transport: str = "shm",
+        shm_slots: int = DEFAULT_SLOTS,
+        shm_slot_bytes: int = DEFAULT_SLOT_BYTES,
         **kwargs,
     ):
         super().__init__(*args, **kwargs)
+        if result_transport not in ("shm", "pipe"):
+            raise ValueError("result_transport must be 'shm' or 'pipe'")
         self._spool_dir = spool_dir
         self._owns_spool = False
         self._start_method = start_method
+        self._result_transport = result_transport
+        self._shm_slots = shm_slots
+        self._shm_slot_bytes = shm_slot_bytes
         self._handles: dict[int, _WorkerHandle] = {}
         self._reload_counter = 0
 
@@ -121,40 +172,12 @@ class ProcessShardedRetrievalServer(ShardedRetrievalServer):
         if self._spool_dir is None:
             self._spool_dir = tempfile.mkdtemp(prefix="clare-segments-")
             self._owns_spool = True
-        ctx = get_context(self._start_method)
         handles: dict[int, _WorkerHandle] = {}
         try:
             for shard in self.shards:
-                segments_dir = self._export_shard(shard)
-                parent_conn, child_conn = ctx.Pipe()
-                config = WorkerConfig(
-                    shard_id=shard.shard_id,
-                    segments_dir=segments_dir,
-                    fs1_mode=self._fs1_mode,
-                    fs2_mode=self._fs2_mode,
-                    cross_binding=self._cross_binding,
-                    cost_model=self._cost_model,
-                )
-                process = ctx.Process(
-                    target=worker_main,
-                    args=(child_conn, config),
-                    name=f"clare-shard-{shard.shard_id}",
-                    daemon=True,
-                )
-                process.start()
-                child_conn.close()
-                handles[shard.shard_id] = _WorkerHandle(
-                    shard.shard_id, process, parent_conn
-                )
+                handles[shard.shard_id] = self._launch_worker(shard)
             for handle in handles.values():  # ready handshake per worker
-                try:
-                    status, payload = handle.conn.recv()
-                except (EOFError, OSError) as exc:
-                    raise WorkerError(
-                        f"shard worker {handle.shard_id} failed to start"
-                    ) from exc
-                if status == "err":
-                    raise payload
+                self._await_ready(handle)
         except BaseException:
             for handle in handles.values():
                 handle.stop(timeout=1.0)
@@ -179,13 +202,91 @@ class ProcessShardedRetrievalServer(ShardedRetrievalServer):
     def __exit__(self, *exc_info) -> None:
         self.close()
 
+    def _launch_worker(self, shard: ClusterShard) -> _WorkerHandle:
+        """Export the shard and spawn its worker (no handshake yet)."""
+        ctx = get_context(self._start_method)
+        segments_dir = self._export_shard(shard)
+        shm = None
+        if self._result_transport == "shm":
+            shm = SharedMemory(
+                create=True, size=self._shm_slots * self._shm_slot_bytes
+            )
+        parent_conn, child_conn = ctx.Pipe()
+        config = WorkerConfig(
+            shard_id=shard.shard_id,
+            segments_dir=segments_dir,
+            fs1_mode=self._fs1_mode,
+            fs2_mode=self._fs2_mode,
+            cross_binding=self._cross_binding,
+            cost_model=self._cost_model,
+            result_transport=self._result_transport,
+            shm_name=shm.name if shm is not None else None,
+            shm_slots=self._shm_slots,
+            shm_slot_bytes=self._shm_slot_bytes,
+        )
+        process = ctx.Process(
+            target=worker_main,
+            args=(child_conn, config),
+            name=f"clare-shard-{shard.shard_id}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        handle = _WorkerHandle(shard.shard_id, process, parent_conn, shm)
+        handle.slot_bytes = self._shm_slot_bytes
+        return handle
+
+    def _await_ready(self, handle: _WorkerHandle) -> None:
+        try:
+            status, payload = handle.conn.recv()
+        except (EOFError, OSError) as exc:
+            raise WorkerError(
+                f"shard worker {handle.shard_id} failed to start"
+            ) from exc
+        if status == "err":
+            raise payload
+
+    def _respawn(self, shard: ClusterShard) -> _WorkerHandle:
+        """Bring a dead shard worker back over freshly exported segments.
+
+        The parent shard is authoritative and already holds every
+        forwarded mutation, so re-exporting replays the generation —
+        the new worker is byte-identical to what the dead one should
+        have been.
+        """
+        handle = self._launch_worker(shard)
+        try:
+            self._await_ready(handle)
+        except BaseException:
+            handle.stop(timeout=1.0)
+            raise
+        self._handles[shard.shard_id] = handle
+        return handle
+
+    def _call_worker(self, shard: ClusterShard, *message):
+        """One worker RPC with respawn-and-retry on a dead process.
+
+        Caller holds the shard lock, so no mutation can race the
+        re-export.  A second failure (the respawned worker also died)
+        propagates — each *call* still gets its own retry, so the
+        cluster degrades per-request instead of failing permanently.
+        """
+        handle = self._handles[shard.shard_id]
+        try:
+            return handle, handle.call(*message)
+        except WorkerError:
+            self.obs.counter("parallel.worker.restarts").inc()
+            handle.stop(timeout=1.0)
+            handle = self._respawn(shard)
+            return handle, handle.call(*message)
+
     def _export_shard(self, shard: ClusterShard) -> str:
         """Write one shard's segments under a fresh generation directory.
 
-        Re-exports (worker reload after ``adopt_kb``) get a new
-        directory instead of overwriting: the old worker may still hold
-        maps over the previous files, and the generation suffix keeps
-        the swap atomic from its point of view.
+        Re-exports (worker reload after ``adopt_kb``, worker respawn)
+        get a new directory instead of overwriting: the old worker may
+        still hold maps over the previous files, and the generation
+        suffix keeps the swap atomic from its point of view.
         """
         self._reload_counter += 1
         directory = str(
@@ -203,7 +304,13 @@ class ProcessShardedRetrievalServer(ShardedRetrievalServer):
         handle = self._handles.get(shard.shard_id)
         if handle is None:
             return super()._shard_retrieve(shard, goal, mode)
-        return handle.call("retrieve", goal, mode)
+        handle, payload = self._call_worker(shard, "retrieve", goal, mode)
+        if is_shm_ref(payload):
+            return self._decode_slab(
+                handle, payload, lambda view: decode_result(view, goal, shard)
+            )
+        self._count_fallback(handle)
+        return payload
 
     def _shard_retrieve_batch(
         self, shard: ClusterShard, goals: list[Term], mode: SearchMode
@@ -211,7 +318,31 @@ class ProcessShardedRetrievalServer(ShardedRetrievalServer):
         handle = self._handles.get(shard.shard_id)
         if handle is None:
             return super()._shard_retrieve_batch(shard, goals, mode)
-        return handle.call("retrieve_batch", goals, mode)
+        handle, payload = self._call_worker(
+            shard, "retrieve_batch", goals, mode
+        )
+        if is_shm_ref(payload):
+            return self._decode_slab(
+                handle, payload, lambda view: decode_batch(view, goals, shard)
+            )
+        self._count_fallback(handle)
+        return payload
+
+    def _decode_slab(self, handle: _WorkerHandle, payload, decode):
+        _, slot, length = payload
+        view = handle.slab_view(slot, length)
+        try:
+            decoded = decode(view)
+        finally:
+            view.release()
+        self.obs.counter("parallel.shm.results").inc()
+        self.obs.counter("parallel.shm.bytes").inc(length)
+        return decoded
+
+    def _count_fallback(self, handle: _WorkerHandle) -> None:
+        """A retrieve verb came back pickled on the shm transport."""
+        if self._result_transport == "shm" and handle.shm is not None:
+            self.obs.counter("parallel.shm.fallbacks").inc()
 
     def _on_shard_mutation(
         self,
@@ -224,17 +355,16 @@ class ProcessShardedRetrievalServer(ShardedRetrievalServer):
         if handle is None:
             return
         if op == "reload":
-            handle.call("reload", self._export_shard(shard))
+            self._call_worker(shard, "reload", self._export_shard(shard))
         else:
-            handle.call("mutate", op, clause, module)
+            self._call_worker(shard, "mutate", op, clause, module)
 
     def _on_pin_module(self, name: str, residency: str) -> None:
         for shard in self.shards:
-            handle = self._handles.get(shard.shard_id)
-            if handle is None:
+            if shard.shard_id not in self._handles:
                 continue
             with shard.lock:
-                handle.call("pin", name, residency)
+                self._call_worker(shard, "pin", name, residency)
 
     # -- observability -------------------------------------------------------
 
@@ -250,11 +380,10 @@ class ProcessShardedRetrievalServer(ShardedRetrievalServer):
         """
         snapshots: dict[int, dict] = {}
         for shard in self.shards:
-            handle = self._handles.get(shard.shard_id)
-            if handle is None:
+            if shard.shard_id not in self._handles:
                 continue
             with shard.lock:
-                snapshot = handle.call("metrics")
+                handle, snapshot = self._call_worker(shard, "metrics")
             self.obs.registry.merge_snapshot(
                 snapshot,
                 previous=handle.last_metrics,

@@ -1,0 +1,234 @@
+"""Shared-memory result slabs for the process data plane.
+
+PR 8's workers ship every retrieval result back to the parent as a
+pickled :class:`~repro.crs.RetrievalResult` — for a broadcast-heavy
+``retrieve_batch`` that is a serialize/copy/deserialize triple over
+every candidate term graph, per result, per shard.  But the candidate
+*records* already exist as bytes in the worker's mmap'd segment, and
+the parent holds a byte-identical store (segments are written from it
+and every mutation is forwarded under the same shard lock), so the
+parent can rebuild each candidate from ``(address, record bytes)``
+through its own decode cache.
+
+Each worker therefore gets a ring of fixed-size slots inside one
+:class:`multiprocessing.shared_memory.SharedMemory` slab.  A result is
+encoded as a fixed-header payload::
+
+    u32 stats_len | u32 count          (_RESULT)
+    stats_len × u8                      pickled RetrievalStats
+    count × (u32 address, u32 length)   (_PAIR, candidate directory)
+    concatenated record bytes           (PIF records, segment order)
+
+and a batch as ``u32 n`` followed by ``n`` length-prefixed result
+payloads.  The worker copies the payload into the next ring slot and
+sends only ``("__shm__", slot, length)`` over the pipe; the parent
+decodes straight off a ``memoryview`` of the slab.  The pipe stays the
+control channel, and strict request-reply per worker means a slot is
+never overwritten before the parent has consumed it (a ring of
+``DEFAULT_SLOTS`` just keeps recently-read slots intact for debugging).
+
+Fallback: when a payload outgrows the slot, the candidate addresses are
+unknown (merged results), or a record address is missing from the
+worker's clause file, the worker silently falls back to the pickled
+pipe — the parent counts those in ``parallel.shm.fallbacks``.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+from typing import TYPE_CHECKING, Sequence
+
+from ..terms import Term, functor_indicator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..cluster.server import ClusterShard
+    from ..crs import RetrievalResult
+
+__all__ = [
+    "DEFAULT_SLOTS",
+    "DEFAULT_SLOT_BYTES",
+    "SHM_MARKER",
+    "SlabWriter",
+    "attach_slab",
+    "decode_batch",
+    "decode_result",
+    "encode_batch",
+    "encode_result",
+    "is_shm_ref",
+]
+
+#: ring depth per worker; one slot would suffice under strict
+#: request-reply, the ring keeps the last few payloads inspectable.
+DEFAULT_SLOTS = 4
+#: per-slot capacity; payloads above this fall back to the pipe.
+DEFAULT_SLOT_BYTES = 1 << 20
+
+#: first element of a slab reference riding the pipe in place of the
+#: pickled result: ``(SHM_MARKER, slot, payload_length)``.
+SHM_MARKER = "__shm__"
+
+_RESULT = struct.Struct("<II")  # stats_len, candidate count
+_PAIR = struct.Struct("<II")  # record address, record length
+_COUNT = struct.Struct("<I")  # batch size / per-result length prefix
+
+
+def is_shm_ref(payload) -> bool:
+    """True when a worker reply is a slab reference, not a result."""
+    return (
+        isinstance(payload, tuple)
+        and len(payload) == 3
+        and payload[0] == SHM_MARKER
+    )
+
+
+# -- worker side -------------------------------------------------------------
+
+
+def encode_result(result: "RetrievalResult", kb) -> bytes | None:
+    """Serialise one result as a candidate directory over ``kb``'s records.
+
+    Returns ``None`` when the result cannot ride the slab (no address
+    list, or an address is missing from the clause file) — the caller
+    falls back to the pickled pipe.
+    """
+    addresses = result.addresses
+    if addresses is None or len(addresses) != len(result.candidates):
+        return None
+    stats_blob = pickle.dumps(result.stats)
+    out = bytearray(_RESULT.pack(len(stats_blob), len(addresses)))
+    out += stats_blob
+    if not addresses:
+        return bytes(out)
+    try:
+        clause_file = kb.store(functor_indicator(result.goal)).clause_file
+        spans = [clause_file.record_span(address) for address in addresses]
+    except KeyError:
+        return None
+    records = [clause_file.record_bytes(position) for position, _ in spans]
+    for address, record in zip(addresses, records):
+        out += _PAIR.pack(address, len(record))
+    for record in records:
+        out += record
+    return bytes(out)
+
+
+def encode_batch(results: Sequence["RetrievalResult"], kb) -> bytes | None:
+    """Length-prefixed concatenation of :func:`encode_result` payloads."""
+    out = bytearray(_COUNT.pack(len(results)))
+    for result in results:
+        encoded = encode_result(result, kb)
+        if encoded is None:
+            return None
+        out += _COUNT.pack(len(encoded))
+        out += encoded
+    return bytes(out)
+
+
+class SlabWriter:
+    """The worker's end of the slab: copy a payload into the next slot."""
+
+    def __init__(self, shm, slots: int, slot_bytes: int):
+        self.shm = shm
+        self.slots = slots
+        self.slot_bytes = slot_bytes
+        self._cursor = 0
+
+    def write(self, encoded: bytes) -> tuple[str, int, int] | None:
+        """Place ``encoded`` into the ring; ``None`` when it won't fit."""
+        if len(encoded) > self.slot_bytes:
+            return None
+        slot = self._cursor
+        self._cursor = (slot + 1) % self.slots
+        offset = slot * self.slot_bytes
+        self.shm.buf[offset : offset + len(encoded)] = encoded
+        return (SHM_MARKER, slot, len(encoded))
+
+    def close(self) -> None:
+        self.shm.close()
+
+
+def attach_slab(name: str):
+    """Attach an existing slab by name (worker side).
+
+    On Python < 3.13 attaching re-registers the segment with the
+    resource tracker; workers are spawned by :mod:`multiprocessing`, so
+    they share the parent's tracker and the re-register is an idempotent
+    set-add — the parent's ``unlink`` unregisters the name exactly once.
+    (Do *not* unregister here: that would strip the parent's own
+    registration from the shared tracker.)
+    """
+    from multiprocessing.shared_memory import SharedMemory
+
+    return SharedMemory(name=name)
+
+
+# -- parent side -------------------------------------------------------------
+
+
+def decode_result(
+    view: memoryview, goal: Term, shard: "ClusterShard"
+) -> "RetrievalResult":
+    """Rebuild a result from its slab payload against the parent shard.
+
+    The records decode through ``shard.server``'s decoded-clause cache
+    under the *parent's* clause-file generation: worker and parent
+    stores are byte-identical by construction (segments are exported
+    from the parent, mutations are forwarded under the shard lock), so
+    a repeated broadcast answer costs a cache probe, not a decode.
+    """
+    result, _ = _decode_one(view, 0, goal, shard)
+    return result
+
+
+def decode_batch(
+    view: memoryview, goals: Sequence[Term], shard: "ClusterShard"
+) -> "list[RetrievalResult]":
+    """Rebuild a ``retrieve_batch`` reply (parallel to ``goals``)."""
+    (count,) = _COUNT.unpack_from(view, 0)
+    if count != len(goals):
+        raise ValueError(
+            f"slab batch has {count} results for {len(goals)} goals"
+        )
+    offset = _COUNT.size
+    results = []
+    for goal in goals:
+        (length,) = _COUNT.unpack_from(view, offset)
+        offset += _COUNT.size
+        result, consumed = _decode_one(view, offset, goal, shard)
+        if consumed != length:
+            raise ValueError("slab batch payload length mismatch")
+        offset += length
+        results.append(result)
+    return results
+
+
+def _decode_one(
+    view: memoryview, base: int, goal: Term, shard: "ClusterShard"
+) -> "tuple[RetrievalResult, int]":
+    from ..crs import RetrievalResult
+
+    stats_len, count = _RESULT.unpack_from(view, base)
+    offset = base + _RESULT.size
+    stats = pickle.loads(view[offset : offset + stats_len])
+    offset += stats_len
+    pairs = list(
+        _PAIR.iter_unpack(bytes(view[offset : offset + count * _PAIR.size]))
+    )
+    offset += count * _PAIR.size
+    candidates = []
+    if count:
+        store = shard.kb.store(functor_indicator(goal))
+        decode = shard.server._decode_record
+        for address, length in pairs:
+            candidates.append(
+                decode(store, view[offset : offset + length], address)
+            )
+            offset += length
+    result = RetrievalResult(
+        goal=goal,
+        candidates=candidates,
+        stats=stats,
+        addresses=tuple(address for address, _ in pairs),
+    )
+    return result, offset - base

@@ -27,7 +27,13 @@ then serves a tiny pickled-tuple RPC over its pipe:
 
 Replies are ``("ok", payload)`` or ``("err", exception)``; results and
 stats ride the pipe as pickled dataclasses (terms are frozen slotted
-dataclasses with value equality, so transport is loss-free).
+dataclasses with value equality, so transport is loss-free).  With
+``result_transport="shm"`` the retrieve verbs instead write an
+``(address, record bytes)`` directory into the worker's shared-memory
+slab ring and reply with a ``("__shm__", slot, length)`` reference —
+see :mod:`repro.parallel.shm`; payloads that cannot ride the slab
+(outgrown slot, unknown addresses) fall back to the pickled pipe
+transparently.
 """
 
 from __future__ import annotations
@@ -40,6 +46,14 @@ from ..crs.server import ClauseRetrievalServer
 from ..obs import Instrumentation
 from ..storage import Residency
 from .segments import attach_kb
+from .shm import (
+    DEFAULT_SLOT_BYTES,
+    DEFAULT_SLOTS,
+    SlabWriter,
+    attach_slab,
+    encode_batch,
+    encode_result,
+)
 
 __all__ = ["WorkerConfig", "worker_main"]
 
@@ -54,6 +68,12 @@ class WorkerConfig:
     fs2_mode: str = "compiled"
     cross_binding: bool = True
     cost_model: HostCostModel | None = None
+    #: ``"shm"`` ships retrieve results through the slab ring named by
+    #: ``shm_name``; ``"pipe"`` (or a missing slab) pickles them.
+    result_transport: str = "pipe"
+    shm_name: str | None = None
+    shm_slots: int = DEFAULT_SLOTS
+    shm_slot_bytes: int = DEFAULT_SLOT_BYTES
 
 
 def _build_engine(config: WorkerConfig, segments_dir: str):
@@ -96,11 +116,28 @@ def worker_main(conn, config: WorkerConfig) -> None:
     """Entry point for the spawned worker process."""
     try:
         base, kb, server = _build_engine(config, config.segments_dir)
+        writer = None
+        if config.result_transport == "shm" and config.shm_name:
+            writer = SlabWriter(
+                attach_slab(config.shm_name),
+                config.shm_slots,
+                config.shm_slot_bytes,
+            )
     except BaseException as exc:  # surface attach failures to the parent
         _send(conn, "err", exc)
         conn.close()
         return
     _send(conn, "ok", "ready")
+
+    def _via_slab(result_payload, encode):
+        """Slab reference for a retrieve reply, or the result itself."""
+        if writer is None:
+            return result_payload
+        encoded = encode(result_payload, kb)
+        if encoded is None:
+            return result_payload
+        ref = writer.write(encoded)
+        return result_payload if ref is None else ref
 
     while True:
         try:
@@ -110,9 +147,15 @@ def worker_main(conn, config: WorkerConfig) -> None:
         verb = message[0]
         try:
             if verb == "retrieve":
-                payload = server.retrieve(message[1], mode=message[2])
+                payload = _via_slab(
+                    server.retrieve(message[1], mode=message[2]),
+                    encode_result,
+                )
             elif verb == "retrieve_batch":
-                payload = server.retrieve_batch(message[1], mode=message[2])
+                payload = _via_slab(
+                    server.retrieve_batch(message[1], mode=message[2]),
+                    encode_batch,
+                )
             elif verb == "mutate":
                 _apply_mutation(kb, message[1], message[2], message[3])
                 payload = kb.version
@@ -137,4 +180,6 @@ def worker_main(conn, config: WorkerConfig) -> None:
             _send(conn, "err", exc)
         else:
             _send(conn, "ok", payload)
+    if writer is not None:
+        writer.close()
     conn.close()

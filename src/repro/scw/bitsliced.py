@@ -84,11 +84,16 @@ class BitSlicedIndex:
 
         The serialised form of the columnar index: each column (and each
         mask plane) as a little-endian fixed-width integer of
-        ``ceil(N/8)`` bytes.  Written once into a shared segment; worker
-        processes rebuild the index with :meth:`from_packed` by slicing
-        the mmap — no clause decoding, no re-hashing.
+        ``ceil(N/64)`` 64-bit words.  Word alignment keeps the image
+        byte-compatible with :class:`~repro.scw.vector.VectorSlicedIndex`
+        (zero-padding a little-endian integer is value-preserving), so
+        an attacher can view the same mmap'd bytes as big ints *or* as
+        ``uint64`` word arrays via ``np.frombuffer`` — no re-packing.
+        Written once into a shared segment; attaching rebuilds the
+        index with :meth:`from_packed` by slicing the mmap — no clause
+        decoding, no re-hashing.
         """
-        nbytes = max(1, (len(self._addresses) + 7) // 8)
+        nbytes = max(1, (len(self._addresses) + 63) // 64) * 8
         columns = b"".join(c.to_bytes(nbytes, "little") for c in self._columns)
         planes = b"".join(p.to_bytes(nbytes, "little") for p in self._planes)
         return nbytes, columns, planes

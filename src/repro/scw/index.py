@@ -17,6 +17,7 @@ from ..pif.clausefile import ClauseFile
 from ..terms import Term
 from .bitsliced import BitSlicedIndex
 from .codeword import Codeword, CodewordScheme
+from .vector import VectorSlicedIndex
 
 __all__ = ["IndexEntry", "SecondaryIndexFile"]
 
@@ -38,10 +39,12 @@ class SecondaryIndexFile:
         self.scheme = scheme
         self.indicator = indicator
         self._entries: list[IndexEntry] = []
-        # The bit-sliced (columnar) view is built lazily on first use and
-        # then maintained incrementally by :meth:`add`, so append-heavy
-        # loads pay nothing until a bit-sliced scan actually happens.
+        # The columnar views (big-int bit-sliced and word-array vector)
+        # are built lazily on first use and then maintained incrementally
+        # by :meth:`add`, so append-heavy loads pay nothing until a
+        # columnar scan actually happens.
         self._bitsliced: BitSlicedIndex | None = None
+        self._vector: VectorSlicedIndex | None = None
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -55,6 +58,8 @@ class SecondaryIndexFile:
         self._entries.append(entry)
         if self._bitsliced is not None:
             self._bitsliced.add(entry.codeword, entry.address)
+        if self._vector is not None:
+            self._vector.add(entry.codeword, entry.address)
         return entry
 
     @property
@@ -66,6 +71,15 @@ class SecondaryIndexFile:
                 sliced.add(entry.codeword, entry.address)
             self._bitsliced = sliced
         return self._bitsliced
+
+    @property
+    def vector(self) -> VectorSlicedIndex:
+        """The word-array columnar view (built lazily, kept in sync)."""
+        if self._vector is None:
+            self._vector = VectorSlicedIndex.from_entries(
+                self.scheme, self._entries
+            )
+        return self._vector
 
     @classmethod
     def build(

@@ -199,6 +199,9 @@ def run_cores_sweep(
     deadline_s: float | None = None,
     shard_by: str = "round_robin",
     workers: str = "processes",
+    result_transport: str = "shm",
+    clock=time.monotonic,
+    sleep=asyncio.sleep,
 ) -> list[tuple[int, LoadgenResult]]:
     """Self-hosting core sweep: serve ``program_text`` at each core count.
 
@@ -208,7 +211,11 @@ def run_cores_sweep(
     baseline), serves it over loopback TCP, drives it open-loop, and
     tears everything down.  Round-robin sharding is the default so the
     same program broadcasts across all N engines — that is the layout
-    where cores matter.
+    where cores matter.  ``result_transport`` selects how process
+    workers ship results back (shared-memory slabs or the pickled
+    pipe); ``clock``/``sleep`` pass straight through to
+    :func:`run_loadgen` so deterministic-pacing tests keep their
+    injected time source at every core count.
     """
     from ..cluster import ShardedRetrievalServer
     from ..net import BackgroundService, RetrievalService
@@ -220,7 +227,9 @@ def run_cores_sweep(
         if workers == "processes":
             from ..parallel import ProcessShardedRetrievalServer
 
-            engine = ProcessShardedRetrievalServer(n, shard_by)
+            engine = ProcessShardedRetrievalServer(
+                n, shard_by, result_transport=result_transport
+            )
         else:
             engine = ShardedRetrievalServer(n, shard_by)
         try:
@@ -241,6 +250,8 @@ def run_cores_sweep(
                     duration_s=duration_s,
                     mode=mode,
                     deadline_s=deadline_s,
+                    clock=clock,
+                    sleep=sleep,
                 )
             finally:
                 background.stop()
