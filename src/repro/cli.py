@@ -171,6 +171,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="drain and exit after handling N requests (default: serve "
         "until interrupted)",
     )
+    serve.add_argument(
+        "--durability", metavar="DIR", default=None,
+        help="make mutations durable: write-ahead log + snapshots under "
+        "DIR; on restart the KB recovers from DIR and the source file "
+        "is only consulted into an empty store",
+    )
+    serve.add_argument(
+        "--durability-flush",
+        choices=["fsync", "os", "none"],
+        default="fsync",
+        help="WAL flush policy before acking a write: group-committed "
+        "fsync (default), flush to the OS only, or fully buffered",
+    )
 
     client = commands.add_parser(
         "client", help="query a running `serve` instance over TCP"
@@ -266,6 +279,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--retries", type=int, default=0,
         help="client retry cap (0 keeps SERVER_BUSY visible in the counts)",
     )
+    loadgen.add_argument(
+        "--write-fraction", type=float, default=0.0,
+        help="fraction of arrivals issued as assertz mutations of unique "
+        "generated facts (mixed read/write workload; default 0 = reads "
+        "only)",
+    )
+    loadgen.add_argument(
+        "--seed", type=int, default=0,
+        help="seed for the read/write arrival mix (same seed = same mix)",
+    )
 
     goal = commands.add_parser("goal", help="solve a goal with an empty KB")
     goal.add_argument("text", help="the goal")
@@ -278,6 +301,20 @@ def build_parser() -> argparse.ArgumentParser:
         "dump", help="compile a clause and dump its PIF encoding"
     )
     dump.add_argument("clause", help="one clause, e.g. 'p(X, f(a)) :- q(X)'")
+
+    wal_dump = commands.add_parser(
+        "wal-dump",
+        help="print a durable store's on-disk state: snapshots, WAL "
+        "segments and the logged mutation records",
+    )
+    wal_dump.add_argument("directory", help="a `serve --durability` directory")
+
+    compact = commands.add_parser(
+        "compact",
+        help="fold a durable store's WAL tail into a fresh snapshot "
+        "offline (the store must not be open in a server)",
+    )
+    compact.add_argument("directory", help="a `serve --durability` directory")
     return parser
 
 
@@ -291,6 +328,10 @@ def main(argv: list[str] | None = None, out=None) -> int:
         return _cmd_microcode(out)
     if args.command == "dump":
         return _cmd_dump(args, out)
+    if args.command == "wal-dump":
+        return _cmd_wal_dump(args, out)
+    if args.command == "compact":
+        return _cmd_compact(args, out)
     if args.command == "goal":
         machine = PrologMachine(
             KnowledgeBase(), unknown_predicates="fail", output=out
@@ -336,6 +377,54 @@ def _cmd_dump(args, out) -> int:
     for line in dump_record(record, symbols):
         out.write(line + "\n")
     out.write(f"record size: {len(record.to_bytes())} bytes\n")
+    return 0
+
+
+def _cmd_wal_dump(args, out) -> int:
+    import pathlib
+
+    from .storage import wal_dump
+
+    if not pathlib.Path(args.directory).is_dir():
+        out.write(f"error: {args.directory} is not a directory\n")
+        return 1
+    out.write(wal_dump(args.directory) + "\n")
+    return 0
+
+
+def _cmd_compact(args, out) -> int:
+    """Offline compaction: recover the store, snapshot it, purge the WAL.
+
+    The shard layout comes from the store's own ``store.json`` (written
+    when the store was first opened), so the engine rebuilt here matches
+    the one that wrote the log.
+    """
+    import json
+    import pathlib
+
+    from .storage import DurabilityOptions
+
+    root = pathlib.Path(args.directory)
+    meta_path = root / "store.json"
+    if not meta_path.exists():
+        out.write(f"error: {meta_path} not found (not a durable store?)\n")
+        return 1
+    meta = json.loads(meta_path.read_text(encoding="utf-8"))
+    engine = ShardedRetrievalServer(
+        int(meta.get("num_shards", 1)),
+        meta.get("policy", ShardingPolicy.PREDICATE.value),
+        durability=DurabilityOptions(directory=root, auto_compact=False),
+    )
+    try:
+        recovered = engine.recovered
+        replayed = len(recovered.records) if recovered is not None else 0
+        seq = engine.compact()
+        out.write(
+            f"compacted {engine.clause_count()} clauses at seq {seq} "
+            f"({replayed} WAL records folded in)\n"
+        )
+    finally:
+        engine.close()
     return 0
 
 
@@ -462,6 +551,14 @@ def _cmd_serve(args, out) -> int:
 
     obs = Instrumentation()
     backend, num_shards = _parse_workers(args.workers, max(1, args.shards))
+    durability = None
+    if args.durability is not None:
+        from .storage import DurabilityOptions
+
+        durability = DurabilityOptions(
+            directory=args.durability, flush=args.durability_flush
+        )
+    extra = {} if durability is None else {"durability": durability}
     if backend == "processes":
         from .parallel import ProcessShardedRetrievalServer
 
@@ -472,6 +569,7 @@ def _cmd_serve(args, out) -> int:
             fs2_mode=args.fs2_mode,
             obs=obs,
             result_transport=getattr(args, "result_transport", "shm"),
+            **extra,
         )
     else:
         server = ShardedRetrievalServer(
@@ -480,10 +578,27 @@ def _cmd_serve(args, out) -> int:
             fs1_mode=args.fs1_mode,
             fs2_mode=args.fs2_mode,
             obs=obs,
+            **extra,
         )
-    with open(args.file, encoding="utf-8") as handle:
-        count = server.consult_text(handle.read())
-    out.write(f"consulted {count} clauses into {num_shards} shard(s)\n")
+    recovered = getattr(server, "recovered", None)
+    if recovered is not None and not recovered.empty:
+        # The durable store already holds the KB: the snapshot + WAL
+        # tail are authoritative, re-consulting the source would
+        # duplicate every clause.
+        out.write(
+            f"recovered {server.clause_count()} clauses from "
+            f"{args.durability} (snapshot seq {recovered.snapshot_seq}, "
+            f"{len(recovered.records)} WAL records replayed)\n"
+        )
+    else:
+        with open(args.file, encoding="utf-8") as handle:
+            count = server.consult_text(handle.read())
+        out.write(f"consulted {count} clauses into {num_shards} shard(s)\n")
+    if durability is not None:
+        out.write(
+            f"[wal] durability on: dir={args.durability} "
+            f"flush={args.durability_flush}\n"
+        )
     if args.disk:
         server.pin_module("user", Residency.DISK)
         out.write("shard programs pinned to the simulated disks\n")
@@ -529,7 +644,7 @@ def _cmd_serve(args, out) -> int:
     except KeyboardInterrupt:
         pass  # run()'s finally already drained
     finally:
-        if backend == "processes":
+        if backend == "processes" or durability is not None:
             server.close()
     out.write(format_net_report(obs.registry) + "\n")
     return 0
@@ -670,6 +785,8 @@ def _cmd_loadgen(args, out) -> int:
         mode=mode,
         deadline_s=deadline_s,
         max_retries=args.retries,
+        write_fraction=args.write_fraction,
+        seed=args.seed,
     )
     out.write("[loadgen] " + result.summary() + "\n")
     return 0

@@ -42,6 +42,7 @@ a write that reaches the same node twice by different paths (directly
 
 from __future__ import annotations
 
+import pathlib
 import threading
 import time
 import uuid
@@ -51,8 +52,8 @@ from ..crs import RetrievalResult, RetrievalStats, SearchMode
 from ..obs import Instrumentation
 from ..obs import get_default as _default_obs
 from ..scw import CodewordScheme, DEFAULT_SCHEME
-from ..storage import UnknownPredicateError
-from ..terms import Clause, Term, clause_from_term, read_program
+from ..storage import DurabilityOptions, UnknownPredicateError
+from ..terms import Clause, Term, clause_from_term, functor_indicator, read_program
 from .manifest import ClusterManifest, ManifestHolder
 from .routing import ShardingPolicy, ShardRouter
 from .server import (
@@ -141,6 +142,8 @@ class Fleet:
         obs: Instrumentation | None = None,
         service_opts: dict | None = None,
         engine_opts: dict | None = None,
+        durability_root: str | pathlib.Path | None = None,
+        durability_opts: dict | None = None,
     ):
         if replicas < 1:
             raise ValueError("a fleet needs at least one replica per shard")
@@ -150,6 +153,17 @@ class Fleet:
         self.scheme = scheme
         self._service_opts = dict(service_opts or {})
         self._engine_opts = dict(engine_opts or {})
+        #: with a durability root, every node gets its own WAL-backed
+        #: store under ``<root>/shard<k>-node<n>`` — acked writes survive
+        #: node process death, and replica resync/migration catch-up
+        #: rides the durable log (WAL-shipping) instead of only the
+        #: capped in-memory mutation deque.
+        self._durability_root = (
+            pathlib.Path(durability_root)
+            if durability_root is not None else None
+        )
+        self._durability_opts = dict(durability_opts or {})
+        self._node_counter = 0
         #: placement oracle: the same deterministic router the sharded
         #: server uses, populated while the program is partitioned.  A
         #: :class:`FleetClient` shares it to route goals to shard ids
@@ -203,6 +217,8 @@ class Fleet:
         for node in list(self.nodes.values()):
             if node.alive:
                 node.drain()
+        for node in list(self.nodes.values()):
+            node.engine.close()
 
     def __enter__(self) -> "Fleet":
         self.start()
@@ -237,10 +253,13 @@ class Fleet:
 
         A node that was down missed writes; serving its stale engine
         would hand out wrong answers.  Restart therefore resyncs from a
-        live replica of the same shard (snapshot + catch-up delta, see
-        :func:`repro.cluster.migrate.resync_replica`) *before* the
-        socket reopens.  With no live peer the engine is served as-is —
-        nothing fresher exists anywhere.
+        live replica of the same shard *before* the socket reopens —
+        incrementally when the peer's delta replays cleanly over the
+        node's own state (served from the peer's mutation log or, past
+        the deque, by WAL-shipping), with a full snapshot copy as the
+        fallback (see :func:`repro.cluster.migrate.resync_replica`).
+        With no live peer the engine is served as-is — nothing fresher
+        exists anywhere.
         """
         import tempfile
 
@@ -286,6 +305,21 @@ class Fleet:
 
     # -- node construction ---------------------------------------------------
 
+    def _node_engine_opts(self, shard_id: int) -> dict:
+        """Per-node engine kwargs; a unique durable store dir per node."""
+        opts = dict(self._engine_opts)
+        if self._durability_root is not None:
+            with self._lock:
+                serial = self._node_counter
+                self._node_counter += 1
+            opts["durability"] = DurabilityOptions(
+                directory=(
+                    self._durability_root / f"shard{shard_id}-node{serial}"
+                ),
+                **self._durability_opts,
+            )
+        return opts
+
     def _build_node(self, shard_id: int) -> ClusterNode:
         """A one-shard engine seeded with the shard's clause partition."""
         engine = ShardedRetrievalServer(
@@ -293,10 +327,11 @@ class Fleet:
             policy=self.policy,
             scheme=self.scheme,
             obs=self.obs.labelled(node_shard=str(shard_id)),
-            **self._engine_opts,
+            **self._node_engine_opts(shard_id),
         )
-        for clause, module in self._partition[shard_id]:
-            engine.add_clause(clause, module=module)
+        if engine.recovered is None or engine.recovered.empty:
+            for clause, module in self._partition[shard_id]:
+                engine.add_clause(clause, module=module)
         return ClusterNode(
             shard_id=shard_id,
             engine=engine,
@@ -312,7 +347,7 @@ class Fleet:
             policy=self.policy,
             scheme=self.scheme,
             obs=self.obs.labelled(node_shard=str(shard_id)),
-            **self._engine_opts,
+            **self._node_engine_opts(shard_id),
         )
         node = ClusterNode(
             shard_id=shard_id,
@@ -374,11 +409,16 @@ class FleetClient:
         write_deadline_s: float | None = 5.0,
         failover_opts: dict | None = None,
         sleep=time.sleep,
+        discover: bool = False,
     ):
         from ..net.client import FailoverClient
 
         self.obs = obs if obs is not None else _default_obs()
         self.router = router
+        #: cold-bootstrap mode (:meth:`connect`): the router starts empty,
+        #: so a goal on a predicate it has never seen broadcasts to every
+        #: shard and the answering shards are recorded for next time.
+        self._discover = discover
         self.read_deadline_s = read_deadline_s
         self.write_deadline_s = write_deadline_s
         self._failover_opts = dict(failover_opts or {})
@@ -398,6 +438,31 @@ class FleetClient:
         self._write_seq = 0
         self._lock = threading.Lock()
         self._rebuild_clients()
+
+    # -- cold bootstrap --------------------------------------------------------
+
+    @classmethod
+    def connect(cls, address: str, **kwargs) -> "FleetClient":
+        """Bootstrap a client from any live replica address.
+
+        Fetches the cluster manifest over the wire (``REQ_MANIFEST``) —
+        no out-of-band manifest or shared router needed — and starts
+        with an *empty* placement router in discovery mode: the first
+        goal on each predicate broadcasts to every shard, shards that
+        know the predicate are recorded, and subsequent goals route
+        normally.  ``kwargs`` pass through to the constructor.
+        """
+        from ..net.client import RetrievalClient
+
+        host, _, port_text = address.rpartition(":")
+        probe = RetrievalClient(host, int(port_text))
+        try:
+            manifest = probe.manifest()
+        finally:
+            probe.close()
+        router = ShardRouter(manifest.num_shards, manifest.policy)
+        kwargs.setdefault("discover", True)
+        return cls(manifest, router, **kwargs)
 
     # -- manifest plumbing ----------------------------------------------------
 
@@ -515,7 +580,12 @@ class FleetClient:
         deadline_s = (
             deadline_s if deadline_s is not None else self.read_deadline_s
         )
-        targets = self._route(goal, mode)
+        try:
+            targets = self._route(goal, mode)
+        except UnknownPredicateError:
+            if not self._discover:
+                raise
+            return self._discover_retrieve(goal, mode, deadline_s)
         degraded = bool(self._degraded_shards.intersection(targets))
         shard_results: dict[int, RetrievalResult] = {}
         for shard_id in targets:
@@ -536,6 +606,42 @@ class FleetClient:
             result.stats.degraded = True
             self.obs.counter("cluster.fleet.degraded_reads").inc()
         return result
+
+    def _discover_retrieve(
+        self,
+        goal: Term,
+        mode: SearchMode | None,
+        deadline_s: float | None,
+    ) -> RetrievalResult:
+        """Cold-start read: probe every shard, record who answered.
+
+        A shard whose engine has never stored the predicate answers
+        ``UNKNOWN_PREDICATE`` and contributes nothing; shards that know
+        it (even with zero candidates) are observed into the router —
+        conservatively, as broadcast targets (sound: the filter stages
+        reject non-unifying clauses).  Raises only when *every* shard is
+        ignorant, matching the warm router's contract.
+        """
+        indicator = functor_indicator(goal)
+        shard_results: dict[int, RetrievalResult] = {}
+        found = False
+        for shard_id in range(self._manifest.num_shards):
+            client = self._shard_clients.get(shard_id)
+            if client is None:
+                continue
+            try:
+                result = client.retrieve(goal, mode=mode, deadline_s=deadline_s)
+            except UnknownPredicateError:
+                continue
+            found = True
+            self.router.observe_indicator(indicator, shard_id)
+            shard_results[shard_id] = result
+        if not found:
+            name, arity = indicator
+            raise UnknownPredicateError(f"unknown predicate {name}/{arity}")
+        self.obs.counter("cluster.fleet.discoveries").inc()
+        self.obs.counter("cluster.fleet.reads").inc()
+        return self._merge(goal, shard_results)
 
     def _route(
         self, goal: Term, mode: SearchMode | None
@@ -614,7 +720,17 @@ class FleetClient:
         try:
             targets = self.router.route_goal(template.head)
         except UnknownPredicateError:
-            return None
+            if not self._discover:
+                return None
+            # Cold client: the predicate may exist server-side even
+            # though this router has never seen it — discover first.
+            try:
+                self._discover_retrieve(
+                    template.head, None, self.read_deadline_s
+                )
+                targets = self.router.route_goal(template.head)
+            except UnknownPredicateError:
+                return None
         for shard_id in targets:
             removed = self._replicated_retract(template, shard_id)
             if removed is not None:

@@ -252,10 +252,17 @@ def resync_replica(
 ) -> None:
     """Rebuild a stale replica's state from a healthy peer of its shard.
 
-    Used on restart-after-crash: the stale node adopts a snapshot of the
-    peer and replays the delta until level.  The stale node must not be
-    serving while this runs (its reads would be wrong mid-copy); the
-    caller readmits it afterwards.
+    Used on restart-after-crash.  A durable node comes back holding its
+    own recovered prefix of the shard's history, so resync first tries
+    the cheap path: replay just the peer's delta past the stale node's
+    version (``mutations_since`` serves it from the in-memory log or,
+    past the deque, by WAL-shipping).  The replay is only trusted if the
+    content fingerprints come out equal — replicas apply the same writes
+    but their version counters are node-local, so a divergent history
+    (e.g. a ``reload``) shows up as a mismatch and falls back to the
+    authoritative snapshot copy.  The stale node must not be serving
+    while this runs (its reads would be wrong mid-copy); the caller
+    readmits it afterwards.
     """
     if stale.alive:
         raise MigrationError("resync target must be stopped while copying")
@@ -264,5 +271,31 @@ def resync_replica(
             f"peer serves shard {peer.shard_id}, target expects "
             f"{stale.shard_id}"
         )
-    _snapshot_into(peer, stale, workdir)
+    if _catch_up_in_place(peer, stale):
+        _default_obs().counter("cluster.resyncs.incremental").inc()
+    else:
+        _snapshot_into(peer, stale, workdir)
     _default_obs().counter("cluster.resyncs").inc()
+
+
+def _catch_up_in_place(peer: ClusterNode, stale: ClusterNode) -> bool:
+    """Try an incremental resync over the stale node's recovered state.
+
+    Returns ``True`` only when the peer's delta replayed cleanly AND the
+    resulting content matches the peer fingerprint-for-fingerprint.  Any
+    failure — delta evicted below the peer's last compaction, divergent
+    histories making a replayed retract miss, a racing write landing
+    between the last round and the comparison — returns ``False`` and
+    the caller takes a fresh snapshot, which wholesale replaces whatever
+    this attempt left behind.
+    """
+    seq = stale.engine.version
+    if seq == 0:
+        return False
+    try:
+        catch_up(peer, stale, seq)
+    except Exception:
+        return False
+    ours = [kb_fingerprint(shard.kb) for shard in stale.engine.shards]
+    theirs = [kb_fingerprint(shard.kb) for shard in peer.engine.shards]
+    return ours == theirs

@@ -39,6 +39,13 @@ from ..obs import Instrumentation
 from ..obs import get_default as _default_obs
 from ..scw import CodewordScheme, DEFAULT_SCHEME
 from ..storage import KnowledgeBase, Residency, UnknownPredicateError
+from ..storage.wal import (
+    DurabilityOptions,
+    DurableStore,
+    RecoveredState,
+    WalError,
+    WalRecord,
+)
 from ..terms import (
     Clause,
     Term,
@@ -162,6 +169,7 @@ class ShardedRetrievalServer:
         fs1_mode: str = "bitsliced",
         fs2_mode: str = "compiled",
         mutation_log_size: int = 4096,
+        durability: DurabilityOptions | str | None = None,
     ):
         self.obs = obs if obs is not None else _default_obs()
         self._fs1_mode = fs1_mode
@@ -211,6 +219,40 @@ class ShardedRetrievalServer:
         self._cache_version = 0
         self.cache_hits = 0
         self.cache_misses = 0
+        #: write-ahead durability (``repro.storage.wal``).  ``None`` keeps
+        #: the historical in-memory behaviour.  When set, every acked
+        #: mutation is staged in the WAL under the same lock that assigns
+        #: its seq and group-committed after the shard lock is released;
+        #: :meth:`mutations_since` falls back to the durable log when the
+        #: in-memory deque has evicted the requested range.
+        self._durable: DurableStore | None = None
+        #: what recovery found on disk (``None`` without durability) —
+        #: callers use :attr:`recovered` to decide whether to re-consult
+        #: source programs after a restart.
+        self.recovered: RecoveredState | None = None
+        self._replaying = False
+        self._compact_stop = threading.Event()
+        self._compact_thread: threading.Thread | None = None
+        self._compact_serial = threading.Lock()
+        self._closed = False
+        if durability is not None:
+            options = DurabilityOptions.coerce(durability)
+            self._durable = DurableStore(
+                options,
+                obs=self.obs,
+                meta={
+                    "num_shards": num_shards,
+                    "policy": self.router.policy.value,
+                },
+            )
+            self._recover()
+            if options.auto_compact:
+                self._compact_thread = threading.Thread(
+                    target=self._compact_loop,
+                    name="repro-wal-compact",
+                    daemon=True,
+                )
+                self._compact_thread.start()
 
     # -- cluster shape -------------------------------------------------------
 
@@ -275,10 +317,11 @@ class ShardedRetrievalServer:
                 return shard_id  # duplicate delivery: already applied
             self._check_frozen()
             shard.kb.add_clause(clause, module=module)
-            self._bump_version(
+            seq = self._bump_version(
                 op="assertz", clause=clause, module=module, write_id=write_id
             )
             self._on_shard_mutation(shard, "assertz", clause, module)
+        self._wal_commit(seq)
         self.obs.counter("cluster.clauses_routed", shard=str(shard_id)).inc()
         return shard_id
 
@@ -312,10 +355,11 @@ class ShardedRetrievalServer:
                 return
             self._check_frozen()
             shard.kb.asserta(clause, module=module)
-            self._bump_version(
+            seq = self._bump_version(
                 op="asserta", clause=clause, module=module, write_id=write_id
             )
             self._on_shard_mutation(shard, "asserta", clause, module)
+        self._wal_commit(seq)
 
     def retract(self, clause_or_term: Clause | Term) -> bool:
         """Remove the first matching clause, probing shards in id order."""
@@ -350,7 +394,7 @@ class ShardedRetrievalServer:
                 self._check_frozen()
                 removed = shard.kb.retract_matching(template)
                 if removed is not None:
-                    self._bump_version(
+                    seq = self._bump_version(
                         op="retract", clause=removed, write_id=write_id
                     )
                     # Forward the clause actually removed, not the
@@ -358,6 +402,7 @@ class ShardedRetrievalServer:
                     # could remove a different (more general) clause.
                     self._on_shard_mutation(shard, "remove_exact", removed)
             if removed is not None:
+                self._wal_commit(seq)
                 return removed
         return None
 
@@ -403,7 +448,38 @@ class ShardedRetrievalServer:
                 self._applied_writes.move_to_end(write_id)
                 while len(self._applied_writes) > self._applied_writes_cap:
                     self._applied_writes.popitem(last=False)
+            # Stage the WAL record under the same lock that assigned its
+            # seq: log order is exactly seq order by construction.  The
+            # fsync happens later, in _wal_commit, after the caller drops
+            # the shard lock.  ``reload`` is not staged — the adopted KB
+            # exists only in memory, so adopt_kb snapshots it instead.
+            if (
+                self._durable is not None
+                and not self._replaying
+                and op != "reload"
+                and clause is not None
+            ):
+                self._durable.stage(
+                    WalRecord(
+                        seq=self.version,
+                        op=op,
+                        clause=clause,
+                        module=module,
+                        write_id=write_id,
+                    )
+                )
             return self.version
+
+    def _wal_commit(self, seq: int) -> None:
+        """Block until WAL record ``seq`` is durable (volatile: no-op).
+
+        Called *after* the shard lock is released, so concurrent writers
+        ride one group commit instead of serialising an fsync each under
+        the lock.  During recovery replay the records are already on
+        disk and the wait is skipped.
+        """
+        if self._durable is not None and not self._replaying:
+            self._durable.wait_durable(seq)
 
     def _applied_before(self, write_id: str) -> tuple[bool, Clause | None]:
         """(seen, memoised removed clause) for one idempotency stamp.
@@ -469,7 +545,12 @@ class ShardedRetrievalServer:
         ``seq`` is a value previously read from :attr:`version` (e.g. at
         snapshot time).  Raises :class:`MutationLogOverflow` when the
         capped log has already evicted records the caller would need —
-        the caller must fall back to a fresh snapshot.
+        unless the engine is durable, in which case the delta is served
+        from the write-ahead log itself (WAL-shipping): every acked
+        mutation since the last compaction is on disk, so catch-up no
+        longer degrades to a fresh snapshot just because the in-memory
+        deque wrapped.  A seq older than the last compaction still
+        overflows (the records were folded into the snapshot).
         """
         with self._cache_lock:
             if seq > self.version:
@@ -479,13 +560,45 @@ class ShardedRetrievalServer:
             if seq == self.version:
                 return []
             records = [r for r in self._mutation_log if r.seq > seq]
-            if not records or records[0].seq != seq + 1:
-                raise MutationLogOverflow(
-                    f"mutations after seq {seq} have been evicted "
-                    f"(log starts at "
-                    f"{records[0].seq if records else self.version + 1})"
-                )
-            return records
+            if records and records[0].seq == seq + 1:
+                return records
+            log_start = records[0].seq if records else self.version + 1
+        shipped = self._wal_mutations_since(seq)
+        if shipped is not None:
+            return shipped
+        raise MutationLogOverflow(
+            f"mutations after seq {seq} have been evicted "
+            f"(log starts at {log_start})"
+        )
+
+    def _wal_mutations_since(self, seq: int) -> list[MutationRecord] | None:
+        """Read a catch-up delta from the durable log (WAL-shipping).
+
+        Returns ``None`` when the WAL cannot serve a contiguous delta —
+        no durable store, ``seq`` predates the retained segments, or a
+        ``reload`` punched a hole in the sequence — and the caller falls
+        back to :class:`MutationLogOverflow` / snapshot semantics.
+        """
+        if self._durable is None:
+            return None
+        try:
+            records = self._durable.records_since(seq)
+        except WalError:
+            return None
+        out = [
+            MutationRecord(
+                seq=r.seq, op=r.op, clause=r.clause, module=r.module,
+                write_id=r.write_id,
+            )
+            for r in records
+        ]
+        if not out or out[0].seq != seq + 1:
+            return None
+        for prev, nxt in zip(out, out[1:]):
+            if nxt.seq != prev.seq + 1:
+                return None
+        self.obs.counter("wal.shipped_records").inc(len(out))
+        return out
 
     def apply_mutation(self, record: MutationRecord) -> None:
         """Replay one logged mutation from another node onto this one.
@@ -529,11 +642,12 @@ class ShardedRetrievalServer:
                 self._check_frozen()
                 removed = shard.kb.remove_exact(clause)
                 if removed:
-                    self._bump_version(
+                    seq = self._bump_version(
                         op="retract", clause=clause, write_id=write_id
                     )
                     self._on_shard_mutation(shard, "remove_exact", clause)
             if removed:
+                self._wal_commit(seq)
                 return True
         return False
 
@@ -565,16 +679,191 @@ class ShardedRetrievalServer:
         for store in kb:
             for clause in store.clauses():
                 self.router.route_clause(clause.head)
-        with shard.lock:
-            shard.kb = kb
-            shard.server = server
-            # The memo describes content this engine no longer holds;
-            # the restorer installs the snapshot's own ids afterwards
-            # (:meth:`adopt_write_ids`).
-            with self._cache_lock:
-                self._applied_writes.clear()
-            self._bump_version(op="reload")
-            self._on_shard_mutation(shard, "reload", None)
+        if self._durable is not None:
+            # Same order as compact(): the serialiser before the shard
+            # lock, so an in-flight background compaction (which holds
+            # the serialiser while waiting for shard locks) cannot
+            # deadlock against the adoption.
+            self._compact_serial.acquire()
+        try:
+            with shard.lock:
+                shard.kb = kb
+                shard.server = server
+                # The memo describes content this engine no longer holds;
+                # the restorer installs the snapshot's own ids afterwards
+                # (:meth:`adopt_write_ids`).
+                with self._cache_lock:
+                    self._applied_writes.clear()
+                self._bump_version(op="reload")
+                self._on_shard_mutation(shard, "reload", None)
+                if self._durable is not None:
+                    # A reload is not WAL-encodable (the adopted KB exists
+                    # only in memory), so durability requires snapshotting
+                    # it before the adoption returns.  Holding the shard
+                    # lock through the CURRENT flip keeps the WAL gap-free:
+                    # no mutation lands between the rotation and the flip,
+                    # so a crash anywhere in this window recovers either
+                    # the full pre-adoption or full post-adoption state.
+                    from ..storage import save_kb
+
+                    seq = self.version
+                    snapshot_dir = self._durable.begin_compaction(seq)
+                    save_kb(kb, snapshot_dir / "shard0", durable=False)
+                    self._durable.write_snapshot_meta(
+                        snapshot_dir, seq, self.applied_write_ids()
+                    )
+                    self._durable.finish_compaction(seq, snapshot_dir)
+        finally:
+            if self._durable is not None:
+                self._compact_serial.release()
+
+    # -- durability: recovery, compaction, shutdown ---------------------------
+
+    @property
+    def durable(self) -> bool:
+        return self._durable is not None
+
+    @property
+    def durable_store(self) -> DurableStore | None:
+        return self._durable
+
+    def _recover(self) -> None:
+        """Rebuild in-memory state from the durable store (constructor).
+
+        Loads the ``CURRENT`` snapshot's per-shard ``save_kb`` trees,
+        restores the write-id memo from the snapshot sidecar, then
+        replays the WAL tail through the ordinary mutation path with
+        staging disabled (the records are already on disk).  Each replay
+        must land on exactly its logged seq — a stall (e.g. a retract
+        whose clause is absent) means the log and snapshot disagree, and
+        recovery refuses to continue silently wrong.
+        """
+        assert self._durable is not None
+        state = self._durable.open()
+        if state.shard_dirs:
+            from ..storage import load_kb
+
+            for shard_dir in state.shard_dirs:
+                shard_id = int(shard_dir.name[len("shard"):])
+                if shard_id >= self.num_shards:
+                    raise WalError(
+                        f"snapshot has {shard_dir.name} but the engine "
+                        f"only has {self.num_shards} shard(s)"
+                    )
+                self._install_recovered_kb(shard_id, load_kb(shard_dir))
+        self.version = state.snapshot_seq
+        self._cache_version = state.snapshot_seq
+        if state.write_ids:
+            self.adopt_write_ids(state.write_ids)
+        self._replaying = True
+        try:
+            for record in state.records:
+                self.apply_mutation(
+                    MutationRecord(
+                        seq=record.seq,
+                        op=record.op,
+                        clause=record.clause,
+                        module=record.module,
+                        write_id=record.write_id,
+                    )
+                )
+                if self.version != record.seq:
+                    raise WalError(
+                        f"replaying seq {record.seq} left the engine at "
+                        f"version {self.version}; snapshot and WAL disagree"
+                    )
+        finally:
+            self._replaying = False
+        self.recovered = state
+
+    def _install_recovered_kb(self, shard_id: int, kb: KnowledgeBase) -> None:
+        """Swap a recovered snapshot KB into one shard (constructor only).
+
+        Placement is recorded verbatim via :meth:`ShardRouter.observe`
+        rather than re-hashed — under round-robin the original placement
+        was positional, and re-routing would record a lie.
+        """
+        shard = self.shards[shard_id]
+        shard_obs = self.obs.labelled(shard=str(shard_id))
+        kb.disk.obs = shard_obs
+        server = ClauseRetrievalServer(
+            kb,
+            cost_model=self._cost_model,
+            cross_binding=self._cross_binding,
+            cache_size=0,
+            obs=shard_obs,
+            fs1_mode=self._fs1_mode,
+            fs2_mode=self._fs2_mode,
+        )
+        for store in kb:
+            for clause in store.clauses():
+                self.router.observe(clause.head, shard_id)
+        shard.kb = kb
+        shard.server = server
+        self._on_shard_mutation(shard, "reload", None)
+
+    def compact(self) -> int:
+        """Fold the WAL into a fresh snapshot; returns the pinned seq.
+
+        Under every shard lock (a point-in-time cut): pins the current
+        version, rotates the WAL at it, and writes one ``save_kb`` tree
+        per shard into the new snapshot directory.  The expensive part —
+        fsyncing the tree and flipping ``CURRENT`` — happens after the
+        locks are released; mutations admitted in between land in the
+        fresh WAL segment, so the log stays contiguous whether or not
+        the flip survives a crash.
+        """
+        if self._durable is None:
+            raise WalError("engine has no durable store to compact")
+        from ..storage import save_kb
+
+        with self._compact_serial:
+            acquired: list[ClusterShard] = []
+            try:
+                for shard in self.shards:
+                    shard.lock.acquire()
+                    acquired.append(shard)
+                seq = self.version
+                if seq == self._durable.snapshot_seq:
+                    return seq  # nothing new since the last snapshot
+                snapshot_dir = self._durable.begin_compaction(seq)
+                for shard in self.shards:
+                    save_kb(
+                        shard.kb,
+                        snapshot_dir / f"shard{shard.shard_id}",
+                        durable=False,  # finish_compaction fsyncs the tree
+                    )
+                write_ids = self.applied_write_ids()
+            finally:
+                for shard in reversed(acquired):
+                    shard.lock.release()
+            self._durable.write_snapshot_meta(snapshot_dir, seq, write_ids)
+            self._durable.finish_compaction(seq, snapshot_dir)
+            return seq
+
+    def _compact_loop(self) -> None:
+        assert self._durable is not None
+        interval = self._durable.options.compact_interval_s
+        while not self._compact_stop.wait(interval):
+            try:
+                if self._durable.should_compact():
+                    self.compact()
+            except Exception:
+                # Compaction is an optimisation; the WAL keeps growing
+                # and stays authoritative.  Count it, try again later.
+                self.obs.counter("wal.compact_errors").inc()
+
+    def close(self) -> None:
+        """Flush and release the durable store (idempotent; volatile no-op)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._compact_thread is not None:
+            self._compact_stop.set()
+            self._compact_thread.join(timeout=10.0)
+            self._compact_thread = None
+        if self._durable is not None:
+            self._durable.close()
 
     # -- retrieval -----------------------------------------------------------
 

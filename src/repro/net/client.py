@@ -775,6 +775,45 @@ class AsyncRetrievalClient:
             else:
                 conn.close()
 
+    async def mutate(
+        self,
+        op: str,
+        clause_or_term: Clause | Term,
+        module: str = "user",
+        *,
+        manifest_version: int = 0,
+        deadline_s: float | None = None,
+        write_id: str = "",
+    ) -> tuple[int, bool, Clause | None]:
+        """Async counterpart of :meth:`RetrievalClient.mutate`.
+
+        Same retry discipline: only rejections that provably preceded
+        any state change (busy/draining/frozen) and connect failures are
+        retried — a drop after the frame went out leaves the mutation's
+        fate unknown, and ``write_id`` is the caller's dedupe handle.
+        """
+        clause = _as_clause(clause_or_term)
+        deadline = None if deadline_s is None else time.monotonic() + deadline_s
+        frame = await self._request_with_retries(
+            FrameType.REQ_MUTATE,
+            lambda: protocol.encode_mutate_request(
+                op, clause, module, manifest_version, _deadline_ms(deadline),
+                write_id,
+            ),
+            deadline,
+            retryable=_MUTATION_RETRYABLE,
+        )
+        RetrievalClient._expect(frame, FrameType.RESP_MUTATED)
+        return protocol.decode_mutated_response(frame.payload)
+
+    async def assertz(
+        self, clause_or_term: Clause | Term, module: str = "user", **kwargs
+    ) -> int:
+        version, _, _ = await self.mutate(
+            "assertz", clause_or_term, module, **kwargs
+        )
+        return version
+
     async def ping(self) -> bool:
         frame = await self._request_with_retries(
             FrameType.REQ_PING, lambda: b"", None
@@ -804,7 +843,11 @@ class AsyncRetrievalClient:
     # -- transport -----------------------------------------------------------
 
     async def _request_with_retries(
-        self, frame_type: FrameType, make_payload, deadline: float | None
+        self,
+        frame_type: FrameType,
+        make_payload,
+        deadline: float | None,
+        retryable: tuple = _RETRYABLE,
     ) -> protocol.Frame:
         import asyncio
 
@@ -814,7 +857,7 @@ class AsyncRetrievalClient:
             core.check_budget(deadline)
             try:
                 return await self._attempt(frame_type, make_payload(), deadline)
-            except _RETRYABLE as exc:
+            except retryable as exc:
                 if attempt >= core.backoff.max_retries:
                     raise
                 if isinstance(exc, ServerBusy):

@@ -147,9 +147,11 @@ class ProcessShardedRetrievalServer(ShardedRetrievalServer):
         shm_slot_bytes: int = DEFAULT_SLOT_BYTES,
         **kwargs,
     ):
-        super().__init__(*args, **kwargs)
         if result_transport not in ("shm", "pipe"):
             raise ValueError("result_transport must be 'shm' or 'pipe'")
+        # Worker state exists before super().__init__: a durable parent
+        # replays its WAL during construction, and the mutation hooks
+        # below consult ``_handles`` (empty = workers not up, local only).
         self._spool_dir = spool_dir
         self._owns_spool = False
         self._start_method = start_method
@@ -158,6 +160,7 @@ class ProcessShardedRetrievalServer(ShardedRetrievalServer):
         self._shm_slot_bytes = shm_slot_bytes
         self._handles: dict[int, _WorkerHandle] = {}
         self._reload_counter = 0
+        super().__init__(*args, **kwargs)
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -195,6 +198,7 @@ class ProcessShardedRetrievalServer(ShardedRetrievalServer):
             shutil.rmtree(self._spool_dir, ignore_errors=True)
             self._spool_dir = None
             self._owns_spool = False
+        super().close()
 
     def __enter__(self) -> "ProcessShardedRetrievalServer":
         return self.start()

@@ -3,16 +3,32 @@
 from .kb import KnowledgeBase, PredicateStore, UnknownPredicateError
 from .module import DEFAULT_LARGE_THRESHOLD_BYTES, Module, Residency
 from .persist import PersistenceError, kb_fingerprint, load_kb, save_kb
+from .wal import (
+    DurabilityOptions,
+    DurableStore,
+    RecoveredState,
+    WalError,
+    WalRecord,
+    WriteAheadLog,
+    wal_dump,
+)
 
 __all__ = [
     "DEFAULT_LARGE_THRESHOLD_BYTES",
+    "DurabilityOptions",
+    "DurableStore",
     "KnowledgeBase",
     "Module",
     "PersistenceError",
     "PredicateStore",
+    "RecoveredState",
     "Residency",
     "UnknownPredicateError",
+    "WalError",
+    "WalRecord",
+    "WriteAheadLog",
     "kb_fingerprint",
     "load_kb",
     "save_kb",
+    "wal_dump",
 ]

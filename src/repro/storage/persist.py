@@ -16,6 +16,7 @@ in secondary storage and is *not* re-consulted from source.
 
 from __future__ import annotations
 
+import os
 import pathlib
 
 from ..pif import ClauseFile, CompiledClause, SymbolTable
@@ -62,14 +63,46 @@ def _assign_stems(kb: KnowledgeBase) -> dict[tuple[str, int], str]:
     return stems
 
 
-def save_kb(kb: KnowledgeBase, directory: str | pathlib.Path) -> list[str]:
-    """Write the knowledge base to ``directory``; returns files written."""
+def _write_file(path: pathlib.Path, data: bytes, *, durable: bool) -> None:
+    with open(path, "wb") as handle:
+        handle.write(data)
+        if durable:
+            handle.flush()
+            os.fsync(handle.fileno())
+
+
+def _fsync_dir(path: pathlib.Path) -> None:
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def save_kb(
+    kb: KnowledgeBase,
+    directory: str | pathlib.Path,
+    *,
+    durable: bool = True,
+) -> list[str]:
+    """Write the knowledge base to ``directory``; returns files written.
+
+    The manifest is written last, via a temporary file renamed into
+    place, so a reader never observes a manifest naming data files that
+    are absent or incomplete.  With ``durable`` (the default) every data
+    file and the directory itself are fsynced *before* the manifest
+    rename, and the rename is fsynced after — a crash at any point
+    leaves either no manifest or a manifest whose data files are fully
+    on disk.  Callers that provide their own tree-wide sync (the WAL
+    store's compaction) pass ``durable=False`` to skip the per-file
+    fsyncs.
+    """
     path = pathlib.Path(directory)
     path.mkdir(parents=True, exist_ok=True)
     written: list[str] = []
     stems = _assign_stems(kb)
 
-    (path / _SYMBOLS).write_bytes(kb.symbols.to_bytes())
+    _write_file(path / _SYMBOLS, kb.symbols.to_bytes(), durable=durable)
     written.append(_SYMBOLS)
 
     lines = [
@@ -86,12 +119,20 @@ def save_kb(kb: KnowledgeBase, directory: str | pathlib.Path) -> list[str]:
         stem = stems[store.indicator]
         lines.append(f"predicate\t{name}\t{arity}\t{store.module_name}\t{stem}")
         clause_path = path / f"{stem}.clauses"
-        clause_path.write_bytes(store.clause_file.to_bytes())
+        _write_file(clause_path, store.clause_file.to_bytes(), durable=durable)
         written.append(clause_path.name)
         index_path = path / f"{stem}.index"
-        index_path.write_bytes(store.index.to_bytes())
+        _write_file(index_path, store.index.to_bytes(), durable=durable)
         written.append(index_path.name)
-    (path / _MANIFEST).write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+    manifest_body = ("\n".join(lines) + "\n").encode("utf-8")
+    if durable:
+        _fsync_dir(path)
+    tmp_path = path / (_MANIFEST + ".tmp")
+    _write_file(tmp_path, manifest_body, durable=durable)
+    os.replace(tmp_path, path / _MANIFEST)
+    if durable:
+        _fsync_dir(path)
     written.append(_MANIFEST)
     return written
 

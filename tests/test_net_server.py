@@ -448,3 +448,69 @@ class TestLoadgenInjectedClock:
         )
         assert [n for n, _ in rows] == [1, 2]
         assert seen == [(frozen_clock, no_sleep)] * 2
+
+
+class TestLoadgenMixedWorkload:
+    def test_write_fraction_mixes_and_measures_separately(self, tmp_path):
+        from repro.storage import DurabilityOptions
+
+        engine = family_engine(
+            num_shards=1,
+            policy=ShardingPolicy.PREDICATE,
+            durability=DurabilityOptions(
+                directory=tmp_path / "store", auto_compact=False
+            ),
+        )
+        baseline = engine.clause_count()
+        service = RetrievalService(
+            engine, max_in_flight=8, executor_workers=8, queue_limit=64
+        )
+        with BackgroundService(service) as background:
+            host, port = background.start()
+            result = run_loadgen(
+                host, port, [read_term("parent(tom, X)")],
+                qps=200.0, duration_s=0.5,
+                write_fraction=0.4, seed=7,
+            )
+        engine.close()
+        assert result.offered == 100
+        assert result.writes_offered > 0
+        assert result.errors == 0 and result.busy == 0
+        assert result.writes_ok == result.writes_offered
+        assert result.ok == result.offered - result.writes_offered
+        # Reads and writes keep separate latency distributions.
+        assert len(result.latencies_s) == result.ok
+        assert len(result.write_latencies_s) == result.writes_ok
+        assert "writes_ok=" in result.summary()
+        # Every acked write is in the KB — and survives recovery.
+        assert engine.clause_count() == baseline + result.writes_ok
+        recovered = ShardedRetrievalServer(
+            1,
+            ShardingPolicy.PREDICATE,
+            durability=DurabilityOptions(
+                directory=tmp_path / "store", auto_compact=False
+            ),
+        )
+        assert recovered.clause_count() == baseline + result.writes_ok
+        recovered.close()
+
+    def test_same_seed_same_mix(self):
+        engine = family_engine()
+        service = RetrievalService(
+            engine, max_in_flight=8, executor_workers=8, queue_limit=64
+        )
+        with BackgroundService(service) as background:
+            host, port = background.start()
+            first = run_loadgen(
+                host, port, [read_term("parent(tom, X)")],
+                qps=100.0, duration_s=0.3, write_fraction=0.5, seed=3,
+            )
+            second = run_loadgen(
+                host, port, [read_term("parent(tom, X)")],
+                qps=100.0, duration_s=0.3, write_fraction=0.5, seed=3,
+            )
+        assert first.writes_offered == second.writes_offered
+
+    def test_write_fraction_validated(self):
+        with pytest.raises(ValueError):
+            run_loadgen("h", 1, [read_term("f(x)")], write_fraction=1.5)

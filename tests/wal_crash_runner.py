@@ -1,0 +1,102 @@
+"""Subprocess body for the WAL crash-injection suite.
+
+Run as::
+
+    python wal_crash_runner.py STORE_DIR ACKS_FILE POINT HITS COUNT
+
+Builds a durable two-shard engine over ``STORE_DIR``, arms crash point
+``POINT`` to SIGKILL this process on its ``HITS``-th hit, then applies
+``COUNT`` deterministic mutations.  After each mutator *returns* —
+i.e. after ``wait_durable`` acknowledged the write per the flush policy
+— the mutation's ``write_id`` is appended to ``ACKS_FILE`` with
+``O_APPEND`` + ``fsync``, so the acks file is the ground truth of what
+the "client" was promised.  The parent test recovers the store and
+asserts the promise held: every acked write survived, in order, with no
+duplicates.
+
+If ``POINT`` starts with ``compact.`` the mutations all complete (and
+ack) first, and the armed point fires inside the explicit
+``engine.compact()`` call — crash-during-compaction must never lose an
+acked write either.
+
+The mutation schedule (see :func:`mutation_plan`) is pure: the parent
+imports this module and replays the same plan against an in-memory
+oracle to decide exactly what the recovered KB must contain.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+sys.path.insert(
+    0,
+    os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src"),
+)
+
+
+def mutation_plan(count: int) -> list[tuple[str, str, str]]:
+    """The deterministic mutation schedule: (op, clause_text, write_id).
+
+    Mostly ``assertz`` of unique facts, an ``asserta`` every seventh
+    mutation, and every fifth mutation retracts the fact asserted three
+    steps earlier (which is always still present: retract indices are
+    ``4 mod 5`` so the victims, at ``1 mod 5``, are never retracted
+    twice).  Every mutation changes the KB, so each one bumps the engine
+    version by exactly one — the parent leans on that to map the acked
+    prefix onto a version number.
+    """
+    plan: list[tuple[str, str, str]] = []
+    for i in range(count):
+        write_id = f"crash:{i}"
+        if i % 5 == 4:
+            plan.append(("retract", f"crash_fact(k{i - 3})", write_id))
+        elif i % 7 == 3:
+            plan.append(("asserta", f"crash_fact(k{i})", write_id))
+        else:
+            plan.append(("assertz", f"crash_fact(k{i})", write_id))
+    return plan
+
+
+def main(argv: list[str]) -> int:
+    store_dir, acks_file, point, hits, count = (
+        argv[0], argv[1], argv[2], int(argv[3]), int(argv[4]),
+    )
+    from repro.cluster import ShardedRetrievalServer
+    from repro.storage import DurabilityOptions
+    from repro.storage.wal import install_crash_point
+    from repro.terms import read_term
+
+    engine = ShardedRetrievalServer(
+        2,
+        "predicate",
+        durability=DurabilityOptions(
+            directory=store_dir, auto_compact=False
+        ),
+    )
+    install_crash_point(point, hits)
+    acks = os.open(acks_file, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+    for op, text, write_id in mutation_plan(count):
+        term = read_term(text)
+        if op == "assertz":
+            engine.assertz(term, write_id=write_id)
+        elif op == "asserta":
+            engine.asserta(term, write_id=write_id)
+        else:
+            removed = engine.retract_matching(term, write_id=write_id)
+            assert removed is not None, f"plan retract missed: {text}"
+        # The mutator returned: the write is acknowledged.  Record the
+        # promise durably before offering the next mutation.
+        os.write(acks, (write_id + "\n").encode("ascii"))
+        os.fsync(acks)
+    if point.startswith("compact."):
+        engine.compact()
+    engine.close()
+    # Reaching here means the armed point never fired — the parent
+    # treats that as a harness bug, not a pass.
+    print("SURVIVED")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
